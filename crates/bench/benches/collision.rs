@@ -1,0 +1,56 @@
+//! Real compute cost of the geometric queries behind the Extended
+//! Simulator's trajectory polling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rabit_geometry::{collide, Aabb, Capsule, Segment, Vec3};
+use rabit_kinematics::presets;
+use std::hint::black_box;
+
+fn bench_collision(c: &mut Criterion) {
+    let aabb = Aabb::new(Vec3::new(0.0, 0.3, 0.0), Vec3::new(0.2, 0.5, 0.3));
+    let capsule = Capsule::new(Vec3::new(0.5, 0.0, 0.3), Vec3::new(0.4, 0.2, 0.2), 0.03);
+    let seg_a = Segment::new(Vec3::ZERO, Vec3::new(1.0, 0.2, 0.1));
+    let seg_b = Segment::new(Vec3::new(0.5, -0.5, 0.0), Vec3::new(0.5, 0.5, 0.3));
+
+    let mut group = c.benchmark_group("collide");
+    group.bench_function("capsule_aabb_distance", |b| {
+        b.iter(|| black_box(collide::capsule_aabb_distance(black_box(&capsule), &aabb)))
+    });
+    group.bench_function("segment_segment_distance", |b| {
+        b.iter(|| black_box(seg_a.distance_to_segment(black_box(&seg_b))))
+    });
+    group.bench_function("aabb_contains_point", |b| {
+        b.iter(|| black_box(aabb.contains_point(black_box(Vec3::new(0.1, 0.4, 0.1)))))
+    });
+    group.finish();
+
+    // A full per-pose collision check: 7 capsules against 7 obstacles —
+    // one polling step of the Extended Simulator.
+    let arm = presets::ur3e();
+    let q = arm.home_configuration();
+    let obstacles: Vec<Aabb> = (0..7)
+        .map(|i| {
+            let x = -0.6 + 0.2 * i as f64;
+            Aabb::new(Vec3::new(x, 0.3, 0.0), Vec3::new(x + 0.15, 0.45, 0.2))
+        })
+        .collect();
+    let mut group = c.benchmark_group("sim_poll");
+    group.bench_function("one_pose_vs_deck", |b| {
+        b.iter(|| {
+            let capsules = arm.link_capsules(black_box(&q), None);
+            let mut hits = 0;
+            for o in &obstacles {
+                for cap in &capsules[1..] {
+                    if collide::capsule_intersects_aabb(cap, o) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collision);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates the §IV summary: detection rate 8/16 (50%) with baseline
+//! RABIT, 12/16 (75%) after modification, 13/16 (81%) with the Extended
+//! Simulator — and zero false positives throughout.
+
+use rabit_bench::report::render_table;
+use rabit_buginject::{false_positives, run_study, RabitStage};
+
+fn main() {
+    println!("§IV summary — detection-rate progression over the 16-bug study\n");
+    let configs = [
+        (RabitStage::Baseline, "initial RABIT", "8/16 (50%)"),
+        (RabitStage::Modified, "after modifications", "12/16 (75%)"),
+        (
+            RabitStage::ModifiedWithSimulator,
+            "with Extended Simulator",
+            "13/16 (81%)",
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (stage, label, paper) in configs {
+        let result = run_study(stage);
+        let fp = false_positives(stage);
+        rows.push(vec![
+            label.to_string(),
+            format!(
+                "{}/16 ({:.0}%)",
+                result.detected(),
+                result.detection_rate() * 100.0
+            ),
+            paper.to_string(),
+            fp.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Configuration",
+                "Detected (measured)",
+                "Paper",
+                "False positives"
+            ],
+            &rows
+        )
+    );
+    println!("Paper: \"throughout testing, RABIT never produced any false positives.\"");
+}

@@ -1,0 +1,97 @@
+//! Regenerates the §V-A pilot study: participant P's configuration
+//! mistakes (caught by the executable schema the paper wished it had) and
+//! P's unsafe scenarios (all detected by RABIT).
+
+use rabit_bench::report::{mark, render_table};
+use rabit_config::template::pilot_corpus;
+use rabit_config::{validate, IssueLevel, LabConfig};
+use rabit_devices::{ActionKind, Command};
+use rabit_geometry::Vec3;
+use rabit_testbed::{RabitStage, Testbed};
+use rabit_tracer::{Tracer, Workflow};
+
+fn main() {
+    println!("§V-A pilot study — part 1: configuration-entry errors\n");
+    let mut rows = Vec::new();
+    for e in pilot_corpus() {
+        let caught = match LabConfig::from_json(&e.json) {
+            Err(parse_err) => format!("JSON parser: {}", first_line(&parse_err.to_string())),
+            Ok(cfg) => {
+                let errors: Vec<String> = validate(&cfg)
+                    .into_iter()
+                    .filter(|i| i.level == IssueLevel::Error)
+                    .map(|i| i.to_string())
+                    .collect();
+                if errors.is_empty() {
+                    "NOT CAUGHT".to_string()
+                } else {
+                    format!("validator: {}", first_line(&errors[0]))
+                }
+            }
+        };
+        rows.push(vec![e.name.to_string(), e.description.to_string(), caught]);
+    }
+    println!(
+        "{}",
+        render_table(&["Mistake", "What P did", "Caught by"], &rows)
+    );
+    println!(
+        "Paper: P's sign error and JSON syntax errors cost ~4 hours of debugging;\n\
+         \"more precise JSON schema specifications could have helped avoid sign errors\".\n"
+    );
+
+    println!("§V-A pilot study — part 2: P's unsafe scenarios\n");
+    let mut rows = Vec::new();
+    for (name, outcome) in [
+        (
+            "reduce the grid pickup height (collide with the grid)",
+            grid_height_scenario(),
+        ),
+        (
+            "dose more solid than the vial can hold",
+            overdose_scenario(),
+        ),
+    ] {
+        rows.push(vec![name.to_string(), mark(outcome)]);
+    }
+    println!(
+        "{}",
+        render_table(&["Scenario attempted by P", "Detected"], &rows)
+    );
+    println!("Paper: \"All unsafe scenarios attempted by P were detected successfully by RABIT.\"");
+}
+
+fn first_line(s: &str) -> String {
+    s.lines().next().unwrap_or("").to_string()
+}
+
+/// P "reduced the height of the location at which [the arm] is supposed
+/// to be when picking up the vial from the grid".
+fn grid_height_scenario() -> bool {
+    let mut tb = Testbed::new();
+    let wf = Workflow::new("p_grid_height")
+        .go_to_sleep("ned2")
+        .go_home("viperx")
+        .then(Command::new(
+            "viperx",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.537, 0.018, 0.04),
+            },
+        ));
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    report.alert.is_some_and(|a| a.is_rabit_detection())
+}
+
+/// P "tried to have the dosing device add more solid than the vial could
+/// hold".
+fn overdose_scenario() -> bool {
+    let mut tb = Testbed::new();
+    let wf =
+        Workflow::new("p_overdose")
+            .go_to_sleep("ned2")
+            .dose_solid("dosing_device", 40.0, "vial");
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    report.alert.is_some_and(|a| a.is_rabit_detection())
+}

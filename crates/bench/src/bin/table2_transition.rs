@@ -1,0 +1,25 @@
+//! Regenerates Table II: example actions, preconditions, action labels,
+//! and postconditions for a robot-arm device — printed from the live
+//! state-transition table.
+
+use rabit_bench::report::render_table;
+use rabit_rulebase::table::table_ii_rows;
+
+fn main() {
+    println!("Table II — example robot-arm actions with pre/postconditions\n");
+    let rows: Vec<Vec<String>> = table_ii_rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.action.to_string(),
+                r.precondition.to_string(),
+                r.label.to_string(),
+                r.postcondition.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Action", "Precondition", "Label", "Postcondition"], &rows)
+    );
+}

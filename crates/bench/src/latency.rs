@@ -1,0 +1,163 @@
+//! The latency-overhead experiment (E2, paper §II-C).
+//!
+//! "Without the Extended Simulator, RABIT incurs approximately 0.03 s
+//! overhead (1.5%) … However, with the Extended Simulator, RABIT incurs
+//! approximately 2 s overhead (112%). … for deployment, we plan to bypass
+//! the GUI entirely."
+//!
+//! The harness runs the production solubility workflow four ways on the
+//! deterministic virtual clock and reports per-command overheads.
+
+use rabit_production::{solubility, ProductionDeck};
+use rabit_tracer::Tracer;
+
+/// The four measured configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadConfig {
+    /// No RABIT at all (the baseline).
+    Unguarded,
+    /// RABIT without a simulator.
+    Rabit,
+    /// RABIT with the GUI-bound Extended Simulator (~2 s per check).
+    RabitWithGuiSim,
+    /// RABIT with the headless simulator (the planned GUI bypass).
+    RabitWithHeadlessSim,
+}
+
+impl OverheadConfig {
+    /// All configurations, in report order.
+    pub fn all() -> [OverheadConfig; 4] {
+        [
+            OverheadConfig::Unguarded,
+            OverheadConfig::Rabit,
+            OverheadConfig::RabitWithGuiSim,
+            OverheadConfig::RabitWithHeadlessSim,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OverheadConfig::Unguarded => "no RABIT",
+            OverheadConfig::Rabit => "RABIT (no simulator)",
+            OverheadConfig::RabitWithGuiSim => "RABIT + Extended Simulator (GUI)",
+            OverheadConfig::RabitWithHeadlessSim => "RABIT + Extended Simulator (headless)",
+        }
+    }
+}
+
+/// One measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadMeasurement {
+    /// The configuration measured.
+    pub config: OverheadConfig,
+    /// Commands executed.
+    pub commands: usize,
+    /// Total virtual lab time (seconds).
+    pub total_s: f64,
+    /// Per-command overhead versus the unguarded baseline (seconds).
+    pub overhead_per_command_s: f64,
+    /// Overhead as a fraction of the baseline runtime.
+    pub overhead_fraction: f64,
+}
+
+/// Runs the experiment, returning one measurement per configuration.
+pub fn measure() -> Vec<OverheadMeasurement> {
+    let wf = solubility::solubility_workflow(&solubility::SolubilityParams::default());
+
+    let run = |config: OverheadConfig| -> (usize, f64) {
+        let mut deck = ProductionDeck::new();
+        let report = match config {
+            OverheadConfig::Unguarded => Tracer::pass_through(&mut deck.lab).run(&wf),
+            OverheadConfig::Rabit => {
+                let mut rabit = deck.rabit();
+                Tracer::guarded(&mut deck.lab, &mut rabit).run(&wf)
+            }
+            OverheadConfig::RabitWithGuiSim => {
+                let mut rabit = deck.rabit_with_simulator(true);
+                Tracer::guarded(&mut deck.lab, &mut rabit).run(&wf)
+            }
+            OverheadConfig::RabitWithHeadlessSim => {
+                let mut rabit = deck.rabit_with_simulator(false);
+                Tracer::guarded(&mut deck.lab, &mut rabit).run(&wf)
+            }
+        };
+        assert!(
+            report.completed(),
+            "{}: safe workflow must complete: {:?}",
+            config.name(),
+            report.alert
+        );
+        (report.executed, report.lab_time_s)
+    };
+
+    let (base_commands, base_total) = run(OverheadConfig::Unguarded);
+    OverheadConfig::all()
+        .into_iter()
+        .map(|config| {
+            let (commands, total_s) = if config == OverheadConfig::Unguarded {
+                (base_commands, base_total)
+            } else {
+                run(config)
+            };
+            OverheadMeasurement {
+                config,
+                commands,
+                total_s,
+                overhead_per_command_s: (total_s - base_total) / commands as f64,
+                overhead_fraction: (total_s - base_total) / base_total,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_shape_matches_the_paper() {
+        let m = measure();
+        let by = |c: OverheadConfig| m.iter().find(|x| x.config == c).unwrap();
+        let rabit = by(OverheadConfig::Rabit);
+        let gui = by(OverheadConfig::RabitWithGuiSim);
+        let headless = by(OverheadConfig::RabitWithHeadlessSim);
+
+        // Paper: ~1.5% without the simulator. Ours must be percent-level.
+        assert!(
+            rabit.overhead_fraction > 0.0 && rabit.overhead_fraction < 0.10,
+            "no-sim overhead {:.3}",
+            rabit.overhead_fraction
+        );
+        // Paper: ~112% with the GUI in the loop. Ours must exceed 50%.
+        assert!(
+            gui.overhead_fraction > 0.5,
+            "GUI-sim overhead {:.3}",
+            gui.overhead_fraction
+        );
+        // Bypassing the GUI collapses most of that overhead.
+        assert!(headless.overhead_fraction < gui.overhead_fraction / 5.0);
+        // Per-command overhead without the sim is tens of milliseconds
+        // (the paper's 0.03 s scale).
+        assert!(
+            rabit.overhead_per_command_s > 0.005 && rabit.overhead_per_command_s < 0.5,
+            "per-command {:.4}",
+            rabit.overhead_per_command_s
+        );
+        // The GUI costs ~2 s per robot-motion command.
+        assert!(gui.overhead_per_command_s > 0.5);
+    }
+
+    #[test]
+    fn baseline_has_zero_overhead() {
+        let m = measure();
+        let base = m
+            .iter()
+            .find(|x| x.config == OverheadConfig::Unguarded)
+            .unwrap();
+        assert_eq!(base.overhead_fraction, 0.0);
+        assert_eq!(base.overhead_per_command_s, 0.0);
+        assert!(base.total_s > 0.0);
+        assert!(base.commands > 50);
+    }
+}

@@ -1,0 +1,73 @@
+//! Plain-text table rendering shared by the harness binaries.
+
+/// Renders rows as a fixed-width table with a header rule.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A check/cross mark for detection columns.
+pub fn mark(detected: bool) -> String {
+    if detected {
+        "yes".to_string()
+    } else {
+        "NO".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render_table(
+            &["Rule", "Detected"],
+            &[
+                vec!["general:1".into(), "yes".into()],
+                vec!["custom:11".into(), "NO".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Rule"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("general:1"));
+        // Columns align: "Detected" starts at the same offset everywhere.
+        let col = lines[0].find("Detected").unwrap();
+        assert_eq!(&lines[2][col..col + 3], "yes");
+    }
+
+    #[test]
+    fn marks() {
+        assert_eq!(mark(true), "yes");
+        assert_eq!(mark(false), "NO");
+    }
+}

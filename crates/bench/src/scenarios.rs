@@ -1,0 +1,390 @@
+//! The controlled experiments (§IV, first half): one deliberately unsafe
+//! scenario per rulebase rule, executed on the testbed stage, checking
+//! that RABIT detects every violation.
+//!
+//! "We deliberately executed unsafe scenarios designed to trigger each
+//! rule in the rulebase. … RABIT successfully detected unsafe behavior in
+//! all these scenarios."
+
+use rabit_core::Alert;
+use rabit_devices::{ActionKind, Command, Substance};
+use rabit_geometry::Vec3;
+use rabit_rulebase::RuleId;
+use rabit_testbed::{RabitStage, Testbed};
+use rabit_tracer::{Tracer, Workflow};
+
+/// One controlled unsafe scenario.
+pub struct RuleScenario {
+    /// The rule this scenario is designed to trigger.
+    pub rule: RuleId,
+    /// The rule's Table III/IV wording.
+    pub description: &'static str,
+    /// What the scenario does.
+    pub scenario: &'static str,
+    /// Environment preparation before the workflow runs.
+    prepare: fn(&mut Testbed),
+    /// The unsafe workflow fragment.
+    workflow: fn(&Testbed) -> Workflow,
+}
+
+/// Outcome of one controlled scenario.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The targeted rule.
+    pub rule: RuleId,
+    /// Whether RABIT raised any alert.
+    pub detected: bool,
+    /// Whether the targeted rule is among the cited violations.
+    pub right_rule: bool,
+    /// The alert text.
+    pub alert: Option<String>,
+}
+
+fn noop(_: &mut Testbed) {}
+
+fn fill_vial(tb: &mut Testbed) {
+    if let Some(rabit_core::LabDevice::Vial(v)) = tb.lab.device_mut(&"vial".into()) {
+        v.add_solid(5.0);
+        v.add_liquid(5.0);
+    }
+}
+
+fn misalign_centrifuge(tb: &mut Testbed) {
+    if let Some(rabit_core::LabDevice::Centrifuge(c)) = tb.lab.device_mut(&"centrifuge".into()) {
+        c.set_red_dot_north(false);
+    }
+}
+
+/// A preamble that parks Ned2 and readies ViperX (keeps the time
+/// multiplexing extension quiet so the targeted rule is the violation).
+fn preamble() -> Workflow {
+    Workflow::new("scenario")
+        .go_to_sleep("ned2")
+        .go_home("viperx")
+}
+
+/// Picks the vial from grid NW (assumes the arm starts at home).
+fn with_vial_in_hand(tb: &Testbed) -> Workflow {
+    let grid = tb.locations.grid_nw_viperx;
+    preamble()
+        .move_to("viperx", grid.pickup_safe_height)
+        .pick_up("viperx", "vial", grid.pickup)
+        .move_to("viperx", grid.pickup_safe_height)
+}
+
+/// Builds the full controlled-scenario suite: one per rule of
+/// Tables III and IV (plus the believed-state setup each needs).
+pub fn rule_scenarios() -> Vec<RuleScenario> {
+    vec![
+        RuleScenario {
+            rule: RuleId::General(1),
+            description: "Robot arm cannot move into a device whose door is closed",
+            scenario: "move ViperX inside the dosing device while its door is closed",
+            prepare: noop,
+            workflow: |_| preamble().move_inside("viperx", "dosing_device"),
+        },
+        RuleScenario {
+            rule: RuleId::General(2),
+            description: "Device door cannot be closed when the robot is inside the device",
+            scenario: "close the dosing-device door while ViperX is inside",
+            prepare: noop,
+            workflow: |_| {
+                preamble()
+                    .set_door("dosing_device", true)
+                    .move_inside("viperx", "dosing_device")
+                    .set_door("dosing_device", false)
+            },
+        },
+        RuleScenario {
+            rule: RuleId::General(3),
+            description: "Robot arm can move to any location not occupied by any object",
+            scenario: "move ViperX inside the grid (the paper's controlled simulator example)",
+            prepare: noop,
+            workflow: |_| preamble().move_to("viperx", Vec3::new(0.55, 0.0, 0.05)),
+        },
+        RuleScenario {
+            rule: RuleId::General(4),
+            description: "Robot arm can pick up an object when it isn't holding something",
+            scenario: "command a second pick while ViperX already holds the vial",
+            prepare: noop,
+            workflow: |tb| {
+                with_vial_in_hand(tb).then(Command::new(
+                    "viperx",
+                    ActionKind::PickObject {
+                        object: "vial".into(),
+                    },
+                ))
+            },
+        },
+        RuleScenario {
+            rule: RuleId::General(5),
+            description: "Action device can perform actions when a container is inside it",
+            scenario: "start the thermoshaker with nothing inside",
+            prepare: noop,
+            workflow: |_| preamble().start_action("thermoshaker", 300.0),
+        },
+        RuleScenario {
+            rule: RuleId::General(6),
+            description: "Action device can perform actions when a container is not empty",
+            scenario: "place the empty vial on the hotplate and start heating",
+            prepare: noop,
+            workflow: |tb| {
+                with_vial_in_hand(tb)
+                    .move_to("viperx", Vec3::new(0.45, 0.37, 0.25))
+                    .then(Command::new(
+                        "viperx",
+                        ActionKind::PlaceObject {
+                            object: "vial".into(),
+                            into: Some("hotplate".into()),
+                        },
+                    ))
+                    .start_action("hotplate", 60.0)
+            },
+        },
+        RuleScenario {
+            rule: RuleId::General(7),
+            description: "Transfer requires both stoppers off",
+            scenario: "transfer from the vial while it is capped",
+            prepare: fill_vial,
+            workflow: |_| {
+                preamble()
+                    .cap("vial")
+                    .transfer("vial", "vial", Substance::Liquid, 1.0)
+            },
+        },
+        RuleScenario {
+            rule: RuleId::General(8),
+            description: "Transfer only into a container with room to receive",
+            scenario: "dose 50 mg into a 10 mg vial (P's overdose scenario)",
+            prepare: noop,
+            workflow: |tb| {
+                let dose = tb.locations.dosing_viperx;
+                with_vial_in_hand(tb)
+                    .set_door("dosing_device", true)
+                    .move_to("viperx", dose.approach)
+                    .move_inside("viperx", "dosing_device")
+                    .then(Command::new(
+                        "viperx",
+                        ActionKind::PlaceObject {
+                            object: "vial".into(),
+                            into: Some("dosing_device".into()),
+                        },
+                    ))
+                    .move_out("viperx")
+                    .set_door("dosing_device", false)
+                    .dose_solid("dosing_device", 50.0, "vial")
+            },
+        },
+        RuleScenario {
+            rule: RuleId::General(9),
+            description: "Devices with doors start running only when their doors are closed",
+            scenario: "dose while the dosing-device door is open",
+            prepare: noop,
+            workflow: |_| {
+                preamble()
+                    .set_door("dosing_device", true)
+                    .dose_solid("dosing_device", 2.0, "vial")
+            },
+        },
+        RuleScenario {
+            rule: RuleId::General(10),
+            description: "Device doors stay closed while the device is running",
+            scenario: "open the dosing-device door mid-dose",
+            prepare: noop,
+            workflow: |tb| {
+                let dose = tb.locations.dosing_viperx;
+                with_vial_in_hand(tb)
+                    .set_door("dosing_device", true)
+                    .move_to("viperx", dose.approach)
+                    .move_inside("viperx", "dosing_device")
+                    .then(Command::new(
+                        "viperx",
+                        ActionKind::PlaceObject {
+                            object: "vial".into(),
+                            into: Some("dosing_device".into()),
+                        },
+                    ))
+                    .move_out("viperx")
+                    .set_door("dosing_device", false)
+                    .start_action("dosing_device", 2.0)
+                    .set_door("dosing_device", true)
+            },
+        },
+        RuleScenario {
+            rule: RuleId::General(11),
+            description: "Action value must not exceed the device's predefined threshold",
+            scenario: "heat the hotplate to 500 °C (threshold 150 °C)",
+            prepare: fill_vial,
+            workflow: |tb| {
+                with_vial_in_hand(tb)
+                    .move_to("viperx", Vec3::new(0.45, 0.37, 0.25))
+                    .then(Command::new(
+                        "viperx",
+                        ActionKind::PlaceObject {
+                            object: "vial".into(),
+                            into: Some("hotplate".into()),
+                        },
+                    ))
+                    .start_action("hotplate", 500.0)
+            },
+        },
+        RuleScenario {
+            rule: RuleId::Custom("1".to_string()),
+            description: "Add liquid to a container only if it already has solid",
+            scenario: "dose solvent into the still-empty vial",
+            prepare: noop,
+            workflow: |_| preamble().dose_liquid("syringe_pump", 2.0, "vial"),
+        },
+        RuleScenario {
+            rule: RuleId::Custom("2".to_string()),
+            description: "Centrifuge only containers holding both solid and liquid",
+            scenario: "place the empty (capped) vial into the centrifuge",
+            prepare: noop,
+            workflow: |tb| {
+                with_vial_in_hand(tb)
+                    .cap("vial")
+                    .set_door("centrifuge", true)
+                    .move_to("viperx", Vec3::new(-0.25, 0.10, 0.28))
+                    .then(Command::new(
+                        "viperx",
+                        ActionKind::PlaceObject {
+                            object: "vial".into(),
+                            into: Some("centrifuge".into()),
+                        },
+                    ))
+            },
+        },
+        RuleScenario {
+            rule: RuleId::Custom("3".to_string()),
+            description: "Centrifuge only when the red dot faces North",
+            scenario: "load the centrifuge after a spin left the dot askew",
+            prepare: |tb| {
+                fill_vial(tb);
+                misalign_centrifuge(tb);
+            },
+            workflow: |tb| {
+                with_vial_in_hand(tb)
+                    .cap("vial")
+                    .set_door("centrifuge", true)
+                    .move_to("viperx", Vec3::new(-0.25, 0.10, 0.28))
+                    .then(Command::new(
+                        "viperx",
+                        ActionKind::PlaceObject {
+                            object: "vial".into(),
+                            into: Some("centrifuge".into()),
+                        },
+                    ))
+            },
+        },
+        RuleScenario {
+            rule: RuleId::Custom("4".to_string()),
+            description: "Centrifuge only containers with a stopper on",
+            scenario: "load an uncapped vial into the centrifuge",
+            prepare: fill_vial,
+            workflow: |tb| {
+                with_vial_in_hand(tb)
+                    .decap("vial")
+                    .set_door("centrifuge", true)
+                    .move_to("viperx", Vec3::new(-0.25, 0.10, 0.28))
+                    .then(Command::new(
+                        "viperx",
+                        ActionKind::PlaceObject {
+                            object: "vial".into(),
+                            into: Some("centrifuge".into()),
+                        },
+                    ))
+            },
+        },
+    ]
+}
+
+/// Runs one scenario under `stage`, checking detection and attribution.
+pub fn run_scenario(scenario: &RuleScenario, stage: RabitStage) -> ScenarioOutcome {
+    let mut tb = Testbed::new();
+    (scenario.prepare)(&mut tb);
+    let wf = (scenario.workflow)(&tb);
+    let mut rabit = tb.rabit(stage);
+    // Believed initial facts that no sensor reports: the vial's contents
+    // and stopper state as physically prepared.
+    rabit.initialize(&mut tb.lab);
+    if let Some(v) = tb
+        .lab
+        .device(&"vial".into())
+        .and_then(rabit_core::LabDevice::as_vial)
+    {
+        rabit.believe(
+            &"vial".into(),
+            rabit_devices::StateKey::SolidMg,
+            v.solid_mg(),
+        );
+        rabit.believe(
+            &"vial".into(),
+            rabit_devices::StateKey::LiquidMl,
+            v.liquid_ml(),
+        );
+        rabit.believe(
+            &"vial".into(),
+            rabit_devices::StateKey::HasStopper,
+            v.has_stopper(),
+        );
+    }
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    let (detected, right_rule) = match &report.alert {
+        Some(Alert::InvalidCommand { violations, .. }) => {
+            (true, violations.iter().any(|v| v.rule == scenario.rule))
+        }
+        Some(alert) => (alert.is_rabit_detection(), false),
+        None => (false, false),
+    };
+    ScenarioOutcome {
+        rule: scenario.rule.clone(),
+        detected,
+        right_rule,
+        alert: report.alert.map(|a| a.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_scenario_is_detected_with_the_right_rule() {
+        for scenario in rule_scenarios() {
+            let outcome = run_scenario(&scenario, RabitStage::Modified);
+            assert!(
+                outcome.detected,
+                "{}: not detected ({:?})",
+                scenario.rule, outcome.alert
+            );
+            assert!(
+                outcome.right_rule,
+                "{}: detected but attributed elsewhere: {:?}",
+                scenario.rule, outcome.alert
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_cover_all_fifteen_rules() {
+        let scenarios = rule_scenarios();
+        assert_eq!(scenarios.len(), 15);
+        let generals = scenarios
+            .iter()
+            .filter(|s| matches!(s.rule, RuleId::General(_)))
+            .count();
+        assert_eq!(generals, 11);
+    }
+
+    #[test]
+    fn scenarios_also_detected_with_simulator_attached() {
+        for scenario in rule_scenarios() {
+            let outcome = run_scenario(&scenario, RabitStage::ModifiedWithSimulator);
+            assert!(
+                outcome.detected,
+                "{}: not detected with simulator ({:?})",
+                scenario.rule, outcome.alert
+            );
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! The 16-bug catalog of the uncontrolled study (§IV).
+//!
+//! "Our collaborator, the 'naive' programmer, carried out 16 program
+//! changes with potentially unsafe consequences." Each [`Bug`] is one
+//! such change: a mutation of the safe Fig. 5 workflow (delete a command,
+//! change an argument, insert or reorder commands), annotated with its
+//! behaviour category, its Table V severity class, and the configuration
+//! in which RABIT is expected to first detect it.
+
+use rabit_core::Severity;
+use rabit_devices::{ActionKind, Command};
+use rabit_geometry::Vec3;
+use rabit_testbed::{workflows, Locations, RabitStage};
+use rabit_tracer::Workflow;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four unsafe-behaviour categories of §IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BugCategory {
+    /// 1 — "Interactions with the dosing device door".
+    DoorInteraction,
+    /// 2 — "Collisions between two robot arms".
+    ArmCollision,
+    /// 3 — "Experiments without a vial".
+    MissingVial,
+    /// 4 — "Changing position coordinates" (and other command arguments).
+    CoordinateChange,
+}
+
+impl fmt::Display for BugCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugCategory::DoorInteraction => f.write_str("dosing-device door"),
+            BugCategory::ArmCollision => f.write_str("two robot arms"),
+            BugCategory::MissingVial => f.write_str("experiment without a vial"),
+            BugCategory::CoordinateChange => f.write_str("position coordinates"),
+        }
+    }
+}
+
+/// When a bug is first detected across the study's configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectedFrom {
+    /// Detected by baseline RABIT (and every later configuration).
+    Baseline,
+    /// Detected only after the mid-study modifications.
+    Modified,
+    /// Detected only with the Extended Simulator attached.
+    Simulator,
+    /// Never detected by RABIT (the paper's residue: no gripper sensor,
+    /// silently-skipped commands on one arm).
+    Never,
+}
+
+impl DetectedFrom {
+    /// Whether the bug is expected to be detected under `stage`.
+    pub fn expected_at(&self, stage: RabitStage) -> bool {
+        match (self, stage) {
+            (DetectedFrom::Baseline, _) => true,
+            (DetectedFrom::Modified, RabitStage::Baseline) => false,
+            (DetectedFrom::Modified, _) => true,
+            (DetectedFrom::Simulator, RabitStage::ModifiedWithSimulator) => true,
+            (DetectedFrom::Simulator, _) => false,
+            (DetectedFrom::Never, _) => false,
+        }
+    }
+}
+
+/// One catalogued bug.
+pub struct Bug {
+    /// Stable identifier (`bug_a_door_not_reopened`, …).
+    pub id: &'static str,
+    /// What the naive programmer changed, in prose.
+    pub description: &'static str,
+    /// §IV behaviour category.
+    pub category: BugCategory,
+    /// Table V severity of the potential damage.
+    pub severity: Severity,
+    /// Configuration from which RABIT detects it.
+    pub detected_from: DetectedFrom,
+    /// The mutation applied to the safe workflow.
+    mutate: fn(&mut Workflow, &Locations),
+}
+
+impl fmt::Debug for Bug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bug")
+            .field("id", &self.id)
+            .field("category", &self.category)
+            .field("severity", &self.severity)
+            .field("detected_from", &self.detected_from)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Bug {
+    /// Builds the buggy workflow: the safe Fig. 5 workflow with this
+    /// bug's mutation applied.
+    pub fn buggy_workflow(&self, loc: &Locations) -> Workflow {
+        let mut wf = workflows::fig5_safe_workflow(loc).renamed(format!("fig5_{}", self.id));
+        (self.mutate)(&mut wf, loc);
+        wf
+    }
+}
+
+fn find(wf: &Workflow, needle: &str) -> usize {
+    wf.find(needle)
+        .unwrap_or_else(|| panic!("safe workflow lacks '{needle}'"))
+}
+
+fn nth(wf: &Workflow, needle: &str, n: usize) -> usize {
+    wf.commands()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.to_string().contains(needle))
+        .map(|(i, _)| i)
+        .nth(n)
+        .unwrap_or_else(|| panic!("safe workflow lacks occurrence {n} of '{needle}'"))
+}
+
+fn mv(arm: &str, target: Vec3) -> Command {
+    Command::new(arm, ActionKind::MoveToLocation { target })
+}
+
+/// The full 16-bug catalog, in study order.
+pub fn catalog() -> Vec<Bug> {
+    vec![
+        // ---- Category 1: dosing-device door (all detected, §IV.1) ----
+        Bug {
+            id: "bug_a_door_not_reopened",
+            description: "Bug A: the door re-open before retrieving the vial is \
+                          omitted; ViperX collides with the closed glass door",
+            category: BugCategory::DoorInteraction,
+            severity: Severity::High,
+            detected_from: DetectedFrom::Baseline,
+            mutate: |wf, _| {
+                let idx = workflows::door_reopen_index(wf);
+                wf.delete(idx);
+            },
+        },
+        Bug {
+            id: "door_closed_on_arm",
+            description: "the door is commanded shut while ViperX is still \
+                          inside the dosing device",
+            category: BugCategory::DoorInteraction,
+            severity: Severity::High,
+            detected_from: DetectedFrom::Baseline,
+            mutate: |wf, _| {
+                let idx = find(wf, "move_robot_inside(dosing_device)") + 1;
+                wf.insert(
+                    idx,
+                    Command::new("dosing_device", ActionKind::SetDoor { open: false }),
+                );
+            },
+        },
+        Bug {
+            id: "initial_door_open_omitted",
+            description: "the initial open_door() call is omitted (the footnote-1 \
+                          scenario: the programmer forgot Line 13 of doseSolid)",
+            category: BugCategory::DoorInteraction,
+            severity: Severity::High,
+            detected_from: DetectedFrom::Baseline,
+            mutate: |wf, _| {
+                let idx = find(wf, "dosing_device.open_door");
+                wf.delete(idx);
+            },
+        },
+        Bug {
+            id: "dose_with_door_open",
+            description: "the close_door() before dosing is omitted; powder \
+                          drifts out of the open chamber",
+            category: BugCategory::DoorInteraction,
+            severity: Severity::Low,
+            detected_from: DetectedFrom::Baseline,
+            mutate: |wf, _| {
+                let idx = find(wf, "dosing_device.close_door");
+                wf.delete(idx);
+            },
+        },
+        // ---- Category 4: coordinates & arguments ----
+        Bug {
+            id: "hotplate_overtemp",
+            description: "a stirring step is added with the temperature argument \
+                          mistyped as 500 °C (threshold: 150 °C)",
+            category: BugCategory::CoordinateChange,
+            severity: Severity::High,
+            detected_from: DetectedFrom::Baseline,
+            mutate: |wf, loc| {
+                // After the vial is back in the grid, carry it to the
+                // hotplate and stir — with a catastrophic setpoint.
+                let idx = find(wf, "viperx.go_to_sleep");
+                let grid = loc.grid_nw_viperx;
+                let hot_side = Vec3::new(0.45, 0.37, 0.25);
+                for (offset, cmd) in [
+                    mv("viperx", grid.pickup_safe_height),
+                    mv("viperx", grid.pickup),
+                    Command::new(
+                        "viperx",
+                        ActionKind::PickObject {
+                            object: "vial".into(),
+                        },
+                    ),
+                    mv("viperx", grid.pickup_safe_height),
+                    mv("viperx", hot_side),
+                    Command::new(
+                        "viperx",
+                        ActionKind::PlaceObject {
+                            object: "vial".into(),
+                            into: Some("hotplate".into()),
+                        },
+                    ),
+                    Command::new("hotplate", ActionKind::StartAction { value: 500.0 }),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    wf.insert(idx + offset, cmd);
+                }
+            },
+        },
+        Bug {
+            id: "target_inside_doser",
+            description: "the dosing approach coordinate is mistyped so the \
+                          target lies inside the dosing device's volume",
+            category: BugCategory::CoordinateChange,
+            severity: Severity::High,
+            detected_from: DetectedFrom::Baseline,
+            mutate: |wf, _| {
+                let idx = nth(wf, "viperx.move_to_location(0.1500", 0);
+                wf.replace(idx, mv("viperx", Vec3::new(0.15, 0.50, 0.15)));
+            },
+        },
+        Bug {
+            id: "target_inside_centrifuge",
+            description: "a waypoint is mistyped into the centrifuge's volume",
+            category: BugCategory::CoordinateChange,
+            severity: Severity::High,
+            detected_from: DetectedFrom::Baseline,
+            mutate: |wf, _| {
+                let idx = find(wf, "viperx.go_to_home_pose") + 1;
+                wf.insert(idx, mv("viperx", Vec3::new(-0.25, -0.05, 0.10)));
+            },
+        },
+        Bug {
+            id: "bare_arm_platform",
+            description: "Bug D (empty gripper): the grid safe height is \
+                          mistyped as z = 0.03, driving the gripper into the \
+                          platform",
+            category: BugCategory::CoordinateChange,
+            severity: Severity::MediumHigh,
+            detected_from: DetectedFrom::Baseline,
+            mutate: |wf, loc| {
+                let s = loc.grid_nw_viperx.pickup_safe_height;
+                let needle = format!(
+                    "viperx.move_to_location({:.4}, {:.4}, {:.4})",
+                    s.x, s.y, s.z
+                );
+                let idx = nth(wf, &needle, 0);
+                wf.replace(idx, mv("viperx", Vec3::new(0.537, 0.018, 0.03)));
+            },
+        },
+        // ---- Category 2: two robot arms ----
+        Bug {
+            id: "concurrent_motion",
+            description: "Ned2 is commanded to move before parking, while \
+                          ViperX is active in the shared workspace",
+            category: BugCategory::ArmCollision,
+            severity: Severity::MediumHigh,
+            detected_from: DetectedFrom::Modified,
+            mutate: |wf, _| {
+                wf.insert(0, mv("ned2", Vec3::new(0.85, 0.25, 0.30)));
+            },
+        },
+        Bug {
+            id: "bug_b_arm_collision",
+            description: "Bug B: Ned2 is sent to a 'random' location close to \
+                          the grid while ViperX is stationed above it — the two \
+                          arms collide",
+            category: BugCategory::ArmCollision,
+            severity: Severity::MediumHigh,
+            detected_from: DetectedFrom::Modified,
+            mutate: |wf, loc| {
+                let idx = workflows::bug_b_insertion_index(wf);
+                wf.insert(idx, mv("ned2", loc.random_location_ned2));
+            },
+        },
+        Bug {
+            id: "sleep_intrusion",
+            description: "ViperX is sent into the corner where Ned2 sleeps",
+            category: BugCategory::ArmCollision,
+            severity: Severity::MediumHigh,
+            detected_from: DetectedFrom::Modified,
+            mutate: |wf, _| {
+                let idx = find(wf, "viperx.go_to_home_pose") + 1;
+                wf.insert(idx, mv("viperx", Vec3::new(0.75, -0.28, 0.15)));
+            },
+        },
+        // ---- Category 4 continued ----
+        Bug {
+            id: "held_vial_low",
+            description: "Bug D (holding): a carry waypoint is mistyped as \
+                          z = 0.08 — safe for the bare arm, but the held vial \
+                          crashes into the platform",
+            category: BugCategory::CoordinateChange,
+            severity: Severity::MediumLow,
+            detected_from: DetectedFrom::Modified,
+            mutate: |wf, loc| {
+                // The move back to grid safe height right after retrieving
+                // the vial from the dosing device (holding): occurrence 2
+                // of the safe-height waypoint (0 = before the first pick,
+                // 1 = after it, 2 = the post-retrieval carry).
+                let s = loc.grid_nw_viperx.pickup_safe_height;
+                let needle = format!(
+                    "viperx.move_to_location({:.4}, {:.4}, {:.4})",
+                    s.x, s.y, s.z
+                );
+                let idx = nth(wf, &needle, 2);
+                wf.replace(idx, mv("viperx", Vec3::new(0.35, 0.15, 0.08)));
+            },
+        },
+        Bug {
+            id: "silent_skip_path",
+            description: "footnote 2: an avoid-the-grid waypoint is mistyped to \
+                          an infeasible position; ViperX silently skips it and \
+                          the direct path slices through the grid",
+            category: BugCategory::CoordinateChange,
+            severity: Severity::MediumHigh,
+            detected_from: DetectedFrom::Simulator,
+            mutate: |wf, _| {
+                let idx = find(wf, "viperx.go_to_home_pose") + 1;
+                // Route south-of-grid → (over the top) → north-of-grid,
+                // with the clearing waypoint corrupted to B'.
+                wf.insert(idx, mv("viperx", Vec3::new(0.537, -0.12, 0.07)));
+                wf.insert(idx + 1, mv("viperx", Vec3::new(5.0, 5.0, 5.0)));
+                wf.insert(idx + 2, mv("viperx", Vec3::new(0.537, 0.14, 0.07)));
+            },
+        },
+        Bug {
+            id: "ned2_infeasible_high",
+            description: "Ned2 is sent to a very high, clearly infeasible \
+                          position; its controller throws an exception and \
+                          halts (a device fault, not a RABIT detection)",
+            category: BugCategory::CoordinateChange,
+            severity: Severity::MediumHigh,
+            detected_from: DetectedFrom::Never,
+            mutate: |wf, _| {
+                let idx = nth(wf, "ned2.go_to_home_pose", 0);
+                wf.replace(idx, mv("ned2", Vec3::new(0.85, 0.0, 2.0)));
+            },
+        },
+        // ---- Category 3: experiments without a vial ----
+        Bug {
+            id: "bug_c_pick_omitted",
+            description: "Bug C: the pick_up call is omitted; the experiment \
+                          continues without a vial and the dose spills into the \
+                          empty chamber",
+            category: BugCategory::MissingVial,
+            severity: Severity::Low,
+            detected_from: DetectedFrom::Never,
+            mutate: |wf, _| {
+                let idx = workflows::first_pick_index(wf);
+                wf.delete(idx);
+            },
+        },
+        Bug {
+            id: "gripper_reorder",
+            description: "open_gripper/close_gripper are reordered inside the \
+                          pick helper; the jaws close on air and the experiment \
+                          continues without a vial",
+            category: BugCategory::MissingVial,
+            severity: Severity::Low,
+            detected_from: DetectedFrom::Never,
+            mutate: |wf, _| {
+                let idx = workflows::first_pick_index(wf);
+                wf.replace(idx, Command::new("viperx", ActionKind::CloseGripper));
+                wf.insert(idx + 1, Command::new("viperx", ActionKind::OpenGripper));
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_testbed::locations;
+
+    #[test]
+    fn catalog_has_sixteen_bugs_with_unique_ids() {
+        let bugs = catalog();
+        assert_eq!(bugs.len(), 16);
+        let mut ids: Vec<&str> = bugs.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn severity_totals_match_table_v() {
+        let bugs = catalog();
+        let count = |s: Severity| bugs.iter().filter(|b| b.severity == s).count();
+        assert_eq!(count(Severity::Low), 3);
+        assert_eq!(count(Severity::MediumLow), 1);
+        assert_eq!(count(Severity::MediumHigh), 6);
+        assert_eq!(count(Severity::High), 6);
+    }
+
+    #[test]
+    fn expected_detection_counts_match_the_paper() {
+        let bugs = catalog();
+        let detected = |stage: RabitStage| {
+            bugs.iter()
+                .filter(|b| b.detected_from.expected_at(stage))
+                .count()
+        };
+        assert_eq!(detected(RabitStage::Baseline), 8, "50% of 16");
+        assert_eq!(detected(RabitStage::Modified), 12, "75% of 16");
+        assert_eq!(detected(RabitStage::ModifiedWithSimulator), 13, "81% of 16");
+    }
+
+    #[test]
+    fn table_v_detected_column_matches() {
+        // Table V reports the modified configuration.
+        let bugs = catalog();
+        let detected = |s: Severity| {
+            bugs.iter()
+                .filter(|b| b.severity == s && b.detected_from.expected_at(RabitStage::Modified))
+                .count()
+        };
+        assert_eq!(detected(Severity::Low), 1);
+        assert_eq!(detected(Severity::MediumLow), 1);
+        assert_eq!(detected(Severity::MediumHigh), 4);
+        assert_eq!(detected(Severity::High), 6);
+    }
+
+    #[test]
+    fn every_mutation_changes_the_workflow() {
+        let loc = locations();
+        let safe = workflows::fig5_safe_workflow(&loc);
+        for bug in catalog() {
+            let buggy = bug.buggy_workflow(&loc);
+            assert_ne!(buggy.commands(), safe.commands(), "{} is a no-op", bug.id);
+            assert!(buggy.name().contains(bug.id));
+        }
+    }
+
+    #[test]
+    fn category_sizes() {
+        let bugs = catalog();
+        let count = |c: BugCategory| bugs.iter().filter(|b| b.category == c).count();
+        assert_eq!(count(BugCategory::DoorInteraction), 4);
+        assert_eq!(count(BugCategory::ArmCollision), 3);
+        assert_eq!(count(BugCategory::MissingVial), 2);
+        assert_eq!(count(BugCategory::CoordinateChange), 7);
+        assert!(!BugCategory::DoorInteraction.to_string().is_empty());
+    }
+}

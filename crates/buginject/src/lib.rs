@@ -1,0 +1,37 @@
+//! The bug-injection framework: the paper's uncontrolled study, made
+//! deterministic.
+//!
+//! "We asked one of our collaborators to modify the experiment scripts …
+//! and introduce bugs in them, as if they were a naive programmer. …
+//! \[They\] carried out 16 program changes with potentially unsafe
+//! consequences." (§IV)
+//!
+//! * [`catalog`] — the 16 bugs, each a mutation of the safe Fig. 5
+//!   workflow, annotated with category, Table V severity, and the
+//!   configuration that first detects it;
+//! * [`run_study`] — executes the catalog against one of the three RABIT
+//!   configurations, scoring detections against the damage oracle;
+//! * [`false_positives`] — the safe-workflow suite behind the paper's
+//!   "RABIT never produced any false positives".
+//!
+//! # Example
+//!
+//! ```
+//! use rabit_buginject::{run_study, RabitStage};
+//!
+//! let result = run_study(RabitStage::Baseline);
+//! assert_eq!(result.detected(), 8); // the paper's 50%
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod runner;
+
+pub use catalog::{catalog, Bug, BugCategory, DetectedFrom};
+pub use runner::{
+    false_positives, run_bug, run_study, run_study_parallel, BugOutcome, StudyResult,
+};
+// Re-export the stage enum so harnesses need only this crate.
+pub use rabit_testbed::RabitStage;

@@ -1,0 +1,297 @@
+//! The study runner: executes each catalogued bug against a RABIT
+//! configuration and scores detection against the damage oracle.
+
+use crate::catalog::{catalog, Bug, BugCategory};
+use rabit_core::{DamageEvent, Severity};
+use rabit_testbed::{workflows, RabitStage, Testbed};
+use rabit_tracer::Tracer;
+
+/// Outcome of one bug under one configuration.
+#[derive(Debug)]
+pub struct BugOutcome {
+    /// The bug's id.
+    pub id: &'static str,
+    /// §IV category.
+    pub category: BugCategory,
+    /// Table V severity.
+    pub severity: Severity,
+    /// Whether RABIT raised an alert (device faults do not count — the
+    /// paper's detection rate measures RABIT's own checks).
+    pub detected: bool,
+    /// The alert text, if any (including device faults).
+    pub alert: Option<String>,
+    /// Whether the alert was a device fault rather than a RABIT check.
+    pub device_fault: bool,
+    /// Physical damage that occurred during the (guarded) run.
+    pub damage: Vec<DamageEvent>,
+}
+
+/// Aggregated study results for one configuration.
+#[derive(Debug)]
+pub struct StudyResult {
+    /// The configuration evaluated.
+    pub stage: RabitStage,
+    /// Per-bug outcomes, in catalog order.
+    pub outcomes: Vec<BugOutcome>,
+}
+
+impl StudyResult {
+    /// Number of detected bugs.
+    pub fn detected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.detected).count()
+    }
+
+    /// Detection rate over the 16 bugs.
+    pub fn detection_rate(&self) -> f64 {
+        self.detected() as f64 / self.outcomes.len() as f64
+    }
+
+    /// `(total, detected)` per severity class — one row of Table V.
+    pub fn severity_row(&self, severity: Severity) -> (usize, usize) {
+        let total = self
+            .outcomes
+            .iter()
+            .filter(|o| o.severity == severity)
+            .count();
+        let detected = self
+            .outcomes
+            .iter()
+            .filter(|o| o.severity == severity && o.detected)
+            .count();
+        (total, detected)
+    }
+}
+
+/// Runs one bug on a fresh testbed under `stage`.
+pub fn run_bug(bug: &Bug, stage: RabitStage) -> BugOutcome {
+    let mut tb = Testbed::new();
+    let wf = bug.buggy_workflow(&tb.locations);
+    let mut rabit = tb.rabit(stage);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    let (detected, device_fault) = match &report.alert {
+        Some(alert) => (alert.is_rabit_detection(), !alert.is_rabit_detection()),
+        None => (false, false),
+    };
+    BugOutcome {
+        id: bug.id,
+        category: bug.category,
+        severity: bug.severity,
+        detected,
+        alert: report.alert.as_ref().map(ToString::to_string),
+        device_fault,
+        damage: tb.lab.damage_log().to_vec(),
+    }
+}
+
+/// Runs the whole 16-bug study under one configuration.
+pub fn run_study(stage: RabitStage) -> StudyResult {
+    let outcomes = catalog().iter().map(|bug| run_bug(bug, stage)).collect();
+    StudyResult { stage, outcomes }
+}
+
+/// Runs the study with every bug on its own thread (each gets a fresh
+/// testbed, so the runs are fully independent). Results are identical to
+/// [`run_study`]; wall-clock time is not — this is the regression-suite
+/// fast path a lab runs before each deployment.
+pub fn run_study_parallel(stage: RabitStage) -> StudyResult {
+    let bugs = catalog();
+    let mut outcomes: Vec<Option<BugOutcome>> = Vec::new();
+    outcomes.resize_with(bugs.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, bug) in outcomes.iter_mut().zip(bugs.iter()) {
+            scope.spawn(move |_| {
+                *slot = Some(run_bug(bug, stage));
+            });
+        }
+    })
+    .expect("study worker panicked");
+    StudyResult {
+        stage,
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("worker filled slot"))
+            .collect(),
+    }
+}
+
+/// Runs the safe workflows under `stage` and returns the number of false
+/// positives (alerts raised on safe behaviour). The paper: "throughout
+/// testing, RABIT never produced any false positives."
+pub fn false_positives(stage: RabitStage) -> usize {
+    let mut count = 0;
+    for builder in [workflows::fig5_safe_workflow, workflows::device_tour] {
+        let mut tb = Testbed::new();
+        let wf = builder(&tb.locations);
+        let mut rabit = tb.rabit(stage);
+        let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+        if report.alert.is_some() {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DetectedFrom;
+
+    #[test]
+    fn baseline_detects_8_of_16() {
+        let result = run_study(RabitStage::Baseline);
+        for (o, bug) in result.outcomes.iter().zip(catalog()) {
+            assert_eq!(
+                o.detected,
+                bug.detected_from.expected_at(RabitStage::Baseline),
+                "{}: alert {:?}, damage {:?}",
+                o.id,
+                o.alert,
+                o.damage
+            );
+        }
+        assert_eq!(result.detected(), 8);
+        assert!((result.detection_rate() - 0.50).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modified_detects_12_of_16() {
+        let result = run_study(RabitStage::Modified);
+        for (o, bug) in result.outcomes.iter().zip(catalog()) {
+            assert_eq!(
+                o.detected,
+                bug.detected_from.expected_at(RabitStage::Modified),
+                "{}: alert {:?}, damage {:?}",
+                o.id,
+                o.alert,
+                o.damage
+            );
+        }
+        assert_eq!(result.detected(), 12);
+        assert!((result.detection_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulator_detects_13_of_16() {
+        let result = run_study(RabitStage::ModifiedWithSimulator);
+        for (o, bug) in result.outcomes.iter().zip(catalog()) {
+            assert_eq!(
+                o.detected,
+                bug.detected_from
+                    .expected_at(RabitStage::ModifiedWithSimulator),
+                "{}: alert {:?}, damage {:?}",
+                o.id,
+                o.alert,
+                o.damage
+            );
+        }
+        assert_eq!(result.detected(), 13);
+        assert!((result.detection_rate() - 0.8125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_v_rows_reproduce() {
+        // Table V reports the modified configuration.
+        let result = run_study(RabitStage::Modified);
+        assert_eq!(result.severity_row(Severity::Low), (3, 1));
+        assert_eq!(result.severity_row(Severity::MediumLow), (1, 1));
+        assert_eq!(result.severity_row(Severity::MediumHigh), (6, 4));
+        assert_eq!(result.severity_row(Severity::High), (6, 6));
+    }
+
+    #[test]
+    fn parallel_study_matches_serial() {
+        let serial = run_study(RabitStage::Modified);
+        let parallel = run_study_parallel(RabitStage::Modified);
+        assert_eq!(parallel.detected(), serial.detected());
+        for (a, b) in serial.outcomes.iter().zip(parallel.outcomes.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.detected, b.detected);
+            assert_eq!(a.alert, b.alert);
+            assert_eq!(a.damage.len(), b.damage.len());
+        }
+    }
+
+    #[test]
+    fn no_false_positives_in_any_configuration() {
+        for stage in [
+            RabitStage::Baseline,
+            RabitStage::Modified,
+            RabitStage::ModifiedWithSimulator,
+        ] {
+            assert_eq!(false_positives(stage), 0, "false positives at {stage:?}");
+        }
+    }
+
+    #[test]
+    fn detected_bugs_cause_no_damage_when_guarded() {
+        // RABIT stops the experiment BEFORE the unsafe command executes,
+        // so a detected bug must leave the lab unharmed — except for
+        // malfunction-style detections, which fire after execution.
+        let result = run_study(RabitStage::Modified);
+        for o in &result.outcomes {
+            if o.detected {
+                assert!(
+                    o.damage.is_empty(),
+                    "{} was detected yet caused damage: {:?}",
+                    o.id,
+                    o.damage
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undetected_physical_bugs_do_damage() {
+        // The undetected residue either damages the lab (Bug B/C/D
+        // classes) or halts on a device fault (Ned2).
+        let result = run_study(RabitStage::Baseline);
+        for o in &result.outcomes {
+            if o.detected || o.device_fault {
+                continue;
+            }
+            let expects_damage = !matches!(o.id, "concurrent_motion");
+            if expects_damage {
+                assert!(
+                    !o.damage.is_empty(),
+                    "{} went undetected but caused no damage either",
+                    o.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ned2_bug_is_a_device_fault() {
+        let bug = catalog()
+            .into_iter()
+            .find(|b| b.id == "ned2_infeasible_high")
+            .unwrap();
+        let outcome = run_bug(&bug, RabitStage::Baseline);
+        assert!(!outcome.detected);
+        assert!(
+            outcome.device_fault,
+            "Ned2 throws and halts: {:?}",
+            outcome.alert
+        );
+        assert!(outcome.damage.is_empty(), "the exception prevented damage");
+        assert_eq!(bug.detected_from, DetectedFrom::Never);
+    }
+
+    #[test]
+    fn silent_skip_is_caught_only_by_the_simulator() {
+        let bug = catalog()
+            .into_iter()
+            .find(|b| b.id == "silent_skip_path")
+            .unwrap();
+        let base = run_bug(&bug, RabitStage::Modified);
+        assert!(!base.detected, "{:?}", base.alert);
+        assert!(
+            base.damage.iter().any(|d| d.description.contains("grid")),
+            "the skipped waypoint must cause the grid collision: {:?}",
+            base.damage
+        );
+        let with_sim = run_bug(&bug, RabitStage::ModifiedWithSimulator);
+        assert!(with_sim.detected, "{:?}", with_sim.alert);
+        assert!(with_sim.damage.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! JSON configuration for RABIT.
+//!
+//! "The JSON format provides a simple and standardized way to represent
+//! information, making it easy for researchers to modify and update the
+//! device information." (§II-C) The pilot study showed the cost of that
+//! flexibility: sign errors and syntax slips took hours to debug, and the
+//! paper concludes that "more precise JSON schema specifications could
+//! have helped". This crate is that conclusion implemented:
+//!
+//! * [`LabConfig`] — the schema (devices, types, doors, thresholds,
+//!   footprints, connection parameters, custom rules);
+//! * [`validate`] / [`to_catalog`] — the executable schema specification
+//!   turning a config into a [`rabit_rulebase::DeviceCatalog`] + custom
+//!   rules, rejecting the pilot study's error classes;
+//! * [`template`] — the filled-in testbed template and the pilot-study
+//!   error corpus.
+//!
+//! # Example
+//!
+//! ```
+//! use rabit_config::{template, to_catalog};
+//!
+//! let cfg = template::testbed_template();
+//! let (catalog, custom_rules) = to_catalog(&cfg)?;
+//! assert_eq!(custom_rules.len(), 4);
+//! assert!(catalog.has_door(&"dosing_device".into()));
+//! # Ok::<(), rabit_config::InvalidConfig>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod schema;
+pub mod template;
+mod validate;
+
+pub use schema::{BoxConfig, ConnectionConfig, CustomRuleConfig, DeviceConfig, LabConfig, Point};
+pub use validate::{
+    build_custom_rule, to_catalog, validate, ConfigIssue, InvalidConfig, IssueLevel,
+};

@@ -1,0 +1,220 @@
+//! The JSON configuration schema.
+//!
+//! "The lab researcher configures RABIT for their lab by instantiating
+//! their devices in the JSON files that we provide. They must categorize
+//! each device into its device type and enter its properties, including
+//! the class name that provides the device's APIs and additional
+//! properties (such as the presence and position of a door)." (§II-C)
+
+use rabit_geometry::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A 3D point in configuration form.
+pub type Point = [f64; 3];
+
+/// An axis-aligned box in configuration form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxConfig {
+    /// Minimum corner.
+    pub min: Point,
+    /// Maximum corner.
+    pub max: Point,
+}
+
+impl BoxConfig {
+    /// Converts to a geometry box (corners are normalised).
+    pub fn to_aabb(self) -> Aabb {
+        Aabb::new(Vec3::from_array(self.min), Vec3::from_array(self.max))
+    }
+}
+
+/// Device connection parameters ("RABIT also maintains a list of device
+/// connection parameters … to fetch the state of all devices", §II-C).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConnectionConfig {
+    /// Transport address (serial port, IP:port, …).
+    #[serde(default)]
+    pub address: String,
+    /// Protocol name.
+    #[serde(default)]
+    pub protocol: String,
+}
+
+/// One device entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Unique device id.
+    pub id: String,
+    /// Taxonomy type: `"container"`, `"robot_arm"`, `"dosing_system"`,
+    /// `"action_device"`, or `"custom:<name>"`.
+    #[serde(rename = "type")]
+    pub device_type: String,
+    /// The Python class exposing the device's APIs (documentation field,
+    /// mirrored from the paper's configuration).
+    #[serde(default)]
+    pub class_name: Option<String>,
+    /// Whether the device has a door.
+    #[serde(default)]
+    pub has_door: bool,
+    /// Free-form tags targeted by custom rules.
+    #[serde(default)]
+    pub tags: Vec<String>,
+    /// Firmware threshold on the action value.
+    #[serde(default)]
+    pub action_threshold: Option<f64>,
+    /// Whether the action device hosts a container while running (default
+    /// true; spray nozzles and X-ray sources set false — rules III-5/6
+    /// only bind hosting devices).
+    #[serde(default = "default_true")]
+    pub hosts_container: bool,
+    /// Stationary footprint cuboid.
+    #[serde(default)]
+    pub footprint: Option<BoxConfig>,
+    /// Robot arms: home tool position.
+    #[serde(default)]
+    pub home_location: Option<Point>,
+    /// Robot arms: sleep tool position.
+    #[serde(default)]
+    pub sleep_location: Option<Point>,
+    /// Robot arms: the cuboid a sleeping arm occupies.
+    #[serde(default)]
+    pub sleep_volume: Option<BoxConfig>,
+    /// Robot arms: allowed region under space multiplexing.
+    #[serde(default)]
+    pub allowed_region: Option<BoxConfig>,
+    /// Labels of the commands that execute actions on this device.
+    #[serde(default)]
+    pub action_commands: Vec<String>,
+    /// Labels of the commands that retrieve the device's state.
+    #[serde(default)]
+    pub status_commands: Vec<String>,
+    /// How RABIT talks to the device.
+    #[serde(default)]
+    pub connection: Option<ConnectionConfig>,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+/// A custom rule entry. Rules are selected by `kind`, parameterised by
+/// tag, matching the crate's custom-rule factories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustomRuleConfig {
+    /// Rule kind: `"liquid_after_solid"`,
+    /// `"centrifuge_needs_solid_and_liquid"`, `"centrifuge_red_dot_north"`,
+    /// `"centrifuge_needs_stopper"`.
+    pub kind: String,
+}
+
+/// The top-level lab configuration file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabConfig {
+    /// Lab name (e.g. `"Hein Lab"`).
+    pub lab_name: String,
+    /// The workspace bounds: every location in the file must fall inside
+    /// (the schema guard that would have caught participant P's sign
+    /// error, §V-A).
+    #[serde(default)]
+    pub workspace: Option<BoxConfig>,
+    /// All devices on the deck.
+    pub devices: Vec<DeviceConfig>,
+    /// Lab-specific rules.
+    #[serde(default)]
+    pub custom_rules: Vec<CustomRuleConfig>,
+}
+
+impl LabConfig {
+    /// Parses a configuration from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error (with line/column) for
+    /// syntax or schema mismatches — the error class that cost the pilot
+    /// study "a few JSON syntax errors".
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Serialises to pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error if serialisation fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Looks up a device entry by id.
+    pub fn device(&self, id: &str) -> Option<&DeviceConfig> {
+        self.devices.iter().find(|d| d.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_json() -> String {
+        r#"{
+            "lab_name": "Test Lab",
+            "devices": [
+                {"id": "arm", "type": "robot_arm",
+                 "home_location": [0.3, 0.0, 0.3],
+                 "sleep_location": [0.1, -0.3, 0.2]},
+                {"id": "doser", "type": "dosing_system", "has_door": true,
+                 "class_name": "DosingDevice",
+                 "footprint": {"min": [0.0, 0.3, 0.0], "max": [0.2, 0.5, 0.3]}}
+            ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn parses_minimal_config() {
+        let cfg = LabConfig::from_json(&minimal_json()).unwrap();
+        assert_eq!(cfg.lab_name, "Test Lab");
+        assert_eq!(cfg.devices.len(), 2);
+        let doser = cfg.device("doser").unwrap();
+        assert!(doser.has_door);
+        assert_eq!(doser.class_name.as_deref(), Some("DosingDevice"));
+        assert!(cfg.device("ghost").is_none());
+        assert!(cfg.custom_rules.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = LabConfig::from_json(&minimal_json()).unwrap();
+        let text = cfg.to_json().unwrap();
+        let back = LabConfig::from_json(&text).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn syntax_errors_carry_location() {
+        // A missing comma — the pilot study's error class.
+        let broken = minimal_json().replace("\"type\": \"robot_arm\",", "\"type\": \"robot_arm\"");
+        let err = LabConfig::from_json(&broken).unwrap_err();
+        assert!(err.line() > 0);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn box_config_converts() {
+        let b = BoxConfig {
+            min: [1.0, 1.0, 1.0],
+            max: [0.0, 0.0, 0.0],
+        };
+        let aabb = b.to_aabb();
+        assert_eq!(aabb.min(), Vec3::ZERO); // normalised
+        assert_eq!(aabb.max(), Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_loudly_enough() {
+        // serde tolerates unknown fields by default; the schema accepts
+        // them, but a *wrong-typed* known field errors.
+        let bad = minimal_json().replace("[0.3, 0.0, 0.3]", "\"0.3, 0.0, 0.3\"");
+        assert!(LabConfig::from_json(&bad).is_err());
+    }
+}

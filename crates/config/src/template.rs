@@ -1,0 +1,413 @@
+//! Configuration templates and the pilot-study error corpus.
+//!
+//! The paper's pilot study handed participant P "the configuration file
+//! templates" to fill in (§V-A). [`testbed_template_json`] is that
+//! template, filled with the testbed's values, and [`pilot_corpus`]
+//! replays the error classes P actually made.
+
+use crate::schema::LabConfig;
+
+/// The filled-in testbed configuration (matches `rabit-testbed`'s deck).
+pub fn testbed_template_json() -> String {
+    r#"{
+  "lab_name": "Hein Lab testbed",
+  "workspace": {"min": [-1.6, -1.6, 0.0], "max": [1.6, 1.6, 1.2]},
+  "devices": [
+    {
+      "id": "viperx",
+      "type": "robot_arm",
+      "class_name": "InterbotixManipulatorXS",
+      "home_location": [0.30, 0.0, 0.30],
+      "sleep_location": [0.12, -0.32, 0.15],
+      "sleep_volume": {"min": [0.0, -0.45, 0.0], "max": [0.25, -0.20, 0.30]},
+      "allowed_region": {"min": [-0.6, -0.6, 0.0], "max": [0.70, 0.7, 0.8]},
+      "action_commands": ["move_to_location", "pick_object", "place_object", "go_to_home_pose", "go_to_sleep_pose"],
+      "status_commands": ["get_joint_states"],
+      "connection": {"address": "/dev/ttyDXL", "protocol": "dynamixel"}
+    },
+    {
+      "id": "ned2",
+      "type": "robot_arm",
+      "class_name": "NiryoRobot",
+      "home_location": [0.85, 0.0, 0.25],
+      "sleep_location": [0.82, -0.32, 0.12],
+      "sleep_volume": {"min": [0.70, -0.45, 0.0], "max": [0.95, -0.20, 0.25]},
+      "allowed_region": {"min": [0.70, -0.6, 0.0], "max": [1.6, 0.7, 0.8]},
+      "action_commands": ["move_pose", "pick_from_pose", "place_from_pose"],
+      "status_commands": ["get_pose"],
+      "connection": {"address": "169.254.200.200", "protocol": "pyniryo"}
+    },
+    {
+      "id": "dosing_device",
+      "type": "dosing_system",
+      "class_name": "DosingDevice",
+      "has_door": true,
+      "footprint": {"min": [0.05, 0.42, 0.0], "max": [0.25, 0.57, 0.30]},
+      "action_commands": ["set_door", "run_action", "stop_action"],
+      "status_commands": ["get_door_state", "get_dosing_state"],
+      "connection": {"address": "COM4", "protocol": "serial"}
+    },
+    {
+      "id": "syringe_pump",
+      "type": "dosing_system",
+      "class_name": "SyringePump",
+      "footprint": {"min": [-0.30, 0.35, 0.0], "max": [-0.15, 0.50, 0.25]},
+      "action_commands": ["dose_liquid"],
+      "status_commands": ["get_pump_state"]
+    },
+    {
+      "id": "centrifuge",
+      "type": "action_device",
+      "class_name": "Centrifuge",
+      "has_door": true,
+      "tags": ["centrifuge"],
+      "action_threshold": 6000.0,
+      "footprint": {"min": [-0.35, -0.15, 0.0], "max": [-0.15, 0.05, 0.20]},
+      "action_commands": ["set_door", "start_action", "stop_action"],
+      "status_commands": ["get_state"]
+    },
+    {
+      "id": "hotplate",
+      "type": "action_device",
+      "class_name": "IkaHotplate",
+      "action_threshold": 150.0,
+      "footprint": {"min": [0.50, 0.30, 0.0], "max": [0.65, 0.45, 0.12]},
+      "action_commands": ["start_action", "stop_action"],
+      "status_commands": ["get_temperature"]
+    },
+    {
+      "id": "thermoshaker",
+      "type": "action_device",
+      "class_name": "Thermoshaker",
+      "action_threshold": 1500.0,
+      "footprint": {"min": [-0.45, -0.40, 0.0], "max": [-0.25, -0.25, 0.18]},
+      "action_commands": ["start_action", "stop_action"],
+      "status_commands": ["get_state"]
+    },
+    {
+      "id": "grid",
+      "type": "custom:grid",
+      "footprint": {"min": [0.45, -0.06, 0.0], "max": [0.63, 0.08, 0.10]}
+    },
+    {
+      "id": "vial",
+      "type": "container",
+      "class_name": "Vial"
+    }
+  ],
+  "custom_rules": [
+    {"kind": "liquid_after_solid"},
+    {"kind": "centrifuge_needs_solid_and_liquid"},
+    {"kind": "centrifuge_red_dot_north"},
+    {"kind": "centrifuge_needs_stopper"}
+  ]
+}"#
+    .to_string()
+}
+
+/// Parses the template (always valid).
+pub fn testbed_template() -> LabConfig {
+    LabConfig::from_json(&testbed_template_json()).expect("template is valid JSON")
+}
+
+/// The Berlinguette Lab configuration (§V-B): adapting RABIT to a new
+/// lab "by describing only the items specific to that environment" — a
+/// different arm, the decapper, the spray station, the XRF pair, and a
+/// proximity sensor, all expressed in the same schema.
+pub fn berlinguette_template_json() -> String {
+    r#"{
+  "lab_name": "Berlinguette Lab",
+  "workspace": {"min": [-1.4, -1.4, 0.0], "max": [1.4, 1.4, 1.5]},
+  "devices": [
+    {
+      "id": "ur5e",
+      "type": "robot_arm",
+      "class_name": "URDriver",
+      "home_location": [-0.6450, -0.1333, 0.3999],
+      "sleep_location": [-0.1776, -0.1333, 0.2909],
+      "sleep_volume": {"min": [-0.30, -0.30, 0.0], "max": [0.0, -0.02, 0.35]},
+      "action_commands": ["move_to_location", "pick_object", "place_object"],
+      "status_commands": ["get_joint_states"]
+    },
+    {
+      "id": "dosing_device",
+      "type": "dosing_system",
+      "class_name": "DosingDevice",
+      "has_door": true,
+      "footprint": {"min": [0.05, 0.45, 0.0], "max": [0.25, 0.62, 0.28]},
+      "action_commands": ["set_door", "run_action", "stop_action"],
+      "status_commands": ["get_door_state", "get_dosing_state"]
+    },
+    {
+      "id": "spray_pump",
+      "type": "dosing_system",
+      "class_name": "SyringePump",
+      "footprint": {"min": [-0.10, -0.62, 0.0], "max": [0.05, -0.47, 0.18]},
+      "action_commands": ["dose_liquid"],
+      "status_commands": ["get_pump_state"]
+    },
+    {
+      "id": "decapper",
+      "type": "action_device",
+      "class_name": "Decapper",
+      "action_threshold": 10.0,
+      "hosts_container": false,
+      "footprint": {"min": [-0.30, 0.30, 0.0], "max": [-0.14, 0.46, 0.20]},
+      "action_commands": ["start_action", "stop_action"],
+      "status_commands": ["get_state"]
+    },
+    {
+      "id": "spin_coater",
+      "type": "action_device",
+      "class_name": "SpinCoater",
+      "action_threshold": 6000.0,
+      "footprint": {"min": [-0.55, -0.10, 0.0], "max": [-0.35, 0.10, 0.15]},
+      "action_commands": ["start_action", "stop_action"],
+      "status_commands": ["get_rpm"]
+    },
+    {
+      "id": "spray_hotplate",
+      "type": "action_device",
+      "class_name": "IkaHotplate",
+      "tags": ["spray_hotplate"],
+      "action_threshold": 300.0,
+      "footprint": {"min": [0.30, -0.50, 0.0], "max": [0.46, -0.34, 0.06]},
+      "action_commands": ["start_action", "stop_action"],
+      "status_commands": ["get_temperature"]
+    },
+    {
+      "id": "nozzle_a",
+      "type": "action_device",
+      "class_name": "UltrasonicNozzle",
+      "tags": ["nozzle"],
+      "action_threshold": 120.0,
+      "hosts_container": false,
+      "footprint": {"min": [0.50, -0.45, 0.0], "max": [0.56, -0.39, 0.25]},
+      "action_commands": ["start_action", "stop_action"],
+      "status_commands": ["get_state"]
+    },
+    {
+      "id": "nozzle_b",
+      "type": "action_device",
+      "class_name": "UltrasonicNozzle",
+      "tags": ["nozzle"],
+      "action_threshold": 120.0,
+      "hosts_container": false,
+      "footprint": {"min": [0.58, -0.45, 0.0], "max": [0.64, -0.39, 0.25]},
+      "action_commands": ["start_action", "stop_action"],
+      "status_commands": ["get_state"]
+    },
+    {
+      "id": "xrf_source",
+      "type": "action_device",
+      "class_name": "XrfSource",
+      "tags": ["xrf"],
+      "action_threshold": 50.0,
+      "hosts_container": false,
+      "footprint": {"min": [0.55, 0.15, 0.0], "max": [0.75, 0.35, 0.30]},
+      "action_commands": ["start_action", "stop_action"],
+      "status_commands": ["get_kv"]
+    },
+    {
+      "id": "xrf_stage",
+      "type": "action_device",
+      "class_name": "XrfStage",
+      "tags": ["xrf"],
+      "action_threshold": 360.0,
+      "footprint": {"min": [0.55, 0.15, 0.0], "max": [0.75, 0.35, 0.05]},
+      "action_commands": ["start_action", "stop_action"],
+      "status_commands": ["get_angle"]
+    },
+    {
+      "id": "deck_sensor",
+      "type": "custom:proximity_sensor",
+      "class_name": "LidarCurtain",
+      "tags": ["proximity_sensor"],
+      "status_commands": ["get_occupancy"]
+    },
+    {
+      "id": "rack",
+      "type": "custom:grid",
+      "footprint": {"min": [0.50, -0.10, 0.0], "max": [0.65, 0.05, 0.08]}
+    },
+    {
+      "id": "vial_b",
+      "type": "container",
+      "class_name": "Vial"
+    }
+  ],
+  "custom_rules": [
+    {"kind": "liquid_after_solid"}
+  ]
+}"#
+    .to_string()
+}
+
+/// Parses the Berlinguette template (always valid).
+pub fn berlinguette_template() -> LabConfig {
+    LabConfig::from_json(&berlinguette_template_json()).expect("template is valid JSON")
+}
+
+/// One pilot-study configuration error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PilotError {
+    /// Which mistake class this reproduces.
+    pub name: &'static str,
+    /// What participant P did.
+    pub description: &'static str,
+    /// The corrupted JSON text.
+    pub json: String,
+    /// Whether the corruption is a JSON *syntax* error (caught by the
+    /// parser) as opposed to a semantic error (caught by the validator).
+    pub syntax_error: bool,
+}
+
+/// The error corpus: every mistake class observed in the pilot study,
+/// applied to the testbed template.
+pub fn pilot_corpus() -> Vec<PilotError> {
+    let base = testbed_template_json();
+    vec![
+        PilotError {
+            name: "sign_flip",
+            description: "entered a negative sign instead of a positive sign in a location",
+            json: base.replace(
+                "\"home_location\": [0.30, 0.0, 0.30]",
+                "\"home_location\": [0.30, 0.0, -0.30]",
+            ),
+            syntax_error: false,
+        },
+        PilotError {
+            name: "missing_comma",
+            description: "a JSON syntax error: dropped comma between fields",
+            json: base.replace(
+                "\"type\": \"dosing_system\",",
+                "\"type\": \"dosing_system\"",
+            ),
+            syntax_error: true,
+        },
+        PilotError {
+            name: "trailing_brace",
+            description: "a JSON syntax error: unbalanced braces",
+            json: format!("{base}}}"),
+            syntax_error: true,
+        },
+        PilotError {
+            name: "wrong_type_name",
+            description: "misspelled the device type",
+            json: base.replace("\"type\": \"action_device\"", "\"type\": \"action-device\""),
+            syntax_error: false,
+        },
+        PilotError {
+            name: "door_on_container",
+            description: "gave a container a door property",
+            json: base.replace(
+                "\"type\": \"container\",",
+                "\"type\": \"container\", \"has_door\": true,",
+            ),
+            syntax_error: false,
+        },
+        PilotError {
+            name: "negative_threshold",
+            description: "entered a negative firmware threshold",
+            json: base.replace(
+                "\"action_threshold\": 150.0",
+                "\"action_threshold\": -150.0",
+            ),
+            syntax_error: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{to_catalog, validate, IssueLevel};
+
+    #[test]
+    fn template_parses_and_validates_cleanly() {
+        let cfg = testbed_template();
+        assert_eq!(cfg.devices.len(), 9);
+        let errors: Vec<_> = validate(&cfg)
+            .into_iter()
+            .filter(|i| i.level == IssueLevel::Error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
+        let (catalog, rules) = to_catalog(&cfg).unwrap();
+        assert_eq!(catalog.len(), 9);
+        assert_eq!(rules.len(), 4);
+        assert_eq!(catalog.robot_arms().count(), 2);
+    }
+
+    #[test]
+    fn template_matches_the_testbed_catalog() {
+        // The JSON-built catalog must agree with the hand-built testbed
+        // on the load-bearing facts.
+        let (catalog, _) = to_catalog(&testbed_template()).unwrap();
+        let tb = rabit_testbed::Testbed::new();
+        for id in ["viperx", "ned2", "dosing_device", "centrifuge", "hotplate"] {
+            let from_json = catalog.get(&id.into()).unwrap();
+            let from_code = tb.catalog.get(&id.into()).unwrap();
+            assert_eq!(from_json.device_type, from_code.device_type, "{id} type");
+            assert_eq!(from_json.has_door, from_code.has_door, "{id} door");
+            assert_eq!(
+                from_json.action_threshold, from_code.action_threshold,
+                "{id} threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn berlinguette_template_parses_and_validates() {
+        let cfg = berlinguette_template();
+        assert_eq!(cfg.lab_name, "Berlinguette Lab");
+        assert_eq!(cfg.devices.len(), 13);
+        let errors: Vec<_> = validate(&cfg)
+            .into_iter()
+            .filter(|i| i.level == IssueLevel::Error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
+        let (catalog, rules) = to_catalog(&cfg).unwrap();
+        assert_eq!(catalog.len(), 13);
+        assert_eq!(rules.len(), 1);
+        // The nozzle/XRF-source exemption came through from JSON.
+        assert!(!catalog.get(&"nozzle_a".into()).unwrap().hosts_container);
+        assert!(catalog.get(&"xrf_stage".into()).unwrap().hosts_container);
+        assert!(catalog.has_tag(&"deck_sensor".into(), "proximity_sensor"));
+    }
+
+    #[test]
+    fn every_pilot_error_is_caught() {
+        for e in pilot_corpus() {
+            match LabConfig::from_json(&e.json) {
+                Err(parse_err) => {
+                    assert!(
+                        e.syntax_error,
+                        "{}: unexpected syntax failure: {parse_err}",
+                        e.name
+                    );
+                }
+                Ok(cfg) => {
+                    assert!(!e.syntax_error, "{}: syntax error parsed fine", e.name);
+                    let errors: Vec<_> = validate(&cfg)
+                        .into_iter()
+                        .filter(|i| i.level == IssueLevel::Error)
+                        .collect();
+                    assert!(!errors.is_empty(), "{}: validator missed it", e.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_covers_both_error_classes() {
+        let corpus = pilot_corpus();
+        assert!(corpus.iter().any(|e| e.syntax_error));
+        assert!(corpus.iter().any(|e| !e.syntax_error));
+        assert_eq!(corpus.len(), 6);
+        // All distinct corruptions.
+        let base = testbed_template_json();
+        for e in &corpus {
+            assert_ne!(e.json, base, "{} is a no-op", e.name);
+        }
+    }
+}

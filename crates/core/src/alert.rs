@@ -1,0 +1,189 @@
+//! Alerts: how RABIT reports detected unsafe behaviour.
+
+use rabit_devices::{Command, DeviceError, StateDiff};
+use rabit_rulebase::Violation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An alert raised by the Fig. 2 algorithm. Each variant corresponds to
+/// one `alertAndStop` site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Alert {
+    /// `alertAndStop("Invalid Command!")` — a precondition failed
+    /// (Fig. 2, Lines 6-7).
+    InvalidCommand {
+        /// The rejected command.
+        command: Command,
+        /// The violated rules.
+        violations: Vec<Violation>,
+    },
+    /// `alertAndStop("Invalid trajectory!")` — the Extended Simulator
+    /// found a collision along the arm's path (Fig. 2, Lines 8-10).
+    InvalidTrajectory {
+        /// The rejected command.
+        command: Command,
+        /// What the trajectory would hit.
+        collision: String,
+    },
+    /// `alertAndStop("Device malfunction!")` — `S_actual ≠ S_expected`
+    /// after execution (Fig. 2, Lines 14-15).
+    DeviceMalfunction {
+        /// The command that executed.
+        command: Command,
+        /// The differing state variables.
+        diffs: Vec<StateDiff>,
+    },
+    /// The device itself refused or faulted (firmware limit, Ned2
+    /// trajectory exception). Not a RABIT detection, but it halts the
+    /// experiment the same way.
+    DeviceFault {
+        /// The failing command.
+        command: Command,
+        /// The device's error.
+        error: DeviceError,
+    },
+}
+
+impl Alert {
+    /// The command that triggered the alert.
+    pub fn command(&self) -> &Command {
+        match self {
+            Alert::InvalidCommand { command, .. }
+            | Alert::InvalidTrajectory { command, .. }
+            | Alert::DeviceMalfunction { command, .. }
+            | Alert::DeviceFault { command, .. } => command,
+        }
+    }
+
+    /// Returns `true` if this alert came from RABIT's own checks (as
+    /// opposed to a device firmware refusal). The evaluation counts only
+    /// RABIT detections toward its detection rate.
+    pub fn is_rabit_detection(&self) -> bool {
+        !matches!(self, Alert::DeviceFault { .. })
+    }
+
+    /// The paper's alert message for this variant.
+    pub fn headline(&self) -> &'static str {
+        match self {
+            Alert::InvalidCommand { .. } => "Invalid Command!",
+            Alert::InvalidTrajectory { .. } => "Invalid trajectory!",
+            Alert::DeviceMalfunction { .. } => "Device malfunction!",
+            Alert::DeviceFault { .. } => "Device fault",
+        }
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Alert::InvalidCommand {
+                command,
+                violations,
+            } => {
+                write!(f, "Invalid Command! {command}: ")?;
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            Alert::InvalidTrajectory { command, collision } => {
+                write!(f, "Invalid trajectory! {command}: {collision}")
+            }
+            Alert::DeviceMalfunction { command, diffs } => {
+                write!(f, "Device malfunction! after {command}: ")?;
+                for (i, d) in diffs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
+            Alert::DeviceFault { command, error } => {
+                write!(f, "Device fault during {command}: {error}")
+            }
+        }
+    }
+}
+
+/// What RABIT does when an alert fires. The Hein Lab's recommendation is
+/// to stop preemptively; the paper notes "a fail-safe scenario may be
+/// recommended instead" when stopping itself is dangerous, e.g. an arm
+/// left holding a volatile substance (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StopPolicy {
+    /// Halt the experiment immediately (the deployed default).
+    #[default]
+    StopImmediately,
+    /// Halt, then park every robot arm at its sleep position so nothing
+    /// is left dangling mid-air.
+    FailSafe,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_devices::{ActionKind, DeviceId};
+    use rabit_rulebase::RuleId;
+
+    fn cmd() -> Command {
+        Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        )
+    }
+
+    #[test]
+    fn alert_accessors() {
+        let a = Alert::InvalidCommand {
+            command: cmd(),
+            violations: vec![Violation {
+                rule: RuleId::General(1),
+                message: "closed".into(),
+            }],
+        };
+        assert_eq!(a.command(), &cmd());
+        assert!(a.is_rabit_detection());
+        assert_eq!(a.headline(), "Invalid Command!");
+        assert!(a.to_string().contains("general:1"));
+    }
+
+    #[test]
+    fn trajectory_and_malfunction_alerts() {
+        let t = Alert::InvalidTrajectory {
+            command: cmd(),
+            collision: "hits grid".into(),
+        };
+        assert!(t.is_rabit_detection());
+        assert!(t.to_string().contains("Invalid trajectory"));
+        let m = Alert::DeviceMalfunction {
+            command: cmd(),
+            diffs: vec![],
+        };
+        assert!(m.is_rabit_detection());
+        assert_eq!(m.headline(), "Device malfunction!");
+    }
+
+    #[test]
+    fn device_faults_are_not_rabit_detections() {
+        let fault = Alert::DeviceFault {
+            command: cmd(),
+            error: DeviceError::TrajectoryFault {
+                device: DeviceId::new("ned2"),
+                reason: "out of reach".into(),
+            },
+        };
+        assert!(!fault.is_rabit_detection());
+        assert!(fault.to_string().contains("out of reach"));
+    }
+
+    #[test]
+    fn default_policy_is_stop() {
+        assert_eq!(StopPolicy::default(), StopPolicy::StopImmediately);
+    }
+}

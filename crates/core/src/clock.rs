@@ -1,0 +1,69 @@
+//! Virtual lab time.
+//!
+//! RABIT's latency-overhead experiment (§II-C) needs reproducible timing:
+//! physical commands take ~2 s, RABIT's checks ~0.03 s, the simulator GUI
+//! ~2 s. Sleeping for real would make the benchmark suite take hours, so
+//! the stages accumulate *virtual seconds* on a [`SimClock`]; the criterion
+//! benches separately measure the real compute cost of RABIT's checking.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing virtual clock (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    now_s: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Advances the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or non-finite (time cannot run
+    /// backwards).
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "clock advance must be finite and non-negative, got {seconds}"
+        );
+        self.now_s += seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_s(), 0.0);
+        c.advance(2.0);
+        c.advance(0.03);
+        assert!((c.now_s() - 2.03).abs() < 1e-12);
+        c.advance(0.0);
+        assert!((c.now_s() - 2.03).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_advance_panics() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_advance_panics() {
+        SimClock::new().advance(f64::NAN);
+    }
+}

@@ -1,0 +1,170 @@
+//! Ground-truth physical damage: what actually happens when an unsafe
+//! command is *not* stopped.
+//!
+//! The evaluation classifies bugs by "increasing severity and the
+//! potential damage they could cause" (Table V). The [`Lab`] environment
+//! records a [`DamageEvent`] whenever an executed command physically
+//! damages something, independent of whether RABIT flagged it — this is
+//! the oracle the detection-rate experiments compare against.
+//!
+//! [`Lab`]: crate::Lab
+
+use rabit_devices::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four severity classes of Table V, in increasing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// "Wasting chemical materials (e.g., spilling solid out of the vial)".
+    Low,
+    /// "Breakage of glassware (e.g., robot arm dropping a test tube)".
+    MediumLow,
+    /// "Robot arm causing harm to the environment or inexpensive nearby
+    /// objects i.e., platform it is mounted on, the nearby walls, or the
+    /// grids that hold the vials".
+    MediumHigh,
+    /// "Robot arm breaking the expensive equipment inside the lab".
+    High,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Low => f.write_str("Low"),
+            Severity::MediumLow => f.write_str("Medium-Low"),
+            Severity::MediumHigh => f.write_str("Medium-High"),
+            Severity::High => f.write_str("High"),
+        }
+    }
+}
+
+/// What physically went wrong.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DamageKind {
+    /// Substance spilled (overflowing vial, dosing with no vial inside).
+    Spill {
+        /// Amount spilled (mg or mL).
+        amount: f64,
+    },
+    /// Glassware broke (dropped or crushed vial).
+    GlasswareBreak,
+    /// A robot arm struck its platform, a wall, or the grid.
+    EnvironmentCollision {
+        /// What was struck (e.g. "platform", "grid").
+        obstacle: String,
+    },
+    /// A robot arm struck another robot arm.
+    ArmCollision {
+        /// The other arm involved.
+        other: DeviceId,
+    },
+    /// A robot arm or vial struck expensive lab equipment (dosing device
+    /// door, centrifuge, …).
+    EquipmentCollision {
+        /// The equipment struck.
+        equipment: DeviceId,
+    },
+}
+
+/// One recorded damage event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DamageEvent {
+    /// The device that caused the damage.
+    pub culprit: DeviceId,
+    /// What happened.
+    pub kind: DamageKind,
+    /// Table V severity class.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub description: String,
+}
+
+impl DamageEvent {
+    /// Creates a damage event, deriving the severity from the kind.
+    pub fn new(culprit: DeviceId, kind: DamageKind, description: impl Into<String>) -> Self {
+        let severity = match &kind {
+            DamageKind::Spill { .. } => Severity::Low,
+            DamageKind::GlasswareBreak => Severity::MediumLow,
+            DamageKind::EnvironmentCollision { .. } => Severity::MediumHigh,
+            DamageKind::ArmCollision { .. } => Severity::MediumHigh,
+            DamageKind::EquipmentCollision { .. } => Severity::High,
+        };
+        DamageEvent {
+            culprit,
+            kind,
+            severity,
+            description: description.into(),
+        }
+    }
+}
+
+impl fmt::Display for DamageEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {}",
+            self.severity, self.culprit, self.description
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severities_are_ordered() {
+        assert!(Severity::Low < Severity::MediumLow);
+        assert!(Severity::MediumLow < Severity::MediumHigh);
+        assert!(Severity::MediumHigh < Severity::High);
+    }
+
+    #[test]
+    fn severity_derivation_matches_table_v() {
+        let spill = DamageEvent::new("doser".into(), DamageKind::Spill { amount: 3.0 }, "spill");
+        assert_eq!(spill.severity, Severity::Low);
+        let glass = DamageEvent::new("arm".into(), DamageKind::GlasswareBreak, "dropped vial");
+        assert_eq!(glass.severity, Severity::MediumLow);
+        let env = DamageEvent::new(
+            "arm".into(),
+            DamageKind::EnvironmentCollision {
+                obstacle: "platform".into(),
+            },
+            "hit platform",
+        );
+        assert_eq!(env.severity, Severity::MediumHigh);
+        let arms = DamageEvent::new(
+            "ned2".into(),
+            DamageKind::ArmCollision {
+                other: "viperx".into(),
+            },
+            "arm collision",
+        );
+        assert_eq!(arms.severity, Severity::MediumHigh);
+        let equip = DamageEvent::new(
+            "arm".into(),
+            DamageKind::EquipmentCollision {
+                equipment: "dosing_device".into(),
+            },
+            "hit door",
+        );
+        assert_eq!(equip.severity, Severity::High);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = DamageEvent::new(
+            "viperx".into(),
+            DamageKind::EquipmentCollision {
+                equipment: "dosing_device".into(),
+            },
+            "collided with the closed glass door",
+        );
+        let s = e.to_string();
+        assert!(s.contains("High"));
+        assert!(s.contains("viperx"));
+        assert!(s.contains("glass door"));
+        assert_eq!(Severity::MediumHigh.to_string(), "Medium-High");
+    }
+}

@@ -1,0 +1,650 @@
+//! The RABIT engine: the Fig. 2 execution algorithm.
+
+use crate::alert::{Alert, StopPolicy};
+use crate::lab::Lab;
+use crate::trajcheck::{TrajectoryValidator, TrajectoryVerdict};
+use rabit_devices::{ActionKind, Command, DeviceId, LabState};
+use rabit_rulebase::{transition, DeviceCatalog, Rulebase};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct RabitConfig {
+    /// Numeric tolerance for the `S_actual ≠ S_expected` comparison
+    /// (sensor jitter below this never raises a malfunction alert).
+    pub state_tolerance: f64,
+    /// What to do on alert.
+    pub stop_policy: StopPolicy,
+    /// Skip the post-execution malfunction check (ablation knob).
+    pub skip_malfunction_check: bool,
+}
+
+impl Default for RabitConfig {
+    fn default() -> Self {
+        RabitConfig {
+            state_tolerance: 1e-6,
+            stop_policy: StopPolicy::StopImmediately,
+            skip_malfunction_check: false,
+        }
+    }
+}
+
+/// Outcome of a full workflow run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Commands executed successfully before any stop.
+    pub executed: usize,
+    /// The alert that stopped the run, if any.
+    pub alert: Option<Alert>,
+    /// Total virtual lab time consumed (seconds), including RABIT's
+    /// overhead.
+    pub lab_time_s: f64,
+    /// The share of `lab_time_s` attributable to RABIT (status fetches +
+    /// simulator checks).
+    pub rabit_overhead_s: f64,
+}
+
+impl RunReport {
+    /// Whether the workflow ran to completion with no alert.
+    pub fn completed(&self) -> bool {
+        self.alert.is_none()
+    }
+}
+
+/// The RABIT middleware: intercepts each command, validates it against
+/// the rulebase (and optionally an attached trajectory simulator),
+/// executes it, and verifies the resulting device state.
+///
+/// # Example
+///
+/// ```
+/// use rabit_core::{Lab, Rabit, RabitConfig};
+/// use rabit_devices::{ActionKind, Command, DosingDevice, RobotArm};
+/// use rabit_geometry::{Aabb, Vec3};
+/// use rabit_rulebase::{DeviceCatalog, DeviceMeta, Rulebase};
+/// use rabit_devices::DeviceType;
+///
+/// let mut lab = Lab::new()
+///     .with_device(RobotArm::new("arm", Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, 0.0, 0.2)))
+///     .with_device(DosingDevice::new("doser", Aabb::new(Vec3::ZERO, Vec3::new(0.2, 0.2, 0.3))));
+/// let catalog = DeviceCatalog::new()
+///     .with(DeviceMeta::new("arm", DeviceType::RobotArm))
+///     .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door());
+/// let mut rabit = Rabit::new(Rulebase::standard(), catalog, RabitConfig::default());
+/// rabit.initialize(&mut lab);
+///
+/// // Entering the doser with its door closed: stopped before execution.
+/// let cmd = Command::new("arm", ActionKind::MoveInsideDevice { device: "doser".into() });
+/// let alert = rabit.step(&mut lab, &cmd).unwrap_err();
+/// assert_eq!(alert.headline(), "Invalid Command!");
+/// assert!(lab.damage_log().is_empty()); // nothing broke
+/// ```
+pub struct Rabit {
+    rulebase: Rulebase,
+    catalog: DeviceCatalog,
+    config: RabitConfig,
+    validator: Option<Box<dyn TrajectoryValidator>>,
+    current: LabState,
+    overhead_s: f64,
+}
+
+impl Rabit {
+    /// Creates an engine from a rulebase, catalog, and configuration.
+    pub fn new(rulebase: Rulebase, catalog: DeviceCatalog, config: RabitConfig) -> Self {
+        Rabit {
+            rulebase,
+            catalog,
+            config,
+            validator: None,
+            current: LabState::new(),
+            overhead_s: 0.0,
+        }
+    }
+
+    /// Attaches an Extended Simulator as trajectory validator
+    /// (`SimAvailable` becomes true).
+    pub fn with_validator(mut self, validator: Box<dyn TrajectoryValidator>) -> Self {
+        self.validator = Some(validator);
+        self
+    }
+
+    /// Detaches the trajectory validator.
+    pub fn detach_validator(&mut self) -> Option<Box<dyn TrajectoryValidator>> {
+        self.validator.take()
+    }
+
+    /// The rulebase (for inspection/extension).
+    pub fn rulebase(&self) -> &Rulebase {
+        &self.rulebase
+    }
+
+    /// Mutable rulebase access (the evaluation adds extension rules
+    /// between configurations).
+    pub fn rulebase_mut(&mut self) -> &mut Rulebase {
+        &mut self.rulebase
+    }
+
+    /// The device catalog.
+    pub fn catalog(&self) -> &DeviceCatalog {
+        &self.catalog
+    }
+
+    /// RABIT's accumulated virtual overhead so far (seconds).
+    pub fn overhead_s(&self) -> f64 {
+        self.overhead_s
+    }
+
+    /// The engine's view of the current lab state (`S_current`).
+    pub fn current_state(&self) -> &LabState {
+        &self.current
+    }
+
+    /// Fig. 2, Lines 1-3: acquire `S_initial` and set `S_current`.
+    pub fn initialize(&mut self, lab: &mut Lab) -> &LabState {
+        let before = lab.clock().now_s();
+        let reported = lab.fetch_state();
+        self.overhead_s += lab.clock().now_s() - before;
+        // Sensed variables overwrite beliefs; configured beliefs (see
+        // [`Rabit::believe`]) survive initialization.
+        self.current.overlay(&reported);
+        &self.current
+    }
+
+    /// Records a configured belief about an unsensed state variable
+    /// (e.g. "the vial in slot A1 starts empty and capped", "a container
+    /// already sits in the hotplate"). The paper's JSON configuration
+    /// carries such initial facts; devices without sensors can never
+    /// report them.
+    pub fn believe(
+        &mut self,
+        device: &rabit_devices::DeviceId,
+        key: rabit_devices::StateKey,
+        value: impl Into<rabit_devices::Value>,
+    ) {
+        self.current.set(device, key, value);
+    }
+
+    /// Fig. 2, Lines 5-16: process one command.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Alert`] that stopped the experiment:
+    /// * [`Alert::InvalidCommand`] if a rulebase precondition fails — the
+    ///   command is **not** executed;
+    /// * [`Alert::InvalidTrajectory`] if the attached simulator predicts a
+    ///   collision — the command is **not** executed;
+    /// * [`Alert::DeviceFault`] if the device itself refuses;
+    /// * [`Alert::DeviceMalfunction`] if the post-state does not match the
+    ///   expectation.
+    // Alerts are the cold path: a large Err variant costs nothing on the
+    // hot (Ok) path, and boxing it would complicate every caller.
+    #[allow(clippy::result_large_err)]
+    pub fn step(&mut self, lab: &mut Lab, command: &Command) -> Result<(), Alert> {
+        // Lines 6-7: precondition check.
+        let violations = self.rulebase.check(command, &self.current, &self.catalog);
+        if !violations.is_empty() {
+            self.stop(lab);
+            return Err(Alert::InvalidCommand {
+                command: command.clone(),
+                violations,
+            });
+        }
+
+        // Lines 8-10: trajectory check for robot commands, if a simulator
+        // is available.
+        if command.action.is_robot_motion() {
+            if let Some(validator) = &mut self.validator {
+                let verdict = validator.validate(command, &self.current);
+                let cost = validator.check_latency_s();
+                lab.advance_clock(cost);
+                self.overhead_s += cost;
+                if let TrajectoryVerdict::Collision { with, at_fraction } = verdict {
+                    self.stop(lab);
+                    return Err(Alert::InvalidTrajectory {
+                        command: command.clone(),
+                        collision: format!(
+                            "collision with {with} at {:.0}% of the motion",
+                            at_fraction * 100.0
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Line 11: S_expected.
+        let expected = transition::expected_state(&self.catalog, &self.current, command);
+
+        // Line 12: execute.
+        if let Err(error) = lab.apply(command) {
+            self.stop(lab);
+            return Err(Alert::DeviceFault {
+                command: command.clone(),
+                error,
+            });
+        }
+
+        // Lines 13-16: fetch S_actual, compare, commit. Devices only
+        // report the variables they can sense; believed variables (vial
+        // contents, containment) are rolled forward from the expectation.
+        let before = lab.clock().now_s();
+        let actual = lab.fetch_state();
+        self.overhead_s += lab.clock().now_s() - before;
+        let diffs = if self.config.skip_malfunction_check {
+            Vec::new()
+        } else {
+            expected.diff_reported(&actual, self.config.state_tolerance)
+        };
+        self.current = expected;
+        self.current.overlay(&actual);
+        if !diffs.is_empty() {
+            self.stop(lab);
+            return Err(Alert::DeviceMalfunction {
+                command: command.clone(),
+                diffs,
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs a whole workflow, stopping at the first alert
+    /// (`alertAndStop`).
+    pub fn run(&mut self, lab: &mut Lab, commands: &[Command]) -> RunReport {
+        let t0 = lab.clock().now_s();
+        let overhead0 = self.overhead_s;
+        self.initialize(lab);
+        let mut executed = 0;
+        let mut alert = None;
+        for command in commands {
+            match self.step(lab, command) {
+                Ok(()) => executed += 1,
+                Err(a) => {
+                    alert = Some(a);
+                    break;
+                }
+            }
+        }
+        RunReport {
+            executed,
+            alert,
+            lab_time_s: lab.clock().now_s() - t0,
+            rabit_overhead_s: self.overhead_s - overhead0,
+        }
+    }
+
+    /// Executes a workflow with NO safety checking — the baseline of the
+    /// latency-overhead experiment, and how damage happens.
+    pub fn run_unchecked(lab: &mut Lab, commands: &[Command]) -> RunReport {
+        let t0 = lab.clock().now_s();
+        let mut executed = 0;
+        let mut alert = None;
+        for command in commands {
+            match lab.apply(command) {
+                Ok(()) => executed += 1,
+                Err(error) => {
+                    alert = Some(Alert::DeviceFault {
+                        command: command.clone(),
+                        error,
+                    });
+                    break;
+                }
+            }
+        }
+        RunReport {
+            executed,
+            alert,
+            lab_time_s: lab.clock().now_s() - t0,
+            rabit_overhead_s: 0.0,
+        }
+    }
+
+    /// `alertAndStop`'s stop side: under [`StopPolicy::FailSafe`], park
+    /// every arm at its sleep position so nothing is left dangling.
+    fn stop(&mut self, lab: &mut Lab) {
+        if self.config.stop_policy == StopPolicy::FailSafe {
+            let arms: Vec<DeviceId> = self.catalog.robot_arms().map(|m| m.id.clone()).collect();
+            for arm in arms {
+                let _ = lab.apply(&Command::new(arm, ActionKind::MoveToSleep));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_devices::{Device, DeviceType, DosingDevice, Malfunction, RobotArm, StateKey, Vial};
+    use rabit_geometry::{Aabb, Vec3};
+    use rabit_rulebase::DeviceMeta;
+
+    fn lab() -> Lab {
+        Lab::new()
+            .with_device(RobotArm::new(
+                "arm",
+                Vec3::new(0.3, 0.0, 0.3),
+                Vec3::new(0.1, -0.3, 0.2),
+            ))
+            .with_device(DosingDevice::new(
+                "doser",
+                Aabb::new(Vec3::new(0.1, 0.35, 0.0), Vec3::new(0.25, 0.55, 0.3)),
+            ))
+            .with_device(Vial::new("vial", Vec3::new(0.537, 0.018, 0.12)))
+    }
+
+    fn catalog() -> DeviceCatalog {
+        DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("arm", DeviceType::RobotArm)
+                    .with_arm_positions(Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, -0.3, 0.2)),
+            )
+            .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+            .with(DeviceMeta::new("vial", DeviceType::Container))
+    }
+
+    fn rabit() -> Rabit {
+        Rabit::new(Rulebase::standard(), catalog(), RabitConfig::default())
+    }
+
+    #[test]
+    fn initialize_snapshots_all_devices() {
+        let mut lab = lab();
+        let mut r = rabit();
+        let s = r.initialize(&mut lab);
+        assert_eq!(s.len(), 3);
+        assert!(r.overhead_s() > 0.0, "status fetches cost time");
+    }
+
+    #[test]
+    fn invalid_command_stops_before_execution() {
+        let mut lab = lab();
+        let mut r = rabit();
+        r.initialize(&mut lab);
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        let alert = r.step(&mut lab, &cmd).unwrap_err();
+        assert!(matches!(alert, Alert::InvalidCommand { .. }));
+        // Nothing executed → no damage, arm still outside.
+        assert!(lab.damage_log().is_empty());
+        let arm = lab.device(&"arm".into()).unwrap().as_arm().unwrap();
+        assert!(arm.inside_of().is_none());
+    }
+
+    #[test]
+    fn safe_workflow_passes_and_updates_state() {
+        let mut lab = lab();
+        let mut r = rabit();
+        let commands = vec![
+            Command::new("doser", ActionKind::SetDoor { open: true }),
+            Command::new(
+                "arm",
+                ActionKind::MoveInsideDevice {
+                    device: "doser".into(),
+                },
+            ),
+            Command::new("arm", ActionKind::MoveOutOfDevice),
+            Command::new("doser", ActionKind::SetDoor { open: false }),
+        ];
+        let report = r.run(&mut lab, &commands);
+        assert!(report.completed(), "alert: {:?}", report.alert);
+        assert_eq!(report.executed, 4);
+        assert!(report.lab_time_s > 0.0);
+        assert!(report.rabit_overhead_s > 0.0);
+        assert!(report.rabit_overhead_s < report.lab_time_s);
+        assert_eq!(
+            r.current_state()
+                .get_bool(&"doser".into(), &StateKey::DoorOpen),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn device_malfunction_detected() {
+        let mut lab = lab();
+        // Stuck door: SetDoor acknowledged but nothing moves.
+        if let Some(crate::lab::LabDevice::Dosing(doser)) = lab.device_mut(&"doser".into()) {
+            doser.inject_malfunction(Some(Malfunction::SilentNoop));
+        }
+        let mut r = rabit();
+        r.initialize(&mut lab);
+        let alert = r
+            .step(
+                &mut lab,
+                &Command::new("doser", ActionKind::SetDoor { open: true }),
+            )
+            .unwrap_err();
+        match alert {
+            Alert::DeviceMalfunction { diffs, .. } => {
+                assert!(diffs.iter().any(|d| d.key == StateKey::DoorOpen));
+            }
+            other => panic!("expected malfunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn device_fault_propagates() {
+        let mut lab = lab();
+        let mut r = rabit();
+        r.initialize(&mut lab);
+        // Firmware rejects: dosing device already dosing? Use unsupported
+        // action instead: asking the vial to move.
+        let alert = r
+            .step(&mut lab, &Command::new("vial", ActionKind::MoveHome))
+            .unwrap_err();
+        assert!(matches!(alert, Alert::DeviceFault { .. }));
+        assert!(!alert.is_rabit_detection());
+    }
+
+    #[test]
+    fn trajectory_validator_blocks_motion() {
+        struct AlwaysCollide;
+        impl TrajectoryValidator for AlwaysCollide {
+            fn validate(&mut self, _: &Command, _: &LabState) -> TrajectoryVerdict {
+                TrajectoryVerdict::Collision {
+                    with: "grid".into(),
+                    at_fraction: 0.5,
+                }
+            }
+            fn check_latency_s(&self) -> f64 {
+                2.0
+            }
+        }
+        let mut lab = lab();
+        let mut r = rabit().with_validator(Box::new(AlwaysCollide));
+        r.initialize(&mut lab);
+        let overhead0 = r.overhead_s();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.5, 0.0, 0.3),
+            },
+        );
+        let alert = r.step(&mut lab, &cmd).unwrap_err();
+        assert!(matches!(alert, Alert::InvalidTrajectory { .. }));
+        assert!(alert.to_string().contains("50%"));
+        assert!(
+            (r.overhead_s() - overhead0 - 2.0) > -1e-9,
+            "GUI cost charged"
+        );
+        // Non-motion commands skip the validator.
+        let door = Command::new("doser", ActionKind::SetDoor { open: true });
+        assert!(r.step(&mut lab, &door).is_ok());
+    }
+
+    #[test]
+    fn fail_safe_policy_parks_arms() {
+        let mut lab = lab();
+        let config = RabitConfig {
+            stop_policy: StopPolicy::FailSafe,
+            ..RabitConfig::default()
+        };
+        let mut r = Rabit::new(Rulebase::standard(), catalog(), config);
+        r.initialize(&mut lab);
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        let _ = r.step(&mut lab, &cmd).unwrap_err();
+        let arm = lab.device(&"arm".into()).unwrap().as_arm().unwrap();
+        assert!(arm.at_sleep(), "fail-safe must park the arm");
+    }
+
+    #[test]
+    fn unchecked_run_lets_damage_happen() {
+        let mut lab = lab();
+        let commands = vec![Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        )];
+        let report = Rabit::run_unchecked(&mut lab, &commands);
+        assert!(report.completed());
+        assert_eq!(lab.damage_log().len(), 1, "the door broke");
+        assert_eq!(report.rabit_overhead_s, 0.0);
+    }
+
+    #[test]
+    fn run_reports_partial_progress() {
+        let mut lab = lab();
+        let mut r = rabit();
+        let commands = vec![
+            Command::new("doser", ActionKind::SetDoor { open: true }),
+            Command::new("doser", ActionKind::SetDoor { open: false }),
+            Command::new(
+                "arm",
+                ActionKind::MoveInsideDevice {
+                    device: "doser".into(),
+                },
+            ),
+            Command::new("doser", ActionKind::SetDoor { open: true }),
+        ];
+        let report = r.run(&mut lab, &commands);
+        assert_eq!(report.executed, 2);
+        assert!(matches!(report.alert, Some(Alert::InvalidCommand { .. })));
+    }
+
+    #[test]
+    fn skip_malfunction_check_ablation() {
+        let mut lab = lab();
+        if let Some(crate::lab::LabDevice::Dosing(d)) = lab.device_mut(&"doser".into()) {
+            d.inject_malfunction(Some(Malfunction::SilentNoop));
+        }
+        let config = RabitConfig {
+            skip_malfunction_check: true,
+            ..RabitConfig::default()
+        };
+        let mut r = Rabit::new(Rulebase::standard(), catalog(), config);
+        r.initialize(&mut lab);
+        assert!(r
+            .step(
+                &mut lab,
+                &Command::new("doser", ActionKind::SetDoor { open: true })
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn validator_detach_and_accessors() {
+        let mut lab = lab();
+        let mut r = rabit().with_validator(Box::new(crate::trajcheck::ApproveAll));
+        r.initialize(&mut lab);
+        assert_eq!(r.catalog().len(), 3);
+        assert_eq!(r.rulebase().len(), 11);
+        // With the validator attached, motions are swept (ApproveAll says
+        // yes); after detaching, SimAvailable is false again.
+        let detached = r.detach_validator();
+        assert!(detached.is_some());
+        assert!(r.detach_validator().is_none());
+        let mv = Command::new(
+            "arm",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.5, 0.0, 0.4),
+            },
+        );
+        assert!(r.step(&mut lab, &mv).is_ok());
+    }
+
+    #[test]
+    fn beliefs_can_be_revised() {
+        let mut lab = lab();
+        let mut r = rabit();
+        r.initialize(&mut lab);
+        let vial = rabit_devices::DeviceId::new("vial");
+        r.believe(&vial, StateKey::SolidMg, 5.0);
+        assert_eq!(
+            r.current_state().get_number(&vial, &StateKey::SolidMg),
+            Some(5.0)
+        );
+        r.believe(&vial, StateKey::SolidMg, 7.0);
+        assert_eq!(
+            r.current_state().get_number(&vial, &StateKey::SolidMg),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn run_report_time_accounting() {
+        let mut lab = lab();
+        let mut r = rabit();
+        let commands = vec![
+            Command::new("doser", ActionKind::SetDoor { open: true }),
+            Command::new("doser", ActionKind::SetDoor { open: false }),
+        ];
+        let report = r.run(&mut lab, &commands);
+        assert!(report.completed());
+        // Overhead is part of total lab time, and both are positive.
+        assert!(report.rabit_overhead_s > 0.0);
+        assert!(report.lab_time_s > report.rabit_overhead_s);
+        // Device time ≈ 2 door motions × 2 s.
+        let device_time = report.lab_time_s - report.rabit_overhead_s;
+        assert!((device_time - 4.0).abs() < 1e-9, "{device_time}");
+    }
+
+    #[test]
+    fn state_tolerance_suppresses_jitter() {
+        // Inject a tiny sensor offset; with a loose tolerance no alert.
+        let mut lab = Lab::new().with_device(rabit_devices::Hotplate::new(
+            "hp",
+            Aabb::new(Vec3::ZERO, Vec3::splat(0.2)),
+        ));
+        let catalog = DeviceCatalog::new()
+            .with(DeviceMeta::new("hp", DeviceType::ActionDevice).with_threshold(340.0));
+        // Pre-place a vial-like container so rules 5/6 pass.
+        let state_fix = |lab: &mut Lab| {
+            if let Some(crate::lab::LabDevice::Hotplate(h)) = lab.device_mut(&"hp".into()) {
+                h.insert_container(DeviceId::new("ghost_vial"));
+            }
+        };
+        state_fix(&mut lab);
+        lab.add_device(Vial::new("ghost_vial", Vec3::ZERO));
+        if let Some(crate::lab::LabDevice::Vial(v)) = lab.device_mut(&"ghost_vial".into()) {
+            v.add_solid(5.0);
+        }
+        let config = RabitConfig {
+            state_tolerance: 0.5,
+            ..RabitConfig::default()
+        };
+        let mut r = Rabit::new(Rulebase::standard(), catalog, config);
+        if let Some(crate::lab::LabDevice::Hotplate(h)) = lab.device_mut(&"hp".into()) {
+            h.inject_malfunction(Some(Malfunction::SensorOffset(0.1)));
+        }
+        r.initialize(&mut lab);
+        // Containment is unsensed: tell RABIT the vial is already inside
+        // (a configured initial fact) and non-empty.
+        r.believe(
+            &"hp".into(),
+            StateKey::ContainedObject,
+            Some(DeviceId::new("ghost_vial")),
+        );
+        r.believe(&"ghost_vial".into(), StateKey::SolidMg, 5.0);
+        let res = r.step(
+            &mut lab,
+            &Command::new("hp", ActionKind::StartAction { value: 60.0 }),
+        );
+        assert!(res.is_ok(), "0.1° of jitter must not alarm: {res:?}");
+    }
+}

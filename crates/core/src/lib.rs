@@ -1,0 +1,54 @@
+//! The RABIT core engine.
+//!
+//! This crate implements the execution algorithm of the paper's Fig. 2:
+//! intercept each command, check its preconditions against the rulebase
+//! (and, when a simulator is attached, its trajectory), execute it, and
+//! verify the resulting device states against the postconditions.
+//!
+//! * [`Rabit`] — the engine (`Valid`, `ValidTrajectory`, `UpdateState`,
+//!   `FetchState`, `alertAndStop`);
+//! * [`Lab`] / [`LabDevice`] — the environment: devices, cross-device
+//!   physics, virtual time, and the ground-truth [`DamageEvent`] oracle;
+//! * [`Alert`] — the three `alertAndStop` variants plus device faults;
+//! * [`TrajectoryValidator`] — the hook the Extended Simulator plugs into;
+//! * [`SimClock`] — deterministic virtual lab time.
+//!
+//! # Example
+//!
+//! ```
+//! use rabit_core::{Lab, Rabit, RabitConfig};
+//! use rabit_devices::{ActionKind, Command, DeviceType, DosingDevice, RobotArm};
+//! use rabit_geometry::{Aabb, Vec3};
+//! use rabit_rulebase::{DeviceCatalog, DeviceMeta, Rulebase};
+//!
+//! let mut lab = Lab::new()
+//!     .with_device(RobotArm::new("arm", Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, 0.0, 0.2)))
+//!     .with_device(DosingDevice::new("doser", Aabb::new(Vec3::ZERO, Vec3::new(0.2, 0.2, 0.3))));
+//! let catalog = DeviceCatalog::new()
+//!     .with(DeviceMeta::new("arm", DeviceType::RobotArm))
+//!     .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door());
+//! let mut rabit = Rabit::new(Rulebase::standard(), catalog, RabitConfig::default());
+//! rabit.initialize(&mut lab);
+//! let report = rabit.run(
+//!     &mut lab,
+//!     &[Command::new("doser", ActionKind::SetDoor { open: true })],
+//! );
+//! assert!(report.completed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alert;
+mod clock;
+mod damage;
+mod engine;
+mod lab;
+mod trajcheck;
+
+pub use alert::{Alert, StopPolicy};
+pub use clock::SimClock;
+pub use damage::{DamageEvent, DamageKind, Severity};
+pub use engine::{Rabit, RabitConfig, RunReport};
+pub use lab::{ArmKinematics, Lab, LabDevice};
+pub use trajcheck::{ApproveAll, TrajectoryValidator, TrajectoryVerdict};

@@ -1,0 +1,76 @@
+//! The trajectory-validation hook (`SimAvailable` / `ValidTrajectory` in
+//! Fig. 2).
+//!
+//! When an Extended Simulator is attached, RABIT routes every robot-arm
+//! move through it before execution; "in the absence of such a simulator,
+//! only the target location is checked" (§II-B) — that fallback is rule
+//! III-3 in the rulebase.
+
+use rabit_devices::{Command, LabState};
+
+/// The simulator's verdict on a proposed robot motion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrajectoryVerdict {
+    /// The full trajectory is collision-free.
+    Safe,
+    /// The trajectory collides.
+    Collision {
+        /// What the arm (or its held object) would hit.
+        with: String,
+        /// Fraction of the motion at which the collision occurs (0-1).
+        at_fraction: f64,
+    },
+    /// The simulator could not evaluate this command (e.g. unknown arm);
+    /// RABIT falls back to target-only checking.
+    Unavailable,
+}
+
+/// A trajectory validator: implemented by the Extended Simulator
+/// (`rabit-sim`), and mockable in tests.
+pub trait TrajectoryValidator: Send {
+    /// Evaluates the trajectory implied by `command` from the current
+    /// state.
+    fn validate(&mut self, command: &Command, state: &LabState) -> TrajectoryVerdict;
+
+    /// The simulated wall-clock cost of one validation call in seconds
+    /// (the paper's GUI-bound simulator costs ~2 s per check; headless
+    /// mode collapses this).
+    fn check_latency_s(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A validator that approves everything — useful as a baseline and in
+/// tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApproveAll;
+
+impl TrajectoryValidator for ApproveAll {
+    fn validate(&mut self, _command: &Command, _state: &LabState) -> TrajectoryVerdict {
+        TrajectoryVerdict::Safe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_devices::ActionKind;
+
+    #[test]
+    fn approve_all_is_safe_and_free() {
+        let mut v = ApproveAll;
+        let cmd = Command::new("arm", ActionKind::MoveHome);
+        assert_eq!(v.validate(&cmd, &LabState::new()), TrajectoryVerdict::Safe);
+        assert_eq!(v.check_latency_s(), 0.0);
+    }
+
+    #[test]
+    fn verdict_equality() {
+        let c = TrajectoryVerdict::Collision {
+            with: "grid".into(),
+            at_fraction: 0.4,
+        };
+        assert_ne!(c, TrajectoryVerdict::Safe);
+        assert_ne!(TrajectoryVerdict::Unavailable, TrajectoryVerdict::Safe);
+    }
+}

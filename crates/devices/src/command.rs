@@ -1,0 +1,318 @@
+//! Commands and actions.
+//!
+//! "The system transitions from one state to another via a single command
+//! … responsible for executing an action" (paper §II-B, Lines 5-7 of the
+//! Fig. 2 algorithm). A [`Command`] names the acting device and the
+//! [`ActionKind`] it performs.
+
+use crate::id::DeviceId;
+use rabit_geometry::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of substance being handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Substance {
+    /// A solid (milligrams).
+    Solid,
+    /// A liquid (millilitres).
+    Liquid,
+}
+
+impl fmt::Display for Substance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Substance::Solid => f.write_str("solid"),
+            Substance::Liquid => f.write_str("liquid"),
+        }
+    }
+}
+
+/// Every action a device can perform. Action labels follow Table II
+/// (`move_robot_inside`, `pick_object`, `place_object`, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActionKind {
+    // ----- Robot-arm actions -----
+    /// Move the arm's tool to a Cartesian location.
+    MoveToLocation {
+        /// Target tool position in the arm's own coordinate frame.
+        target: Vec3,
+    },
+    /// Move the arm inside a device's working volume
+    /// (Table II: `move_robot_inside`).
+    MoveInsideDevice {
+        /// The device being entered.
+        device: DeviceId,
+    },
+    /// Retract the arm out of the device it is currently inside.
+    MoveOutOfDevice,
+    /// Move the arm to its home (ready) pose.
+    MoveHome,
+    /// Move the arm to its sleep (stowed) pose.
+    MoveToSleep,
+    /// Pick up an object with the gripper (Table II: `pick_object`).
+    PickObject {
+        /// The object to grasp.
+        object: DeviceId,
+    },
+    /// Place the held object (Table II: `place_object`).
+    PlaceObject {
+        /// The object being placed (must match what is held).
+        object: DeviceId,
+        /// The device to place it into, or `None` to set it down at the
+        /// arm's current location (e.g. a grid slot).
+        into: Option<DeviceId>,
+    },
+    /// Open the gripper jaws.
+    OpenGripper,
+    /// Close the gripper jaws.
+    CloseGripper,
+
+    // ----- Door actions (dosing systems / action devices) -----
+    /// Open or close the device's door.
+    SetDoor {
+        /// `true` to open, `false` to close.
+        open: bool,
+    },
+
+    // ----- Dosing-system actions -----
+    /// Dispense solid into the contained/target container.
+    DoseSolid {
+        /// Amount in milligrams.
+        amount_mg: f64,
+        /// The receiving container.
+        into: DeviceId,
+    },
+    /// Dispense liquid into the target container.
+    DoseLiquid {
+        /// Volume in millilitres.
+        volume_ml: f64,
+        /// The receiving container.
+        into: DeviceId,
+    },
+
+    // ----- Action-device actions -----
+    /// Start the device's action (heat, stir, shake, spin) at `value`
+    /// (°C, rpm, …).
+    StartAction {
+        /// Target action value.
+        value: f64,
+    },
+    /// Stop the device's action.
+    StopAction,
+
+    // ----- Container actions -----
+    /// Put the stopper on.
+    Cap,
+    /// Take the stopper off.
+    Decap,
+    /// Transfer a substance between two containers (paper rules III-7/8).
+    Transfer {
+        /// Delivering container.
+        from: DeviceId,
+        /// Receiving container.
+        to: DeviceId,
+        /// What is being transferred.
+        substance: Substance,
+        /// Amount (mg for solids, mL for liquids).
+        amount: f64,
+    },
+
+    // ----- Generic -----
+    /// A lab-defined action with a scalar parameter list.
+    Custom {
+        /// Action name.
+        name: String,
+        /// Named scalar parameters.
+        params: Vec<(String, f64)>,
+    },
+}
+
+impl ActionKind {
+    /// The action label used in traces and the state-transition table
+    /// (Table II column "Action labels").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ActionKind::MoveToLocation { .. } => "move_to_location",
+            ActionKind::MoveInsideDevice { .. } => "move_robot_inside",
+            ActionKind::MoveOutOfDevice => "move_robot_outside",
+            ActionKind::MoveHome => "go_to_home_pose",
+            ActionKind::MoveToSleep => "go_to_sleep_pose",
+            ActionKind::PickObject { .. } => "pick_object",
+            ActionKind::PlaceObject { .. } => "place_object",
+            ActionKind::OpenGripper => "open_gripper",
+            ActionKind::CloseGripper => "close_gripper",
+            ActionKind::SetDoor { open: true } => "open_door",
+            ActionKind::SetDoor { open: false } => "close_door",
+            ActionKind::DoseSolid { .. } => "dose_solid",
+            ActionKind::DoseLiquid { .. } => "dose_liquid",
+            ActionKind::StartAction { .. } => "start_action",
+            ActionKind::StopAction => "stop_action",
+            ActionKind::Cap => "cap_vial",
+            ActionKind::Decap => "decap_vial",
+            ActionKind::Transfer { .. } => "transfer",
+            ActionKind::Custom { .. } => "custom",
+        }
+    }
+
+    /// Returns `true` for actions that move a robot arm through space —
+    /// the commands the Fig. 2 algorithm routes through the trajectory
+    /// validator (`isRobotCommand` on Line 8).
+    pub fn is_robot_motion(&self) -> bool {
+        matches!(
+            self,
+            ActionKind::MoveToLocation { .. }
+                | ActionKind::MoveInsideDevice { .. }
+                | ActionKind::MoveOutOfDevice
+                | ActionKind::MoveHome
+                | ActionKind::MoveToSleep
+                | ActionKind::PickObject { .. }
+                | ActionKind::PlaceObject { .. }
+        )
+    }
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionKind::MoveToLocation { target } => {
+                write!(f, "move_to_location{target}")
+            }
+            ActionKind::MoveInsideDevice { device } => {
+                write!(f, "move_robot_inside({device})")
+            }
+            ActionKind::PickObject { object } => write!(f, "pick_object({object})"),
+            ActionKind::PlaceObject {
+                object,
+                into: Some(d),
+            } => {
+                write!(f, "place_object({object} -> {d})")
+            }
+            ActionKind::PlaceObject { object, into: None } => {
+                write!(f, "place_object({object})")
+            }
+            ActionKind::DoseSolid { amount_mg, into } => {
+                write!(f, "dose_solid({amount_mg} mg -> {into})")
+            }
+            ActionKind::DoseLiquid { volume_ml, into } => {
+                write!(f, "dose_liquid({volume_ml} mL -> {into})")
+            }
+            ActionKind::StartAction { value } => write!(f, "start_action({value})"),
+            ActionKind::Transfer {
+                from,
+                to,
+                substance,
+                amount,
+            } => {
+                write!(f, "transfer({amount} {substance}: {from} -> {to})")
+            }
+            ActionKind::Custom { name, .. } => write!(f, "custom({name})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// A command: one device performing one action. This is the unit RABIT
+/// intercepts, validates, executes, and verifies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Command {
+    /// The acting device (the robot arm for motion commands, the dosing
+    /// device for door/dose commands, …).
+    pub actor: DeviceId,
+    /// What the actor does.
+    pub action: ActionKind,
+}
+
+impl Command {
+    /// Creates a command.
+    pub fn new(actor: impl Into<DeviceId>, action: ActionKind) -> Self {
+        Command {
+            actor: actor.into(),
+            action,
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.actor, self.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table_ii() {
+        assert_eq!(
+            ActionKind::MoveInsideDevice {
+                device: "dosing_device".into()
+            }
+            .label(),
+            "move_robot_inside"
+        );
+        assert_eq!(
+            ActionKind::PickObject {
+                object: "vial".into()
+            }
+            .label(),
+            "pick_object"
+        );
+        assert_eq!(
+            ActionKind::PlaceObject {
+                object: "vial".into(),
+                into: None
+            }
+            .label(),
+            "place_object"
+        );
+        assert_eq!(ActionKind::SetDoor { open: true }.label(), "open_door");
+        assert_eq!(ActionKind::SetDoor { open: false }.label(), "close_door");
+    }
+
+    #[test]
+    fn motion_classification() {
+        assert!(ActionKind::MoveToLocation { target: Vec3::ZERO }.is_robot_motion());
+        assert!(ActionKind::MoveHome.is_robot_motion());
+        assert!(ActionKind::PickObject {
+            object: "vial".into()
+        }
+        .is_robot_motion());
+        assert!(!ActionKind::SetDoor { open: true }.is_robot_motion());
+        assert!(!ActionKind::StartAction { value: 60.0 }.is_robot_motion());
+        assert!(!ActionKind::Cap.is_robot_motion());
+    }
+
+    #[test]
+    fn command_display() {
+        let c = Command::new(
+            "viperx",
+            ActionKind::PickObject {
+                object: "vial_NW".into(),
+            },
+        );
+        assert_eq!(c.to_string(), "viperx.pick_object(vial_NW)");
+        let d = Command::new("dosing_device", ActionKind::SetDoor { open: false });
+        assert_eq!(d.to_string(), "dosing_device.close_door");
+    }
+
+    #[test]
+    fn commands_roundtrip_through_serde() {
+        let c = Command::new(
+            "ned2",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.443, -0.010, 0.292),
+            },
+        );
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Command = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn substance_display() {
+        assert_eq!(Substance::Solid.to_string(), "solid");
+        assert_eq!(Substance::Liquid.to_string(), "liquid");
+    }
+}

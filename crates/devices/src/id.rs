@@ -1,0 +1,130 @@
+//! Device identity and the four-type taxonomy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unique device identifier (e.g. `"ur3e"`, `"dosing_device"`,
+/// `"vial_NW"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(String);
+
+impl DeviceId {
+    /// Creates a device id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "device id must not be empty");
+        DeviceId(name)
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for DeviceId {
+    fn from(s: &str) -> Self {
+        DeviceId::new(s)
+    }
+}
+
+impl From<String> for DeviceId {
+    fn from(s: String) -> Self {
+        DeviceId::new(s)
+    }
+}
+
+impl AsRef<str> for DeviceId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// The paper's four device types, plus an escape hatch for labs with
+/// devices "that do not belong to any of the four specified device types"
+/// (§II-C).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceType {
+    /// Holds substances; typically has a stopper (vials, flasks).
+    Container,
+    /// Moves between locations; picks up, moves, and places objects.
+    RobotArm,
+    /// Adds substances into containers (solid dosing device, syringe pump).
+    DosingSystem,
+    /// Has active/inactive states: heating, stirring, shaking, spinning.
+    ActionDevice,
+    /// A lab-defined category outside the standard four.
+    Custom(String),
+}
+
+impl DeviceType {
+    /// Returns `true` for types that may have a door in front of their
+    /// working volume (dosing systems and action devices — paper §II-A:
+    /// "Both dosing systems and action devices might have doors").
+    pub fn may_have_door(&self) -> bool {
+        matches!(self, DeviceType::DosingSystem | DeviceType::ActionDevice)
+    }
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceType::Container => f.write_str("container"),
+            DeviceType::RobotArm => f.write_str("robot_arm"),
+            DeviceType::DosingSystem => f.write_str("dosing_system"),
+            DeviceType::ActionDevice => f.write_str("action_device"),
+            DeviceType::Custom(name) => write!(f, "custom:{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compare_and_display() {
+        let a = DeviceId::new("ur3e");
+        let b: DeviceId = "ur3e".into();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "ur3e");
+        assert_eq!(a.as_str(), "ur3e");
+        let c: DeviceId = String::from("ned2").into();
+        assert_ne!(a, c);
+        assert!(c < a); // lexicographic: "ned2" < "ur3e"
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_id_panics() {
+        let _ = DeviceId::new("");
+    }
+
+    #[test]
+    fn door_capability_by_type() {
+        assert!(DeviceType::DosingSystem.may_have_door());
+        assert!(DeviceType::ActionDevice.may_have_door());
+        assert!(!DeviceType::Container.may_have_door());
+        assert!(!DeviceType::RobotArm.may_have_door());
+        assert!(!DeviceType::Custom("xrf".into()).may_have_door());
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(DeviceType::RobotArm.to_string(), "robot_arm");
+        assert_eq!(
+            DeviceType::Custom("decapper".into()).to_string(),
+            "custom:decapper"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Lab device models for RABIT.
+//!
+//! The paper classifies every piece of equipment in a self-driving lab
+//! into four device types (§II-A):
+//!
+//! 1. **Container** — "any object that can contain a substance … and
+//!    typically has a stopper";
+//! 2. **Robot Arm** — "a system that moves from one location to another
+//!    and has the ability to pick up, move, and place objects";
+//! 3. **Dosing System** — "any system used for adding substances into a
+//!    container during the experiment";
+//! 4. **Action Device** — "any system with 'active/inactive' states".
+//!
+//! Each device type carries *state variables* (e.g. `deviceDoorStatus`,
+//! `robotArmHolding`) and *actions* with pre- and postconditions
+//! (Table II). This crate provides:
+//!
+//! * the vocabulary — [`DeviceId`], [`DeviceType`], [`StateKey`],
+//!   [`Value`], [`ActionKind`], [`Command`];
+//! * lab state snapshots — [`DeviceState`], [`LabState`] (the algorithm's
+//!   `S_current` / `S_expected` / `S_actual`);
+//! * the runtime [`Device`] trait with status commands, simulated command
+//!   latencies, and malfunction injection;
+//! * concrete models of every Hein-Lab device: [`Vial`], [`Grid`],
+//!   [`DosingDevice`], [`SyringePump`], [`Hotplate`], [`Centrifuge`],
+//!   [`Thermoshaker`], and the logical [`RobotArm`].
+//!
+//! # Example
+//!
+//! ```
+//! use rabit_devices::{ActionKind, Device, DosingDevice};
+//! use rabit_geometry::{Aabb, Vec3};
+//!
+//! let footprint = Aabb::new(Vec3::ZERO, Vec3::new(0.2, 0.2, 0.3));
+//! let mut doser = DosingDevice::new("dosing_device", footprint);
+//! doser.execute(&ActionKind::SetDoor { open: true })?;
+//! assert!(doser.door_open());
+//! # Ok::<(), rabit_devices::DeviceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action_devices;
+mod command;
+mod containers;
+mod device;
+mod dosing;
+mod id;
+pub mod multidoor;
+pub mod physical;
+mod robot;
+mod sensor;
+mod state;
+mod value;
+
+pub use action_devices::{Centrifuge, Hotplate, Thermoshaker};
+pub use command::{ActionKind, Command, Substance};
+pub use containers::{Grid, Vial};
+pub use device::{Device, DeviceError, LatencyModel, Malfunction};
+pub use dosing::{DosingDevice, SyringePump};
+pub use id::{DeviceId, DeviceType};
+pub use multidoor::MultiDoorDevice;
+pub use robot::RobotArm;
+pub use sensor::{ProximitySensor, OCCUPIED_KEY};
+pub use state::{DeviceState, LabState, StateDiff};
+pub use value::{StateKey, Value};

@@ -1,0 +1,43 @@
+//! Shared physical constants of the lab model.
+//!
+//! Both the ground-truth physics (the `Lab` environment in `rabit-core`)
+//! and RABIT's own geometric preconditions reference these constants, so
+//! that "RABIT knows the arm's dimensions" means knowing *these* numbers.
+//! The Bug-D storyline is reproduced by the split between
+//! [`ARM_CLEARANCE_M`] (which baseline RABIT models) and
+//! [`HELD_OBJECT_CLEARANCE_M`] (which it did not, until the post-Bug-D
+//! modification: "RABIT failed to account that a robot arm's dimensions
+//! may change if it is holding an object", §IV).
+
+/// How far the gripper body extends below the commanded tool position
+/// (metres). A move with target `z ≤` this collides the bare arm with the
+/// mounting platform.
+pub const ARM_CLEARANCE_M: f64 = 0.05;
+
+/// How far a held vial hangs below the commanded tool position (metres).
+/// A move with target `z ≤` this while holding crashes the vial into the
+/// platform (Bug D: pickup z changed from 0.10 to 0.08).
+pub const HELD_OBJECT_CLEARANCE_M: f64 = 0.09;
+
+/// Two arm tool positions closer than this (metres) constitute an
+/// arm-on-arm collision (Bug B).
+pub const ARM_COLLISION_RADIUS_M: f64 = 0.15;
+
+/// A pick physically succeeds only if the target object rests within this
+/// distance of the arm's tool position (metres).
+pub const GRASP_RADIUS_M: f64 = 0.05;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn clearances_are_ordered() {
+        // A held object always hangs lower than the bare gripper, so its
+        // clearance requirement must be the stricter one.
+        assert!(HELD_OBJECT_CLEARANCE_M > ARM_CLEARANCE_M);
+        assert!(GRASP_RADIUS_M > 0.0);
+        assert!(ARM_COLLISION_RADIUS_M > GRASP_RADIUS_M);
+    }
+}

@@ -1,0 +1,400 @@
+//! Lab state snapshots: `S_current`, `S_expected`, `S_actual`.
+
+use crate::id::DeviceId;
+use crate::value::{StateKey, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The state of a single device: a map from state variable to value.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeviceState {
+    vars: BTreeMap<StateKey, Value>,
+}
+
+impl DeviceState {
+    /// An empty device state.
+    pub fn new() -> Self {
+        DeviceState::default()
+    }
+
+    /// Sets a state variable (builder style).
+    pub fn with(mut self, key: StateKey, value: impl Into<Value>) -> Self {
+        self.vars.insert(key, value.into());
+        self
+    }
+
+    /// Sets a state variable.
+    pub fn set(&mut self, key: StateKey, value: impl Into<Value>) {
+        self.vars.insert(key, value.into());
+    }
+
+    /// Reads a state variable.
+    pub fn get(&self, key: &StateKey) -> Option<&Value> {
+        self.vars.get(key)
+    }
+
+    /// Convenience: reads a boolean variable.
+    pub fn get_bool(&self, key: &StateKey) -> Option<bool> {
+        self.get(key).and_then(Value::as_bool)
+    }
+
+    /// Convenience: reads a numeric variable.
+    pub fn get_number(&self, key: &StateKey) -> Option<f64> {
+        self.get(key).and_then(Value::as_number)
+    }
+
+    /// Convenience: reads a device-reference variable. Returns
+    /// `Some(None)` when the variable exists but references nothing.
+    pub fn get_id(&self, key: &StateKey) -> Option<Option<&DeviceId>> {
+        self.get(key).and_then(Value::as_id)
+    }
+
+    /// Iterates over all `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&StateKey, &Value)> {
+        self.vars.iter()
+    }
+
+    /// Number of state variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if no variables are set.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+impl FromIterator<(StateKey, Value)> for DeviceState {
+    fn from_iter<I: IntoIterator<Item = (StateKey, Value)>>(iter: I) -> Self {
+        DeviceState {
+            vars: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(StateKey, Value)> for DeviceState {
+    fn extend<I: IntoIterator<Item = (StateKey, Value)>>(&mut self, iter: I) {
+        self.vars.extend(iter);
+    }
+}
+
+/// A full lab snapshot: the state of every device. This is the `S` of the
+/// Fig. 2 algorithm.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LabState {
+    devices: BTreeMap<DeviceId, DeviceState>,
+}
+
+impl LabState {
+    /// An empty lab.
+    pub fn new() -> Self {
+        LabState::default()
+    }
+
+    /// Inserts or replaces a device's state (builder style).
+    pub fn with_device(mut self, id: impl Into<DeviceId>, state: DeviceState) -> Self {
+        self.devices.insert(id.into(), state);
+        self
+    }
+
+    /// Inserts or replaces a device's state.
+    pub fn insert(&mut self, id: impl Into<DeviceId>, state: DeviceState) {
+        self.devices.insert(id.into(), state);
+    }
+
+    /// The state of one device.
+    pub fn device(&self, id: &DeviceId) -> Option<&DeviceState> {
+        self.devices.get(id)
+    }
+
+    /// Mutable access to one device's state (inserted empty if missing).
+    pub fn device_mut(&mut self, id: &DeviceId) -> &mut DeviceState {
+        self.devices.entry(id.clone()).or_default()
+    }
+
+    /// Reads one variable of one device.
+    pub fn get(&self, id: &DeviceId, key: &StateKey) -> Option<&Value> {
+        self.devices.get(id).and_then(|d| d.get(key))
+    }
+
+    /// Convenience: boolean variable of a device.
+    pub fn get_bool(&self, id: &DeviceId, key: &StateKey) -> Option<bool> {
+        self.get(id, key).and_then(Value::as_bool)
+    }
+
+    /// Convenience: numeric variable of a device.
+    pub fn get_number(&self, id: &DeviceId, key: &StateKey) -> Option<f64> {
+        self.get(id, key).and_then(Value::as_number)
+    }
+
+    /// Convenience: device-reference variable of a device.
+    pub fn get_id(&self, id: &DeviceId, key: &StateKey) -> Option<Option<&DeviceId>> {
+        self.get(id, key).and_then(Value::as_id)
+    }
+
+    /// Sets one variable of one device.
+    pub fn set(&mut self, id: &DeviceId, key: StateKey, value: impl Into<Value>) {
+        self.device_mut(id).set(key, value);
+    }
+
+    /// All device ids in the snapshot, in order.
+    pub fn device_ids(&self) -> impl Iterator<Item = &DeviceId> {
+        self.devices.keys()
+    }
+
+    /// Iterates over `(device, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&DeviceId, &DeviceState)> {
+        self.devices.iter()
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Returns `true` if the snapshot has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Overlays `reported` on top of this snapshot: every variable a
+    /// device actually reports overwrites the believed value; believed
+    /// variables the devices cannot sense (vial contents, containment,
+    /// held objects) are retained. This is how `S_current` is rolled
+    /// forward on Line 16 of the Fig. 2 algorithm in a lab where not
+    /// every state variable has a sensor.
+    pub fn overlay(&mut self, reported: &LabState) {
+        for (device, dstate) in reported.iter() {
+            let entry = self.device_mut(device);
+            for (key, value) in dstate.iter() {
+                entry.set(key.clone(), value.clone());
+            }
+        }
+    }
+
+    /// Compares expected (`self`) against the *reported* snapshot,
+    /// returning a difference for every variable the devices actually
+    /// report that contradicts the expectation. Believed-only variables
+    /// (present in `self` but absent from `reported`) are NOT mismatches:
+    /// an unsensed variable can never contradict anything — the blind
+    /// spot behind the paper's undetected Bug-C class.
+    pub fn diff_reported(&self, reported: &LabState, tol: f64) -> Vec<StateDiff> {
+        let mut out = Vec::new();
+        for (device, dstate) in reported.iter() {
+            for (key, actual) in dstate.iter() {
+                if let Some(expected) = self.get(device, key) {
+                    if !expected.approx_eq(actual, tol) {
+                        out.push(StateDiff {
+                            device: device.clone(),
+                            key: key.clone(),
+                            left: Some(expected.clone()),
+                            right: Some(actual.clone()),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Compares two snapshots variable-by-variable, returning every
+    /// difference. An empty diff means `S_actual = S_expected`; a
+    /// non-empty diff is what triggers the "Device malfunction!" alert
+    /// (Fig. 2, Lines 14-15).
+    ///
+    /// Numeric and position values compare within `tol`; variables present
+    /// on only one side are reported with `None` for the missing side.
+    pub fn diff(&self, other: &LabState, tol: f64) -> Vec<StateDiff> {
+        let mut out = Vec::new();
+        let ids: std::collections::BTreeSet<&DeviceId> =
+            self.devices.keys().chain(other.devices.keys()).collect();
+        for id in ids {
+            let a = self.devices.get(id);
+            let b = other.devices.get(id);
+            let keys: std::collections::BTreeSet<&StateKey> = a
+                .map(|d| d.vars.keys().collect::<Vec<_>>())
+                .unwrap_or_default()
+                .into_iter()
+                .chain(
+                    b.map(|d| d.vars.keys().collect::<Vec<_>>())
+                        .unwrap_or_default(),
+                )
+                .collect();
+            for key in keys {
+                let va = a.and_then(|d| d.get(key));
+                let vb = b.and_then(|d| d.get(key));
+                let equal = match (va, vb) {
+                    (Some(x), Some(y)) => x.approx_eq(y, tol),
+                    (None, None) => true,
+                    _ => false,
+                };
+                if !equal {
+                    out.push(StateDiff {
+                        device: id.clone(),
+                        key: key.clone(),
+                        left: va.cloned(),
+                        right: vb.cloned(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(DeviceId, DeviceState)> for LabState {
+    fn from_iter<I: IntoIterator<Item = (DeviceId, DeviceState)>>(iter: I) -> Self {
+        LabState {
+            devices: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// One differing state variable between two lab snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateDiff {
+    /// The device whose variable differs.
+    pub device: DeviceId,
+    /// The differing variable.
+    pub key: StateKey,
+    /// Value on the left-hand snapshot (`None` if absent).
+    pub left: Option<Value>,
+    /// Value on the right-hand snapshot (`None` if absent).
+    pub right: Option<Value>,
+}
+
+impl fmt::Display for StateDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_opt = |v: &Option<Value>| match v {
+            Some(v) => v.to_string(),
+            None => "<absent>".to_string(),
+        };
+        write!(
+            f,
+            "{}.{}: {} vs {}",
+            self.device,
+            self.key,
+            fmt_opt(&self.left),
+            fmt_opt(&self.right)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn door_state(open: bool) -> DeviceState {
+        DeviceState::new().with(StateKey::DoorOpen, open)
+    }
+
+    #[test]
+    fn device_state_roundtrip() {
+        let mut s = DeviceState::new();
+        assert!(s.is_empty());
+        s.set(StateKey::DoorOpen, true);
+        s.set(StateKey::ActionValue, 25.0);
+        s.set(StateKey::Holding, Some(DeviceId::new("vial")));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get_bool(&StateKey::DoorOpen), Some(true));
+        assert_eq!(s.get_number(&StateKey::ActionValue), Some(25.0));
+        assert_eq!(
+            s.get_id(&StateKey::Holding).unwrap().unwrap().as_str(),
+            "vial"
+        );
+        assert_eq!(s.get(&StateKey::RedDotNorth), None);
+        // Wrong-type convenience reads return None.
+        assert_eq!(s.get_bool(&StateKey::ActionValue), None);
+    }
+
+    #[test]
+    fn lab_state_accessors() {
+        let mut lab = LabState::new();
+        assert!(lab.is_empty());
+        lab.insert(
+            "hotplate",
+            door_state(false).with(StateKey::ActionValue, 25.0),
+        );
+        lab.insert("doser", door_state(true));
+        assert_eq!(lab.len(), 2);
+        let hp = DeviceId::new("hotplate");
+        assert_eq!(lab.get_bool(&hp, &StateKey::DoorOpen), Some(false));
+        assert_eq!(lab.get_number(&hp, &StateKey::ActionValue), Some(25.0));
+        assert_eq!(lab.device_ids().count(), 2);
+        lab.set(&hp, StateKey::ActionValue, 60.0);
+        assert_eq!(lab.get_number(&hp, &StateKey::ActionValue), Some(60.0));
+    }
+
+    #[test]
+    fn identical_states_have_empty_diff() {
+        let lab = LabState::new().with_device("d", door_state(true));
+        assert!(lab.diff(&lab.clone(), 0.0).is_empty());
+    }
+
+    #[test]
+    fn diff_detects_changed_value() {
+        let a = LabState::new().with_device("doser", door_state(true));
+        let b = LabState::new().with_device("doser", door_state(false));
+        let d = a.diff(&b, 0.0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].device.as_str(), "doser");
+        assert_eq!(d[0].key, StateKey::DoorOpen);
+        assert_eq!(d[0].left, Some(Value::Bool(true)));
+        assert_eq!(d[0].right, Some(Value::Bool(false)));
+        assert!(d[0].to_string().contains("doser.deviceDoorStatus"));
+    }
+
+    #[test]
+    fn diff_detects_missing_device_and_variable() {
+        let a = LabState::new().with_device("doser", door_state(true));
+        let b = LabState::new();
+        let d = a.diff(&b, 0.0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].right, None);
+        // Variable missing on one side only.
+        let c = LabState::new().with_device(
+            "doser",
+            door_state(true).with(StateKey::ActionActive, false),
+        );
+        let d = a.diff(&c, 0.0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].key, StateKey::ActionActive);
+        assert_eq!(d[0].left, None);
+    }
+
+    #[test]
+    fn diff_tolerates_numeric_jitter() {
+        let a =
+            LabState::new().with_device("hp", DeviceState::new().with(StateKey::ActionValue, 60.0));
+        let b = LabState::new()
+            .with_device("hp", DeviceState::new().with(StateKey::ActionValue, 60.004));
+        assert!(a.diff(&b, 0.01).is_empty());
+        assert_eq!(a.diff(&b, 0.001).len(), 1);
+    }
+
+    #[test]
+    fn diff_is_antisymmetric_in_sides() {
+        let a = LabState::new().with_device("d", door_state(true));
+        let b = LabState::new().with_device("d", door_state(false));
+        let ab = a.diff(&b, 0.0);
+        let ba = b.diff(&a, 0.0);
+        assert_eq!(ab.len(), ba.len());
+        assert_eq!(ab[0].left, ba[0].right);
+        assert_eq!(ab[0].right, ba[0].left);
+    }
+
+    #[test]
+    fn collect_from_iterators() {
+        let ds: DeviceState = vec![(StateKey::DoorOpen, Value::Bool(true))]
+            .into_iter()
+            .collect();
+        assert_eq!(ds.len(), 1);
+        let lab: LabState = vec![(DeviceId::new("x"), ds)].into_iter().collect();
+        assert_eq!(lab.len(), 1);
+        let mut ds2 = DeviceState::new();
+        ds2.extend(vec![(StateKey::ActionActive, Value::Bool(false))]);
+        assert_eq!(ds2.len(), 1);
+    }
+}

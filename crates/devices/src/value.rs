@@ -1,0 +1,334 @@
+//! State variables: keys and values.
+
+use crate::id::DeviceId;
+use rabit_geometry::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The state-variable vocabulary shared by all device types.
+///
+/// These correspond to the paper's state variables: `deviceDoorStatus`
+/// maps to [`StateKey::DoorOpen`], `robotArmHolding` to
+/// [`StateKey::Holding`], `robotArmInside[robot][device]` to
+/// [`StateKey::InsideOf`] on the robot, and so on.
+///
+/// Keys serialize as their paper-notation strings (the [`fmt::Display`]
+/// form), so state snapshots and traces are plain JSON objects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StateKey {
+    /// Whether the device's door is open (dosing systems / action devices).
+    DoorOpen,
+    /// The object a robot arm's gripper is holding, if any.
+    Holding,
+    /// The device a robot arm is currently (partially) inside, if any.
+    InsideOf,
+    /// Whether a robot arm's gripper is open.
+    GripperOpen,
+    /// Current position of a movable device/object (tool position for
+    /// arms, resting position for containers).
+    Location,
+    /// Whether a robot arm is parked at its sleep position (used by the
+    /// time-multiplexing preconditions).
+    AtSleep,
+    /// Whether an action device is currently performing its action.
+    ActionActive,
+    /// Current action value (temperature in °C, stirring speed in rpm, …).
+    ActionValue,
+    /// Firmware threshold on the action value (paper rule III-11).
+    ActionThreshold,
+    /// The container currently placed inside this dosing/action device.
+    ContainedObject,
+    /// Milligrams of solid inside a container.
+    SolidMg,
+    /// Millilitres of liquid inside a container.
+    LiquidMl,
+    /// Liquid capacity of a container (mL).
+    CapacityMl,
+    /// Solid capacity of a container (mg).
+    CapacityMg,
+    /// Whether a container has its stopper on.
+    HasStopper,
+    /// Whether the centrifuge's red alignment dot faces North
+    /// (Hein custom rule IV-3).
+    RedDotNorth,
+    /// The stationary 3D cuboid this device occupies on the deck.
+    Footprint,
+    /// A lab-defined state variable.
+    Custom(String),
+}
+
+impl fmt::Display for StateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateKey::DoorOpen => f.write_str("deviceDoorStatus"),
+            StateKey::Holding => f.write_str("robotArmHolding"),
+            StateKey::InsideOf => f.write_str("robotArmInside"),
+            StateKey::GripperOpen => f.write_str("gripperOpen"),
+            StateKey::Location => f.write_str("location"),
+            StateKey::AtSleep => f.write_str("atSleep"),
+            StateKey::ActionActive => f.write_str("actionActive"),
+            StateKey::ActionValue => f.write_str("actionValue"),
+            StateKey::ActionThreshold => f.write_str("actionThreshold"),
+            StateKey::ContainedObject => f.write_str("containedObject"),
+            StateKey::SolidMg => f.write_str("solidMg"),
+            StateKey::LiquidMl => f.write_str("liquidMl"),
+            StateKey::CapacityMl => f.write_str("capacityMl"),
+            StateKey::CapacityMg => f.write_str("capacityMg"),
+            StateKey::HasStopper => f.write_str("hasStopper"),
+            StateKey::RedDotNorth => f.write_str("redDotNorth"),
+            StateKey::Footprint => f.write_str("footprint"),
+            StateKey::Custom(name) => write!(f, "custom:{name}"),
+        }
+    }
+}
+
+impl std::str::FromStr for StateKey {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "deviceDoorStatus" => StateKey::DoorOpen,
+            "robotArmHolding" => StateKey::Holding,
+            "robotArmInside" => StateKey::InsideOf,
+            "gripperOpen" => StateKey::GripperOpen,
+            "location" => StateKey::Location,
+            "atSleep" => StateKey::AtSleep,
+            "actionActive" => StateKey::ActionActive,
+            "actionValue" => StateKey::ActionValue,
+            "actionThreshold" => StateKey::ActionThreshold,
+            "containedObject" => StateKey::ContainedObject,
+            "solidMg" => StateKey::SolidMg,
+            "liquidMl" => StateKey::LiquidMl,
+            "capacityMl" => StateKey::CapacityMl,
+            "capacityMg" => StateKey::CapacityMg,
+            "hasStopper" => StateKey::HasStopper,
+            "redDotNorth" => StateKey::RedDotNorth,
+            "footprint" => StateKey::Footprint,
+            other => StateKey::Custom(other.strip_prefix("custom:").unwrap_or(other).to_string()),
+        })
+    }
+}
+
+impl serde::Serialize for StateKey {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for StateKey {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(s.parse().expect("StateKey parsing is infallible"))
+    }
+}
+
+/// A state-variable value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Boolean flag (door open, stopper on, …).
+    Bool(bool),
+    /// Scalar quantity (temperature, volume, …).
+    Number(f64),
+    /// A 3D position.
+    Position(Vec3),
+    /// An optional reference to another device (held object, containing
+    /// device, …). `Id(None)` means "none" (e.g. not holding anything).
+    Id(Option<DeviceId>),
+    /// A stationary cuboid volume.
+    Box3(Aabb),
+    /// Free-form text.
+    Text(String),
+}
+
+impl Value {
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a `Number`.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The position payload, if this is a `Position`.
+    pub fn as_position(&self) -> Option<Vec3> {
+        match self {
+            Value::Position(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The device-reference payload, if this is an `Id`.
+    pub fn as_id(&self) -> Option<Option<&DeviceId>> {
+        match self {
+            Value::Id(id) => Some(id.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The cuboid payload, if this is a `Box3`.
+    pub fn as_box(&self) -> Option<&Aabb> {
+        match self {
+            Value::Box3(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Approximate equality: numbers and positions compare within `tol`,
+    /// everything else exactly. Used by the malfunction check
+    /// (`S_actual ≠ S_expected`) so that sensor jitter below the tolerance
+    /// does not raise false "device malfunction" alarms.
+    pub fn approx_eq(&self, other: &Value, tol: f64) -> bool {
+        match (self, other) {
+            (Value::Number(a), Value::Number(b)) => (a - b).abs() <= tol,
+            (Value::Position(a), Value::Position(b)) => a.distance(*b) <= tol,
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<Vec3> for Value {
+    fn from(p: Vec3) -> Self {
+        Value::Position(p)
+    }
+}
+
+impl From<Option<DeviceId>> for Value {
+    fn from(id: Option<DeviceId>) -> Self {
+        Value::Id(id)
+    }
+}
+
+impl From<Aabb> for Value {
+    fn from(b: Aabb) -> Self {
+        Value::Box3(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::Position(p) => write!(f, "{p}"),
+            Value::Id(Some(id)) => write!(f, "{id}"),
+            Value::Id(None) => f.write_str("none"),
+            Value::Box3(b) => write!(f, "box[{} … {}]", b.min(), b.max()),
+            Value::Text(t) => f.write_str(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Bool(true).as_number(), None);
+        assert_eq!(Value::Number(2.5).as_number(), Some(2.5));
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Value::Position(p).as_position(), Some(p));
+        let id = DeviceId::new("vial");
+        assert_eq!(Value::Id(Some(id.clone())).as_id(), Some(Some(&id)));
+        assert_eq!(Value::Id(None).as_id(), Some(None));
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        assert_eq!(Value::Box3(b).as_box(), Some(&b));
+        assert_eq!(Value::Text("x".into()).as_bool(), None);
+    }
+
+    #[test]
+    fn approx_equality_tolerates_jitter() {
+        assert!(Value::Number(25.0).approx_eq(&Value::Number(25.004), 0.01));
+        assert!(!Value::Number(25.0).approx_eq(&Value::Number(26.0), 0.01));
+        let a = Value::Position(Vec3::ZERO);
+        let b = Value::Position(Vec3::new(0.0005, 0.0, 0.0));
+        assert!(a.approx_eq(&b, 0.001));
+        assert!(!a.approx_eq(&b, 0.0001));
+        // Non-numeric values compare exactly.
+        assert!(Value::Bool(true).approx_eq(&Value::Bool(true), 0.0));
+        assert!(!Value::Bool(true).approx_eq(&Value::Bool(false), 100.0));
+        // Cross-variant comparison is never equal.
+        assert!(!Value::Number(1.0).approx_eq(&Value::Bool(true), 1.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3.0), Value::Number(3.0));
+        assert_eq!(Value::from(Vec3::X), Value::Position(Vec3::X));
+        assert_eq!(Value::from(None::<DeviceId>), Value::Id(None));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(StateKey::DoorOpen.to_string(), "deviceDoorStatus");
+        assert_eq!(StateKey::Holding.to_string(), "robotArmHolding");
+        assert_eq!(StateKey::Custom("rpm2".into()).to_string(), "custom:rpm2");
+        assert_eq!(Value::Id(None).to_string(), "none");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn keys_roundtrip_through_their_display_strings() {
+        let keys = [
+            StateKey::DoorOpen,
+            StateKey::Holding,
+            StateKey::InsideOf,
+            StateKey::GripperOpen,
+            StateKey::Location,
+            StateKey::AtSleep,
+            StateKey::ActionActive,
+            StateKey::ActionValue,
+            StateKey::ActionThreshold,
+            StateKey::ContainedObject,
+            StateKey::SolidMg,
+            StateKey::LiquidMl,
+            StateKey::CapacityMl,
+            StateKey::CapacityMg,
+            StateKey::HasStopper,
+            StateKey::RedDotNorth,
+            StateKey::Footprint,
+            StateKey::Custom("slot:NW".into()),
+        ];
+        for key in keys {
+            let s = key.to_string();
+            let back: StateKey = s.parse().unwrap();
+            assert_eq!(back, key, "via '{s}'");
+            // And through serde, as a JSON map key.
+            let json = serde_json::to_string(&key).unwrap();
+            let back: StateKey = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, key);
+        }
+    }
+
+    #[test]
+    fn keys_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(StateKey::DoorOpen);
+        set.insert(StateKey::Holding);
+        set.insert(StateKey::DoorOpen);
+        assert_eq!(set.len(), 2);
+    }
+}

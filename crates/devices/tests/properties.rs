@@ -1,0 +1,139 @@
+//! Property-based tests over the device-state layer.
+
+use proptest::prelude::*;
+use rabit_devices::{DeviceId, DeviceState, LabState, StateKey, Value, Vial};
+use rabit_geometry::Vec3;
+
+fn state_key() -> impl Strategy<Value = StateKey> {
+    prop_oneof![
+        Just(StateKey::DoorOpen),
+        Just(StateKey::ActionActive),
+        Just(StateKey::ActionValue),
+        Just(StateKey::SolidMg),
+        Just(StateKey::LiquidMl),
+        Just(StateKey::HasStopper),
+        Just(StateKey::AtSleep),
+        "[a-z]{1,8}".prop_map(StateKey::Custom),
+    ]
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        (-1e3..1e3f64).prop_map(Value::Number),
+        (-2.0..2.0f64, -2.0..2.0f64, 0.0..2.0f64)
+            .prop_map(|(x, y, z)| Value::Position(Vec3::new(x, y, z))),
+        prop_oneof![
+            Just(Value::Id(None)),
+            "[a-z]{1,6}".prop_map(|s| Value::Id(Some(DeviceId::new(s)))),
+        ],
+    ]
+}
+
+fn device_state() -> impl Strategy<Value = DeviceState> {
+    prop::collection::vec((state_key(), value()), 0..6)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+fn lab_state() -> impl Strategy<Value = LabState> {
+    prop::collection::vec(("[a-z]{1,6}", device_state()), 0..5).prop_map(|devs| {
+        devs.into_iter()
+            .map(|(id, st)| (DeviceId::new(id), st))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Overlay semantics: every reported variable wins; everything else
+    /// is retained.
+    #[test]
+    fn overlay_reported_wins_and_rest_is_retained(
+        believed in lab_state(),
+        reported in lab_state()
+    ) {
+        let mut merged = believed.clone();
+        merged.overlay(&reported);
+        // Reported values are present verbatim.
+        for (dev, st) in reported.iter() {
+            for (key, val) in st.iter() {
+                prop_assert_eq!(merged.get(dev, key), Some(val));
+            }
+        }
+        // Believed-only values survive.
+        for (dev, st) in believed.iter() {
+            for (key, val) in st.iter() {
+                if reported.get(dev, key).is_none() {
+                    prop_assert_eq!(merged.get(dev, key), Some(val));
+                }
+            }
+        }
+    }
+
+    /// A snapshot never contradicts itself, at any tolerance.
+    #[test]
+    fn self_diff_is_empty(state in lab_state(), tol in 0.0..1.0f64) {
+        prop_assert!(state.diff_reported(&state, tol).is_empty());
+        prop_assert!(state.diff(&state, tol).is_empty());
+    }
+
+    /// `diff_reported` only ever cites variables the reported side has,
+    /// and loosening the tolerance never creates new findings.
+    #[test]
+    fn diff_reported_is_sound_and_monotone(
+        expected in lab_state(),
+        reported in lab_state(),
+        tol in 0.0..0.5f64
+    ) {
+        let strict = expected.diff_reported(&reported, tol);
+        for d in &strict {
+            prop_assert!(reported.get(&d.device, &d.key).is_some());
+            prop_assert!(expected.get(&d.device, &d.key).is_some());
+        }
+        let loose = expected.diff_reported(&reported, tol + 0.5);
+        prop_assert!(loose.len() <= strict.len());
+    }
+
+    /// Overlaying the reported snapshot resolves every reported
+    /// discrepancy: the merged state agrees with the report.
+    #[test]
+    fn overlay_resolves_all_reported_diffs(
+        expected in lab_state(),
+        reported in lab_state()
+    ) {
+        let mut merged = expected.clone();
+        merged.overlay(&reported);
+        prop_assert!(merged.diff_reported(&reported, 0.0).is_empty());
+    }
+
+    /// LabState survives a JSON round trip (up to sub-nanometre float
+    /// drift: serde_json can shift a value by one ulp near decimal ties).
+    #[test]
+    fn lab_state_serde_roundtrip(state in lab_state()) {
+        let json = serde_json::to_string(&state).unwrap();
+        let back: LabState = serde_json::from_str(&json).unwrap();
+        let diffs = back.diff(&state, 1e-9);
+        prop_assert!(diffs.is_empty(), "roundtrip drift: {diffs:?}");
+    }
+
+    /// Vial contents conservation: arbitrary add/take sequences keep the
+    /// contents within [0, capacity], and every gram is accounted for.
+    #[test]
+    fn vial_contents_are_conserved(ops in prop::collection::vec((any::<bool>(), 0.0..30.0f64), 1..40)) {
+        let mut vial = Vial::new("v", Vec3::ZERO).with_capacities(10.0, 20.0);
+        let mut ledger = 0.0; // what we believe is inside
+        for (add, amount) in ops {
+            if add {
+                let spilled = vial.add_solid(amount);
+                prop_assert!(spilled >= 0.0 && spilled <= amount + 1e-9);
+                ledger += amount - spilled;
+            } else {
+                let taken = vial.take_solid(amount);
+                prop_assert!(taken >= 0.0 && taken <= amount + 1e-9);
+                ledger -= taken;
+            }
+            prop_assert!((vial.solid_mg() - ledger).abs() < 1e-6);
+            prop_assert!(vial.solid_mg() >= -1e-9);
+            prop_assert!(vial.solid_mg() <= 10.0 + 1e-9);
+        }
+    }
+}

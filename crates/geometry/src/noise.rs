@@ -1,0 +1,160 @@
+//! Positional noise models for low-fidelity robot arms.
+//!
+//! The testbed arms (ViperX, Ned2) have "limited capabilities and
+//! precision" compared to the production UR3e (paper §III). RABIT's
+//! testbed substrate models this as zero-mean Gaussian noise added to
+//! commanded positions, with a per-arm standard deviation.
+
+use crate::Vec3;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An isotropic Gaussian positional noise model.
+///
+/// # Example
+///
+/// ```
+/// use rabit_geometry::noise::PositionNoise;
+/// use rabit_geometry::Vec3;
+///
+/// let mut rng = rand::rng();
+/// // Testbed-arm repeatability on the order of a centimetre.
+/// let noise = PositionNoise::gaussian(0.01);
+/// let commanded = Vec3::new(0.3, 0.2, 0.1);
+/// let actual = noise.perturb(commanded, &mut rng);
+/// assert!(commanded.distance(actual) < 0.1); // almost surely
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionNoise {
+    /// Standard deviation per axis, in metres. Zero means a perfect arm.
+    sigma: f64,
+}
+
+impl PositionNoise {
+    /// A noiseless model (production-grade arm).
+    pub const NONE: PositionNoise = PositionNoise { sigma: 0.0 };
+
+    /// Creates an isotropic Gaussian noise model with per-axis standard
+    /// deviation `sigma` metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn gaussian(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "noise sigma must be finite and non-negative, got {sigma}"
+        );
+        PositionNoise { sigma }
+    }
+
+    /// The per-axis standard deviation in metres.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Returns `true` if this model adds no noise.
+    pub fn is_none(&self) -> bool {
+        self.sigma == 0.0
+    }
+
+    /// Samples a noisy observation of `p`.
+    pub fn perturb<R: Rng + ?Sized>(&self, p: Vec3, rng: &mut R) -> Vec3 {
+        if self.is_none() {
+            return p;
+        }
+        p + Vec3::new(
+            self.sample_gaussian(rng),
+            self.sample_gaussian(rng),
+            self.sample_gaussian(rng),
+        )
+    }
+
+    /// Box–Muller transform: one standard normal sample scaled by sigma.
+    fn sample_gaussian<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        self.sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Expected Euclidean error magnitude `E[‖ε‖]` for this model.
+    ///
+    /// For an isotropic 3D Gaussian, `E[‖ε‖] = σ·√(8/π)` ≈ `1.5958·σ`
+    /// (mean of the Maxwell–Boltzmann distribution). Used to choose testbed
+    /// sigmas that reproduce the paper's ~3 cm mean frame error.
+    pub fn expected_error_norm(&self) -> f64 {
+        self.sigma * (8.0 / std::f64::consts::PI).sqrt()
+    }
+}
+
+impl Default for PositionNoise {
+    fn default() -> Self {
+        PositionNoise::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(PositionNoise::NONE.perturb(p, &mut rng), p);
+        assert!(PositionNoise::NONE.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let _ = PositionNoise::gaussian(-0.01);
+    }
+
+    #[test]
+    fn sample_statistics_match_sigma() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let noise = PositionNoise::gaussian(0.02);
+        let n = 20_000;
+        let mut sum = Vec3::ZERO;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let e = noise.perturb(Vec3::ZERO, &mut rng);
+            sum += e;
+            sum_sq += e.x * e.x;
+        }
+        let mean = sum / n as f64;
+        assert!(mean.norm() < 0.001, "mean should be near zero, got {mean}");
+        let var = sum_sq / n as f64;
+        assert!(
+            (var.sqrt() - 0.02).abs() < 0.002,
+            "per-axis std {} should be near 0.02",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn expected_error_norm_matches_empirical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let noise = PositionNoise::gaussian(0.015);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += noise.perturb(Vec3::ZERO, &mut rng).norm();
+        }
+        let empirical = total / n as f64;
+        let predicted = noise.expected_error_norm();
+        assert!(
+            (empirical - predicted).abs() / predicted < 0.05,
+            "empirical {empirical} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn sigma_accessor() {
+        assert_eq!(PositionNoise::gaussian(0.01).sigma(), 0.01);
+        assert_eq!(PositionNoise::default(), PositionNoise::NONE);
+    }
+}

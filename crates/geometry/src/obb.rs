@@ -1,0 +1,201 @@
+//! Oriented bounding boxes.
+//!
+//! Devices on the deck are usually axis-aligned ([`Aabb`]), but robot-arm
+//! sleep volumes and software-defined walls may be rotated relative to a
+//! given arm's coordinate frame, which is what [`Obb`] captures.
+
+use crate::{Aabb, Mat3, Pose, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// An oriented box: an [`Aabb`] in its own local frame, placed by a [`Pose`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Obb {
+    /// Center of the box in world coordinates.
+    pub center: Vec3,
+    /// Half-extents along the box's local axes.
+    pub half_extents: Vec3,
+    /// Rotation from local box axes to world axes.
+    pub rotation: Mat3,
+}
+
+impl Obb {
+    /// Creates an oriented box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any half-extent is negative.
+    pub fn new(center: Vec3, half_extents: Vec3, rotation: Mat3) -> Self {
+        assert!(
+            half_extents.x >= 0.0 && half_extents.y >= 0.0 && half_extents.z >= 0.0,
+            "half-extents must be non-negative, got {half_extents}"
+        );
+        Obb {
+            center,
+            half_extents,
+            rotation,
+        }
+    }
+
+    /// An axis-aligned box viewed as an OBB.
+    pub fn from_aabb(aabb: &Aabb) -> Self {
+        Obb {
+            center: aabb.center(),
+            half_extents: aabb.half_extents(),
+            rotation: Mat3::IDENTITY,
+        }
+    }
+
+    /// Places a local-frame AABB into the world with `pose`.
+    pub fn from_aabb_posed(aabb: &Aabb, pose: &Pose) -> Self {
+        Obb {
+            center: pose.transform_point(aabb.center()),
+            half_extents: aabb.half_extents(),
+            rotation: pose.rotation,
+        }
+    }
+
+    /// Transforms a world-space point into the box's local frame.
+    pub fn world_to_local(&self, p: Vec3) -> Vec3 {
+        self.rotation.transpose() * (p - self.center)
+    }
+
+    /// Transforms a local-frame point into world space.
+    pub fn local_to_world(&self, p: Vec3) -> Vec3 {
+        self.rotation * p + self.center
+    }
+
+    /// Returns `true` if `p` (world space) lies inside or on the box.
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        let l = self.world_to_local(p).abs();
+        l.x <= self.half_extents.x && l.y <= self.half_extents.y && l.z <= self.half_extents.z
+    }
+
+    /// The closest point inside the box (world space) to a world-space `p`.
+    pub fn closest_point(&self, p: Vec3) -> Vec3 {
+        let l = self
+            .world_to_local(p)
+            .clamp(-self.half_extents, self.half_extents);
+        self.local_to_world(l)
+    }
+
+    /// Euclidean distance from `p` to the box (0 when inside).
+    pub fn distance_to_point(&self, p: Vec3) -> f64 {
+        (p - self.closest_point(p)).norm()
+    }
+
+    /// The world-space AABB that tightly encloses this OBB.
+    pub fn bounding_aabb(&self) -> Aabb {
+        // Extent along each world axis = sum of |rotation row · half_extents|.
+        let mut ext = Vec3::ZERO;
+        let he = self.half_extents;
+        let r = self.rotation;
+        ext.x =
+            (r.get(0, 0) * he.x).abs() + (r.get(0, 1) * he.y).abs() + (r.get(0, 2) * he.z).abs();
+        ext.y =
+            (r.get(1, 0) * he.x).abs() + (r.get(1, 1) * he.y).abs() + (r.get(1, 2) * he.z).abs();
+        ext.z =
+            (r.get(2, 0) * he.x).abs() + (r.get(2, 1) * he.y).abs() + (r.get(2, 2) * he.z).abs();
+        Aabb::from_center_half_extents(self.center, ext)
+    }
+
+    /// The eight world-space corners of the box.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let he = self.half_extents;
+        let mut out = [Vec3::ZERO; 8];
+        let mut i = 0;
+        for &sx in &[-1.0, 1.0] {
+            for &sy in &[-1.0, 1.0] {
+                for &sz in &[-1.0, 1.0] {
+                    out[i] = self.local_to_world(Vec3::new(sx * he.x, sy * he.y, sz * he.z));
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_4;
+
+    #[test]
+    fn axis_aligned_obb_matches_aabb() {
+        let aabb = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let obb = Obb::from_aabb(&aabb);
+        assert!(obb.contains_point(Vec3::splat(0.5)));
+        assert!(!obb.contains_point(Vec3::splat(1.1)));
+        let back = obb.bounding_aabb();
+        assert!((back.min() - aabb.min()).norm() < 1e-12);
+        assert!((back.max() - aabb.max()).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotated_box_containment() {
+        // A 2×0.2×0.2 box rotated 45° about Z.
+        let obb = Obb::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.1, 0.1),
+            Mat3::rotation_z(FRAC_PI_4),
+        );
+        // Along the rotated long axis.
+        let on_axis = Vec3::new(0.6, 0.6, 0.0);
+        assert!(obb.contains_point(on_axis));
+        // Along the world X axis (outside the thin rotated box).
+        assert!(!obb.contains_point(Vec3::new(0.8, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn closest_point_and_distance() {
+        let obb = Obb::new(Vec3::ZERO, Vec3::splat(1.0), Mat3::rotation_z(FRAC_PI_4));
+        let inside = Vec3::new(0.1, 0.1, 0.1);
+        assert!((obb.closest_point(inside) - inside).norm() < 1e-12);
+        assert!(obb.distance_to_point(inside) < 1e-12);
+        let far = Vec3::new(0.0, 0.0, 5.0);
+        assert!((obb.distance_to_point(far) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_aabb_contains_all_corners() {
+        let obb = Obb::new(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.5, 0.3, 0.2),
+            Mat3::rotation_axis_angle(Vec3::new(1.0, 1.0, 1.0), 0.8).unwrap(),
+        );
+        let aabb = obb.bounding_aabb();
+        for c in obb.corners() {
+            assert!(
+                aabb.distance_to_point(c) < 1e-9,
+                "corner {c} escapes bounding aabb"
+            );
+        }
+    }
+
+    #[test]
+    fn posed_aabb_placement() {
+        let local = Aabb::from_center_half_extents(Vec3::ZERO, Vec3::splat(0.5));
+        let pose = Pose::new(Mat3::rotation_z(FRAC_PI_4), Vec3::new(1.0, 0.0, 0.0));
+        let obb = Obb::from_aabb_posed(&local, &pose);
+        assert!((obb.center - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-12);
+        assert!(obb.contains_point(Vec3::new(1.0, 0.0, 0.4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_extents_panic() {
+        let _ = Obb::new(Vec3::ZERO, Vec3::new(-1.0, 1.0, 1.0), Mat3::IDENTITY);
+    }
+
+    #[test]
+    fn world_local_roundtrip() {
+        let obb = Obb::new(
+            Vec3::new(0.3, 0.4, 0.5),
+            Vec3::splat(1.0),
+            Mat3::rotation_y(0.6),
+        );
+        let p = Vec3::new(-0.2, 0.9, 0.1);
+        let back = obb.local_to_world(obb.world_to_local(p));
+        assert!((back - p).norm() < 1e-12);
+    }
+}

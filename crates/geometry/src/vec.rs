@@ -1,0 +1,394 @@
+//! Three-dimensional vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
+
+/// A three-dimensional vector of `f64` components, used throughout RABIT
+/// for positions (metres), directions, and extents.
+///
+/// # Example
+///
+/// ```
+/// use rabit_geometry::Vec3;
+///
+/// let home = Vec3::new(0.0, 0.0, 0.3);
+/// let grid = Vec3::new(0.537, 0.018, 0.12);
+/// let travel = (grid - home).norm();
+/// assert!(travel > 0.5 && travel < 0.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component (vertical axis; the lab floor is at `z = 0`).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    /// Unit vector along X.
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    /// Unit vector along Y.
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
+    /// Unit vector along Z.
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3::new(v, v, v)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (cheaper than [`Vec3::norm`]).
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns the unit vector in this direction, or `None` if the vector
+    /// is (numerically) zero.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= crate::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Clamps each component between the matching components of `lo` and `hi`.
+    #[inline]
+    pub fn clamp(self, lo: Vec3, hi: Vec3) -> Vec3 {
+        self.max(lo).min(hi)
+    }
+
+    /// Linear interpolation: returns `self` at `t = 0` and `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Returns `true` if all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component.
+    #[inline]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// The components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from an array `[x, y, z]`.
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::from_array(a)
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    fn from(v: Vec3) -> Self {
+        v.to_array()
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    fn index(&self, index: usize) -> &f64 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {index}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4}, {:.4})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::X;
+        let b = Vec3::Y;
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::Z);
+        assert_eq!(b.cross(a), -Vec3::Z);
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).dot(Vec3::new(4.0, 5.0, 6.0)), 32.0);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_squared(), 25.0);
+        assert_eq!(Vec3::ZERO.distance(v), 5.0);
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let n = Vec3::new(0.0, 0.0, 2.0).normalized().unwrap();
+        assert!((n - Vec3::Z).norm() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(2.0, 3.0, 0.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 3.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 0.0));
+        assert_eq!(
+            a.clamp(Vec3::ZERO, Vec3::splat(2.0)),
+            Vec3::new(1.0, 2.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn indexing() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexing_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let v = Vec3::new(0.1, 0.2, 0.3);
+        assert_eq!(Vec3::from_array(v.to_array()), v);
+        let a: [f64; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let vs = [Vec3::X, Vec3::Y, Vec3::Z];
+        let s: Vec3 = vs.into_iter().sum();
+        assert_eq!(s, Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Vec3::ZERO).is_empty());
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn component_extrema() {
+        let v = Vec3::new(-1.0, 4.0, 2.0);
+        assert_eq!(v.max_component(), 4.0);
+        assert_eq!(v.min_component(), -1.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Denavit–Hartenberg chains and forward kinematics.
+
+#![allow(clippy::needless_range_loop)] // index-paired math over fixed-size arrays
+
+use rabit_geometry::{Mat3, Pose, Vec3};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One revolute joint in standard Denavit–Hartenberg convention.
+///
+/// The transform from frame `i-1` to frame `i` for joint angle `θ` is
+/// `RotZ(θ + theta_offset) · TransZ(d) · TransX(a) · RotX(alpha)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DhParam {
+    /// Link length `a` (metres).
+    pub a: f64,
+    /// Link offset `d` (metres).
+    pub d: f64,
+    /// Link twist `α` (radians).
+    pub alpha: f64,
+    /// Fixed offset added to the commanded joint angle (radians).
+    pub theta_offset: f64,
+}
+
+impl DhParam {
+    /// Creates a DH parameter row.
+    pub const fn new(a: f64, d: f64, alpha: f64, theta_offset: f64) -> Self {
+        DhParam {
+            a,
+            d,
+            alpha,
+            theta_offset,
+        }
+    }
+
+    /// The frame-to-frame transform for joint angle `theta`.
+    pub fn transform(&self, theta: f64) -> Pose {
+        let rot_z = Pose::from_rotation(Mat3::rotation_z(theta + self.theta_offset));
+        let trans = Pose::from_translation(Vec3::new(self.a, 0.0, self.d));
+        // TransZ(d) then TransX(a) commute as a single translation in the
+        // intermediate frame: (a, 0, d).
+        let rot_x = Pose::from_rotation(Mat3::rotation_x(self.alpha));
+        rot_z.compose(&trans).compose(&rot_x)
+    }
+}
+
+/// Symmetric joint limits, radians.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointLimits {
+    /// Lower bound (radians).
+    pub min: f64,
+    /// Upper bound (radians).
+    pub max: f64,
+}
+
+impl JointLimits {
+    /// Creates joint limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: f64, max: f64) -> Self {
+        assert!(min <= max, "joint limits inverted: [{min}, {max}]");
+        JointLimits { min, max }
+    }
+
+    /// A full-revolution joint (±π).
+    pub fn full_circle() -> Self {
+        JointLimits::new(-std::f64::consts::PI, std::f64::consts::PI)
+    }
+
+    /// Returns `true` if `angle` is inside the limits.
+    pub fn contains(&self, angle: f64) -> bool {
+        angle >= self.min && angle <= self.max
+    }
+
+    /// Clamps `angle` into the limits.
+    pub fn clamp(&self, angle: f64) -> f64 {
+        angle.clamp(self.min, self.max)
+    }
+}
+
+/// A joint configuration for a 6-axis arm (radians).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct JointConfig {
+    angles: [f64; 6],
+}
+
+impl JointConfig {
+    /// Creates a configuration from six joint angles (radians).
+    pub const fn new(angles: [f64; 6]) -> Self {
+        JointConfig { angles }
+    }
+
+    /// All-zero configuration.
+    pub const ZERO: JointConfig = JointConfig { angles: [0.0; 6] };
+
+    /// The joint angles.
+    #[inline]
+    pub fn angles(&self) -> &[f64; 6] {
+        &self.angles
+    }
+
+    /// Angle of joint `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 5`.
+    #[inline]
+    pub fn angle(&self, i: usize) -> f64 {
+        self.angles[i]
+    }
+
+    /// Returns a copy with joint `i` set to `angle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 5`.
+    pub fn with_angle(mut self, i: usize, angle: f64) -> Self {
+        self.angles[i] = angle;
+        self
+    }
+
+    /// Component-wise linear interpolation: `self` at `t = 0`, `other` at
+    /// `t = 1`. Joint-space interpolation is how RABIT's simulator models
+    /// motion between waypoints.
+    pub fn lerp(&self, other: &JointConfig, t: f64) -> JointConfig {
+        let mut out = [0.0; 6];
+        for i in 0..6 {
+            out[i] = self.angles[i] + (other.angles[i] - self.angles[i]) * t;
+        }
+        JointConfig::new(out)
+    }
+
+    /// L∞ distance in joint space (radians): the largest single-joint move.
+    pub fn max_joint_delta(&self, other: &JointConfig) -> f64 {
+        self.angles
+            .iter()
+            .zip(other.angles.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Euclidean norm of the joint-space difference.
+    pub fn distance(&self, other: &JointConfig) -> f64 {
+        self.angles
+            .iter()
+            .zip(other.angles.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns `true` if every angle is finite.
+    pub fn is_finite(&self) -> bool {
+        self.angles.iter().all(|a| a.is_finite())
+    }
+}
+
+impl fmt::Display for JointConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3}, {:.3}, {:.3}, {:.3}, {:.3}, {:.3}]",
+            self.angles[0],
+            self.angles[1],
+            self.angles[2],
+            self.angles[3],
+            self.angles[4],
+            self.angles[5]
+        )
+    }
+}
+
+impl From<[f64; 6]> for JointConfig {
+    fn from(angles: [f64; 6]) -> Self {
+        JointConfig::new(angles)
+    }
+}
+
+/// A six-joint serial chain in DH convention, rooted at a base pose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DhChain {
+    params: [DhParam; 6],
+    base: Pose,
+}
+
+impl DhChain {
+    /// Creates a chain from six DH rows, rooted at `base` (the arm's
+    /// mounting pose in world/deck coordinates).
+    pub fn new(params: [DhParam; 6], base: Pose) -> Self {
+        DhChain { params, base }
+    }
+
+    /// The DH parameter rows.
+    pub fn params(&self) -> &[DhParam; 6] {
+        &self.params
+    }
+
+    /// The base (mounting) pose.
+    pub fn base(&self) -> &Pose {
+        &self.base
+    }
+
+    /// Replaces the base pose (e.g. to mount the same arm model at a
+    /// different deck position).
+    pub fn with_base(mut self, base: Pose) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Forward kinematics: the world-space pose of every joint frame,
+    /// **including** the base frame at index 0. The end-effector frame is
+    /// the last element (index 6).
+    pub fn joint_poses(&self, angles: &[f64; 6]) -> [Pose; 7] {
+        let mut out = [Pose::IDENTITY; 7];
+        out[0] = self.base;
+        let mut acc = self.base;
+        for (i, (p, &theta)) in self.params.iter().zip(angles.iter()).enumerate() {
+            acc = acc.compose(&p.transform(theta));
+            out[i + 1] = acc;
+        }
+        out
+    }
+
+    /// Forward kinematics: the world-space end-effector pose.
+    pub fn end_effector_pose(&self, angles: &[f64; 6]) -> Pose {
+        self.joint_poses(angles)[6]
+    }
+
+    /// World-space positions of the joint origins (7 points, base first).
+    pub fn joint_positions(&self, angles: &[f64; 6]) -> [Vec3; 7] {
+        let poses = self.joint_poses(angles);
+        let mut out = [Vec3::ZERO; 7];
+        for (o, p) in out.iter_mut().zip(poses.iter()) {
+            *o = p.translation;
+        }
+        out
+    }
+
+    /// Maximum reach: the sum of all link lengths and offsets. Any target
+    /// farther than this from the base is provably infeasible — the check
+    /// behind the paper's "very high, clearly infeasible position" scenario.
+    pub fn max_reach(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| (p.a * p.a + p.d * p.d).sqrt())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    /// A simple planar 2-link-dominant chain for hand-checkable FK:
+    /// joint 1 lifts by d, links 2 and 3 extend along X.
+    fn simple_chain() -> DhChain {
+        DhChain::new(
+            [
+                DhParam::new(0.0, 0.2, 0.0, 0.0),
+                DhParam::new(0.3, 0.0, 0.0, 0.0),
+                DhParam::new(0.25, 0.0, 0.0, 0.0),
+                DhParam::new(0.0, 0.0, 0.0, 0.0),
+                DhParam::new(0.0, 0.0, 0.0, 0.0),
+                DhParam::new(0.0, 0.05, 0.0, 0.0),
+            ],
+            Pose::IDENTITY,
+        )
+    }
+
+    #[test]
+    fn zero_configuration_extends_along_x() {
+        let c = simple_chain();
+        let ee = c.end_effector_pose(&[0.0; 6]);
+        // a-sum along X = 0.55; d-sum along Z = 0.25.
+        assert!((ee.translation - Vec3::new(0.55, 0.0, 0.25)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn base_joint_rotation_swings_the_arm() {
+        let c = simple_chain();
+        let ee = c.end_effector_pose(&[FRAC_PI_2, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!((ee.translation - Vec3::new(0.0, 0.55, 0.25)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn joint_poses_are_cumulative() {
+        let c = simple_chain();
+        let poses = c.joint_poses(&[0.0; 6]);
+        assert_eq!(poses[0], Pose::IDENTITY);
+        assert!((poses[1].translation - Vec3::new(0.0, 0.0, 0.2)).norm() < 1e-12);
+        assert!((poses[2].translation - Vec3::new(0.3, 0.0, 0.2)).norm() < 1e-12);
+        assert!((poses[3].translation - Vec3::new(0.55, 0.0, 0.2)).norm() < 1e-12);
+        assert!((poses[6].translation - Vec3::new(0.55, 0.0, 0.25)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn base_pose_offsets_everything() {
+        let base = Pose::from_translation(Vec3::new(1.0, 2.0, 0.0));
+        let c = simple_chain().with_base(base);
+        let ee = c.end_effector_pose(&[0.0; 6]);
+        assert!((ee.translation - Vec3::new(1.55, 2.0, 0.25)).norm() < 1e-12);
+        let pts = c.joint_positions(&[0.0; 6]);
+        assert!((pts[0] - Vec3::new(1.0, 2.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn max_reach_bounds_end_effector_distance() {
+        let c = simple_chain();
+        let reach = c.max_reach();
+        for k in 0..50 {
+            let t = k as f64 * 0.37;
+            let q = [t.sin(), (2.0 * t).cos(), t, -t, 0.5 * t, t.cos()];
+            let ee = c.end_effector_pose(&q);
+            assert!(
+                ee.translation.distance(c.base().translation) <= reach + 1e-9,
+                "config {q:?} exceeds reach"
+            );
+        }
+    }
+
+    #[test]
+    fn dh_transform_components() {
+        // Pure rotation row.
+        let p = DhParam::new(0.0, 0.0, 0.0, 0.0);
+        let t = p.transform(FRAC_PI_2);
+        assert!((t.transform_point(Vec3::X) - Vec3::Y).norm() < 1e-12);
+        // Pure translation row.
+        let p = DhParam::new(0.1, 0.2, 0.0, 0.0);
+        let t = p.transform(0.0);
+        assert!((t.translation - Vec3::new(0.1, 0.0, 0.2)).norm() < 1e-12);
+        // Twist row maps Y to Z.
+        let p = DhParam::new(0.0, 0.0, FRAC_PI_2, 0.0);
+        let t = p.transform(0.0);
+        assert!((t.transform_vector(Vec3::Y) - Vec3::Z).norm() < 1e-12);
+        // Theta offset acts like a joint angle.
+        let p = DhParam::new(0.0, 0.0, 0.0, FRAC_PI_2);
+        let t = p.transform(0.0);
+        assert!((t.transform_vector(Vec3::X) - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn joint_config_operations() {
+        let a = JointConfig::ZERO;
+        let b = JointConfig::new([1.0, -1.0, 0.5, 0.0, 2.0, -0.5]);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5).angle(0), 0.5);
+        assert_eq!(a.max_joint_delta(&b), 2.0);
+        assert!((a.distance(&b) - (1.0f64 + 1.0 + 0.25 + 4.0 + 0.25).sqrt()).abs() < 1e-12);
+        assert_eq!(b.with_angle(0, 9.0).angle(0), 9.0);
+        assert!(b.is_finite());
+        assert!(!b.with_angle(3, f64::NAN).is_finite());
+        let c: JointConfig = [0.1; 6].into();
+        assert_eq!(c.angle(5), 0.1);
+        assert!(!format!("{b}").is_empty());
+    }
+
+    #[test]
+    fn joint_limits() {
+        let l = JointLimits::new(-1.0, 2.0);
+        assert!(l.contains(0.0));
+        assert!(!l.contains(2.1));
+        assert_eq!(l.clamp(-5.0), -1.0);
+        assert_eq!(l.clamp(5.0), 2.0);
+        assert!(JointLimits::full_circle().contains(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_limits_panic() {
+        let _ = JointLimits::new(1.0, -1.0);
+    }
+}

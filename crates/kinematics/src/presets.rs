@@ -1,0 +1,220 @@
+//! Arm parameter presets for the three robots in the paper.
+//!
+//! * **UR3e** (Universal Robots) — the production arm in the Hein Lab;
+//!   DH parameters from the vendor datasheet.
+//! * **ViperX-300** (Trossen Robotics) and **Ned2** (Niryo) — the two
+//!   educational arms on the low-fidelity testbed. Their DH rows here are
+//!   simplified models with the correct overall reach and link structure;
+//!   RABIT only relies on reach, capsule geometry, and failure behaviour,
+//!   not vendor-exact wrist kinematics.
+
+use crate::arm::ArmModel;
+use crate::chain::{DhChain, DhParam, JointConfig, JointLimits};
+use rabit_geometry::Pose;
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// The production six-axis Universal Robots UR3e (reach ≈ 500 mm).
+pub fn ur3e() -> ArmModel {
+    let chain = DhChain::new(
+        [
+            DhParam::new(0.0, 0.15185, FRAC_PI_2, 0.0),
+            DhParam::new(-0.24355, 0.0, 0.0, 0.0),
+            DhParam::new(-0.2132, 0.0, 0.0, 0.0),
+            DhParam::new(0.0, 0.13105, FRAC_PI_2, 0.0),
+            DhParam::new(0.0, 0.08535, -FRAC_PI_2, 0.0),
+            DhParam::new(0.0, 0.0921, 0.0, 0.0),
+        ],
+        Pose::IDENTITY,
+    );
+    ArmModel::new(
+        "UR3e",
+        chain,
+        [JointLimits::new(-2.0 * PI, 2.0 * PI); 6],
+        [0.045, 0.04, 0.035, 0.03, 0.03, 0.025],
+        0.12,
+        0.02,
+        JointConfig::new([0.0, -1.2, 1.0, -1.4, -FRAC_PI_2, 0.0]),
+        JointConfig::new([0.0, -2.4, 2.2, -1.4, -FRAC_PI_2, 0.0]),
+    )
+}
+
+/// The Universal Robots UR5e (reach ≈ 850 mm): the central transfer arm
+/// of the Berlinguette Lab's multi-station platform (paper §V-B).
+pub fn ur5e() -> ArmModel {
+    let chain = DhChain::new(
+        [
+            DhParam::new(0.0, 0.1625, FRAC_PI_2, 0.0),
+            DhParam::new(-0.425, 0.0, 0.0, 0.0),
+            DhParam::new(-0.3922, 0.0, 0.0, 0.0),
+            DhParam::new(0.0, 0.1333, FRAC_PI_2, 0.0),
+            DhParam::new(0.0, 0.0997, -FRAC_PI_2, 0.0),
+            DhParam::new(0.0, 0.0996, 0.0, 0.0),
+        ],
+        Pose::IDENTITY,
+    );
+    ArmModel::new(
+        "UR5e",
+        chain,
+        [JointLimits::new(-2.0 * PI, 2.0 * PI); 6],
+        [0.06, 0.055, 0.045, 0.04, 0.035, 0.03],
+        0.14,
+        0.025,
+        JointConfig::new([0.0, -1.2, 1.0, -1.4, -FRAC_PI_2, 0.0]),
+        JointConfig::new([0.0, -2.4, 2.2, -1.4, -FRAC_PI_2, 0.0]),
+    )
+}
+
+/// The Trossen Robotics ViperX-300 testbed arm (reach ≈ 750 mm).
+///
+/// Noted failure behaviour (paper §IV, category 4): when it cannot compute
+/// a trajectory it *silently ignores* the command — modelled by the
+/// testbed's arm wrapper.
+pub fn viperx300() -> ArmModel {
+    let chain = DhChain::new(
+        [
+            DhParam::new(0.0, 0.127, FRAC_PI_2, 0.0),
+            DhParam::new(0.306, 0.0, 0.0, 0.0),
+            DhParam::new(0.30, 0.0, 0.0, 0.0),
+            DhParam::new(0.0, 0.0, FRAC_PI_2, 0.0),
+            DhParam::new(0.0, 0.07, -FRAC_PI_2, 0.0),
+            DhParam::new(0.0, 0.045, 0.0, 0.0),
+        ],
+        Pose::IDENTITY,
+    );
+    ArmModel::new(
+        "ViperX",
+        chain,
+        [
+            JointLimits::new(-PI, PI),
+            JointLimits::new(-1.85, 1.25),
+            JointLimits::new(-1.76, 1.6),
+            JointLimits::new(-PI, PI),
+            JointLimits::new(-1.86, 2.0),
+            JointLimits::new(-PI, PI),
+        ],
+        [0.05, 0.04, 0.035, 0.03, 0.025, 0.02],
+        0.10,
+        0.025,
+        JointConfig::new([0.0, 0.8, -0.9, 0.0, 0.1, 0.0]),
+        JointConfig::new([0.0, 1.1, -1.7, 0.0, 0.6, 0.0]),
+    )
+}
+
+/// The Niryo Ned2 testbed arm (reach ≈ 440 mm).
+///
+/// Noted failure behaviour (paper §IV, category 4): when it cannot compute
+/// a trajectory it *throws an exception and halts immediately* — modelled
+/// by the testbed's arm wrapper.
+pub fn ned2() -> ArmModel {
+    let chain = DhChain::new(
+        [
+            DhParam::new(0.0, 0.1065, FRAC_PI_2, 0.0),
+            DhParam::new(0.221, 0.0, 0.0, 0.0),
+            DhParam::new(0.18, 0.0, 0.0, 0.0),
+            DhParam::new(0.0, 0.0, FRAC_PI_2, 0.0),
+            DhParam::new(0.0, 0.055, -FRAC_PI_2, 0.0),
+            DhParam::new(0.0, 0.04, 0.0, 0.0),
+        ],
+        Pose::IDENTITY,
+    );
+    ArmModel::new(
+        "Ned2",
+        chain,
+        [
+            JointLimits::new(-2.96, 2.96),
+            JointLimits::new(-1.83, 0.61),
+            JointLimits::new(-1.34, 1.57),
+            JointLimits::new(-2.09, 2.09),
+            JointLimits::new(-1.92, 1.92),
+            JointLimits::new(-2.53, 2.53),
+        ],
+        [0.045, 0.035, 0.03, 0.025, 0.025, 0.02],
+        0.08,
+        0.02,
+        JointConfig::new([0.0, 0.5, -0.8, 0.0, 0.3, 0.0]),
+        JointConfig::new([0.0, 0.55, -1.3, 0.0, 0.75, 0.0]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaches_match_vendor_order_of_magnitude() {
+        // `max_reach` is a provable upper bound (sum of row norms), so it
+        // must dominate the datasheet reach without wildly exceeding it:
+        // UR3e 500 mm, UR5e 850 mm, ViperX 750 mm, Ned2 440 mm.
+        for (arm, datasheet) in [
+            (ur3e(), 0.5),
+            (ur5e(), 0.85),
+            (viperx300(), 0.75),
+            (ned2(), 0.44),
+        ] {
+            let r = arm.chain().max_reach();
+            assert!(
+                r >= datasheet,
+                "{}: bound {r:.3} below datasheet {datasheet}",
+                arm.name()
+            );
+            assert!(
+                r <= datasheet * 2.0,
+                "{}: bound {r:.3} implausibly large",
+                arm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn home_and_sleep_are_within_limits() {
+        for arm in [ur3e(), ur5e(), viperx300(), ned2()] {
+            assert!(
+                arm.within_limits(&arm.home_configuration()),
+                "{} home",
+                arm.name()
+            );
+            assert!(
+                arm.within_limits(&arm.sleep_configuration()),
+                "{} sleep",
+                arm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sleep_is_more_compact_than_home() {
+        // Stowed arms should tuck the tool closer to the base than the
+        // ready pose — that's what makes the cuboid sleep volume small.
+        for arm in [ur3e(), viperx300(), ned2()] {
+            let base = arm.chain().base().translation;
+            let home_d = arm.tool_position(&arm.home_configuration()).distance(base);
+            let sleep_d = arm.tool_position(&arm.sleep_configuration()).distance(base);
+            assert!(
+                sleep_d < home_d + 0.05,
+                "{}: sleep {sleep_d:.3} should not extend beyond home {home_d:.3}",
+                arm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn arms_stay_above_severely_negative_z_at_home() {
+        for arm in [ur3e(), viperx300(), ned2()] {
+            let low = arm.lowest_point(&arm.home_configuration(), None);
+            assert!(low > -0.25, "{} dips to {low}", arm.name());
+        }
+    }
+
+    #[test]
+    fn names_are_the_paper_names() {
+        assert_eq!(ur3e().name(), "UR3e");
+        assert_eq!(ur5e().name(), "UR5e");
+        assert_eq!(viperx300().name(), "ViperX");
+        assert_eq!(ned2().name(), "Ned2");
+    }
+
+    #[test]
+    fn ur5e_outreaches_ur3e() {
+        assert!(ur5e().max_reach() > ur3e().max_reach());
+    }
+}

@@ -1,0 +1,249 @@
+//! Joint-space trajectories.
+//!
+//! The Extended Simulator detects collisions "by continuously polling the
+//! robot arm's trajectory and comparing it with the 3D objects'
+//! coordinates" (paper §III). A [`Trajectory`] is the polled object: a
+//! sequence of joint-space waypoints with a constant-velocity time profile,
+//! sampled at the simulator's polling rate.
+
+use crate::arm::{ArmModel, HeldObject};
+use crate::chain::JointConfig;
+use rabit_geometry::Capsule;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear joint-space trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    waypoints: Vec<JointConfig>,
+    /// Joint speed used for timing (radians/second, L∞ across joints).
+    joint_speed: f64,
+}
+
+/// Default joint speed for lab arms (rad/s). UR3e tops out near π rad/s,
+/// but lab moves run far slower for safety.
+pub const DEFAULT_JOINT_SPEED: f64 = 1.0;
+
+impl Trajectory {
+    /// Creates a trajectory through `waypoints` at `joint_speed` rad/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 waypoints are supplied or the speed is not
+    /// strictly positive.
+    pub fn new(waypoints: Vec<JointConfig>, joint_speed: f64) -> Self {
+        assert!(
+            waypoints.len() >= 2,
+            "a trajectory needs at least 2 waypoints"
+        );
+        assert!(
+            joint_speed.is_finite() && joint_speed > 0.0,
+            "joint speed must be positive, got {joint_speed}"
+        );
+        Trajectory {
+            waypoints,
+            joint_speed,
+        }
+    }
+
+    /// A single straight joint-space move.
+    pub fn linear(from: JointConfig, to: JointConfig) -> Self {
+        Trajectory::new(vec![from, to], DEFAULT_JOINT_SPEED)
+    }
+
+    /// The waypoints.
+    pub fn waypoints(&self) -> &[JointConfig] {
+        &self.waypoints
+    }
+
+    /// Start configuration.
+    pub fn start(&self) -> JointConfig {
+        self.waypoints[0]
+    }
+
+    /// End configuration.
+    pub fn end(&self) -> JointConfig {
+        *self.waypoints.last().expect("trajectory has waypoints")
+    }
+
+    /// Total joint-space path length under the L∞ metric (radians).
+    pub fn joint_path_length(&self) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].max_joint_delta(&w[1]))
+            .sum()
+    }
+
+    /// Duration at the configured joint speed (seconds).
+    pub fn duration(&self) -> f64 {
+        self.joint_path_length() / self.joint_speed
+    }
+
+    /// The configuration at time `t` seconds (clamped to the ends).
+    pub fn config_at(&self, t: f64) -> JointConfig {
+        if t <= 0.0 {
+            return self.start();
+        }
+        let mut remaining = t * self.joint_speed;
+        for w in self.waypoints.windows(2) {
+            let seg = w[0].max_joint_delta(&w[1]);
+            if seg <= f64::EPSILON {
+                continue;
+            }
+            if remaining <= seg {
+                return w[0].lerp(&w[1], remaining / seg);
+            }
+            remaining -= seg;
+        }
+        self.end()
+    }
+
+    /// Samples the trajectory uniformly in time, returning `n ≥ 2`
+    /// configurations including both endpoints. This is the polling set
+    /// the Extended Simulator checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn sample(&self, n: usize) -> Vec<JointConfig> {
+        assert!(n >= 2, "need at least 2 samples, got {n}");
+        let d = self.duration();
+        (0..n)
+            .map(|i| self.config_at(d * i as f64 / (n - 1) as f64))
+            .collect()
+    }
+
+    /// Samples at a fixed polling interval `dt` seconds (the simulator's
+    /// polling rate), always including the final configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn sample_every(&self, dt: f64) -> Vec<JointConfig> {
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "polling interval must be positive"
+        );
+        let d = self.duration();
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < d {
+            out.push(self.config_at(t));
+            t += dt;
+        }
+        out.push(self.end());
+        out
+    }
+
+    /// The swept capsule volumes of `arm` over `n` samples of this
+    /// trajectory: one capsule set per sample.
+    pub fn swept_capsules(
+        &self,
+        arm: &ArmModel,
+        held: Option<&HeldObject>,
+        n: usize,
+    ) -> Vec<Vec<Capsule>> {
+        self.sample(n)
+            .iter()
+            .map(|q| arm.link_capsules(q, held))
+            .collect()
+    }
+
+    /// Appends another leg to the trajectory.
+    pub fn then(mut self, to: JointConfig) -> Self {
+        self.waypoints.push(to);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn q(a: f64) -> JointConfig {
+        JointConfig::new([a, 0.0, 0.0, 0.0, 0.0, 0.0])
+    }
+
+    #[test]
+    fn linear_trajectory_timing() {
+        let t = Trajectory::new(vec![q(0.0), q(1.0)], 0.5);
+        assert!((t.duration() - 2.0).abs() < 1e-12);
+        assert_eq!(t.config_at(0.0), q(0.0));
+        assert_eq!(t.config_at(2.0), q(1.0));
+        assert_eq!(t.config_at(1.0).angle(0), 0.5);
+        // Clamping beyond the ends.
+        assert_eq!(t.config_at(-1.0), q(0.0));
+        assert_eq!(t.config_at(10.0), q(1.0));
+    }
+
+    #[test]
+    fn multi_segment_interpolation() {
+        let t = Trajectory::new(vec![q(0.0), q(1.0), q(0.5)], 1.0);
+        assert!((t.joint_path_length() - 1.5).abs() < 1e-12);
+        // At t = 1.25 s we are halfway down the second segment.
+        assert!((t.config_at(1.25).angle(0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_includes_endpoints() {
+        let t = Trajectory::linear(q(0.0), q(1.0));
+        let s = t.sample(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], q(0.0));
+        assert_eq!(s[4], q(1.0));
+        // Uniform spacing.
+        assert!((s[1].angle(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_every_covers_whole_motion() {
+        let t = Trajectory::new(vec![q(0.0), q(1.0)], 1.0); // 1 s long
+        let s = t.sample_every(0.3);
+        assert_eq!(s.first().unwrap(), &q(0.0));
+        assert_eq!(s.last().unwrap(), &q(1.0));
+        assert!(s.len() >= 4);
+    }
+
+    #[test]
+    fn degenerate_segments_are_skipped() {
+        let t = Trajectory::new(vec![q(0.0), q(0.0), q(1.0)], 1.0);
+        assert!((t.duration() - 1.0).abs() < 1e-12);
+        assert!((t.config_at(0.5).angle(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn then_extends() {
+        let t = Trajectory::linear(q(0.0), q(1.0)).then(q(2.0));
+        assert_eq!(t.waypoints().len(), 3);
+        assert_eq!(t.end(), q(2.0));
+    }
+
+    #[test]
+    fn swept_capsules_shape() {
+        let arm = presets::ur3e();
+        let t = Trajectory::linear(arm.home_configuration(), arm.sleep_configuration());
+        let sweep = t.swept_capsules(&arm, None, 7);
+        assert_eq!(sweep.len(), 7);
+        for caps in &sweep {
+            assert_eq!(caps.len(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 waypoints")]
+    fn too_few_waypoints_panics() {
+        let _ = Trajectory::new(vec![q(0.0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_panics() {
+        let _ = Trajectory::new(vec![q(0.0), q(1.0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 samples")]
+    fn too_few_samples_panics() {
+        let _ = Trajectory::linear(q(0.0), q(1.0)).sample(1);
+    }
+}

@@ -1,0 +1,732 @@
+//! The Berlinguette Lab: the paper's generalization case study (§V-B).
+//!
+//! "We visited another self-driving lab — the Berlinguette Lab … Our goal
+//! was to evaluate the adaptability of RABIT to this lab, determining if
+//! we could categorize the devices in the lab according to the four
+//! predefined device types and whether the rules in our rulebase are
+//! generalizable to the workflows they run."
+//!
+//! This module builds that lab as a second full environment and shows the
+//! paper's categorization working end to end:
+//!
+//! * **UR5e** — the "central six-axis robot arm … used for transferring
+//!   vials and materials between different stations";
+//! * **dosing device with a door** — "similar to that in the Hein Lab"
+//!   (dosing system);
+//! * **decapper** — "responsible for capping and uncapping vials":
+//!   an action device;
+//! * **spin coater** — an action device ("starting and stopping
+//!   spinning");
+//! * **spray station** — a hotplate (action device), an automated syringe
+//!   pump (dosing system), and ultrasonic nozzles ("action devices with
+//!   spraying and not spraying being their primary actions" — they do not
+//!   host containers);
+//! * **XRF microscopy** — "a set of multiple action devices" (the X-ray
+//!   source and the sample stage);
+//! * **proximity sensor** — the "new device class" (§V-B) whose readings
+//!   feed the [`human_proximity_rule`], replacing the hard-wired sensors
+//!   the lab abandoned over false alarms;
+//! * one lab-specific custom rule authored *outside* the core crates
+//!   ([`spray_requires_hot_plate_rule`]), demonstrating that adapting
+//!   RABIT means "describing only the items specific to that
+//!   environment".
+//!
+//! [`human_proximity_rule`]: rabit_rulebase::extensions::human_proximity_rule
+
+use rabit_core::{Lab, LabDevice, Rabit, RabitConfig};
+use rabit_devices::{
+    ActionKind, Command, DeviceType, DosingDevice, Grid, Hotplate, LatencyModel, ProximitySensor,
+    RobotArm, StateKey, SyringePump, Thermoshaker, Vial,
+};
+use rabit_geometry::{Aabb, Vec3};
+use rabit_kinematics::presets;
+use rabit_rulebase::{extensions, DeviceCatalog, DeviceMeta, Rule, RuleId, Rulebase};
+use rabit_sim::{
+    shapes::ObstacleShape, shapes::VerticalCylinder, ExtendedSimulator, SimConfig, SimWorld,
+};
+use rabit_tracer::Workflow;
+
+/// Station and device footprints (UR5e frame, base at the origin).
+pub mod footprints {
+    use rabit_geometry::{Aabb, Vec3};
+
+    /// The vial rack.
+    pub fn rack() -> Aabb {
+        Aabb::new(Vec3::new(0.50, -0.10, 0.0), Vec3::new(0.65, 0.05, 0.08))
+    }
+
+    /// The dosing device (with door), as in the Hein Lab.
+    pub fn dosing_device() -> Aabb {
+        Aabb::new(Vec3::new(0.05, 0.45, 0.0), Vec3::new(0.25, 0.62, 0.28))
+    }
+
+    /// The decapper.
+    pub fn decapper() -> Aabb {
+        Aabb::new(Vec3::new(-0.30, 0.30, 0.0), Vec3::new(-0.14, 0.46, 0.20))
+    }
+
+    /// The spin coater at the precursor mixing station.
+    pub fn spin_coater() -> Aabb {
+        Aabb::new(Vec3::new(-0.55, -0.10, 0.0), Vec3::new(-0.35, 0.10, 0.15))
+    }
+
+    /// The spray station's hotplate.
+    pub fn spray_hotplate() -> Aabb {
+        Aabb::new(Vec3::new(0.30, -0.50, 0.0), Vec3::new(0.46, -0.34, 0.06))
+    }
+
+    /// The spray station's syringe pump.
+    pub fn spray_pump() -> Aabb {
+        Aabb::new(Vec3::new(-0.10, -0.62, 0.0), Vec3::new(0.05, -0.47, 0.18))
+    }
+
+    /// Ultrasonic nozzle A.
+    pub fn nozzle_a() -> Aabb {
+        Aabb::new(Vec3::new(0.50, -0.45, 0.0), Vec3::new(0.56, -0.39, 0.25))
+    }
+
+    /// Ultrasonic nozzle B.
+    pub fn nozzle_b() -> Aabb {
+        Aabb::new(Vec3::new(0.58, -0.45, 0.0), Vec3::new(0.64, -0.39, 0.25))
+    }
+
+    /// The XRF station (source + stage share one enclosure).
+    pub fn xrf() -> Aabb {
+        Aabb::new(Vec3::new(0.55, 0.15, 0.0), Vec3::new(0.75, 0.35, 0.30))
+    }
+
+    /// The UR5e's sleep cuboid.
+    pub fn ur5e_sleep_volume() -> Aabb {
+        Aabb::new(Vec3::new(-0.30, -0.30, 0.0), Vec3::new(0.0, -0.02, 0.35))
+    }
+}
+
+/// Key deck locations.
+pub mod locations {
+    use rabit_geometry::Vec3;
+
+    /// Rack slot R1 grasp point.
+    pub const RACK_R1: Vec3 = Vec3 {
+        x: 0.57,
+        y: -0.02,
+        z: 0.20,
+    };
+    /// Safe height above R1.
+    pub const RACK_R1_SAFE: Vec3 = Vec3 {
+        x: 0.57,
+        y: -0.02,
+        z: 0.35,
+    };
+    /// Stand-off in front of the dosing device.
+    pub const DOSING_APPROACH: Vec3 = Vec3 {
+        x: 0.15,
+        y: 0.36,
+        z: 0.38,
+    };
+    /// Stand-off beside the decapper.
+    pub const DECAPPER_APPROACH: Vec3 = Vec3 {
+        x: -0.22,
+        y: 0.22,
+        z: 0.30,
+    };
+    /// Stand-off beside the spin coater.
+    pub const SPIN_COATER_APPROACH: Vec3 = Vec3 {
+        x: -0.30,
+        y: 0.0,
+        z: 0.30,
+    };
+    /// Stand-off above the spray hotplate.
+    pub const SPRAY_APPROACH: Vec3 = Vec3 {
+        x: 0.30,
+        y: -0.28,
+        z: 0.28,
+    };
+    /// Stand-off beside the XRF enclosure.
+    pub const XRF_APPROACH: Vec3 = Vec3 {
+        x: 0.45,
+        y: 0.18,
+        z: 0.38,
+    };
+    /// UR5e home tool position (matches the kinematic preset).
+    pub const UR5E_HOME: Vec3 = Vec3 {
+        x: -0.6450,
+        y: -0.1333,
+        z: 0.3999,
+    };
+    /// UR5e sleep tool position (inside the sleep cuboid).
+    pub const UR5E_SLEEP: Vec3 = Vec3 {
+        x: -0.1776,
+        y: -0.1333,
+        z: 0.2909,
+    };
+}
+
+/// The lab-specific custom rule a Berlinguette engineer would add: the
+/// ultrasonic nozzles may only spray while the spray hotplate is hot —
+/// spraying precursor onto a cold substrate ruins the film.
+pub fn spray_requires_hot_plate_rule() -> Rule {
+    Rule::new(
+        RuleId::Custom("berlinguette:spray_requires_heat".to_string()),
+        "Ultrasonic nozzles spray only while the spray hotplate is running",
+        |cmd, state, ctx| {
+            let ActionKind::StartAction { .. } = &cmd.action else {
+                return None;
+            };
+            if !ctx.catalog.has_tag(&cmd.actor, "nozzle") {
+                return None;
+            }
+            for meta in ctx.catalog.iter() {
+                if meta.has_tag("spray_hotplate")
+                    && state.get_bool(&meta.id, &StateKey::ActionActive) == Some(true)
+                {
+                    return None;
+                }
+            }
+            Some(format!(
+                "{} asked to spray while the spray hotplate is cold",
+                cmd.actor
+            ))
+        },
+    )
+}
+
+/// The assembled Berlinguette deck.
+pub struct BerlinguetteLab {
+    /// The physical environment.
+    pub lab: Lab,
+    /// Device metadata for the rulebase.
+    pub catalog: DeviceCatalog,
+}
+
+impl BerlinguetteLab {
+    /// Builds the deck with one empty, capped vial in rack slot R1 and a
+    /// clear proximity sensor.
+    pub fn new() -> Self {
+        use locations::*;
+        let mut rack = Grid::new(
+            "rack",
+            footprints::rack(),
+            vec![
+                ("R1".to_string(), RACK_R1),
+                ("R2".to_string(), Vec3::new(0.61, -0.02, 0.20)),
+            ],
+        );
+        rack.occupy("R1", "vial_b".into()).expect("fresh rack slot");
+
+        let mut lab = Lab::new()
+            .with_device(
+                RobotArm::new("ur5e", UR5E_HOME, UR5E_SLEEP).with_latency(LatencyModel::PRODUCTION),
+            )
+            .with_device(Vial::new("vial_b", RACK_R1))
+            .with_device(rack)
+            .with_device(
+                DosingDevice::new("dosing_device", footprints::dosing_device())
+                    .with_firmware_max_dose(50.0),
+            )
+            .with_device(SyringePump::new("spray_pump", footprints::spray_pump()))
+            // Action devices: the decapper, spin coater, spray hotplate,
+            // two nozzles, and the XRF pair. Thermoshaker/Hotplate models
+            // provide the generic active/value behaviour.
+            .with_device(
+                Thermoshaker::new("decapper", footprints::decapper()).with_firmware_limit(10.0),
+            )
+            .with_device(
+                Thermoshaker::new("spin_coater", footprints::spin_coater())
+                    .with_firmware_limit(6_000.0),
+            )
+            .with_device(
+                Hotplate::new("spray_hotplate", footprints::spray_hotplate())
+                    .with_firmware_limit(300.0),
+            )
+            .with_device(
+                Thermoshaker::new("nozzle_a", footprints::nozzle_a()).with_firmware_limit(120.0),
+            )
+            .with_device(
+                Thermoshaker::new("nozzle_b", footprints::nozzle_b()).with_firmware_limit(120.0),
+            )
+            .with_device(
+                Thermoshaker::new("xrf_source", footprints::xrf()).with_firmware_limit(50.0),
+            )
+            .with_device(
+                Thermoshaker::new(
+                    "xrf_stage",
+                    Aabb::new(Vec3::new(0.55, 0.15, 0.0), Vec3::new(0.75, 0.35, 0.05)),
+                )
+                .with_firmware_limit(360.0),
+            );
+        lab.add_device(LabDevice::Custom(Box::new(ProximitySensor::new(
+            "deck_sensor",
+            Aabb::new(Vec3::new(-1.2, -1.2, 0.0), Vec3::new(1.2, 1.2, 2.0)),
+        ))));
+        lab.set_arm_kinematics("ur5e", Vec3::ZERO, presets::ur5e().max_reach());
+
+        let catalog = DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("ur5e", DeviceType::RobotArm)
+                    .with_arm_positions(UR5E_HOME, UR5E_SLEEP)
+                    .with_sleep_volume(footprints::ur5e_sleep_volume()),
+            )
+            .with(DeviceMeta::new("vial_b", DeviceType::Container))
+            .with(DeviceMeta::new(
+                "rack",
+                DeviceType::Custom("grid".to_string()),
+            ))
+            .with(DeviceMeta::new("dosing_device", DeviceType::DosingSystem).with_door())
+            .with(DeviceMeta::new("spray_pump", DeviceType::DosingSystem))
+            .with(
+                DeviceMeta::new("decapper", DeviceType::ActionDevice)
+                    .with_threshold(10.0)
+                    .without_container_hosting(),
+            )
+            .with(DeviceMeta::new("spin_coater", DeviceType::ActionDevice).with_threshold(6_000.0))
+            .with(
+                DeviceMeta::new("spray_hotplate", DeviceType::ActionDevice)
+                    .with_tag("spray_hotplate")
+                    .with_threshold(300.0),
+            )
+            .with(
+                DeviceMeta::new("nozzle_a", DeviceType::ActionDevice)
+                    .with_tag("nozzle")
+                    .with_threshold(120.0)
+                    .without_container_hosting(),
+            )
+            .with(
+                DeviceMeta::new("nozzle_b", DeviceType::ActionDevice)
+                    .with_tag("nozzle")
+                    .with_threshold(120.0)
+                    .without_container_hosting(),
+            )
+            .with(
+                DeviceMeta::new("xrf_source", DeviceType::ActionDevice)
+                    .with_tag("xrf")
+                    .with_threshold(50.0)
+                    .without_container_hosting(),
+            )
+            .with(
+                DeviceMeta::new("xrf_stage", DeviceType::ActionDevice)
+                    .with_tag("xrf")
+                    .with_threshold(360.0),
+            )
+            .with(
+                DeviceMeta::new(
+                    "deck_sensor",
+                    DeviceType::Custom("proximity_sensor".to_string()),
+                )
+                .with_tag("proximity_sensor"),
+            );
+
+        BerlinguetteLab { lab, catalog }
+    }
+
+    /// The Berlinguette RABIT: general rules, the transplanted Hein
+    /// liquid-after-solid convention, the lab's own spray rule, the
+    /// held-object extension, and the sensor-backed human-proximity rule.
+    pub fn rabit(&self) -> Rabit {
+        let mut rulebase = Rulebase::standard();
+        rulebase.push(rabit_rulebase::custom::rule_c1_liquid_after_solid());
+        rulebase.push(spray_requires_hot_plate_rule());
+        rulebase.push(extensions::held_object_clearance_rule());
+        rulebase.push(extensions::human_proximity_rule());
+        Rabit::new(rulebase, self.catalog.clone(), RabitConfig::default())
+    }
+
+    /// The same engine with the Extended Simulator attached.
+    pub fn rabit_with_simulator(&self, gui: bool) -> Rabit {
+        self.rabit()
+            .with_validator(Box::new(self.extended_simulator(gui)))
+    }
+
+    /// The Extended Simulator over the Berlinguette deck — exercising the
+    /// non-cuboid shape extension: the spin coater is a cylinder with a
+    /// domed bowl, the nozzles are cylinders.
+    pub fn extended_simulator(&self, gui: bool) -> ExtendedSimulator {
+        let coater = footprints::spin_coater();
+        let world = SimWorld::new()
+            .with_platform(1.4)
+            .with_obstacle("rack", footprints::rack())
+            .with_obstacle("dosing_device", footprints::dosing_device())
+            .with_obstacle("decapper", footprints::decapper())
+            .with_shaped_obstacle(
+                "spin_coater",
+                ObstacleShape::Composite(vec![
+                    ObstacleShape::Cylinder(VerticalCylinder::new(
+                        Vec3::new(coater.center().x, coater.center().y, 0.0),
+                        0.10,
+                        0.10,
+                    )),
+                    ObstacleShape::Hemisphere {
+                        base_center: Vec3::new(coater.center().x, coater.center().y, 0.10),
+                        radius: 0.08,
+                    },
+                ]),
+            )
+            .with_obstacle("spray_hotplate", footprints::spray_hotplate())
+            .with_obstacle("spray_pump", footprints::spray_pump())
+            .with_shaped_obstacle(
+                "nozzle_a",
+                ObstacleShape::Cylinder(VerticalCylinder::new(
+                    Vec3::new(0.53, -0.42, 0.0),
+                    0.25,
+                    0.03,
+                )),
+            )
+            .with_shaped_obstacle(
+                "nozzle_b",
+                ObstacleShape::Cylinder(VerticalCylinder::new(
+                    Vec3::new(0.61, -0.42, 0.0),
+                    0.25,
+                    0.03,
+                )),
+            )
+            // The XRF is modelled as its sample stage (a slab the arm
+            // loads from above) plus the X-ray source column at the back
+            // of the enclosure.
+            .with_obstacle(
+                "xrf_stage",
+                Aabb::new(Vec3::new(0.55, 0.15, 0.0), Vec3::new(0.75, 0.35, 0.05)),
+            )
+            .with_shaped_obstacle(
+                "xrf_source",
+                ObstacleShape::Cylinder(VerticalCylinder::new(
+                    Vec3::new(0.73, 0.33, 0.0),
+                    0.30,
+                    0.03,
+                )),
+            );
+        ExtendedSimulator::new(
+            world,
+            SimConfig {
+                gui,
+                ..SimConfig::default()
+            },
+        )
+        .with_arm("ur5e", presets::ur5e())
+    }
+
+    /// Toggles the deck's proximity sensor (a person stepping up to the
+    /// deck).
+    pub fn set_person_present(&mut self, present: bool) {
+        if let Some(LabDevice::Custom(d)) = self.lab.device_mut(&"deck_sensor".into()) {
+            // Custom devices are behind `dyn Device`; rebuild the sensor
+            // state through malfunction-free reconstruction is overkill —
+            // instead we exploit that ProximitySensor is the only custom
+            // device here and drive it via downcast-free replacement.
+            let mut sensor = ProximitySensor::new(
+                "deck_sensor",
+                Aabb::new(Vec3::new(-1.2, -1.2, 0.0), Vec3::new(1.2, 1.2, 2.0)),
+            );
+            sensor.set_occupied(present);
+            *d = Box::new(sensor);
+        }
+    }
+}
+
+impl Default for BerlinguetteLab {
+    fn default() -> Self {
+        BerlinguetteLab::new()
+    }
+}
+
+/// The thin-film coating workflow: fetch a vial, uncap, dose precursor
+/// solid + solvent, spin-coat, spray-coat (hotplate on before the
+/// nozzles), measure under the XRF, re-cap, and return the vial.
+pub fn film_coating_workflow() -> Workflow {
+    use locations::*;
+    Workflow::new("film_coating")
+        .go_home("ur5e")
+        // -- fetch the vial and uncap it at the decapper --
+        .move_to("ur5e", RACK_R1_SAFE)
+        .pick_up("ur5e", "vial_b", RACK_R1)
+        .move_to("ur5e", RACK_R1_SAFE)
+        .move_to("ur5e", DECAPPER_APPROACH)
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PlaceObject {
+                object: "vial_b".into(),
+                into: Some("decapper".into()),
+            },
+        ))
+        .start_action("decapper", 1.0)
+        .stop_action("decapper")
+        .decap("vial_b")
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PickObject {
+                object: "vial_b".into(),
+            },
+        ))
+        // -- dose precursor solid at the dosing device --
+        .set_door("dosing_device", true)
+        .move_to("ur5e", DOSING_APPROACH)
+        .move_inside("ur5e", "dosing_device")
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PlaceObject {
+                object: "vial_b".into(),
+                into: Some("dosing_device".into()),
+            },
+        ))
+        .move_out("ur5e")
+        .set_door("dosing_device", false)
+        .dose_solid("dosing_device", 4.0, "vial_b")
+        .set_door("dosing_device", true)
+        .move_to("ur5e", DOSING_APPROACH)
+        .move_inside("ur5e", "dosing_device")
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PickObject {
+                object: "vial_b".into(),
+            },
+        ))
+        .move_out("ur5e")
+        .set_door("dosing_device", false)
+        // -- solvent (liquid after solid: the transplanted Hein rule) --
+        .dose_liquid("spray_pump", 3.0, "vial_b")
+        // -- spin coat the precursor --
+        .move_to("ur5e", SPIN_COATER_APPROACH)
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PlaceObject {
+                object: "vial_b".into(),
+                into: Some("spin_coater".into()),
+            },
+        ))
+        .start_action("spin_coater", 3_000.0)
+        .stop_action("spin_coater")
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PickObject {
+                object: "vial_b".into(),
+            },
+        ))
+        // -- spray station: heat first, then spray --
+        .move_to("ur5e", SPRAY_APPROACH)
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PlaceObject {
+                object: "vial_b".into(),
+                into: Some("spray_hotplate".into()),
+            },
+        ))
+        .start_action("spray_hotplate", 120.0)
+        .start_action("nozzle_a", 40.0)
+        .stop_action("nozzle_a")
+        .start_action("nozzle_b", 40.0)
+        .stop_action("nozzle_b")
+        .stop_action("spray_hotplate")
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PickObject {
+                object: "vial_b".into(),
+            },
+        ))
+        // -- XRF measurement --
+        .move_to("ur5e", XRF_APPROACH)
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PlaceObject {
+                object: "vial_b".into(),
+                into: Some("xrf_stage".into()),
+            },
+        ))
+        .start_action("xrf_source", 30.0)
+        .stop_action("xrf_source")
+        .then(Command::new(
+            "ur5e",
+            ActionKind::PickObject {
+                object: "vial_b".into(),
+            },
+        ))
+        // -- re-cap and return --
+        .move_to("ur5e", DECAPPER_APPROACH)
+        .cap("vial_b")
+        .move_to("ur5e", RACK_R1_SAFE)
+        .place_at("ur5e", "vial_b", RACK_R1)
+        .move_to("ur5e", RACK_R1_SAFE)
+        .go_home("ur5e")
+        .go_to_sleep("ur5e")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_tracer::Tracer;
+
+    #[test]
+    fn all_devices_categorise_into_the_four_types() {
+        // The paper's conclusion: "we are able to categorize most of the
+        // devices as part of our four defined device types".
+        let lab = BerlinguetteLab::new();
+        let mut arms = 0;
+        let mut containers = 0;
+        let mut dosing = 0;
+        let mut action = 0;
+        let mut custom = 0;
+        for meta in lab.catalog.iter() {
+            match meta.device_type {
+                DeviceType::RobotArm => arms += 1,
+                DeviceType::Container => containers += 1,
+                DeviceType::DosingSystem => dosing += 1,
+                DeviceType::ActionDevice => action += 1,
+                DeviceType::Custom(_) => custom += 1,
+            }
+        }
+        assert_eq!(arms, 1);
+        assert_eq!(containers, 1);
+        assert_eq!(dosing, 2); // dosing device + spray pump
+        assert_eq!(action, 7); // decapper, spin coater, hotplate, 2 nozzles, xrf × 2
+        assert_eq!(custom, 2); // the rack and the proximity sensor
+    }
+
+    #[test]
+    fn film_coating_workflow_completes() {
+        let mut lab = BerlinguetteLab::new();
+        let mut rabit = lab.rabit();
+        let wf = film_coating_workflow();
+        let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+        assert!(report.completed(), "false positive: {:?}", report.alert);
+        assert!(lab.lab.damage_log().is_empty());
+        let vial = lab.lab.device(&"vial_b".into()).unwrap().as_vial().unwrap();
+        assert_eq!(vial.solid_mg(), 4.0);
+        assert_eq!(vial.liquid_ml(), 3.0);
+        assert!(vial.has_stopper());
+    }
+
+    #[test]
+    fn film_coating_workflow_completes_under_the_shaped_simulator() {
+        let mut lab = BerlinguetteLab::new();
+        let mut rabit = lab.rabit_with_simulator(false);
+        let wf = film_coating_workflow();
+        let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+        assert!(report.completed(), "false positive: {:?}", report.alert);
+    }
+
+    #[test]
+    fn transplanted_hein_rule_fires() {
+        // Liquid before solid: the Hein convention holds here too.
+        let mut lab = BerlinguetteLab::new();
+        let mut rabit = lab.rabit();
+        let wf = Workflow::new("cold_liquid").dose_liquid("spray_pump", 2.0, "vial_b");
+        let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+        let alert = report.alert.expect("liquid before solid must alert");
+        assert!(alert.to_string().contains("custom:1"), "{alert}");
+    }
+
+    #[test]
+    fn lab_specific_spray_rule_fires() {
+        let mut lab = BerlinguetteLab::new();
+        let mut rabit = lab.rabit();
+        let wf = Workflow::new("cold_spray").start_action("nozzle_a", 40.0);
+        let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+        let alert = report.alert.expect("cold spray must alert");
+        assert!(alert.to_string().contains("spray_requires_heat"), "{alert}");
+    }
+
+    #[test]
+    fn nozzles_are_exempt_from_rule_5() {
+        // With the hotplate running, a nozzle needs no contained vial.
+        let mut lab = BerlinguetteLab::new();
+        let mut rabit = lab.rabit();
+        // Give the hotplate a believed container so rules 5/6 pass on it.
+        let wf = Workflow::new("hot_then_spray")
+            .move_to("ur5e", locations::RACK_R1_SAFE)
+            .pick_up("ur5e", "vial_b", locations::RACK_R1)
+            .move_to("ur5e", locations::SPRAY_APPROACH)
+            .then(Command::new(
+                "ur5e",
+                ActionKind::PlaceObject {
+                    object: "vial_b".into(),
+                    into: Some("spray_hotplate".into()),
+                },
+            ))
+            .start_action("spray_hotplate", 100.0)
+            .start_action("nozzle_a", 40.0);
+        // The vial is empty → rule 6 would fire for the hotplate. Seed
+        // believed contents to isolate the nozzle behaviour.
+        rabit.initialize(&mut lab.lab);
+        rabit.believe(&"vial_b".into(), StateKey::SolidMg, 4.0);
+        let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+        assert!(
+            report.completed(),
+            "nozzle exemption failed: {:?}",
+            report.alert
+        );
+    }
+
+    #[test]
+    fn xrf_overpower_is_blocked() {
+        let mut lab = BerlinguetteLab::new();
+        let mut rabit = lab.rabit();
+        let wf = Workflow::new("xrf_hot").start_action("xrf_source", 80.0); // limit 50 kV
+        let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+        let alert = report.alert.expect("over-power X-ray source must alert");
+        assert!(alert.to_string().contains("general:11"), "{alert}");
+    }
+
+    #[test]
+    fn person_on_deck_halts_all_motion() {
+        let mut lab = BerlinguetteLab::new();
+        lab.set_person_present(true);
+        let mut rabit = lab.rabit();
+        let wf = Workflow::new("with_person").go_home("ur5e");
+        let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+        let alert = report
+            .alert
+            .expect("motion with a person present must alert");
+        assert!(alert.to_string().contains("human_proximity"), "{alert}");
+        // Person leaves: motion resumes.
+        let mut lab = BerlinguetteLab::new();
+        lab.set_person_present(false);
+        let mut rabit = lab.rabit();
+        let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+        assert!(report.completed());
+    }
+
+    #[test]
+    fn door_rules_transfer_unchanged() {
+        // The dosing device "similar to that in the Hein Lab" gets the
+        // same protection with zero new configuration.
+        let mut lab = BerlinguetteLab::new();
+        let mut rabit = lab.rabit();
+        let wf = Workflow::new("closed_door").move_inside("ur5e", "dosing_device");
+        let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+        let alert = report.alert.expect("closed door must alert");
+        assert!(alert.to_string().contains("general:1"), "{alert}");
+    }
+
+    #[test]
+    fn home_matches_kinematic_preset() {
+        let arm = presets::ur5e();
+        let kin_home = arm.tool_position(&arm.home_configuration());
+        assert!(
+            kin_home.distance(locations::UR5E_HOME) < 1e-3,
+            "kinematic home {kin_home}"
+        );
+        let kin_sleep = arm.tool_position(&arm.sleep_configuration());
+        assert!(
+            kin_sleep.distance(locations::UR5E_SLEEP) < 1e-3,
+            "{kin_sleep}"
+        );
+        assert!(footprints::ur5e_sleep_volume().contains_point(locations::UR5E_SLEEP));
+    }
+
+    #[test]
+    fn footprints_do_not_overlap() {
+        let fps = [
+            ("rack", footprints::rack()),
+            ("dosing_device", footprints::dosing_device()),
+            ("decapper", footprints::decapper()),
+            ("spin_coater", footprints::spin_coater()),
+            ("spray_hotplate", footprints::spray_hotplate()),
+            ("spray_pump", footprints::spray_pump()),
+            ("nozzle_a", footprints::nozzle_a()),
+            ("nozzle_b", footprints::nozzle_b()),
+            ("xrf", footprints::xrf()),
+        ];
+        for (i, (an, a)) in fps.iter().enumerate() {
+            for (bn, b) in fps.iter().skip(i + 1) {
+                assert!(!a.intersects(b), "{an} overlaps {bn}");
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The Hein Lab production experiment deck (Fig. 1(a)).
+//!
+//! "It consists of a lab computer, a six-axis robot arm [UR3e], and five
+//! automation devices: a solid dosing device, an automated syringe pump,
+//! a centrifuge, a thermoshaker, and a hotplate." (§II)
+
+use crate::camera::Camera;
+use rabit_core::{Lab, LabDevice, Rabit, RabitConfig};
+use rabit_devices::{
+    Centrifuge, DeviceType, DosingDevice, Grid, Hotplate, LatencyModel, RobotArm, SyringePump,
+    Thermoshaker, Vial,
+};
+use rabit_geometry::{Aabb, Vec3};
+use rabit_kinematics::presets;
+use rabit_rulebase::{extensions, DeviceCatalog, DeviceMeta, Rulebase};
+use rabit_sim::{ExtendedSimulator, SimConfig, SimWorld};
+
+/// Stationary device footprints on the production deck (UR3e frame,
+/// base at the origin; all within the arm's ~0.5 m reach).
+pub mod footprints {
+    use rabit_geometry::{Aabb, Vec3};
+
+    /// The vial grid.
+    pub fn grid() -> Aabb {
+        Aabb::new(Vec3::new(0.28, -0.12, 0.0), Vec3::new(0.42, 0.02, 0.08))
+    }
+
+    /// The Mettler Toledo solid dosing device.
+    pub fn dosing_device() -> Aabb {
+        Aabb::new(Vec3::new(0.02, 0.26, 0.0), Vec3::new(0.20, 0.40, 0.24))
+    }
+
+    /// The Tecan syringe pump.
+    pub fn syringe_pump() -> Aabb {
+        Aabb::new(Vec3::new(-0.35, 0.15, 0.0), Vec3::new(-0.20, 0.30, 0.18))
+    }
+
+    /// The IKA hotplate.
+    pub fn hotplate() -> Aabb {
+        Aabb::new(Vec3::new(-0.40, -0.34, 0.0), Vec3::new(-0.26, -0.20, 0.06))
+    }
+
+    /// The Fisher Scientific centrifuge.
+    pub fn centrifuge() -> Aabb {
+        Aabb::new(Vec3::new(0.12, -0.42, 0.0), Vec3::new(0.30, -0.24, 0.14))
+    }
+
+    /// The IKA thermoshaker.
+    pub fn thermoshaker() -> Aabb {
+        Aabb::new(Vec3::new(-0.42, -0.02, 0.0), Vec3::new(-0.27, 0.13, 0.12))
+    }
+
+    /// UR3e's sleep cuboid.
+    pub fn ur3e_sleep_volume() -> Aabb {
+        Aabb::new(Vec3::new(-0.25, -0.25, 0.0), Vec3::new(0.0, -0.02, 0.30))
+    }
+}
+
+/// Key deck locations.
+pub mod locations {
+    use rabit_geometry::Vec3;
+
+    /// Grid slot A1 grasp point (vial grasped near its neck, clear of the
+    /// 0.08 m grid box even with the held-vial model).
+    pub const GRID_A1: Vec3 = Vec3 {
+        x: 0.35,
+        y: -0.05,
+        z: 0.17,
+    };
+    /// Safe height above slot A1.
+    pub const GRID_A1_SAFE: Vec3 = Vec3 {
+        x: 0.35,
+        y: -0.05,
+        z: 0.28,
+    };
+    /// Stand-off in front of the dosing device.
+    pub const DOSING_APPROACH: Vec3 = Vec3 {
+        x: 0.11,
+        y: 0.18,
+        z: 0.30,
+    };
+    /// Stand-off beside the hotplate.
+    pub const HOTPLATE_APPROACH: Vec3 = Vec3 {
+        x: -0.22,
+        y: -0.16,
+        z: 0.24,
+    };
+}
+
+/// UR3e logical home/sleep tool positions (matching the kinematic
+/// preset's home/sleep configurations).
+pub mod arm_positions {
+    use rabit_geometry::Vec3;
+
+    /// UR3e home tool position.
+    pub const UR3E_HOME: Vec3 = Vec3 {
+        x: -0.3887,
+        y: -0.1311,
+        z: 0.2117,
+    };
+    /// UR3e sleep tool position (inside the sleep cuboid).
+    pub const UR3E_SLEEP: Vec3 = Vec3 {
+        x: -0.1209,
+        y: -0.1311,
+        z: 0.1492,
+    };
+}
+
+/// The assembled production deck.
+pub struct ProductionDeck {
+    /// The physical environment.
+    pub lab: Lab,
+    /// Device metadata for the rulebase.
+    pub catalog: DeviceCatalog,
+}
+
+impl ProductionDeck {
+    /// Builds the deck with one empty, capped vial in grid slot A1.
+    pub fn new() -> Self {
+        use arm_positions::*;
+        let mut grid = Grid::new(
+            "grid",
+            footprints::grid(),
+            vec![
+                ("A1".to_string(), locations::GRID_A1),
+                ("A2".to_string(), Vec3::new(0.31, -0.05, 0.17)),
+                ("B1".to_string(), Vec3::new(0.35, -0.09, 0.17)),
+                ("B2".to_string(), Vec3::new(0.31, -0.09, 0.17)),
+            ],
+        );
+        grid.occupy("A1", "vial".into()).expect("fresh grid slot");
+
+        let mut lab = Lab::new()
+            .with_device(
+                RobotArm::new("ur3e", UR3E_HOME, UR3E_SLEEP).with_latency(LatencyModel::PRODUCTION),
+            )
+            .with_device(Vial::new("vial", locations::GRID_A1))
+            .with_device(grid)
+            .with_device(
+                DosingDevice::new("dosing_device", footprints::dosing_device())
+                    .with_firmware_max_dose(50.0),
+            )
+            .with_device(
+                SyringePump::new("syringe_pump", footprints::syringe_pump())
+                    .with_firmware_max_volume(25.0),
+            )
+            .with_device(Centrifuge::new("centrifuge", footprints::centrifuge()))
+            .with_device(
+                Hotplate::new("hotplate", footprints::hotplate()).with_firmware_limit(340.0),
+            )
+            .with_device(Thermoshaker::new(
+                "thermoshaker",
+                footprints::thermoshaker(),
+            ));
+        lab.add_device(LabDevice::Custom(Box::new(Camera::new("camera"))));
+        lab.set_arm_kinematics("ur3e", Vec3::ZERO, presets::ur3e().max_reach());
+
+        let catalog = DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("ur3e", DeviceType::RobotArm)
+                    .with_arm_positions(UR3E_HOME, UR3E_SLEEP)
+                    .with_sleep_volume(footprints::ur3e_sleep_volume()),
+            )
+            .with(DeviceMeta::new("vial", DeviceType::Container))
+            .with(DeviceMeta::new(
+                "grid",
+                DeviceType::Custom("grid".to_string()),
+            ))
+            .with(DeviceMeta::new("dosing_device", DeviceType::DosingSystem).with_door())
+            .with(DeviceMeta::new("syringe_pump", DeviceType::DosingSystem))
+            .with(
+                DeviceMeta::new("centrifuge", DeviceType::ActionDevice)
+                    .with_door()
+                    .with_tag("centrifuge")
+                    .with_threshold(15_000.0),
+            )
+            .with(DeviceMeta::new("hotplate", DeviceType::ActionDevice).with_threshold(340.0))
+            .with(DeviceMeta::new("thermoshaker", DeviceType::ActionDevice).with_threshold(3_000.0))
+            .with(DeviceMeta::new(
+                "camera",
+                DeviceType::Custom("camera".to_string()),
+            ));
+
+        ProductionDeck { lab, catalog }
+    }
+
+    /// The deployed production RABIT: Hein rules + the held-object
+    /// extension (single arm, so no multiplexing rules are needed).
+    pub fn rabit(&self) -> Rabit {
+        let mut rulebase = Rulebase::hein_lab();
+        rulebase.push(extensions::held_object_clearance_rule());
+        Rabit::new(rulebase, self.catalog.clone(), RabitConfig::default())
+    }
+
+    /// The same engine with the Extended Simulator attached (`gui` picks
+    /// the 2 s GUI mode or headless).
+    pub fn rabit_with_simulator(&self, gui: bool) -> Rabit {
+        self.rabit()
+            .with_validator(Box::new(self.extended_simulator(gui)))
+    }
+
+    /// The Extended Simulator over the production deck.
+    pub fn extended_simulator(&self, gui: bool) -> ExtendedSimulator {
+        let world = SimWorld::new()
+            .with_platform(1.0)
+            .with_obstacle("grid", footprints::grid())
+            .with_obstacle("dosing_device", footprints::dosing_device())
+            .with_obstacle("syringe_pump", footprints::syringe_pump())
+            .with_obstacle("centrifuge", footprints::centrifuge())
+            .with_obstacle("hotplate", footprints::hotplate())
+            .with_obstacle("thermoshaker", footprints::thermoshaker());
+        ExtendedSimulator::new(
+            world,
+            SimConfig {
+                gui,
+                ..SimConfig::default()
+            },
+        )
+        .with_arm("ur3e", presets::ur3e())
+    }
+
+    /// Footprint of a named deck device.
+    pub fn footprint_of(&self, name: &str) -> Option<Aabb> {
+        match name {
+            "grid" => Some(footprints::grid()),
+            "dosing_device" => Some(footprints::dosing_device()),
+            "syringe_pump" => Some(footprints::syringe_pump()),
+            "centrifuge" => Some(footprints::centrifuge()),
+            "hotplate" => Some(footprints::hotplate()),
+            "thermoshaker" => Some(footprints::thermoshaker()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for ProductionDeck {
+    fn default() -> Self {
+        ProductionDeck::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deck_inventory_matches_the_paper() {
+        let mut deck = ProductionDeck::new();
+        let state = deck.lab.fetch_state();
+        // arm + vial + grid + 5 devices + camera = 9.
+        assert_eq!(state.len(), 9);
+        for id in [
+            "ur3e",
+            "dosing_device",
+            "syringe_pump",
+            "centrifuge",
+            "hotplate",
+            "thermoshaker",
+        ] {
+            assert!(state.device(&id.into()).is_some(), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn footprints_do_not_overlap() {
+        let deck = ProductionDeck::new();
+        let names = [
+            "grid",
+            "dosing_device",
+            "syringe_pump",
+            "centrifuge",
+            "hotplate",
+            "thermoshaker",
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                assert!(
+                    !deck
+                        .footprint_of(a)
+                        .unwrap()
+                        .intersects(&deck.footprint_of(b).unwrap()),
+                    "{a} overlaps {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn everything_is_within_reach() {
+        let arm = presets::ur3e();
+        let reach = arm.max_reach();
+        for p in [
+            locations::GRID_A1,
+            locations::GRID_A1_SAFE,
+            locations::DOSING_APPROACH,
+            locations::HOTPLATE_APPROACH,
+            arm_positions::UR3E_HOME,
+            arm_positions::UR3E_SLEEP,
+        ] {
+            assert!(p.norm() <= reach, "{p} beyond reach {reach:.3}");
+        }
+    }
+
+    #[test]
+    fn logical_and_kinematic_home_positions_agree() {
+        let arm = presets::ur3e();
+        let kin_home = arm.tool_position(&arm.home_configuration());
+        assert!(
+            kin_home.distance(arm_positions::UR3E_HOME) < 1e-3,
+            "kinematic home {kin_home} vs logical {}",
+            arm_positions::UR3E_HOME
+        );
+        let kin_sleep = arm.tool_position(&arm.sleep_configuration());
+        assert!(kin_sleep.distance(arm_positions::UR3E_SLEEP) < 1e-3);
+    }
+
+    #[test]
+    fn sleep_position_is_inside_sleep_volume_and_clear_of_devices() {
+        assert!(footprints::ur3e_sleep_volume().contains_point(arm_positions::UR3E_SLEEP));
+        let deck = ProductionDeck::new();
+        for name in [
+            "grid",
+            "dosing_device",
+            "syringe_pump",
+            "centrifuge",
+            "hotplate",
+            "thermoshaker",
+        ] {
+            let fp = deck.footprint_of(name).unwrap();
+            assert!(
+                !fp.contains_point(arm_positions::UR3E_SLEEP),
+                "sleep inside {name}"
+            );
+            assert!(
+                !fp.contains_point(arm_positions::UR3E_HOME),
+                "home inside {name}"
+            );
+            assert!(
+                !fp.intersects(&footprints::ur3e_sleep_volume()),
+                "{name} overlaps the sleep volume"
+            );
+        }
+    }
+
+    #[test]
+    fn production_firmware_limits_are_armed() {
+        let deck = ProductionDeck::new();
+        if let Some(LabDevice::Hotplate(h)) = deck.lab.device(&"hotplate".into()) {
+            assert_eq!(h.firmware_limit(), 340.0);
+        } else {
+            panic!("hotplate missing");
+        }
+    }
+
+    #[test]
+    fn rabit_builders() {
+        let deck = ProductionDeck::new();
+        assert_eq!(deck.rabit().rulebase().len(), 16); // 15 + held-object
+        let _with_sim = deck.rabit_with_simulator(false);
+    }
+}

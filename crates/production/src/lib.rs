@@ -1,0 +1,37 @@
+//! The production environment (stage 3): the Hein Lab experiment deck.
+//!
+//! "We consider the Hein Lab's experiment deck shown in Fig. 1(a) as our
+//! production environment. It consists of a lab computer, a six-axis
+//! robot arm, and five automation devices." (§II)
+//!
+//! * [`ProductionDeck`] — UR3e + dosing device, syringe pump, centrifuge,
+//!   thermoshaker, hotplate, the vial grid, and the imaging [`Camera`],
+//!   with production-grade command latencies and firmware limits;
+//! * [`solubility`] — the Fig. 1(b) automated solubility workflow, fully
+//!   expanded to device commands;
+//! * RABIT builders with and without the Extended Simulator attached.
+//!
+//! # Example
+//!
+//! ```
+//! use rabit_production::{ProductionDeck, solubility};
+//! use rabit_tracer::Tracer;
+//!
+//! let mut deck = ProductionDeck::new();
+//! let mut rabit = deck.rabit();
+//! let wf = solubility::solubility_workflow(&solubility::SolubilityParams::default());
+//! let report = Tracer::guarded(&mut deck.lab, &mut rabit).run(&wf);
+//! assert!(report.completed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod berlinguette;
+mod camera;
+mod deck;
+pub mod solubility;
+
+pub use berlinguette::BerlinguetteLab;
+pub use camera::{Camera, RECORD_IMAGE};
+pub use deck::{arm_positions, footprints, locations, ProductionDeck};

@@ -1,0 +1,364 @@
+//! Synthetic Robot Arm Dataset generation.
+//!
+//! The real RAD contains "three months of command trace data captured in
+//! the Hein Lab" by RATracer. This generator produces a synthetic corpus
+//! with the same shape: many sessions of parameter-randomised solubility
+//! style workflows, each serialised in the shared [`Trace`] format. The
+//! corpus embodies the implicit conventions the paper mined from RAD —
+//! device doors are opened before arms enter them, solids are added
+//! before liquids, devices run with doors closed — so the miner
+//! (`rabit-rad::mine`) has real structure to recover.
+
+use rabit_devices::{ActionKind, Command, DeviceId};
+use rabit_geometry::Vec3;
+use rabit_tracer::{Trace, TraceEvent, TraceOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadGenParams {
+    /// Number of experiment sessions (the paper's corpus covers ~3 months
+    /// of lab work; a session is one workflow run).
+    pub sessions: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that a session deviates from convention (sloppy but
+    /// harmless operator behaviour that the miner must tolerate, e.g.
+    /// leaving the door open while idle).
+    pub noise_rate: f64,
+}
+
+impl Default for RadGenParams {
+    fn default() -> Self {
+        RadGenParams {
+            sessions: 200,
+            seed: 7,
+            noise_rate: 0.05,
+        }
+    }
+}
+
+/// Generates the corpus: one [`Trace`] per session.
+pub fn generate_corpus(params: &RadGenParams) -> Vec<Trace> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.sessions)
+        .map(|i| generate_session(i, &mut rng, params.noise_rate))
+        .collect()
+}
+
+/// One randomized solubility-style session.
+fn generate_session(index: usize, rng: &mut StdRng, noise_rate: f64) -> Trace {
+    let vial: DeviceId = format!("vial_{}", rng.random_range(0..6)).into();
+    let amount = rng.random_range(2.0..9.0f64);
+    let solvent = rng.random_range(1.0..4.0f64);
+    let temp = rng.random_range(40.0..90.0f64);
+    let iterations = rng.random_range(1..4usize);
+
+    let mut commands: Vec<Command> = Vec::new();
+    let arm = DeviceId::new("ur3e");
+    let doser = DeviceId::new("dosing_device");
+    let hotplate = DeviceId::new("hotplate");
+    let pump = DeviceId::new("syringe_pump");
+
+    let grid_pos = Vec3::new(0.35, -0.05, 0.17);
+    let safe = Vec3::new(0.35, -0.05, 0.28);
+
+    commands.push(Command::new(arm.clone(), ActionKind::MoveHome));
+    commands.push(Command::new(vial.clone(), ActionKind::Decap));
+
+    // Solid dosing idiom: open door → enter → place → exit → close →
+    // dose → open → enter → pick → exit → close.
+    commands.push(Command::new(
+        doser.clone(),
+        ActionKind::SetDoor { open: true },
+    ));
+    commands.push(Command::new(
+        arm.clone(),
+        ActionKind::MoveToLocation { target: safe },
+    ));
+    commands.push(Command::new(
+        arm.clone(),
+        ActionKind::MoveToLocation { target: grid_pos },
+    ));
+    commands.push(Command::new(
+        arm.clone(),
+        ActionKind::PickObject {
+            object: vial.clone(),
+        },
+    ));
+    commands.push(Command::new(
+        arm.clone(),
+        ActionKind::MoveInsideDevice {
+            device: doser.clone(),
+        },
+    ));
+    commands.push(Command::new(
+        arm.clone(),
+        ActionKind::PlaceObject {
+            object: vial.clone(),
+            into: Some(doser.clone()),
+        },
+    ));
+    commands.push(Command::new(arm.clone(), ActionKind::MoveOutOfDevice));
+    // Conventional operators close the door before dosing; sloppy ones
+    // sometimes dose with it open (it "worked anyway" in the lab, but the
+    // convention is what the miner must recover).
+    if !rng.random_bool(noise_rate) {
+        commands.push(Command::new(
+            doser.clone(),
+            ActionKind::SetDoor { open: false },
+        ));
+    }
+    commands.push(Command::new(
+        doser.clone(),
+        ActionKind::DoseSolid {
+            amount_mg: amount,
+            into: vial.clone(),
+        },
+    ));
+    commands.push(Command::new(
+        doser.clone(),
+        ActionKind::SetDoor { open: true },
+    ));
+    commands.push(Command::new(
+        arm.clone(),
+        ActionKind::MoveInsideDevice {
+            device: doser.clone(),
+        },
+    ));
+    commands.push(Command::new(
+        arm.clone(),
+        ActionKind::PickObject {
+            object: vial.clone(),
+        },
+    ));
+    commands.push(Command::new(arm.clone(), ActionKind::MoveOutOfDevice));
+    // Conventional operators close the door; sloppy ones sometimes don't.
+    if !rng.random_bool(noise_rate) {
+        commands.push(Command::new(
+            doser.clone(),
+            ActionKind::SetDoor { open: false },
+        ));
+    }
+
+    // Liquid after solid (the Hein convention mined from RAD).
+    commands.push(Command::new(
+        pump.clone(),
+        ActionKind::DoseLiquid {
+            volume_ml: solvent,
+            into: vial.clone(),
+        },
+    ));
+
+    for _ in 0..iterations {
+        // Stir cycle.
+        commands.push(Command::new(
+            arm.clone(),
+            ActionKind::PlaceObject {
+                object: vial.clone(),
+                into: Some(hotplate.clone()),
+            },
+        ));
+        commands.push(Command::new(
+            hotplate.clone(),
+            ActionKind::StartAction { value: temp },
+        ));
+        commands.push(Command::new(hotplate.clone(), ActionKind::StopAction));
+        commands.push(Command::new(
+            arm.clone(),
+            ActionKind::PickObject {
+                object: vial.clone(),
+            },
+        ));
+        commands.push(Command::new(
+            pump.clone(),
+            ActionKind::DoseLiquid {
+                volume_ml: 1.0,
+                into: vial.clone(),
+            },
+        ));
+    }
+
+    commands.push(Command::new(
+        arm.clone(),
+        ActionKind::PlaceObject {
+            object: vial.clone(),
+            into: None,
+        },
+    ));
+    commands.push(Command::new(vial.clone(), ActionKind::Cap));
+    commands.push(Command::new(arm, ActionKind::MoveToSleep));
+
+    // Stamp timestamps: production-ish pacing with jitter.
+    let mut trace = Trace::new(format!("rad_session_{index:04}"));
+    let mut t = 0.0;
+    for (seq, command) in commands.into_iter().enumerate() {
+        t += rng.random_range(0.5..3.5);
+        trace.record(TraceEvent {
+            seq,
+            time_s: t,
+            command,
+            outcome: TraceOutcome::Forwarded,
+        });
+    }
+    trace
+}
+
+/// Generates a corpus the way the real RAD was captured: by *running*
+/// randomized solubility workflows on the (simulated) testbed with
+/// RATracer in pass-through mode. Unlike [`generate_corpus`]'s purely
+/// template-based traces, these sessions carry the timestamps and command
+/// sequences of genuinely executed lab work.
+pub fn generate_lab_corpus(sessions: usize, seed: u64) -> Vec<Trace> {
+    use rabit_tracer::Tracer;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..sessions)
+        .map(|i| {
+            let mut tb = rabit_testbed::Testbed::new();
+            let loc = tb.locations;
+            let grid = loc.grid_nw_viperx;
+            let dose_mg = rng.random_range(2.0..8.0f64);
+            let mut wf = rabit_tracer::Workflow::new(format!("lab_session_{i:04}"))
+                .go_to_sleep("ned2")
+                .set_door("dosing_device", true)
+                .decap("vial")
+                .go_home("viperx")
+                .move_to("viperx", grid.pickup_safe_height)
+                .pick_up("viperx", "vial", grid.pickup)
+                .move_to("viperx", grid.pickup_safe_height)
+                .move_to("viperx", loc.dosing_viperx.approach)
+                .move_inside("viperx", "dosing_device")
+                .then(Command::new(
+                    "viperx",
+                    ActionKind::PlaceObject {
+                        object: "vial".into(),
+                        into: Some("dosing_device".into()),
+                    },
+                ))
+                .move_out("viperx")
+                .set_door("dosing_device", false)
+                .dose_solid("dosing_device", dose_mg, "vial")
+                .set_door("dosing_device", true)
+                .move_to("viperx", loc.dosing_viperx.approach)
+                .move_inside("viperx", "dosing_device")
+                .then(Command::new(
+                    "viperx",
+                    ActionKind::PickObject {
+                        object: "vial".into(),
+                    },
+                ))
+                .move_out("viperx")
+                .move_to("viperx", grid.pickup_safe_height)
+                .place_at("viperx", "vial", grid.pickup)
+                .move_to("viperx", grid.pickup_safe_height)
+                .set_door("dosing_device", false);
+            // Some sessions add solvent after the solid (the convention).
+            if rng.random_bool(0.7) {
+                wf = wf.dose_liquid("syringe_pump", rng.random_range(1.0..4.0f64), "vial");
+            }
+            wf = wf.cap("vial").go_home("viperx").go_to_sleep("viperx");
+            let report = Tracer::pass_through(&mut tb.lab).run(&wf);
+            assert!(report.completed(), "lab session must execute cleanly");
+            report.trace
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_size_and_is_deterministic() {
+        let p = RadGenParams {
+            sessions: 10,
+            ..RadGenParams::default()
+        };
+        let a = generate_corpus(&p);
+        let b = generate_corpus(&p);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a, b, "same seed, same corpus");
+        let c = generate_corpus(&RadGenParams { seed: 8, ..p });
+        assert_ne!(a, c, "different seed, different corpus");
+    }
+
+    #[test]
+    fn sessions_follow_the_door_convention() {
+        // In every session, each move_robot_inside is preceded by an
+        // open_door with no intervening close_door.
+        let corpus = generate_corpus(&RadGenParams {
+            sessions: 30,
+            ..RadGenParams::default()
+        });
+        for trace in &corpus {
+            let mut door_open = false;
+            for cmd in trace.executed_commands() {
+                match cmd.to_string().as_str() {
+                    "dosing_device.open_door" => door_open = true,
+                    "dosing_device.close_door" => door_open = false,
+                    s if s.contains("move_robot_inside(dosing_device)") => {
+                        assert!(door_open, "{}: entered through closed door", trace.workflow);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solids_precede_liquids_per_vial() {
+        let corpus = generate_corpus(&RadGenParams {
+            sessions: 30,
+            ..RadGenParams::default()
+        });
+        for trace in &corpus {
+            let cmds: Vec<String> = trace.executed_commands().map(ToString::to_string).collect();
+            let first_solid = cmds.iter().position(|c| c.contains("dose_solid"));
+            let first_liquid = cmds.iter().position(|c| c.contains("dose_liquid"));
+            if let (Some(s), Some(l)) = (first_solid, first_liquid) {
+                assert!(s < l, "{}: liquid before solid", trace.workflow);
+            }
+        }
+    }
+
+    #[test]
+    fn lab_captured_corpus_executes_and_mines() {
+        // The RATracer→RAD pipeline end to end: sessions captured from
+        // real (simulated) runs, then mined.
+        let corpus = generate_lab_corpus(40, 11);
+        assert_eq!(corpus.len(), 40);
+        for trace in &corpus {
+            assert!(trace.len() > 15, "{} too short", trace.workflow);
+            // Executed traces carry real, increasing lab timestamps.
+            for w in trace.events.windows(2) {
+                assert!(w[1].time_s >= w[0].time_s);
+            }
+        }
+        let mined = crate::mine::mine(&corpus, &crate::mine::MineParams::default());
+        let names: Vec<String> = mined.iter().map(|m| m.name()).collect();
+        assert!(
+            names.contains(&"move_robot_inside_requires_door_open=true".to_string()),
+            "door rule must be recoverable from captured sessions: {names:?}"
+        );
+        assert!(
+            names.contains(&"solid_before_liquid".to_string()),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn timestamps_are_strictly_increasing() {
+        let corpus = generate_corpus(&RadGenParams {
+            sessions: 5,
+            ..RadGenParams::default()
+        });
+        for trace in &corpus {
+            for w in trace.events.windows(2) {
+                assert!(w[1].time_s > w[0].time_s);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The Robot Arm Dataset (RAD) substrate.
+//!
+//! The paper's rulebase construction starts from RAD — "three months of
+//! command trace data captured in the Hein Lab" — mined for rules
+//! "implied by the sequences of commands" (§II-A). The real dataset is a
+//! lab artifact; this crate substitutes it with:
+//!
+//! * [`gen`] — a deterministic synthetic corpus generator producing
+//!   RAD-shaped sessions that embody the lab's conventions (doors opened
+//!   before entry, solids before liquids, doors closed while dosing);
+//! * [`mine()`](mine()) — the rule miner: state-guard and ordering patterns with
+//!   support/confidence thresholds, convertible into enforceable
+//!   [`rabit_rulebase::Rule`]s, plus precision/recall scoring against the
+//!   ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use rabit_rad::{generate_corpus, mine, MineParams, RadGenParams};
+//!
+//! let corpus = generate_corpus(&RadGenParams { sessions: 50, ..RadGenParams::default() });
+//! let rules = mine(&corpus, &MineParams::default());
+//! assert!(!rules.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod mine;
+
+pub use gen::{generate_corpus, generate_lab_corpus, RadGenParams};
+pub use mine::{mine, score, GuardedAction, MineParams, MinedRule, Toggle};

@@ -1,0 +1,306 @@
+//! The device catalog: static metadata RABIT learns from the JSON
+//! configuration files (paper §II-C).
+//!
+//! The catalog answers questions the live [`LabState`] cannot: which
+//! devices *have* doors, what an action device's firmware threshold is,
+//! where an arm's home/sleep positions are, and which cuboid an idle arm
+//! occupies. It is populated by `rabit-config` from JSON and consumed by
+//! every rule.
+//!
+//! [`LabState`]: rabit_devices::LabState
+
+use rabit_devices::{DeviceId, DeviceType};
+use rabit_geometry::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Static metadata for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceMeta {
+    /// The device's id.
+    pub id: DeviceId,
+    /// Taxonomy type.
+    pub device_type: DeviceType,
+    /// Whether the device has a door in front of its working volume.
+    pub has_door: bool,
+    /// Free-form tags custom rules can target (e.g. `"centrifuge"`).
+    pub tags: BTreeSet<String>,
+    /// Firmware threshold on the action value, if any (rule III-11).
+    pub action_threshold: Option<f64>,
+    /// Whether this action device hosts a container while running (the
+    /// Hein hotplate/centrifuge/thermoshaker do; the Berlinguette spray
+    /// nozzles and XRF source act on their surroundings instead — §V-B:
+    /// "action devices with spraying and not spraying being their primary
+    /// actions"). Rules III-5/6 only bind hosting devices.
+    pub hosts_container: bool,
+    /// Home (ready) location for robot arms.
+    pub home_location: Option<Vec3>,
+    /// Sleep (stowed) location for robot arms.
+    pub sleep_location: Option<Vec3>,
+    /// The cuboid a sleeping arm occupies — time multiplexing models idle
+    /// arms "as 3D cuboid spaces (identically to other devices)" (§IV).
+    pub sleep_volume: Option<Aabb>,
+    /// The region an arm may move in under space multiplexing (the
+    /// "software-defined wall" splits the deck into such regions).
+    pub allowed_region: Option<Aabb>,
+}
+
+impl DeviceMeta {
+    /// Creates metadata with just an id and type; everything else unset.
+    pub fn new(id: impl Into<DeviceId>, device_type: DeviceType) -> Self {
+        DeviceMeta {
+            id: id.into(),
+            device_type,
+            has_door: false,
+            tags: BTreeSet::new(),
+            action_threshold: None,
+            hosts_container: true,
+            home_location: None,
+            sleep_location: None,
+            sleep_volume: None,
+            allowed_region: None,
+        }
+    }
+
+    /// Marks an action device as acting on its surroundings rather than a
+    /// contained container (spray nozzles, X-ray sources); rules III-5/6
+    /// will not demand a container inside it.
+    pub fn without_container_hosting(mut self) -> Self {
+        self.hosts_container = false;
+        self
+    }
+
+    /// Marks the device as having a door.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device type cannot have a door (containers and robot
+    /// arms — paper §II-A restricts doors to dosing systems and action
+    /// devices).
+    pub fn with_door(mut self) -> Self {
+        assert!(
+            self.device_type.may_have_door(),
+            "{} devices cannot have doors",
+            self.device_type
+        );
+        self.has_door = true;
+        self
+    }
+
+    /// Adds a tag.
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tags.insert(tag.into());
+        self
+    }
+
+    /// Sets the firmware action threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.action_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets robot-arm home and sleep locations.
+    pub fn with_arm_positions(mut self, home: Vec3, sleep: Vec3) -> Self {
+        self.home_location = Some(home);
+        self.sleep_location = Some(sleep);
+        self
+    }
+
+    /// Sets the sleeping-arm cuboid.
+    pub fn with_sleep_volume(mut self, volume: Aabb) -> Self {
+        self.sleep_volume = Some(volume);
+        self
+    }
+
+    /// Sets the space-multiplexing region.
+    pub fn with_allowed_region(mut self, region: Aabb) -> Self {
+        self.allowed_region = Some(region);
+        self
+    }
+
+    /// Returns `true` if this device carries `tag`.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.contains(tag)
+    }
+}
+
+/// The full device catalog for a lab.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeviceCatalog {
+    devices: BTreeMap<DeviceId, DeviceMeta>,
+}
+
+impl DeviceCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        DeviceCatalog::default()
+    }
+
+    /// Adds a device (builder style).
+    pub fn with(mut self, meta: DeviceMeta) -> Self {
+        self.insert(meta);
+        self
+    }
+
+    /// Adds or replaces a device.
+    pub fn insert(&mut self, meta: DeviceMeta) {
+        self.devices.insert(meta.id.clone(), meta);
+    }
+
+    /// Looks up a device.
+    pub fn get(&self, id: &DeviceId) -> Option<&DeviceMeta> {
+        self.devices.get(id)
+    }
+
+    /// The device's type, if known.
+    pub fn device_type(&self, id: &DeviceId) -> Option<&DeviceType> {
+        self.get(id).map(|m| &m.device_type)
+    }
+
+    /// Whether the device has a door (unknown devices: `false`).
+    pub fn has_door(&self, id: &DeviceId) -> bool {
+        self.get(id).is_some_and(|m| m.has_door)
+    }
+
+    /// Whether the device is a robot arm.
+    pub fn is_robot_arm(&self, id: &DeviceId) -> bool {
+        matches!(self.device_type(id), Some(DeviceType::RobotArm))
+    }
+
+    /// Whether the device is a container.
+    pub fn is_container(&self, id: &DeviceId) -> bool {
+        matches!(self.device_type(id), Some(DeviceType::Container))
+    }
+
+    /// Whether the device carries `tag`.
+    pub fn has_tag(&self, id: &DeviceId, tag: &str) -> bool {
+        self.get(id).is_some_and(|m| m.has_tag(tag))
+    }
+
+    /// All devices of a given type.
+    pub fn of_type<'a>(
+        &'a self,
+        device_type: &'a DeviceType,
+    ) -> impl Iterator<Item = &'a DeviceMeta> + 'a {
+        self.devices
+            .values()
+            .filter(move |m| &m.device_type == device_type)
+    }
+
+    /// All robot arms.
+    pub fn robot_arms(&self) -> impl Iterator<Item = &DeviceMeta> {
+        self.of_type(&DeviceType::RobotArm)
+    }
+
+    /// Iterates over all devices.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceMeta> {
+        self.devices.values()
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Returns `true` if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+impl FromIterator<DeviceMeta> for DeviceCatalog {
+    fn from_iter<I: IntoIterator<Item = DeviceMeta>>(iter: I) -> Self {
+        let mut c = DeviceCatalog::new();
+        for m in iter {
+            c.insert(m);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_catalog() -> DeviceCatalog {
+        DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("dosing_device", DeviceType::DosingSystem)
+                    .with_door()
+                    .with_tag("doser"),
+            )
+            .with(
+                DeviceMeta::new("centrifuge", DeviceType::ActionDevice)
+                    .with_door()
+                    .with_tag("centrifuge")
+                    .with_threshold(15_000.0),
+            )
+            .with(DeviceMeta::new("hotplate", DeviceType::ActionDevice).with_threshold(340.0))
+            .with(
+                DeviceMeta::new("viperx", DeviceType::RobotArm)
+                    .with_arm_positions(Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, 0.0, 0.1)),
+            )
+            .with(DeviceMeta::new("vial_NW", DeviceType::Container))
+    }
+
+    #[test]
+    fn lookups() {
+        let c = sample_catalog();
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert!(c.has_door(&"dosing_device".into()));
+        assert!(!c.has_door(&"hotplate".into()));
+        assert!(!c.has_door(&"unknown".into()));
+        assert!(c.is_robot_arm(&"viperx".into()));
+        assert!(c.is_container(&"vial_NW".into()));
+        assert!(c.has_tag(&"centrifuge".into(), "centrifuge"));
+        assert!(!c.has_tag(&"hotplate".into(), "centrifuge"));
+        assert_eq!(
+            c.get(&"hotplate".into()).unwrap().action_threshold,
+            Some(340.0)
+        );
+    }
+
+    #[test]
+    fn type_queries() {
+        let c = sample_catalog();
+        assert_eq!(c.of_type(&DeviceType::ActionDevice).count(), 2);
+        assert_eq!(c.robot_arms().count(), 1);
+        assert_eq!(c.iter().count(), 5);
+    }
+
+    #[test]
+    fn arm_positions() {
+        let c = sample_catalog();
+        let arm = c.get(&"viperx".into()).unwrap();
+        assert_eq!(arm.home_location, Some(Vec3::new(0.3, 0.0, 0.3)));
+        assert_eq!(arm.sleep_location, Some(Vec3::new(0.1, 0.0, 0.1)));
+        assert!(arm.sleep_volume.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot have doors")]
+    fn container_door_rejected() {
+        let _ = DeviceMeta::new("vial", DeviceType::Container).with_door();
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let c: DeviceCatalog = vec![
+            DeviceMeta::new("a", DeviceType::Container),
+            DeviceMeta::new("b", DeviceType::RobotArm),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn volumes_and_regions() {
+        let m = DeviceMeta::new("ned2", DeviceType::RobotArm)
+            .with_sleep_volume(Aabb::new(Vec3::ZERO, Vec3::splat(0.2)))
+            .with_allowed_region(Aabb::new(Vec3::ZERO, Vec3::splat(1.0)));
+        assert!(m.sleep_volume.is_some());
+        assert!(m.allowed_region.is_some());
+    }
+}

@@ -1,0 +1,305 @@
+//! The Hein Lab's four custom rules (Table IV).
+//!
+//! Custom rules target devices by *tag* (e.g. `"centrifuge"`), so the same
+//! rule text adapts to any lab's catalog — the paper's design goal of
+//! "describing only the items specific to that environment" (§II-A).
+
+use crate::rule::{Rule, RuleId};
+use rabit_devices::{ActionKind, Command, LabState, StateKey, Substance};
+
+/// Tag identifying centrifuges in the catalog.
+pub const CENTRIFUGE_TAG: &str = "centrifuge";
+
+/// Builds the four Hein-Lab custom rules, numbered as in Table IV.
+pub fn hein_custom_rules() -> Vec<Rule> {
+    vec![
+        rule_c1_liquid_after_solid(),
+        rule_c2_centrifuge_needs_solid_and_liquid(),
+        rule_c3_centrifuge_red_dot_north(),
+        rule_c4_centrifuge_needs_stopper(),
+    ]
+}
+
+/// Helper: the container targeted by a place-into-centrifuge command.
+fn centrifuge_placement<'a>(
+    cmd: &'a Command,
+    ctx: &crate::rule::RuleCtx<'_>,
+) -> Option<(&'a rabit_devices::DeviceId, &'a rabit_devices::DeviceId)> {
+    let ActionKind::PlaceObject {
+        object,
+        into: Some(target),
+    } = &cmd.action
+    else {
+        return None;
+    };
+    ctx.catalog
+        .has_tag(target, CENTRIFUGE_TAG)
+        .then_some((object, target))
+}
+
+/// Rule IV-1: *Add liquid to a container only if the container already
+/// has solid.*
+pub fn rule_c1_liquid_after_solid() -> Rule {
+    Rule::new(
+        RuleId::Custom("1".to_string()),
+        "Add liquid to a container only if the container already has solid",
+        |cmd, state, _| {
+            let receiver = match &cmd.action {
+                ActionKind::DoseLiquid { into, .. } => into,
+                ActionKind::Transfer {
+                    to,
+                    substance: Substance::Liquid,
+                    ..
+                } => to,
+                _ => return None,
+            };
+            let solid = state
+                .get_number(receiver, &StateKey::SolidMg)
+                .unwrap_or(0.0);
+            if solid <= 0.0 {
+                Some(format!("adding liquid to {receiver} before any solid"))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// Rule IV-2: *Place the container in the centrifuge only if the
+/// container contains both a solid and a liquid.*
+pub fn rule_c2_centrifuge_needs_solid_and_liquid() -> Rule {
+    Rule::new(
+        RuleId::Custom("2".to_string()),
+        "Place the container in the centrifuge only if it contains both a solid and a liquid",
+        |cmd, state, ctx| {
+            let (object, target) = centrifuge_placement(cmd, ctx)?;
+            let solid = state.get_number(object, &StateKey::SolidMg).unwrap_or(0.0);
+            let liquid = state.get_number(object, &StateKey::LiquidMl).unwrap_or(0.0);
+            if solid <= 0.0 || liquid <= 0.0 {
+                Some(format!(
+                    "{object} placed in {target} with solid={solid} mg, liquid={liquid} mL"
+                ))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// Rule IV-3: *Place the container in the centrifuge only if the red dot
+/// on centrifuge faces North.*
+pub fn rule_c3_centrifuge_red_dot_north() -> Rule {
+    Rule::new(
+        RuleId::Custom("3".to_string()),
+        "Place the container in the centrifuge only if the red dot faces North",
+        |cmd, state, ctx| {
+            let (object, target) = centrifuge_placement(cmd, ctx)?;
+            if state.get_bool(target, &StateKey::RedDotNorth) == Some(true) {
+                None
+            } else {
+                Some(format!(
+                    "{object} placed in {target} while its red dot is not North"
+                ))
+            }
+        },
+    )
+}
+
+/// Rule IV-4: *Place the container in the centrifuge only if the
+/// container has a stopper on it.*
+pub fn rule_c4_centrifuge_needs_stopper() -> Rule {
+    Rule::new(
+        RuleId::Custom("4".to_string()),
+        "Place the container in the centrifuge only if it has a stopper on it",
+        |cmd, state, ctx| {
+            let (object, target) = centrifuge_placement(cmd, ctx)?;
+            if state.get_bool(object, &StateKey::HasStopper) == Some(true) {
+                None
+            } else {
+                Some(format!("{object} placed in {target} without its stopper"))
+            }
+        },
+    )
+}
+
+/// Ignore `state` warnings in helper.
+#[allow(dead_code)]
+fn _silence(_: &LabState) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{DeviceCatalog, DeviceMeta};
+    use crate::rule::RuleCtx;
+    use rabit_devices::{DeviceId, DeviceState, DeviceType};
+
+    fn catalog() -> DeviceCatalog {
+        DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("centrifuge", DeviceType::ActionDevice)
+                    .with_door()
+                    .with_tag(CENTRIFUGE_TAG),
+            )
+            .with(DeviceMeta::new("hotplate", DeviceType::ActionDevice))
+            .with(DeviceMeta::new("arm", DeviceType::RobotArm))
+            .with(DeviceMeta::new("vial", DeviceType::Container))
+    }
+
+    fn ready_state() -> LabState {
+        let mut s = LabState::new();
+        s.insert(
+            "vial",
+            DeviceState::new()
+                .with(StateKey::SolidMg, 5.0)
+                .with(StateKey::LiquidMl, 10.0)
+                .with(StateKey::HasStopper, true),
+        );
+        s.insert(
+            "centrifuge",
+            DeviceState::new().with(StateKey::RedDotNorth, true),
+        );
+        s
+    }
+
+    fn place_cmd() -> Command {
+        Command::new(
+            "arm",
+            ActionKind::PlaceObject {
+                object: "vial".into(),
+                into: Some("centrifuge".into()),
+            },
+        )
+    }
+
+    fn check(rule: &Rule, cmd: &Command, state: &LabState) -> Option<String> {
+        let catalog = catalog();
+        let ctx = RuleCtx { catalog: &catalog };
+        rule.check(cmd, state, &ctx).map(|v| v.message)
+    }
+
+    #[test]
+    fn c1_blocks_liquid_into_solidless_vial() {
+        let rule = rule_c1_liquid_after_solid();
+        let mut state = ready_state();
+        state.set(&"vial".into(), StateKey::SolidMg, 0.0);
+        let dose = Command::new(
+            "pump",
+            ActionKind::DoseLiquid {
+                volume_ml: 2.0,
+                into: "vial".into(),
+            },
+        );
+        assert!(check(&rule, &dose, &state)
+            .unwrap()
+            .contains("before any solid"));
+        state.set(&"vial".into(), StateKey::SolidMg, 3.0);
+        assert!(check(&rule, &dose, &state).is_none());
+        // Liquid transfers are covered; solid transfers are not.
+        let t_liquid = Command::new(
+            "arm",
+            ActionKind::Transfer {
+                from: "other".into(),
+                to: "vial".into(),
+                substance: Substance::Liquid,
+                amount: 1.0,
+            },
+        );
+        state.set(&"vial".into(), StateKey::SolidMg, 0.0);
+        assert!(check(&rule, &t_liquid, &state).is_some());
+        let t_solid = Command::new(
+            "arm",
+            ActionKind::Transfer {
+                from: "other".into(),
+                to: "vial".into(),
+                substance: Substance::Solid,
+                amount: 1.0,
+            },
+        );
+        assert!(check(&rule, &t_solid, &state).is_none());
+    }
+
+    #[test]
+    fn c2_requires_both_phases() {
+        let rule = rule_c2_centrifuge_needs_solid_and_liquid();
+        let mut state = ready_state();
+        assert!(check(&rule, &place_cmd(), &state).is_none());
+        state.set(&"vial".into(), StateKey::LiquidMl, 0.0);
+        assert!(check(&rule, &place_cmd(), &state)
+            .unwrap()
+            .contains("liquid=0"));
+        state.set(&"vial".into(), StateKey::LiquidMl, 10.0);
+        state.set(&"vial".into(), StateKey::SolidMg, 0.0);
+        assert!(check(&rule, &place_cmd(), &state).is_some());
+    }
+
+    #[test]
+    fn c3_requires_red_dot_north() {
+        let rule = rule_c3_centrifuge_red_dot_north();
+        let mut state = ready_state();
+        assert!(check(&rule, &place_cmd(), &state).is_none());
+        state.set(&"centrifuge".into(), StateKey::RedDotNorth, false);
+        assert!(check(&rule, &place_cmd(), &state)
+            .unwrap()
+            .contains("not North"));
+    }
+
+    #[test]
+    fn c4_requires_stopper() {
+        let rule = rule_c4_centrifuge_needs_stopper();
+        let mut state = ready_state();
+        assert!(check(&rule, &place_cmd(), &state).is_none());
+        state.set(&"vial".into(), StateKey::HasStopper, false);
+        assert!(check(&rule, &place_cmd(), &state)
+            .unwrap()
+            .contains("without its stopper"));
+    }
+
+    #[test]
+    fn centrifuge_rules_ignore_other_devices() {
+        // Placing into a hotplate (not tagged) triggers none of C2-C4.
+        let cmd = Command::new(
+            "arm",
+            ActionKind::PlaceObject {
+                object: "vial".into(),
+                into: Some("hotplate".into()),
+            },
+        );
+        let mut state = ready_state();
+        state.set(&"vial".into(), StateKey::SolidMg, 0.0);
+        state.set(&"vial".into(), StateKey::HasStopper, false);
+        for rule in [
+            rule_c2_centrifuge_needs_solid_and_liquid(),
+            rule_c3_centrifuge_red_dot_north(),
+            rule_c4_centrifuge_needs_stopper(),
+        ] {
+            assert!(check(&rule, &cmd, &state).is_none());
+        }
+        // Placing down at a grid slot (into: None) also exempt.
+        let cmd = Command::new(
+            "arm",
+            ActionKind::PlaceObject {
+                object: "vial".into(),
+                into: None,
+            },
+        );
+        assert!(check(&rule_c4_centrifuge_needs_stopper(), &cmd, &state).is_none());
+    }
+
+    #[test]
+    fn all_four_rules_built_with_ids() {
+        let rules = hein_custom_rules();
+        assert_eq!(rules.len(), 4);
+        for (i, r) in rules.iter().enumerate() {
+            assert_eq!(r.id(), &RuleId::Custom((i + 1).to_string()));
+        }
+    }
+
+    #[test]
+    fn missing_red_dot_state_is_conservative() {
+        let rule = rule_c3_centrifuge_red_dot_north();
+        let mut state = ready_state();
+        state.insert("centrifuge", DeviceState::new());
+        assert!(check(&rule, &place_cmd(), &state).is_some());
+        let _ = DeviceId::new("x");
+    }
+}

@@ -1,0 +1,540 @@
+//! RABIT extensions added during the paper's evaluation (§IV):
+//! time multiplexing, space multiplexing, and the sleeping-arm obstacle.
+//!
+//! After Bug B (two robot arms colliding near the grid), the authors
+//! "multiplex robot arm movements in either time or space":
+//!
+//! * **time multiplexing** — "at any given time, only one robot is in
+//!   motion whereas other robot arms are in their sleep position and
+//!   modeled as 3D cuboid spaces";
+//! * **space multiplexing** — "a software-defined wall between the two
+//!   robot arms … providing each robot with its own dedicated space".
+
+use crate::rule::{Rule, RuleId};
+use rabit_devices::{ActionKind, StateKey};
+
+/// Time multiplexing: a robot arm may only move when every *other* robot
+/// arm is parked at its sleep position.
+pub fn time_multiplexing_rule() -> Rule {
+    Rule::new(
+        RuleId::Extension("time_multiplexing".to_string()),
+        "Only one arm moves at a time; all other arms must be asleep",
+        |cmd, state, ctx| {
+            if !cmd.action.is_robot_motion() || !ctx.catalog.is_robot_arm(&cmd.actor) {
+                return None;
+            }
+            // Going to sleep is always allowed — it is how the other arm
+            // yields the workspace.
+            if matches!(cmd.action, ActionKind::MoveToSleep) {
+                return None;
+            }
+            for arm in ctx.catalog.robot_arms() {
+                if arm.id == cmd.actor {
+                    continue;
+                }
+                if state.get_bool(&arm.id, &StateKey::AtSleep) != Some(true) {
+                    return Some(format!(
+                        "{} may not move: {} is not at its sleep position",
+                        cmd.actor, arm.id
+                    ));
+                }
+            }
+            None
+        },
+    )
+}
+
+/// Sleeping-arm obstacle: a sleeping arm occupies its catalogued sleep
+/// cuboid, so motion targets inside that cuboid are blocked — sleeping
+/// arms are treated "identically to other devices".
+pub fn sleep_volume_rule() -> Rule {
+    Rule::new(
+        RuleId::Extension("sleep_volume".to_string()),
+        "Sleeping arms occupy their sleep cuboid like any other device",
+        |cmd, state, ctx| {
+            let ActionKind::MoveToLocation { target } = &cmd.action else {
+                return None;
+            };
+            for arm in ctx.catalog.robot_arms() {
+                if arm.id == cmd.actor {
+                    continue;
+                }
+                if state.get_bool(&arm.id, &StateKey::AtSleep) == Some(true) {
+                    if let Some(vol) = &arm.sleep_volume {
+                        if vol.contains_point(*target) {
+                            return Some(format!(
+                                "{} target {target} lies inside sleeping {}'s volume",
+                                cmd.actor, arm.id
+                            ));
+                        }
+                    }
+                }
+            }
+            None
+        },
+    )
+}
+
+/// Held-object geometry: "a robot arm's dimensions may change if it is
+/// holding an object" (§IV, category 4). The post-Bug-D modification: a
+/// move while holding must keep the *held object* clear of the platform,
+/// not just the gripper.
+pub fn held_object_clearance_rule() -> Rule {
+    Rule::new(
+        RuleId::Extension("held_object_clearance".to_string()),
+        "A held object must clear the platform, not just the gripper",
+        |cmd, state, _| {
+            let ActionKind::MoveToLocation { target } = &cmd.action else {
+                return None;
+            };
+            let held = state.get_id(&cmd.actor, &StateKey::Holding).flatten()?;
+            if target.z <= rabit_devices::physical::HELD_OBJECT_CLEARANCE_M {
+                Some(format!(
+                    "{} target {target} would crash held object {held} into the platform",
+                    cmd.actor
+                ))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// Space multiplexing: each arm is confined to its own region by a
+/// software-defined wall; any motion target outside the arm's region is
+/// blocked, and arms in disjoint regions may move concurrently.
+pub fn space_multiplexing_rule() -> Rule {
+    Rule::new(
+        RuleId::Extension("space_multiplexing".to_string()),
+        "Each arm stays on its side of the software-defined wall",
+        |cmd, _state, ctx| {
+            let ActionKind::MoveToLocation { target } = &cmd.action else {
+                return None;
+            };
+            let region = ctx
+                .catalog
+                .get(&cmd.actor)
+                .and_then(|m| m.allowed_region.as_ref())?;
+            if region.contains_point(*target) {
+                None
+            } else {
+                Some(format!(
+                    "{} target {target} crosses the software wall out of its region",
+                    cmd.actor
+                ))
+            }
+        },
+    )
+}
+
+/// Multi-door devices: the §V-C open challenge — "devices might have
+/// multiple doors, for instance, for two robot arms to approach the
+/// device simultaneously". Generalises rules III-1 and III-2 to per-door,
+/// per-arm form over a `MultiDoorDevice`: each arm is assigned a door, an
+/// arm may only enter while *its* door is open, and a door may not close
+/// while the arm assigned to it is inside. Two arms can therefore work
+/// the chamber at the same time through different doors.
+pub mod multi_door {
+    use crate::rule::{Rule, RuleId};
+    use rabit_devices::multidoor::door_key;
+    use rabit_devices::{ActionKind, DeviceId, StateKey};
+
+    /// Builds the entry + closing rules for `device` with the given
+    /// arm-to-door assignments.
+    pub fn multi_door_rules(device: DeviceId, assignments: &[(DeviceId, String)]) -> Vec<Rule> {
+        let assignments: Vec<(DeviceId, String)> = assignments.to_vec();
+
+        let entry_device = device.clone();
+        let entry_assignments = assignments.clone();
+        let entry = Rule::new(
+            RuleId::Extension(format!("multi_door_entry:{device}")),
+            "An arm enters a multi-door device only through its own, open door",
+            move |cmd, state, _| {
+                let ActionKind::MoveInsideDevice { device: target } = &cmd.action else {
+                    return None;
+                };
+                if target != &entry_device {
+                    return None;
+                }
+                let Some((_, door)) = entry_assignments.iter().find(|(arm, _)| arm == &cmd.actor)
+                else {
+                    return Some(format!(
+                        "{} has no assigned door on {entry_device}",
+                        cmd.actor
+                    ));
+                };
+                match state.get_bool(&entry_device, &door_key(door)) {
+                    Some(true) => None,
+                    _ => Some(format!(
+                        "{} attempted to enter {entry_device} while its door '{door}' is not open",
+                        cmd.actor
+                    )),
+                }
+            },
+        );
+
+        let close_device = device.clone();
+        let close_assignments = assignments;
+        let closing = Rule::new(
+            RuleId::Extension(format!("multi_door_close:{device}")),
+            "A door may not close while the arm assigned to it is inside",
+            move |cmd, state, _| {
+                if cmd.actor != close_device {
+                    return None;
+                }
+                let ActionKind::Custom { name, .. } = &cmd.action else {
+                    return None;
+                };
+                let door = name.strip_prefix(rabit_devices::multidoor::CLOSE_DOOR_PREFIX)?;
+                for (arm, assigned) in &close_assignments {
+                    if assigned == door
+                        && state.get_id(arm, &StateKey::InsideOf).flatten() == Some(&close_device)
+                    {
+                        return Some(format!(
+                            "closing {close_device}'s door '{door}' while {arm} is inside"
+                        ));
+                    }
+                }
+                None
+            },
+        );
+
+        vec![entry, closing]
+    }
+}
+
+/// Human proximity: the sensor-backed rule the Berlinguette visit
+/// motivates (§V-B) — no robot arm moves while any proximity sensor
+/// reports its watched region occupied. Sensors become "a new device
+/// class" and their readings feed a rule instead of a hard interlock.
+pub fn human_proximity_rule() -> Rule {
+    Rule::new(
+        RuleId::Extension("human_proximity".to_string()),
+        "No arm moves while a proximity sensor reports a person in the workspace",
+        |cmd, state, ctx| {
+            if !cmd.action.is_robot_motion() || !ctx.catalog.is_robot_arm(&cmd.actor) {
+                return None;
+            }
+            let occupied_key = StateKey::Custom(rabit_devices::OCCUPIED_KEY.to_string());
+            for meta in ctx.catalog.iter() {
+                if meta.has_tag("proximity_sensor")
+                    && state.get_bool(&meta.id, &occupied_key) == Some(true)
+                {
+                    return Some(format!(
+                        "{} may not move: sensor {} reports its region occupied",
+                        cmd.actor, meta.id
+                    ));
+                }
+            }
+            None
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{DeviceCatalog, DeviceMeta};
+    use crate::rule::RuleCtx;
+    use rabit_devices::{Command, DeviceState, DeviceType, LabState};
+    use rabit_geometry::{Aabb, Vec3};
+
+    fn catalog() -> DeviceCatalog {
+        DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("viperx", DeviceType::RobotArm)
+                    .with_sleep_volume(Aabb::new(Vec3::ZERO, Vec3::splat(0.2)))
+                    .with_allowed_region(Aabb::new(
+                        Vec3::new(-1.0, -1.0, 0.0),
+                        Vec3::new(0.4, 1.0, 1.0),
+                    )),
+            )
+            .with(
+                DeviceMeta::new("ned2", DeviceType::RobotArm)
+                    .with_sleep_volume(Aabb::new(
+                        Vec3::new(0.8, 0.0, 0.0),
+                        Vec3::new(1.0, 0.2, 0.2),
+                    ))
+                    .with_allowed_region(Aabb::new(
+                        Vec3::new(0.5, -1.0, 0.0),
+                        Vec3::new(2.0, 1.0, 1.0),
+                    )),
+            )
+    }
+
+    fn state(viperx_asleep: bool, ned2_asleep: bool) -> LabState {
+        let mut s = LabState::new();
+        s.insert(
+            "viperx",
+            DeviceState::new().with(StateKey::AtSleep, viperx_asleep),
+        );
+        s.insert(
+            "ned2",
+            DeviceState::new().with(StateKey::AtSleep, ned2_asleep),
+        );
+        s
+    }
+
+    fn check(rule: &Rule, cmd: &Command, st: &LabState) -> Option<String> {
+        let catalog = catalog();
+        let ctx = RuleCtx { catalog: &catalog };
+        rule.check(cmd, st, &ctx).map(|v| v.message)
+    }
+
+    #[test]
+    fn time_multiplexing_blocks_concurrent_motion() {
+        let rule = time_multiplexing_rule();
+        let move_cmd = Command::new(
+            "ned2",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.443, -0.010, 0.292),
+            },
+        );
+        // Bug B: ViperX is stationed above the grid (not asleep).
+        let st = state(false, false);
+        assert!(check(&rule, &move_cmd, &st)
+            .unwrap()
+            .contains("not at its sleep position"));
+        // With ViperX asleep, Ned2 may move.
+        let st = state(true, false);
+        assert!(check(&rule, &move_cmd, &st).is_none());
+    }
+
+    #[test]
+    fn time_multiplexing_always_allows_going_to_sleep() {
+        let rule = time_multiplexing_rule();
+        let st = state(false, false);
+        let sleep = Command::new("ned2", ActionKind::MoveToSleep);
+        assert!(check(&rule, &sleep, &st).is_none());
+    }
+
+    #[test]
+    fn time_multiplexing_ignores_non_motion_and_non_arms() {
+        let rule = time_multiplexing_rule();
+        let st = state(false, false);
+        let door = Command::new("doser", ActionKind::SetDoor { open: true });
+        assert!(check(&rule, &door, &st).is_none());
+        let not_arm = Command::new("doser", ActionKind::MoveHome);
+        assert!(
+            check(&rule, &not_arm, &st).is_none(),
+            "doser is not a catalogued arm"
+        );
+    }
+
+    #[test]
+    fn sleep_volume_blocks_targets_inside_sleeping_arm() {
+        let rule = sleep_volume_rule();
+        // Ned2 asleep in its corner cuboid; ViperX aims into it.
+        let st = state(false, true);
+        let cmd = Command::new(
+            "viperx",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.9, 0.1, 0.1),
+            },
+        );
+        assert!(check(&rule, &cmd, &st).unwrap().contains("sleeping ned2"));
+        // Awake arms are not cuboids (their real volume is dynamic).
+        let st = state(false, false);
+        assert!(check(&rule, &cmd, &st).is_none());
+        // Targets outside the sleep cuboid are fine.
+        let st = state(false, true);
+        let cmd = Command::new(
+            "viperx",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.3, 0.1, 0.5),
+            },
+        );
+        assert!(check(&rule, &cmd, &st).is_none());
+    }
+
+    #[test]
+    fn held_object_clearance_detects_bug_d() {
+        use rabit_devices::DeviceId;
+        let rule = held_object_clearance_rule();
+        let mut st = state(false, false);
+        // Bug D: pickup z lowered to 0.08 — safe for the bare arm, fatal
+        // for a held vial.
+        let low = Command::new(
+            "viperx",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.15, 0.45, 0.08),
+            },
+        );
+        // Not holding: this extension rule stays silent.
+        st.set(&"viperx".into(), StateKey::Holding, None::<DeviceId>);
+        assert!(check(&rule, &low, &st).is_none());
+        // Holding a vial: violation.
+        st.set(
+            &"viperx".into(),
+            StateKey::Holding,
+            Some(DeviceId::new("vial")),
+        );
+        assert!(check(&rule, &low, &st)
+            .unwrap()
+            .contains("crash held object"));
+        // A normal-height move while holding is fine.
+        let ok = Command::new(
+            "viperx",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.15, 0.45, 0.19),
+            },
+        );
+        assert!(check(&rule, &ok, &st).is_none());
+    }
+
+    #[test]
+    fn multi_door_rules_allow_concurrent_per_door_access() {
+        use super::multi_door::multi_door_rules;
+        use rabit_devices::multidoor::door_key;
+        use rabit_devices::DeviceId;
+
+        let rules = multi_door_rules(
+            "glovebox".into(),
+            &[
+                (DeviceId::new("viperx"), "north".to_string()),
+                (DeviceId::new("ned2"), "south".to_string()),
+            ],
+        );
+        assert_eq!(rules.len(), 2);
+        let catalog = DeviceCatalog::new()
+            .with(DeviceMeta::new("viperx", DeviceType::RobotArm))
+            .with(DeviceMeta::new("ned2", DeviceType::RobotArm))
+            .with(DeviceMeta::new(
+                "glovebox",
+                DeviceType::Custom("multi_door_chamber".into()),
+            ));
+        let ctx = RuleCtx { catalog: &catalog };
+        let mut st = LabState::new();
+        st.insert(
+            "glovebox",
+            DeviceState::new()
+                .with(door_key("north"), true)
+                .with(door_key("south"), false),
+        );
+        st.insert(
+            "viperx",
+            DeviceState::new().with(StateKey::InsideOf, None::<DeviceId>),
+        );
+        st.insert(
+            "ned2",
+            DeviceState::new().with(StateKey::InsideOf, None::<DeviceId>),
+        );
+
+        let enter = |arm: &str| {
+            Command::new(
+                arm,
+                ActionKind::MoveInsideDevice {
+                    device: "glovebox".into(),
+                },
+            )
+        };
+        // ViperX's north door is open: entry allowed.
+        assert!(rules[0].check(&enter("viperx"), &st, &ctx).is_none());
+        // Ned2's south door is closed: blocked — even though north is open
+        // (single-door RABIT could not make this distinction).
+        assert!(rules[0]
+            .check(&enter("ned2"), &st, &ctx)
+            .unwrap()
+            .message
+            .contains("'south'"));
+        // Open south: both arms may now work the chamber concurrently.
+        st.set(&"glovebox".into(), door_key("south"), true);
+        assert!(rules[0].check(&enter("ned2"), &st, &ctx).is_none());
+
+        // Closing: ViperX inside via north; closing north is blocked,
+        // closing south is fine.
+        st.set(
+            &"viperx".into(),
+            StateKey::InsideOf,
+            Some(DeviceId::new("glovebox")),
+        );
+        let close_north = rabit_devices::multidoor::close_door_command("glovebox", "north");
+        let close_south = rabit_devices::multidoor::close_door_command("glovebox", "south");
+        assert!(rules[1]
+            .check(&close_north, &st, &ctx)
+            .unwrap()
+            .message
+            .contains("viperx is inside"));
+        assert!(rules[1].check(&close_south, &st, &ctx).is_none());
+
+        // An unassigned arm has no door and may not enter at all.
+        let rules2 = multi_door_rules(
+            "glovebox".into(),
+            &[(DeviceId::new("viperx"), "north".to_string())],
+        );
+        assert!(rules2[0]
+            .check(&enter("ned2"), &st, &ctx)
+            .unwrap()
+            .message
+            .contains("no assigned door"));
+    }
+
+    #[test]
+    fn human_proximity_blocks_motion_while_occupied() {
+        let rule = human_proximity_rule();
+        let catalog = DeviceCatalog::new()
+            .with(DeviceMeta::new("viperx", DeviceType::RobotArm))
+            .with(
+                DeviceMeta::new("deck_sensor", DeviceType::Custom("proximity_sensor".into()))
+                    .with_tag("proximity_sensor"),
+            );
+        let ctx = RuleCtx { catalog: &catalog };
+        let occupied_key = StateKey::Custom(rabit_devices::OCCUPIED_KEY.to_string());
+        let mut st = LabState::new();
+        st.insert(
+            "deck_sensor",
+            DeviceState::new().with(occupied_key.clone(), true),
+        );
+        let mv = Command::new(
+            "viperx",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.3, 0.0, 0.3),
+            },
+        );
+        let v = rule
+            .check(&mv, &st, &ctx)
+            .expect("occupied region blocks motion");
+        assert!(v.message.contains("occupied"));
+        // Clear region: motion allowed again.
+        st.set(&"deck_sensor".into(), occupied_key, false);
+        assert!(rule.check(&mv, &st, &ctx).is_none());
+        // Non-motion commands are unaffected even while occupied.
+        st.set(
+            &"deck_sensor".into(),
+            StateKey::Custom(rabit_devices::OCCUPIED_KEY.to_string()),
+            true,
+        );
+        let door = Command::new("doser", ActionKind::SetDoor { open: true });
+        assert!(rule.check(&door, &st, &ctx).is_none());
+    }
+
+    #[test]
+    fn space_multiplexing_confines_each_arm() {
+        let rule = space_multiplexing_rule();
+        let st = state(false, false);
+        // ViperX inside its own region: ok even while Ned2 moves.
+        let ok = Command::new(
+            "viperx",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.2, 0.0, 0.3),
+            },
+        );
+        assert!(check(&rule, &ok, &st).is_none());
+        // ViperX reaching across the wall into Ned2's region: blocked.
+        let cross = Command::new(
+            "viperx",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.9, 0.0, 0.3),
+            },
+        );
+        assert!(check(&rule, &cross, &st).unwrap().contains("software wall"));
+        // Devices without a region are unconstrained.
+        let unknown = Command::new(
+            "other",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(5.0, 5.0, 5.0),
+            },
+        );
+        assert!(check(&rule, &unknown, &st).is_none());
+    }
+}

@@ -1,0 +1,751 @@
+//! The eleven general-purpose rules of Table III.
+
+use crate::rule::{Rule, RuleId};
+use rabit_devices::{ActionKind, DeviceId, StateKey, Substance};
+
+/// Builds all eleven general rules, numbered as in Table III.
+pub fn general_rules() -> Vec<Rule> {
+    vec![
+        rule_1_no_entering_closed_doors(),
+        rule_2_no_closing_door_on_arm(),
+        rule_3_no_moving_into_occupied_space(),
+        rule_4_no_double_pick(),
+        rule_5_action_needs_container(),
+        rule_6_action_needs_nonempty_container(),
+        rule_7_transfer_needs_open_stoppers(),
+        rule_8_transfer_respects_fill_levels(),
+        rule_9_doors_closed_before_running(),
+        rule_10_no_opening_door_while_running(),
+        rule_11_action_value_within_threshold(),
+    ]
+}
+
+/// Rule III-1: *Robot arm cannot move into a device whose door is closed.*
+pub fn rule_1_no_entering_closed_doors() -> Rule {
+    Rule::new(
+        RuleId::General(1),
+        "Robot arm cannot move into a device whose door is closed",
+        |cmd, state, ctx| {
+            let ActionKind::MoveInsideDevice { device } = &cmd.action else {
+                return None;
+            };
+            if !ctx.catalog.has_door(device) {
+                return None;
+            }
+            match state.get_bool(device, &StateKey::DoorOpen) {
+                Some(true) => None,
+                Some(false) => Some(format!(
+                    "{} attempted to enter {device} while its door is closed",
+                    cmd.actor
+                )),
+                None => Some(format!(
+                    "{} attempted to enter {device} whose door status is unknown",
+                    cmd.actor
+                )),
+            }
+        },
+    )
+}
+
+/// Rule III-2: *Device door cannot be closed when the robot is inside the
+/// device.*
+pub fn rule_2_no_closing_door_on_arm() -> Rule {
+    Rule::new(
+        RuleId::General(2),
+        "Device door cannot be closed when the robot is inside the device",
+        |cmd, state, ctx| {
+            let ActionKind::SetDoor { open: false } = &cmd.action else {
+                return None;
+            };
+            for arm in ctx.catalog.robot_arms() {
+                if state.get_id(&arm.id, &StateKey::InsideOf).flatten() == Some(&cmd.actor) {
+                    return Some(format!(
+                        "closing {} door while {} is inside",
+                        cmd.actor, arm.id
+                    ));
+                }
+            }
+            None
+        },
+    )
+}
+
+/// Rule III-3: *Robot arm can move to any location not occupied by any
+/// object.* Without a simulator only the target location is checked
+/// (paper §II-B, Lines 8-10).
+pub fn rule_3_no_moving_into_occupied_space() -> Rule {
+    Rule::new(
+        RuleId::General(3),
+        "Robot arm can move to any location not occupied by any object",
+        |cmd, state, ctx| {
+            let ActionKind::MoveToLocation { target } = &cmd.action else {
+                return None;
+            };
+            let held: Option<&DeviceId> = state.get_id(&cmd.actor, &StateKey::Holding).flatten();
+            for (device, dstate) in state.iter() {
+                if device == &cmd.actor || Some(device) == held {
+                    continue;
+                }
+                if let Some(fp) = dstate.get(&StateKey::Footprint).and_then(|v| v.as_box()) {
+                    if fp.contains_point(*target) {
+                        return Some(format!(
+                            "{} target {target} lies inside {device}",
+                            cmd.actor
+                        ));
+                    }
+                }
+            }
+            // The deck itself: RABIT models the arm's own dimensions, so a
+            // target closer to the platform than the gripper's downward
+            // extent collides the bare arm with the platform.
+            if target.z <= rabit_devices::physical::ARM_CLEARANCE_M {
+                return Some(format!(
+                    "{} target {target} would drive the gripper into the mounting platform",
+                    cmd.actor
+                ));
+            }
+            let _ = ctx;
+            None
+        },
+    )
+}
+
+/// Rule III-4: *Robot arm can pick up an object when it isn't holding
+/// something.*
+pub fn rule_4_no_double_pick() -> Rule {
+    Rule::new(
+        RuleId::General(4),
+        "Robot arm can pick up an object when it isn't holding something",
+        |cmd, state, _| {
+            let ActionKind::PickObject { object } = &cmd.action else {
+                return None;
+            };
+            match state.get_id(&cmd.actor, &StateKey::Holding) {
+                Some(None) => None,
+                Some(Some(held)) => Some(format!(
+                    "{} cannot pick up {object}: already holding {held}",
+                    cmd.actor
+                )),
+                None => Some(format!(
+                    "{} cannot pick up {object}: holding state unknown",
+                    cmd.actor
+                )),
+            }
+        },
+    )
+}
+
+/// Rule III-5: *Action device can perform actions when a container is
+/// inside it.*
+pub fn rule_5_action_needs_container() -> Rule {
+    Rule::new(
+        RuleId::General(5),
+        "Action device can perform actions when a container is inside it",
+        |cmd, state, ctx| {
+            let ActionKind::StartAction { .. } = &cmd.action else {
+                return None;
+            };
+            if !matches!(
+                ctx.catalog.device_type(&cmd.actor),
+                Some(rabit_devices::DeviceType::ActionDevice)
+            ) || !ctx
+                .catalog
+                .get(&cmd.actor)
+                .is_some_and(|m| m.hosts_container)
+            {
+                return None;
+            }
+            match state.get_id(&cmd.actor, &StateKey::ContainedObject) {
+                Some(Some(_)) => None,
+                _ => Some(format!(
+                    "{} asked to run with no container inside",
+                    cmd.actor
+                )),
+            }
+        },
+    )
+}
+
+/// Rule III-6: *Action device can perform actions when a container is not
+/// empty.*
+pub fn rule_6_action_needs_nonempty_container() -> Rule {
+    Rule::new(
+        RuleId::General(6),
+        "Action device can perform actions when a container is not empty",
+        |cmd, state, ctx| {
+            let ActionKind::StartAction { .. } = &cmd.action else {
+                return None;
+            };
+            if !matches!(
+                ctx.catalog.device_type(&cmd.actor),
+                Some(rabit_devices::DeviceType::ActionDevice)
+            ) || !ctx
+                .catalog
+                .get(&cmd.actor)
+                .is_some_and(|m| m.hosts_container)
+            {
+                return None;
+            }
+            let contained = state
+                .get_id(&cmd.actor, &StateKey::ContainedObject)
+                .flatten()?;
+            let solid = state
+                .get_number(contained, &StateKey::SolidMg)
+                .unwrap_or(0.0);
+            let liquid = state
+                .get_number(contained, &StateKey::LiquidMl)
+                .unwrap_or(0.0);
+            if solid <= 0.0 && liquid <= 0.0 {
+                Some(format!(
+                    "{} asked to run on empty container {contained}",
+                    cmd.actor
+                ))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// Rule III-7: *A substance can be transferred from a delivering container
+/// to a receiving container when neither has a stopper on it.*
+pub fn rule_7_transfer_needs_open_stoppers() -> Rule {
+    Rule::new(
+        RuleId::General(7),
+        "A substance can be transferred when neither container has a stopper on it",
+        |cmd, state, _| {
+            let ActionKind::Transfer { from, to, .. } = &cmd.action else {
+                return None;
+            };
+            for c in [from, to] {
+                if state.get_bool(c, &StateKey::HasStopper) != Some(false) {
+                    return Some(format!("transfer blocked: {c} has its stopper on"));
+                }
+            }
+            None
+        },
+    )
+}
+
+/// Rule III-8: *A substance can be transferred from a filled delivering
+/// container to an empty or partially filled receiving container.*
+/// Dosing commands are the degenerate case with the dosing system as the
+/// (always-filled) delivering side, so the receiving-capacity check
+/// applies to them too — this is what catches "adding more solid than the
+/// vial could hold" (§V-A).
+pub fn rule_8_transfer_respects_fill_levels() -> Rule {
+    Rule::new(
+        RuleId::General(8),
+        "Transfer only from a filled container into one with room to receive",
+        |cmd, state, _| {
+            let (receiver, substance, amount, source) = match &cmd.action {
+                ActionKind::Transfer {
+                    from,
+                    to,
+                    substance,
+                    amount,
+                } => (to, *substance, *amount, Some(from)),
+                ActionKind::DoseSolid { amount_mg, into } => {
+                    (into, Substance::Solid, *amount_mg, None)
+                }
+                ActionKind::DoseLiquid { volume_ml, into } => {
+                    (into, Substance::Liquid, *volume_ml, None)
+                }
+                _ => return None,
+            };
+            let (level_key, capacity_key) = match substance {
+                Substance::Solid => (StateKey::SolidMg, StateKey::CapacityMg),
+                Substance::Liquid => (StateKey::LiquidMl, StateKey::CapacityMl),
+            };
+            if let Some(from) = source {
+                let available = state.get_number(from, &level_key).unwrap_or(0.0);
+                if available < amount {
+                    return Some(format!(
+                        "transfer of {amount} from {from}: only {available} available"
+                    ));
+                }
+            }
+            let level = state.get_number(receiver, &level_key).unwrap_or(0.0);
+            let capacity = state
+                .get_number(receiver, &capacity_key)
+                .unwrap_or(f64::INFINITY);
+            if level + amount > capacity {
+                return Some(format!(
+                    "{receiver} cannot receive {amount}: {level} of {capacity} already used"
+                ));
+            }
+            None
+        },
+    )
+}
+
+/// Rule III-9: *Dosing systems or action devices with doors should start
+/// dosing or performing an action, respectively, only when their doors
+/// are closed.*
+pub fn rule_9_doors_closed_before_running() -> Rule {
+    Rule::new(
+        RuleId::General(9),
+        "Devices with doors start running only when their doors are closed",
+        |cmd, state, ctx| {
+            if !matches!(
+                cmd.action,
+                ActionKind::StartAction { .. }
+                    | ActionKind::DoseSolid { .. }
+                    | ActionKind::DoseLiquid { .. }
+            ) {
+                return None;
+            }
+            if !ctx.catalog.has_door(&cmd.actor) {
+                return None;
+            }
+            match state.get_bool(&cmd.actor, &StateKey::DoorOpen) {
+                Some(false) => None,
+                _ => Some(format!("{} cannot start with its door open", cmd.actor)),
+            }
+        },
+    )
+}
+
+/// Rule III-10: *The door of the dosing systems or action devices with
+/// doors should be closed when they are running* — i.e. a door may not be
+/// opened mid-run.
+pub fn rule_10_no_opening_door_while_running() -> Rule {
+    Rule::new(
+        RuleId::General(10),
+        "Device doors stay closed while the device is running",
+        |cmd, state, _| {
+            let ActionKind::SetDoor { open: true } = &cmd.action else {
+                return None;
+            };
+            if state.get_bool(&cmd.actor, &StateKey::ActionActive) == Some(true) {
+                Some(format!("{} door opened while it is running", cmd.actor))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// Rule III-11: *The action value, such as temperature or stirring speed,
+/// for a given action device should not exceed its predefined threshold.*
+pub fn rule_11_action_value_within_threshold() -> Rule {
+    Rule::new(
+        RuleId::General(11),
+        "Action value must not exceed the device's predefined threshold",
+        |cmd, state, ctx| {
+            let ActionKind::StartAction { value } = &cmd.action else {
+                return None;
+            };
+            let threshold = state
+                .get_number(&cmd.actor, &StateKey::ActionThreshold)
+                .or_else(|| ctx.catalog.get(&cmd.actor).and_then(|m| m.action_threshold));
+            match threshold {
+                Some(t) if *value > t => Some(format!(
+                    "{} action value {value} exceeds threshold {t}",
+                    cmd.actor
+                )),
+                _ => None,
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{DeviceCatalog, DeviceMeta};
+    use crate::rule::RuleCtx;
+    use rabit_devices::{Command, DeviceState, DeviceType, LabState, Value};
+    use rabit_geometry::{Aabb, Vec3};
+
+    fn catalog() -> DeviceCatalog {
+        DeviceCatalog::new()
+            .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+            .with(DeviceMeta::new("hotplate", DeviceType::ActionDevice).with_threshold(100.0))
+            .with(DeviceMeta::new("arm", DeviceType::RobotArm))
+            .with(DeviceMeta::new("vial", DeviceType::Container))
+            .with(DeviceMeta::new("vial2", DeviceType::Container))
+    }
+
+    fn base_state() -> LabState {
+        let mut s = LabState::new();
+        s.insert(
+            "doser",
+            DeviceState::new()
+                .with(StateKey::DoorOpen, false)
+                .with(StateKey::ActionActive, false)
+                .with(
+                    StateKey::Footprint,
+                    Aabb::new(Vec3::new(0.1, 0.3, 0.0), Vec3::new(0.3, 0.5, 0.3)),
+                ),
+        );
+        s.insert(
+            "hotplate",
+            DeviceState::new()
+                .with(StateKey::ActionActive, false)
+                .with(StateKey::ActionThreshold, 100.0)
+                .with(StateKey::ContainedObject, None::<DeviceId>),
+        );
+        s.insert(
+            "arm",
+            DeviceState::new()
+                .with(StateKey::Holding, None::<DeviceId>)
+                .with(StateKey::InsideOf, None::<DeviceId>),
+        );
+        s.insert(
+            "vial",
+            DeviceState::new()
+                .with(StateKey::SolidMg, 0.0)
+                .with(StateKey::LiquidMl, 0.0)
+                .with(StateKey::CapacityMg, 10.0)
+                .with(StateKey::CapacityMl, 20.0)
+                .with(StateKey::HasStopper, false),
+        );
+        s.insert(
+            "vial2",
+            DeviceState::new()
+                .with(StateKey::SolidMg, 5.0)
+                .with(StateKey::LiquidMl, 10.0)
+                .with(StateKey::CapacityMg, 10.0)
+                .with(StateKey::CapacityMl, 20.0)
+                .with(StateKey::HasStopper, false),
+        );
+        s
+    }
+
+    fn check(rule: &Rule, cmd: &Command, state: &LabState) -> Option<String> {
+        let catalog = catalog();
+        let ctx = RuleCtx { catalog: &catalog };
+        rule.check(cmd, state, &ctx).map(|v| v.message)
+    }
+
+    #[test]
+    fn rule1_blocks_entry_through_closed_door() {
+        let rule = rule_1_no_entering_closed_doors();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        let mut state = base_state();
+        assert!(check(&rule, &cmd, &state)
+            .unwrap()
+            .contains("door is closed"));
+        state.set(&"doser".into(), StateKey::DoorOpen, true);
+        assert!(check(&rule, &cmd, &state).is_none());
+        // Doorless devices are exempt.
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "hotplate".into(),
+            },
+        );
+        assert!(check(&rule, &cmd, &state).is_none());
+    }
+
+    #[test]
+    fn rule2_blocks_closing_door_on_arm() {
+        let rule = rule_2_no_closing_door_on_arm();
+        let cmd = Command::new("doser", ActionKind::SetDoor { open: false });
+        let mut state = base_state();
+        assert!(check(&rule, &cmd, &state).is_none());
+        state.set(
+            &"arm".into(),
+            StateKey::InsideOf,
+            Some(DeviceId::new("doser")),
+        );
+        assert!(check(&rule, &cmd, &state).unwrap().contains("is inside"));
+        // Opening is always fine under this rule.
+        let cmd = Command::new("doser", ActionKind::SetDoor { open: true });
+        assert!(check(&rule, &cmd, &state).is_none());
+    }
+
+    #[test]
+    fn rule3_blocks_moves_into_footprints() {
+        let rule = rule_3_no_moving_into_occupied_space();
+        // Inside the doser's cuboid.
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.2, 0.4, 0.1),
+            },
+        );
+        let state = base_state();
+        assert!(check(&rule, &cmd, &state).unwrap().contains("inside doser"));
+        // Free air above the deck is fine.
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.5, 0.0, 0.3),
+            },
+        );
+        assert!(check(&rule, &cmd, &state).is_none());
+        // Within the gripper's downward extent of the platform: violation.
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.5, 0.0, 0.04),
+            },
+        );
+        assert!(check(&rule, &cmd, &state).unwrap().contains("platform"));
+        // Just above the clearance: allowed (the bare arm fits).
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.5, 0.0, 0.06),
+            },
+        );
+        assert!(check(&rule, &cmd, &state).is_none());
+    }
+
+    #[test]
+    fn rule3_ignores_held_object_footprint() {
+        let rule = rule_3_no_moving_into_occupied_space();
+        let mut state = base_state();
+        // The held vial travels with the arm; its footprint must not block.
+        state.set(
+            &"arm".into(),
+            StateKey::Holding,
+            Some(DeviceId::new("vial")),
+        );
+        state.set(
+            &"vial".into(),
+            StateKey::Footprint,
+            Aabb::from_center_half_extents(Vec3::new(0.5, 0.0, 0.2), Vec3::splat(0.02)),
+        );
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.5, 0.0, 0.2),
+            },
+        );
+        assert!(check(&rule, &cmd, &state).is_none());
+    }
+
+    #[test]
+    fn rule4_blocks_double_pick() {
+        let rule = rule_4_no_double_pick();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::PickObject {
+                object: "vial".into(),
+            },
+        );
+        let mut state = base_state();
+        assert!(check(&rule, &cmd, &state).is_none());
+        state.set(
+            &"arm".into(),
+            StateKey::Holding,
+            Some(DeviceId::new("vial2")),
+        );
+        assert!(check(&rule, &cmd, &state)
+            .unwrap()
+            .contains("already holding"));
+    }
+
+    #[test]
+    fn rule5_and_6_demand_a_nonempty_container() {
+        let r5 = rule_5_action_needs_container();
+        let r6 = rule_6_action_needs_nonempty_container();
+        let cmd = Command::new("hotplate", ActionKind::StartAction { value: 60.0 });
+        let mut state = base_state();
+        // No container at all: rule 5 fires, rule 6 stays quiet (nothing
+        // to check).
+        assert!(check(&r5, &cmd, &state).unwrap().contains("no container"));
+        assert!(check(&r6, &cmd, &state).is_none());
+        // Empty container: rule 5 passes, rule 6 fires.
+        state.set(
+            &"hotplate".into(),
+            StateKey::ContainedObject,
+            Some(DeviceId::new("vial")),
+        );
+        assert!(check(&r5, &cmd, &state).is_none());
+        assert!(check(&r6, &cmd, &state)
+            .unwrap()
+            .contains("empty container"));
+        // Non-empty container: both pass.
+        state.set(&"vial".into(), StateKey::SolidMg, 5.0);
+        assert!(check(&r6, &cmd, &state).is_none());
+        // Dosing systems are exempt from rule 5 (it binds action devices).
+        let dose = Command::new("doser", ActionKind::StartAction { value: 5.0 });
+        assert!(check(&r5, &dose, &state).is_none());
+    }
+
+    #[test]
+    fn rule7_blocks_stoppered_transfers() {
+        let rule = rule_7_transfer_needs_open_stoppers();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::Transfer {
+                from: "vial2".into(),
+                to: "vial".into(),
+                substance: Substance::Liquid,
+                amount: 2.0,
+            },
+        );
+        let mut state = base_state();
+        assert!(check(&rule, &cmd, &state).is_none());
+        state.set(&"vial".into(), StateKey::HasStopper, true);
+        assert!(check(&rule, &cmd, &state).unwrap().contains("stopper"));
+    }
+
+    #[test]
+    fn rule8_checks_availability_and_capacity() {
+        let rule = rule_8_transfer_respects_fill_levels();
+        // Transfer more than the source holds.
+        let cmd = Command::new(
+            "arm",
+            ActionKind::Transfer {
+                from: "vial".into(), // empty
+                to: "vial2".into(),
+                substance: Substance::Liquid,
+                amount: 2.0,
+            },
+        );
+        let state = base_state();
+        assert!(check(&rule, &cmd, &state).unwrap().contains("available"));
+        // Dose beyond the receiver's capacity (P's overdose scenario).
+        let cmd = Command::new(
+            "doser",
+            ActionKind::DoseSolid {
+                amount_mg: 12.0,
+                into: "vial".into(),
+            },
+        );
+        assert!(check(&rule, &cmd, &state)
+            .unwrap()
+            .contains("cannot receive"));
+        // A sane dose passes.
+        let cmd = Command::new(
+            "doser",
+            ActionKind::DoseSolid {
+                amount_mg: 5.0,
+                into: "vial".into(),
+            },
+        );
+        assert!(check(&rule, &cmd, &state).is_none());
+    }
+
+    #[test]
+    fn rule9_demands_closed_door_to_start() {
+        let rule = rule_9_doors_closed_before_running();
+        let cmd = Command::new(
+            "doser",
+            ActionKind::DoseSolid {
+                amount_mg: 5.0,
+                into: "vial".into(),
+            },
+        );
+        let mut state = base_state();
+        assert!(check(&rule, &cmd, &state).is_none(), "door starts closed");
+        state.set(&"doser".into(), StateKey::DoorOpen, true);
+        assert!(check(&rule, &cmd, &state).unwrap().contains("door open"));
+        // Doorless devices exempt.
+        let cmd = Command::new("hotplate", ActionKind::StartAction { value: 50.0 });
+        assert!(check(&rule, &cmd, &state).is_none());
+    }
+
+    #[test]
+    fn rule10_blocks_opening_while_running() {
+        let rule = rule_10_no_opening_door_while_running();
+        let cmd = Command::new("doser", ActionKind::SetDoor { open: true });
+        let mut state = base_state();
+        assert!(check(&rule, &cmd, &state).is_none());
+        state.set(&"doser".into(), StateKey::ActionActive, true);
+        assert!(check(&rule, &cmd, &state).unwrap().contains("running"));
+        // Closing while running is fine (that is the safe state).
+        let cmd = Command::new("doser", ActionKind::SetDoor { open: false });
+        assert!(check(&rule, &cmd, &state).is_none());
+    }
+
+    #[test]
+    fn rule11_enforces_thresholds() {
+        let rule = rule_11_action_value_within_threshold();
+        let state = base_state();
+        let ok = Command::new("hotplate", ActionKind::StartAction { value: 80.0 });
+        assert!(check(&rule, &ok, &state).is_none());
+        let hot = Command::new("hotplate", ActionKind::StartAction { value: 150.0 });
+        assert!(check(&rule, &hot, &state)
+            .unwrap()
+            .contains("exceeds threshold"));
+        // Threshold can come from the catalog when absent from state.
+        let mut state2 = base_state();
+        state2.insert("hotplate", DeviceState::new());
+        assert!(check(&rule, &hot, &state2).is_some());
+    }
+
+    #[test]
+    fn all_eleven_rules_built() {
+        let rules = general_rules();
+        assert_eq!(rules.len(), 11);
+        for (i, r) in rules.iter().enumerate() {
+            assert_eq!(r.id(), &RuleId::General(i as u8 + 1));
+            assert!(!r.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn safe_workflow_commands_trigger_no_rules() {
+        // A mini safe sequence: open door, move inside, pick vial.
+        let rules = general_rules();
+        let catalog = catalog();
+        let ctx = RuleCtx { catalog: &catalog };
+        let mut state = base_state();
+        state.set(&"doser".into(), StateKey::DoorOpen, true);
+        let commands = vec![
+            Command::new(
+                "arm",
+                ActionKind::MoveInsideDevice {
+                    device: "doser".into(),
+                },
+            ),
+            Command::new(
+                "arm",
+                ActionKind::PickObject {
+                    object: "vial".into(),
+                },
+            ),
+            Command::new("arm", ActionKind::MoveHome),
+        ];
+        for cmd in &commands {
+            for rule in &rules {
+                assert!(
+                    rule.check(cmd, &state, &ctx).is_none(),
+                    "false positive: {} on {cmd}",
+                    rule.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_holding_state_is_conservative() {
+        let rule = rule_4_no_double_pick();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::PickObject {
+                object: "vial".into(),
+            },
+        );
+        let mut state = base_state();
+        state.insert("arm", DeviceState::new()); // wipe holding info
+        assert!(check(&rule, &cmd, &state).unwrap().contains("unknown"));
+    }
+
+    #[test]
+    fn value_variant_sanity() {
+        // Guard against Footprint being stored as a non-box value.
+        let mut state = base_state();
+        state.set(&"doser".into(), StateKey::Footprint, Value::Bool(true));
+        let rule = rule_3_no_moving_into_occupied_space();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.2, 0.4, 0.1),
+            },
+        );
+        // Malformed footprint: no crash, treated as absent.
+        assert!(check(&rule, &cmd, &state).is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! The RABIT rulebase.
+//!
+//! "For each device type, we identify *state variables* … We also
+//! identify, for each device type, *actions*, which can modify the
+//! associated state variables. Each action has a set of *preconditions*
+//! … and *postconditions* … The complete set of all such descriptions
+//! constitutes the RABIT rulebase." (paper §II-A)
+//!
+//! This crate provides:
+//!
+//! * [`Rule`], [`RuleId`], [`Violation`] — the rule objects;
+//! * [`general`] — the 11 general-purpose rules of Table III;
+//! * [`custom`] — the 4 Hein-Lab custom rules of Table IV;
+//! * [`extensions`] — the multiplexing rules added after the multi-arm
+//!   collision findings (§IV);
+//! * [`transition`] — `UpdateState`, the postcondition/state-transition
+//!   function;
+//! * [`DeviceCatalog`] — static device metadata from JSON configuration;
+//! * [`Rulebase`] — the evaluated collection;
+//! * [`table`] — printable renditions of Tables II-IV.
+//!
+//! # Example
+//!
+//! ```
+//! use rabit_rulebase::Rulebase;
+//!
+//! let rb = Rulebase::hein_lab();
+//! assert_eq!(rb.len(), 15); // 11 general + 4 custom
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+pub mod custom;
+pub mod extensions;
+pub mod general;
+mod rule;
+#[allow(clippy::module_inception)]
+mod rulebase;
+pub mod table;
+pub mod transition;
+
+pub use catalog::{DeviceCatalog, DeviceMeta};
+pub use rule::{Rule, RuleCtx, RuleId, Violation};
+pub use rulebase::Rulebase;

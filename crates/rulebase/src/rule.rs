@@ -1,0 +1,171 @@
+//! Rule types: identities, outcomes, violations, and the [`Rule`] object.
+
+use crate::catalog::DeviceCatalog;
+use rabit_devices::{Command, LabState};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RuleId {
+    /// General rule *n* of Table III (1-11).
+    General(u8),
+    /// A lab-specific custom rule; Hein rules are `custom:1` … `custom:4`
+    /// of Table IV.
+    Custom(String),
+    /// A RABIT extension added during the evaluation (held-object
+    /// geometry, time/space multiplexing).
+    Extension(String),
+    /// A rule mined from trace data (RAD).
+    Mined(String),
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleId::General(n) => write!(f, "general:{n}"),
+            RuleId::Custom(name) => write!(f, "custom:{name}"),
+            RuleId::Extension(name) => write!(f, "extension:{name}"),
+            RuleId::Mined(name) => write!(f, "mined:{name}"),
+        }
+    }
+}
+
+/// A detected rule violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+/// The context every rule check receives.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleCtx<'a> {
+    /// The static device catalog (from JSON configuration).
+    pub catalog: &'a DeviceCatalog,
+}
+
+/// A checker function: given the command about to execute, the current
+/// lab state, and the catalog, return a violation if the precondition
+/// fails.
+type CheckFn = dyn Fn(&Command, &LabState, &RuleCtx<'_>) -> Option<String> + Send + Sync;
+
+/// One safety rule.
+///
+/// Rules are precondition checks: the Fig. 2 algorithm's
+/// `Valid(S_current, a_next)` is the conjunction of all rules in the
+/// rulebase.
+#[derive(Clone)]
+pub struct Rule {
+    id: RuleId,
+    description: String,
+    check: Arc<CheckFn>,
+}
+
+impl Rule {
+    /// Creates a rule from its id, Table III/IV wording, and checker.
+    pub fn new(
+        id: RuleId,
+        description: impl Into<String>,
+        check: impl Fn(&Command, &LabState, &RuleCtx<'_>) -> Option<String> + Send + Sync + 'static,
+    ) -> Self {
+        Rule {
+            id,
+            description: description.into(),
+            check: Arc::new(check),
+        }
+    }
+
+    /// The rule's id.
+    pub fn id(&self) -> &RuleId {
+        &self.id
+    }
+
+    /// The rule's wording (as in the paper's tables).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Checks the rule against a pending command. Returns a violation if
+    /// the precondition fails, `None` if it holds or does not apply.
+    pub fn check(
+        &self,
+        command: &Command,
+        state: &LabState,
+        ctx: &RuleCtx<'_>,
+    ) -> Option<Violation> {
+        (self.check)(command, state, ctx).map(|message| Violation {
+            rule: self.id.clone(),
+            message,
+        })
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rule")
+            .field("id", &self.id)
+            .field("description", &self.description)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_devices::ActionKind;
+
+    #[test]
+    fn rule_id_display() {
+        assert_eq!(RuleId::General(3).to_string(), "general:3");
+        assert_eq!(RuleId::Custom("1".into()).to_string(), "custom:1");
+        assert_eq!(
+            RuleId::Extension("time_multiplexing".into()).to_string(),
+            "extension:time_multiplexing"
+        );
+        assert_eq!(
+            RuleId::Mined("door_before_enter".into()).to_string(),
+            "mined:door_before_enter"
+        );
+    }
+
+    #[test]
+    fn rule_check_wraps_message() {
+        let rule = Rule::new(RuleId::General(4), "no double pick", |cmd, _, _| {
+            matches!(cmd.action, ActionKind::PickObject { .. })
+                .then(|| "already holding".to_string())
+        });
+        let catalog = DeviceCatalog::new();
+        let ctx = RuleCtx { catalog: &catalog };
+        let state = LabState::new();
+        let pick = Command::new("arm", ActionKind::PickObject { object: "v".into() });
+        let v = rule.check(&pick, &state, &ctx).unwrap();
+        assert_eq!(v.rule, RuleId::General(4));
+        assert!(v.to_string().contains("general:4"));
+        let open = Command::new("d", ActionKind::SetDoor { open: true });
+        assert!(rule.check(&open, &state, &ctx).is_none());
+        assert_eq!(rule.description(), "no double pick");
+        assert!(format!("{rule:?}").contains("General(4)"));
+    }
+
+    #[test]
+    fn rule_ids_order() {
+        let mut ids = [
+            RuleId::General(11),
+            RuleId::General(1),
+            RuleId::Custom("2".into()),
+        ];
+        ids.sort();
+        assert_eq!(ids[0], RuleId::General(1));
+        assert_eq!(ids[1], RuleId::General(11));
+    }
+}

@@ -1,0 +1,266 @@
+//! The rulebase: the complete set of rules RABIT evaluates per command.
+
+use crate::catalog::DeviceCatalog;
+use crate::custom::hein_custom_rules;
+use crate::general::general_rules;
+use crate::rule::{Rule, RuleCtx, RuleId, Violation};
+use rabit_devices::{Command, LabState};
+
+/// A collection of rules evaluated against every intercepted command.
+///
+/// # Example
+///
+/// ```
+/// use rabit_rulebase::{DeviceCatalog, DeviceMeta, Rulebase};
+/// use rabit_devices::{ActionKind, Command, DeviceType, LabState};
+///
+/// let catalog = DeviceCatalog::new()
+///     .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+///     .with(DeviceMeta::new("arm", DeviceType::RobotArm));
+/// let rulebase = Rulebase::standard();
+/// let cmd = Command::new("arm", ActionKind::MoveInsideDevice { device: "doser".into() });
+/// // No door state recorded → conservatively unsafe.
+/// let violations = rulebase.check(&cmd, &LabState::new(), &catalog);
+/// assert!(!violations.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rulebase {
+    rules: Vec<Rule>,
+}
+
+impl Rulebase {
+    /// An empty rulebase (detects nothing).
+    pub fn new() -> Self {
+        Rulebase::default()
+    }
+
+    /// The standard rulebase: the 11 general rules of Table III.
+    pub fn standard() -> Self {
+        Rulebase {
+            rules: general_rules(),
+        }
+    }
+
+    /// The Hein-Lab rulebase: general rules plus the 4 custom rules of
+    /// Table IV.
+    pub fn hein_lab() -> Self {
+        let mut rb = Rulebase::standard();
+        rb.extend(hein_custom_rules());
+        rb
+    }
+
+    /// Adds one rule (builder style).
+    pub fn with_rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds one rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Adds many rules.
+    pub fn extend(&mut self, rules: impl IntoIterator<Item = Rule>) {
+        self.rules.extend(rules);
+    }
+
+    /// Removes the rule with the given id, returning `true` if found.
+    pub fn remove(&mut self, id: &RuleId) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.id() != id);
+        self.rules.len() != before
+    }
+
+    /// The rules, in evaluation order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` if the rulebase has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Evaluates every rule against a pending command; returns all
+    /// violations. An empty result is the algorithm's
+    /// `Valid(S_current, a_next)`.
+    pub fn check(
+        &self,
+        command: &Command,
+        state: &LabState,
+        catalog: &DeviceCatalog,
+    ) -> Vec<Violation> {
+        let ctx = RuleCtx { catalog };
+        self.rules
+            .iter()
+            .filter_map(|rule| rule.check(command, state, &ctx))
+            .collect()
+    }
+
+    /// Like [`Rulebase::check`] but stops at the first violation — the
+    /// fast path used in deployment, since RABIT stops the experiment on
+    /// the first alert anyway.
+    pub fn check_first(
+        &self,
+        command: &Command,
+        state: &LabState,
+        catalog: &DeviceCatalog,
+    ) -> Option<Violation> {
+        let ctx = RuleCtx { catalog };
+        self.rules
+            .iter()
+            .find_map(|rule| rule.check(command, state, &ctx))
+    }
+}
+
+impl Extend<Rule> for Rulebase {
+    fn extend<I: IntoIterator<Item = Rule>>(&mut self, iter: I) {
+        self.rules.extend(iter);
+    }
+}
+
+impl FromIterator<Rule> for Rulebase {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        Rulebase {
+            rules: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DeviceMeta;
+    use rabit_devices::{ActionKind, DeviceId, DeviceState, DeviceType, StateKey};
+
+    fn catalog() -> DeviceCatalog {
+        DeviceCatalog::new()
+            .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+            .with(DeviceMeta::new("arm", DeviceType::RobotArm))
+            .with(
+                DeviceMeta::new("centrifuge", DeviceType::ActionDevice)
+                    .with_door()
+                    .with_tag("centrifuge"),
+            )
+    }
+
+    fn closed_door_state() -> LabState {
+        let mut s = LabState::new();
+        s.insert("doser", DeviceState::new().with(StateKey::DoorOpen, false));
+        s.insert(
+            "arm",
+            DeviceState::new()
+                .with(StateKey::Holding, None::<DeviceId>)
+                .with(StateKey::InsideOf, None::<DeviceId>),
+        );
+        s
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Rulebase::standard().len(), 11);
+        assert_eq!(Rulebase::hein_lab().len(), 15);
+        assert!(Rulebase::new().is_empty());
+    }
+
+    #[test]
+    fn check_collects_all_violations() {
+        let rb = Rulebase::hein_lab();
+        let cat = catalog();
+        let state = closed_door_state();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        let violations = rb.check(&cmd, &state, &cat);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, RuleId::General(1));
+        assert_eq!(
+            rb.check_first(&cmd, &state, &cat).unwrap().rule,
+            RuleId::General(1)
+        );
+    }
+
+    #[test]
+    fn empty_rulebase_detects_nothing() {
+        let rb = Rulebase::new();
+        let cat = catalog();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        assert!(rb.check(&cmd, &closed_door_state(), &cat).is_empty());
+        assert!(rb.check_first(&cmd, &closed_door_state(), &cat).is_none());
+    }
+
+    #[test]
+    fn removal_by_id() {
+        let mut rb = Rulebase::standard();
+        assert!(rb.remove(&RuleId::General(1)));
+        assert_eq!(rb.len(), 10);
+        assert!(!rb.remove(&RuleId::General(1)));
+        let cat = catalog();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        assert!(rb.check(&cmd, &closed_door_state(), &cat).is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let rules = crate::general::general_rules();
+        let rb: Rulebase = rules.into_iter().collect();
+        assert_eq!(rb.len(), 11);
+        let mut rb2 = Rulebase::new();
+        rb2.extend(crate::custom::hein_custom_rules());
+        assert_eq!(rb2.len(), 4);
+        let rb3 = Rulebase::new().with_rule(crate::general::rule_4_no_double_pick());
+        assert_eq!(rb3.len(), 1);
+    }
+
+    #[test]
+    fn multiple_violations_reported_together() {
+        // Placing an empty, uncapped vial into a misaligned centrifuge
+        // violates C2, C3, and C4 at once.
+        let rb = Rulebase::hein_lab();
+        let cat = catalog();
+        let mut state = closed_door_state();
+        state.insert(
+            "vial",
+            DeviceState::new()
+                .with(StateKey::SolidMg, 0.0)
+                .with(StateKey::LiquidMl, 0.0)
+                .with(StateKey::HasStopper, false),
+        );
+        state.insert(
+            "centrifuge",
+            DeviceState::new().with(StateKey::RedDotNorth, false),
+        );
+        let cmd = Command::new(
+            "arm",
+            ActionKind::PlaceObject {
+                object: "vial".into(),
+                into: Some("centrifuge".into()),
+            },
+        );
+        let violations = rb.check(&cmd, &state, &cat);
+        assert_eq!(violations.len(), 3);
+        let ids: Vec<String> = violations.iter().map(|v| v.rule.to_string()).collect();
+        assert!(ids.contains(&"custom:2".to_string()));
+        assert!(ids.contains(&"custom:3".to_string()));
+        assert!(ids.contains(&"custom:4".to_string()));
+    }
+}

@@ -1,0 +1,100 @@
+//! Printable renditions of the paper's rule tables.
+//!
+//! Used by the bench harness to regenerate Table II (the state-transition
+//! table for robot-arm actions), Table III (general rules), and Table IV
+//! (custom rules) from the live rulebase.
+
+use crate::custom::hein_custom_rules;
+use crate::general::general_rules;
+use crate::rule::Rule;
+
+/// One row of the Table II state-transition table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionRow {
+    /// What the action does, in prose.
+    pub action: &'static str,
+    /// The precondition, in the paper's variable notation.
+    pub precondition: &'static str,
+    /// The action label.
+    pub label: &'static str,
+    /// The postcondition, in the paper's variable notation.
+    pub postcondition: &'static str,
+}
+
+/// The Table II example rows for a robot-arm device, as implemented by the
+/// rulebase (`rule_1`, `rule_4`) and the transition function.
+pub fn table_ii_rows() -> Vec<TransitionRow> {
+    vec![
+        TransitionRow {
+            action: "Moving a robot arm inside a specific device",
+            precondition: "deviceDoorStatus[device] = 1",
+            label: "move_robot_inside",
+            postcondition: "robotArmInside[robot][device] = 1",
+        },
+        TransitionRow {
+            action: "Using a robot arm to pick up an object (a vial in this case)",
+            precondition: "robotArmHolding[robot] = 0",
+            label: "pick_object",
+            postcondition: "robotArmHolding[robot] = 1",
+        },
+        TransitionRow {
+            action: "Using a robot arm to place an object (a vial in this case)",
+            precondition: "robotArmHolding[robot] = 1",
+            label: "place_object",
+            postcondition: "robotArmHolding[robot] = 0",
+        },
+    ]
+}
+
+/// Renders any rule list as `(id, description)` rows — Table III when
+/// called with [`general_rules`], Table IV with [`hein_custom_rules`].
+pub fn rule_rows(rules: &[Rule]) -> Vec<(String, String)> {
+    rules
+        .iter()
+        .map(|r| (r.id().to_string(), r.description().to_string()))
+        .collect()
+}
+
+/// Table III as `(id, description)` rows.
+pub fn table_iii_rows() -> Vec<(String, String)> {
+    rule_rows(&general_rules())
+}
+
+/// Table IV as `(id, description)` rows.
+pub fn table_iv_rows() -> Vec<(String, String)> {
+    rule_rows(&hein_custom_rules())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_has_the_three_example_actions() {
+        let rows = table_ii_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "move_robot_inside");
+        assert_eq!(rows[1].label, "pick_object");
+        assert_eq!(rows[2].label, "place_object");
+        for r in &rows {
+            assert!(!r.precondition.is_empty());
+            assert!(!r.postcondition.is_empty());
+        }
+    }
+
+    #[test]
+    fn table_iii_matches_the_rulebase() {
+        let rows = table_iii_rows();
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows[0].0, "general:1");
+        assert!(rows[2].1.contains("not occupied"));
+        assert!(rows[10].1.to_lowercase().contains("threshold"));
+    }
+
+    #[test]
+    fn table_iv_matches_the_rulebase() {
+        let rows = table_iv_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows[2].1.contains("red dot"));
+    }
+}

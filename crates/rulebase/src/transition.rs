@@ -1,0 +1,561 @@
+//! The state-transition function: postconditions.
+//!
+//! `UpdateState(S_current, a_next)` from the Fig. 2 algorithm (Line 11):
+//! given the current lab snapshot and a command, compute the snapshot the
+//! lab *should* be in after the command executes. Comparing this
+//! `S_expected` against the fetched `S_actual` detects device
+//! malfunctions (Lines 13-15).
+
+use crate::catalog::DeviceCatalog;
+use rabit_devices::{ActionKind, Command, DeviceId, LabState, StateKey, Substance};
+
+/// Computes the expected lab state after `command` executes in `current`.
+///
+/// The function is total: commands that would be rule violations still
+/// produce a prediction (RABIT would have stopped them earlier; the
+/// transition function itself is not a safety check).
+pub fn expected_state(catalog: &DeviceCatalog, current: &LabState, command: &Command) -> LabState {
+    let mut next = current.clone();
+    let actor = &command.actor;
+    match &command.action {
+        ActionKind::MoveToLocation { target } => {
+            next.set(actor, StateKey::Location, *target);
+            next.set(actor, StateKey::InsideOf, None::<DeviceId>);
+            next.set(actor, StateKey::AtSleep, false);
+            // A held object travels with the gripper.
+            if let Some(held) = current.get_id(actor, &StateKey::Holding).flatten().cloned() {
+                next.set(&held, StateKey::Location, *target);
+            }
+        }
+        ActionKind::MoveInsideDevice { device } => {
+            next.set(actor, StateKey::InsideOf, Some(device.clone()));
+            next.set(actor, StateKey::AtSleep, false);
+        }
+        ActionKind::MoveOutOfDevice => {
+            next.set(actor, StateKey::InsideOf, None::<DeviceId>);
+        }
+        ActionKind::MoveHome => {
+            if let Some(home) = catalog.get(actor).and_then(|m| m.home_location) {
+                next.set(actor, StateKey::Location, home);
+                if let Some(held) = current.get_id(actor, &StateKey::Holding).flatten().cloned() {
+                    next.set(&held, StateKey::Location, home);
+                }
+            }
+            next.set(actor, StateKey::InsideOf, None::<DeviceId>);
+            next.set(actor, StateKey::AtSleep, false);
+        }
+        ActionKind::MoveToSleep => {
+            if let Some(sleep) = catalog.get(actor).and_then(|m| m.sleep_location) {
+                next.set(actor, StateKey::Location, sleep);
+                if let Some(held) = current.get_id(actor, &StateKey::Holding).flatten().cloned() {
+                    next.set(&held, StateKey::Location, sleep);
+                }
+            }
+            next.set(actor, StateKey::InsideOf, None::<DeviceId>);
+            next.set(actor, StateKey::AtSleep, true);
+        }
+        ActionKind::PickObject { object } => {
+            next.set(actor, StateKey::Holding, Some(object.clone()));
+            next.set(actor, StateKey::GripperOpen, false);
+            next.set(actor, StateKey::AtSleep, false);
+            // If the object sat inside a device, it leaves it.
+            for meta in catalog.iter() {
+                if current
+                    .get_id(&meta.id, &StateKey::ContainedObject)
+                    .flatten()
+                    == Some(object)
+                {
+                    next.set(&meta.id, StateKey::ContainedObject, None::<DeviceId>);
+                }
+            }
+        }
+        ActionKind::PlaceObject { object, into } => {
+            next.set(actor, StateKey::Holding, None::<DeviceId>);
+            next.set(actor, StateKey::GripperOpen, true);
+            if let Some(device) = into {
+                next.set(device, StateKey::ContainedObject, Some(object.clone()));
+            }
+        }
+        ActionKind::OpenGripper => {
+            next.set(actor, StateKey::GripperOpen, true);
+            next.set(actor, StateKey::Holding, None::<DeviceId>);
+        }
+        ActionKind::CloseGripper => {
+            next.set(actor, StateKey::GripperOpen, false);
+        }
+        ActionKind::SetDoor { open } => {
+            next.set(actor, StateKey::DoorOpen, *open);
+        }
+        ActionKind::DoseSolid { amount_mg, into } => {
+            add_substance(&mut next, into, Substance::Solid, *amount_mg);
+        }
+        ActionKind::DoseLiquid { volume_ml, into } => {
+            add_substance(&mut next, into, Substance::Liquid, *volume_ml);
+        }
+        ActionKind::StartAction { value } => {
+            next.set(actor, StateKey::ActionActive, true);
+            // Only devices that report an action value are expected to
+            // show it (dosing systems expose just active/inactive).
+            if current.get_number(actor, &StateKey::ActionValue).is_some() {
+                next.set(actor, StateKey::ActionValue, *value);
+            }
+            // A centrifuge spin leaves the red dot askew.
+            if current.get_bool(actor, &StateKey::RedDotNorth).is_some() {
+                next.set(actor, StateKey::RedDotNorth, false);
+            }
+            // On a dosing system, `run_action(quantity)` dispenses into
+            // the contained container (Fig. 5 line 21).
+            if matches!(
+                catalog.device_type(actor),
+                Some(rabit_devices::DeviceType::DosingSystem)
+            ) {
+                if let Some(contained) = current
+                    .get_id(actor, &StateKey::ContainedObject)
+                    .flatten()
+                    .cloned()
+                {
+                    add_substance(&mut next, &contained, Substance::Solid, *value);
+                }
+            }
+        }
+        ActionKind::StopAction => {
+            next.set(actor, StateKey::ActionActive, false);
+            if current.get_number(actor, &StateKey::ActionValue).is_some() {
+                next.set(actor, StateKey::ActionValue, 0.0);
+            }
+        }
+        ActionKind::Cap => {
+            next.set(actor, StateKey::HasStopper, true);
+        }
+        ActionKind::Decap => {
+            next.set(actor, StateKey::HasStopper, false);
+        }
+        ActionKind::Transfer {
+            from,
+            to,
+            substance,
+            amount,
+        } => {
+            remove_substance(&mut next, from, *substance, *amount);
+            add_substance(&mut next, to, *substance, *amount);
+        }
+        ActionKind::Custom { name, .. } => {
+            // Multi-door actuation (the §V-C extension) has a declared
+            // postcondition: the named door's state variable flips.
+            if let Some(door) = name.strip_prefix(rabit_devices::multidoor::OPEN_DOOR_PREFIX) {
+                next.set(actor, rabit_devices::multidoor::door_key(door), true);
+            } else if let Some(door) =
+                name.strip_prefix(rabit_devices::multidoor::CLOSE_DOOR_PREFIX)
+            {
+                next.set(actor, rabit_devices::multidoor::door_key(door), false);
+            }
+            // Other lab-defined actions: no generic postcondition; they
+            // rely on malfunction checks of the variables they declare.
+        }
+    }
+    next
+}
+
+fn substance_keys(substance: Substance) -> (StateKey, StateKey) {
+    match substance {
+        Substance::Solid => (StateKey::SolidMg, StateKey::CapacityMg),
+        Substance::Liquid => (StateKey::LiquidMl, StateKey::CapacityMl),
+    }
+}
+
+fn add_substance(state: &mut LabState, container: &DeviceId, substance: Substance, amount: f64) {
+    let (level_key, capacity_key) = substance_keys(substance);
+    let level = state.get_number(container, &level_key).unwrap_or(0.0);
+    let capacity = state
+        .get_number(container, &capacity_key)
+        .unwrap_or(f64::INFINITY);
+    // Physical saturation: overflow spills, contents cap at capacity.
+    state.set(container, level_key, (level + amount).min(capacity));
+}
+
+fn remove_substance(state: &mut LabState, container: &DeviceId, substance: Substance, amount: f64) {
+    let (level_key, _) = substance_keys(substance);
+    let level = state.get_number(container, &level_key).unwrap_or(0.0);
+    state.set(container, level_key, (level - amount).max(0.0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DeviceMeta;
+    use rabit_devices::{DeviceState, DeviceType};
+    use rabit_geometry::Vec3;
+
+    fn catalog() -> DeviceCatalog {
+        DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("arm", DeviceType::RobotArm)
+                    .with_arm_positions(Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, 0.0, 0.1)),
+            )
+            .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+            .with(DeviceMeta::new("vial", DeviceType::Container))
+            .with(DeviceMeta::new("centrifuge", DeviceType::ActionDevice).with_door())
+    }
+
+    fn base() -> LabState {
+        let mut s = LabState::new();
+        s.insert(
+            "arm",
+            DeviceState::new()
+                .with(StateKey::Location, Vec3::new(0.3, 0.0, 0.3))
+                .with(StateKey::Holding, None::<DeviceId>)
+                .with(StateKey::InsideOf, None::<DeviceId>)
+                .with(StateKey::GripperOpen, true)
+                .with(StateKey::AtSleep, false),
+        );
+        s.insert(
+            "vial",
+            DeviceState::new()
+                .with(StateKey::SolidMg, 0.0)
+                .with(StateKey::LiquidMl, 0.0)
+                .with(StateKey::CapacityMg, 10.0)
+                .with(StateKey::CapacityMl, 20.0)
+                .with(StateKey::HasStopper, false),
+        );
+        s.insert(
+            "doser",
+            DeviceState::new()
+                .with(StateKey::DoorOpen, false)
+                .with(StateKey::ContainedObject, None::<DeviceId>),
+        );
+        s.insert(
+            "centrifuge",
+            DeviceState::new()
+                .with(StateKey::ActionActive, false)
+                .with(StateKey::ActionValue, 0.0)
+                .with(StateKey::RedDotNorth, true),
+        );
+        s
+    }
+
+    #[test]
+    fn move_updates_location_and_held_object() {
+        let cat = catalog();
+        let mut s = base();
+        s.set(
+            &"arm".into(),
+            StateKey::Holding,
+            Some(DeviceId::new("vial")),
+        );
+        let target = Vec3::new(0.5, 0.1, 0.2);
+        let next = expected_state(
+            &cat,
+            &s,
+            &Command::new("arm", ActionKind::MoveToLocation { target }),
+        );
+        assert_eq!(
+            next.get(&"arm".into(), &StateKey::Location)
+                .unwrap()
+                .as_position()
+                .unwrap(),
+            target
+        );
+        assert_eq!(
+            next.get(&"vial".into(), &StateKey::Location)
+                .unwrap()
+                .as_position()
+                .unwrap(),
+            target,
+            "held vial travels with the arm"
+        );
+    }
+
+    #[test]
+    fn home_and_sleep_use_catalog_positions() {
+        let cat = catalog();
+        let s = base();
+        let next = expected_state(&cat, &s, &Command::new("arm", ActionKind::MoveToSleep));
+        assert_eq!(next.get_bool(&"arm".into(), &StateKey::AtSleep), Some(true));
+        assert_eq!(
+            next.get(&"arm".into(), &StateKey::Location)
+                .unwrap()
+                .as_position()
+                .unwrap(),
+            Vec3::new(0.1, 0.0, 0.1)
+        );
+        let back = expected_state(&cat, &next, &Command::new("arm", ActionKind::MoveHome));
+        assert_eq!(
+            back.get_bool(&"arm".into(), &StateKey::AtSleep),
+            Some(false)
+        );
+        assert_eq!(
+            back.get(&"arm".into(), &StateKey::Location)
+                .unwrap()
+                .as_position()
+                .unwrap(),
+            Vec3::new(0.3, 0.0, 0.3)
+        );
+    }
+
+    #[test]
+    fn pick_place_roundtrip_moves_containment() {
+        let cat = catalog();
+        let mut s = base();
+        s.set(
+            &"doser".into(),
+            StateKey::ContainedObject,
+            Some(DeviceId::new("vial")),
+        );
+        // Picking the vial out of the doser clears the doser's containment.
+        let picked = expected_state(
+            &cat,
+            &s,
+            &Command::new(
+                "arm",
+                ActionKind::PickObject {
+                    object: "vial".into(),
+                },
+            ),
+        );
+        assert_eq!(
+            picked
+                .get_id(&"arm".into(), &StateKey::Holding)
+                .unwrap()
+                .unwrap()
+                .as_str(),
+            "vial"
+        );
+        assert_eq!(
+            picked.get_bool(&"arm".into(), &StateKey::GripperOpen),
+            Some(false)
+        );
+        assert_eq!(
+            picked.get_id(&"doser".into(), &StateKey::ContainedObject),
+            Some(None)
+        );
+        // Placing into the centrifuge sets its containment.
+        let placed = expected_state(
+            &cat,
+            &picked,
+            &Command::new(
+                "arm",
+                ActionKind::PlaceObject {
+                    object: "vial".into(),
+                    into: Some("centrifuge".into()),
+                },
+            ),
+        );
+        assert_eq!(placed.get_id(&"arm".into(), &StateKey::Holding), Some(None));
+        assert_eq!(
+            placed
+                .get_id(&"centrifuge".into(), &StateKey::ContainedObject)
+                .unwrap()
+                .unwrap()
+                .as_str(),
+            "vial"
+        );
+    }
+
+    #[test]
+    fn doors_and_grippers() {
+        let cat = catalog();
+        let s = base();
+        let open = expected_state(
+            &cat,
+            &s,
+            &Command::new("doser", ActionKind::SetDoor { open: true }),
+        );
+        assert_eq!(
+            open.get_bool(&"doser".into(), &StateKey::DoorOpen),
+            Some(true)
+        );
+        let mut held = s.clone();
+        held.set(
+            &"arm".into(),
+            StateKey::Holding,
+            Some(DeviceId::new("vial")),
+        );
+        let dropped = expected_state(&cat, &held, &Command::new("arm", ActionKind::OpenGripper));
+        assert_eq!(
+            dropped.get_id(&"arm".into(), &StateKey::Holding),
+            Some(None)
+        );
+        assert_eq!(
+            dropped.get_bool(&"arm".into(), &StateKey::GripperOpen),
+            Some(true)
+        );
+        let closed = expected_state(&cat, &s, &Command::new("arm", ActionKind::CloseGripper));
+        assert_eq!(
+            closed.get_bool(&"arm".into(), &StateKey::GripperOpen),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn dosing_saturates_at_capacity() {
+        let cat = catalog();
+        let s = base();
+        let next = expected_state(
+            &cat,
+            &s,
+            &Command::new(
+                "doser",
+                ActionKind::DoseSolid {
+                    amount_mg: 6.0,
+                    into: "vial".into(),
+                },
+            ),
+        );
+        assert_eq!(
+            next.get_number(&"vial".into(), &StateKey::SolidMg),
+            Some(6.0)
+        );
+        // Overdose: expected physical outcome is saturation (spill).
+        let over = expected_state(
+            &cat,
+            &next,
+            &Command::new(
+                "doser",
+                ActionKind::DoseSolid {
+                    amount_mg: 9.0,
+                    into: "vial".into(),
+                },
+            ),
+        );
+        assert_eq!(
+            over.get_number(&"vial".into(), &StateKey::SolidMg),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn transfer_moves_substance() {
+        let cat = catalog();
+        let mut s = base();
+        s.set(&"vial".into(), StateKey::LiquidMl, 10.0);
+        s.insert(
+            "vial2",
+            DeviceState::new()
+                .with(StateKey::LiquidMl, 0.0)
+                .with(StateKey::CapacityMl, 20.0),
+        );
+        let next = expected_state(
+            &cat,
+            &s,
+            &Command::new(
+                "arm",
+                ActionKind::Transfer {
+                    from: "vial".into(),
+                    to: "vial2".into(),
+                    substance: Substance::Liquid,
+                    amount: 4.0,
+                },
+            ),
+        );
+        assert_eq!(
+            next.get_number(&"vial".into(), &StateKey::LiquidMl),
+            Some(6.0)
+        );
+        assert_eq!(
+            next.get_number(&"vial2".into(), &StateKey::LiquidMl),
+            Some(4.0)
+        );
+        // Removal floors at zero.
+        let drained = expected_state(
+            &cat,
+            &next,
+            &Command::new(
+                "arm",
+                ActionKind::Transfer {
+                    from: "vial".into(),
+                    to: "vial2".into(),
+                    substance: Substance::Liquid,
+                    amount: 100.0,
+                },
+            ),
+        );
+        assert_eq!(
+            drained.get_number(&"vial".into(), &StateKey::LiquidMl),
+            Some(0.0)
+        );
+        assert_eq!(
+            drained.get_number(&"vial2".into(), &StateKey::LiquidMl),
+            Some(20.0)
+        );
+    }
+
+    #[test]
+    fn start_stop_action_and_red_dot() {
+        let cat = catalog();
+        let s = base();
+        let spun = expected_state(
+            &cat,
+            &s,
+            &Command::new("centrifuge", ActionKind::StartAction { value: 4000.0 }),
+        );
+        assert_eq!(
+            spun.get_bool(&"centrifuge".into(), &StateKey::ActionActive),
+            Some(true)
+        );
+        assert_eq!(
+            spun.get_number(&"centrifuge".into(), &StateKey::ActionValue),
+            Some(4000.0)
+        );
+        assert_eq!(
+            spun.get_bool(&"centrifuge".into(), &StateKey::RedDotNorth),
+            Some(false),
+            "expected postcondition: a spin leaves the dot askew"
+        );
+        let stopped = expected_state(
+            &cat,
+            &spun,
+            &Command::new("centrifuge", ActionKind::StopAction),
+        );
+        assert_eq!(
+            stopped.get_bool(&"centrifuge".into(), &StateKey::ActionActive),
+            Some(false)
+        );
+        assert_eq!(
+            stopped.get_number(&"centrifuge".into(), &StateKey::ActionValue),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn cap_decap() {
+        let cat = catalog();
+        let s = base();
+        let capped = expected_state(&cat, &s, &Command::new("vial", ActionKind::Cap));
+        assert_eq!(
+            capped.get_bool(&"vial".into(), &StateKey::HasStopper),
+            Some(true)
+        );
+        let decapped = expected_state(&cat, &capped, &Command::new("vial", ActionKind::Decap));
+        assert_eq!(
+            decapped.get_bool(&"vial".into(), &StateKey::HasStopper),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn custom_actions_are_identity() {
+        let cat = catalog();
+        let s = base();
+        let next = expected_state(
+            &cat,
+            &s,
+            &Command::new(
+                "doser",
+                ActionKind::Custom {
+                    name: "blink".into(),
+                    params: vec![],
+                },
+            ),
+        );
+        assert_eq!(next, s);
+    }
+
+    #[test]
+    fn transition_never_mutates_input() {
+        let cat = catalog();
+        let s = base();
+        let snapshot = s.clone();
+        let _ = expected_state(&cat, &s, &Command::new("arm", ActionKind::MoveToSleep));
+        assert_eq!(s, snapshot);
+    }
+}

@@ -1,0 +1,264 @@
+//! Non-cuboid obstacle shapes — the paper's first open challenge.
+//!
+//! "Real-life, software-controlled devices come in different shapes and
+//! sizes, so we need to expand our device descriptions to easily handle
+//! objects other than cuboids" (§V-C). Participant P noted that "a
+//! centrifuge resembles a hemisphere more than a cuboid and the
+//! thermoshaker has a bump at the top" (§V-A).
+//!
+//! [`ObstacleShape`] extends the simulator's world with exactly those
+//! cases: hemispheres, spheres, vertical cylinders, and composites (a box
+//! with a bump on top), while keeping the cuboid as the default.
+
+use rabit_geometry::{collide, Aabb, Capsule, Sphere, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A vertical cylinder (axis along +z), the shape of stirrers and
+/// ultrasonic nozzles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerticalCylinder {
+    /// Center of the base circle.
+    pub base: Vec3,
+    /// Height above the base.
+    pub height: f64,
+    /// Radius.
+    pub radius: f64,
+}
+
+impl VerticalCylinder {
+    /// Creates a vertical cylinder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` or `radius` is not strictly positive.
+    pub fn new(base: Vec3, height: f64, radius: f64) -> Self {
+        assert!(
+            height > 0.0 && radius > 0.0,
+            "cylinder needs positive dimensions"
+        );
+        VerticalCylinder {
+            base,
+            height,
+            radius,
+        }
+    }
+
+    /// The cylinder's central axis as a capsule of radius `radius` — a
+    /// capsule over-approximates the cylinder by its end caps only, which
+    /// is the safe direction for collision checking.
+    fn as_capsule(&self) -> Capsule {
+        Capsule::new(
+            self.base,
+            self.base + Vec3::new(0.0, 0.0, self.height),
+            self.radius,
+        )
+    }
+}
+
+/// An obstacle shape in the simulated world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObstacleShape {
+    /// The paper's default: an axis-aligned cuboid.
+    Cuboid(Aabb),
+    /// A hemisphere sitting dome-up on the deck (the centrifuge).
+    /// Conservatively checked as the full sphere clipped to z ≥ base z
+    /// via its bounding test — see [`ObstacleShape::intersects_capsule`].
+    Hemisphere {
+        /// Center of the flat base circle.
+        base_center: Vec3,
+        /// Radius of the dome.
+        radius: f64,
+    },
+    /// A full sphere (levitated/handled objects).
+    Sphere(Sphere),
+    /// A vertical cylinder.
+    Cylinder(VerticalCylinder),
+    /// A union of shapes — e.g. "the thermoshaker has a bump at the top":
+    /// a cuboid body plus a hemisphere bump.
+    Composite(Vec<ObstacleShape>),
+}
+
+impl ObstacleShape {
+    /// A cuboid body with a hemispheric bump centred on its top face —
+    /// P's thermoshaker.
+    pub fn box_with_bump(body: Aabb, bump_radius: f64) -> Self {
+        let top = Vec3::new(body.center().x, body.center().y, body.max().z);
+        ObstacleShape::Composite(vec![
+            ObstacleShape::Cuboid(body),
+            ObstacleShape::Hemisphere {
+                base_center: top,
+                radius: bump_radius,
+            },
+        ])
+    }
+
+    /// Returns `true` if `capsule` touches this shape.
+    pub fn intersects_capsule(&self, capsule: &Capsule) -> bool {
+        match self {
+            ObstacleShape::Cuboid(aabb) => collide::capsule_intersects_aabb(capsule, aabb),
+            ObstacleShape::Hemisphere {
+                base_center,
+                radius,
+            } => {
+                // Sphere test, then reject hits that lie entirely below
+                // the base plane (the dome's flat side faces down).
+                let sphere = Sphere::new(*base_center, *radius);
+                if collide::sphere_capsule_distance(&sphere, capsule) > 0.0 {
+                    return false;
+                }
+                // The closest point of the capsule axis to the dome centre
+                // decides which half the contact is in.
+                let (closest, _) = capsule.segment.closest_point_to(*base_center);
+                closest.z + capsule.radius >= base_center.z
+            }
+            ObstacleShape::Sphere(sphere) => {
+                collide::sphere_capsule_distance(sphere, capsule) <= 0.0
+            }
+            ObstacleShape::Cylinder(cyl) => capsule.intersects_capsule(&cyl.as_capsule()),
+            ObstacleShape::Composite(parts) => parts.iter().any(|p| p.intersects_capsule(capsule)),
+        }
+    }
+
+    /// A conservative axis-aligned bound (used for world queries and
+    /// debugging displays).
+    pub fn bounding_box(&self) -> Aabb {
+        match self {
+            ObstacleShape::Cuboid(aabb) => *aabb,
+            ObstacleShape::Hemisphere {
+                base_center,
+                radius,
+            } => Aabb::new(
+                *base_center - Vec3::new(*radius, *radius, 0.0),
+                *base_center + Vec3::new(*radius, *radius, *radius),
+            ),
+            ObstacleShape::Sphere(s) => {
+                Aabb::from_center_half_extents(s.center, Vec3::splat(s.radius))
+            }
+            ObstacleShape::Cylinder(c) => Aabb::new(
+                c.base - Vec3::new(c.radius, c.radius, 0.0),
+                c.base + Vec3::new(c.radius, c.radius, c.height),
+            ),
+            ObstacleShape::Composite(parts) => {
+                let mut it = parts.iter().map(ObstacleShape::bounding_box);
+                let first = it
+                    .next()
+                    .unwrap_or_else(|| Aabb::new(Vec3::ZERO, Vec3::ZERO));
+                it.fold(first, |acc, b| acc.union(&b))
+            }
+        }
+    }
+}
+
+impl From<Aabb> for ObstacleShape {
+    fn from(aabb: Aabb) -> Self {
+        ObstacleShape::Cuboid(aabb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capsule_at(p: Vec3) -> Capsule {
+        Capsule::new(p, p + Vec3::new(0.0, 0.0, 0.05), 0.02)
+    }
+
+    #[test]
+    fn cuboid_matches_aabb_behaviour() {
+        let shape: ObstacleShape = Aabb::new(Vec3::ZERO, Vec3::splat(0.2)).into();
+        assert!(shape.intersects_capsule(&capsule_at(Vec3::splat(0.1))));
+        assert!(!shape.intersects_capsule(&capsule_at(Vec3::splat(0.5))));
+        assert_eq!(
+            shape.bounding_box(),
+            Aabb::new(Vec3::ZERO, Vec3::splat(0.2))
+        );
+    }
+
+    #[test]
+    fn hemisphere_hits_dome_not_underside() {
+        // Centrifuge dome: base at z = 0.0, radius 0.15.
+        let dome = ObstacleShape::Hemisphere {
+            base_center: Vec3::new(0.0, 0.0, 0.0),
+            radius: 0.15,
+        };
+        // Grazing the dome top.
+        assert!(dome.intersects_capsule(&capsule_at(Vec3::new(0.0, 0.0, 0.14))));
+        // Beside the dome at dome height: within sphere radius? 0.1 away
+        // horizontally at z=0.05 → inside the sphere → hit.
+        assert!(dome.intersects_capsule(&capsule_at(Vec3::new(0.1, 0.0, 0.05))));
+        // Below the base plane: the flat underside is not a surface the
+        // arm can hit from below in this model.
+        let below = Capsule::new(Vec3::new(0.0, 0.0, -0.30), Vec3::new(0.0, 0.0, -0.10), 0.02);
+        assert!(!dome.intersects_capsule(&below));
+        // Clearly outside.
+        assert!(!dome.intersects_capsule(&capsule_at(Vec3::new(0.5, 0.0, 0.05))));
+    }
+
+    #[test]
+    fn hemisphere_tighter_than_equivalent_cuboid() {
+        // The point of non-cuboid shapes: corners of the bounding box are
+        // free space for a hemisphere.
+        let dome = ObstacleShape::Hemisphere {
+            base_center: Vec3::ZERO,
+            radius: 0.15,
+        };
+        let bounding = ObstacleShape::Cuboid(dome.bounding_box());
+        // A capsule at the top corner of the bounding box.
+        let corner = capsule_at(Vec3::new(0.12, 0.12, 0.12));
+        assert!(
+            bounding.intersects_capsule(&corner),
+            "cuboid over-approximates"
+        );
+        assert!(!dome.intersects_capsule(&corner), "hemisphere does not");
+    }
+
+    #[test]
+    fn cylinder_checks() {
+        let cyl =
+            ObstacleShape::Cylinder(VerticalCylinder::new(Vec3::new(0.3, 0.0, 0.0), 0.25, 0.04));
+        assert!(cyl.intersects_capsule(&capsule_at(Vec3::new(0.33, 0.0, 0.1))));
+        assert!(!cyl.intersects_capsule(&capsule_at(Vec3::new(0.45, 0.0, 0.1))));
+        let bb = cyl.bounding_box();
+        assert!(bb.contains_point(Vec3::new(0.3, 0.0, 0.25)));
+    }
+
+    #[test]
+    fn composite_box_with_bump() {
+        // P's thermoshaker: 0.2×0.2×0.15 body with a 0.05 bump on top.
+        let body = Aabb::new(Vec3::new(-0.1, -0.1, 0.0), Vec3::new(0.1, 0.1, 0.15));
+        let shape = ObstacleShape::box_with_bump(body, 0.05);
+        // Body hit.
+        assert!(shape.intersects_capsule(&capsule_at(Vec3::new(0.0, 0.0, 0.1))));
+        // Bump hit (above the body top, inside the dome).
+        assert!(shape.intersects_capsule(&capsule_at(Vec3::new(0.0, 0.0, 0.17))));
+        // Above the bump: free.
+        assert!(!shape.intersects_capsule(&capsule_at(Vec3::new(0.0, 0.0, 0.25))));
+        // Beside the bump at bump height (outside the dome, outside the
+        // body): free — a cuboid tall enough to cover the bump would have
+        // blocked this.
+        assert!(!shape.intersects_capsule(&capsule_at(Vec3::new(0.09, 0.09, 0.18))));
+        // Bounding box covers both parts.
+        let bb = shape.bounding_box();
+        assert!(bb.contains_point(Vec3::new(0.0, 0.0, 0.19)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn degenerate_cylinder_rejected() {
+        let _ = VerticalCylinder::new(Vec3::ZERO, 0.0, 0.1);
+    }
+
+    #[test]
+    fn empty_composite_has_degenerate_bound() {
+        let shape = ObstacleShape::Composite(vec![]);
+        assert!(!shape.intersects_capsule(&capsule_at(Vec3::ZERO)));
+        assert_eq!(shape.bounding_box().volume(), 0.0);
+    }
+
+    #[test]
+    fn sphere_shape() {
+        let s = ObstacleShape::Sphere(Sphere::new(Vec3::new(0.0, 0.0, 0.3), 0.1));
+        assert!(s.intersects_capsule(&capsule_at(Vec3::new(0.0, 0.0, 0.25))));
+        assert!(!s.intersects_capsule(&capsule_at(Vec3::new(0.3, 0.0, 0.3))));
+    }
+}

@@ -1,0 +1,574 @@
+//! The Extended Simulator.
+//!
+//! The paper augments the vendor's URSim with device cuboids and
+//! trajectory polling (§III): "by continuously polling the robot arm's
+//! trajectory and comparing it with the 3D objects' coordinates, the
+//! Extended Simulator can detect if the robot arm is likely to collide
+//! with one of the automation devices and alert the user."
+//!
+//! [`ExtendedSimulator`] implements `rabit-core`'s
+//! [`TrajectoryValidator`], so attaching it to the engine turns
+//! `SimAvailable` on in the Fig. 2 algorithm.
+
+use crate::world::SimWorld;
+use rabit_core::{TrajectoryValidator, TrajectoryVerdict};
+use rabit_devices::{ActionKind, Command, DeviceId, LabState, StateKey};
+use rabit_geometry::Vec3;
+use rabit_kinematics::ik::{solve_position, IkParams};
+use rabit_kinematics::trajectory::Trajectory;
+use rabit_kinematics::{ArmModel, HeldObject, JointConfig};
+use std::collections::BTreeMap;
+
+/// The paper's measured simulator overhead per collision check when the
+/// GUI is in the loop (~2 s, §II-C).
+pub const GUI_CHECK_LATENCY_S: f64 = 2.0;
+
+/// Headless check latency after bypassing the GUI (the paper's planned
+/// deployment optimisation).
+pub const HEADLESS_CHECK_LATENCY_S: f64 = 0.02;
+
+/// One simulated arm: its kinematic model and mirrored configuration.
+#[derive(Debug, Clone)]
+struct SimArm {
+    model: ArmModel,
+    current: JointConfig,
+    /// Set while the arm is inside a device: the configuration it entered
+    /// from and the device id (excluded from sweeps until it retracts).
+    entered: Option<(JointConfig, DeviceId)>,
+}
+
+/// Configuration for the Extended Simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Trajectory polling interval in seconds of motion (the paper polls
+    /// the arm continuously; smaller = finer sweep, more checks).
+    pub poll_interval_s: f64,
+    /// Whether the simulator runs through its GUI (≈2 s per check) or
+    /// headless.
+    pub gui: bool,
+    /// Whether held objects extend the arm geometry (the post-Bug-D
+    /// modification).
+    pub model_held_objects: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            poll_interval_s: 0.05,
+            gui: true,
+            model_held_objects: true,
+        }
+    }
+}
+
+/// The Extended Simulator: URSim-equivalent kinematics plus device
+/// cuboids and trajectory polling.
+#[derive(Debug, Clone)]
+pub struct ExtendedSimulator {
+    world: SimWorld,
+    arms: BTreeMap<DeviceId, SimArm>,
+    config: SimConfig,
+    /// Count of collision checks performed (for the overhead experiment).
+    checks: u64,
+}
+
+impl ExtendedSimulator {
+    /// Creates a simulator over a static world.
+    pub fn new(world: SimWorld, config: SimConfig) -> Self {
+        ExtendedSimulator {
+            world,
+            arms: BTreeMap::new(),
+            config,
+            checks: 0,
+        }
+    }
+
+    /// Registers an arm model, mirrored at its home configuration.
+    pub fn with_arm(mut self, id: impl Into<DeviceId>, model: ArmModel) -> Self {
+        self.add_arm(id, model);
+        self
+    }
+
+    /// Registers an arm model.
+    pub fn add_arm(&mut self, id: impl Into<DeviceId>, model: ArmModel) {
+        let current = model.home_configuration();
+        self.arms.insert(
+            id.into(),
+            SimArm {
+                model,
+                current,
+                entered: None,
+            },
+        );
+    }
+
+    /// The world model (to add/remove device cuboids at runtime).
+    pub fn world_mut(&mut self) -> &mut SimWorld {
+        &mut self.world
+    }
+
+    /// The world model.
+    pub fn world(&self) -> &SimWorld {
+        &self.world
+    }
+
+    /// Number of collision checks performed so far.
+    pub fn checks_performed(&self) -> u64 {
+        self.checks
+    }
+
+    /// The mirrored joint configuration of an arm.
+    pub fn arm_configuration(&self, id: &DeviceId) -> Option<JointConfig> {
+        self.arms.get(id).map(|a| a.current)
+    }
+
+    /// Resolves the Cartesian goal implied by a robot command, if any.
+    fn goal_of(&self, command: &Command, state: &LabState) -> Goal {
+        match &command.action {
+            ActionKind::MoveToLocation { target } => Goal::Position(*target),
+            ActionKind::MoveHome => Goal::Joint(JointTarget::Home),
+            ActionKind::MoveToSleep => Goal::Joint(JointTarget::Sleep),
+            ActionKind::PickObject { object } | ActionKind::PlaceObject { object, into: None } => {
+                match state
+                    .get(object, &StateKey::Location)
+                    .and_then(|v| v.as_position())
+                {
+                    Some(p) => Goal::Position(p),
+                    None => Goal::None,
+                }
+            }
+            ActionKind::MoveOutOfDevice => Goal::Exit,
+            ActionKind::PlaceObject {
+                object: _,
+                into: Some(device),
+            }
+            | ActionKind::MoveInsideDevice { device } => {
+                // Approach point: centred above the device cuboid; the
+                // device itself is excluded from the sweep (entering it is
+                // the intent; door safety is the rulebase's job).
+                match state
+                    .get(device, &StateKey::Footprint)
+                    .and_then(|v| v.as_box())
+                {
+                    Some(fp) => {
+                        let c = fp.center();
+                        Goal::Enter {
+                            device: device.clone(),
+                            position: Vec3::new(c.x, c.y, fp.max().z + 0.05),
+                        }
+                    }
+                    None => Goal::None,
+                }
+            }
+            _ => Goal::None,
+        }
+    }
+
+    /// Sweeps a trajectory against the world, returning the first hit.
+    fn sweep(
+        &mut self,
+        arm_id: &DeviceId,
+        trajectory: &Trajectory,
+        held: Option<&HeldObject>,
+        exclude: &[&str],
+    ) -> Option<(String, f64)> {
+        let arm = self.arms.get(arm_id)?;
+        let samples = trajectory.sample_every(self.config.poll_interval_s);
+        let n = samples.len();
+        for (i, q) in samples.iter().enumerate() {
+            self.checks += 1;
+            // Skip the base link (capsule 0): it is bolted to the
+            // mounting platform, so its permanent contact with the
+            // platform slab is not a collision.
+            let capsules = &arm.model.link_capsules(q, held)[1..];
+            if let Some(hit) = self.world.first_hit(capsules, exclude) {
+                return Some((hit.name.clone(), i as f64 / (n.max(2) - 1) as f64));
+            }
+        }
+        None
+    }
+}
+
+enum Goal {
+    Position(Vec3),
+    Joint(JointTarget),
+    Enter { device: DeviceId, position: Vec3 },
+    Exit,
+    None,
+}
+
+/// Collects up to a handful of distinct IK postures for a position goal:
+/// one seeded from the current configuration, plus diversity seeds that
+/// flip the shoulder/elbow (elbow-up vs elbow-down and mirrored-base
+/// postures). Duplicates (within 0.05 rad L∞) are dropped.
+fn ik_candidates(model: &ArmModel, current: &JointConfig, target: Vec3) -> Vec<JointConfig> {
+    let mut seeds = vec![*current, model.home_configuration()];
+    // Elbow/shoulder flips of the current posture.
+    let flipped = JointConfig::new([
+        current.angle(0),
+        -current.angle(1),
+        -current.angle(2),
+        current.angle(3),
+        -current.angle(4),
+        current.angle(5),
+    ]);
+    seeds.push(flipped);
+    // A raised-wrist seed biases toward elbow-up solutions.
+    let mut raised = model.home_configuration();
+    raised = raised.with_angle(1, model.limits()[1].clamp(raised.angle(1) + 0.5));
+    seeds.push(raised);
+    // Base-facing seeds: rotate the base joint toward the target while
+    // keeping the home arm posture — the classic heuristic that steers
+    // the iteration away from wrapped-around, elbow-down branches. Both
+    // facing conventions are tried (UR-style arms extend along −x at
+    // zero base angle).
+    let local = model.chain().base().inverse().transform_point(target);
+    let facing = local.y.atan2(local.x);
+    for theta in [facing, facing + std::f64::consts::PI] {
+        let mut s = model.home_configuration();
+        s = s.with_angle(0, model.limits()[0].clamp(theta));
+        seeds.push(s);
+    }
+
+    let mut out: Vec<JointConfig> = Vec::new();
+    for seed in seeds {
+        if let Ok(q) = solve_position(model, &seed, target, &IkParams::default()) {
+            if !out.iter().any(|o| o.max_joint_delta(&q) < 0.05) {
+                out.push(q);
+            }
+        }
+    }
+    // Prefer postures that keep the arm body high: sort by descending
+    // lowest point, so collision-free "natural" paths are swept first.
+    out.sort_by(|a, b| {
+        let la = model.lowest_point(a, None);
+        let lb = model.lowest_point(b, None);
+        lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+enum JointTarget {
+    Home,
+    Sleep,
+}
+
+impl TrajectoryValidator for ExtendedSimulator {
+    fn validate(&mut self, command: &Command, state: &LabState) -> TrajectoryVerdict {
+        if !self.arms.contains_key(&command.actor) {
+            return TrajectoryVerdict::Unavailable;
+        }
+
+        // Candidate target configurations. Position goals are redundant
+        // (6 joints, 3 constraints): the controller picks among postures,
+        // so the simulator only reports a collision when *every* feasible
+        // posture's trajectory collides — otherwise the arm would simply
+        // take the clear path.
+        let goal = self.goal_of(command, state);
+        let mut entering: Option<DeviceId> = None;
+        let mut exiting = false;
+        let (candidates, exclude_owned): (Vec<JointConfig>, Option<String>) = {
+            let arm = &self.arms[&command.actor];
+            // While inside a device, that device stays excluded from
+            // sweeps until the arm retracts.
+            let still_inside = arm.entered.as_ref().map(|(_, d)| d.to_string());
+            match goal {
+                Goal::None => return TrajectoryVerdict::Unavailable,
+                Goal::Joint(JointTarget::Home) => {
+                    (vec![arm.model.home_configuration()], still_inside)
+                }
+                Goal::Joint(JointTarget::Sleep) => {
+                    (vec![arm.model.sleep_configuration()], still_inside)
+                }
+                Goal::Position(p) => {
+                    let sols = ik_candidates(&arm.model, &arm.current, p);
+                    if sols.is_empty() {
+                        // The simulator cannot compute a trajectory either
+                        // — mirror the real arm and leave the decision to
+                        // the controller (silent skip / exception).
+                        return TrajectoryVerdict::Unavailable;
+                    }
+                    (sols, still_inside)
+                }
+                Goal::Enter { device, position } => {
+                    let sols = ik_candidates(&arm.model, &arm.current, position);
+                    if sols.is_empty() {
+                        return TrajectoryVerdict::Unavailable;
+                    }
+                    entering = Some(device.clone());
+                    (sols, Some(device.to_string()))
+                }
+                Goal::Exit => match &arm.entered {
+                    // Retract the way it came, device still excluded.
+                    Some((q_prev, device)) => {
+                        exiting = true;
+                        (vec![*q_prev], Some(device.to_string()))
+                    }
+                    None => return TrajectoryVerdict::Unavailable,
+                },
+            }
+        };
+
+        // Does the arm hold something? Only modelled after the Bug-D fix.
+        let held = if self.config.model_held_objects {
+            state
+                .get_id(&command.actor, &StateKey::Holding)
+                .flatten()
+                .map(|_| HeldObject::vial())
+        } else {
+            None
+        };
+
+        let start = self.arms[&command.actor].current;
+        let exclude: Vec<&str> = exclude_owned.as_deref().into_iter().collect();
+        let mut first_hit: Option<(String, f64)> = None;
+        for target_config in candidates {
+            let trajectory = Trajectory::linear(start, target_config);
+            match self.sweep(&command.actor, &trajectory, held.as_ref(), &exclude) {
+                None => {
+                    // Mirror the motion: the simulated arm now rests at
+                    // the target, which is what makes the silent-skip
+                    // follow-up detection (paper footnote 2) work.
+                    if let Some(arm) = self.arms.get_mut(&command.actor) {
+                        match (&entering, exiting) {
+                            (Some(device), _) => {
+                                // Re-entering (e.g. a place following a
+                                // move-inside) keeps the original
+                                // pre-entry pose.
+                                let same = arm.entered.as_ref().is_some_and(|(_, d)| d == device);
+                                if !same {
+                                    arm.entered = Some((arm.current, device.clone()));
+                                }
+                            }
+                            (None, true) => arm.entered = None,
+                            (None, false) => {}
+                        }
+                        arm.current = target_config;
+                    }
+                    return TrajectoryVerdict::Safe;
+                }
+                Some(hit) => {
+                    first_hit.get_or_insert(hit);
+                }
+            }
+        }
+        let (with, at_fraction) = first_hit.expect("at least one candidate was swept");
+        TrajectoryVerdict::Collision { with, at_fraction }
+    }
+
+    fn check_latency_s(&self) -> f64 {
+        if self.config.gui {
+            GUI_CHECK_LATENCY_S
+        } else {
+            HEADLESS_CHECK_LATENCY_S
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_devices::DeviceState;
+    use rabit_geometry::Aabb;
+    use rabit_kinematics::presets;
+
+    fn empty_state() -> LabState {
+        let mut s = LabState::new();
+        s.insert(
+            "ur3e",
+            DeviceState::new().with(StateKey::Holding, None::<DeviceId>),
+        );
+        s
+    }
+
+    fn sim_with(world: SimWorld) -> ExtendedSimulator {
+        ExtendedSimulator::new(
+            world,
+            SimConfig {
+                gui: false,
+                ..SimConfig::default()
+            },
+        )
+        .with_arm("ur3e", presets::ur3e())
+    }
+
+    fn mv(target: Vec3) -> Command {
+        Command::new("ur3e", ActionKind::MoveToLocation { target })
+    }
+
+    #[test]
+    fn free_space_move_is_safe_and_mirrors_pose() {
+        let mut sim = sim_with(SimWorld::new());
+        let arm = presets::ur3e();
+        let start_tool = arm.tool_position(&arm.home_configuration());
+        let target = start_tool + Vec3::new(0.05, 0.05, 0.05);
+        let verdict = sim.validate(&mv(target), &empty_state());
+        assert_eq!(verdict, TrajectoryVerdict::Safe);
+        // Simulator mirrored the motion.
+        let q = sim.arm_configuration(&"ur3e".into()).unwrap();
+        assert!(arm.tool_position(&q).distance(target) < 1e-3);
+        assert!(sim.checks_performed() > 0);
+    }
+
+    #[test]
+    fn obstacle_on_path_is_detected() {
+        // A wall of cuboid between home tool position and the target.
+        let arm = presets::ur3e();
+        let home_tool = arm.tool_position(&arm.home_configuration());
+        let target = home_tool + Vec3::new(0.0, 0.25, 0.0);
+        let mid = home_tool.lerp(target, 0.5);
+        let world = SimWorld::new().with_obstacle(
+            "hotplate",
+            Aabb::from_center_half_extents(mid, Vec3::new(0.35, 0.04, 0.35)),
+        );
+        let mut sim = sim_with(world);
+        match sim.validate(&mv(target), &empty_state()) {
+            TrajectoryVerdict::Collision { with, at_fraction } => {
+                assert_eq!(with, "hotplate");
+                assert!((0.0..=1.0).contains(&at_fraction));
+            }
+            other => panic!("expected collision, got {other:?}"),
+        }
+        // After a rejected move the mirrored pose is unchanged.
+        let q = sim.arm_configuration(&"ur3e".into()).unwrap();
+        assert_eq!(q, presets::ur3e().home_configuration());
+    }
+
+    #[test]
+    fn unknown_arm_is_unavailable() {
+        let mut sim = sim_with(SimWorld::new());
+        let cmd = Command::new("ghost", ActionKind::MoveHome);
+        assert_eq!(
+            sim.validate(&cmd, &empty_state()),
+            TrajectoryVerdict::Unavailable
+        );
+    }
+
+    #[test]
+    fn out_of_reach_target_is_unavailable() {
+        let mut sim = sim_with(SimWorld::new());
+        let verdict = sim.validate(&mv(Vec3::new(5.0, 5.0, 5.0)), &empty_state());
+        assert_eq!(verdict, TrajectoryVerdict::Unavailable);
+    }
+
+    #[test]
+    fn non_motion_goal_is_unavailable() {
+        let mut sim = sim_with(SimWorld::new());
+        let cmd = Command::new("ur3e", ActionKind::OpenGripper);
+        assert_eq!(
+            sim.validate(&cmd, &empty_state()),
+            TrajectoryVerdict::Unavailable
+        );
+    }
+
+    #[test]
+    fn held_object_extension_changes_verdict() {
+        // A low shelf the bare arm skims over but a held vial clips.
+        let arm = presets::ur3e();
+        let home_tool = arm.tool_position(&arm.home_configuration());
+        let target = home_tool + Vec3::new(0.08, 0.0, -0.02);
+        // Shelf just below the path.
+        let mid = home_tool.lerp(target, 0.5);
+        let world = SimWorld::new().with_obstacle(
+            "shelf",
+            Aabb::from_center_half_extents(
+                mid - Vec3::new(0.0, 0.0, 0.12),
+                Vec3::new(0.2, 0.2, 0.06),
+            ),
+        );
+        let mut holding_state = empty_state();
+        holding_state.insert(
+            "ur3e",
+            DeviceState::new().with(StateKey::Holding, Some(DeviceId::new("vial"))),
+        );
+        // Without held-object modelling: safe.
+        let mut cfg = SimConfig {
+            gui: false,
+            ..SimConfig::default()
+        };
+        cfg.model_held_objects = false;
+        let mut sim = ExtendedSimulator::new(world.clone(), cfg).with_arm("ur3e", presets::ur3e());
+        assert_eq!(
+            sim.validate(&mv(target), &holding_state),
+            TrajectoryVerdict::Safe
+        );
+        // With the Bug-D fix: collision.
+        let mut cfg2 = SimConfig {
+            gui: false,
+            ..SimConfig::default()
+        };
+        cfg2.model_held_objects = true;
+        let mut sim2 = ExtendedSimulator::new(world, cfg2).with_arm("ur3e", presets::ur3e());
+        match sim2.validate(&mv(target), &holding_state) {
+            TrajectoryVerdict::Collision { with, .. } => assert_eq!(with, "shelf"),
+            other => panic!("expected collision with held vial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gui_vs_headless_latency() {
+        let gui = ExtendedSimulator::new(SimWorld::new(), SimConfig::default());
+        assert_eq!(gui.check_latency_s(), GUI_CHECK_LATENCY_S);
+        let headless = ExtendedSimulator::new(
+            SimWorld::new(),
+            SimConfig {
+                gui: false,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(headless.check_latency_s(), HEADLESS_CHECK_LATENCY_S);
+    }
+
+    #[test]
+    fn enter_device_excludes_the_device_itself() {
+        // A doser cuboid; entering it must not count as a collision with
+        // it (the rulebase handles the door), but the platform below
+        // still guards the approach.
+        let doser_box = Aabb::new(Vec3::new(-0.45, -0.15, 0.0), Vec3::new(-0.2, 0.15, 0.25));
+        let world = SimWorld::new().with_obstacle("doser", doser_box);
+        let mut sim = sim_with(world);
+        let mut state = empty_state();
+        state.insert(
+            "doser",
+            DeviceState::new().with(StateKey::Footprint, doser_box),
+        );
+        let cmd = Command::new(
+            "ur3e",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        let verdict = sim.validate(&cmd, &state);
+        assert_eq!(
+            verdict,
+            TrajectoryVerdict::Safe,
+            "entering the target device is intended"
+        );
+    }
+
+    #[test]
+    fn silent_skip_followup_is_caught() {
+        // Footnote 2: A→B avoids an obstacle; B becomes infeasible B' and
+        // the arm silently skips it; the direct A→C path then collides —
+        // and the simulator, whose mirrored pose is still A, catches it.
+        let arm = presets::ur3e();
+        let a_tool = arm.tool_position(&arm.home_configuration());
+        let c = a_tool + Vec3::new(0.0, 0.22, 0.0);
+        let world = SimWorld::new().with_obstacle(
+            "tall_device",
+            Aabb::from_center_half_extents(a_tool.lerp(c, 0.5), Vec3::new(0.3, 0.03, 0.4)),
+        );
+        let mut sim = sim_with(world);
+        // B' infeasible: simulator says Unavailable, mirrored pose stays A.
+        let b_prime = Vec3::new(4.0, 4.0, 4.0);
+        assert_eq!(
+            sim.validate(&mv(b_prime), &empty_state()),
+            TrajectoryVerdict::Unavailable
+        );
+        // A→C now collides in the simulator.
+        match sim.validate(&mv(c), &empty_state()) {
+            TrajectoryVerdict::Collision { with, .. } => assert_eq!(with, "tall_device"),
+            other => panic!("expected collision, got {other:?}"),
+        }
+    }
+}

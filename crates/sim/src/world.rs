@@ -1,0 +1,233 @@
+//! The simulated world: named obstacles.
+//!
+//! The Extended Simulator models "each device on the experiment deck as a
+//! 3D cuboid object" (paper §III, Fig. 3), plus the mounting platform and
+//! walls that URSim itself "does not account for". The open-challenge
+//! shape extension ([`ObstacleShape`]) additionally supports hemispheres,
+//! cylinders, and composites for devices that "do not comply with RABIT's
+//! cuboid specification" (§V-A).
+
+use crate::shapes::ObstacleShape;
+use rabit_geometry::{Aabb, Capsule, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A named obstacle (historically a cuboid; any [`ObstacleShape`] today).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedBox {
+    /// Obstacle name (device id, `"platform"`, `"wall_north"`, …).
+    pub name: String,
+    /// The obstacle's shape.
+    pub shape: ObstacleShape,
+}
+
+impl NamedBox {
+    /// Creates a named cuboid obstacle.
+    pub fn new(name: impl Into<String>, volume: Aabb) -> Self {
+        NamedBox {
+            name: name.into(),
+            shape: ObstacleShape::Cuboid(volume),
+        }
+    }
+
+    /// Creates a named obstacle of any shape.
+    pub fn with_shape(name: impl Into<String>, shape: ObstacleShape) -> Self {
+        NamedBox {
+            name: name.into(),
+            shape,
+        }
+    }
+
+    /// A conservative axis-aligned bound of the shape.
+    pub fn bounding_box(&self) -> Aabb {
+        self.shape.bounding_box()
+    }
+}
+
+/// The static world the simulator checks trajectories against.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimWorld {
+    obstacles: Vec<NamedBox>,
+}
+
+impl SimWorld {
+    /// An empty world.
+    pub fn new() -> Self {
+        SimWorld::default()
+    }
+
+    /// Adds a cuboid obstacle (builder style).
+    pub fn with_obstacle(mut self, name: impl Into<String>, volume: Aabb) -> Self {
+        self.obstacles.push(NamedBox::new(name, volume));
+        self
+    }
+
+    /// Adds an obstacle of any shape (builder style) — hemispheric
+    /// centrifuges, bumped thermoshakers, cylindrical nozzles.
+    pub fn with_shaped_obstacle(mut self, name: impl Into<String>, shape: ObstacleShape) -> Self {
+        self.obstacles.push(NamedBox::with_shape(name, shape));
+        self
+    }
+
+    /// Adds the mounting platform: a slab below `z = 0` spanning
+    /// `extent` metres in x/y around the origin. URSim "does not account
+    /// for collisions when the robot arm moves through its mounting
+    /// platform" — the Extended Simulator does.
+    pub fn with_platform(self, extent: f64) -> Self {
+        self.with_obstacle(
+            "platform",
+            Aabb::new(
+                Vec3::new(-extent, -extent, -0.2),
+                Vec3::new(extent, extent, 0.0),
+            ),
+        )
+    }
+
+    /// Adds four walls enclosing a square workspace of half-width
+    /// `half` metres and height `height`.
+    pub fn with_walls(self, half: f64, height: f64) -> Self {
+        let t = 0.05; // wall thickness
+        self.with_obstacle(
+            "wall_north",
+            Aabb::new(
+                Vec3::new(-half, half, 0.0),
+                Vec3::new(half, half + t, height),
+            ),
+        )
+        .with_obstacle(
+            "wall_south",
+            Aabb::new(
+                Vec3::new(-half, -half - t, 0.0),
+                Vec3::new(half, -half, height),
+            ),
+        )
+        .with_obstacle(
+            "wall_east",
+            Aabb::new(
+                Vec3::new(half, -half, 0.0),
+                Vec3::new(half + t, half, height),
+            ),
+        )
+        .with_obstacle(
+            "wall_west",
+            Aabb::new(
+                Vec3::new(-half - t, -half, 0.0),
+                Vec3::new(-half, half, height),
+            ),
+        )
+    }
+
+    /// Adds an obstacle.
+    pub fn add_obstacle(&mut self, name: impl Into<String>, volume: Aabb) {
+        self.obstacles.push(NamedBox::new(name, volume));
+    }
+
+    /// Removes all obstacles with the given name; returns how many were
+    /// removed.
+    pub fn remove_obstacle(&mut self, name: &str) -> usize {
+        let before = self.obstacles.len();
+        self.obstacles.retain(|o| o.name != name);
+        before - self.obstacles.len()
+    }
+
+    /// The obstacles.
+    pub fn obstacles(&self) -> &[NamedBox] {
+        &self.obstacles
+    }
+
+    /// The first obstacle any of the given capsules intersects, ignoring
+    /// obstacles named in `exclude`.
+    pub fn first_hit(&self, capsules: &[Capsule], exclude: &[&str]) -> Option<&NamedBox> {
+        self.obstacles
+            .iter()
+            .filter(|o| !exclude.contains(&o.name.as_str()))
+            .find(|o| capsules.iter().any(|c| o.shape.intersects_capsule(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_obstacles() {
+        let w = SimWorld::new()
+            .with_platform(1.0)
+            .with_walls(1.0, 0.8)
+            .with_obstacle("doser", Aabb::new(Vec3::ZERO, Vec3::splat(0.2)));
+        assert_eq!(w.obstacles().len(), 6);
+        assert!(w.obstacles().iter().any(|o| o.name == "platform"));
+        assert!(w.obstacles().iter().any(|o| o.name == "wall_east"));
+    }
+
+    #[test]
+    fn first_hit_finds_and_excludes() {
+        let w = SimWorld::new()
+            .with_obstacle("doser", Aabb::new(Vec3::ZERO, Vec3::splat(0.2)))
+            .with_obstacle(
+                "grid",
+                Aabb::new(Vec3::new(0.5, 0.0, 0.0), Vec3::new(0.7, 0.2, 0.1)),
+            );
+        let inside_doser = vec![Capsule::new(
+            Vec3::new(0.1, 0.1, 0.1),
+            Vec3::new(0.1, 0.1, 0.3),
+            0.02,
+        )];
+        assert_eq!(w.first_hit(&inside_doser, &[]).unwrap().name, "doser");
+        assert!(w.first_hit(&inside_doser, &["doser"]).is_none());
+        let free = vec![Capsule::new(
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(1.2, 1.0, 1.0),
+            0.02,
+        )];
+        assert!(w.first_hit(&free, &[]).is_none());
+    }
+
+    #[test]
+    fn platform_catches_low_capsules() {
+        let w = SimWorld::new().with_platform(1.0);
+        let low = vec![Capsule::new(
+            Vec3::new(0.2, 0.2, 0.05),
+            Vec3::new(0.3, 0.2, -0.01),
+            0.02,
+        )];
+        assert_eq!(w.first_hit(&low, &[]).unwrap().name, "platform");
+    }
+
+    #[test]
+    fn shaped_obstacles_participate_in_first_hit() {
+        use crate::shapes::ObstacleShape;
+        // A hemispheric centrifuge: its bounding-box corners are free.
+        let w = SimWorld::new().with_shaped_obstacle(
+            "centrifuge",
+            ObstacleShape::Hemisphere {
+                base_center: Vec3::new(0.3, 0.3, 0.0),
+                radius: 0.15,
+            },
+        );
+        let over_dome = vec![Capsule::new(
+            Vec3::new(0.3, 0.3, 0.10),
+            Vec3::new(0.3, 0.3, 0.20),
+            0.02,
+        )];
+        assert_eq!(w.first_hit(&over_dome, &[]).unwrap().name, "centrifuge");
+        // At the bounding-box corner height: free for a hemisphere.
+        let corner = vec![Capsule::new(
+            Vec3::new(0.42, 0.42, 0.12),
+            Vec3::new(0.42, 0.42, 0.2),
+            0.02,
+        )];
+        assert!(w.first_hit(&corner, &[]).is_none());
+        // The obstacle's bounding box is available for inspection.
+        assert!(w.obstacles()[0]
+            .bounding_box()
+            .contains_point(Vec3::new(0.3, 0.3, 0.1)));
+    }
+
+    #[test]
+    fn removal() {
+        let mut w = SimWorld::new().with_platform(1.0);
+        assert_eq!(w.remove_obstacle("platform"), 1);
+        assert_eq!(w.remove_obstacle("platform"), 0);
+        assert!(w.obstacles().is_empty());
+    }
+}

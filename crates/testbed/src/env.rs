@@ -1,0 +1,402 @@
+//! The testbed environment (stage 2, Fig. 4).
+//!
+//! "Our testbed setup consists of a lab computer that controls five
+//! low-fidelity objects and two robot arms: a six-axis ViperX and a
+//! six-axis Ned2. … The low-fidelity objects resemble the shapes and
+//! functionalities of their counterparts in the Hein Lab and are realized
+//! using cardboard mockups or toy devices." (§III)
+
+use crate::locations::{locations, Locations};
+use rabit_core::{Lab, Rabit, RabitConfig};
+use rabit_devices::{
+    Centrifuge, DeviceType, DosingDevice, Grid, Hotplate, LatencyModel, RobotArm, SyringePump,
+    Thermoshaker, Vial,
+};
+use rabit_geometry::{Aabb, Vec3};
+use rabit_kinematics::presets;
+use rabit_rulebase::{extensions, DeviceCatalog, DeviceMeta, Rulebase};
+use rabit_sim::{ExtendedSimulator, SimConfig, SimWorld};
+
+/// Which of the paper's RABIT configurations to build. The uncontrolled
+/// study evaluates three, in order:
+///
+/// 1. baseline — 8/16 bugs detected (50%);
+/// 2. modified (held-object geometry + time multiplexing) — 12/16 (75%);
+/// 3. modified + Extended Simulator on the side — 13/16 (81%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RabitStage {
+    /// The initial deployment: general + custom rules only.
+    Baseline,
+    /// After the mid-study modifications (§IV categories 2 and 4).
+    Modified,
+    /// Modified, with the Extended Simulator attached as trajectory
+    /// validator.
+    ModifiedWithSimulator,
+}
+
+/// The assembled testbed: lab, catalog, and location table.
+pub struct Testbed {
+    /// The physical environment.
+    pub lab: Lab,
+    /// Device metadata for the rulebase.
+    pub catalog: DeviceCatalog,
+    /// The Fig. 6 location table.
+    pub locations: Locations,
+}
+
+/// Footprints of the testbed mockup devices (world frame).
+pub mod footprints {
+    use rabit_geometry::{Aabb, Vec3};
+
+    /// The vial grid.
+    pub fn grid() -> Aabb {
+        Aabb::new(Vec3::new(0.45, -0.06, 0.0), Vec3::new(0.63, 0.08, 0.10))
+    }
+
+    /// The cardboard dosing-device mockup.
+    pub fn dosing_device() -> Aabb {
+        Aabb::new(Vec3::new(0.05, 0.42, 0.0), Vec3::new(0.25, 0.57, 0.30))
+    }
+
+    /// The toy syringe pump.
+    pub fn syringe_pump() -> Aabb {
+        Aabb::new(Vec3::new(-0.30, 0.35, 0.0), Vec3::new(-0.15, 0.50, 0.25))
+    }
+
+    /// The toy centrifuge.
+    pub fn centrifuge() -> Aabb {
+        Aabb::new(Vec3::new(-0.35, -0.15, 0.0), Vec3::new(-0.15, 0.05, 0.20))
+    }
+
+    /// The mockup hotplate (east of the grid, outside the arm's
+    /// grid-to-doser swing corridor).
+    pub fn hotplate() -> Aabb {
+        Aabb::new(Vec3::new(0.50, 0.30, 0.0), Vec3::new(0.65, 0.45, 0.12))
+    }
+
+    /// The mockup thermoshaker (south-west corner, clear of both arms'
+    /// sleep cuboids).
+    pub fn thermoshaker() -> Aabb {
+        Aabb::new(Vec3::new(-0.45, -0.40, 0.0), Vec3::new(-0.25, -0.25, 0.18))
+    }
+
+    /// ViperX's sleep cuboid (time multiplexing models sleeping arms as
+    /// boxes).
+    pub fn viperx_sleep_volume() -> Aabb {
+        Aabb::new(Vec3::new(0.0, -0.45, 0.0), Vec3::new(0.25, -0.20, 0.30))
+    }
+
+    /// Ned2's sleep cuboid.
+    pub fn ned2_sleep_volume() -> Aabb {
+        Aabb::new(Vec3::new(0.70, -0.45, 0.0), Vec3::new(0.95, -0.20, 0.25))
+    }
+
+    /// ViperX's region under space multiplexing (west of the software
+    /// wall at x = 0.70).
+    pub fn viperx_region() -> Aabb {
+        Aabb::new(Vec3::new(-0.6, -0.6, 0.0), Vec3::new(0.70, 0.7, 0.8))
+    }
+
+    /// Ned2's region (east of the wall).
+    pub fn ned2_region() -> Aabb {
+        Aabb::new(Vec3::new(0.70, -0.6, 0.0), Vec3::new(1.6, 0.7, 0.8))
+    }
+}
+
+/// Home/sleep tool positions for the two arms.
+pub mod arm_positions {
+    use rabit_geometry::Vec3;
+
+    /// ViperX home (ready) tool position.
+    pub const VIPERX_HOME: Vec3 = Vec3 {
+        x: 0.30,
+        y: 0.0,
+        z: 0.30,
+    };
+    /// ViperX sleep position (inside its sleep cuboid).
+    pub const VIPERX_SLEEP: Vec3 = Vec3 {
+        x: 0.12,
+        y: -0.32,
+        z: 0.15,
+    };
+    /// Ned2 home tool position.
+    pub const NED2_HOME: Vec3 = Vec3 {
+        x: 0.85,
+        y: 0.0,
+        z: 0.25,
+    };
+    /// Ned2 sleep position (inside its sleep cuboid).
+    pub const NED2_SLEEP: Vec3 = Vec3 {
+        x: 0.82,
+        y: -0.32,
+        z: 0.12,
+    };
+}
+
+impl Testbed {
+    /// Builds the standard testbed with one vial in grid slot NW
+    /// (the Fig. 5 starting condition).
+    pub fn new() -> Self {
+        Testbed::with_latency(LatencyModel::TESTBED)
+    }
+
+    /// Builds the testbed with a custom latency model on every device —
+    /// the Table I stage comparison runs the same deck at simulator,
+    /// testbed, and production speeds.
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        use arm_positions::*;
+        let loc = locations();
+
+        let mut grid = Grid::new(
+            "grid",
+            footprints::grid(),
+            vec![
+                ("NW".to_string(), loc.grid_nw_viperx.pickup),
+                ("SE".to_string(), Vec3::new(0.60, 0.05, 0.12)),
+            ],
+        );
+        grid.occupy("NW", "vial".into()).expect("fresh grid slot");
+
+        let mut lab = Lab::new()
+            .with_device(
+                RobotArm::new("viperx", VIPERX_HOME, VIPERX_SLEEP)
+                    .with_silent_on_infeasible(true)
+                    .with_latency(latency),
+            )
+            .with_device(RobotArm::new("ned2", NED2_HOME, NED2_SLEEP).with_latency(latency))
+            .with_device(Vial::new("vial", loc.grid_nw_viperx.pickup))
+            .with_device(grid)
+            .with_device(
+                DosingDevice::new("dosing_device", footprints::dosing_device())
+                    .with_latency(latency),
+            )
+            .with_device(SyringePump::new("syringe_pump", footprints::syringe_pump()))
+            .with_device(Centrifuge::new("centrifuge", footprints::centrifuge()))
+            .with_device(Hotplate::new("hotplate", footprints::hotplate()))
+            .with_device(Thermoshaker::new(
+                "thermoshaker",
+                footprints::thermoshaker(),
+            ));
+
+        // Reach summaries for the silent-skip / exception behaviours.
+        lab.set_arm_kinematics("viperx", Vec3::new(0.0, 0.0, 0.0), 0.85);
+        lab.set_arm_kinematics("ned2", Vec3::new(0.85, 0.0, 0.0), 0.62);
+
+        let catalog = DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("viperx", DeviceType::RobotArm)
+                    .with_arm_positions(VIPERX_HOME, VIPERX_SLEEP)
+                    .with_sleep_volume(footprints::viperx_sleep_volume())
+                    .with_allowed_region(footprints::viperx_region()),
+            )
+            .with(
+                DeviceMeta::new("ned2", DeviceType::RobotArm)
+                    .with_arm_positions(NED2_HOME, NED2_SLEEP)
+                    .with_sleep_volume(footprints::ned2_sleep_volume())
+                    .with_allowed_region(footprints::ned2_region()),
+            )
+            .with(DeviceMeta::new("vial", DeviceType::Container))
+            .with(DeviceMeta::new(
+                "grid",
+                DeviceType::Custom("grid".to_string()),
+            ))
+            .with(DeviceMeta::new("dosing_device", DeviceType::DosingSystem).with_door())
+            .with(DeviceMeta::new("syringe_pump", DeviceType::DosingSystem))
+            .with(
+                DeviceMeta::new("centrifuge", DeviceType::ActionDevice)
+                    .with_door()
+                    .with_tag("centrifuge")
+                    .with_threshold(6_000.0),
+            )
+            .with(DeviceMeta::new("hotplate", DeviceType::ActionDevice).with_threshold(150.0))
+            .with(
+                DeviceMeta::new("thermoshaker", DeviceType::ActionDevice).with_threshold(1_500.0),
+            );
+
+        Testbed {
+            lab,
+            catalog,
+            locations: loc,
+        }
+    }
+
+    /// Builds a RABIT engine for one of the study's three configurations.
+    /// Time multiplexing (not the software wall) is the paper's deployed
+    /// choice for the Modified stages.
+    pub fn rabit(&self, stage: RabitStage) -> Rabit {
+        let mut rulebase = Rulebase::hein_lab();
+        if stage != RabitStage::Baseline {
+            rulebase.push(extensions::held_object_clearance_rule());
+            rulebase.push(extensions::time_multiplexing_rule());
+            rulebase.push(extensions::sleep_volume_rule());
+        }
+        let mut rabit = Rabit::new(rulebase, self.catalog.clone(), RabitConfig::default());
+        if stage == RabitStage::ModifiedWithSimulator {
+            rabit = rabit.with_validator(Box::new(self.extended_simulator(false)));
+        }
+        rabit
+    }
+
+    /// The Extended Simulator over the testbed's cuboid world (`gui`
+    /// selects the 2 s GUI-bound mode or the headless mode).
+    pub fn extended_simulator(&self, gui: bool) -> ExtendedSimulator {
+        let world = SimWorld::new()
+            .with_platform(1.6)
+            .with_obstacle("grid", footprints::grid())
+            .with_obstacle("dosing_device", footprints::dosing_device())
+            .with_obstacle("syringe_pump", footprints::syringe_pump())
+            .with_obstacle("centrifuge", footprints::centrifuge())
+            .with_obstacle("hotplate", footprints::hotplate())
+            .with_obstacle("thermoshaker", footprints::thermoshaker());
+        let config = SimConfig {
+            gui,
+            ..SimConfig::default()
+        };
+        ExtendedSimulator::new(world, config)
+            .with_arm("viperx", presets::viperx300())
+            .with_arm(
+                "ned2",
+                presets::ned2().with_base(rabit_geometry::Pose::from_translation(Vec3::new(
+                    0.85, 0.0, 0.0,
+                ))),
+            )
+    }
+
+    /// Convenience: the footprint of a named mockup (for tests and
+    /// harnesses).
+    pub fn footprint_of(&self, name: &str) -> Option<Aabb> {
+        match name {
+            "grid" => Some(footprints::grid()),
+            "dosing_device" => Some(footprints::dosing_device()),
+            "syringe_pump" => Some(footprints::syringe_pump()),
+            "centrifuge" => Some(footprints::centrifuge()),
+            "hotplate" => Some(footprints::hotplate()),
+            "thermoshaker" => Some(footprints::thermoshaker()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Testbed {
+    fn default() -> Self {
+        Testbed::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_devices::StateKey;
+
+    #[test]
+    fn testbed_has_two_arms_and_five_mockups() {
+        let mut tb = Testbed::new();
+        let state = tb.lab.fetch_state();
+        assert_eq!(state.len(), 9); // 2 arms + vial + grid + 5 devices
+        assert!(state.device(&"viperx".into()).is_some());
+        assert!(state.device(&"ned2".into()).is_some());
+        assert_eq!(tb.catalog.robot_arms().count(), 2);
+    }
+
+    #[test]
+    fn footprints_do_not_overlap() {
+        let names = [
+            "grid",
+            "dosing_device",
+            "syringe_pump",
+            "centrifuge",
+            "hotplate",
+            "thermoshaker",
+        ];
+        let tb = Testbed::new();
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                let fa = tb.footprint_of(a).unwrap();
+                let fb = tb.footprint_of(b).unwrap();
+                assert!(!fa.intersects(&fb), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn key_locations_are_outside_all_footprints() {
+        // Approach/safe-height waypoints must be reachable without rule
+        // III-3 violations.
+        let tb = Testbed::new();
+        let l = tb.locations;
+        let waypoints = [
+            l.grid_nw_viperx.pickup_safe_height,
+            l.grid_nw_viperx.pickup,
+            l.dosing_viperx.approach,
+            l.dosing_viperx.pickup_safe_height,
+            l.dosing_viperx.pickup,
+            l.random_location_ned2,
+            arm_positions::VIPERX_HOME,
+            arm_positions::NED2_HOME,
+        ];
+        for name in [
+            "grid",
+            "dosing_device",
+            "syringe_pump",
+            "centrifuge",
+            "hotplate",
+            "thermoshaker",
+        ] {
+            let fp = tb.footprint_of(name).unwrap();
+            for w in waypoints {
+                assert!(!fp.contains_point(w), "waypoint {w} is inside {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn sleep_positions_are_inside_sleep_volumes() {
+        assert!(footprints::viperx_sleep_volume().contains_point(arm_positions::VIPERX_SLEEP));
+        assert!(footprints::ned2_sleep_volume().contains_point(arm_positions::NED2_SLEEP));
+        // And homes are not.
+        assert!(!footprints::viperx_sleep_volume().contains_point(arm_positions::VIPERX_HOME));
+    }
+
+    #[test]
+    fn software_wall_separates_the_regions() {
+        let vx = footprints::viperx_region();
+        let nd = footprints::ned2_region();
+        assert!(vx.contains_point(arm_positions::VIPERX_HOME));
+        assert!(nd.contains_point(arm_positions::NED2_HOME));
+        assert!(!vx.contains_point(arm_positions::NED2_HOME));
+        assert!(!nd.contains_point(arm_positions::VIPERX_HOME));
+    }
+
+    #[test]
+    fn stages_build_increasingly_armed_rabits() {
+        let tb = Testbed::new();
+        let base = tb.rabit(RabitStage::Baseline);
+        let modif = tb.rabit(RabitStage::Modified);
+        assert_eq!(base.rulebase().len(), 15);
+        assert_eq!(modif.rulebase().len(), 18);
+        let with_sim = tb.rabit(RabitStage::ModifiedWithSimulator);
+        assert_eq!(with_sim.rulebase().len(), 18);
+    }
+
+    #[test]
+    fn initial_vial_sits_in_grid_slot_nw() {
+        let tb = Testbed::new();
+        // The vial itself is sensorless — check physical ground truth.
+        let vial = tb.lab.device(&"vial".into()).unwrap().as_vial().unwrap();
+        assert_eq!(vial.location(), tb.locations.grid_nw_viperx.pickup);
+        let _ = StateKey::Location;
+    }
+
+    #[test]
+    fn random_location_is_near_viperx_grid_station() {
+        // The Bug B precondition: the stray Ned2 target is within the
+        // arm-collision radius of ViperX's post-place station point.
+        let tb = Testbed::new();
+        let viperx_station = tb.locations.grid_nw_viperx.pickup_safe_height;
+        let d = viperx_station.distance(tb.locations.random_location_ned2);
+        assert!(
+            d <= rabit_devices::physical::ARM_COLLISION_RADIUS_M,
+            "distance {d} must be a collision"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Hard-coded testbed location coordinates (the Fig. 6 utilities file).
+//!
+//! The paper's testbed keeps **separate coordinate systems per arm** (the
+//! "de facto approach in the Hein Lab") because mapping both arms into a
+//! common frame had ~3 cm of error. Locations are therefore recorded per
+//! arm, exactly like the `locations` dict in Fig. 6.
+//!
+//! The z-values here are chosen to be self-consistent with the shared
+//! physical constants (`rabit_devices::physical`): safe pickups sit above
+//! [`HELD_OBJECT_CLEARANCE_M`]; Bug D lowers the dosing-device pickup to
+//! 0.08, which clears the bare arm ([`ARM_CLEARANCE_M`] = 0.05) but
+//! crashes a held vial.
+//!
+//! [`HELD_OBJECT_CLEARANCE_M`]: rabit_devices::physical::HELD_OBJECT_CLEARANCE_M
+//! [`ARM_CLEARANCE_M`]: rabit_devices::physical::ARM_CLEARANCE_M
+
+use rabit_geometry::Vec3;
+
+/// Per-arm location set for one point of interest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArmLocations {
+    /// Safe approach height above the pickup.
+    pub pickup_safe_height: Vec3,
+    /// The pickup position itself.
+    pub pickup: Vec3,
+}
+
+/// The testbed's location table (Fig. 6 analog).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Locations {
+    /// Grid slot NW, in ViperX's frame.
+    pub grid_nw_viperx: ArmLocations,
+    /// Grid slot NW, in Ned2's frame.
+    pub grid_nw_ned2: ArmLocations,
+    /// Grid slot SE ("imaginary hotplate for now"), in Ned2's frame.
+    pub grid_se_ned2: ArmLocations,
+    /// Dosing device, in ViperX's frame.
+    pub dosing_viperx: DosingLocations,
+    /// Bug B's `random_location` for Ned2 — close to the grid where
+    /// ViperX is stationed.
+    pub random_location_ned2: Vec3,
+}
+
+/// Dosing-device approach set (Fig. 6 lines 23-27).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DosingLocations {
+    /// Stand-off point in front of the device.
+    pub approach: Vec3,
+    /// Safe height above the pickup point.
+    pub pickup_safe_height: Vec3,
+    /// The in-device pickup point (Bug D lowers its z to 0.08).
+    pub pickup: Vec3,
+}
+
+/// The standard testbed location table.
+pub fn locations() -> Locations {
+    Locations {
+        grid_nw_viperx: ArmLocations {
+            pickup_safe_height: Vec3::new(0.537, 0.018, 0.23),
+            pickup: Vec3::new(0.537, 0.018, 0.18),
+        },
+        // In the paper each arm records this slot in its own frame with
+        // different numbers; our lab model resolves physics in one world
+        // frame, so Ned2's entry is the calibrated world coordinate of
+        // the same slot (see DESIGN.md, frame-handling substitution).
+        grid_nw_ned2: ArmLocations {
+            pickup_safe_height: Vec3::new(0.537, 0.018, 0.23),
+            pickup: Vec3::new(0.537, 0.018, 0.18),
+        },
+        grid_se_ned2: ArmLocations {
+            pickup_safe_height: Vec3::new(0.35, 0.10, 0.23),
+            pickup: Vec3::new(0.35, 0.10, 0.18),
+        },
+        // The approach hovers in front of and above the device opening
+        // (the doser cuboid spans y 0.40-0.55, z 0-0.30); the in-device
+        // hand-off itself is a MoveInsideDevice step, so no free-space
+        // move ever dives beside the box. The low `pickup` point is the
+        // Bug-D mutation anchor.
+        dosing_viperx: DosingLocations {
+            approach: Vec3::new(0.15, 0.30, 0.33),
+            pickup_safe_height: Vec3::new(0.15, 0.30, 0.33),
+            pickup: Vec3::new(0.15, 0.37, 0.10),
+        },
+        // Fig. 5 line 28: [0.443, -0.010, 0.292].
+        random_location_ned2: Vec3::new(0.443, -0.010, 0.292),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_devices::physical::{ARM_CLEARANCE_M, HELD_OBJECT_CLEARANCE_M};
+
+    #[test]
+    fn safe_pickups_clear_a_held_vial() {
+        let l = locations();
+        for p in [
+            l.grid_nw_viperx.pickup,
+            l.grid_nw_ned2.pickup,
+            l.grid_se_ned2.pickup,
+            l.dosing_viperx.pickup,
+        ] {
+            assert!(
+                p.z > HELD_OBJECT_CLEARANCE_M,
+                "pickup {p} must clear a held vial"
+            );
+        }
+    }
+
+    #[test]
+    fn bug_d_variant_splits_the_clearances() {
+        // Lowering the dosing pickup to 0.08 (the Bug D mutation) lands
+        // between the two clearance constants: safe bare, fatal held.
+        let bug_d_z = 0.08;
+        assert!(bug_d_z > ARM_CLEARANCE_M);
+        assert!(bug_d_z <= HELD_OBJECT_CLEARANCE_M);
+    }
+
+    #[test]
+    fn safe_heights_are_above_pickups() {
+        let l = locations();
+        assert!(l.grid_nw_viperx.pickup_safe_height.z > l.grid_nw_viperx.pickup.z);
+        assert!(l.dosing_viperx.pickup_safe_height.z > l.dosing_viperx.pickup.z);
+    }
+}

@@ -1,0 +1,213 @@
+//! The Fig. 5 testbed workflow: "a safe testbed workflow based on the
+//! automated solubility experiment shown in Fig. 1(b)".
+
+use crate::locations::Locations;
+use rabit_devices::{ActionKind, Command};
+use rabit_tracer::Workflow;
+
+/// Builds the safe Fig. 5 workflow over the given location table.
+///
+/// Sequence (matching the figure, with explicit enter/exit steps for the
+/// dosing device and an initial Ned2 park so time multiplexing holds):
+///
+/// 1. park Ned2; open the dosing-device door; decap the vial;
+/// 2. ViperX homes, picks the vial from grid NW, carries it to the
+///    dosing device, and places it inside;
+/// 3. door closes, the device doses 5 mg, stops, door re-opens;
+/// 4. ViperX retrieves the vial and returns it to grid NW;
+/// 5. Ned2's stray `move_pose` slot sits here in the buggy variants;
+/// 6. door closes; ViperX homes and goes to sleep;
+/// 7. Ned2 picks the vial from the grid.
+pub fn fig5_safe_workflow(loc: &Locations) -> Workflow {
+    let grid = loc.grid_nw_viperx;
+    let dose = loc.dosing_viperx;
+    Workflow::new("fig5_safe")
+        // -- setup --
+        .go_to_sleep("ned2")
+        .set_door("dosing_device", true)
+        .decap("vial")
+        .go_home("viperx")
+        // -- pick the vial from grid NW --
+        .move_to("viperx", grid.pickup_safe_height)
+        .pick_up("viperx", "vial", grid.pickup)
+        .move_to("viperx", grid.pickup_safe_height)
+        // -- place it into the dosing device --
+        .move_to("viperx", dose.approach)
+        .move_inside("viperx", "dosing_device")
+        .then(Command::new(
+            "viperx",
+            ActionKind::PlaceObject {
+                object: "vial".into(),
+                into: Some("dosing_device".into()),
+            },
+        ))
+        .move_out("viperx")
+        .go_home("viperx")
+        // -- dose --
+        .set_door("dosing_device", false)
+        .start_action("dosing_device", 5.0)
+        .stop_action("dosing_device")
+        .set_door("dosing_device", true) // Bug A deletes this line
+        // -- retrieve the vial --
+        .move_to("viperx", dose.approach)
+        .move_inside("viperx", "dosing_device")
+        .then(Command::new(
+            "viperx",
+            ActionKind::PickObject {
+                object: "vial".into(),
+            },
+        ))
+        .move_out("viperx")
+        // -- return it to grid NW --
+        .move_to("viperx", grid.pickup_safe_height)
+        .place_at("viperx", "vial", grid.pickup)
+        .move_to("viperx", grid.pickup_safe_height)
+        // (Bug B inserts ned2.move_pose(random_location) here, while
+        // ViperX is stationed above the grid.)
+        // -- wind down --
+        .set_door("dosing_device", false)
+        .go_home("viperx")
+        .go_to_sleep("viperx")
+        // -- Ned2 collects the vial --
+        .move_to("ned2", loc.grid_nw_ned2.pickup_safe_height)
+        .pick_up("ned2", "vial", loc.grid_nw_ned2.pickup)
+        .move_to("ned2", loc.grid_nw_ned2.pickup_safe_height)
+        .go_home("ned2")
+}
+
+/// The index (in the safe workflow) of the door re-open step that Bug A
+/// deletes.
+pub fn door_reopen_index(wf: &Workflow) -> usize {
+    // The second `open_door` in the sequence.
+    wf.commands()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.to_string() == "dosing_device.open_door")
+        .map(|(i, _)| i)
+        .nth(1)
+        .expect("workflow has two open_door steps")
+}
+
+/// The index after ViperX's final move above the grid, where Bug B's
+/// stray Ned2 move is inserted.
+pub fn bug_b_insertion_index(wf: &Workflow) -> usize {
+    // After the last viperx move to grid safe height, before close_door.
+    wf.commands()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.to_string() == "dosing_device.close_door")
+        .map(|(i, _)| i)
+        .next_back()
+        .expect("workflow closes the door at the end")
+}
+
+/// The index of ViperX's first pick (`pick_object(vial)` from the grid),
+/// which Bug C deletes (together with its approach move).
+pub fn first_pick_index(wf: &Workflow) -> usize {
+    wf.find("viperx.pick_object")
+        .expect("workflow picks the vial")
+}
+
+/// A second-arm parking preamble used when running fragments.
+pub fn park_all() -> Workflow {
+    Workflow::new("park_all")
+        .go_to_sleep("ned2")
+        .go_home("viperx")
+}
+
+/// Quick smoke workflow touching doors, caps, and both arms (everything
+/// rule-safe: no substance handling, so no custom-rule preconditions are
+/// involved).
+pub fn device_tour(loc: &Locations) -> Workflow {
+    let grid = loc.grid_nw_viperx;
+    Workflow::new("device_tour")
+        .go_to_sleep("ned2")
+        .go_home("viperx")
+        .decap("vial")
+        .cap("vial")
+        .set_door("centrifuge", true)
+        .set_door("centrifuge", false)
+        .move_to("viperx", grid.pickup_safe_height)
+        .pick_up("viperx", "vial", grid.pickup)
+        .move_to("viperx", grid.pickup_safe_height)
+        .place_at("viperx", "vial", grid.pickup)
+        .go_home("viperx")
+        .go_to_sleep("viperx")
+        .go_home("ned2")
+        .go_to_sleep("ned2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{RabitStage, Testbed};
+    use rabit_tracer::Tracer;
+
+    #[test]
+    fn safe_workflow_structure() {
+        let tb = Testbed::new();
+        let wf = fig5_safe_workflow(&tb.locations);
+        assert!(wf.len() > 25);
+        assert!(door_reopen_index(&wf) > 0);
+        assert!(bug_b_insertion_index(&wf) > door_reopen_index(&wf));
+        assert!(first_pick_index(&wf) < door_reopen_index(&wf));
+    }
+
+    #[test]
+    fn safe_workflow_completes_under_baseline() {
+        let mut tb = Testbed::new();
+        let mut rabit = tb.rabit(RabitStage::Baseline);
+        let report =
+            Tracer::guarded(&mut tb.lab, &mut rabit).run(&fig5_safe_workflow(&tb.locations));
+        assert!(
+            report.completed(),
+            "false positive under baseline: {:?}",
+            report.alert
+        );
+        assert!(tb.lab.damage_log().is_empty());
+    }
+
+    #[test]
+    fn safe_workflow_completes_under_modified() {
+        let mut tb = Testbed::new();
+        let mut rabit = tb.rabit(RabitStage::Modified);
+        let report =
+            Tracer::guarded(&mut tb.lab, &mut rabit).run(&fig5_safe_workflow(&tb.locations));
+        assert!(
+            report.completed(),
+            "false positive under modified: {:?}",
+            report.alert
+        );
+    }
+
+    #[test]
+    fn safe_workflow_completes_with_simulator() {
+        let mut tb = Testbed::new();
+        let mut rabit = tb.rabit(RabitStage::ModifiedWithSimulator);
+        let report =
+            Tracer::guarded(&mut tb.lab, &mut rabit).run(&fig5_safe_workflow(&tb.locations));
+        assert!(
+            report.completed(),
+            "false positive with simulator: {:?}",
+            report.alert
+        );
+    }
+
+    #[test]
+    fn device_tour_completes() {
+        let mut tb = Testbed::new();
+        let mut rabit = tb.rabit(RabitStage::Modified);
+        let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&device_tour(&tb.locations));
+        assert!(report.completed(), "alert: {:?}", report.alert);
+        assert!(tb.lab.damage_log().is_empty());
+    }
+
+    #[test]
+    fn solid_reaches_the_vial_in_the_safe_run() {
+        let mut tb = Testbed::new();
+        let mut rabit = tb.rabit(RabitStage::Baseline);
+        let _ = Tracer::guarded(&mut tb.lab, &mut rabit).run(&fig5_safe_workflow(&tb.locations));
+        let vial = tb.lab.device(&"vial".into()).unwrap().as_vial().unwrap();
+        assert_eq!(vial.solid_mg(), 5.0, "the dose must land in the vial");
+    }
+}

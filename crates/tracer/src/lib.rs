@@ -1,0 +1,38 @@
+//! The RATracer-equivalent interception layer.
+//!
+//! The paper instruments Python experiment scripts with RATracer, which
+//! intercepts every device command at run time; RABIT is wired in so that
+//! each traced command is checked before it is forwarded (§II-C). This
+//! crate provides:
+//!
+//! * [`Workflow`] — the command sequences experiment scripts produce,
+//!   with builder methods mirroring the lab's Python wrappers and the
+//!   mutation operators of the uncontrolled bug study;
+//! * [`Tracer`] — guarded (check-then-forward) and pass-through modes;
+//! * [`Trace`] / [`TraceEvent`] — the serializable command log (the RAD
+//!   on-disk format).
+//!
+//! # Example
+//!
+//! ```
+//! use rabit_tracer::Workflow;
+//!
+//! let wf = Workflow::new("demo").set_door("doser", true);
+//! assert_eq!(wf.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod script;
+mod trace;
+#[allow(clippy::module_inception)]
+mod tracer;
+mod workflow;
+
+pub use concurrent::{run_concurrent, ConcurrentReport, StreamReport};
+pub use script::{parse_script, AliasTable, ScriptError};
+pub use trace::{Trace, TraceEvent, TraceOutcome};
+pub use tracer::{TraceMode, TraceReport, Tracer};
+pub use workflow::Workflow;

@@ -1,0 +1,451 @@
+//! Script parsing with command aliases: the §V-C open challenge that
+//! "there is a possibility that multiple commands could be used to
+//! execute a specific action. For instance, there might be two commands
+//! for moving a robot from one location to another. RABIT currently
+//! allows only one command per action."
+//!
+//! Lab scripts drive devices through vendor-specific call names
+//! (`move_pose` on the Ned2, `move_to_location` on the ViperX, `set_ep`
+//! on the UR). An [`AliasTable`] maps every vendor spelling onto RABIT's
+//! canonical action, and [`parse_script`] turns a RATracer-style textual
+//! command log into a [`Workflow`] — so one rule covers all spellings of
+//! the same action.
+//!
+//! Grammar per line (blank lines and `#` comments ignored):
+//!
+//! ```text
+//! <device> . <command> ( <arg> , ... )
+//! ```
+//!
+//! Arguments are numbers or bare identifiers (device ids).
+
+use crate::workflow::Workflow;
+use rabit_devices::{ActionKind, Command, DeviceId, Substance};
+use rabit_geometry::Vec3;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maps vendor command spellings onto canonical action labels.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AliasTable {
+    map: BTreeMap<String, String>,
+}
+
+impl AliasTable {
+    /// An empty table (canonical names only).
+    pub fn new() -> Self {
+        AliasTable::default()
+    }
+
+    /// The aliases observed across the paper's arms: Ned2's `move_pose`,
+    /// Interbotix's `go_to_home_pose` spelling variants, and the
+    /// syringe-pump's two dosing entry points the pilot participant had
+    /// to choose between (§V-A).
+    pub fn standard() -> Self {
+        let mut t = AliasTable::new();
+        for (alias, canonical) in [
+            ("move_pose", "move_to_location"),
+            ("set_ep", "move_to_location"),
+            ("go_to_pose", "move_to_location"),
+            ("move_inside", "move_robot_inside"),
+            ("move_out", "move_robot_outside"),
+            ("sleep", "go_to_sleep_pose"),
+            ("home", "go_to_home_pose"),
+            ("pick_up_object", "pick_object"),
+            ("pick_from_pose", "pick_object"),
+            ("place_from_pose", "place_object"),
+            ("set_door_open", "open_door"),
+            ("set_door_closed", "close_door"),
+            ("run_action", "start_action"),
+            ("doseSolid", "dose_solid"),
+            ("doseSolvent", "dose_liquid"),
+            ("doseInitialSolvent", "dose_liquid"),
+            ("decap", "decap_vial"),
+            ("cap", "cap_vial"),
+        ] {
+            t.add(alias, canonical);
+        }
+        t
+    }
+
+    /// Adds one alias.
+    pub fn add(&mut self, alias: impl Into<String>, canonical: impl Into<String>) {
+        self.map.insert(alias.into(), canonical.into());
+    }
+
+    /// Resolves a command name to its canonical label.
+    pub fn resolve<'a>(&'a self, name: &'a str) -> &'a str {
+        self.map.get(name).map(String::as_str).unwrap_or(name)
+    }
+
+    /// Number of aliases.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no aliases are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A script parsing error, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// One parsed argument.
+#[derive(Debug, Clone, PartialEq)]
+enum Arg {
+    Number(f64),
+    Ident(String),
+}
+
+impl Arg {
+    fn number(&self) -> Option<f64> {
+        match self {
+            Arg::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn ident(&self) -> Option<&str> {
+        match self {
+            Arg::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn split_args(inner: &str) -> Result<Vec<Arg>, String> {
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|raw| {
+            let raw = raw.trim().trim_matches('"').trim_matches('\'');
+            if raw.is_empty() {
+                return Err("empty argument".to_string());
+            }
+            if let Ok(n) = raw.parse::<f64>() {
+                Ok(Arg::Number(n))
+            } else if raw
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+            {
+                Ok(Arg::Ident(raw.to_string()))
+            } else {
+                Err(format!("malformed argument '{raw}'"))
+            }
+        })
+        .collect()
+}
+
+/// Parses one script line into a [`Command`], resolving aliases.
+///
+/// # Errors
+///
+/// Returns a human-readable message for syntax errors, unknown commands,
+/// or arity mismatches.
+pub fn parse_line(line: &str, aliases: &AliasTable) -> Result<Command, String> {
+    let line = line.trim();
+    let dot = line.find('.').ok_or("expected '<device>.<command>(...)'")?;
+    let device = line[..dot].trim();
+    if device.is_empty() {
+        return Err("empty device name".to_string());
+    }
+    let rest = &line[dot + 1..];
+    let open = rest
+        .find('(')
+        .ok_or("expected '(' after the command name")?;
+    if !rest.trim_end().ends_with(')') {
+        return Err("expected ')' at end of line".to_string());
+    }
+    let name = rest[..open].trim();
+    let inner = &rest.trim_end()[open + 1..rest.trim_end().len() - 1];
+    let args = split_args(inner)?;
+    let canonical = aliases.resolve(name);
+
+    let need = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "{canonical} expects {n} argument(s), got {}",
+                args.len()
+            ))
+        }
+    };
+    let num = |i: usize| -> Result<f64, String> {
+        args[i]
+            .number()
+            .ok_or_else(|| format!("argument {} of {canonical} must be a number", i + 1))
+    };
+    let ident = |i: usize| -> Result<DeviceId, String> {
+        args[i]
+            .ident()
+            .map(DeviceId::new)
+            .ok_or_else(|| format!("argument {} of {canonical} must be a name", i + 1))
+    };
+
+    let action = match canonical {
+        "move_to_location" => {
+            need(3)?;
+            ActionKind::MoveToLocation {
+                target: Vec3::new(num(0)?, num(1)?, num(2)?),
+            }
+        }
+        "move_robot_inside" => {
+            need(1)?;
+            ActionKind::MoveInsideDevice { device: ident(0)? }
+        }
+        "move_robot_outside" => {
+            need(0)?;
+            ActionKind::MoveOutOfDevice
+        }
+        "go_to_home_pose" => {
+            need(0)?;
+            ActionKind::MoveHome
+        }
+        "go_to_sleep_pose" => {
+            need(0)?;
+            ActionKind::MoveToSleep
+        }
+        "pick_object" => {
+            need(1)?;
+            ActionKind::PickObject { object: ident(0)? }
+        }
+        "place_object" => match args.len() {
+            1 => ActionKind::PlaceObject {
+                object: ident(0)?,
+                into: None,
+            },
+            2 => ActionKind::PlaceObject {
+                object: ident(0)?,
+                into: Some(ident(1)?),
+            },
+            n => return Err(format!("place_object expects 1-2 arguments, got {n}")),
+        },
+        "open_gripper" => {
+            need(0)?;
+            ActionKind::OpenGripper
+        }
+        "close_gripper" => {
+            need(0)?;
+            ActionKind::CloseGripper
+        }
+        "open_door" => {
+            need(0)?;
+            ActionKind::SetDoor { open: true }
+        }
+        "close_door" => {
+            need(0)?;
+            ActionKind::SetDoor { open: false }
+        }
+        "dose_solid" => {
+            need(2)?;
+            ActionKind::DoseSolid {
+                amount_mg: num(0)?,
+                into: ident(1)?,
+            }
+        }
+        "dose_liquid" => {
+            need(2)?;
+            ActionKind::DoseLiquid {
+                volume_ml: num(0)?,
+                into: ident(1)?,
+            }
+        }
+        "start_action" => {
+            need(1)?;
+            ActionKind::StartAction { value: num(0)? }
+        }
+        "stop_action" => {
+            need(0)?;
+            ActionKind::StopAction
+        }
+        "cap_vial" => {
+            need(0)?;
+            ActionKind::Cap
+        }
+        "decap_vial" => {
+            need(0)?;
+            ActionKind::Decap
+        }
+        "transfer_solid" | "transfer_liquid" => {
+            need(2)?;
+            let substance = if canonical == "transfer_solid" {
+                Substance::Solid
+            } else {
+                Substance::Liquid
+            };
+            ActionKind::Transfer {
+                from: DeviceId::new(device),
+                to: ident(0)?,
+                substance,
+                amount: num(1)?,
+            }
+        }
+        unknown => {
+            return Err(format!(
+                "unknown command '{unknown}' (add an alias mapping it to a canonical action)"
+            ))
+        }
+    };
+    Ok(Command::new(device, action))
+}
+
+/// Parses a whole script into a [`Workflow`]. Blank lines and lines
+/// starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns the first [`ScriptError`] with its line number.
+pub fn parse_script(
+    name: impl Into<String>,
+    text: &str,
+    aliases: &AliasTable,
+) -> Result<Workflow, ScriptError> {
+    let mut wf = Workflow::new(name);
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let command = parse_line(line, aliases).map_err(|message| ScriptError {
+            line: i + 1,
+            message,
+        })?;
+        wf.push(command);
+    }
+    Ok(wf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_commands() {
+        let a = AliasTable::new();
+        let c = parse_line("ned2.move_to_location(0.443, -0.010, 0.292)", &a).unwrap();
+        assert_eq!(
+            c.to_string(),
+            "ned2.move_to_location(0.4430, -0.0100, 0.2920)"
+        );
+        let c = parse_line("doser.open_door()", &a).unwrap();
+        assert_eq!(c.to_string(), "doser.open_door");
+        let c = parse_line("arm.place_object(vial, doser)", &a).unwrap();
+        assert!(c.to_string().contains("vial -> doser"));
+        let c = parse_line("doser.dose_solid(5.0, vial)", &a).unwrap();
+        assert!(c.to_string().contains("dose_solid(5 mg"));
+    }
+
+    #[test]
+    fn aliases_map_vendor_spellings_to_one_action() {
+        // The open challenge: two commands, one action, one rule.
+        let a = AliasTable::standard();
+        let via_alias = parse_line("ned2.move_pose(0.1, 0.2, 0.3)", &a).unwrap();
+        let canonical = parse_line("ned2.move_to_location(0.1, 0.2, 0.3)", &a).unwrap();
+        assert_eq!(via_alias, canonical);
+        let ur = parse_line("ur3e.set_ep(0.1, 0.2, 0.3)", &a).unwrap();
+        assert_eq!(ur.action, canonical.action);
+        // Dosing spellings from Fig. 1(b).
+        let d1 = parse_line("pump.doseSolvent(2.0, vial)", &a).unwrap();
+        let d2 = parse_line("pump.doseInitialSolvent(2.0, vial)", &a).unwrap();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn unknown_commands_are_rejected_without_an_alias() {
+        let a = AliasTable::new();
+        let err = parse_line("ned2.move_pose(0.1, 0.2, 0.3)", &a).unwrap_err();
+        assert!(err.contains("unknown command 'move_pose'"));
+        // …and accepted with one.
+        let mut a = AliasTable::new();
+        a.add("move_pose", "move_to_location");
+        assert!(parse_line("ned2.move_pose(0.1, 0.2, 0.3)", &a).is_ok());
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn syntax_and_arity_errors() {
+        let a = AliasTable::new();
+        assert!(parse_line("open_door()", &a).is_err()); // no device
+        assert!(parse_line("doser.open_door", &a).is_err()); // no parens
+        assert!(parse_line("doser.open_door(", &a).is_err());
+        assert!(parse_line("arm.move_to_location(1.0, 2.0)", &a)
+            .unwrap_err()
+            .contains("expects 3"));
+        assert!(parse_line("arm.pick_object(5.0)", &a)
+            .unwrap_err()
+            .contains("must be a name"));
+        assert!(parse_line("arm.move_to_location(a, b, c)", &a)
+            .unwrap_err()
+            .contains("must be a number"));
+        assert!(parse_line("arm.pick_object(vial; oops)", &a).is_err());
+    }
+
+    #[test]
+    fn parses_a_full_script_with_comments() {
+        let script = r#"
+            # Fig. 5-style workflow fragment (mixed vendor spellings)
+            dosing_device.set_door_open()
+            vial.decap()
+
+            viperx.home()
+            viperx.pick_up_object(vial)
+            ned2.move_pose(0.443, -0.010, 0.292)
+            dosing_device.run_action(5.0)
+        "#;
+        let wf = parse_script("fig5_fragment", script, &AliasTable::standard()).unwrap();
+        assert_eq!(wf.len(), 6);
+        assert_eq!(wf.commands()[0].to_string(), "dosing_device.open_door");
+        assert_eq!(wf.commands()[2].to_string(), "viperx.go_to_home_pose");
+        assert!(wf.commands()[5].to_string().contains("start_action"));
+    }
+
+    #[test]
+    fn script_errors_carry_line_numbers() {
+        let script = "doser.open_door()\nviperx.fly_to_moon()\n";
+        let err = parse_script("bad", script, &AliasTable::standard()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("fly_to_moon"));
+    }
+
+    #[test]
+    fn transfers_parse_with_the_actor_as_source() {
+        let a = AliasTable::new();
+        let c = parse_line("vial.transfer_liquid(vial2, 2.0)", &a).unwrap();
+        match &c.action {
+            ActionKind::Transfer {
+                from,
+                to,
+                substance,
+                amount,
+            } => {
+                assert_eq!(from.as_str(), "vial");
+                assert_eq!(to.as_str(), "vial2");
+                assert_eq!(*substance, Substance::Liquid);
+                assert_eq!(*amount, 2.0);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Command traces: what RATracer records.
+//!
+//! The Robot Arm Dataset (RAD) is "three months of command trace data
+//! captured in the Hein Lab" by RATracer. A [`Trace`] is our equivalent
+//! record: one [`TraceEvent`] per intercepted command, with its timestamp
+//! and outcome. Traces are serializable, so synthetic RAD corpora
+//! (`rabit-rad`) use the same format.
+
+use rabit_devices::Command;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What happened to one intercepted command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOutcome {
+    /// Forwarded to the device and executed successfully.
+    Forwarded,
+    /// Blocked by RABIT before execution (the tracer raised a Python
+    /// exception in the paper's implementation).
+    Blocked {
+        /// The alert headline ("Invalid Command!", …).
+        alert: String,
+    },
+    /// The device itself faulted during execution.
+    Faulted {
+        /// The device error text.
+        error: String,
+    },
+    /// Executed, but RABIT's post-check found a state mismatch.
+    MalfunctionDetected {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl TraceOutcome {
+    /// Returns `true` if the command actually ran on the device.
+    pub fn executed(&self) -> bool {
+        matches!(
+            self,
+            TraceOutcome::Forwarded | TraceOutcome::MalfunctionDetected { .. }
+        )
+    }
+}
+
+/// One traced command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Sequence number within the trace.
+    pub seq: usize,
+    /// Virtual lab time when the command was issued (seconds).
+    pub time_s: f64,
+    /// The command.
+    pub command: Command,
+    /// What happened to it.
+    pub outcome: TraceOutcome,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match &self.outcome {
+            TraceOutcome::Forwarded => "ok".to_string(),
+            TraceOutcome::Blocked { alert } => format!("BLOCKED: {alert}"),
+            TraceOutcome::Faulted { error } => format!("FAULT: {error}"),
+            TraceOutcome::MalfunctionDetected { detail } => {
+                format!("MALFUNCTION: {detail}")
+            }
+        };
+        write!(
+            f,
+            "#{:04} t={:8.2}s {} [{}]",
+            self.seq, self.time_s, self.command, tag
+        )
+    }
+}
+
+/// A full trace: the RATracer log of one workflow (or one lab session).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Name of the workflow (or session) that produced the trace.
+    pub workflow: String,
+    /// The events, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace for a named workflow.
+    pub fn new(workflow: impl Into<String>) -> Self {
+        Trace {
+            workflow: workflow.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Commands that actually executed, in order — the view the RAD rule
+    /// miner consumes.
+    pub fn executed_commands(&self) -> impl Iterator<Item = &Command> {
+        self.events
+            .iter()
+            .filter(|e| e.outcome.executed())
+            .map(|e| &e.command)
+    }
+
+    /// Serializes to JSON Lines (one event per line), the on-disk RAD
+    /// format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error if serialization fails.
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&serde_json::to_string(event)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parses a JSON-Lines trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error on any malformed line.
+    pub fn from_jsonl(workflow: impl Into<String>, text: &str) -> Result<Self, serde_json::Error> {
+        let mut trace = Trace::new(workflow);
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            trace.events.push(serde_json::from_str(line)?);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_devices::ActionKind;
+
+    fn event(seq: usize, outcome: TraceOutcome) -> TraceEvent {
+        TraceEvent {
+            seq,
+            time_s: seq as f64 * 2.0,
+            command: Command::new("doser", ActionKind::SetDoor { open: true }),
+            outcome,
+        }
+    }
+
+    #[test]
+    fn outcome_execution_classification() {
+        assert!(TraceOutcome::Forwarded.executed());
+        assert!(TraceOutcome::MalfunctionDetected { detail: "x".into() }.executed());
+        assert!(!TraceOutcome::Blocked { alert: "x".into() }.executed());
+        assert!(!TraceOutcome::Faulted { error: "x".into() }.executed());
+    }
+
+    #[test]
+    fn executed_commands_filters() {
+        let mut t = Trace::new("wf");
+        t.record(event(0, TraceOutcome::Forwarded));
+        t.record(event(
+            1,
+            TraceOutcome::Blocked {
+                alert: "Invalid Command!".into(),
+            },
+        ));
+        t.record(event(2, TraceOutcome::Forwarded));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.executed_commands().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let mut t = Trace::new("wf");
+        t.record(event(0, TraceOutcome::Forwarded));
+        t.record(event(
+            1,
+            TraceOutcome::Faulted {
+                error: "limit".into(),
+            },
+        ));
+        let text = t.to_jsonl().unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back = Trace::from_jsonl("wf", &text).unwrap();
+        assert_eq!(back, t);
+        // Empty lines are tolerated.
+        let padded = format!("\n{text}\n\n");
+        assert_eq!(Trace::from_jsonl("wf", &padded).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let e = event(
+            7,
+            TraceOutcome::Blocked {
+                alert: "Invalid trajectory!".into(),
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("#0007"));
+        assert!(s.contains("open_door"));
+        assert!(s.contains("Invalid trajectory!"));
+        assert!(Trace::new("x").is_empty());
+    }
+}

@@ -1,0 +1,433 @@
+//! Experiment workflows: the command sequences that Python experiment
+//! scripts produce.
+//!
+//! A [`Workflow`] corresponds to one run of a script like Fig. 1(b)'s
+//! automated solubility measurement or Fig. 5's testbed workflow. The
+//! builder methods mirror the Hein Lab's Python wrapper API
+//! (`open_door()`, `pick_up_vial()`, `go_to_home_pose()`, …), and the
+//! editing methods (`delete`, `insert`, `replace`, `swap`) are the
+//! mutation operators of the uncontrolled bug study: the "naive
+//! programmer" could "change the arguments of commands, delete commands,
+//! or change the order of commands" (§IV).
+
+use rabit_devices::{ActionKind, Command, DeviceId, Substance};
+use rabit_geometry::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A named, ordered sequence of commands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    name: String,
+    commands: Vec<Command>,
+}
+
+impl Workflow {
+    /// Creates an empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workflow {
+            name: name.into(),
+            commands: Vec::new(),
+        }
+    }
+
+    /// The workflow's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The command sequence.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Number of commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Returns `true` if the workflow has no commands.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Appends a raw command.
+    pub fn push(&mut self, command: Command) -> &mut Self {
+        self.commands.push(command);
+        self
+    }
+
+    /// Appends a raw command (builder style).
+    pub fn then(mut self, command: Command) -> Self {
+        self.commands.push(command);
+        self
+    }
+
+    // ----- Python-wrapper-style builders -----
+
+    /// `device.set_door("state", "open"/"closed")`.
+    pub fn set_door(mut self, device: impl Into<DeviceId>, open: bool) -> Self {
+        self.commands
+            .push(Command::new(device, ActionKind::SetDoor { open }));
+        self
+    }
+
+    /// `arm.move_to_location(loc)`.
+    pub fn move_to(mut self, arm: impl Into<DeviceId>, target: Vec3) -> Self {
+        self.commands
+            .push(Command::new(arm, ActionKind::MoveToLocation { target }));
+        self
+    }
+
+    /// `arm.go_to_home_pose()`.
+    pub fn go_home(mut self, arm: impl Into<DeviceId>) -> Self {
+        self.commands.push(Command::new(arm, ActionKind::MoveHome));
+        self
+    }
+
+    /// `arm.go_to_sleep_pose()`.
+    pub fn go_to_sleep(mut self, arm: impl Into<DeviceId>) -> Self {
+        self.commands
+            .push(Command::new(arm, ActionKind::MoveToSleep));
+        self
+    }
+
+    /// `arm.move_inside(device)`.
+    pub fn move_inside(mut self, arm: impl Into<DeviceId>, device: impl Into<DeviceId>) -> Self {
+        self.commands.push(Command::new(
+            arm,
+            ActionKind::MoveInsideDevice {
+                device: device.into(),
+            },
+        ));
+        self
+    }
+
+    /// Retract the arm from the device it is inside.
+    pub fn move_out(mut self, arm: impl Into<DeviceId>) -> Self {
+        self.commands
+            .push(Command::new(arm, ActionKind::MoveOutOfDevice));
+        self
+    }
+
+    /// `x_pick_up_object(arm, loc, vial)`: move to the object and grasp it.
+    pub fn pick_up(
+        mut self,
+        arm: impl Into<DeviceId>,
+        object: impl Into<DeviceId>,
+        at: Vec3,
+    ) -> Self {
+        let arm = arm.into();
+        self.commands.push(Command::new(
+            arm.clone(),
+            ActionKind::MoveToLocation { target: at },
+        ));
+        self.commands.push(Command::new(
+            arm,
+            ActionKind::PickObject {
+                object: object.into(),
+            },
+        ));
+        self
+    }
+
+    /// `x_place_object(arm, loc, vial)`: move to the location and release.
+    pub fn place_at(
+        mut self,
+        arm: impl Into<DeviceId>,
+        object: impl Into<DeviceId>,
+        at: Vec3,
+    ) -> Self {
+        let arm = arm.into();
+        self.commands.push(Command::new(
+            arm.clone(),
+            ActionKind::MoveToLocation { target: at },
+        ));
+        self.commands.push(Command::new(
+            arm,
+            ActionKind::PlaceObject {
+                object: object.into(),
+                into: None,
+            },
+        ));
+        self
+    }
+
+    /// Place the held object into a device (doser, centrifuge, …).
+    pub fn place_into(
+        mut self,
+        arm: impl Into<DeviceId>,
+        object: impl Into<DeviceId>,
+        device: impl Into<DeviceId>,
+        approach: Vec3,
+    ) -> Self {
+        let arm = arm.into();
+        self.commands.push(Command::new(
+            arm.clone(),
+            ActionKind::MoveToLocation { target: approach },
+        ));
+        self.commands.push(Command::new(
+            arm,
+            ActionKind::PlaceObject {
+                object: object.into(),
+                into: Some(device.into()),
+            },
+        ));
+        self
+    }
+
+    /// `dosing_device.doseSolid(amount)`.
+    pub fn dose_solid(
+        mut self,
+        doser: impl Into<DeviceId>,
+        amount_mg: f64,
+        into: impl Into<DeviceId>,
+    ) -> Self {
+        self.commands.push(Command::new(
+            doser,
+            ActionKind::DoseSolid {
+                amount_mg,
+                into: into.into(),
+            },
+        ));
+        self
+    }
+
+    /// `syringe_pump.doseSolvent(volume)`.
+    pub fn dose_liquid(
+        mut self,
+        pump: impl Into<DeviceId>,
+        volume_ml: f64,
+        into: impl Into<DeviceId>,
+    ) -> Self {
+        self.commands.push(Command::new(
+            pump,
+            ActionKind::DoseLiquid {
+                volume_ml,
+                into: into.into(),
+            },
+        ));
+        self
+    }
+
+    /// `hotplate.stirSolution(temperature)` / `device.run_action(...)`.
+    pub fn start_action(mut self, device: impl Into<DeviceId>, value: f64) -> Self {
+        self.commands
+            .push(Command::new(device, ActionKind::StartAction { value }));
+        self
+    }
+
+    /// `device.stop_action()`.
+    pub fn stop_action(mut self, device: impl Into<DeviceId>) -> Self {
+        self.commands
+            .push(Command::new(device, ActionKind::StopAction));
+        self
+    }
+
+    /// `vial.decap_vial()`.
+    pub fn decap(mut self, vial: impl Into<DeviceId>) -> Self {
+        self.commands.push(Command::new(vial, ActionKind::Decap));
+        self
+    }
+
+    /// `vial.cap_vial()`.
+    pub fn cap(mut self, vial: impl Into<DeviceId>) -> Self {
+        self.commands.push(Command::new(vial, ActionKind::Cap));
+        self
+    }
+
+    /// Transfer between containers.
+    pub fn transfer(
+        mut self,
+        from: impl Into<DeviceId>,
+        to: impl Into<DeviceId>,
+        substance: Substance,
+        amount: f64,
+    ) -> Self {
+        let from = from.into();
+        self.commands.push(Command::new(
+            from.clone(),
+            ActionKind::Transfer {
+                from,
+                to: to.into(),
+                substance,
+                amount,
+            },
+        ));
+        self
+    }
+
+    // ----- Mutation operators (the naive programmer's edit classes) -----
+
+    /// Deletes the command at `index` (e.g. omitting the `open_door()`
+    /// call — Bug A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn delete(&mut self, index: usize) -> Command {
+        self.commands.remove(index)
+    }
+
+    /// Inserts a command at `index` (e.g. adding the stray `move_pose` —
+    /// Bug B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    pub fn insert(&mut self, index: usize, command: Command) {
+        self.commands.insert(index, command);
+    }
+
+    /// Replaces the command at `index` (e.g. changing a coordinate —
+    /// Bug D), returning the old command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn replace(&mut self, index: usize, command: Command) -> Command {
+        std::mem::replace(&mut self.commands[index], command)
+    }
+
+    /// Swaps two commands (reordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.commands.swap(a, b);
+    }
+
+    /// Finds the index of the first command whose display form contains
+    /// `needle` — convenient for targeting mutations at named steps.
+    pub fn find(&self, needle: &str) -> Option<usize> {
+        self.commands
+            .iter()
+            .position(|c| c.to_string().contains(needle))
+    }
+
+    /// Renames the workflow (mutated variants get suffixed names).
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl IntoIterator for Workflow {
+    type Item = Command;
+    type IntoIter = std::vec::IntoIter<Command>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.commands.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Workflow {
+    type Item = &'a Command;
+    type IntoIter = std::slice::Iter<'a, Command>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.commands.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workflow {
+        Workflow::new("demo")
+            .set_door("doser", true)
+            .decap("vial")
+            .go_home("viperx")
+            .pick_up("viperx", "vial", Vec3::new(0.537, 0.018, 0.12))
+            .place_into("viperx", "vial", "doser", Vec3::new(0.15, 0.45, 0.19))
+            .set_door("doser", false)
+            .start_action("doser", 5.0)
+            .stop_action("doser")
+            .set_door("doser", true)
+    }
+
+    #[test]
+    fn builders_produce_expected_sequence() {
+        let wf = sample();
+        assert_eq!(wf.name(), "demo");
+        assert_eq!(wf.len(), 11); // pick_up and place_into are 2 each
+        assert_eq!(wf.commands()[0].to_string(), "doser.open_door");
+        assert!(wf.commands()[4].to_string().contains("pick_object"));
+        assert!(!wf.is_empty());
+    }
+
+    #[test]
+    fn find_locates_commands() {
+        let wf = sample();
+        assert_eq!(wf.find("open_door"), Some(0));
+        assert!(wf.find("pick_object").is_some());
+        assert_eq!(wf.find("no_such_thing"), None);
+    }
+
+    #[test]
+    fn delete_mutation_bug_a() {
+        // Bug A: omit re-opening the door before retrieving the vial.
+        let mut wf = sample();
+        let last_open = wf.len() - 1;
+        let removed = wf.delete(last_open);
+        assert_eq!(removed.to_string(), "doser.open_door");
+        assert_eq!(wf.len(), 10);
+    }
+
+    #[test]
+    fn insert_mutation_bug_b() {
+        let mut wf = sample();
+        wf.insert(
+            3,
+            Command::new(
+                "ned2",
+                ActionKind::MoveToLocation {
+                    target: Vec3::new(0.443, -0.010, 0.292),
+                },
+            ),
+        );
+        assert_eq!(wf.len(), 12);
+        assert!(wf.commands()[3].to_string().contains("ned2"));
+    }
+
+    #[test]
+    fn replace_and_swap() {
+        let mut wf = sample();
+        let old = wf.replace(
+            0,
+            Command::new("doser", ActionKind::SetDoor { open: false }),
+        );
+        assert_eq!(old.to_string(), "doser.open_door");
+        assert_eq!(wf.commands()[0].to_string(), "doser.close_door");
+        wf.swap(0, 1);
+        assert_eq!(wf.commands()[1].to_string(), "doser.close_door");
+    }
+
+    #[test]
+    fn iteration_and_serde() {
+        let wf = sample();
+        let n = (&wf).into_iter().count();
+        assert_eq!(n, wf.len());
+        let json = serde_json::to_string(&wf).unwrap();
+        let back: Workflow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, wf);
+        let owned: Vec<Command> = wf.clone().into_iter().collect();
+        assert_eq!(owned.len(), 11);
+        assert_eq!(wf.renamed("demo2").name(), "demo2");
+    }
+
+    #[test]
+    fn transfer_and_liquid_builders() {
+        let wf = Workflow::new("t")
+            .dose_liquid("pump", 2.0, "vial")
+            .transfer("vial", "vial2", Substance::Liquid, 1.0)
+            .cap("vial")
+            .move_inside("viperx", "doser")
+            .move_out("viperx")
+            .go_to_sleep("viperx")
+            .move_to("viperx", Vec3::new(0.2, 0.0, 0.3));
+        assert_eq!(wf.len(), 7);
+        assert!(wf.commands()[1].to_string().contains("transfer"));
+    }
+}

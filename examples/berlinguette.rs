@@ -1,0 +1,58 @@
+//! RABIT generalized to the Berlinguette Lab (paper §V-B): a different
+//! arm, a decapper, a spray-coating station with ultrasonic nozzles, an
+//! XRF microscope — all categorized into the same four device types and
+//! guarded by the same rulebase plus one lab-specific rule.
+//!
+//! ```text
+//! cargo run --example berlinguette
+//! ```
+
+use rabit::production::berlinguette::{film_coating_workflow, BerlinguetteLab};
+use rabit::tracer::{Tracer, Workflow};
+
+fn main() {
+    // --- The thin-film coating workflow, guarded end to end. ---
+    let mut lab = BerlinguetteLab::new();
+    let mut rabit = lab.rabit_with_simulator(false);
+    let wf = film_coating_workflow();
+    println!("film-coating workflow: {} device commands", wf.len());
+    let report = Tracer::guarded(&mut lab.lab, &mut rabit).run(&wf);
+    assert!(report.completed(), "alert: {:?}", report.alert);
+    let vial = lab.lab.device(&"vial_b".into()).unwrap().as_vial().unwrap();
+    println!(
+        "completed: {:.1} mg precursor + {:.1} mL solvent processed, {} damage events\n",
+        vial.solid_mg(),
+        vial.liquid_ml(),
+        lab.lab.damage_log().len()
+    );
+
+    // --- The transplanted Hein rule and the lab's own rule both bite. ---
+    let mut lab = BerlinguetteLab::new();
+    let mut rabit = lab.rabit();
+    let cold_liquid = Workflow::new("cold_liquid").dose_liquid("spray_pump", 2.0, "vial_b");
+    let alert = Tracer::guarded(&mut lab.lab, &mut rabit)
+        .run(&cold_liquid)
+        .alert
+        .unwrap();
+    println!("Hein convention transplanted: {alert}");
+
+    let mut lab = BerlinguetteLab::new();
+    let mut rabit = lab.rabit();
+    let cold_spray = Workflow::new("cold_spray").start_action("nozzle_a", 40.0);
+    let alert = Tracer::guarded(&mut lab.lab, &mut rabit)
+        .run(&cold_spray)
+        .alert
+        .unwrap();
+    println!("lab-specific rule:           {alert}");
+
+    // --- Sensors as a new device class. ---
+    let mut lab = BerlinguetteLab::new();
+    lab.set_person_present(true);
+    let mut rabit = lab.rabit();
+    let with_person = Workflow::new("person_on_deck").go_home("ur5e");
+    let alert = Tracer::guarded(&mut lab.lab, &mut rabit)
+        .run(&with_person)
+        .alert
+        .unwrap();
+    println!("sensor-backed safety:        {alert}");
+}

@@ -1,0 +1,65 @@
+//! Configuring RABIT from JSON, the way a lab researcher does (§II-C and
+//! the §V-A pilot study): load the template, validate it, build the
+//! catalog + custom rules, and run a guarded workflow — then watch the
+//! validator catch participant P's sign error.
+//!
+//! ```text
+//! cargo run --example configuration
+//! ```
+
+use rabit::config::{template, to_catalog, validate, IssueLevel, LabConfig};
+use rabit::core::{Rabit, RabitConfig};
+use rabit::rulebase::Rulebase;
+use rabit::testbed::{workflows, Testbed};
+use rabit::tracer::Tracer;
+
+fn main() {
+    // 1. Load and validate the JSON configuration.
+    let json = template::testbed_template_json();
+    let config = LabConfig::from_json(&json).expect("template parses");
+    let issues = validate(&config);
+    println!(
+        "configuration '{}': {} devices, {} findings",
+        config.lab_name,
+        config.devices.len(),
+        issues.len()
+    );
+    for issue in &issues {
+        println!("  {issue}");
+    }
+    assert!(issues.iter().all(|i| i.level != IssueLevel::Error));
+
+    // 2. Build the catalog and custom rules from JSON, then a RABIT
+    //    engine over them.
+    let (catalog, custom_rules) = to_catalog(&config).expect("valid configuration");
+    let mut rulebase = Rulebase::standard();
+    rulebase.extend(custom_rules);
+    let mut rabit = Rabit::new(rulebase, catalog, RabitConfig::default());
+
+    // 3. Drive the physical testbed with the JSON-configured engine.
+    let mut tb = Testbed::new();
+    let wf = workflows::fig5_safe_workflow(&tb.locations);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    println!(
+        "\nFig. 5 workflow under the JSON-configured RABIT: {} commands, alert: {:?}",
+        report.executed, report.alert
+    );
+    assert!(report.completed());
+
+    // 4. Participant P's sign error: caught before it costs four hours.
+    let corrupted = json.replace(
+        "\"home_location\": [0.30, 0.0, 0.30]",
+        "\"home_location\": [0.30, 0.0, -0.30]",
+    );
+    let broken = LabConfig::from_json(&corrupted).expect("still syntactically valid");
+    let errors: Vec<String> = validate(&broken)
+        .into_iter()
+        .filter(|i| i.level == IssueLevel::Error)
+        .map(|i| i.to_string())
+        .collect();
+    println!("\nP's sign error, as the validator sees it:");
+    for e in &errors {
+        println!("  {e}");
+    }
+    assert!(!errors.is_empty());
+}

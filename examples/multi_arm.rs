@@ -1,0 +1,114 @@
+//! Two robot arms in one workspace: the Bug-B collision, and how RABIT's
+//! time- and space-multiplexing extensions prevent it (§IV, category 2).
+//!
+//! ```text
+//! cargo run --example multi_arm
+//! ```
+
+use rabit::devices::{ActionKind, Command};
+use rabit::rulebase::extensions;
+use rabit::testbed::{RabitStage, Testbed};
+use rabit::tracer::{Tracer, Workflow};
+
+/// ViperX stationed above the grid; Ned2 sent to a "random" location
+/// right next to it (Fig. 5, Bug B).
+fn bug_b_workflow(tb: &Testbed) -> Workflow {
+    let grid = tb.locations.grid_nw_viperx;
+    Workflow::new("bug_b")
+        .go_home("viperx")
+        .move_to("viperx", grid.pickup_safe_height)
+        .then(Command::new(
+            "ned2",
+            ActionKind::MoveToLocation {
+                target: tb.locations.random_location_ned2,
+            },
+        ))
+}
+
+fn main() {
+    // --- Without multiplexing: the arms collide. ---
+    let mut tb = Testbed::new();
+    let wf = bug_b_workflow(&tb);
+    let mut rabit = tb.rabit(RabitStage::Baseline);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    println!(
+        "baseline RABIT: alert = {:?}",
+        report.alert.as_ref().map(ToString::to_string)
+    );
+    for d in tb.lab.damage_log() {
+        println!("  physical outcome: {d}");
+    }
+    assert!(!tb.lab.damage_log().is_empty(), "Bug B collides the arms");
+
+    // --- Time multiplexing: Ned2 may not move while ViperX is awake. ---
+    let mut tb = Testbed::new();
+    let wf = bug_b_workflow(&tb);
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    println!(
+        "\ntime multiplexing: alert = {}",
+        report
+            .alert
+            .as_ref()
+            .map(ToString::to_string)
+            .unwrap_or_default()
+    );
+    assert!(
+        tb.lab.damage_log().is_empty(),
+        "no collision under time multiplexing"
+    );
+
+    // --- Space multiplexing: each arm owns one side of a software wall,
+    //     so both may move concurrently — but Ned2's stray target crosses
+    //     the wall and is blocked. ---
+    let mut tb = Testbed::new();
+    let wf = bug_b_workflow(&tb);
+    let mut rabit = tb.rabit(RabitStage::Baseline);
+    rabit
+        .rulebase_mut()
+        .push(extensions::space_multiplexing_rule());
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    println!(
+        "\nspace multiplexing: alert = {}",
+        report
+            .alert
+            .as_ref()
+            .map(ToString::to_string)
+            .unwrap_or_default()
+    );
+    assert!(
+        tb.lab.damage_log().is_empty(),
+        "no collision under space multiplexing"
+    );
+
+    // And under the software wall, both arms genuinely run CONCURRENTLY:
+    // the deterministic scheduler interleaves their command streams and
+    // the makespan is the slower side, not the sum.
+    use rabit::geometry::Vec3;
+    use rabit::tracer::run_concurrent;
+    let mut tb = Testbed::new();
+    let viperx_stream = Workflow::new("viperx_side")
+        .move_to("viperx", Vec3::new(0.3, 0.1, 0.4))
+        .move_to("viperx", Vec3::new(0.2, -0.1, 0.35))
+        .go_home("viperx");
+    let ned2_stream = Workflow::new("ned2_side")
+        .move_to("ned2", Vec3::new(1.1, 0.1, 0.3))
+        .go_home("ned2");
+    let mut rabit_engine = tb.rabit(RabitStage::Baseline);
+    rabit_engine
+        .rulebase_mut()
+        .push(extensions::space_multiplexing_rule());
+    let report = run_concurrent(
+        &mut tb.lab,
+        &mut rabit_engine,
+        &[viperx_stream, ned2_stream],
+    );
+    assert!(report.completed());
+    println!(
+        "\nconcurrent work under the wall: makespan {:.1} s vs {:.1} s serialised \
+         ({:.0}% saved), zero alerts, zero damage.",
+        report.makespan_s,
+        report.serialized_s,
+        report.concurrency_gain() * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: wire RABIT between an experiment script and a small lab.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a two-device lab (a robot arm and a dosing device with a glass
+//! door), guards it with the standard rulebase, runs a safe workflow, and
+//! then shows RABIT stopping the classic unsafe command — entering the
+//! dosing device while its door is closed — before anything breaks.
+
+use rabit::core::{Lab, Rabit, RabitConfig};
+use rabit::devices::{DeviceType, DosingDevice, RobotArm, Vial};
+use rabit::geometry::{Aabb, Vec3};
+use rabit::rulebase::{DeviceCatalog, DeviceMeta, Rulebase};
+use rabit::tracer::{Tracer, Workflow};
+
+fn build_lab() -> Lab {
+    Lab::new()
+        .with_device(RobotArm::new(
+            "arm",
+            Vec3::new(0.3, 0.0, 0.3),  // home
+            Vec3::new(0.1, -0.3, 0.2), // sleep
+        ))
+        .with_device(DosingDevice::new(
+            "doser",
+            Aabb::new(Vec3::new(0.1, 0.35, 0.0), Vec3::new(0.25, 0.55, 0.3)),
+        ))
+        .with_device(Vial::new("vial", Vec3::new(0.5, 0.0, 0.15)))
+}
+
+fn build_rabit() -> Rabit {
+    // In a real deployment the catalog comes from the JSON configuration
+    // (see the `configuration` example); here we build it inline.
+    let catalog = DeviceCatalog::new()
+        .with(
+            DeviceMeta::new("arm", DeviceType::RobotArm)
+                .with_arm_positions(Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, -0.3, 0.2)),
+        )
+        .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+        .with(DeviceMeta::new("vial", DeviceType::Container));
+    Rabit::new(Rulebase::standard(), catalog, RabitConfig::default())
+}
+
+fn main() {
+    // --- A safe workflow sails through. ---
+    let mut lab = build_lab();
+    let mut rabit = build_rabit();
+    let safe = Workflow::new("safe_demo")
+        .set_door("doser", true)
+        .move_inside("arm", "doser")
+        .move_out("arm")
+        .set_door("doser", false);
+    let report = Tracer::guarded(&mut lab, &mut rabit).run(&safe);
+    println!(
+        "safe workflow: {} commands executed, alert: {:?}",
+        report.executed, report.alert
+    );
+    assert!(report.completed());
+
+    // --- The footnote-1 bug: the programmer forgot open_door(). ---
+    let mut lab = build_lab();
+    let mut rabit = build_rabit();
+    let buggy = Workflow::new("forgot_open_door").move_inside("arm", "doser");
+    let report = Tracer::guarded(&mut lab, &mut rabit).run(&buggy);
+    let alert = report.alert.expect("RABIT must stop this");
+    println!("\nbuggy workflow stopped: {alert}");
+    assert!(lab.damage_log().is_empty(), "the glass door survived");
+    println!(
+        "damage log: {} events — the door did not break",
+        lab.damage_log().len()
+    );
+
+    // --- The same bug WITHOUT RABIT breaks the door. ---
+    let mut lab = build_lab();
+    let report = Tracer::pass_through(&mut lab).run(&buggy);
+    assert!(report.completed(), "nothing stops the unguarded run");
+    for event in lab.damage_log() {
+        println!("\nunguarded run: {event}");
+    }
+}

@@ -1,0 +1,75 @@
+//! From script text to a guarded run: parse a RATracer-style command
+//! script (with vendor-specific command spellings resolved through the
+//! alias table — the §V-C "multiple commands per action" challenge) and
+//! execute it under RABIT on the testbed.
+//!
+//! ```text
+//! cargo run --example scripted
+//! ```
+
+use rabit::testbed::{RabitStage, Testbed};
+use rabit::tracer::{parse_script, AliasTable, Tracer};
+
+const SCRIPT: &str = r#"
+# Testbed warm-up written against three different vendor APIs:
+# Interbotix spellings for ViperX, pyniryo spellings for Ned2, and the
+# lab's own wrappers for the dosing device.
+ned2.sleep()
+dosing_device.set_door_open()
+vial.decap()
+viperx.home()
+viperx.move_to_location(0.537, 0.018, 0.23)
+viperx.move_to_location(0.537, 0.018, 0.18)
+viperx.pick_up_object(vial)
+viperx.move_to_location(0.537, 0.018, 0.23)
+viperx.place_object(vial)
+viperx.home()
+dosing_device.set_door_closed()
+viperx.sleep()
+
+# Ned2 takes over once ViperX is parked (time multiplexing).
+ned2.home()
+ned2.move_pose(0.537, 0.018, 0.23)
+ned2.home()
+ned2.sleep()
+"#;
+
+fn main() {
+    let aliases = AliasTable::standard();
+    let workflow = parse_script("scripted_demo", SCRIPT, &aliases)
+        .unwrap_or_else(|e| panic!("script error: {e}"));
+    println!(
+        "parsed {} commands from {} script lines\n",
+        workflow.len(),
+        SCRIPT.lines().count()
+    );
+
+    let mut tb = Testbed::new();
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&workflow);
+    for event in &report.trace.events {
+        println!("{event}");
+    }
+    assert!(report.completed(), "alert: {:?}", report.alert);
+    println!(
+        "\ncompleted in {:.0} s of lab time; no alerts, no damage.",
+        report.lab_time_s
+    );
+
+    // The same script with one corrupted coordinate is stopped cold: the
+    // pickup height mistyped as 0.03 would drive the gripper into the
+    // platform (the Bug-D/Fig.-6 mistake class).
+    let buggy = SCRIPT.replace(
+        "viperx.move_to_location(0.537, 0.018, 0.18)",
+        "viperx.move_to_location(0.537, 0.018, 0.03)",
+    );
+    let workflow = parse_script("scripted_bug", &buggy, &aliases).unwrap();
+    let mut tb = Testbed::new();
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&workflow);
+    println!(
+        "\nwith the pickup height mistyped: {}",
+        report.alert.expect("RABIT must halt the buggy script")
+    );
+    assert!(tb.lab.damage_log().is_empty());
+}

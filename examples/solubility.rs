@@ -1,0 +1,62 @@
+//! The Fig. 1(b) automated solubility measurement on the production deck,
+//! guarded by RABIT.
+//!
+//! ```text
+//! cargo run --example solubility
+//! ```
+
+use rabit::production::{solubility, ProductionDeck};
+use rabit::tracer::Tracer;
+
+fn main() {
+    let params = solubility::SolubilityParams {
+        solid_mg: 5.0,
+        initial_solvent_ml: 2.0,
+        solvent_step_ml: 1.0,
+        temperature_c: 60.0,
+        iterations: 3,
+    };
+    let workflow = solubility::solubility_workflow(&params);
+    println!(
+        "automated solubility measurement: {} device commands\n",
+        workflow.len()
+    );
+
+    let mut deck = ProductionDeck::new();
+    let mut rabit = deck.rabit();
+    let report = Tracer::guarded(&mut deck.lab, &mut rabit).run(&workflow);
+
+    // Print the RATracer-style command log (first and last few lines).
+    let events = &report.trace.events;
+    for event in events.iter().take(12) {
+        println!("{event}");
+    }
+    println!(
+        "... ({} more commands) ...",
+        events.len().saturating_sub(16)
+    );
+    for event in events
+        .iter()
+        .rev()
+        .take(4)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
+        println!("{event}");
+    }
+
+    assert!(report.completed(), "alert: {:?}", report.alert);
+    let vial = deck.lab.device(&"vial".into()).unwrap().as_vial().unwrap();
+    println!(
+        "\ncompleted in {:.0} s of lab time (RABIT overhead {:.1} s).",
+        report.lab_time_s, report.rabit_overhead_s
+    );
+    println!(
+        "vial contents: {:.1} mg solid, {:.1} mL solvent, stopper {}",
+        vial.solid_mg(),
+        vial.liquid_ml(),
+        if vial.has_stopper() { "on" } else { "off" }
+    );
+    assert!(deck.lab.damage_log().is_empty());
+}

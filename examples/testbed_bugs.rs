@@ -1,0 +1,56 @@
+//! The Fig. 5 bugs (A-D) on the testbed, across RABIT's three
+//! configurations — the paper's uncontrolled-study storyline in one
+//! program.
+//!
+//! ```text
+//! cargo run --example testbed_bugs
+//! ```
+
+use rabit::buginject::{catalog, run_bug, RabitStage};
+
+fn main() {
+    let stages = [
+        (RabitStage::Baseline, "baseline"),
+        (RabitStage::Modified, "modified"),
+        (RabitStage::ModifiedWithSimulator, "with simulator"),
+    ];
+    let figure_bugs = [
+        (
+            "bug_a_door_not_reopened",
+            "Bug A — door not re-opened before retrieval",
+        ),
+        (
+            "bug_b_arm_collision",
+            "Bug B — Ned2 sent next to the stationed ViperX",
+        ),
+        ("bug_c_pick_omitted", "Bug C — pick_up call omitted"),
+        (
+            "held_vial_low",
+            "Bug D — pickup z lowered to 0.08 while holding",
+        ),
+        ("silent_skip_path", "footnote 2 — silently skipped waypoint"),
+    ];
+
+    for (id, title) in figure_bugs {
+        let bug = catalog()
+            .into_iter()
+            .find(|b| b.id == id)
+            .expect("catalogued bug");
+        println!("{title}");
+        println!("  {}", bug.description);
+        for (stage, label) in stages {
+            let outcome = run_bug(&bug, stage);
+            let verdict = if outcome.detected {
+                "DETECTED — experiment halted before the unsafe command".to_string()
+            } else if outcome.device_fault {
+                format!("device fault — {}", outcome.alert.as_deref().unwrap_or(""))
+            } else if outcome.damage.is_empty() {
+                "missed (no physical damage this run)".to_string()
+            } else {
+                format!("MISSED — {}", outcome.damage[0])
+            };
+            println!("  [{label:>14}] {verdict}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,156 @@
+//! The three-stage deployment framework in action (paper Table I and
+//! §III): a researcher drafts a new workflow, debugs it against the
+//! Extended Simulator (fast, nothing can break), shakes out the remaining
+//! bugs on the low-fidelity testbed (slow, cardboard breaks), and only
+//! then promotes it to production speeds.
+//!
+//! ```text
+//! cargo run --example three_stage
+//! ```
+
+use rabit::devices::{ActionKind, Command, LatencyModel};
+use rabit::geometry::Vec3;
+use rabit::testbed::{RabitStage, Testbed};
+use rabit::tracer::{TraceReport, Tracer, Workflow};
+
+/// Draft 1: the researcher mistyped the dosing approach — the waypoint
+/// lands inside the dosing device's volume.
+fn draft_v1(tb: &Testbed) -> Workflow {
+    let grid = tb.locations.grid_nw_viperx;
+    Workflow::new("coating_draft_v1")
+        .go_to_sleep("ned2")
+        .go_home("viperx")
+        .move_to("viperx", grid.pickup_safe_height)
+        .pick_up("viperx", "vial", grid.pickup)
+        .move_to("viperx", grid.pickup_safe_height)
+        .move_to("viperx", Vec3::new(0.15, 0.50, 0.15)) // typo: inside the doser
+        .go_home("viperx")
+}
+
+/// Draft 2: waypoint fixed, but the researcher forgot to park ViperX
+/// before moving Ned2 — the two-arm conflict the testbed exists to catch.
+fn draft_v2(tb: &Testbed) -> Workflow {
+    let grid = tb.locations.grid_nw_viperx;
+    Workflow::new("coating_draft_v2")
+        .go_to_sleep("ned2")
+        .go_home("viperx")
+        .move_to("viperx", grid.pickup_safe_height)
+        .pick_up("viperx", "vial", grid.pickup)
+        .move_to("viperx", grid.pickup_safe_height)
+        .place_at("viperx", "vial", grid.pickup)
+        .move_to("viperx", grid.pickup_safe_height)
+        // Forgot: .go_to_sleep("viperx")
+        .move_to("ned2", tb.locations.random_location_ned2)
+        .go_home("ned2")
+}
+
+/// Draft 3: both fixes applied — ready for promotion.
+fn draft_v3(tb: &Testbed) -> Workflow {
+    let grid = tb.locations.grid_nw_viperx;
+    Workflow::new("coating_v3")
+        .go_to_sleep("ned2")
+        .go_home("viperx")
+        .move_to("viperx", grid.pickup_safe_height)
+        .pick_up("viperx", "vial", grid.pickup)
+        .move_to("viperx", grid.pickup_safe_height)
+        .place_at("viperx", "vial", grid.pickup)
+        .move_to("viperx", grid.pickup_safe_height)
+        .go_home("viperx")
+        .go_to_sleep("viperx")
+        .move_to("ned2", Vec3::new(0.95, 0.2, 0.3))
+        .go_home("ned2")
+        .go_to_sleep("ned2")
+}
+
+fn show(stage: &str, report: &TraceReport, damage: usize) {
+    match &report.alert {
+        Some(alert) => println!(
+            "  [{stage}] STOPPED after {} commands: {alert}",
+            report.executed
+        ),
+        None => println!(
+            "  [{stage}] completed: {} commands in {:.0} s of lab time, {damage} damage event(s)",
+            report.executed, report.lab_time_s
+        ),
+    }
+}
+
+fn main() {
+    // ---- Stage 1: the Extended Simulator. Everything virtual, nothing
+    //      breaks, iterations are near-instant. ----
+    println!("stage 1 — Extended Simulator (virtual, fast, safe):");
+    let mut tb = Testbed::with_latency(LatencyModel::SIMULATED);
+    let wf = draft_v1(&tb);
+    let mut rabit = tb.rabit(RabitStage::ModifiedWithSimulator);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    show("simulator", &report, tb.lab.damage_log().len());
+    assert!(
+        report.alert.is_some(),
+        "the typo must be caught in simulation"
+    );
+
+    let mut tb = Testbed::with_latency(LatencyModel::SIMULATED);
+    let wf = draft_v2(&tb);
+    let mut rabit = tb.rabit(RabitStage::ModifiedWithSimulator);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    show("simulator", &report, tb.lab.damage_log().len());
+
+    // ---- Stage 2: the physical testbed. Cardboard mockups, toy arms —
+    //      intentionally unsafe runs are affordable here, including with
+    //      RABIT switched off to verify the bug is real. ----
+    println!("\nstage 2 — low-fidelity testbed (cardboard, cheap to break):");
+    let mut tb = Testbed::new();
+    let wf = draft_v2(&tb);
+    let unguarded = Tracer::pass_through(&mut tb.lab).run(&wf);
+    show("testbed, RABIT off", &unguarded, tb.lab.damage_log().len());
+    assert!(
+        !tb.lab.damage_log().is_empty(),
+        "v2 really collides the arms when unguarded"
+    );
+
+    let mut tb = Testbed::new();
+    let wf = draft_v2(&tb);
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    show("testbed, RABIT on", &report, tb.lab.damage_log().len());
+    assert!(report.alert.is_some() && tb.lab.damage_log().is_empty());
+
+    let mut tb = Testbed::new();
+    let wf = draft_v3(&tb);
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    show("testbed, RABIT on", &report, tb.lab.damage_log().len());
+    assert!(report.completed(), "v3 is clean");
+
+    // ---- Stage 3: production speeds, full guard stack. ----
+    println!("\nstage 3 — production (slow, expensive, guarded):");
+    let mut tb = Testbed::with_latency(LatencyModel::PRODUCTION);
+    let wf = draft_v3(&tb);
+    let mut rabit = tb.rabit(RabitStage::ModifiedWithSimulator);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    show("production", &report, tb.lab.damage_log().len());
+    assert!(report.completed());
+    println!(
+        "\npromoted: two bugs caught across stages 1-2, zero damage anywhere, \
+         v3 deployed with {:.1} s of RABIT overhead.",
+        report.rabit_overhead_s
+    );
+
+    // One command per stage cost comparison (the Table I story).
+    let example = |latency: LatencyModel| -> f64 {
+        let mut tb = Testbed::with_latency(latency);
+        let wf = Workflow::new("one_move").then(Command::new(
+            "viperx",
+            ActionKind::MoveToLocation {
+                target: Vec3::new(0.4, 0.1, 0.3),
+            },
+        ));
+        Tracer::pass_through(&mut tb.lab).run(&wf).lab_time_s
+    };
+    println!(
+        "\none arm move costs {:.2} s simulated, {:.2} s on the testbed, {:.2} s in production.",
+        example(LatencyModel::SIMULATED),
+        example(LatencyModel::TESTBED),
+        example(LatencyModel::PRODUCTION)
+    );
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration: JSON configuration → rulebase + catalog →
+//! guarded execution on the physical testbed → detection and damage
+//! outcomes, across all crates through the facade.
+
+use rabit::buginject::{catalog as bug_catalog, run_bug, RabitStage};
+use rabit::config::{template, to_catalog};
+use rabit::core::{Rabit, RabitConfig};
+use rabit::rulebase::{extensions, Rulebase};
+use rabit::testbed::{workflows, Testbed};
+use rabit::tracer::{TraceOutcome, Tracer};
+
+/// A RABIT configured entirely from the JSON template drives the testbed
+/// exactly like the hand-built one.
+#[test]
+fn json_configured_rabit_matches_hand_built() {
+    let (catalog, custom_rules) = to_catalog(&template::testbed_template()).unwrap();
+    let mut rulebase = Rulebase::standard();
+    rulebase.extend(custom_rules);
+    rulebase.push(extensions::held_object_clearance_rule());
+    rulebase.push(extensions::time_multiplexing_rule());
+    rulebase.push(extensions::sleep_volume_rule());
+    let mut json_rabit = Rabit::new(rulebase, catalog, RabitConfig::default());
+
+    // Safe workflow: completes.
+    let mut tb = Testbed::new();
+    let wf = workflows::fig5_safe_workflow(&tb.locations);
+    let report = Tracer::guarded(&mut tb.lab, &mut json_rabit).run(&wf);
+    assert!(report.completed(), "{:?}", report.alert);
+
+    // Every catalogued bug gets the same verdict as under the hand-built
+    // Modified configuration.
+    for bug in bug_catalog() {
+        let expected = run_bug(&bug, RabitStage::Modified).detected;
+        let mut tb = Testbed::new();
+        let (catalog, custom_rules) = to_catalog(&template::testbed_template()).unwrap();
+        let mut rulebase = Rulebase::standard();
+        rulebase.extend(custom_rules);
+        rulebase.push(extensions::held_object_clearance_rule());
+        rulebase.push(extensions::time_multiplexing_rule());
+        rulebase.push(extensions::sleep_volume_rule());
+        let mut rabit = Rabit::new(rulebase, catalog, RabitConfig::default());
+        let wf = bug.buggy_workflow(&tb.locations);
+        let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+        let detected = report
+            .alert
+            .as_ref()
+            .is_some_and(|a| a.is_rabit_detection());
+        assert_eq!(
+            detected, expected,
+            "{}: JSON vs hand-built disagree",
+            bug.id
+        );
+    }
+}
+
+/// A blocked command never executes: the trace ends with a Blocked event
+/// and the device state is untouched by it.
+#[test]
+fn blocked_commands_never_execute() {
+    let bug = bug_catalog()
+        .into_iter()
+        .find(|b| b.id == "bug_a_door_not_reopened")
+        .unwrap();
+    let mut tb = Testbed::new();
+    let wf = bug.buggy_workflow(&tb.locations);
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    let last = report.trace.events.last().unwrap();
+    assert!(matches!(last.outcome, TraceOutcome::Blocked { .. }));
+    assert!(!last.outcome.executed());
+    assert!(tb.lab.damage_log().is_empty());
+    // The trace stops at the alert: nothing after it ran.
+    assert_eq!(report.trace.len(), report.executed + 1);
+}
+
+/// Guarded runs are fully deterministic.
+#[test]
+fn engine_is_deterministic() {
+    let run = || {
+        let mut tb = Testbed::new();
+        let wf = workflows::fig5_safe_workflow(&tb.locations);
+        let mut rabit = tb.rabit(RabitStage::ModifiedWithSimulator);
+        let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+        (
+            report.executed,
+            report.lab_time_s,
+            report.rabit_overhead_s,
+            report.trace.to_jsonl().unwrap(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+/// RABIT never increases physical damage: for every catalogued bug, the
+/// guarded run's damage is at most the unguarded run's.
+#[test]
+fn rabit_never_makes_things_worse() {
+    for bug in bug_catalog() {
+        let mut guarded_tb = Testbed::new();
+        let wf = bug.buggy_workflow(&guarded_tb.locations);
+        let mut rabit = guarded_tb.rabit(RabitStage::ModifiedWithSimulator);
+        let _ = Tracer::guarded(&mut guarded_tb.lab, &mut rabit).run(&wf);
+
+        let mut unguarded_tb = Testbed::new();
+        let wf = bug.buggy_workflow(&unguarded_tb.locations);
+        let _ = Tracer::pass_through(&mut unguarded_tb.lab).run(&wf);
+
+        assert!(
+            guarded_tb.lab.damage_log().len() <= unguarded_tb.lab.damage_log().len(),
+            "{}: guarded {} vs unguarded {}",
+            bug.id,
+            guarded_tb.lab.damage_log().len(),
+            unguarded_tb.lab.damage_log().len()
+        );
+    }
+}
+
+/// Mined RAD rules are enforceable by the live engine: a miner-built
+/// rulebase blocks the door bug.
+#[test]
+fn mined_rules_guard_the_lab() {
+    use rabit::rad::{generate_corpus, mine, MineParams, RadGenParams};
+
+    let corpus = generate_corpus(&RadGenParams::default());
+    let mined = mine(&corpus, &MineParams::default());
+    let mut rulebase = Rulebase::new();
+    rulebase.extend(mined.iter().map(|m| m.to_rule()));
+    assert!(!rulebase.is_empty());
+
+    let mut tb = Testbed::new();
+    let mut rabit = Rabit::new(rulebase, tb.catalog.clone(), RabitConfig::default());
+    // The Bug-A workflow: enter the doser through a closed door. The
+    // mined door rule alone must block it.
+    let bug = bug_catalog()
+        .into_iter()
+        .find(|b| b.id == "bug_a_door_not_reopened")
+        .unwrap();
+    let wf = bug.buggy_workflow(&tb.locations);
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    let alert = report.alert.expect("mined rulebase must detect Bug A");
+    assert!(alert.to_string().contains("mined"), "{alert}");
+}

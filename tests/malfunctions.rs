@@ -1,0 +1,137 @@
+//! Failure injection: device malfunctions under a running workflow.
+//!
+//! The Fig. 2 algorithm's post-execution check (`S_actual ≠ S_expected` →
+//! "Device malfunction!") exists precisely for hardware that accepts a
+//! command and then fails to act. This suite injects each malfunction
+//! class into each device mid-workflow and checks which ones RABIT's
+//! state comparison catches — and that the blind spots are exactly the
+//! unsensed variables.
+
+use rabit::buginject::RabitStage;
+use rabit::core::{Alert, LabDevice};
+use rabit::devices::{Device, Malfunction};
+use rabit::testbed::{workflows, Testbed};
+use rabit::tracer::Tracer;
+
+fn inject(tb: &mut Testbed, device: &str, malfunction: Malfunction) {
+    let id = device.into();
+    match tb.lab.device_mut(&id).expect("device exists") {
+        LabDevice::Dosing(d) => d.inject_malfunction(Some(malfunction)),
+        LabDevice::Arm(a) => a.inject_malfunction(Some(malfunction)),
+        LabDevice::Vial(v) => v.inject_malfunction(Some(malfunction)),
+        LabDevice::Hotplate(h) => h.inject_malfunction(Some(malfunction)),
+        LabDevice::Centrifuge(c) => c.inject_malfunction(Some(malfunction)),
+        LabDevice::Thermoshaker(t) => t.inject_malfunction(Some(malfunction)),
+        LabDevice::Pump(p) => p.inject_malfunction(Some(malfunction)),
+        LabDevice::Grid(_) | LabDevice::Custom(_) => panic!("uninjectable device {device}"),
+    }
+}
+
+fn run_with(tb: &mut Testbed) -> Option<Alert> {
+    let wf = workflows::fig5_safe_workflow(&tb.locations);
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf).alert
+}
+
+/// A stuck dosing-device door is caught at the first door command: the
+/// door actuator is sensed, so `S_actual ≠ S_expected`.
+#[test]
+fn stuck_door_is_a_detected_malfunction() {
+    let mut tb = Testbed::new();
+    inject(&mut tb, "dosing_device", Malfunction::SilentNoop);
+    let alert = run_with(&mut tb).expect("stuck door must alarm");
+    match &alert {
+        Alert::DeviceMalfunction { diffs, .. } => {
+            assert!(diffs.iter().any(|d| d.device.as_str() == "dosing_device"));
+        }
+        other => panic!("expected malfunction alert, got {other}"),
+    }
+}
+
+/// A gripper that drops everything it grasps: the arm controller notices
+/// (its holding state is command-level sensed), so the pick mismatches.
+#[test]
+fn dropping_gripper_is_a_detected_malfunction() {
+    let mut tb = Testbed::new();
+    inject(&mut tb, "viperx", Malfunction::DropsObject);
+    let alert = run_with(&mut tb).expect("failed grasp must alarm");
+    match &alert {
+        Alert::DeviceMalfunction { command, diffs } => {
+            assert!(command.to_string().contains("pick_object"));
+            assert!(diffs.iter().any(|d| d.key.to_string() == "robotArmHolding"));
+        }
+        other => panic!("expected malfunction alert, got {other}"),
+    }
+}
+
+/// A silently dead vial actuator (cap/decap does nothing) is a blind
+/// spot: the stopper has no sensor, so RABIT cannot notice — but the
+/// run's damage profile must not get worse than the healthy run's.
+#[test]
+fn dead_stopper_actuator_is_an_undetectable_blind_spot() {
+    let mut tb = Testbed::new();
+    inject(&mut tb, "vial", Malfunction::SilentNoop);
+    let alert = run_with(&mut tb);
+    assert!(
+        alert.is_none(),
+        "no sensor can report the stopper; got {alert:?}"
+    );
+    assert!(tb.lab.damage_log().is_empty());
+}
+
+/// A drifting temperature sensor beyond the tolerance trips the
+/// malfunction check as soon as the hotplate is commanded.
+#[test]
+fn sensor_drift_is_caught_when_the_device_runs() {
+    use rabit::devices::{ActionKind, Command, DeviceId, StateKey};
+    use rabit::tracer::Workflow;
+
+    let mut tb = Testbed::new();
+    inject(&mut tb, "hotplate", Malfunction::SensorOffset(7.5));
+    let mut rabit = tb.rabit(RabitStage::Modified);
+    // Seed beliefs so rules 5/6 pass and the start command is otherwise
+    // legal.
+    rabit.initialize(&mut tb.lab);
+    rabit.believe(
+        &DeviceId::new("hotplate"),
+        StateKey::ContainedObject,
+        Some(DeviceId::new("vial")),
+    );
+    rabit.believe(&DeviceId::new("vial"), StateKey::SolidMg, 5.0);
+    let wf = Workflow::new("heat").then(Command::new(
+        "hotplate",
+        ActionKind::StartAction { value: 60.0 },
+    ));
+    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+    match report.alert.expect("7.5° of drift must alarm") {
+        Alert::DeviceMalfunction { diffs, .. } => {
+            assert!(diffs.iter().any(|d| d.key.to_string() == "actionValue"));
+        }
+        other => panic!("expected malfunction alert, got {other}"),
+    }
+}
+
+/// Every injectable stage-device malfunction leaves the guarded run's
+/// damage at most the healthy unguarded run's damage (RABIT plus a broken
+/// device is never worse than no RABIT).
+#[test]
+fn malfunctions_never_create_damage_under_guard() {
+    for (device, malfunction) in [
+        ("dosing_device", Malfunction::SilentNoop),
+        ("viperx", Malfunction::DropsObject),
+        ("viperx", Malfunction::SilentNoop),
+        ("ned2", Malfunction::DropsObject),
+        ("vial", Malfunction::SilentNoop),
+        ("hotplate", Malfunction::SensorOffset(3.0)),
+        ("syringe_pump", Malfunction::SilentNoop),
+    ] {
+        let mut tb = Testbed::new();
+        inject(&mut tb, device, malfunction);
+        let _ = run_with(&mut tb);
+        assert!(
+            tb.lab.damage_log().is_empty(),
+            "{device} with {malfunction:?} damaged the lab under guard: {:?}",
+            tb.lab.damage_log()
+        );
+    }
+}

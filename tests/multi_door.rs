@@ -1,0 +1,144 @@
+//! The §V-C multi-door open challenge, end to end: a two-door chamber
+//! served by both testbed arms concurrently, with per-arm door rules
+//! wired into a live engine over a physical lab.
+
+use rabit::core::{Lab, LabDevice, Rabit, RabitConfig};
+use rabit::devices::multidoor::{close_door_command, door_key, open_door_command, MultiDoorDevice};
+use rabit::devices::{ActionKind, Command, DeviceId, DeviceType, RobotArm};
+use rabit::geometry::{Aabb, Vec3};
+use rabit::rulebase::extensions::multi_door::multi_door_rules;
+use rabit::rulebase::{DeviceCatalog, DeviceMeta, Rulebase};
+use rabit::tracer::{Tracer, Workflow};
+
+fn glovebox_lab() -> Lab {
+    let mut lab = Lab::new()
+        .with_device(RobotArm::new(
+            "viperx",
+            Vec3::new(0.3, 0.0, 0.3),
+            Vec3::new(0.1, -0.3, 0.2),
+        ))
+        .with_device(RobotArm::new(
+            "ned2",
+            Vec3::new(0.9, 0.0, 0.3),
+            Vec3::new(1.1, -0.3, 0.2),
+        ));
+    lab.add_device(LabDevice::Custom(Box::new(MultiDoorDevice::new(
+        "glovebox",
+        Aabb::new(Vec3::new(0.45, 0.3, 0.0), Vec3::new(0.75, 0.6, 0.4)),
+        ["west", "east"],
+    ))));
+    lab
+}
+
+fn glovebox_rabit() -> Rabit {
+    let catalog = DeviceCatalog::new()
+        .with(
+            DeviceMeta::new("viperx", DeviceType::RobotArm)
+                .with_arm_positions(Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, -0.3, 0.2)),
+        )
+        .with(
+            DeviceMeta::new("ned2", DeviceType::RobotArm)
+                .with_arm_positions(Vec3::new(0.9, 0.0, 0.3), Vec3::new(1.1, -0.3, 0.2)),
+        )
+        .with(DeviceMeta::new(
+            "glovebox",
+            DeviceType::Custom("multi_door_chamber".to_string()),
+        ));
+    let mut rulebase = Rulebase::standard();
+    rulebase.extend(multi_door_rules(
+        "glovebox".into(),
+        &[
+            (DeviceId::new("viperx"), "west".to_string()),
+            (DeviceId::new("ned2"), "east".to_string()),
+        ],
+    ));
+    Rabit::new(rulebase, catalog, RabitConfig::default())
+}
+
+fn enter(arm: &str) -> Command {
+    Command::new(
+        arm,
+        ActionKind::MoveInsideDevice {
+            device: "glovebox".into(),
+        },
+    )
+}
+
+fn exit(arm: &str) -> Command {
+    Command::new(arm, ActionKind::MoveOutOfDevice)
+}
+
+/// Both arms work the chamber at the same time, each through its own
+/// door — exactly what the paper says single-door RABIT cannot express.
+#[test]
+fn two_arms_share_the_chamber_through_their_own_doors() {
+    let mut lab = glovebox_lab();
+    let mut rabit = glovebox_rabit();
+    let wf = Workflow::new("shared_chamber")
+        .then(open_door_command("glovebox", "west"))
+        .then(open_door_command("glovebox", "east"))
+        .then(enter("viperx"))
+        .then(enter("ned2")) // concurrent occupancy
+        .then(exit("viperx"))
+        .then(close_door_command("glovebox", "west"))
+        .then(exit("ned2"))
+        .then(close_door_command("glovebox", "east"));
+    let report = Tracer::guarded(&mut lab, &mut rabit).run(&wf);
+    assert!(report.completed(), "alert: {:?}", report.alert);
+    assert_eq!(report.executed, 8);
+}
+
+/// Entering through one's own closed door is blocked even when the
+/// *other* door stands open.
+#[test]
+fn own_door_must_be_open() {
+    let mut lab = glovebox_lab();
+    let mut rabit = glovebox_rabit();
+    let wf = Workflow::new("wrong_door")
+        .then(open_door_command("glovebox", "east")) // only Ned2's door
+        .then(enter("viperx"));
+    let report = Tracer::guarded(&mut lab, &mut rabit).run(&wf);
+    let alert = report.alert.expect("ViperX's west door is closed");
+    assert!(alert.to_string().contains("'west'"), "{alert}");
+}
+
+/// Closing a door on the arm that entered through it is blocked; closing
+/// the other door is fine.
+#[test]
+fn doors_close_independently_around_occupants() {
+    let mut lab = glovebox_lab();
+    let mut rabit = glovebox_rabit();
+    let wf = Workflow::new("close_on_arm")
+        .then(open_door_command("glovebox", "west"))
+        .then(open_door_command("glovebox", "east"))
+        .then(enter("viperx"))
+        .then(close_door_command("glovebox", "east")) // fine: Ned2 is out
+        .then(close_door_command("glovebox", "west")); // traps ViperX
+    let report = Tracer::guarded(&mut lab, &mut rabit).run(&wf);
+    assert_eq!(report.executed, 4);
+    let alert = report.alert.expect("closing on the occupant must alert");
+    assert!(alert.to_string().contains("viperx is inside"), "{alert}");
+}
+
+/// The chamber's per-door state is tracked through the engine's believed
+/// state and matches the device's sensed reality.
+#[test]
+fn door_states_round_trip_through_the_engine() {
+    let mut lab = glovebox_lab();
+    let mut rabit = glovebox_rabit();
+    let wf = Workflow::new("door_states")
+        .then(open_door_command("glovebox", "west"))
+        .then(close_door_command("glovebox", "west"))
+        .then(open_door_command("glovebox", "east"));
+    let report = Tracer::guarded(&mut lab, &mut rabit).run(&wf);
+    assert!(report.completed(), "alert: {:?}", report.alert);
+    let gid = DeviceId::new("glovebox");
+    assert_eq!(
+        rabit.current_state().get_bool(&gid, &door_key("west")),
+        Some(false)
+    );
+    assert_eq!(
+        rabit.current_state().get_bool(&gid, &door_key("east")),
+        Some(true)
+    );
+}

@@ -1,0 +1,137 @@
+//! Cross-crate property-based tests: random naive-programmer mutations
+//! of the safe workflow must never violate RABIT's safety contract.
+
+use proptest::prelude::*;
+use rabit::buginject::RabitStage;
+use rabit::devices::{ActionKind, Command};
+use rabit::geometry::Vec3;
+use rabit::testbed::{workflows, Testbed};
+use rabit::tracer::{Tracer, Workflow};
+
+/// One random edit in the naive programmer's repertoire: delete a
+/// command, swap two commands, corrupt a coordinate, or insert a stray
+/// move.
+#[derive(Debug, Clone)]
+enum Edit {
+    Delete(usize),
+    Swap(usize, usize),
+    CorruptTarget {
+        index: usize,
+        target: Vec3,
+    },
+    InsertMove {
+        index: usize,
+        arm: bool,
+        target: Vec3,
+    },
+}
+
+fn coordinate() -> impl Strategy<Value = Vec3> {
+    (-0.6..1.4f64, -0.6..0.7f64, -0.1..0.9f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn edit(len: usize) -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0..len).prop_map(Edit::Delete),
+        (0..len, 0..len).prop_map(|(a, b)| Edit::Swap(a, b)),
+        (0..len, coordinate()).prop_map(|(index, target)| Edit::CorruptTarget { index, target }),
+        (0..=len, any::<bool>(), coordinate()).prop_map(|(index, arm, target)| Edit::InsertMove {
+            index,
+            arm,
+            target
+        }),
+    ]
+}
+
+fn apply(wf: &mut Workflow, edit: &Edit) {
+    match edit {
+        Edit::Delete(i) => {
+            let i = i % wf.len();
+            wf.delete(i);
+        }
+        Edit::Swap(a, b) => {
+            let (a, b) = (a % wf.len(), b % wf.len());
+            wf.swap(a, b);
+        }
+        Edit::CorruptTarget { index, target } => {
+            let i = index % wf.len();
+            let actor = wf.commands()[i].actor.clone();
+            wf.replace(
+                i,
+                Command::new(actor, ActionKind::MoveToLocation { target: *target }),
+            );
+        }
+        Edit::InsertMove { index, arm, target } => {
+            let i = index % (wf.len() + 1);
+            let actor = if *arm { "viperx" } else { "ned2" };
+            wf.insert(
+                i,
+                Command::new(actor, ActionKind::MoveToLocation { target: *target }),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Safety contract 1: whatever the naive programmer does, a guarded
+    /// run never does MORE physical damage than the unguarded run of the
+    /// same workflow, and a pre-execution alert leaves the lab unharmed
+    /// up to that point.
+    #[test]
+    fn guarded_damage_never_exceeds_unguarded(edits in prop::collection::vec(edit(30), 1..3)) {
+        let template = Testbed::new();
+        let mut wf = workflows::fig5_safe_workflow(&template.locations);
+        for e in &edits {
+            if wf.is_empty() { break; }
+            apply(&mut wf, e);
+        }
+        prop_assume!(!wf.is_empty());
+
+        let mut guarded = Testbed::new();
+        let mut rabit = guarded.rabit(RabitStage::Modified);
+        let greport = Tracer::guarded(&mut guarded.lab, &mut rabit).run(&wf);
+
+        let mut unguarded = Testbed::new();
+        let _ = Tracer::pass_through(&mut unguarded.lab).run(&wf);
+
+        prop_assert!(
+            guarded.lab.damage_log().len() <= unguarded.lab.damage_log().len(),
+            "edits {edits:?}: guarded {:?} vs unguarded {:?}",
+            guarded.lab.damage_log(),
+            unguarded.lab.damage_log()
+        );
+
+        // Contract 2: if the run was stopped by a precondition or
+        // trajectory alert, the stopping command itself did not execute.
+        if let Some(alert) = &greport.alert {
+            if matches!(alert, rabit::core::Alert::InvalidCommand { .. }
+                | rabit::core::Alert::InvalidTrajectory { .. })
+            {
+                prop_assert_eq!(greport.trace.len(), greport.executed + 1);
+            }
+        }
+    }
+
+    /// Safety contract 3: determinism under mutation — the same mutated
+    /// workflow produces the identical guarded outcome every time.
+    #[test]
+    fn mutated_runs_are_deterministic(edits in prop::collection::vec(edit(30), 1..3)) {
+        let template = Testbed::new();
+        let mut wf = workflows::fig5_safe_workflow(&template.locations);
+        for e in &edits {
+            if wf.is_empty() { break; }
+            apply(&mut wf, e);
+        }
+        prop_assume!(!wf.is_empty());
+
+        let run = || {
+            let mut tb = Testbed::new();
+            let mut rabit = tb.rabit(RabitStage::Modified);
+            let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+            (report.executed, report.alert.map(|a| a.to_string()), tb.lab.damage_log().len())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,113 @@
+//! Scale tests: RABIT under long workflows and crowded decks.
+
+use rabit::core::{Lab, Rabit, RabitConfig};
+use rabit::devices::{ActionKind, Command, DeviceType, Hotplate, RobotArm, Vial};
+use rabit::geometry::{Aabb, Vec3};
+use rabit::production::{solubility, ProductionDeck};
+use rabit::rulebase::{DeviceCatalog, DeviceMeta, Rulebase};
+use rabit::tracer::{Tracer, Workflow};
+
+/// A thousand-command campaign (many solubility runs back to back) runs
+/// guarded without alerts, and the believed state stays coherent
+/// throughout.
+#[test]
+fn thousand_command_campaign() {
+    let mut deck = ProductionDeck::new();
+    let mut rabit = deck.rabit();
+    let single = solubility::solubility_workflow(&solubility::SolubilityParams::default());
+    // Repeat the experiment over the same vial: decap → … → cap each run.
+    let mut campaign = Workflow::new("campaign");
+    let mut runs = 0;
+    while campaign.len() + single.len() < 1000 {
+        for command in single.commands() {
+            campaign.push(command.clone());
+        }
+        runs += 1;
+    }
+    assert!(
+        runs >= 10,
+        "campaign spans {runs} runs, {} commands",
+        campaign.len()
+    );
+
+    let report = Tracer::guarded(&mut deck.lab, &mut rabit).run(&campaign);
+    // The vial saturates with solid after the second run (the 10 mg
+    // capacity fills at run 2's dose of 5 mg), at which point rule III-8
+    // correctly stops the campaign — partial completion is the expected
+    // outcome. What must hold: no damage, and a rule (not physics) ended
+    // the run.
+    match &report.alert {
+        Some(alert) => {
+            assert!(alert.to_string().contains("general:8"), "{alert}");
+            assert!(report.executed > single.len(), "at least one full run");
+        }
+        None => panic!("the second dose must exceed the vial capacity"),
+    }
+    assert!(deck.lab.damage_log().is_empty());
+}
+
+/// A crowded deck: a hundred devices, every move checked against every
+/// footprint, correctness preserved at the edges of the crowd.
+#[test]
+fn hundred_device_deck() {
+    let mut lab = Lab::new().with_device(RobotArm::new(
+        "arm",
+        Vec3::new(0.0, 0.0, 0.5),
+        Vec3::new(0.0, -0.5, 0.4),
+    ));
+    let mut catalog = DeviceCatalog::new().with(
+        DeviceMeta::new("arm", DeviceType::RobotArm)
+            .with_arm_positions(Vec3::new(0.0, 0.0, 0.5), Vec3::new(0.0, -0.5, 0.4)),
+    );
+    // A 10×10 grid of hotplates, 30 cm apart.
+    for i in 0..100 {
+        let x = (i % 10) as f64 * 0.3 - 1.5;
+        let y = (i / 10) as f64 * 0.3 - 1.5;
+        let id = format!("hp_{i}");
+        lab.add_device(Hotplate::new(
+            id.clone(),
+            Aabb::new(Vec3::new(x, y, 0.0), Vec3::new(x + 0.2, y + 0.2, 0.1)),
+        ));
+        catalog.insert(DeviceMeta::new(id, DeviceType::ActionDevice).with_threshold(340.0));
+    }
+    lab.add_device(Vial::new("vial", Vec3::new(0.05, 0.05, 0.2)));
+    catalog.insert(DeviceMeta::new("vial", DeviceType::Container));
+
+    let mut rabit = Rabit::new(Rulebase::hein_lab(), catalog, RabitConfig::default());
+    rabit.initialize(&mut lab);
+
+    // Moving into the gap between devices: fine.
+    let gap = Command::new(
+        "arm",
+        ActionKind::MoveToLocation {
+            target: Vec3::new(-1.275, -1.275, 0.3),
+        },
+    );
+    assert!(rabit.step(&mut lab, &gap).is_ok());
+
+    // Moving into hotplate #57 (x: 0.6..0.8, y: 0.0..0.2): blocked, with
+    // the right device named.
+    let into_57 = Command::new(
+        "arm",
+        ActionKind::MoveToLocation {
+            target: Vec3::new(0.7, 0.1, 0.05),
+        },
+    );
+    let alert = rabit.step(&mut lab, &into_57).unwrap_err();
+    assert!(alert.to_string().contains("hp_57"), "{alert}");
+    assert!(lab.damage_log().is_empty());
+}
+
+/// State snapshots stay proportional to the deck: fetching a 100-device
+/// lab yields exactly one entry per device, every time.
+#[test]
+fn snapshots_scale_with_the_deck() {
+    let mut lab = Lab::new();
+    for i in 0..100 {
+        lab.add_device(Vial::new(format!("v{i}"), Vec3::new(0.0, 0.0, 0.1)));
+    }
+    for _ in 0..5 {
+        let state = lab.fetch_state();
+        assert_eq!(state.len(), 100);
+    }
+}

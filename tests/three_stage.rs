@@ -1,0 +1,80 @@
+//! The three-stage deployment framework end to end: the same workflow
+//! and the same bugs flow through simulator-guarded, testbed, and
+//! production environments.
+
+use rabit::buginject::{false_positives, run_study, RabitStage};
+use rabit::production::{solubility, ProductionDeck};
+use rabit::testbed::{workflows, Testbed};
+use rabit::tracer::Tracer;
+
+#[test]
+fn detection_progression_matches_the_paper() {
+    assert_eq!(run_study(RabitStage::Baseline).detected(), 8);
+    assert_eq!(run_study(RabitStage::Modified).detected(), 12);
+    assert_eq!(run_study(RabitStage::ModifiedWithSimulator).detected(), 13);
+}
+
+#[test]
+fn zero_false_positives_everywhere() {
+    for stage in [
+        RabitStage::Baseline,
+        RabitStage::Modified,
+        RabitStage::ModifiedWithSimulator,
+    ] {
+        assert_eq!(false_positives(stage), 0);
+    }
+    // Production too: the solubility workflow is alert-free with and
+    // without the simulator.
+    let wf = solubility::solubility_workflow(&solubility::SolubilityParams::default());
+    let mut deck = ProductionDeck::new();
+    let mut rabit = deck.rabit();
+    assert!(Tracer::guarded(&mut deck.lab, &mut rabit)
+        .run(&wf)
+        .completed());
+    let mut deck = ProductionDeck::new();
+    let mut rabit = deck.rabit_with_simulator(false);
+    assert!(Tracer::guarded(&mut deck.lab, &mut rabit)
+        .run(&wf)
+        .completed());
+}
+
+#[test]
+fn stage_speeds_are_ordered() {
+    use rabit::devices::LatencyModel;
+    let run = |latency: LatencyModel| {
+        let mut tb = Testbed::with_latency(latency);
+        let wf = workflows::fig5_safe_workflow(&tb.locations);
+        let report = Tracer::pass_through(&mut tb.lab).run(&wf);
+        assert!(report.completed());
+        report.lab_time_s
+    };
+    let sim = run(LatencyModel::SIMULATED);
+    let testbed = run(LatencyModel::TESTBED);
+    let production = run(LatencyModel::PRODUCTION);
+    assert!(sim < production);
+    assert!(
+        production <= testbed,
+        "educational arms are slower per move"
+    );
+}
+
+#[test]
+fn simulator_stage_catches_what_target_checking_cannot() {
+    // The silent-skip bug is invisible to target-only checking (stages 1
+    // and 2 of the study) and caught only when the Extended Simulator
+    // sweeps trajectories.
+    let study_plain = run_study(RabitStage::Modified);
+    let study_sim = run_study(RabitStage::ModifiedWithSimulator);
+    let plain = study_plain
+        .outcomes
+        .iter()
+        .find(|o| o.id == "silent_skip_path")
+        .unwrap();
+    let sim = study_sim
+        .outcomes
+        .iter()
+        .find(|o| o.id == "silent_skip_path")
+        .unwrap();
+    assert!(!plain.detected && !plain.damage.is_empty());
+    assert!(sim.detected && sim.damage.is_empty());
+}
