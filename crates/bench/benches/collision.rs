@@ -1,28 +1,27 @@
 //! Real compute cost of the geometric queries behind the Extended
 //! Simulator's trajectory polling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rabit_bench::timing::{bench, group};
 use rabit_geometry::{collide, Aabb, Capsule, Segment, Vec3};
 use rabit_kinematics::presets;
 use std::hint::black_box;
 
-fn bench_collision(c: &mut Criterion) {
+fn main() {
     let aabb = Aabb::new(Vec3::new(0.0, 0.3, 0.0), Vec3::new(0.2, 0.5, 0.3));
     let capsule = Capsule::new(Vec3::new(0.5, 0.0, 0.3), Vec3::new(0.4, 0.2, 0.2), 0.03);
     let seg_a = Segment::new(Vec3::ZERO, Vec3::new(1.0, 0.2, 0.1));
     let seg_b = Segment::new(Vec3::new(0.5, -0.5, 0.0), Vec3::new(0.5, 0.5, 0.3));
 
-    let mut group = c.benchmark_group("collide");
-    group.bench_function("capsule_aabb_distance", |b| {
-        b.iter(|| black_box(collide::capsule_aabb_distance(black_box(&capsule), &aabb)))
+    group("collide");
+    bench("capsule_aabb_distance", || {
+        collide::capsule_aabb_distance(black_box(&capsule), &aabb)
     });
-    group.bench_function("segment_segment_distance", |b| {
-        b.iter(|| black_box(seg_a.distance_to_segment(black_box(&seg_b))))
+    bench("segment_segment_distance", || {
+        seg_a.distance_to_segment(black_box(&seg_b))
     });
-    group.bench_function("aabb_contains_point", |b| {
-        b.iter(|| black_box(aabb.contains_point(black_box(Vec3::new(0.1, 0.4, 0.1)))))
+    bench("aabb_contains_point", || {
+        aabb.contains_point(black_box(Vec3::new(0.1, 0.4, 0.1)))
     });
-    group.finish();
 
     // A full per-pose collision check: 7 capsules against 7 obstacles —
     // one polling step of the Extended Simulator.
@@ -34,23 +33,38 @@ fn bench_collision(c: &mut Criterion) {
             Aabb::new(Vec3::new(x, 0.3, 0.0), Vec3::new(x + 0.15, 0.45, 0.2))
         })
         .collect();
-    let mut group = c.benchmark_group("sim_poll");
-    group.bench_function("one_pose_vs_deck", |b| {
-        b.iter(|| {
-            let capsules = arm.link_capsules(black_box(&q), None);
-            let mut hits = 0;
-            for o in &obstacles {
-                for cap in &capsules[1..] {
-                    if collide::capsule_intersects_aabb(cap, o) {
-                        hits += 1;
-                    }
+    group("sim_poll");
+    bench("one_pose_vs_deck", || {
+        let capsules = arm.link_capsules(black_box(&q), None);
+        let mut hits = 0;
+        for o in &obstacles {
+            for cap in &capsules[1..] {
+                if collide::capsule_intersects_aabb(cap, o) {
+                    hits += 1;
                 }
             }
-            black_box(hits)
-        })
+        }
+        hits
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_collision);
-criterion_main!(benches);
+    // The same pose check with broad-phase pruning over larger decks.
+    group("broadphase");
+    for n in [8usize, 64, 256] {
+        let mut world = rabit_sim::SimWorld::new();
+        for i in 0..n {
+            let x = (i % 16) as f64 * 0.3 - 2.4;
+            let y = (i / 16) as f64 * 0.3 - 2.4;
+            world.add_obstacle(
+                format!("dev{i}"),
+                Aabb::new(Vec3::new(x, y, 0.0), Vec3::new(x + 0.2, y + 0.2, 0.25)),
+            );
+        }
+        let capsules = arm.link_capsules(&q, None);
+        bench(&format!("first_hit_pruned_{n}"), || {
+            world.first_hit(black_box(&capsules[1..]), &[])
+        });
+        bench(&format!("first_hit_exhaustive_{n}"), || {
+            world.first_hit_exhaustive(black_box(&capsules[1..]), &[])
+        });
+    }
+}

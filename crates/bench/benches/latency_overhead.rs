@@ -1,55 +1,35 @@
-//! Real compute cost of the end-to-end engine: one guarded step versus
-//! one raw device command, and a full guarded workflow run. (The *virtual
-//! lab-time* overhead experiment lives in the `latency_overhead` binary;
-//! this measures the CPU cost of RABIT's bookkeeping itself.)
+//! Real compute cost of the end-to-end engine: one guarded workflow run
+//! versus one unguarded run. (The *virtual lab-time* overhead experiment
+//! lives in the `latency_overhead` binary; this measures the CPU cost of
+//! RABIT's bookkeeping itself.)
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rabit_bench::timing::{bench, group};
 use rabit_production::{solubility, ProductionDeck};
 use rabit_tracer::Tracer;
 use std::hint::black_box;
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
     let wf = solubility::solubility_workflow(&solubility::SolubilityParams::default());
 
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(30);
-    group.bench_function("solubility_unguarded", |b| {
-        b.iter_batched(
-            ProductionDeck::new,
-            |mut deck| {
-                let report = Tracer::pass_through(&mut deck.lab).run(black_box(&wf));
-                assert!(report.completed());
-                black_box(report.executed)
-            },
-            BatchSize::SmallInput,
-        )
+    group("engine");
+    bench("solubility_unguarded", || {
+        let mut deck = ProductionDeck::new();
+        let report = Tracer::pass_through(&mut deck.lab).run(black_box(&wf));
+        assert!(report.completed());
+        report.executed
     });
-    group.bench_function("solubility_guarded", |b| {
-        b.iter_batched(
-            ProductionDeck::new,
-            |mut deck| {
-                let mut rabit = deck.rabit();
-                let report = Tracer::guarded(&mut deck.lab, &mut rabit).run(black_box(&wf));
-                assert!(report.completed());
-                black_box(report.executed)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("solubility_guarded", || {
+        let mut deck = ProductionDeck::new();
+        let mut rabit = deck.rabit();
+        let report = Tracer::guarded(&mut deck.lab, &mut rabit).run(black_box(&wf));
+        assert!(report.completed());
+        report.executed
     });
-    group.bench_function("solubility_guarded_headless_sim", |b| {
-        b.iter_batched(
-            ProductionDeck::new,
-            |mut deck| {
-                let mut rabit = deck.rabit_with_simulator(false);
-                let report = Tracer::guarded(&mut deck.lab, &mut rabit).run(black_box(&wf));
-                assert!(report.completed());
-                black_box(report.executed)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("solubility_guarded_headless_sim", || {
+        let mut deck = ProductionDeck::new();
+        let mut rabit = deck.rabit_with_simulator(false);
+        let report = Tracer::guarded(&mut deck.lab, &mut rabit).run(black_box(&wf));
+        assert!(report.completed());
+        report.executed
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -1,58 +1,46 @@
 //! Real compute cost of the offline tooling: RAD corpus generation and
 //! rule mining, JSON configuration validation, and script parsing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rabit_bench::timing::{bench, group};
 use rabit_config::{template, to_catalog, validate, LabConfig};
 use rabit_rad::{generate_corpus, mine, MineParams, RadGenParams};
 use rabit_tracer::{parse_script, AliasTable};
 use std::hint::black_box;
 
-fn bench_mining(c: &mut Criterion) {
+fn main() {
     let params = RadGenParams {
         sessions: 100,
         ..RadGenParams::default()
     };
     let corpus = generate_corpus(&params);
 
-    let mut group = c.benchmark_group("rad");
-    group.bench_function("generate_100_sessions", |b| {
-        b.iter(|| black_box(generate_corpus(black_box(&params))))
+    group("rad");
+    bench("generate_100_sessions", || {
+        generate_corpus(black_box(&params))
     });
-    group.bench_function("mine_100_sessions", |b| {
-        b.iter(|| black_box(mine(black_box(&corpus), &MineParams::default())))
+    bench("mine_100_sessions", || {
+        mine(black_box(&corpus), &MineParams::default())
     });
-    group.finish();
-}
 
-fn bench_config(c: &mut Criterion) {
     let json = template::testbed_template_json();
     let config = template::testbed_template();
 
-    let mut group = c.benchmark_group("config");
-    group.bench_function("parse_testbed_json", |b| {
-        b.iter(|| black_box(LabConfig::from_json(black_box(&json)).unwrap()))
+    group("config");
+    bench("parse_testbed_json", || {
+        LabConfig::from_json(black_box(&json)).unwrap()
     });
-    group.bench_function("validate_testbed", |b| {
-        b.iter(|| black_box(validate(black_box(&config))))
+    bench("validate_testbed", || validate(black_box(&config)));
+    bench("to_catalog_testbed", || {
+        to_catalog(black_box(&config)).unwrap()
     });
-    group.bench_function("to_catalog_testbed", |b| {
-        b.iter(|| black_box(to_catalog(black_box(&config)).unwrap()))
-    });
-    group.finish();
-}
 
-fn bench_script(c: &mut Criterion) {
     let aliases = AliasTable::standard();
     let script: String = (0..100)
         .map(|i| format!("viperx.move_pose(0.{i:02}, 0.1, 0.3)\n"))
         .collect();
 
-    let mut group = c.benchmark_group("script");
-    group.bench_function("parse_100_lines", |b| {
-        b.iter(|| black_box(parse_script("bench", black_box(&script), &aliases).unwrap()))
+    group("script");
+    bench("parse_100_lines", || {
+        parse_script("bench", black_box(&script), &aliases).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_mining, bench_config, bench_script);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Real compute cost of rulebase evaluation: the `Valid(S, a)` check that
 //! runs on every intercepted command.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rabit_bench::timing::{bench, group};
 use rabit_devices::{ActionKind, Command, DeviceId, DeviceState, LabState, StateKey};
 use rabit_geometry::Vec3;
 use rabit_rulebase::{DeviceCatalog, DeviceMeta, Rulebase};
@@ -51,7 +51,7 @@ fn setup() -> (Rulebase, DeviceCatalog, LabState) {
     (rulebase, catalog, state)
 }
 
-fn bench_rule_eval(c: &mut Criterion) {
+fn main() {
     let (rulebase, catalog, state) = setup();
     let safe_cmd = Command::new(
         "arm",
@@ -73,37 +73,29 @@ fn bench_rule_eval(c: &mut Criterion) {
         },
     );
 
-    let mut group = c.benchmark_group("rule_eval");
-    group.bench_function("full_scan_safe_enter", |b| {
-        b.iter(|| black_box(rulebase.check(black_box(&safe_cmd), &state, &catalog)))
+    group("rule_eval");
+    bench("full_scan_safe_enter", || {
+        rulebase.check(black_box(&safe_cmd), &state, &catalog)
     });
-    group.bench_function("full_scan_move", |b| {
-        b.iter(|| black_box(rulebase.check(black_box(&move_cmd), &state, &catalog)))
+    bench("full_scan_move", || {
+        rulebase.check(black_box(&move_cmd), &state, &catalog)
     });
-    group.bench_function("full_scan_dose", |b| {
-        b.iter(|| black_box(rulebase.check(black_box(&dose_cmd), &state, &catalog)))
+    bench("full_scan_dose", || {
+        rulebase.check(black_box(&dose_cmd), &state, &catalog)
     });
-    group.bench_function("first_hit_safe_enter", |b| {
-        b.iter(|| black_box(rulebase.check_first(black_box(&safe_cmd), &state, &catalog)))
+    bench("first_hit_safe_enter", || {
+        rulebase.check_first(black_box(&safe_cmd), &state, &catalog)
     });
-    group.finish();
 
     // The postcondition/transition function.
-    let mut group = c.benchmark_group("transition");
-    group.bench_function("expected_state_move", |b| {
-        b.iter(|| {
-            black_box(rabit_rulebase::transition::expected_state(
-                &catalog,
-                black_box(&state),
-                &move_cmd,
-            ))
-        })
+    group("transition");
+    bench("expected_state_move", || {
+        rabit_rulebase::transition::expected_state(&catalog, black_box(&state), &move_cmd)
     });
-    group.finish();
 
     // Scaling: rule evaluation over growing device counts (rule III-3
     // scans every footprint, so this is the linear term in deck size).
-    let mut group = c.benchmark_group("rule_eval_scaling");
+    group("rule_eval_scaling");
     for n in [8usize, 32, 128] {
         let mut big_catalog =
             DeviceCatalog::new().with(DeviceMeta::new("arm", rabit_devices::DeviceType::RobotArm));
@@ -134,12 +126,8 @@ fn bench_rule_eval(c: &mut Criterion) {
             );
         }
         let rulebase = Rulebase::hein_lab();
-        group.bench_function(format!("move_check_{n}_devices"), |b| {
-            b.iter(|| black_box(rulebase.check(black_box(&move_cmd), &big_state, &big_catalog)))
+        bench(&format!("move_check_{n}_devices"), || {
+            rulebase.check(black_box(&move_cmd), &big_state, &big_catalog)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_rule_eval);
-criterion_main!(benches);

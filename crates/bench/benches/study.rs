@@ -1,22 +1,15 @@
 //! Real compute cost of the full 16-bug uncontrolled study — the
 //! regression-suite workload a lab would run before each deployment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rabit_bench::timing::{bench, group};
 use rabit_buginject::{run_study, RabitStage};
 use std::hint::black_box;
 
-fn bench_study(c: &mut Criterion) {
-    let mut group = c.benchmark_group("study");
-    group.sample_size(10);
-    group.bench_function("sixteen_bugs_modified", |b| {
-        b.iter(|| {
-            let result = run_study(black_box(RabitStage::Modified));
-            assert_eq!(result.detected(), 12);
-            black_box(result.detected())
-        })
+fn main() {
+    group("study");
+    bench("sixteen_bugs_modified", || {
+        let result = run_study(black_box(RabitStage::Modified));
+        assert_eq!(result.detected(), 12);
+        result.detected()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_study);
-criterion_main!(benches);

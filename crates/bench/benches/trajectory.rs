@@ -1,48 +1,32 @@
 //! Real compute cost of the kinematics substrate: forward kinematics,
 //! inverse kinematics, and trajectory sampling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rabit_bench::timing::{bench, group};
 use rabit_geometry::Vec3;
 use rabit_kinematics::ik::{solve_position, IkParams};
 use rabit_kinematics::presets;
 use rabit_kinematics::trajectory::Trajectory;
 use std::hint::black_box;
 
-fn bench_trajectory(c: &mut Criterion) {
+fn main() {
     let arm = presets::ur3e();
     let q0 = arm.home_configuration();
     let q1 = arm.sleep_configuration();
 
-    let mut group = c.benchmark_group("kinematics");
-    group.bench_function("forward_kinematics", |b| {
-        b.iter(|| black_box(arm.chain().end_effector_pose(black_box(q0.angles()))))
+    group("kinematics");
+    bench("forward_kinematics", || {
+        arm.chain().end_effector_pose(black_box(q0.angles()))
     });
-    group.bench_function("link_capsules", |b| {
-        b.iter(|| black_box(arm.link_capsules(black_box(&q0), None)))
-    });
+    bench("link_capsules", || arm.link_capsules(black_box(&q0), None));
     let target = arm.tool_position(&q0) + Vec3::new(0.05, 0.03, -0.04);
-    group.bench_function("ik_solve_nearby", |b| {
-        b.iter(|| {
-            black_box(solve_position(
-                &arm,
-                &q0,
-                black_box(target),
-                &IkParams::default(),
-            ))
-        })
+    bench("ik_solve_nearby", || {
+        solve_position(&arm, &q0, black_box(target), &IkParams::default())
     });
-    group.finish();
 
     let traj = Trajectory::linear(q0, q1);
-    let mut group = c.benchmark_group("trajectory");
-    group.bench_function("sample_every_50ms", |b| {
-        b.iter(|| black_box(traj.sample_every(black_box(0.05))))
+    group("trajectory");
+    bench("sample_every_50ms", || traj.sample_every(black_box(0.05)));
+    bench("swept_capsules_20", || {
+        traj.swept_capsules(&arm, None, black_box(20))
     });
-    group.bench_function("swept_capsules_20", |b| {
-        b.iter(|| black_box(traj.swept_capsules(&arm, None, black_box(20))))
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_trajectory);
-criterion_main!(benches);

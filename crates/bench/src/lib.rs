@@ -18,9 +18,11 @@
 //! | `rad_mining` | §II-A rule mining from RAD |
 //! | `ablations` | DESIGN.md ablation studies |
 //!
-//! The `benches/` directory holds the criterion micro-benchmarks for the
-//! real compute costs (rule evaluation, collision checking, trajectories,
-//! mining, and the end-to-end engine step).
+//! The `benches/` directory holds dependency-free micro-benchmarks (the
+//! [`timing`] harness) for the real compute costs: rule evaluation,
+//! collision checking, trajectories, mining, and the end-to-end engine
+//! step. `fleet_throughput` measures the fleet executor and broad-phase
+//! pruning, emitting `BENCH_fleet.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,3 +31,4 @@ pub mod latency;
 pub mod report;
 pub mod scenarios;
 pub mod stages;
+pub mod timing;

@@ -1,0 +1,174 @@
+//! A small, dependency-free micro-benchmark harness.
+//!
+//! The `benches/` targets measure real compute costs with
+//! `std::time::Instant`: warm up, auto-calibrate an iteration count so a
+//! batch takes a measurable slice of wall clock, then report per-iteration
+//! statistics over repeated batches. No external harness, deterministic
+//! output format, suitable for `cargo bench` (each target is
+//! `harness = false` with a plain `main`).
+
+use std::time::Instant;
+
+/// Target duration of one timed batch.
+const BATCH_TARGET_S: f64 = 0.01;
+/// Batches collected per benchmark.
+const SAMPLES: usize = 20;
+/// Hard cap on a single benchmark's total measuring time.
+const TIME_BUDGET_S: f64 = 2.0;
+
+/// Per-iteration timing statistics for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per timed batch.
+    pub iters: u64,
+    /// Per-iteration time of each batch, in nanoseconds.
+    pub samples_ns: Vec<f64>,
+}
+
+impl Timing {
+    /// Median per-iteration time (ns) — the headline number.
+    pub fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = s.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            (s[n / 2 - 1] + s[n / 2]) / 2.0
+        }
+    }
+
+    /// Mean per-iteration time (ns).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// Fastest observed batch (ns per iteration).
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// One aligned report line, scaled to a readable unit.
+    pub fn report(&self) -> String {
+        format!(
+            "{:<44} {:>12}/iter  (min {}, mean {}, {} iters x {} samples)",
+            self.name,
+            format_ns(self.median_ns()),
+            format_ns(self.min_ns()),
+            format_ns(self.mean_ns()),
+            self.iters,
+            self.samples_ns.len(),
+        )
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times `f`, printing and returning the statistics.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Timing {
+    // Warm-up + calibration: how long does one call take?
+    let calib_start = Instant::now();
+    let mut calib_iters = 0u64;
+    while calib_start.elapsed().as_secs_f64() < BATCH_TARGET_S || calib_iters == 0 {
+        std::hint::black_box(f());
+        calib_iters += 1;
+        if calib_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let per_iter_s = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+    let iters = ((BATCH_TARGET_S / per_iter_s).round() as u64).max(1);
+
+    let mut samples_ns = Vec::with_capacity(SAMPLES);
+    let total_start = Instant::now();
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let batch = t0.elapsed().as_secs_f64();
+        samples_ns.push(batch * 1e9 / iters as f64);
+        if total_start.elapsed().as_secs_f64() > TIME_BUDGET_S && samples_ns.len() >= 5 {
+            break;
+        }
+    }
+
+    let timing = Timing {
+        name: name.to_string(),
+        iters,
+        samples_ns,
+    };
+    println!("{}", timing.report());
+    timing
+}
+
+/// Prints a group header, mirroring criterion's group structure.
+pub fn group(name: &str) {
+    println!("\n# {name}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_samples() {
+        let t = Timing {
+            name: "t".into(),
+            iters: 1,
+            samples_ns: vec![10.0, 30.0, 20.0],
+        };
+        assert_eq!(t.median_ns(), 20.0);
+        assert_eq!(t.mean_ns(), 20.0);
+        assert_eq!(t.min_ns(), 10.0);
+        assert!(t.report().contains("20.0 ns"));
+    }
+
+    #[test]
+    fn even_sample_count_medians_between() {
+        let t = Timing {
+            name: "t".into(),
+            iters: 1,
+            samples_ns: vec![10.0, 20.0],
+        };
+        assert_eq!(t.median_ns(), 15.0);
+    }
+
+    #[test]
+    fn bench_measures_something() {
+        let t = bench("noop_loop", || std::hint::black_box(3u64.pow(7)));
+        assert!(t.iters >= 1);
+        assert!(!t.samples_ns.is_empty());
+        assert!(t.median_ns() >= 0.0);
+    }
+
+    #[test]
+    fn format_units_scale() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -12,11 +12,10 @@ use rabit_devices::{ActionKind, Command};
 use rabit_geometry::Vec3;
 use rabit_testbed::{workflows, Locations, RabitStage};
 use rabit_tracer::Workflow;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four unsafe-behaviour categories of §IV.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BugCategory {
     /// 1 — "Interactions with the dosing device door".
     DoorInteraction,
@@ -40,7 +39,7 @@ impl fmt::Display for BugCategory {
 }
 
 /// When a bug is first detected across the study's configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DetectedFrom {
     /// Detected by baseline RABIT (and every later configuration).
     Baseline,

@@ -97,14 +97,13 @@ pub fn run_study_parallel(stage: RabitStage) -> StudyResult {
     let bugs = catalog();
     let mut outcomes: Vec<Option<BugOutcome>> = Vec::new();
     outcomes.resize_with(bugs.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, bug) in outcomes.iter_mut().zip(bugs.iter()) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run_bug(bug, stage));
             });
         }
-    })
-    .expect("study worker panicked");
+    });
     StudyResult {
         stage,
         outcomes: outcomes

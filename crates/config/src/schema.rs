@@ -7,13 +7,14 @@
 //! properties (such as the presence and position of a door)." (§II-C)
 
 use rabit_geometry::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
+use rabit_util::json::{field, field_or_default};
+use rabit_util::{FromJson, Json, JsonError, ToJson};
 
 /// A 3D point in configuration form.
 pub type Point = [f64; 3];
 
 /// An axis-aligned box in configuration form.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoxConfig {
     /// Minimum corner.
     pub min: Point,
@@ -30,76 +31,175 @@ impl BoxConfig {
 
 /// Device connection parameters ("RABIT also maintains a list of device
 /// connection parameters … to fetch the state of all devices", §II-C).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ConnectionConfig {
     /// Transport address (serial port, IP:port, …).
-    #[serde(default)]
     pub address: String,
     /// Protocol name.
-    #[serde(default)]
     pub protocol: String,
 }
 
 /// One device entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
     /// Unique device id.
     pub id: String,
     /// Taxonomy type: `"container"`, `"robot_arm"`, `"dosing_system"`,
     /// `"action_device"`, or `"custom:<name>"`.
-    #[serde(rename = "type")]
     pub device_type: String,
     /// The Python class exposing the device's APIs (documentation field,
     /// mirrored from the paper's configuration).
-    #[serde(default)]
     pub class_name: Option<String>,
     /// Whether the device has a door.
-    #[serde(default)]
     pub has_door: bool,
     /// Free-form tags targeted by custom rules.
-    #[serde(default)]
     pub tags: Vec<String>,
     /// Firmware threshold on the action value.
-    #[serde(default)]
     pub action_threshold: Option<f64>,
     /// Whether the action device hosts a container while running (default
     /// true; spray nozzles and X-ray sources set false — rules III-5/6
     /// only bind hosting devices).
-    #[serde(default = "default_true")]
     pub hosts_container: bool,
     /// Stationary footprint cuboid.
-    #[serde(default)]
     pub footprint: Option<BoxConfig>,
     /// Robot arms: home tool position.
-    #[serde(default)]
     pub home_location: Option<Point>,
     /// Robot arms: sleep tool position.
-    #[serde(default)]
     pub sleep_location: Option<Point>,
     /// Robot arms: the cuboid a sleeping arm occupies.
-    #[serde(default)]
     pub sleep_volume: Option<BoxConfig>,
     /// Robot arms: allowed region under space multiplexing.
-    #[serde(default)]
     pub allowed_region: Option<BoxConfig>,
     /// Labels of the commands that execute actions on this device.
-    #[serde(default)]
     pub action_commands: Vec<String>,
     /// Labels of the commands that retrieve the device's state.
-    #[serde(default)]
     pub status_commands: Vec<String>,
     /// How RABIT talks to the device.
-    #[serde(default)]
     pub connection: Option<ConnectionConfig>,
 }
 
-fn default_true() -> bool {
-    true
+impl ToJson for BoxConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([("min", self.min.to_json()), ("max", self.max.to_json())])
+    }
+}
+
+impl FromJson for BoxConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(BoxConfig {
+            min: field(json, "min")?,
+            max: field(json, "max")?,
+        })
+    }
+}
+
+impl ToJson for ConnectionConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("address", Json::Str(self.address.clone())),
+            ("protocol", Json::Str(self.protocol.clone())),
+        ])
+    }
+}
+
+impl FromJson for ConnectionConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ConnectionConfig {
+            address: field_or_default(json, "address")?,
+            protocol: field_or_default(json, "protocol")?,
+        })
+    }
+}
+
+impl ToJson for DeviceConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("type", Json::Str(self.device_type.clone())),
+            ("class_name", self.class_name.to_json()),
+            ("has_door", Json::Bool(self.has_door)),
+            ("tags", self.tags.to_json()),
+            ("action_threshold", self.action_threshold.to_json()),
+            ("hosts_container", Json::Bool(self.hosts_container)),
+            ("footprint", self.footprint.to_json()),
+            ("home_location", self.home_location.to_json()),
+            ("sleep_location", self.sleep_location.to_json()),
+            ("sleep_volume", self.sleep_volume.to_json()),
+            ("allowed_region", self.allowed_region.to_json()),
+            ("action_commands", self.action_commands.to_json()),
+            ("status_commands", self.status_commands.to_json()),
+            ("connection", self.connection.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DeviceConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        // Unknown fields are tolerated (the schema validator flags them);
+        // a wrong-typed known field is an error.
+        Ok(DeviceConfig {
+            id: field(json, "id")?,
+            device_type: field(json, "type")?,
+            class_name: field_or_default(json, "class_name")?,
+            has_door: field_or_default(json, "has_door")?,
+            tags: field_or_default(json, "tags")?,
+            action_threshold: field_or_default(json, "action_threshold")?,
+            hosts_container: match json.get("hosts_container") {
+                None | Some(Json::Null) => true,
+                Some(v) => bool::from_json(v)
+                    .map_err(|e| JsonError::decode(format!("field 'hosts_container': {e}")))?,
+            },
+            footprint: field_or_default(json, "footprint")?,
+            home_location: field_or_default(json, "home_location")?,
+            sleep_location: field_or_default(json, "sleep_location")?,
+            sleep_volume: field_or_default(json, "sleep_volume")?,
+            allowed_region: field_or_default(json, "allowed_region")?,
+            action_commands: field_or_default(json, "action_commands")?,
+            status_commands: field_or_default(json, "status_commands")?,
+            connection: field_or_default(json, "connection")?,
+        })
+    }
+}
+
+impl ToJson for CustomRuleConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([("kind", Json::Str(self.kind.clone()))])
+    }
+}
+
+impl FromJson for CustomRuleConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CustomRuleConfig {
+            kind: field(json, "kind")?,
+        })
+    }
+}
+
+impl ToJson for LabConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lab_name", Json::Str(self.lab_name.clone())),
+            ("workspace", self.workspace.to_json()),
+            ("devices", self.devices.to_json()),
+            ("custom_rules", self.custom_rules.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LabConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(LabConfig {
+            lab_name: field(json, "lab_name")?,
+            workspace: field_or_default(json, "workspace")?,
+            devices: field_or_default(json, "devices")?,
+            custom_rules: field_or_default(json, "custom_rules")?,
+        })
+    }
 }
 
 /// A custom rule entry. Rules are selected by `kind`, parameterised by
 /// tag, matching the crate's custom-rule factories.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CustomRuleConfig {
     /// Rule kind: `"liquid_after_solid"`,
     /// `"centrifuge_needs_solid_and_liquid"`, `"centrifuge_red_dot_north"`,
@@ -108,19 +208,17 @@ pub struct CustomRuleConfig {
 }
 
 /// The top-level lab configuration file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabConfig {
     /// Lab name (e.g. `"Hein Lab"`).
     pub lab_name: String,
     /// The workspace bounds: every location in the file must fall inside
     /// (the schema guard that would have caught participant P's sign
     /// error, §V-A).
-    #[serde(default)]
     pub workspace: Option<BoxConfig>,
     /// All devices on the deck.
     pub devices: Vec<DeviceConfig>,
     /// Lab-specific rules.
-    #[serde(default)]
     pub custom_rules: Vec<CustomRuleConfig>,
 }
 
@@ -129,20 +227,16 @@ impl LabConfig {
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error (with line/column) for
+    /// Returns a [`JsonError`] (with line/column for syntax errors) on
     /// syntax or schema mismatches — the error class that cost the pilot
     /// study "a few JSON syntax errors".
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        FromJson::from_json(&Json::parse(text)?)
     }
 
     /// Serialises to pretty-printed JSON.
-    ///
-    /// # Errors
-    ///
-    /// Returns a `serde_json` error if serialisation fails.
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json_text(&self) -> String {
+        ToJson::to_json(self).to_pretty()
     }
 
     /// Looks up a device entry by id.
@@ -185,7 +279,7 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let cfg = LabConfig::from_json(&minimal_json()).unwrap();
-        let text = cfg.to_json().unwrap();
+        let text = cfg.to_json_text();
         let back = LabConfig::from_json(&text).unwrap();
         assert_eq!(cfg, back);
     }

@@ -10,11 +10,10 @@ use crate::schema::LabConfig;
 use rabit_devices::{DeviceId, DeviceType};
 use rabit_geometry::Vec3;
 use rabit_rulebase::{custom, DeviceCatalog, DeviceMeta, Rule};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How bad a finding is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum IssueLevel {
     /// Suspicious but not fatal.
     Warning,
@@ -23,7 +22,7 @@ pub enum IssueLevel {
 }
 
 /// One validation finding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigIssue {
     /// Severity.
     pub level: IssueLevel,

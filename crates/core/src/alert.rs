@@ -2,7 +2,6 @@
 
 use rabit_devices::{Command, DeviceError, StateDiff};
 use rabit_rulebase::Violation;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An alert raised by the Fig. 2 algorithm. Each variant corresponds to
@@ -113,7 +112,7 @@ impl fmt::Display for Alert {
 /// to stop preemptively; the paper notes "a fail-safe scenario may be
 /// recommended instead" when stopping itself is dangerous, e.g. an arm
 /// left holding a volatile substance (§II-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StopPolicy {
     /// Halt the experiment immediately (the deployed default).
     #[default]

@@ -6,10 +6,8 @@
 //! the stages accumulate *virtual seconds* on a [`SimClock`]; the criterion
 //! benches separately measure the real compute cost of RABIT's checking.
 
-use serde::{Deserialize, Serialize};
-
 /// A monotonically increasing virtual clock (seconds).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimClock {
     now_s: f64,
 }

@@ -10,11 +10,10 @@
 //! [`Lab`]: crate::Lab
 
 use rabit_devices::DeviceId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four severity classes of Table V, in increasing order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Severity {
     /// "Wasting chemical materials (e.g., spilling solid out of the vial)".
     Low,
@@ -40,7 +39,7 @@ impl fmt::Display for Severity {
 }
 
 /// What physically went wrong.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DamageKind {
     /// Substance spilled (overflowing vial, dosing with no vial inside).
     Spill {
@@ -68,7 +67,7 @@ pub enum DamageKind {
 }
 
 /// One recorded damage event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DamageEvent {
     /// The device that caused the damage.
     pub culprit: DeviceId,

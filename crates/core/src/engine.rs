@@ -112,6 +112,15 @@ impl Rabit {
         self.validator.take()
     }
 
+    /// Narrow-phase collision tests the attached validator has performed
+    /// (zero when no validator is attached). Instrumentation for the
+    /// broad-phase pruning benchmarks.
+    pub fn validator_narrow_checks(&self) -> u64 {
+        self.validator
+            .as_ref()
+            .map_or(0, |v| v.narrow_checks_performed())
+    }
+
     /// The rulebase (for inspection/extension).
     pub fn rulebase(&self) -> &Rulebase {
         &self.rulebase

@@ -19,8 +19,7 @@ use rabit_devices::{
 };
 use rabit_geometry::noise::PositionNoise;
 use rabit_geometry::Vec3;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rabit_util::Rng;
 use std::collections::BTreeMap;
 
 /// A concrete device in the lab. The enum gives the environment typed
@@ -146,7 +145,7 @@ pub struct Lab {
     /// Positional repeatability noise per arm (the testbed arms' "limited
     /// capabilities and precision", §III), with a seeded RNG so runs stay
     /// deterministic.
-    arm_noise: BTreeMap<DeviceId, (PositionNoise, StdRng)>,
+    arm_noise: BTreeMap<DeviceId, (PositionNoise, Rng)>,
 }
 
 impl Lab {
@@ -186,7 +185,7 @@ impl Lab {
     /// runs remain deterministic.
     pub fn set_arm_noise(&mut self, arm: impl Into<DeviceId>, noise: PositionNoise, seed: u64) {
         self.arm_noise
-            .insert(arm.into(), (noise, StdRng::seed_from_u64(seed)));
+            .insert(arm.into(), (noise, Rng::seed_from_u64(seed)));
     }
 
     /// Immutable access to a device.

@@ -11,7 +11,9 @@
 //!   physics, virtual time, and the ground-truth [`DamageEvent`] oracle;
 //! * [`Alert`] — the three `alertAndStop` variants plus device faults;
 //! * [`TrajectoryValidator`] — the hook the Extended Simulator plugs into;
-//! * [`SimClock`] — deterministic virtual lab time.
+//! * [`SimClock`] — deterministic virtual lab time;
+//! * [`fleet`] — a deterministic work-stealing executor for running many
+//!   independent labs in parallel.
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@ mod alert;
 mod clock;
 mod damage;
 mod engine;
+pub mod fleet;
 mod lab;
 mod trajcheck;
 

@@ -38,6 +38,13 @@ pub trait TrajectoryValidator: Send {
     fn check_latency_s(&self) -> f64 {
         0.0
     }
+
+    /// Total narrow-phase collision tests this validator has performed —
+    /// the cost a broad-phase index prunes. Validators without a notion
+    /// of collision checking report zero.
+    fn narrow_checks_performed(&self) -> u64 {
+        0
+    }
 }
 
 /// A validator that approves everything — useful as a baseline and in

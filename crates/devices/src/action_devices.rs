@@ -8,12 +8,11 @@ use crate::id::{DeviceId, DeviceType};
 use crate::state::DeviceState;
 use crate::value::StateKey;
 use rabit_geometry::Aabb;
-use serde::{Deserialize, Serialize};
 
 /// Shared implementation for the three action devices: an active/inactive
 /// state, an action value, a firmware threshold, an optional door, and an
 /// optional contained object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct ActionCore {
     id: DeviceId,
     footprint: Aabb,
@@ -105,7 +104,7 @@ impl ActionCore {
 macro_rules! action_device {
     ($(#[$doc:meta])* $name:ident, $limit:expr, $has_door:expr) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        #[derive(Debug, Clone, PartialEq)]
         pub struct $name {
             core: ActionCore,
         }
@@ -211,7 +210,7 @@ action_device!(
 /// A Fisher Scientific centrifuge: an **Action Device** with a lid (door)
 /// and a red alignment dot that must face North before a container may be
 /// loaded (Hein custom rule IV-3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Centrifuge {
     core: ActionCore,
     red_dot_north: bool,

@@ -7,11 +7,10 @@
 
 use crate::id::DeviceId;
 use rabit_geometry::Vec3;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of substance being handled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Substance {
     /// A solid (milligrams).
     Solid,
@@ -30,7 +29,7 @@ impl fmt::Display for Substance {
 
 /// Every action a device can perform. Action labels follow Table II
 /// (`move_robot_inside`, `pick_object`, `place_object`, …).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ActionKind {
     // ----- Robot-arm actions -----
     /// Move the arm's tool to a Cartesian location.
@@ -214,7 +213,7 @@ impl fmt::Display for ActionKind {
 
 /// A command: one device performing one action. This is the unit RABIT
 /// intercepts, validates, executes, and verifies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Command {
     /// The acting device (the robot arm for motion commands, the dosing
     /// device for door/dose commands, …).
@@ -236,6 +235,212 @@ impl Command {
 impl fmt::Display for Command {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}.{}", self.actor, self.action)
+    }
+}
+
+impl rabit_util::ToJson for Substance {
+    fn to_json(&self) -> rabit_util::Json {
+        rabit_util::Json::Str(
+            match self {
+                Substance::Solid => "Solid",
+                Substance::Liquid => "Liquid",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl rabit_util::FromJson for Substance {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        match String::from_json(json)?.as_str() {
+            "Solid" => Ok(Substance::Solid),
+            "Liquid" => Ok(Substance::Liquid),
+            other => Err(rabit_util::JsonError::decode(format!(
+                "unknown substance '{other}'"
+            ))),
+        }
+    }
+}
+
+impl rabit_util::ToJson for ActionKind {
+    fn to_json(&self) -> rabit_util::Json {
+        use rabit_util::Json;
+        // Unit variants become strings; data-carrying variants become
+        // single-key objects, mirroring the trace format.
+        match self {
+            ActionKind::MoveToLocation { target } => {
+                Json::obj([("MoveToLocation", Json::obj([("target", target.to_json())]))])
+            }
+            ActionKind::MoveInsideDevice { device } => Json::obj([(
+                "MoveInsideDevice",
+                Json::obj([("device", device.to_json())]),
+            )]),
+            ActionKind::MoveOutOfDevice => Json::Str("MoveOutOfDevice".into()),
+            ActionKind::MoveHome => Json::Str("MoveHome".into()),
+            ActionKind::MoveToSleep => Json::Str("MoveToSleep".into()),
+            ActionKind::PickObject { object } => {
+                Json::obj([("PickObject", Json::obj([("object", object.to_json())]))])
+            }
+            ActionKind::PlaceObject { object, into } => Json::obj([(
+                "PlaceObject",
+                Json::obj([("object", object.to_json()), ("into", into.to_json())]),
+            )]),
+            ActionKind::OpenGripper => Json::Str("OpenGripper".into()),
+            ActionKind::CloseGripper => Json::Str("CloseGripper".into()),
+            ActionKind::SetDoor { open } => {
+                Json::obj([("SetDoor", Json::obj([("open", Json::Bool(*open))]))])
+            }
+            ActionKind::DoseSolid { amount_mg, into } => Json::obj([(
+                "DoseSolid",
+                Json::obj([
+                    ("amount_mg", Json::Num(*amount_mg)),
+                    ("into", into.to_json()),
+                ]),
+            )]),
+            ActionKind::DoseLiquid { volume_ml, into } => Json::obj([(
+                "DoseLiquid",
+                Json::obj([
+                    ("volume_ml", Json::Num(*volume_ml)),
+                    ("into", into.to_json()),
+                ]),
+            )]),
+            ActionKind::StartAction { value } => {
+                Json::obj([("StartAction", Json::obj([("value", Json::Num(*value))]))])
+            }
+            ActionKind::StopAction => Json::Str("StopAction".into()),
+            ActionKind::Cap => Json::Str("Cap".into()),
+            ActionKind::Decap => Json::Str("Decap".into()),
+            ActionKind::Transfer {
+                from,
+                to,
+                substance,
+                amount,
+            } => Json::obj([(
+                "Transfer",
+                Json::obj([
+                    ("from", from.to_json()),
+                    ("to", to.to_json()),
+                    ("substance", substance.to_json()),
+                    ("amount", Json::Num(*amount)),
+                ]),
+            )]),
+            ActionKind::Custom { name, params } => Json::obj([(
+                "Custom",
+                Json::obj([
+                    ("name", Json::Str(name.clone())),
+                    (
+                        "params",
+                        Json::Arr(
+                            params
+                                .iter()
+                                .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Num(*v)]))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl rabit_util::FromJson for ActionKind {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        use rabit_util::json::field;
+        use rabit_util::{FromJson, Json, JsonError};
+        if let Some(tag) = json.as_str() {
+            return match tag {
+                "MoveOutOfDevice" => Ok(ActionKind::MoveOutOfDevice),
+                "MoveHome" => Ok(ActionKind::MoveHome),
+                "MoveToSleep" => Ok(ActionKind::MoveToSleep),
+                "OpenGripper" => Ok(ActionKind::OpenGripper),
+                "CloseGripper" => Ok(ActionKind::CloseGripper),
+                "StopAction" => Ok(ActionKind::StopAction),
+                "Cap" => Ok(ActionKind::Cap),
+                "Decap" => Ok(ActionKind::Decap),
+                other => Err(JsonError::decode(format!("unknown action '{other}'"))),
+            };
+        }
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::decode(format!("expected action, got {json}")))?;
+        let (tag, body) = pairs
+            .first()
+            .ok_or_else(|| JsonError::decode("empty action object"))?;
+        Ok(match tag.as_str() {
+            "MoveToLocation" => ActionKind::MoveToLocation {
+                target: field(body, "target")?,
+            },
+            "MoveInsideDevice" => ActionKind::MoveInsideDevice {
+                device: field(body, "device")?,
+            },
+            "PickObject" => ActionKind::PickObject {
+                object: field(body, "object")?,
+            },
+            "PlaceObject" => ActionKind::PlaceObject {
+                object: field(body, "object")?,
+                into: match body.get("into") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(FromJson::from_json(v)?),
+                },
+            },
+            "SetDoor" => ActionKind::SetDoor {
+                open: field(body, "open")?,
+            },
+            "DoseSolid" => ActionKind::DoseSolid {
+                amount_mg: field(body, "amount_mg")?,
+                into: field(body, "into")?,
+            },
+            "DoseLiquid" => ActionKind::DoseLiquid {
+                volume_ml: field(body, "volume_ml")?,
+                into: field(body, "into")?,
+            },
+            "StartAction" => ActionKind::StartAction {
+                value: field(body, "value")?,
+            },
+            "Transfer" => ActionKind::Transfer {
+                from: field(body, "from")?,
+                to: field(body, "to")?,
+                substance: field(body, "substance")?,
+                amount: field(body, "amount")?,
+            },
+            "Custom" => {
+                let params_json = body
+                    .get("params")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| JsonError::decode("custom action needs 'params'"))?;
+                let mut params = Vec::with_capacity(params_json.len());
+                for p in params_json {
+                    let pair = p
+                        .as_arr()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| JsonError::decode("param must be [name, value]"))?;
+                    params.push((String::from_json(&pair[0])?, f64::from_json(&pair[1])?));
+                }
+                ActionKind::Custom {
+                    name: field(body, "name")?,
+                    params,
+                }
+            }
+            other => return Err(JsonError::decode(format!("unknown action '{other}'"))),
+        })
+    }
+}
+
+impl rabit_util::ToJson for Command {
+    fn to_json(&self) -> rabit_util::Json {
+        rabit_util::Json::obj([
+            ("actor", self.actor.to_json()),
+            ("action", self.action.to_json()),
+        ])
+    }
+}
+
+impl rabit_util::FromJson for Command {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        Ok(Command {
+            actor: rabit_util::json::field(json, "actor")?,
+            action: rabit_util::json::field(json, "action")?,
+        })
     }
 }
 
@@ -298,16 +503,45 @@ mod tests {
     }
 
     #[test]
-    fn commands_roundtrip_through_serde() {
-        let c = Command::new(
-            "ned2",
-            ActionKind::MoveToLocation {
-                target: Vec3::new(0.443, -0.010, 0.292),
-            },
-        );
-        let json = serde_json::to_string(&c).unwrap();
-        let back: Command = serde_json::from_str(&json).unwrap();
-        assert_eq!(c, back);
+    fn commands_roundtrip_through_json() {
+        use rabit_util::{FromJson, Json, ToJson};
+        let commands = [
+            Command::new(
+                "ned2",
+                ActionKind::MoveToLocation {
+                    target: Vec3::new(0.443, -0.010, 0.292),
+                },
+            ),
+            Command::new("viperx", ActionKind::MoveHome),
+            Command::new(
+                "viperx",
+                ActionKind::PlaceObject {
+                    object: "vial_NW".into(),
+                    into: Some("dosing_device".into()),
+                },
+            ),
+            Command::new(
+                "vial_A",
+                ActionKind::Transfer {
+                    from: "vial_A".into(),
+                    to: "vial_B".into(),
+                    substance: Substance::Liquid,
+                    amount: 2.5,
+                },
+            ),
+            Command::new(
+                "decapper",
+                ActionKind::Custom {
+                    name: "torque".into(),
+                    params: vec![("nm".into(), 0.8)],
+                },
+            ),
+        ];
+        for c in commands {
+            let json = c.to_json().to_compact();
+            let back = Command::from_json(&Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(c, back, "via {json}");
+        }
     }
 
     #[test]

@@ -6,12 +6,11 @@ use crate::id::{DeviceId, DeviceType};
 use crate::state::DeviceState;
 use crate::value::StateKey;
 use rabit_geometry::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A vial: the canonical **Container** device. Holds solid (mg) and
 /// liquid (mL), and has a stopper (cap).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Vial {
     id: DeviceId,
     location: Vec3,
@@ -184,7 +183,7 @@ impl Device for Vial {
 /// Not one of the four interactive types — it is a passive obstacle with
 /// occupancy, which rule III-3 ("robot arm can move to any location not
 /// occupied by any object") consults.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid {
     id: DeviceId,
     footprint: Aabb,

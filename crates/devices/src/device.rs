@@ -5,7 +5,6 @@ use crate::command::ActionKind;
 use crate::id::{DeviceId, DeviceType};
 use crate::state::DeviceState;
 use rabit_geometry::Aabb;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors a device can raise while executing a command.
@@ -82,7 +81,7 @@ impl std::error::Error for DeviceError {}
 
 /// Injectable malfunctions, used by the evaluation to make
 /// `S_actual ≠ S_expected` (Fig. 2, Lines 14-15) without physical damage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Malfunction {
     /// The device acknowledges commands but its actuator does nothing
     /// (e.g. a stuck door, the ViperX silently skipping a move).
@@ -101,7 +100,7 @@ pub enum Malfunction {
 /// overhead (~0.03 s) and the Extended Simulator's GUI overhead (~2 s).
 /// Devices report how long each action takes so the harness can accumulate
 /// virtual lab time deterministically.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyModel {
     /// Seconds for a motion action (arm move, door actuation).
     pub motion_s: f64,

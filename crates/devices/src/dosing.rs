@@ -7,13 +7,12 @@ use crate::id::{DeviceId, DeviceType};
 use crate::state::DeviceState;
 use crate::value::StateKey;
 use rabit_geometry::Aabb;
-use serde::{Deserialize, Serialize};
 
 /// The solid dosing device: a **Dosing System** with a software-controlled
 /// glass door — the device whose door "there have been instances of …
 /// breaking because the programmer forgot to call `open_door()`"
 /// (paper footnote 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DosingDevice {
     id: DeviceId,
     footprint: Aabb,
@@ -178,7 +177,7 @@ impl Device for DosingDevice {
 }
 
 /// The automated syringe pump: a doorless **Dosing System** for liquids.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyringePump {
     id: DeviceId,
     footprint: Aabb,

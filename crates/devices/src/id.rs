@@ -1,11 +1,9 @@
 //! Device identity and the four-type taxonomy.
-
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A unique device identifier (e.g. `"ur3e"`, `"dosing_device"`,
 /// `"vial_NW"`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeviceId(String);
 
 impl DeviceId {
@@ -53,7 +51,7 @@ impl AsRef<str> for DeviceId {
 /// The paper's four device types, plus an escape hatch for labs with
 /// devices "that do not belong to any of the four specified device types"
 /// (§II-C).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum DeviceType {
     /// Holds substances; typically has a stopper (vials, flasks).
     Container,
@@ -85,6 +83,22 @@ impl fmt::Display for DeviceType {
             DeviceType::ActionDevice => f.write_str("action_device"),
             DeviceType::Custom(name) => write!(f, "custom:{name}"),
         }
+    }
+}
+
+impl rabit_util::ToJson for DeviceId {
+    fn to_json(&self) -> rabit_util::Json {
+        rabit_util::Json::Str(self.0.clone())
+    }
+}
+
+impl rabit_util::FromJson for DeviceId {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        let s = String::from_json(json)?;
+        if s.is_empty() {
+            return Err(rabit_util::JsonError::decode("device id must not be empty"));
+        }
+        Ok(DeviceId(s))
     }
 }
 

@@ -17,7 +17,6 @@ use crate::id::{DeviceId, DeviceType};
 use crate::state::DeviceState;
 use crate::value::StateKey;
 use rabit_geometry::Aabb;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The state-variable prefix for a named door.
@@ -57,7 +56,7 @@ pub fn door_key(door: &str) -> StateKey {
 
 /// A processing chamber with several independently actuated doors — e.g.
 /// a glovebox-style station served by two arms at once.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiDoorDevice {
     id: DeviceId,
     footprint: Aabb,

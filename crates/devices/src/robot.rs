@@ -12,10 +12,9 @@ use crate::id::{DeviceId, DeviceType};
 use crate::state::DeviceState;
 use crate::value::StateKey;
 use rabit_geometry::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A six-axis robot arm's logical state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RobotArm {
     id: DeviceId,
     location: Vec3,

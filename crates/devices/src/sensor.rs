@@ -20,13 +20,12 @@ use crate::id::{DeviceId, DeviceType};
 use crate::state::DeviceState;
 use crate::value::StateKey;
 use rabit_geometry::Aabb;
-use serde::{Deserialize, Serialize};
 
 /// The custom state variable a proximity sensor reports.
 pub const OCCUPIED_KEY: &str = "occupied";
 
 /// A proximity/occupancy sensor watching a region of the deck.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProximitySensor {
     id: DeviceId,
     watched_region: Aabb,

@@ -2,12 +2,11 @@
 
 use crate::id::DeviceId;
 use crate::value::{StateKey, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The state of a single device: a map from state variable to value.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DeviceState {
     vars: BTreeMap<StateKey, Value>,
 }
@@ -82,7 +81,7 @@ impl Extend<(StateKey, Value)> for DeviceState {
 
 /// A full lab snapshot: the state of every device. This is the `S` of the
 /// Fig. 2 algorithm.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LabState {
     devices: BTreeMap<DeviceId, DeviceState>,
 }
@@ -252,8 +251,57 @@ impl FromIterator<(DeviceId, DeviceState)> for LabState {
     }
 }
 
+impl rabit_util::ToJson for DeviceState {
+    fn to_json(&self) -> rabit_util::Json {
+        rabit_util::Json::Obj(
+            self.vars
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl rabit_util::FromJson for DeviceState {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        let pairs = json.as_obj().ok_or_else(|| {
+            rabit_util::JsonError::decode(format!("expected device state object, got {json}"))
+        })?;
+        let mut vars = BTreeMap::new();
+        for (k, v) in pairs {
+            let key: StateKey = k.parse().expect("StateKey parsing is infallible");
+            vars.insert(key, Value::from_json(v)?);
+        }
+        Ok(DeviceState { vars })
+    }
+}
+
+impl rabit_util::ToJson for LabState {
+    fn to_json(&self) -> rabit_util::Json {
+        rabit_util::Json::Obj(
+            self.devices
+                .iter()
+                .map(|(id, d)| (id.to_string(), d.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl rabit_util::FromJson for LabState {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        let pairs = json.as_obj().ok_or_else(|| {
+            rabit_util::JsonError::decode(format!("expected lab state object, got {json}"))
+        })?;
+        let mut devices = BTreeMap::new();
+        for (id, d) in pairs {
+            devices.insert(DeviceId::new(id.clone()), DeviceState::from_json(d)?);
+        }
+        Ok(LabState { devices })
+    }
+}
+
 /// One differing state variable between two lab snapshots.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateDiff {
     /// The device whose variable differs.
     pub device: DeviceId,

@@ -2,7 +2,6 @@
 
 use crate::id::DeviceId;
 use rabit_geometry::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The state-variable vocabulary shared by all device types.
@@ -109,21 +108,66 @@ impl std::str::FromStr for StateKey {
     }
 }
 
-impl serde::Serialize for StateKey {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
+impl rabit_util::ToJson for StateKey {
+    fn to_json(&self) -> rabit_util::Json {
+        rabit_util::Json::Str(self.to_string())
     }
 }
 
-impl<'de> serde::Deserialize<'de> for StateKey {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
+impl rabit_util::FromJson for StateKey {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        let s = String::from_json(json)?;
         Ok(s.parse().expect("StateKey parsing is infallible"))
     }
 }
 
+impl rabit_util::ToJson for Value {
+    fn to_json(&self) -> rabit_util::Json {
+        use rabit_util::Json;
+        match self {
+            Value::Bool(b) => Json::obj([("Bool", Json::Bool(*b))]),
+            Value::Number(n) => Json::obj([("Number", Json::Num(*n))]),
+            Value::Position(p) => Json::obj([("Position", p.to_json())]),
+            Value::Id(id) => Json::obj([(
+                "Id",
+                match id {
+                    Some(d) => d.to_json(),
+                    None => Json::Null,
+                },
+            )]),
+            Value::Box3(b) => Json::obj([("Box3", b.to_json())]),
+            Value::Text(s) => Json::obj([("Text", Json::Str(s.clone()))]),
+        }
+    }
+}
+
+impl rabit_util::FromJson for Value {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        use rabit_util::{FromJson, JsonError};
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::decode(format!("expected value object, got {json}")))?;
+        let (tag, payload) = pairs
+            .first()
+            .ok_or_else(|| JsonError::decode("empty value object"))?;
+        Ok(match tag.as_str() {
+            "Bool" => Value::Bool(bool::from_json(payload)?),
+            "Number" => Value::Number(f64::from_json(payload)?),
+            "Position" => Value::Position(FromJson::from_json(payload)?),
+            "Id" => Value::Id(Option::from_json(payload)?),
+            "Box3" => Value::Box3(FromJson::from_json(payload)?),
+            "Text" => Value::Text(String::from_json(payload)?),
+            other => {
+                return Err(JsonError::decode(format!(
+                    "unknown value variant '{other}'"
+                )))
+            }
+        })
+    }
+}
+
 /// A state-variable value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Boolean flag (door open, stopper on, …).
     Bool(bool),
@@ -315,9 +359,10 @@ mod tests {
             let s = key.to_string();
             let back: StateKey = s.parse().unwrap();
             assert_eq!(back, key, "via '{s}'");
-            // And through serde, as a JSON map key.
-            let json = serde_json::to_string(&key).unwrap();
-            let back: StateKey = serde_json::from_str(&json).unwrap();
+            // And through JSON, as a string.
+            use rabit_util::{FromJson, Json, ToJson};
+            let json = key.to_json().to_compact();
+            let back = StateKey::from_json(&Json::parse(&json).unwrap()).unwrap();
             assert_eq!(back, key);
         }
     }

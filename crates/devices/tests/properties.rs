@@ -1,139 +1,175 @@
 //! Property-based tests over the device-state layer.
+//!
+//! Hand-rolled property loops over the in-tree seeded PRNG — each
+//! property runs `CASES` deterministic cases.
 
-use proptest::prelude::*;
 use rabit_devices::{DeviceId, DeviceState, LabState, StateKey, Value, Vial};
 use rabit_geometry::Vec3;
+use rabit_util::{FromJson, Json, Rng, ToJson};
 
-fn state_key() -> impl Strategy<Value = StateKey> {
-    prop_oneof![
-        Just(StateKey::DoorOpen),
-        Just(StateKey::ActionActive),
-        Just(StateKey::ActionValue),
-        Just(StateKey::SolidMg),
-        Just(StateKey::LiquidMl),
-        Just(StateKey::HasStopper),
-        Just(StateKey::AtSleep),
-        "[a-z]{1,8}".prop_map(StateKey::Custom),
-    ]
+const CASES: usize = 256;
+
+fn lowercase_name(rng: &mut Rng, max_len: usize) -> String {
+    let len = rng.random_range(1..max_len + 1);
+    (0..len)
+        .map(|_| (b'a' + rng.random_range(0..26u32) as u8) as char)
+        .collect()
 }
 
-fn value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<bool>().prop_map(Value::Bool),
-        (-1e3..1e3f64).prop_map(Value::Number),
-        (-2.0..2.0f64, -2.0..2.0f64, 0.0..2.0f64)
-            .prop_map(|(x, y, z)| Value::Position(Vec3::new(x, y, z))),
-        prop_oneof![
-            Just(Value::Id(None)),
-            "[a-z]{1,6}".prop_map(|s| Value::Id(Some(DeviceId::new(s)))),
-        ],
-    ]
+fn state_key(rng: &mut Rng) -> StateKey {
+    match rng.random_range(0..8u32) {
+        0 => StateKey::DoorOpen,
+        1 => StateKey::ActionActive,
+        2 => StateKey::ActionValue,
+        3 => StateKey::SolidMg,
+        4 => StateKey::LiquidMl,
+        5 => StateKey::HasStopper,
+        6 => StateKey::AtSleep,
+        _ => StateKey::Custom(lowercase_name(rng, 8)),
+    }
 }
 
-fn device_state() -> impl Strategy<Value = DeviceState> {
-    prop::collection::vec((state_key(), value()), 0..6)
-        .prop_map(|pairs| pairs.into_iter().collect())
+fn value(rng: &mut Rng) -> Value {
+    match rng.random_range(0..4u32) {
+        0 => Value::Bool(rng.random_bool(0.5)),
+        1 => Value::Number(rng.random_range(-1e3..1e3)),
+        2 => Value::Position(Vec3::new(
+            rng.random_range(-2.0..2.0),
+            rng.random_range(-2.0..2.0),
+            rng.random_range(0.0..2.0),
+        )),
+        _ => {
+            if rng.random_bool(0.5) {
+                Value::Id(None)
+            } else {
+                Value::Id(Some(DeviceId::new(lowercase_name(rng, 6))))
+            }
+        }
+    }
 }
 
-fn lab_state() -> impl Strategy<Value = LabState> {
-    prop::collection::vec(("[a-z]{1,6}", device_state()), 0..5).prop_map(|devs| {
-        devs.into_iter()
-            .map(|(id, st)| (DeviceId::new(id), st))
-            .collect()
-    })
+fn device_state(rng: &mut Rng) -> DeviceState {
+    let n = rng.random_range(0..6usize);
+    (0..n).map(|_| (state_key(rng), value(rng))).collect()
 }
 
-proptest! {
-    /// Overlay semantics: every reported variable wins; everything else
-    /// is retained.
-    #[test]
-    fn overlay_reported_wins_and_rest_is_retained(
-        believed in lab_state(),
-        reported in lab_state()
-    ) {
+fn lab_state(rng: &mut Rng) -> LabState {
+    let n = rng.random_range(0..5usize);
+    (0..n)
+        .map(|_| (DeviceId::new(lowercase_name(rng, 6)), device_state(rng)))
+        .collect()
+}
+
+/// Overlay semantics: every reported variable wins; everything else is
+/// retained.
+#[test]
+fn overlay_reported_wins_and_rest_is_retained() {
+    let mut rng = Rng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let believed = lab_state(&mut rng);
+        let reported = lab_state(&mut rng);
         let mut merged = believed.clone();
         merged.overlay(&reported);
         // Reported values are present verbatim.
         for (dev, st) in reported.iter() {
             for (key, val) in st.iter() {
-                prop_assert_eq!(merged.get(dev, key), Some(val));
+                assert_eq!(merged.get(dev, key), Some(val));
             }
         }
         // Believed-only values survive.
         for (dev, st) in believed.iter() {
             for (key, val) in st.iter() {
                 if reported.get(dev, key).is_none() {
-                    prop_assert_eq!(merged.get(dev, key), Some(val));
+                    assert_eq!(merged.get(dev, key), Some(val));
                 }
             }
         }
     }
+}
 
-    /// A snapshot never contradicts itself, at any tolerance.
-    #[test]
-    fn self_diff_is_empty(state in lab_state(), tol in 0.0..1.0f64) {
-        prop_assert!(state.diff_reported(&state, tol).is_empty());
-        prop_assert!(state.diff(&state, tol).is_empty());
+/// A snapshot never contradicts itself, at any tolerance.
+#[test]
+fn self_diff_is_empty() {
+    let mut rng = Rng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let state = lab_state(&mut rng);
+        let tol = rng.random_range(0.0..1.0);
+        assert!(state.diff_reported(&state, tol).is_empty());
+        assert!(state.diff(&state, tol).is_empty());
     }
+}
 
-    /// `diff_reported` only ever cites variables the reported side has,
-    /// and loosening the tolerance never creates new findings.
-    #[test]
-    fn diff_reported_is_sound_and_monotone(
-        expected in lab_state(),
-        reported in lab_state(),
-        tol in 0.0..0.5f64
-    ) {
+/// `diff_reported` only ever cites variables the reported side has, and
+/// loosening the tolerance never creates new findings.
+#[test]
+fn diff_reported_is_sound_and_monotone() {
+    let mut rng = Rng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let expected = lab_state(&mut rng);
+        let reported = lab_state(&mut rng);
+        let tol = rng.random_range(0.0..0.5);
         let strict = expected.diff_reported(&reported, tol);
         for d in &strict {
-            prop_assert!(reported.get(&d.device, &d.key).is_some());
-            prop_assert!(expected.get(&d.device, &d.key).is_some());
+            assert!(reported.get(&d.device, &d.key).is_some());
+            assert!(expected.get(&d.device, &d.key).is_some());
         }
         let loose = expected.diff_reported(&reported, tol + 0.5);
-        prop_assert!(loose.len() <= strict.len());
+        assert!(loose.len() <= strict.len());
     }
+}
 
-    /// Overlaying the reported snapshot resolves every reported
-    /// discrepancy: the merged state agrees with the report.
-    #[test]
-    fn overlay_resolves_all_reported_diffs(
-        expected in lab_state(),
-        reported in lab_state()
-    ) {
+/// Overlaying the reported snapshot resolves every reported discrepancy:
+/// the merged state agrees with the report.
+#[test]
+fn overlay_resolves_all_reported_diffs() {
+    let mut rng = Rng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let expected = lab_state(&mut rng);
+        let reported = lab_state(&mut rng);
         let mut merged = expected.clone();
         merged.overlay(&reported);
-        prop_assert!(merged.diff_reported(&reported, 0.0).is_empty());
+        assert!(merged.diff_reported(&reported, 0.0).is_empty());
     }
+}
 
-    /// LabState survives a JSON round trip (up to sub-nanometre float
-    /// drift: serde_json can shift a value by one ulp near decimal ties).
-    #[test]
-    fn lab_state_serde_roundtrip(state in lab_state()) {
-        let json = serde_json::to_string(&state).unwrap();
-        let back: LabState = serde_json::from_str(&json).unwrap();
+/// LabState survives a JSON round trip (up to sub-nanometre float drift
+/// near decimal ties).
+#[test]
+fn lab_state_json_roundtrip() {
+    let mut rng = Rng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let state = lab_state(&mut rng);
+        let json = state.to_json().to_compact();
+        let back = LabState::from_json(&Json::parse(&json).unwrap()).unwrap();
         let diffs = back.diff(&state, 1e-9);
-        prop_assert!(diffs.is_empty(), "roundtrip drift: {diffs:?}");
+        assert!(diffs.is_empty(), "roundtrip drift: {diffs:?}");
     }
+}
 
-    /// Vial contents conservation: arbitrary add/take sequences keep the
-    /// contents within [0, capacity], and every gram is accounted for.
-    #[test]
-    fn vial_contents_are_conserved(ops in prop::collection::vec((any::<bool>(), 0.0..30.0f64), 1..40)) {
+/// Vial contents conservation: arbitrary add/take sequences keep the
+/// contents within [0, capacity], and every gram is accounted for.
+#[test]
+fn vial_contents_are_conserved() {
+    let mut rng = Rng::seed_from_u64(106);
+    for _ in 0..CASES {
         let mut vial = Vial::new("v", Vec3::ZERO).with_capacities(10.0, 20.0);
         let mut ledger = 0.0; // what we believe is inside
-        for (add, amount) in ops {
+        let ops = rng.random_range(1..40usize);
+        for _ in 0..ops {
+            let add = rng.random_bool(0.5);
+            let amount = rng.random_range(0.0..30.0);
             if add {
                 let spilled = vial.add_solid(amount);
-                prop_assert!(spilled >= 0.0 && spilled <= amount + 1e-9);
+                assert!(spilled >= 0.0 && spilled <= amount + 1e-9);
                 ledger += amount - spilled;
             } else {
                 let taken = vial.take_solid(amount);
-                prop_assert!(taken >= 0.0 && taken <= amount + 1e-9);
+                assert!(taken >= 0.0 && taken <= amount + 1e-9);
                 ledger -= taken;
             }
-            prop_assert!((vial.solid_mg() - ledger).abs() < 1e-6);
-            prop_assert!(vial.solid_mg() >= -1e-9);
-            prop_assert!(vial.solid_mg() <= 10.0 + 1e-9);
+            assert!((vial.solid_mg() - ledger).abs() < 1e-6);
+            assert!(vial.solid_mg() >= -1e-9);
+            assert!(vial.solid_mg() <= 10.0 + 1e-9);
         }
     }
 }

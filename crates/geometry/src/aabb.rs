@@ -1,7 +1,6 @@
 //! Axis-aligned bounding boxes (the paper's "3D cuboid objects").
 
 use crate::{Vec3, EPSILON};
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned box, RABIT's canonical device shape.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(hotplate.contains_point(Vec3::new(0.4, 0.4, 0.1)));
 /// assert!(!hotplate.contains_point(Vec3::new(0.4, 0.4, 0.2)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
     min: Vec3,
     max: Vec3,
@@ -192,6 +191,24 @@ impl Aabb {
             Vec3::new(lo.x, hi.y, hi.z),
             Vec3::new(hi.x, hi.y, hi.z),
         ]
+    }
+}
+
+impl rabit_util::ToJson for Aabb {
+    fn to_json(&self) -> rabit_util::Json {
+        rabit_util::Json::obj([
+            ("min", rabit_util::ToJson::to_json(&self.min)),
+            ("max", rabit_util::ToJson::to_json(&self.max)),
+        ])
+    }
+}
+
+impl rabit_util::FromJson for Aabb {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        Ok(Aabb::new(
+            rabit_util::json::field(json, "min")?,
+            rabit_util::json::field(json, "max")?,
+        ))
     }
 }
 

@@ -1,0 +1,281 @@
+//! Broad-phase culling over static obstacle sets.
+//!
+//! The Extended Simulator's sweep is O(devices × trajectory samples):
+//! every sampled arm pose tests every device cuboid. That is fine for the
+//! testbed's nine devices but wasteful for production decks and for fleet
+//! runs that sweep hundreds of virtual labs. [`Bvh`] is a flat
+//! bounding-volume hierarchy over the obstacles' AABBs: a query with a
+//! probe box returns only the obstacles whose bounds overlap it, so the
+//! narrow-phase capsule tests run against a handful of candidates instead
+//! of the whole deck.
+//!
+//! The tree is built once per world mutation (median split on the longest
+//! centroid axis) and stored as a flat node array — no pointers, no
+//! recursion at query time, fully deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use rabit_geometry::{broadphase::Bvh, Aabb, Vec3};
+//!
+//! let boxes = vec![
+//!     Aabb::new(Vec3::ZERO, Vec3::splat(0.1)),
+//!     Aabb::new(Vec3::splat(1.0), Vec3::splat(1.1)),
+//! ];
+//! let bvh = Bvh::build(&boxes);
+//! let probe = Aabb::new(Vec3::splat(-0.05), Vec3::splat(0.05));
+//! assert_eq!(bvh.query(&probe), vec![0]);
+//! ```
+
+use crate::{Aabb, Vec3};
+
+/// Leaves per node below which splitting stops.
+const LEAF_SIZE: usize = 4;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    /// Bounds of everything under this node.
+    aabb: Aabb,
+    /// Index of the left child in `nodes`; the right child is `left + 1`…
+    /// no — children are stored at arbitrary indices, so both are kept.
+    left: u32,
+    right: u32,
+    /// For leaves: range `start..start + count` into `order`.
+    start: u32,
+    count: u32,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.count > 0
+    }
+}
+
+/// A flat axis-aligned bounding-box BVH over a fixed set of boxes.
+///
+/// Indices returned by [`Bvh::query`] refer to the slice passed to
+/// [`Bvh::build`], in ascending order — callers that care about
+/// first-in-insertion-order semantics can therefore scan candidates
+/// directly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Bvh {
+    nodes: Vec<Node>,
+    /// Permutation of leaf indices; leaves own contiguous ranges of it.
+    order: Vec<u32>,
+    /// The indexed boxes (original order), for the per-leaf overlap test.
+    boxes: Vec<Aabb>,
+}
+
+impl Bvh {
+    /// Builds a BVH over `boxes`. An empty slice yields an empty tree.
+    pub fn build(boxes: &[Aabb]) -> Self {
+        let mut bvh = Bvh {
+            nodes: Vec::new(),
+            order: (0..boxes.len() as u32).collect(),
+            boxes: boxes.to_vec(),
+        };
+        if !boxes.is_empty() {
+            bvh.nodes.reserve(2 * boxes.len());
+            bvh.split(boxes, 0, boxes.len());
+        }
+        bvh
+    }
+
+    /// Number of indexed boxes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Builds the subtree over `order[start..end]`, returning its node id.
+    fn split(&mut self, boxes: &[Aabb], start: usize, end: usize) -> u32 {
+        let slice = &self.order[start..end];
+        let mut bounds = boxes[slice[0] as usize];
+        let mut centroid_min = bounds.center();
+        let mut centroid_max = centroid_min;
+        for &i in slice {
+            let b = boxes[i as usize];
+            bounds = bounds.union(&b);
+            centroid_min = centroid_min.min(b.center());
+            centroid_max = centroid_max.max(b.center());
+        }
+
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            aabb: bounds,
+            left: 0,
+            right: 0,
+            start: start as u32,
+            count: (end - start) as u32,
+        });
+
+        let spread = centroid_max - centroid_min;
+        if end - start <= LEAF_SIZE || spread.norm() < crate::EPSILON {
+            return id; // leaf
+        }
+
+        // Median split along the widest centroid axis. Ties in the sort
+        // key fall back to the index itself, keeping the build fully
+        // deterministic.
+        let axis = widest_axis(spread);
+        self.order[start..end].sort_by(|&a, &b| {
+            let (ca, cb) = (
+                boxes[a as usize].center()[axis],
+                boxes[b as usize].center()[axis],
+            );
+            ca.partial_cmp(&cb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mid = start + (end - start) / 2;
+
+        let left = self.split(boxes, start, mid);
+        let right = self.split(boxes, mid, end);
+        let node = &mut self.nodes[id as usize];
+        node.left = left;
+        node.right = right;
+        node.count = 0; // interior
+        id
+    }
+
+    /// All indexed boxes whose bounds overlap `probe`, ascending.
+    pub fn query(&self, probe: &Aabb) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.query_into(probe, &mut out);
+        out
+    }
+
+    /// As [`Bvh::query`], reusing an output buffer (cleared first).
+    pub fn query_into(&self, probe: &Aabb, out: &mut Vec<usize>) {
+        out.clear();
+        if self.nodes.is_empty() {
+            return;
+        }
+        // Explicit stack; tree depth is O(log n) but size generously.
+        let mut stack = vec![0u32];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if !node.aabb.intersects(probe) {
+                continue;
+            }
+            if node.is_leaf() {
+                let (s, c) = (node.start as usize, node.count as usize);
+                out.extend(
+                    self.order[s..s + c]
+                        .iter()
+                        .map(|&i| i as usize)
+                        .filter(|&i| self.boxes[i].intersects(probe)),
+                );
+            } else {
+                stack.push(node.left);
+                stack.push(node.right);
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+fn widest_axis(spread: Vec3) -> usize {
+    if spread.x >= spread.y && spread.x >= spread.z {
+        0
+    } else if spread.y >= spread.z {
+        1
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_boxes(n: usize) -> Vec<Aabb> {
+        // n³ unit-ish boxes on a lattice, spaced so neighbours don't touch.
+        let mut out = Vec::new();
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    let c = Vec3::new(x as f64, y as f64, z as f64) * 2.0;
+                    out.push(Aabb::from_center_half_extents(c, Vec3::splat(0.4)));
+                }
+            }
+        }
+        out
+    }
+
+    fn exhaustive(boxes: &[Aabb], probe: &Aabb) -> Vec<usize> {
+        boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects(probe))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let bvh = Bvh::build(&[]);
+        assert!(bvh.is_empty());
+        assert!(bvh
+            .query(&Aabb::new(Vec3::ZERO, Vec3::splat(1.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn single_box() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let bvh = Bvh::build(&[b]);
+        assert_eq!(bvh.len(), 1);
+        assert_eq!(bvh.query(&b), vec![0]);
+        let far = Aabb::new(Vec3::splat(5.0), Vec3::splat(6.0));
+        assert!(bvh.query(&far).is_empty());
+    }
+
+    #[test]
+    fn matches_exhaustive_on_lattice() {
+        let boxes = grid_boxes(4); // 64 boxes
+        let bvh = Bvh::build(&boxes);
+        let probes = [
+            Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)),
+            Aabb::new(Vec3::splat(0.0), Vec3::splat(6.5)),
+            Aabb::new(Vec3::new(3.0, -1.0, 3.0), Vec3::new(5.0, 9.0, 5.0)),
+            Aabb::new(Vec3::splat(100.0), Vec3::splat(101.0)),
+        ];
+        for probe in &probes {
+            assert_eq!(bvh.query(probe), exhaustive(&boxes, probe));
+        }
+    }
+
+    #[test]
+    fn duplicate_and_degenerate_boxes_are_handled() {
+        // All boxes identical: centroid spread is zero, so the tree must
+        // stop splitting rather than recurse forever.
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let boxes = vec![b; 37];
+        let bvh = Bvh::build(&boxes);
+        assert_eq!(bvh.query(&b), (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_are_sorted_ascending() {
+        let boxes = grid_boxes(3);
+        let bvh = Bvh::build(&boxes);
+        let probe = Aabb::new(Vec3::splat(-1.0), Vec3::splat(10.0));
+        let hits = bvh.query(&probe);
+        assert!(hits.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(hits.len(), boxes.len());
+    }
+
+    #[test]
+    fn query_into_reuses_buffer() {
+        let boxes = grid_boxes(2);
+        let bvh = Bvh::build(&boxes);
+        let mut buf = vec![99usize; 4];
+        bvh.query_into(&Aabb::new(Vec3::splat(-1.0), Vec3::splat(0.5)), &mut buf);
+        assert_eq!(buf, vec![0]);
+    }
+}

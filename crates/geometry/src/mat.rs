@@ -1,7 +1,6 @@
 //! 3×3 rotation/linear-map matrices.
 
 use crate::Vec3;
-use serde::{Deserialize, Serialize};
 use std::ops::Mul;
 
 /// A 3×3 matrix stored in row-major order, used primarily for rotations.
@@ -15,7 +14,7 @@ use std::ops::Mul;
 /// let v = r * Vec3::X;
 /// assert!((v - Vec3::Y).norm() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mat3 {
     /// Rows of the matrix.
     rows: [[f64; 3]; 3],

@@ -6,8 +6,7 @@
 //! commanded positions, with a per-arm standard deviation.
 
 use crate::Vec3;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rabit_util::Rng;
 
 /// An isotropic Gaussian positional noise model.
 ///
@@ -17,14 +16,14 @@ use serde::{Deserialize, Serialize};
 /// use rabit_geometry::noise::PositionNoise;
 /// use rabit_geometry::Vec3;
 ///
-/// let mut rng = rand::rng();
+/// let mut rng = rabit_util::Rng::seed_from_u64(1);
 /// // Testbed-arm repeatability on the order of a centimetre.
 /// let noise = PositionNoise::gaussian(0.01);
 /// let commanded = Vec3::new(0.3, 0.2, 0.1);
 /// let actual = noise.perturb(commanded, &mut rng);
 /// assert!(commanded.distance(actual) < 0.1); // almost surely
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PositionNoise {
     /// Standard deviation per axis, in metres. Zero means a perfect arm.
     sigma: f64,
@@ -59,7 +58,7 @@ impl PositionNoise {
     }
 
     /// Samples a noisy observation of `p`.
-    pub fn perturb<R: Rng + ?Sized>(&self, p: Vec3, rng: &mut R) -> Vec3 {
+    pub fn perturb(&self, p: Vec3, rng: &mut Rng) -> Vec3 {
         if self.is_none() {
             return p;
         }
@@ -71,10 +70,8 @@ impl PositionNoise {
     }
 
     /// Box–Muller transform: one standard normal sample scaled by sigma.
-    fn sample_gaussian<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = rng.random_range(0.0..1.0);
-        self.sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    fn sample_gaussian(&self, rng: &mut Rng) -> f64 {
+        self.sigma * rng.random_normal()
     }
 
     /// Expected Euclidean error magnitude `E[‖ε‖]` for this model.
@@ -96,12 +93,10 @@ impl Default for PositionNoise {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn zero_sigma_is_identity() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let p = Vec3::new(1.0, 2.0, 3.0);
         assert_eq!(PositionNoise::NONE.perturb(p, &mut rng), p);
         assert!(PositionNoise::NONE.is_none());
@@ -115,7 +110,7 @@ mod tests {
 
     #[test]
     fn sample_statistics_match_sigma() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let noise = PositionNoise::gaussian(0.02);
         let n = 20_000;
         let mut sum = Vec3::ZERO;
@@ -137,7 +132,7 @@ mod tests {
 
     #[test]
     fn expected_error_norm_matches_empirical() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let noise = PositionNoise::gaussian(0.015);
         let n = 20_000;
         let mut total = 0.0;

@@ -5,10 +5,9 @@
 //! given arm's coordinate frame, which is what [`Obb`] captures.
 
 use crate::{Aabb, Mat3, Pose, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// An oriented box: an [`Aabb`] in its own local frame, placed by a [`Pose`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Obb {
     /// Center of the box in world coordinates.
     pub center: Vec3,

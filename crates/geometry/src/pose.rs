@@ -1,7 +1,6 @@
 //! Rigid transforms (rotation + translation).
 
 use crate::{Mat3, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A rigid transform: rotation followed by translation.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let p_viperx = ned2_in_viperx.transform_point(p_ned2);
 /// assert!((p_viperx - Vec3::new(0.7, 0.0, 0.2)).norm() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Pose {
     /// Rotation part.
     pub rotation: Mat3,

@@ -2,10 +2,9 @@
 //! objects.
 
 use crate::{Vec3, EPSILON};
-use serde::{Deserialize, Serialize};
 
 /// A line segment between two points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Start point.
     pub a: Vec3,
@@ -107,7 +106,7 @@ impl Segment {
 /// A capsule: a segment with a radius. Robot-arm links and grippers are
 /// modelled as capsules; a held vial extends the wrist capsule (the paper's
 /// Bug-D fix).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Capsule {
     /// Central segment (the link axis).
     pub segment: Segment,
@@ -157,10 +156,20 @@ impl Capsule {
     pub fn intersects_capsule(&self, other: &Capsule) -> bool {
         self.distance_to_capsule(other) <= 0.0
     }
+
+    /// The tight axis-aligned bound of the capsule (endpoints inflated by
+    /// the radius) — the probe shape for broad-phase queries.
+    pub fn bounding_box(&self) -> crate::Aabb {
+        let r = Vec3::splat(self.radius);
+        crate::Aabb::new(
+            self.segment.a.min(self.segment.b) - r,
+            self.segment.a.max(self.segment.b) + r,
+        )
+    }
 }
 
 /// A sphere, used for simple held objects and end-effector proximity zones.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sphere {
     /// Center.
     pub center: Vec3,

@@ -1,6 +1,4 @@
 //! Three-dimensional vectors.
-
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
@@ -18,7 +16,7 @@ use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
 /// let travel = (grid - home).norm();
 /// assert!(travel > 0.5 && travel < 0.6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// X component.
     pub x: f64,
@@ -279,6 +277,26 @@ impl Sum for Vec3 {
 impl fmt::Display for Vec3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({:.4}, {:.4}, {:.4})", self.x, self.y, self.z)
+    }
+}
+
+impl rabit_util::ToJson for Vec3 {
+    fn to_json(&self) -> rabit_util::Json {
+        rabit_util::Json::obj([
+            ("x", rabit_util::Json::Num(self.x)),
+            ("y", rabit_util::Json::Num(self.y)),
+            ("z", rabit_util::Json::Num(self.z)),
+        ])
+    }
+}
+
+impl rabit_util::FromJson for Vec3 {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        Ok(Vec3::new(
+            rabit_util::json::field(json, "x")?,
+            rabit_util::json::field(json, "y")?,
+            rabit_util::json::field(json, "z")?,
+        ))
     }
 }
 

@@ -1,124 +1,174 @@
 //! Property-based tests over the geometry substrate's invariants.
+//!
+//! Hand-rolled property loops: each property runs `CASES` deterministic
+//! cases drawn from the in-tree seeded PRNG, so failures reproduce
+//! exactly and the suite needs no external dependency.
 
-use proptest::prelude::*;
 use rabit_geometry::{calibrate, collide, Aabb, Capsule, Mat3, Pose, Segment, Vec3};
+use rabit_util::Rng;
 
-fn small_f64() -> impl Strategy<Value = f64> {
-    -10.0..10.0f64
+const CASES: usize = 256;
+
+fn small_f64(rng: &mut Rng) -> f64 {
+    rng.random_range(-10.0..10.0)
 }
 
-fn vec3() -> impl Strategy<Value = Vec3> {
-    (small_f64(), small_f64(), small_f64()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+fn vec3(rng: &mut Rng) -> Vec3 {
+    Vec3::new(small_f64(rng), small_f64(rng), small_f64(rng))
 }
 
-fn unit_angle() -> impl Strategy<Value = f64> {
-    -std::f64::consts::PI..std::f64::consts::PI
+fn rotation(rng: &mut Rng) -> Mat3 {
+    loop {
+        let axis = vec3(rng);
+        let angle = rng.random_range(-std::f64::consts::PI..std::f64::consts::PI);
+        if let Some(r) = Mat3::rotation_axis_angle(axis, angle) {
+            return r;
+        }
+    }
 }
 
-fn rotation() -> impl Strategy<Value = Mat3> {
-    (vec3(), unit_angle()).prop_filter_map("axis must be nonzero", |(axis, angle)| {
-        Mat3::rotation_axis_angle(axis, angle)
-    })
+fn pose(rng: &mut Rng) -> Pose {
+    Pose::new(rotation(rng), vec3(rng))
 }
 
-fn pose() -> impl Strategy<Value = Pose> {
-    (rotation(), vec3()).prop_map(|(r, t)| Pose::new(r, t))
+fn aabb(rng: &mut Rng) -> Aabb {
+    Aabb::new(vec3(rng), vec3(rng))
 }
 
-fn aabb() -> impl Strategy<Value = Aabb> {
-    (vec3(), vec3()).prop_map(|(a, b)| Aabb::new(a, b))
-}
-
-proptest! {
-    #[test]
-    fn cross_product_is_orthogonal(a in vec3(), b in vec3()) {
+#[test]
+fn cross_product_is_orthogonal() {
+    let mut rng = Rng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let (a, b) = (vec3(&mut rng), vec3(&mut rng));
         let c = a.cross(b);
-        prop_assert!((c.dot(a)).abs() < 1e-6);
-        prop_assert!((c.dot(b)).abs() < 1e-6);
+        assert!((c.dot(a)).abs() < 1e-6);
+        assert!((c.dot(b)).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn triangle_inequality(a in vec3(), b in vec3(), c in vec3()) {
-        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+#[test]
+fn triangle_inequality() {
+    let mut rng = Rng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let (a, b, c) = (vec3(&mut rng), vec3(&mut rng), vec3(&mut rng));
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
     }
+}
 
-    #[test]
-    fn rotation_preserves_length(r in rotation(), v in vec3()) {
-        prop_assert!(((r * v).norm() - v.norm()).abs() < 1e-9);
-        prop_assert!(r.is_rotation(1e-7));
+#[test]
+fn rotation_preserves_length() {
+    let mut rng = Rng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let r = rotation(&mut rng);
+        let v = vec3(&mut rng);
+        assert!(((r * v).norm() - v.norm()).abs() < 1e-9);
+        assert!(r.is_rotation(1e-7));
     }
+}
 
-    #[test]
-    fn pose_inverse_roundtrips(p in pose(), v in vec3()) {
+#[test]
+fn pose_inverse_roundtrips() {
+    let mut rng = Rng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let p = pose(&mut rng);
+        let v = vec3(&mut rng);
         let back = p.inverse().transform_point(p.transform_point(v));
-        prop_assert!((back - v).norm() < 1e-8);
+        assert!((back - v).norm() < 1e-8);
     }
+}
 
-    #[test]
-    fn pose_composition_is_sequential_application(a in pose(), b in pose(), v in vec3()) {
+#[test]
+fn pose_composition_is_sequential_application() {
+    let mut rng = Rng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let (a, b) = (pose(&mut rng), pose(&mut rng));
+        let v = vec3(&mut rng);
         let lhs = a.compose(&b).transform_point(v);
         let rhs = a.transform_point(b.transform_point(v));
-        prop_assert!((lhs - rhs).norm() < 1e-8);
+        assert!((lhs - rhs).norm() < 1e-8);
     }
+}
 
-    #[test]
-    fn aabb_closest_point_is_inside_and_no_farther(b in aabb(), p in vec3()) {
+#[test]
+fn aabb_closest_point_is_inside_and_no_farther() {
+    let mut rng = Rng::seed_from_u64(6);
+    for _ in 0..CASES {
+        let b = aabb(&mut rng);
+        let p = vec3(&mut rng);
         let cp = b.closest_point(p);
-        prop_assert!(b.contains_point(cp) || b.distance_to_point(cp) < 1e-9);
+        assert!(b.contains_point(cp) || b.distance_to_point(cp) < 1e-9);
         // No corner is closer than the reported closest point.
         for corner in b.corners() {
-            prop_assert!(p.distance(cp) <= p.distance(corner) + 1e-9);
+            assert!(p.distance(cp) <= p.distance(corner) + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn aabb_inflation_monotone(b in aabb(), m in 0.0..2.0f64, p in vec3()) {
+#[test]
+fn aabb_inflation_monotone() {
+    let mut rng = Rng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let b = aabb(&mut rng);
+        let m = rng.random_range(0.0..2.0);
+        let p = vec3(&mut rng);
         // Inflating can only decrease point distance.
-        prop_assert!(b.inflated(m).distance_to_point(p) <= b.distance_to_point(p) + 1e-9);
+        assert!(b.inflated(m).distance_to_point(p) <= b.distance_to_point(p) + 1e-9);
         if b.contains_point(p) {
-            prop_assert!(b.inflated(m).contains_point(p));
+            assert!(b.inflated(m).contains_point(p));
         }
     }
+}
 
-    #[test]
-    fn segment_aabb_distance_lower_bounds_point_distances(
-        b in aabb(), a1 in vec3(), a2 in vec3(), t in 0.0..1.0f64
-    ) {
-        let seg = Segment::new(a1, a2);
+#[test]
+fn segment_aabb_distance_lower_bounds_point_distances() {
+    let mut rng = Rng::seed_from_u64(8);
+    for _ in 0..CASES {
+        let b = aabb(&mut rng);
+        let seg = Segment::new(vec3(&mut rng), vec3(&mut rng));
+        let t = rng.random_range(0.0..1.0);
         let d = collide::segment_aabb_distance(&seg, &b);
         // The distance from any sampled point on the segment can't be
         // smaller than the reported minimum (up to ternary-search error).
         let sample = seg.point_at(t);
-        prop_assert!(b.distance_to_point(sample) >= d - 1e-6);
+        assert!(b.distance_to_point(sample) >= d - 1e-6);
     }
+}
 
-    #[test]
-    fn segment_distance_is_symmetric(a1 in vec3(), a2 in vec3(), b1 in vec3(), b2 in vec3()) {
+#[test]
+fn segment_distance_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(9);
+    for _ in 0..CASES {
+        let (a1, a2) = (vec3(&mut rng), vec3(&mut rng));
+        let (b1, b2) = (vec3(&mut rng), vec3(&mut rng));
         let s1 = Segment::new(a1, a2);
         let s2 = Segment::new(b1, b2);
         let d12 = s1.distance_to_segment(&s2);
         let d21 = s2.distance_to_segment(&s1);
-        prop_assert!((d12 - d21).abs() < 1e-9);
+        assert!((d12 - d21).abs() < 1e-9);
         // And it lower-bounds endpoint distances.
-        prop_assert!(d12 <= a1.distance(b1) + 1e-9);
-        prop_assert!(d12 <= a2.distance(b2) + 1e-9);
+        assert!(d12 <= a1.distance(b1) + 1e-9);
+        assert!(d12 <= a2.distance(b2) + 1e-9);
     }
+}
 
-    #[test]
-    fn capsule_intersection_consistent_with_distance(
-        a1 in vec3(), a2 in vec3(), r1 in 0.01..1.0f64,
-        b1 in vec3(), b2 in vec3(), r2 in 0.01..1.0f64
-    ) {
-        let c1 = Capsule::new(a1, a2, r1);
-        let c2 = Capsule::new(b1, b2, r2);
-        prop_assert_eq!(
+#[test]
+fn capsule_intersection_consistent_with_distance() {
+    let mut rng = Rng::seed_from_u64(10);
+    for _ in 0..CASES {
+        let c1 = Capsule::new(vec3(&mut rng), vec3(&mut rng), rng.random_range(0.01..1.0));
+        let c2 = Capsule::new(vec3(&mut rng), vec3(&mut rng), rng.random_range(0.01..1.0));
+        assert_eq!(
             c1.intersects_capsule(&c2),
             c1.distance_to_capsule(&c2) <= 0.0
         );
     }
+}
 
-    #[test]
-    fn kabsch_recovers_applied_transform(p in pose()) {
+#[test]
+fn kabsch_recovers_applied_transform() {
+    let mut rng = Rng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let p = pose(&mut rng);
         // A non-degenerate cloud.
         let src = [
             Vec3::new(0.0, 0.0, 0.0),
@@ -129,6 +179,6 @@ proptest! {
         ];
         let dst: Vec<Vec3> = src.iter().map(|v| p.transform_point(*v)).collect();
         let fit = calibrate::fit_rigid_transform(&src, &dst).unwrap();
-        prop_assert!(fit.rms_error < 1e-6, "rms = {}", fit.rms_error);
+        assert!(fit.rms_error < 1e-6, "rms = {}", fit.rms_error);
     }
 }

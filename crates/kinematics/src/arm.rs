@@ -3,10 +3,9 @@
 
 use crate::chain::{DhChain, JointConfig, JointLimits};
 use rabit_geometry::{Capsule, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Gripper open/closed state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GripperState {
     /// Gripper jaws open (cannot hold anything).
     Open,
@@ -17,7 +16,7 @@ pub enum GripperState {
 /// An object held by the gripper. Holding an object *changes the arm's
 /// effective dimensions* — the oversight behind the paper's Bug D, where
 /// "the vial collided with the platform before RABIT could raise an alarm".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeldObject {
     /// Radius of the held object (metres), e.g. a vial ≈ 0.014.
     pub radius: f64,
@@ -57,7 +56,7 @@ impl HeldObject {
 }
 
 /// A complete 6-axis arm model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArmModel {
     name: String,
     chain: DhChain,

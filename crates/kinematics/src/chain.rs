@@ -3,14 +3,13 @@
 #![allow(clippy::needless_range_loop)] // index-paired math over fixed-size arrays
 
 use rabit_geometry::{Mat3, Pose, Vec3};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One revolute joint in standard Denavit–Hartenberg convention.
 ///
 /// The transform from frame `i-1` to frame `i` for joint angle `θ` is
 /// `RotZ(θ + theta_offset) · TransZ(d) · TransX(a) · RotX(alpha)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DhParam {
     /// Link length `a` (metres).
     pub a: f64,
@@ -45,7 +44,7 @@ impl DhParam {
 }
 
 /// Symmetric joint limits, radians.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JointLimits {
     /// Lower bound (radians).
     pub min: f64,
@@ -81,7 +80,7 @@ impl JointLimits {
 }
 
 /// A joint configuration for a 6-axis arm (radians).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct JointConfig {
     angles: [f64; 6],
 }
@@ -179,7 +178,7 @@ impl From<[f64; 6]> for JointConfig {
 }
 
 /// A six-joint serial chain in DH convention, rooted at a base pose.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DhChain {
     params: [DhParam; 6],
     base: Pose,

@@ -9,10 +9,9 @@
 use crate::arm::{ArmModel, HeldObject};
 use crate::chain::JointConfig;
 use rabit_geometry::Capsule;
-use serde::{Deserialize, Serialize};
 
 /// A piecewise-linear joint-space trajectory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
     waypoints: Vec<JointConfig>,
     /// Joint speed used for timing (radians/second, L∞ across joints).

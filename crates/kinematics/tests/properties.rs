@@ -1,88 +1,118 @@
 //! Property-based tests over kinematics invariants.
+//!
+//! Hand-rolled property loops over the in-tree seeded PRNG — each
+//! property runs `CASES` deterministic cases.
 
-use proptest::prelude::*;
 use rabit_kinematics::trajectory::Trajectory;
 use rabit_kinematics::{presets, ArmModel, HeldObject, JointConfig};
+use rabit_util::Rng;
 
-fn any_arm() -> impl Strategy<Value = ArmModel> {
-    prop_oneof![
-        Just(presets::ur3e()),
-        Just(presets::viperx300()),
-        Just(presets::ned2()),
-    ]
+const CASES: usize = 256;
+
+fn any_arm(rng: &mut Rng) -> ArmModel {
+    match rng.random_range(0..3u32) {
+        0 => presets::ur3e(),
+        1 => presets::viperx300(),
+        _ => presets::ned2(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tool_never_exceeds_max_reach(arm in any_arm(), seed in any::<u64>()) {
-        // Derive a config deterministically from the seed within limits.
+#[test]
+fn tool_never_exceeds_max_reach() {
+    let mut rng = Rng::seed_from_u64(201);
+    for _ in 0..CASES {
+        let arm = any_arm(&mut rng);
+        // A random config drawn uniformly within the joint limits.
         let mut q = JointConfig::ZERO;
-        let mut s = seed;
         for i in 0..6 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let t = (s >> 11) as f64 / (1u64 << 53) as f64;
             let l = arm.limits()[i];
-            q = q.with_angle(i, l.min + t * (l.max - l.min));
+            q = q.with_angle(i, rng.random_range(l.min..l.max));
         }
-        let d = arm.tool_position(&q).distance(arm.chain().base().translation);
-        prop_assert!(d <= arm.max_reach() + 1e-9, "{}: {d} > {}", arm.name(), arm.max_reach());
+        let d = arm
+            .tool_position(&q)
+            .distance(arm.chain().base().translation);
+        assert!(
+            d <= arm.max_reach() + 1e-9,
+            "{}: {d} > {}",
+            arm.name(),
+            arm.max_reach()
+        );
     }
+}
 
-    #[test]
-    fn capsules_chain_continuously(arm in any_arm()) {
+#[test]
+fn capsules_chain_continuously() {
+    let mut rng = Rng::seed_from_u64(202);
+    for _ in 0..CASES {
+        let arm = any_arm(&mut rng);
         let caps = arm.link_capsules(&arm.home_configuration(), None);
-        prop_assert_eq!(caps.len(), 7);
+        assert_eq!(caps.len(), 7);
         for w in caps.windows(2) {
-            prop_assert!((w[0].segment.b - w[1].segment.a).norm() < 1e-9);
+            assert!((w[0].segment.b - w[1].segment.a).norm() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn held_object_never_shrinks_the_arm(arm in any_arm(), r in 0.001..0.05f64, l in 0.0..0.15f64) {
-        let held = HeldObject::new(r, l);
+#[test]
+fn held_object_never_shrinks_the_arm() {
+    let mut rng = Rng::seed_from_u64(203);
+    for _ in 0..CASES {
+        let arm = any_arm(&mut rng);
+        let held = HeldObject::new(rng.random_range(0.001..0.05), rng.random_range(0.0..0.15));
         let q = arm.home_configuration();
         let bare = arm.lowest_point(&q, None);
         let with = arm.lowest_point(&q, Some(&held));
-        prop_assert!(with <= bare + 1e-9);
+        assert!(with <= bare + 1e-9);
     }
+}
 
-    #[test]
-    fn trajectory_sampling_brackets_endpoints(n in 2usize..50) {
+#[test]
+fn trajectory_sampling_brackets_endpoints() {
+    let mut rng = Rng::seed_from_u64(204);
+    for _ in 0..CASES {
+        let n = rng.random_range(2..50usize);
         let arm = presets::ur3e();
         let t = Trajectory::linear(arm.home_configuration(), arm.sleep_configuration());
         let s = t.sample(n);
-        prop_assert_eq!(s.len(), n);
-        prop_assert!(s[0].max_joint_delta(&t.start()) < 1e-12);
-        prop_assert!(s[n - 1].max_joint_delta(&t.end()) < 1e-12);
+        assert_eq!(s.len(), n);
+        assert!(s[0].max_joint_delta(&t.start()) < 1e-12);
+        assert!(s[n - 1].max_joint_delta(&t.end()) < 1e-12);
         // Monotone progress: each sample moves away from the start.
         let mut last = -1.0;
         for c in &s {
             let d = t.start().distance(c);
-            prop_assert!(d >= last - 1e-9);
+            assert!(d >= last - 1e-9);
             last = d;
         }
     }
+}
 
-    #[test]
-    fn config_at_is_continuous(t1 in 0.0..5.0f64, dt in 0.0..0.01f64) {
+#[test]
+fn config_at_is_continuous() {
+    let mut rng = Rng::seed_from_u64(205);
+    for _ in 0..CASES {
+        let t1 = rng.random_range(0.0..5.0);
+        let dt = rng.random_range(0.0..0.01);
         let arm = presets::viperx300();
         let traj = Trajectory::linear(arm.home_configuration(), arm.sleep_configuration());
         let a = traj.config_at(t1);
         let b = traj.config_at(t1 + dt);
         // With DEFAULT_JOINT_SPEED = 1 rad/s, joints can't jump more than dt.
-        prop_assert!(a.max_joint_delta(&b) <= dt + 1e-9);
+        assert!(a.max_joint_delta(&b) <= dt + 1e-9);
     }
+}
 
-    #[test]
-    fn lerp_stays_within_segment_bounds(t in 0.0..1.0f64) {
+#[test]
+fn lerp_stays_within_segment_bounds() {
+    let mut rng = Rng::seed_from_u64(206);
+    for _ in 0..CASES {
+        let t = rng.random_range(0.0..1.0);
         let a = JointConfig::new([0.0, -1.0, 2.0, 0.5, -0.5, 0.0]);
         let b = JointConfig::new([1.0, 1.0, -2.0, 0.5, 0.5, 3.0]);
         let c = a.lerp(&b, t);
         for i in 0..6 {
             let (lo, hi) = (a.angle(i).min(b.angle(i)), a.angle(i).max(b.angle(i)));
-            prop_assert!(c.angle(i) >= lo - 1e-12 && c.angle(i) <= hi + 1e-12);
+            assert!(c.angle(i) >= lo - 1e-12 && c.angle(i) <= hi + 1e-12);
         }
     }
 }

@@ -12,12 +12,10 @@
 use rabit_devices::{ActionKind, Command, DeviceId};
 use rabit_geometry::Vec3;
 use rabit_tracer::{Trace, TraceEvent, TraceOutcome};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use rabit_util::Rng;
 
 /// Corpus generation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadGenParams {
     /// Number of experiment sessions (the paper's corpus covers ~3 months
     /// of lab work; a session is one workflow run).
@@ -42,14 +40,14 @@ impl Default for RadGenParams {
 
 /// Generates the corpus: one [`Trace`] per session.
 pub fn generate_corpus(params: &RadGenParams) -> Vec<Trace> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     (0..params.sessions)
         .map(|i| generate_session(i, &mut rng, params.noise_rate))
         .collect()
 }
 
 /// One randomized solubility-style session.
-fn generate_session(index: usize, rng: &mut StdRng, noise_rate: f64) -> Trace {
+fn generate_session(index: usize, rng: &mut Rng, noise_rate: f64) -> Trace {
     let vial: DeviceId = format!("vial_{}", rng.random_range(0..6)).into();
     let amount = rng.random_range(2.0..9.0f64);
     let solvent = rng.random_range(1.0..4.0f64);
@@ -214,7 +212,7 @@ fn generate_session(index: usize, rng: &mut StdRng, noise_rate: f64) -> Trace {
 pub fn generate_lab_corpus(sessions: usize, seed: u64) -> Vec<Trace> {
     use rabit_tracer::Tracer;
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..sessions)
         .map(|i| {
             let mut tb = rabit_testbed::Testbed::new();

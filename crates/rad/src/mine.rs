@@ -19,12 +19,11 @@
 use rabit_devices::{ActionKind, Command, DeviceId, LabState, StateKey};
 use rabit_rulebase::{Rule, RuleId};
 use rabit_tracer::Trace;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A toggle dimension the miner tracks while replaying traces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Toggle {
     /// Door open (true) / closed (false).
     Door,
@@ -42,7 +41,7 @@ impl fmt::Display for Toggle {
 }
 
 /// The guarded-action classes the miner counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GuardedAction {
     /// A robot arm moving inside the device.
     EnterDevice,
@@ -63,7 +62,7 @@ impl fmt::Display for GuardedAction {
 }
 
 /// One mined rule with its evidence.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MinedRule {
     /// `action` on a device only happens while `toggle` is `required`.
     StateGuard {
@@ -186,7 +185,7 @@ impl MinedRule {
 }
 
 /// Miner configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MineParams {
     /// Minimum observations before a pattern is considered.
     pub min_support: usize,

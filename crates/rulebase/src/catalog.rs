@@ -11,11 +11,10 @@
 
 use rabit_devices::{DeviceId, DeviceType};
 use rabit_geometry::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Static metadata for one device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceMeta {
     /// The device's id.
     pub id: DeviceId,
@@ -125,7 +124,7 @@ impl DeviceMeta {
 }
 
 /// The full device catalog for a lab.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DeviceCatalog {
     devices: BTreeMap<DeviceId, DeviceMeta>,
 }

@@ -2,12 +2,11 @@
 
 use crate::catalog::DeviceCatalog;
 use rabit_devices::{Command, LabState};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// Identifies a rule.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RuleId {
     /// General rule *n* of Table III (1-11).
     General(u8),
@@ -33,7 +32,7 @@ impl fmt::Display for RuleId {
 }
 
 /// A detected rule violation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// The violated rule.
     pub rule: RuleId,

@@ -11,11 +11,10 @@
 //! with a bump on top), while keeping the cuboid as the default.
 
 use rabit_geometry::{collide, Aabb, Capsule, Sphere, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A vertical cylinder (axis along +z), the shape of stirrers and
 /// ultrasonic nozzles.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VerticalCylinder {
     /// Center of the base circle.
     pub base: Vec3,
@@ -56,7 +55,7 @@ impl VerticalCylinder {
 }
 
 /// An obstacle shape in the simulated world.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ObstacleShape {
     /// The paper's default: an axis-aligned cuboid.
     Cuboid(Aabb),
@@ -134,10 +133,11 @@ impl ObstacleShape {
             ObstacleShape::Sphere(s) => {
                 Aabb::from_center_half_extents(s.center, Vec3::splat(s.radius))
             }
-            ObstacleShape::Cylinder(c) => Aabb::new(
-                c.base - Vec3::new(c.radius, c.radius, 0.0),
-                c.base + Vec3::new(c.radius, c.radius, c.height),
-            ),
+            // Bound of the *collision* volume: the narrow phase checks the
+            // axis capsule, whose rounded caps bulge past the flat cylinder
+            // ends by `radius`. The bound must cover those caps, or a
+            // broad-phase index over the bounds would prune real contacts.
+            ObstacleShape::Cylinder(c) => c.as_capsule().bounding_box(),
             ObstacleShape::Composite(parts) => {
                 let mut it = parts.iter().map(ObstacleShape::bounding_box);
                 let first = it

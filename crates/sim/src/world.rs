@@ -8,11 +8,11 @@
 //! cuboid specification" (§V-A).
 
 use crate::shapes::ObstacleShape;
+use rabit_geometry::broadphase::Bvh;
 use rabit_geometry::{Aabb, Capsule, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A named obstacle (historically a cuboid; any [`ObstacleShape`] today).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NamedBox {
     /// Obstacle name (device id, `"platform"`, `"wall_north"`, …).
     pub name: String,
@@ -44,9 +44,17 @@ impl NamedBox {
 }
 
 /// The static world the simulator checks trajectories against.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Obstacles keep their insertion order — [`SimWorld::first_hit`] reports
+/// the *first inserted* obstacle that is hit, whether or not the
+/// broad-phase index is used. The index (a flat AABB BVH over the
+/// obstacles' bounding boxes) is rebuilt eagerly on every mutation, so
+/// queries stay `&self` and two worlds with equal obstacle lists compare
+/// equal.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimWorld {
     obstacles: Vec<NamedBox>,
+    index: Bvh,
 }
 
 impl SimWorld {
@@ -57,7 +65,7 @@ impl SimWorld {
 
     /// Adds a cuboid obstacle (builder style).
     pub fn with_obstacle(mut self, name: impl Into<String>, volume: Aabb) -> Self {
-        self.obstacles.push(NamedBox::new(name, volume));
+        self.add_obstacle(name, volume);
         self
     }
 
@@ -65,6 +73,7 @@ impl SimWorld {
     /// centrifuges, bumped thermoshakers, cylindrical nozzles.
     pub fn with_shaped_obstacle(mut self, name: impl Into<String>, shape: ObstacleShape) -> Self {
         self.obstacles.push(NamedBox::with_shape(name, shape));
+        self.reindex();
         self
     }
 
@@ -119,6 +128,7 @@ impl SimWorld {
     /// Adds an obstacle.
     pub fn add_obstacle(&mut self, name: impl Into<String>, volume: Aabb) {
         self.obstacles.push(NamedBox::new(name, volume));
+        self.reindex();
     }
 
     /// Removes all obstacles with the given name; returns how many were
@@ -126,6 +136,9 @@ impl SimWorld {
     pub fn remove_obstacle(&mut self, name: &str) -> usize {
         let before = self.obstacles.len();
         self.obstacles.retain(|o| o.name != name);
+        if self.obstacles.len() != before {
+            self.reindex();
+        }
         before - self.obstacles.len()
     }
 
@@ -134,13 +147,65 @@ impl SimWorld {
         &self.obstacles
     }
 
+    /// Rebuilds the broad-phase index after a mutation.
+    fn reindex(&mut self) {
+        let bounds: Vec<Aabb> = self.obstacles.iter().map(|o| o.bounding_box()).collect();
+        self.index = Bvh::build(&bounds);
+    }
+
     /// The first obstacle any of the given capsules intersects, ignoring
-    /// obstacles named in `exclude`.
+    /// obstacles named in `exclude`. Uses the broad-phase index.
     pub fn first_hit(&self, capsules: &[Capsule], exclude: &[&str]) -> Option<&NamedBox> {
-        self.obstacles
-            .iter()
-            .filter(|o| !exclude.contains(&o.name.as_str()))
-            .find(|o| capsules.iter().any(|c| o.shape.intersects_capsule(c)))
+        self.first_hit_counting(capsules, exclude, true).0
+    }
+
+    /// As [`SimWorld::first_hit`], but testing every obstacle linearly —
+    /// the reference path the differential tests compare the pruned path
+    /// against.
+    pub fn first_hit_exhaustive(
+        &self,
+        capsules: &[Capsule],
+        exclude: &[&str],
+    ) -> Option<&NamedBox> {
+        self.first_hit_counting(capsules, exclude, false).0
+    }
+
+    /// The first hit plus the number of narrow-phase obstacle tests it
+    /// cost. `broad_phase` selects BVH pruning or the exhaustive scan;
+    /// both return the identical obstacle (candidates are scanned in
+    /// ascending insertion order).
+    pub fn first_hit_counting(
+        &self,
+        capsules: &[Capsule],
+        exclude: &[&str],
+        broad_phase: bool,
+    ) -> (Option<&NamedBox>, u64) {
+        let mut tested = 0;
+        let mut narrow = |o: &NamedBox| {
+            tested += 1;
+            capsules.iter().any(|c| o.shape.intersects_capsule(c))
+        };
+        let hit = if broad_phase {
+            let mut probe: Option<Aabb> = None;
+            for c in capsules {
+                let b = c.bounding_box();
+                probe = Some(probe.map_or(b, |p| p.union(&b)));
+            }
+            probe.and_then(|probe| {
+                self.index
+                    .query(&probe)
+                    .into_iter()
+                    .map(|i| &self.obstacles[i])
+                    .filter(|o| !exclude.contains(&o.name.as_str()))
+                    .find(|o| narrow(o))
+            })
+        } else {
+            self.obstacles
+                .iter()
+                .filter(|o| !exclude.contains(&o.name.as_str()))
+                .find(|o| narrow(o))
+        };
+        (hit, tested)
     }
 }
 

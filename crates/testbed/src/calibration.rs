@@ -14,8 +14,7 @@
 use rabit_geometry::calibrate::{fit_rigid_transform, FitResult, FitTransformError};
 use rabit_geometry::noise::PositionNoise;
 use rabit_geometry::{Mat3, Pose, Vec3};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rabit_util::Rng;
 
 /// Parameters of the calibration experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,7 +58,7 @@ pub fn true_frame_transform() -> Pose {
 /// Returns the underlying [`FitTransformError`] if the sampled points are
 /// degenerate (practically impossible for `points ≥ 4` over the deck).
 pub fn calibration_experiment(params: &CalibrationParams) -> Result<FitResult, FitTransformError> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let truth = true_frame_transform();
     let noise = PositionNoise::gaussian(params.sigma);
 

@@ -282,7 +282,7 @@ mod tests {
             let mut lab = two_arm_lab();
             let mut rabit = space_mux_rabit();
             let r = run_concurrent(&mut lab, &mut rabit, &[viperx_stream(), ned2_stream()]);
-            (r.makespan_s, r.serialized_s, r.trace.to_jsonl().unwrap())
+            (r.makespan_s, r.serialized_s, r.trace.to_jsonl())
         };
         assert_eq!(run(), run());
     }

@@ -1,0 +1,185 @@
+//! Fleet execution: many independent `(Lab, Workflow)` runs in parallel.
+//!
+//! The bug study and the latency experiments replay whole workflow
+//! libraries; each replay builds its own virtual lab, runs one workflow
+//! through a [`Tracer`], and collects the report. [`run_fleet`] fans those
+//! replays out over `rabit_core::fleet`'s deterministic work-stealing
+//! pool: results are keyed by workflow index and every run constructs its
+//! lab inside its own job, so the per-run alerts and damage logs are
+//! identical for any thread count — the property the fleet integration
+//! test pins down.
+
+use crate::tracer::{TraceReport, Tracer};
+use crate::workflow::Workflow;
+use rabit_core::fleet::run_indexed;
+use rabit_core::{DamageEvent, Lab, Rabit};
+use std::collections::BTreeMap;
+
+/// One fleet run: the workflow's trace report plus the physical damage
+/// its lab accumulated.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// Index of the workflow in the fleet (result vectors are keyed by
+    /// it).
+    pub index: usize,
+    /// The workflow's name.
+    pub workflow: String,
+    /// The tracer's report for this run.
+    pub report: TraceReport,
+    /// Ground-truth damage the lab recorded during the run.
+    pub damage: Vec<DamageEvent>,
+}
+
+/// The collected fleet: per-run reports plus merge helpers.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Worker threads the fleet ran on (1 = serial).
+    pub threads: usize,
+    /// Per-workflow results, in workflow order.
+    pub runs: Vec<FleetRun>,
+}
+
+impl FleetReport {
+    /// Merged alert summary: alert headline → number of runs halted by
+    /// it. Runs that completed are not counted here.
+    pub fn alert_summary(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for run in &self.runs {
+            if let Some(alert) = &run.report.alert {
+                *out.entry(alert.headline().to_string()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of runs that completed without an alert.
+    pub fn completed_runs(&self) -> usize {
+        self.runs.iter().filter(|r| r.report.completed()).count()
+    }
+
+    /// Total damage events across the whole fleet.
+    pub fn total_damage(&self) -> usize {
+        self.runs.iter().map(|r| r.damage.len()).sum()
+    }
+
+    /// Total simulated lab time across the fleet (seconds).
+    pub fn total_lab_time_s(&self) -> f64 {
+        self.runs.iter().map(|r| r.report.lab_time_s).sum()
+    }
+}
+
+/// Runs every workflow against its own freshly-built lab, on `threads`
+/// workers.
+///
+/// `setup(i)` builds the lab (and optionally a RABIT engine) for
+/// workflow `i`; it is called from the worker that executes the run, so
+/// labs never cross threads. With `Some(rabit)` the run is guarded
+/// (check-then-forward); with `None` it is a pass-through baseline.
+///
+/// Determinism: for a deterministic `setup`, the returned
+/// [`FleetReport::runs`] — traces, alerts, and damage logs — is
+/// identical for every `threads >= 1`.
+pub fn run_fleet<S>(workflows: &[Workflow], threads: usize, setup: S) -> FleetReport
+where
+    S: Fn(usize) -> (Lab, Option<Rabit>) + Sync,
+{
+    let runs = run_indexed(workflows.len(), threads, |i| {
+        let (mut lab, rabit) = setup(i);
+        let report = match rabit {
+            Some(mut rabit) => {
+                let report = Tracer::guarded(&mut lab, &mut rabit).run(&workflows[i]);
+                drop(rabit);
+                report
+            }
+            None => Tracer::pass_through(&mut lab).run(&workflows[i]),
+        };
+        FleetRun {
+            index: i,
+            workflow: workflows[i].name().to_string(),
+            report,
+            damage: lab.damage_log().to_vec(),
+        }
+    });
+    FleetReport { threads, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_core::RabitConfig;
+    use rabit_devices::{DeviceType, DosingDevice, RobotArm, Vial};
+    use rabit_geometry::{Aabb, Vec3};
+    use rabit_rulebase::{DeviceCatalog, DeviceMeta, Rulebase};
+
+    fn lab() -> Lab {
+        Lab::new()
+            .with_device(RobotArm::new(
+                "viperx",
+                Vec3::new(0.3, 0.0, 0.3),
+                Vec3::new(0.1, -0.3, 0.2),
+            ))
+            .with_device(DosingDevice::new(
+                "doser",
+                Aabb::new(Vec3::new(0.1, 0.35, 0.0), Vec3::new(0.25, 0.55, 0.3)),
+            ))
+            .with_device(Vial::new("vial", Vec3::new(0.537, 0.018, 0.12)))
+    }
+
+    fn rabit() -> Rabit {
+        let catalog = DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("viperx", DeviceType::RobotArm)
+                    .with_arm_positions(Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, -0.3, 0.2)),
+            )
+            .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+            .with(DeviceMeta::new("vial", DeviceType::Container));
+        Rabit::new(Rulebase::standard(), catalog, RabitConfig::default())
+    }
+
+    fn workflows() -> Vec<Workflow> {
+        vec![
+            Workflow::new("safe")
+                .set_door("doser", true)
+                .move_inside("viperx", "doser")
+                .move_out("viperx")
+                .set_door("doser", false),
+            // Bug A shape: the door never opens.
+            Workflow::new("bug_a")
+                .move_inside("viperx", "doser")
+                .move_out("viperx"),
+            Workflow::new("safe2").set_door("doser", true),
+        ]
+    }
+
+    #[test]
+    fn guarded_fleet_reports_per_run_alerts() {
+        let wfs = workflows();
+        let fleet = run_fleet(&wfs, 2, |_| (lab(), Some(rabit())));
+        assert_eq!(fleet.runs.len(), 3);
+        assert_eq!(fleet.completed_runs(), 2);
+        assert!(fleet.runs[0].report.completed());
+        assert!(!fleet.runs[1].report.completed());
+        assert_eq!(fleet.total_damage(), 0, "guarded fleet takes no damage");
+        let summary = fleet.alert_summary();
+        assert_eq!(summary.values().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn unguarded_fleet_takes_damage() {
+        let wfs = workflows();
+        let fleet = run_fleet(&wfs, 2, |_| (lab(), None));
+        assert_eq!(fleet.completed_runs(), 3, "nothing halts pass-through");
+        assert_eq!(fleet.total_damage(), 1, "bug_a breaks the door");
+        assert_eq!(fleet.runs[1].damage.len(), 1);
+    }
+
+    #[test]
+    fn fleet_results_keyed_by_workflow_index() {
+        let wfs = workflows();
+        let fleet = run_fleet(&wfs, 3, |_| (lab(), Some(rabit())));
+        for (i, run) in fleet.runs.iter().enumerate() {
+            assert_eq!(run.index, i);
+            assert_eq!(run.workflow, wfs[i].name());
+        }
+    }
+}

@@ -10,7 +10,9 @@
 //!   mutation operators of the uncontrolled bug study;
 //! * [`Tracer`] — guarded (check-then-forward) and pass-through modes;
 //! * [`Trace`] / [`TraceEvent`] — the serializable command log (the RAD
-//!   on-disk format).
+//!   on-disk format);
+//! * [`fleet`] — parallel execution of many independent `(Lab, Workflow)`
+//!   runs with deterministic, thread-count-independent results.
 //!
 //! # Example
 //!
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod fleet;
 pub mod script;
 mod trace;
 #[allow(clippy::module_inception)]
@@ -32,6 +35,7 @@ mod tracer;
 mod workflow;
 
 pub use concurrent::{run_concurrent, ConcurrentReport, StreamReport};
+pub use fleet::{run_fleet, FleetReport, FleetRun};
 pub use script::{parse_script, AliasTable, ScriptError};
 pub use trace::{Trace, TraceEvent, TraceOutcome};
 pub use tracer::{TraceMode, TraceReport, Tracer};

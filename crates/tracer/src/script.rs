@@ -22,12 +22,11 @@
 use crate::workflow::Workflow;
 use rabit_devices::{ActionKind, Command, DeviceId, Substance};
 use rabit_geometry::Vec3;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Maps vendor command spellings onto canonical action labels.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AliasTable {
     map: BTreeMap<String, String>,
 }

@@ -7,11 +7,11 @@
 //! (`rabit-rad`) use the same format.
 
 use rabit_devices::Command;
-use serde::{Deserialize, Serialize};
+use rabit_util::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// What happened to one intercepted command.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceOutcome {
     /// Forwarded to the device and executed successfully.
     Forwarded,
@@ -44,7 +44,7 @@ impl TraceOutcome {
 }
 
 /// One traced command.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Sequence number within the trace.
     pub seq: usize,
@@ -75,7 +75,7 @@ impl fmt::Display for TraceEvent {
 }
 
 /// A full trace: the RATracer log of one workflow (or one lab session).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     /// Name of the workflow (or session) that produced the trace.
     pub workflow: String,
@@ -118,30 +118,99 @@ impl Trace {
 
     /// Serializes to JSON Lines (one event per line), the on-disk RAD
     /// format.
-    ///
-    /// # Errors
-    ///
-    /// Returns a `serde_json` error if serialization fails.
-    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+    pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for event in &self.events {
-            out.push_str(&serde_json::to_string(event)?);
+            out.push_str(&event.to_json().to_compact());
             out.push('\n');
         }
-        Ok(out)
+        out
     }
 
     /// Parses a JSON-Lines trace.
     ///
     /// # Errors
     ///
-    /// Returns a `serde_json` error on any malformed line.
-    pub fn from_jsonl(workflow: impl Into<String>, text: &str) -> Result<Self, serde_json::Error> {
+    /// Returns a [`JsonError`] on any malformed line.
+    pub fn from_jsonl(workflow: impl Into<String>, text: &str) -> Result<Self, JsonError> {
         let mut trace = Trace::new(workflow);
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            trace.events.push(serde_json::from_str(line)?);
+            trace
+                .events
+                .push(TraceEvent::from_json(&Json::parse(line)?)?);
         }
         Ok(trace)
+    }
+}
+
+impl ToJson for TraceOutcome {
+    fn to_json(&self) -> Json {
+        match self {
+            TraceOutcome::Forwarded => Json::Str("Forwarded".into()),
+            TraceOutcome::Blocked { alert } => {
+                Json::obj([("Blocked", Json::obj([("alert", Json::Str(alert.clone()))]))])
+            }
+            TraceOutcome::Faulted { error } => {
+                Json::obj([("Faulted", Json::obj([("error", Json::Str(error.clone()))]))])
+            }
+            TraceOutcome::MalfunctionDetected { detail } => Json::obj([(
+                "MalfunctionDetected",
+                Json::obj([("detail", Json::Str(detail.clone()))]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for TraceOutcome {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        use rabit_util::json::field;
+        if let Some(tag) = json.as_str() {
+            return match tag {
+                "Forwarded" => Ok(TraceOutcome::Forwarded),
+                other => Err(JsonError::decode(format!("unknown outcome '{other}'"))),
+            };
+        }
+        let pairs = json
+            .as_obj()
+            .ok_or_else(|| JsonError::decode(format!("expected outcome, got {json}")))?;
+        let (tag, body) = pairs
+            .first()
+            .ok_or_else(|| JsonError::decode("empty outcome object"))?;
+        Ok(match tag.as_str() {
+            "Blocked" => TraceOutcome::Blocked {
+                alert: field(body, "alert")?,
+            },
+            "Faulted" => TraceOutcome::Faulted {
+                error: field(body, "error")?,
+            },
+            "MalfunctionDetected" => TraceOutcome::MalfunctionDetected {
+                detail: field(body, "detail")?,
+            },
+            other => return Err(JsonError::decode(format!("unknown outcome '{other}'"))),
+        })
+    }
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", self.seq.to_json()),
+            ("time_s", Json::Num(self.time_s)),
+            ("command", self.command.to_json()),
+            ("outcome", self.outcome.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TraceEvent {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        use rabit_util::json::field;
+        Ok(TraceEvent {
+            seq: field(json, "seq")?,
+            time_s: field(json, "time_s")?,
+            command: field(json, "command")?,
+            outcome: field(json, "outcome")?,
+        })
     }
 }
 
@@ -192,7 +261,7 @@ mod tests {
                 error: "limit".into(),
             },
         ));
-        let text = t.to_jsonl().unwrap();
+        let text = t.to_jsonl();
         assert_eq!(text.lines().count(), 2);
         let back = Trace::from_jsonl("wf", &text).unwrap();
         assert_eq!(back, t);

@@ -8,10 +8,9 @@
 use crate::trace::{Trace, TraceEvent, TraceOutcome};
 use crate::workflow::Workflow;
 use rabit_core::{Alert, Lab, Rabit};
-use serde::{Deserialize, Serialize};
 
 /// How the tracer treats each intercepted command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TraceMode {
     /// Check with RABIT before forwarding; halt on alert (the deployed
     /// configuration).

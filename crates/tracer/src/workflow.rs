@@ -12,10 +12,9 @@
 
 use rabit_devices::{ActionKind, Command, DeviceId, Substance};
 use rabit_geometry::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A named, ordered sequence of commands.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workflow {
     name: String,
     commands: Vec<Command>,
@@ -330,6 +329,24 @@ impl<'a> IntoIterator for &'a Workflow {
     }
 }
 
+impl rabit_util::ToJson for Workflow {
+    fn to_json(&self) -> rabit_util::Json {
+        rabit_util::Json::obj([
+            ("name", rabit_util::Json::Str(self.name.clone())),
+            ("commands", rabit_util::ToJson::to_json(&self.commands)),
+        ])
+    }
+}
+
+impl rabit_util::FromJson for Workflow {
+    fn from_json(json: &rabit_util::Json) -> Result<Self, rabit_util::JsonError> {
+        Ok(Workflow {
+            name: rabit_util::json::field(json, "name")?,
+            commands: rabit_util::json::field(json, "commands")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,12 +422,13 @@ mod tests {
     }
 
     #[test]
-    fn iteration_and_serde() {
+    fn iteration_and_json() {
+        use rabit_util::{FromJson, Json, ToJson};
         let wf = sample();
         let n = (&wf).into_iter().count();
         assert_eq!(n, wf.len());
-        let json = serde_json::to_string(&wf).unwrap();
-        let back: Workflow = serde_json::from_str(&json).unwrap();
+        let json = wf.to_json().to_compact();
+        let back = Workflow::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, wf);
         let owned: Vec<Command> = wf.clone().into_iter().collect();
         assert_eq!(owned.len(), 11);

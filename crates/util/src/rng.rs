@@ -1,0 +1,198 @@
+//! A small, seeded, deterministic PRNG.
+//!
+//! xoshiro256** (Blackman & Vigna, public domain) seeded through
+//! SplitMix64. Not cryptographic — it exists so that noise models, corpus
+//! generators, and property tests are reproducible from a single `u64`
+//! seed with no external dependency.
+
+use std::ops::Range;
+
+/// A seeded xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Same seed, same stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample in `[0, 1)` with 53 random bits.
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.random_f64() < p
+    }
+
+    /// A standard-normal sample (Box–Muller).
+    pub fn random_normal(&mut self) -> f64 {
+        let u1 = self.random_range(f64::MIN_POSITIVE..1.0);
+        let u2 = self.random_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A uniform unbiased sample in `[0, bound)` via rejection.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Reject the tail that would bias the modulo.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Types [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)`.
+    fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let v = lo + rng.random_f64() * (hi - lo);
+        // Floating rounding can land exactly on `hi`; fold it back.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {
+        $(impl SampleUniform for $ty {
+            #[allow(unused_comparisons)]
+            fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.bounded_u64(span) as i128) as $ty
+            }
+        })*
+    };
+}
+
+impl_sample_uniform_int!(usize, u64, u32, i64, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f = rng.random_range(-3.0..7.5f64);
+            assert!((-3.0..7.5).contains(&f));
+            let u = rng.random_range(0..6usize);
+            assert!(u < 6);
+            let i = rng.random_range(-5..5i64);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn integer_sampling_covers_the_range() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_honoured() {
+        let mut rng = Rng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+        let mut rng2 = Rng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng2.random_bool(0.0)));
+        let mut rng3 = Rng::seed_from_u64(6);
+        assert!((0..100).all(|_| rng3.random_bool(1.0)));
+    }
+
+    #[test]
+    fn normal_samples_have_unit_moments() {
+        let mut rng = Rng::seed_from_u64(9);
+        let n = 50_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.random_normal();
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

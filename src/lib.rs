@@ -36,3 +36,5 @@ pub use rabit_sim as sim;
 pub use rabit_testbed as testbed;
 /// Re-export of the tracer (RATracer equivalent).
 pub use rabit_tracer as tracer;
+/// Re-export of the dependency-free utility substrate (PRNG, JSON).
+pub use rabit_util as util;

@@ -85,7 +85,7 @@ fn engine_is_deterministic() {
             report.executed,
             report.lab_time_s,
             report.rabit_overhead_s,
-            report.trace.to_jsonl().unwrap(),
+            report.trace.to_jsonl(),
         )
     };
     let a = run();

@@ -1,12 +1,17 @@
 //! Cross-crate property-based tests: random naive-programmer mutations
 //! of the safe workflow must never violate RABIT's safety contract.
+//!
+//! Hand-rolled property loops: each property replays `CASES`
+//! deterministic seeded mutation sequences drawn from the in-tree PRNG.
 
-use proptest::prelude::*;
 use rabit::buginject::RabitStage;
 use rabit::devices::{ActionKind, Command};
 use rabit::geometry::Vec3;
 use rabit::testbed::{workflows, Testbed};
 use rabit::tracer::{Tracer, Workflow};
+use rabit::util::Rng;
+
+const CASES: usize = 256;
 
 /// One random edit in the naive programmer's repertoire: delete a
 /// command, swap two commands, corrupt a coordinate, or insert a stray
@@ -26,21 +31,28 @@ enum Edit {
     },
 }
 
-fn coordinate() -> impl Strategy<Value = Vec3> {
-    (-0.6..1.4f64, -0.6..0.7f64, -0.1..0.9f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+fn coordinate(rng: &mut Rng) -> Vec3 {
+    Vec3::new(
+        rng.random_range(-0.6..1.4),
+        rng.random_range(-0.6..0.7),
+        rng.random_range(-0.1..0.9),
+    )
 }
 
-fn edit(len: usize) -> impl Strategy<Value = Edit> {
-    prop_oneof![
-        (0..len).prop_map(Edit::Delete),
-        (0..len, 0..len).prop_map(|(a, b)| Edit::Swap(a, b)),
-        (0..len, coordinate()).prop_map(|(index, target)| Edit::CorruptTarget { index, target }),
-        (0..=len, any::<bool>(), coordinate()).prop_map(|(index, arm, target)| Edit::InsertMove {
-            index,
-            arm,
-            target
-        }),
-    ]
+fn edit(rng: &mut Rng, len: usize) -> Edit {
+    match rng.random_range(0..4u32) {
+        0 => Edit::Delete(rng.random_range(0..len)),
+        1 => Edit::Swap(rng.random_range(0..len), rng.random_range(0..len)),
+        2 => Edit::CorruptTarget {
+            index: rng.random_range(0..len),
+            target: coordinate(rng),
+        },
+        _ => Edit::InsertMove {
+            index: rng.random_range(0..len + 1),
+            arm: rng.random_bool(0.5),
+            target: coordinate(rng),
+        },
+    }
 }
 
 fn apply(wf: &mut Workflow, edit: &Edit) {
@@ -72,22 +84,32 @@ fn apply(wf: &mut Workflow, edit: &Edit) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Safety contract 1: whatever the naive programmer does, a guarded
-    /// run never does MORE physical damage than the unguarded run of the
-    /// same workflow, and a pre-execution alert leaves the lab unharmed
-    /// up to that point.
-    #[test]
-    fn guarded_damage_never_exceeds_unguarded(edits in prop::collection::vec(edit(30), 1..3)) {
-        let template = Testbed::new();
-        let mut wf = workflows::fig5_safe_workflow(&template.locations);
-        for e in &edits {
-            if wf.is_empty() { break; }
-            apply(&mut wf, e);
+/// A seeded mutated workflow, or `None` if every command was deleted.
+fn mutated_workflow(rng: &mut Rng) -> Option<Workflow> {
+    let template = Testbed::new();
+    let mut wf = workflows::fig5_safe_workflow(&template.locations);
+    let n_edits = rng.random_range(1..3usize);
+    for _ in 0..n_edits {
+        if wf.is_empty() {
+            break;
         }
-        prop_assume!(!wf.is_empty());
+        let e = edit(rng, 30);
+        apply(&mut wf, &e);
+    }
+    (!wf.is_empty()).then_some(wf)
+}
+
+/// Safety contract 1: whatever the naive programmer does, a guarded run
+/// never does MORE physical damage than the unguarded run of the same
+/// workflow, and a pre-execution alert leaves the lab unharmed up to that
+/// point.
+#[test]
+fn guarded_damage_never_exceeds_unguarded() {
+    let mut rng = Rng::seed_from_u64(301);
+    for case in 0..CASES {
+        let Some(wf) = mutated_workflow(&mut rng) else {
+            continue;
+        };
 
         let mut guarded = Testbed::new();
         let mut rabit = guarded.rabit(RabitStage::Modified);
@@ -96,9 +118,9 @@ proptest! {
         let mut unguarded = Testbed::new();
         let _ = Tracer::pass_through(&mut unguarded.lab).run(&wf);
 
-        prop_assert!(
+        assert!(
             guarded.lab.damage_log().len() <= unguarded.lab.damage_log().len(),
-            "edits {edits:?}: guarded {:?} vs unguarded {:?}",
+            "case {case}: guarded {:?} vs unguarded {:?}",
             guarded.lab.damage_log(),
             unguarded.lab.damage_log()
         );
@@ -106,32 +128,37 @@ proptest! {
         // Contract 2: if the run was stopped by a precondition or
         // trajectory alert, the stopping command itself did not execute.
         if let Some(alert) = &greport.alert {
-            if matches!(alert, rabit::core::Alert::InvalidCommand { .. }
-                | rabit::core::Alert::InvalidTrajectory { .. })
-            {
-                prop_assert_eq!(greport.trace.len(), greport.executed + 1);
+            if matches!(
+                alert,
+                rabit::core::Alert::InvalidCommand { .. }
+                    | rabit::core::Alert::InvalidTrajectory { .. }
+            ) {
+                assert_eq!(greport.trace.len(), greport.executed + 1, "case {case}");
             }
         }
     }
+}
 
-    /// Safety contract 3: determinism under mutation — the same mutated
-    /// workflow produces the identical guarded outcome every time.
-    #[test]
-    fn mutated_runs_are_deterministic(edits in prop::collection::vec(edit(30), 1..3)) {
-        let template = Testbed::new();
-        let mut wf = workflows::fig5_safe_workflow(&template.locations);
-        for e in &edits {
-            if wf.is_empty() { break; }
-            apply(&mut wf, e);
-        }
-        prop_assume!(!wf.is_empty());
+/// Safety contract 3: determinism under mutation — the same mutated
+/// workflow produces the identical guarded outcome every time.
+#[test]
+fn mutated_runs_are_deterministic() {
+    let mut rng = Rng::seed_from_u64(302);
+    for case in 0..CASES {
+        let Some(wf) = mutated_workflow(&mut rng) else {
+            continue;
+        };
 
         let run = || {
             let mut tb = Testbed::new();
             let mut rabit = tb.rabit(RabitStage::Modified);
             let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
-            (report.executed, report.alert.map(|a| a.to_string()), tb.lab.damage_log().len())
+            (
+                report.executed,
+                report.alert.map(|a| a.to_string()),
+                tb.lab.damage_log().len(),
+            )
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
 }
