@@ -6,6 +6,11 @@
 //! the results to `BENCH_fleet.json` and prints them as a table.
 //!
 //! Run with `cargo run --release -p rabit-bench --bin fleet_throughput`.
+//! `--quick` runs a reduced calibration pass for CI smoke checks.
+//!
+//! Thread counts above the machine's available parallelism are skipped
+//! (and recorded as skipped in the JSON): oversubscribed workers only
+//! measure scheduler noise, not fleet throughput.
 
 use rabit_bench::report::render_table;
 use rabit_buginject::RabitStage;
@@ -18,13 +23,10 @@ use rabit_tracer::{run_fleet, Workflow};
 use rabit_util::Json;
 use std::time::Instant;
 
-const FLEET_RUNS: usize = 64;
-const REPEATS: usize = 3;
-
 /// Best-of-N wall-clock seconds for `f`.
-fn measure(mut f: impl FnMut()) -> f64 {
+fn measure(repeats: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..REPEATS {
+    for _ in 0..repeats {
         let t0 = Instant::now();
         f();
         best = best.min(t0.elapsed().as_secs_f64());
@@ -32,15 +34,15 @@ fn measure(mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn fleet_workflows() -> Vec<Workflow> {
+fn fleet_workflows(runs: usize) -> Vec<Workflow> {
     let template = Testbed::new();
-    (0..FLEET_RUNS)
+    (0..runs)
         .map(|_| workflows::fig5_safe_workflow(&template.locations))
         .collect()
 }
 
-fn fleet_seconds(wfs: &[Workflow], threads: usize) -> f64 {
-    measure(|| {
+fn fleet_seconds(wfs: &[Workflow], threads: usize, repeats: usize) -> f64 {
+    measure(repeats, || {
         let fleet = run_fleet(wfs, threads, |_| {
             let tb = Testbed::new();
             let rabit = tb.rabit(RabitStage::ModifiedWithSimulator);
@@ -90,7 +92,7 @@ struct BroadPhaseRow {
     narrow_exhaustive: u64,
 }
 
-fn broadphase_row(devices: usize) -> BroadPhaseRow {
+fn broadphase_row(devices: usize, repeats: usize) -> BroadPhaseRow {
     let world = lattice_world(devices);
     let arm = presets::ur3e();
     let traj = Trajectory::linear(arm.home_configuration(), arm.sleep_configuration());
@@ -99,14 +101,14 @@ fn broadphase_row(devices: usize) -> BroadPhaseRow {
 
     let mut narrow_pruned = 0;
     let mut narrow_exhaustive = 0;
-    let pruned_s = measure(|| {
+    let pruned_s = measure(repeats, || {
         narrow_pruned = 0;
         for caps in &capsule_sets {
             let (_, tested) = world.first_hit_counting(&caps[1..], &[], true);
             narrow_pruned += tested;
         }
     });
-    let exhaustive_s = measure(|| {
+    let exhaustive_s = measure(repeats, || {
         narrow_exhaustive = 0;
         for caps in &capsule_sets {
             let (_, tested) = world.first_hit_counting(&caps[1..], &[], false);
@@ -123,37 +125,53 @@ fn broadphase_row(devices: usize) -> BroadPhaseRow {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (fleet_runs, repeats) = if quick { (8, 1) } else { (64, 3) };
+
     // --- Fleet throughput -------------------------------------------------
-    let wfs = fleet_workflows();
-    let serial_s = fleet_seconds(&wfs, 1);
+    let wfs = fleet_workflows(fleet_runs);
+    let serial_s = fleet_seconds(&wfs, 1, repeats);
     let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let threaded: Vec<(usize, f64)> = [2, 4, 8]
+    // Thread counts the machine cannot actually run in parallel are
+    // skipped: they would only benchmark the scheduler.
+    let (to_run, skipped): (Vec<usize>, Vec<usize>) =
+        [2usize, 4, 8].into_iter().partition(|&t| t <= hw_threads);
+    let threaded: Vec<(usize, f64)> = to_run
         .into_iter()
-        .map(|t| (t, fleet_seconds(&wfs, t)))
+        .map(|t| (t, fleet_seconds(&wfs, t, repeats)))
         .collect();
 
     let mut rows = vec![vec![
         "1".to_string(),
         format!("{serial_s:.3}"),
-        format!("{:.1}", FLEET_RUNS as f64 / serial_s),
+        format!("{:.1}", fleet_runs as f64 / serial_s),
         "1.00".to_string(),
     ]];
     for (t, s) in &threaded {
         rows.push(vec![
             t.to_string(),
             format!("{s:.3}"),
-            format!("{:.1}", FLEET_RUNS as f64 / s),
+            format!("{:.1}", fleet_runs as f64 / s),
             format!("{:.2}", serial_s / s),
         ]);
     }
-    println!("Fleet throughput ({FLEET_RUNS} guarded testbed runs)\n");
+    println!("Fleet throughput ({fleet_runs} guarded testbed runs)\n");
     println!(
         "{}",
         render_table(&["threads", "seconds", "runs/sec", "speedup"], &rows)
     );
+    if !skipped.is_empty() {
+        println!(
+            "skipped thread counts {skipped:?}: only {hw_threads} hardware thread(s) available\n"
+        );
+    }
 
     // --- Broad-phase speedup ---------------------------------------------
-    let bp: Vec<BroadPhaseRow> = [8usize, 64, 256].into_iter().map(broadphase_row).collect();
+    let bp_sizes: &[usize] = if quick { &[8, 64] } else { &[8, 64, 256] };
+    let bp: Vec<BroadPhaseRow> = bp_sizes
+        .iter()
+        .map(|&d| broadphase_row(d, repeats))
+        .collect();
     let bp_rows: Vec<Vec<String>> = bp
         .iter()
         .map(|r| {
@@ -167,7 +185,7 @@ fn main() {
             ]
         })
         .collect();
-    println!("Broad-phase pruning (64-pose sweep, best of {REPEATS})\n");
+    println!("Broad-phase pruning (64-pose sweep, best of {repeats})\n");
     println!(
         "{}",
         render_table(
@@ -185,17 +203,18 @@ fn main() {
 
     // --- BENCH_fleet.json -------------------------------------------------
     let json = Json::obj([
+        ("quick_mode", Json::Bool(quick)),
         (
             "fleet",
             Json::obj([
-                ("runs", Json::Num(FLEET_RUNS as f64)),
+                ("runs", Json::Num(fleet_runs as f64)),
                 ("hardware_threads", Json::Num(hw_threads as f64)),
                 (
                     "serial",
                     Json::obj([
                         ("threads", Json::Num(1.0)),
                         ("seconds", Json::Num(serial_s)),
-                        ("runs_per_sec", Json::Num(FLEET_RUNS as f64 / serial_s)),
+                        ("runs_per_sec", Json::Num(fleet_runs as f64 / serial_s)),
                     ]),
                 ),
                 (
@@ -207,12 +226,27 @@ fn main() {
                                 Json::obj([
                                     ("threads", Json::Num(*t as f64)),
                                     ("seconds", Json::Num(*s)),
-                                    ("runs_per_sec", Json::Num(FLEET_RUNS as f64 / s)),
+                                    ("runs_per_sec", Json::Num(fleet_runs as f64 / s)),
                                     ("speedup_vs_serial", Json::Num(serial_s / s)),
                                 ])
                             })
                             .collect(),
                     ),
+                ),
+                (
+                    "skipped_thread_counts",
+                    Json::Arr(skipped.iter().map(|&t| Json::Num(t as f64)).collect()),
+                ),
+                (
+                    "skip_reason",
+                    if skipped.is_empty() {
+                        Json::Null
+                    } else {
+                        Json::Str(format!(
+                            "only {hw_threads} hardware thread(s) available; \
+                             oversubscribed counts measure scheduler noise"
+                        ))
+                    },
                 ),
             ]),
         ),

@@ -16,6 +16,13 @@ pub struct RabitConfig {
     pub stop_policy: StopPolicy,
     /// Skip the post-execution malfunction check (ablation knob).
     pub skip_malfunction_check: bool,
+    /// Stop rule evaluation at the first violation (the paper's
+    /// stop-on-first-alert deployment fast path, routed through
+    /// [`Rulebase::check_first`]). Off by default so interactive runs and
+    /// tests report every violation; fleet runs turn it on.
+    ///
+    /// [`Rulebase::check_first`]: rabit_rulebase::Rulebase::check_first
+    pub first_violation_only: bool,
 }
 
 impl Default for RabitConfig {
@@ -24,6 +31,7 @@ impl Default for RabitConfig {
             state_tolerance: 1e-6,
             stop_policy: StopPolicy::StopImmediately,
             skip_malfunction_check: false,
+            first_violation_only: false,
         }
     }
 }
@@ -121,6 +129,15 @@ impl Rabit {
             .map_or(0, |v| v.narrow_checks_performed())
     }
 
+    /// Verdict-cache `(hits, misses)` of the attached validator — `(0, 0)`
+    /// when no validator is attached or it has no cache. Instrumentation
+    /// for the hot-path benchmarks and fleet cache-efficiency reports.
+    pub fn validator_cache_stats(&self) -> (u64, u64) {
+        self.validator
+            .as_ref()
+            .map_or((0, 0), |v| (v.cache_hits(), v.cache_misses()))
+    }
+
     /// The rulebase (for inspection/extension).
     pub fn rulebase(&self) -> &Rulebase {
         &self.rulebase
@@ -130,6 +147,17 @@ impl Rabit {
     /// between configurations).
     pub fn rulebase_mut(&mut self) -> &mut Rulebase {
         &mut self.rulebase
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &RabitConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (fleet runs flip
+    /// [`RabitConfig::first_violation_only`] on before starting).
+    pub fn config_mut(&mut self) -> &mut RabitConfig {
+        &mut self.config
     }
 
     /// The device catalog.
@@ -188,8 +216,19 @@ impl Rabit {
     // hot (Ok) path, and boxing it would complicate every caller.
     #[allow(clippy::result_large_err)]
     pub fn step(&mut self, lab: &mut Lab, command: &Command) -> Result<(), Alert> {
-        // Lines 6-7: precondition check.
-        let violations = self.rulebase.check(command, &self.current, &self.catalog);
+        // Lines 6-7: precondition check. Deployment stops on the first
+        // alert anyway, so `first_violation_only` skips the rest of the
+        // scan once one rule fires.
+        let violations: Vec<rabit_rulebase::Violation> = if self.config.first_violation_only {
+            self.rulebase
+                .check_first(command, &self.current, &self.catalog)
+                .into_iter()
+                .collect()
+        } else {
+            self.rulebase
+                .check(command, &self.current, &self.catalog)
+                .into_vec()
+        };
         if !violations.is_empty() {
             self.stop(lab);
             return Err(Alert::InvalidCommand {

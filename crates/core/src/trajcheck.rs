@@ -45,6 +45,18 @@ pub trait TrajectoryValidator: Send {
     fn narrow_checks_performed(&self) -> u64 {
         0
     }
+
+    /// Validations served from a verdict cache. Validators without a
+    /// cache report zero.
+    fn cache_hits(&self) -> u64 {
+        0
+    }
+
+    /// Validations that missed the verdict cache and ran in full.
+    /// Validators without a cache report zero.
+    fn cache_misses(&self) -> u64 {
+        0
+    }
 }
 
 /// A validator that approves everything — useful as a baseline and in

@@ -127,6 +127,100 @@ pub enum ActionKind {
     },
 }
 
+/// A dense, data-free classification of [`ActionKind`] — one class per
+/// observable action shape. Rule dispatch buckets rules by the classes
+/// they can fire on, so the per-command rule scan only visits applicable
+/// rules. `SetDoor` splits into open/close classes because rules
+/// routinely bind to only one direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ActionClass {
+    /// `MoveToLocation`.
+    MoveToLocation = 0,
+    /// `MoveInsideDevice`.
+    MoveInsideDevice,
+    /// `MoveOutOfDevice`.
+    MoveOutOfDevice,
+    /// `MoveHome`.
+    MoveHome,
+    /// `MoveToSleep`.
+    MoveToSleep,
+    /// `PickObject`.
+    PickObject,
+    /// `PlaceObject`.
+    PlaceObject,
+    /// `OpenGripper`.
+    OpenGripper,
+    /// `CloseGripper`.
+    CloseGripper,
+    /// `SetDoor { open: true }`.
+    OpenDoor,
+    /// `SetDoor { open: false }`.
+    CloseDoor,
+    /// `DoseSolid`.
+    DoseSolid,
+    /// `DoseLiquid`.
+    DoseLiquid,
+    /// `StartAction`.
+    StartAction,
+    /// `StopAction`.
+    StopAction,
+    /// `Cap`.
+    Cap,
+    /// `Decap`.
+    Decap,
+    /// `Transfer`.
+    Transfer,
+    /// `Custom`.
+    Custom,
+}
+
+impl ActionClass {
+    /// Number of distinct classes (the dispatch-index bucket count).
+    pub const COUNT: usize = 19;
+
+    /// Every class, in index order.
+    pub const ALL: [ActionClass; ActionClass::COUNT] = [
+        ActionClass::MoveToLocation,
+        ActionClass::MoveInsideDevice,
+        ActionClass::MoveOutOfDevice,
+        ActionClass::MoveHome,
+        ActionClass::MoveToSleep,
+        ActionClass::PickObject,
+        ActionClass::PlaceObject,
+        ActionClass::OpenGripper,
+        ActionClass::CloseGripper,
+        ActionClass::OpenDoor,
+        ActionClass::CloseDoor,
+        ActionClass::DoseSolid,
+        ActionClass::DoseLiquid,
+        ActionClass::StartAction,
+        ActionClass::StopAction,
+        ActionClass::Cap,
+        ActionClass::Decap,
+        ActionClass::Transfer,
+        ActionClass::Custom,
+    ];
+
+    /// Dense index of this class (`0..COUNT`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The robot-motion classes (mirrors
+    /// [`ActionKind::is_robot_motion`]).
+    pub const ROBOT_MOTION: [ActionClass; 7] = [
+        ActionClass::MoveToLocation,
+        ActionClass::MoveInsideDevice,
+        ActionClass::MoveOutOfDevice,
+        ActionClass::MoveHome,
+        ActionClass::MoveToSleep,
+        ActionClass::PickObject,
+        ActionClass::PlaceObject,
+    ];
+}
+
 impl ActionKind {
     /// The action label used in traces and the state-transition table
     /// (Table II column "Action labels").
@@ -151,6 +245,32 @@ impl ActionKind {
             ActionKind::Decap => "decap_vial",
             ActionKind::Transfer { .. } => "transfer",
             ActionKind::Custom { .. } => "custom",
+        }
+    }
+
+    /// The dense [`ActionClass`] of this action — the dispatch-index key.
+    #[inline]
+    pub fn class(&self) -> ActionClass {
+        match self {
+            ActionKind::MoveToLocation { .. } => ActionClass::MoveToLocation,
+            ActionKind::MoveInsideDevice { .. } => ActionClass::MoveInsideDevice,
+            ActionKind::MoveOutOfDevice => ActionClass::MoveOutOfDevice,
+            ActionKind::MoveHome => ActionClass::MoveHome,
+            ActionKind::MoveToSleep => ActionClass::MoveToSleep,
+            ActionKind::PickObject { .. } => ActionClass::PickObject,
+            ActionKind::PlaceObject { .. } => ActionClass::PlaceObject,
+            ActionKind::OpenGripper => ActionClass::OpenGripper,
+            ActionKind::CloseGripper => ActionClass::CloseGripper,
+            ActionKind::SetDoor { open: true } => ActionClass::OpenDoor,
+            ActionKind::SetDoor { open: false } => ActionClass::CloseDoor,
+            ActionKind::DoseSolid { .. } => ActionClass::DoseSolid,
+            ActionKind::DoseLiquid { .. } => ActionClass::DoseLiquid,
+            ActionKind::StartAction { .. } => ActionClass::StartAction,
+            ActionKind::StopAction => ActionClass::StopAction,
+            ActionKind::Cap => ActionClass::Cap,
+            ActionKind::Decap => ActionClass::Decap,
+            ActionKind::Transfer { .. } => ActionClass::Transfer,
+            ActionKind::Custom { .. } => ActionClass::Custom,
         }
     }
 
@@ -541,6 +661,40 @@ mod tests {
             let json = c.to_json().to_compact();
             let back = Command::from_json(&Json::parse(&json).unwrap()).unwrap();
             assert_eq!(c, back, "via {json}");
+        }
+    }
+
+    #[test]
+    fn action_classes_are_dense_and_consistent() {
+        assert_eq!(ActionClass::ALL.len(), ActionClass::COUNT);
+        for (i, c) in ActionClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "ALL must be in index order");
+        }
+        // SetDoor splits by direction.
+        assert_eq!(
+            ActionKind::SetDoor { open: true }.class(),
+            ActionClass::OpenDoor
+        );
+        assert_eq!(
+            ActionKind::SetDoor { open: false }.class(),
+            ActionClass::CloseDoor
+        );
+        // Motion classes mirror is_robot_motion.
+        for class in ActionClass::ALL {
+            let is_motion = ActionClass::ROBOT_MOTION.contains(&class);
+            let sample: Option<ActionKind> = match class {
+                ActionClass::MoveToLocation => {
+                    Some(ActionKind::MoveToLocation { target: Vec3::ZERO })
+                }
+                ActionClass::MoveHome => Some(ActionKind::MoveHome),
+                ActionClass::StopAction => Some(ActionKind::StopAction),
+                ActionClass::Cap => Some(ActionKind::Cap),
+                _ => None,
+            };
+            if let Some(kind) = sample {
+                assert_eq!(kind.is_robot_motion(), is_motion);
+                assert_eq!(kind.class(), class);
+            }
         }
     }
 

@@ -55,7 +55,7 @@ mod state;
 mod value;
 
 pub use action_devices::{Centrifuge, Hotplate, Thermoshaker};
-pub use command::{ActionKind, Command, Substance};
+pub use command::{ActionClass, ActionKind, Command, Substance};
 pub use containers::{Grid, Vial};
 pub use device::{Device, DeviceError, LatencyModel, Malfunction};
 pub use dosing::{DosingDevice, SyringePump};

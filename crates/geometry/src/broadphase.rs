@@ -150,15 +150,20 @@ impl Bvh {
     }
 
     /// As [`Bvh::query`], reusing an output buffer (cleared first).
+    ///
+    /// Allocation-free apart from `out` growth: the traversal stack is a
+    /// fixed inline array (the median split keeps the tree balanced, so
+    /// depth is ≤ log₂(n) + 1 and 64 slots cover any realisable tree).
     pub fn query_into(&self, probe: &Aabb, out: &mut Vec<usize>) {
         out.clear();
         if self.nodes.is_empty() {
             return;
         }
-        // Explicit stack; tree depth is O(log n) but size generously.
-        let mut stack = vec![0u32];
-        while let Some(id) = stack.pop() {
-            let node = &self.nodes[id as usize];
+        let mut stack = [0u32; 64];
+        let mut sp = 1; // stack[0] is the root already
+        while sp > 0 {
+            sp -= 1;
+            let node = &self.nodes[stack[sp] as usize];
             if !node.aabb.intersects(probe) {
                 continue;
             }
@@ -171,8 +176,10 @@ impl Bvh {
                         .filter(|&i| self.boxes[i].intersects(probe)),
                 );
             } else {
-                stack.push(node.left);
-                stack.push(node.right);
+                debug_assert!(sp + 2 <= stack.len(), "BVH deeper than inline stack");
+                stack[sp] = node.left;
+                stack[sp + 1] = node.right;
+                sp += 2;
             }
         }
         out.sort_unstable();

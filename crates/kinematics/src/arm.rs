@@ -171,8 +171,22 @@ impl ArmModel {
     /// gripper capsule and extends it downward by the object's length —
     /// the paper's post-Bug-D geometry extension.
     pub fn link_capsules(&self, config: &JointConfig, held: Option<&HeldObject>) -> Vec<Capsule> {
-        let pts = self.chain.joint_positions(config.angles());
         let mut out = Vec::with_capacity(7);
+        self.link_capsules_into(config, held, &mut out);
+        out
+    }
+
+    /// Like [`ArmModel::link_capsules`], but fills a caller-owned buffer
+    /// so a sweep over many samples reuses one allocation. Clears `out`
+    /// first.
+    pub fn link_capsules_into(
+        &self,
+        config: &JointConfig,
+        held: Option<&HeldObject>,
+        out: &mut Vec<Capsule>,
+    ) {
+        out.clear();
+        let pts = self.chain.joint_positions(config.angles());
         for i in 0..6 {
             out.push(Capsule::new(pts[i], pts[i + 1], self.link_radii[i]));
         }
@@ -187,7 +201,6 @@ impl ArmModel {
             gripper = Capsule::new(pts[6], extended_tip, self.gripper_radius.max(obj.radius));
         }
         out.push(gripper);
-        out
     }
 
     /// Lowest point (world z) swept by the arm body in `config` — a quick

@@ -118,19 +118,37 @@ impl Trajectory {
     ///
     /// Panics if `dt` is not strictly positive.
     pub fn sample_every(&self, dt: f64) -> Vec<JointConfig> {
+        self.samples_every(dt).map(|(_, q)| q).collect()
+    }
+
+    /// Iterator twin of [`Trajectory::sample_every`]: yields
+    /// `(fraction, configuration)` pairs at the polling interval `dt`
+    /// without materialising a `Vec`, walking the waypoint segments
+    /// incrementally (O(samples + waypoints) instead of
+    /// O(samples × waypoints)). The fraction is elapsed time over total
+    /// duration; the final configuration is always yielded at fraction
+    /// 1.0. A zero-length trajectory yields its end configuration once,
+    /// at fraction 0.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn samples_every(&self, dt: f64) -> Samples<'_> {
         assert!(
             dt.is_finite() && dt > 0.0,
             "polling interval must be positive"
         );
-        let d = self.duration();
-        let mut out = Vec::new();
-        let mut t = 0.0;
-        while t < d {
-            out.push(self.config_at(t));
-            t += dt;
+        Samples {
+            waypoints: &self.waypoints,
+            speed: self.joint_speed,
+            duration: self.duration(),
+            dt,
+            t: 0.0,
+            seg: 0,
+            seg_start_t: 0.0,
+            seg_end_t: self.waypoints[0].max_joint_delta(&self.waypoints[1]) / self.joint_speed,
+            done: false,
         }
-        out.push(self.end());
-        out
     }
 
     /// The swept capsule volumes of `arm` over `n` samples of this
@@ -151,6 +169,64 @@ impl Trajectory {
     pub fn then(mut self, to: JointConfig) -> Self {
         self.waypoints.push(to);
         self
+    }
+}
+
+/// Iterator over time-uniform samples of a [`Trajectory`] — see
+/// [`Trajectory::samples_every`]. Keeps a segment cursor so each step is
+/// O(1) amortised, unlike repeated [`Trajectory::config_at`] calls which
+/// rescan the waypoint list.
+#[derive(Debug, Clone)]
+pub struct Samples<'a> {
+    waypoints: &'a [JointConfig],
+    speed: f64,
+    duration: f64,
+    dt: f64,
+    t: f64,
+    /// Index of the segment (pair `waypoints[seg]..waypoints[seg + 1]`)
+    /// containing the cursor time.
+    seg: usize,
+    seg_start_t: f64,
+    seg_end_t: f64,
+    done: bool,
+}
+
+impl Iterator for Samples<'_> {
+    /// `(fraction of the motion in [0, 1], configuration)`.
+    type Item = (f64, JointConfig);
+
+    fn next(&mut self) -> Option<(f64, JointConfig)> {
+        if self.done {
+            return None;
+        }
+        let end = *self.waypoints.last().expect("trajectory has waypoints");
+        if self.duration <= f64::EPSILON {
+            self.done = true;
+            return Some((0.0, end));
+        }
+        if self.t >= self.duration {
+            self.done = true;
+            return Some((1.0, end));
+        }
+        while self.seg + 2 < self.waypoints.len() && self.t > self.seg_end_t {
+            self.seg += 1;
+            self.seg_start_t = self.seg_end_t;
+            self.seg_end_t += self.waypoints[self.seg]
+                .max_joint_delta(&self.waypoints[self.seg + 1])
+                / self.speed;
+        }
+        let w0 = &self.waypoints[self.seg];
+        let w1 = &self.waypoints[self.seg + 1];
+        let seg_duration = self.seg_end_t - self.seg_start_t;
+        let config = if seg_duration <= f64::EPSILON {
+            *w1
+        } else {
+            let f = ((self.t - self.seg_start_t) / seg_duration).clamp(0.0, 1.0);
+            w0.lerp(w1, f)
+        };
+        let fraction = self.t / self.duration;
+        self.t += self.dt;
+        Some((fraction, config))
     }
 }
 
@@ -201,6 +277,53 @@ mod tests {
         assert_eq!(s.first().unwrap(), &q(0.0));
         assert_eq!(s.last().unwrap(), &q(1.0));
         assert!(s.len() >= 4);
+    }
+
+    #[test]
+    fn samples_every_matches_config_at() {
+        // The incremental cursor must reproduce exactly what repeated
+        // config_at calls produce, including across degenerate segments.
+        let t = Trajectory::new(vec![q(0.0), q(1.0), q(1.0), q(0.25), q(0.9)], 0.7);
+        let d = t.duration();
+        let dt = 0.13;
+        let samples: Vec<(f64, JointConfig)> = t.samples_every(dt).collect();
+        assert_eq!(samples.last().unwrap(), &(1.0, t.end()));
+        let mut expect_t = 0.0;
+        for (fraction, config) in &samples[..samples.len() - 1] {
+            assert!((fraction - expect_t / d).abs() < 1e-12);
+            let reference = t.config_at(expect_t);
+            for j in 0..6 {
+                assert!(
+                    (config.angle(j) - reference.angle(j)).abs() < 1e-12,
+                    "sample at t={expect_t} diverged from config_at"
+                );
+            }
+            expect_t += dt;
+        }
+        // And the Vec path is literally the iterator collected.
+        let vec_path = t.sample_every(dt);
+        assert_eq!(vec_path.len(), samples.len());
+        for (v, (_, s)) in vec_path.iter().zip(&samples) {
+            assert_eq!(v, s);
+        }
+    }
+
+    #[test]
+    fn samples_every_fractions_are_monotone_in_unit_interval() {
+        let t = Trajectory::new(vec![q(0.0), q(2.0), q(-1.0)], 1.3);
+        let mut prev = -1.0;
+        for (fraction, _) in t.samples_every(0.05) {
+            assert!((0.0..=1.0).contains(&fraction));
+            assert!(fraction > prev, "fractions must strictly increase");
+            prev = fraction;
+        }
+    }
+
+    #[test]
+    fn zero_length_trajectory_yields_single_sample() {
+        let t = Trajectory::new(vec![q(0.5), q(0.5)], 1.0);
+        let samples: Vec<(f64, JointConfig)> = t.samples_every(0.05).collect();
+        assert_eq!(samples, vec![(0.0, q(0.5))]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! "describing only the items specific to that environment" (§II-A).
 
 use crate::rule::{Rule, RuleId};
-use rabit_devices::{ActionKind, Command, LabState, StateKey, Substance};
+use rabit_devices::{ActionClass, ActionKind, Command, LabState, StateKey, Substance};
 
 /// Tag identifying centrifuges in the catalog.
 pub const CENTRIFUGE_TAG: &str = "centrifuge";
@@ -63,6 +63,7 @@ pub fn rule_c1_liquid_after_solid() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::DoseLiquid, ActionClass::Transfer])
 }
 
 /// Rule IV-2: *Place the container in the centrifuge only if the
@@ -84,6 +85,7 @@ pub fn rule_c2_centrifuge_needs_solid_and_liquid() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::PlaceObject])
 }
 
 /// Rule IV-3: *Place the container in the centrifuge only if the red dot
@@ -103,6 +105,7 @@ pub fn rule_c3_centrifuge_red_dot_north() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::PlaceObject])
 }
 
 /// Rule IV-4: *Place the container in the centrifuge only if the
@@ -120,6 +123,7 @@ pub fn rule_c4_centrifuge_needs_stopper() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::PlaceObject])
 }
 
 /// Ignore `state` warnings in helper.

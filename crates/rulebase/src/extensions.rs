@@ -10,8 +10,8 @@
 //! * **space multiplexing** — "a software-defined wall between the two
 //!   robot arms … providing each robot with its own dedicated space".
 
-use crate::rule::{Rule, RuleId};
-use rabit_devices::{ActionKind, StateKey};
+use crate::rule::{ActorClass, Rule, RuleId, RuleSignature};
+use rabit_devices::{ActionClass, ActionKind, StateKey};
 
 /// Time multiplexing: a robot arm may only move when every *other* robot
 /// arm is parked at its sleep position.
@@ -41,6 +41,9 @@ pub fn time_multiplexing_rule() -> Rule {
             }
             None
         },
+    )
+    .with_signature(
+        RuleSignature::actions(&ActionClass::ROBOT_MOTION).for_actors(&[ActorClass::RobotArm]),
     )
 }
 
@@ -73,6 +76,7 @@ pub fn sleep_volume_rule() -> Rule {
             None
         },
     )
+    .with_actions(&[ActionClass::MoveToLocation])
 }
 
 /// Held-object geometry: "a robot arm's dimensions may change if it is
@@ -98,6 +102,7 @@ pub fn held_object_clearance_rule() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::MoveToLocation])
 }
 
 /// Space multiplexing: each arm is confined to its own region by a
@@ -125,6 +130,7 @@ pub fn space_multiplexing_rule() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::MoveToLocation])
 }
 
 /// Multi-door devices: the §V-C open challenge — "devices might have
@@ -171,7 +177,8 @@ pub mod multi_door {
                     )),
                 }
             },
-        );
+        )
+        .with_actions(&[rabit_devices::ActionClass::MoveInsideDevice]);
 
         let close_device = device.clone();
         let close_assignments = assignments;
@@ -197,7 +204,8 @@ pub mod multi_door {
                 }
                 None
             },
-        );
+        )
+        .with_actions(&[rabit_devices::ActionClass::Custom]);
 
         vec![entry, closing]
     }
@@ -228,6 +236,9 @@ pub fn human_proximity_rule() -> Rule {
             }
             None
         },
+    )
+    .with_signature(
+        RuleSignature::actions(&ActionClass::ROBOT_MOTION).for_actors(&[ActorClass::RobotArm]),
     )
 }
 

@@ -1,7 +1,7 @@
 //! The eleven general-purpose rules of Table III.
 
 use crate::rule::{Rule, RuleId};
-use rabit_devices::{ActionKind, DeviceId, StateKey, Substance};
+use rabit_devices::{ActionClass, ActionKind, DeviceId, StateKey, Substance};
 
 /// Builds all eleven general rules, numbered as in Table III.
 pub fn general_rules() -> Vec<Rule> {
@@ -45,6 +45,7 @@ pub fn rule_1_no_entering_closed_doors() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::MoveInsideDevice])
 }
 
 /// Rule III-2: *Device door cannot be closed when the robot is inside the
@@ -68,6 +69,7 @@ pub fn rule_2_no_closing_door_on_arm() -> Rule {
             None
         },
     )
+    .with_actions(&[ActionClass::CloseDoor])
 }
 
 /// Rule III-3: *Robot arm can move to any location not occupied by any
@@ -108,6 +110,7 @@ pub fn rule_3_no_moving_into_occupied_space() -> Rule {
             None
         },
     )
+    .with_actions(&[ActionClass::MoveToLocation])
 }
 
 /// Rule III-4: *Robot arm can pick up an object when it isn't holding
@@ -133,6 +136,7 @@ pub fn rule_4_no_double_pick() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::PickObject])
 }
 
 /// Rule III-5: *Action device can perform actions when a container is
@@ -164,6 +168,7 @@ pub fn rule_5_action_needs_container() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::StartAction])
 }
 
 /// Rule III-6: *Action device can perform actions when a container is not
@@ -205,6 +210,7 @@ pub fn rule_6_action_needs_nonempty_container() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::StartAction])
 }
 
 /// Rule III-7: *A substance can be transferred from a delivering container
@@ -225,6 +231,7 @@ pub fn rule_7_transfer_needs_open_stoppers() -> Rule {
             None
         },
     )
+    .with_actions(&[ActionClass::Transfer])
 }
 
 /// Rule III-8: *A substance can be transferred from a filled delivering
@@ -277,6 +284,11 @@ pub fn rule_8_transfer_respects_fill_levels() -> Rule {
             None
         },
     )
+    .with_actions(&[
+        ActionClass::Transfer,
+        ActionClass::DoseSolid,
+        ActionClass::DoseLiquid,
+    ])
 }
 
 /// Rule III-9: *Dosing systems or action devices with doors should start
@@ -304,6 +316,11 @@ pub fn rule_9_doors_closed_before_running() -> Rule {
             }
         },
     )
+    .with_actions(&[
+        ActionClass::StartAction,
+        ActionClass::DoseSolid,
+        ActionClass::DoseLiquid,
+    ])
 }
 
 /// Rule III-10: *The door of the dosing systems or action devices with
@@ -324,6 +341,7 @@ pub fn rule_10_no_opening_door_while_running() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::OpenDoor])
 }
 
 /// Rule III-11: *The action value, such as temperature or stirring speed,
@@ -348,6 +366,7 @@ pub fn rule_11_action_value_within_threshold() -> Rule {
             }
         },
     )
+    .with_actions(&[ActionClass::StartAction])
 }
 
 #[cfg(test)]

@@ -42,5 +42,5 @@ pub mod table;
 pub mod transition;
 
 pub use catalog::{DeviceCatalog, DeviceMeta};
-pub use rule::{Rule, RuleCtx, RuleId, Violation};
+pub use rule::{ActorClass, Rule, RuleCtx, RuleId, RuleSignature, Violation, Violations};
 pub use rulebase::Rulebase;

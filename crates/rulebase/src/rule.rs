@@ -1,7 +1,8 @@
-//! Rule types: identities, outcomes, violations, and the [`Rule`] object.
+//! Rule types: identities, outcomes, violations, applicability
+//! signatures, and the [`Rule`] object.
 
 use crate::catalog::DeviceCatalog;
-use rabit_devices::{Command, LabState};
+use rabit_devices::{ActionClass, Command, DeviceType, LabState};
 use std::fmt;
 use std::sync::Arc;
 
@@ -46,6 +47,251 @@ impl fmt::Display for Violation {
     }
 }
 
+/// A coarse actor classification used by [`RuleSignature`] device-type
+/// predicates. Mirrors [`DeviceType`] with every `Custom(..)` category
+/// collapsed into one bit, so signatures stay a plain bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ActorClass {
+    /// [`DeviceType::Container`].
+    Container = 0,
+    /// [`DeviceType::RobotArm`].
+    RobotArm,
+    /// [`DeviceType::DosingSystem`].
+    DosingSystem,
+    /// [`DeviceType::ActionDevice`].
+    ActionDevice,
+    /// Any [`DeviceType::Custom`] category.
+    Custom,
+}
+
+impl ActorClass {
+    /// Number of actor classes.
+    pub const COUNT: usize = 5;
+
+    /// The class of a catalog device type.
+    pub fn of(device_type: &DeviceType) -> Self {
+        match device_type {
+            DeviceType::Container => ActorClass::Container,
+            DeviceType::RobotArm => ActorClass::RobotArm,
+            DeviceType::DosingSystem => ActorClass::DosingSystem,
+            DeviceType::ActionDevice => ActorClass::ActionDevice,
+            DeviceType::Custom(_) => ActorClass::Custom,
+        }
+    }
+}
+
+/// A rule's static applicability signature: the action classes and actor
+/// device types it can possibly fire on. The [`Rulebase`] builds a
+/// dispatch index from these at construction, so `check` only visits
+/// rules whose signature matches the command — a rule whose signature
+/// excludes a command is guaranteed (by its author) to return `None` for
+/// it.
+///
+/// The default signature matches everything, so rules built without an
+/// explicit signature (custom labs, RAD-mined rules) are always
+/// evaluated, exactly as before the index existed.
+///
+/// [`Rulebase`]: crate::Rulebase
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSignature {
+    /// Bit `ActionClass::index()` set ⇒ the rule can fire on that class.
+    action_mask: u32,
+    /// Bit `ActorClass as u8` set ⇒ the rule can fire for actors of that
+    /// class. Commands whose actor is unknown to the catalog match every
+    /// rule (conservative).
+    actor_mask: u8,
+}
+
+const ALL_ACTIONS: u32 = (1 << ActionClass::COUNT as u32) - 1;
+const ALL_ACTORS: u8 = (1 << ActorClass::COUNT as u8) - 1;
+
+impl Default for RuleSignature {
+    fn default() -> Self {
+        RuleSignature::any()
+    }
+}
+
+impl RuleSignature {
+    /// Matches every command (the conservative default).
+    pub const fn any() -> Self {
+        RuleSignature {
+            action_mask: ALL_ACTIONS,
+            actor_mask: ALL_ACTORS,
+        }
+    }
+
+    /// Matches only the given action classes (any actor).
+    pub fn actions(classes: &[ActionClass]) -> Self {
+        let mut mask = 0u32;
+        for c in classes {
+            mask |= 1 << c.index() as u32;
+        }
+        RuleSignature {
+            action_mask: mask,
+            actor_mask: ALL_ACTORS,
+        }
+    }
+
+    /// Restricts the signature to actors of the given classes
+    /// (builder style).
+    pub fn for_actors(mut self, classes: &[ActorClass]) -> Self {
+        let mut mask = 0u8;
+        for c in classes {
+            mask |= 1 << *c as u8;
+        }
+        self.actor_mask = mask;
+        self
+    }
+
+    /// Whether the signature admits this action class.
+    #[inline]
+    pub fn matches_action(&self, class: ActionClass) -> bool {
+        self.action_mask & (1 << class.index() as u32) != 0
+    }
+
+    /// Whether the signature admits an actor of this class. `None`
+    /// (actor not in the catalog) conservatively matches everything.
+    #[inline]
+    pub fn matches_actor(&self, class: Option<ActorClass>) -> bool {
+        match class {
+            Some(c) => self.actor_mask & (1 << c as u8) != 0,
+            None => true,
+        }
+    }
+
+    /// The admitted action classes, in index order.
+    pub fn action_classes(&self) -> impl Iterator<Item = ActionClass> + '_ {
+        ActionClass::ALL
+            .into_iter()
+            .filter(|c| self.matches_action(*c))
+    }
+}
+
+/// Inline capacity of [`Violations`] — real commands rarely break more
+/// than a few rules at once (the worst observed case, the Table IV
+/// centrifuge misuse, breaks three).
+const VIOLATIONS_INLINE: usize = 4;
+
+/// A small-vec of [`Violation`]s: the first four live inline, the rest
+/// spill to the heap. [`Rulebase::check`] returns this, so the hot path
+/// (no violations, or up to four) performs no allocation at all.
+///
+/// [`Rulebase::check`]: crate::Rulebase::check
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Violations {
+    inline: [Option<Violation>; VIOLATIONS_INLINE],
+    spill: Vec<Violation>,
+    len: usize,
+}
+
+impl Violations {
+    /// An empty buffer. Performs no allocation.
+    pub fn new() -> Self {
+        Violations::default()
+    }
+
+    /// Number of recorded violations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether any violation was recorded — `false` is the algorithm's
+    /// `Valid(S_current, a_next)`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a violation.
+    pub fn push(&mut self, v: Violation) {
+        if self.len < VIOLATIONS_INLINE {
+            self.inline[self.len] = Some(v);
+        } else {
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Clears the buffer, keeping any spilled heap capacity for reuse.
+    pub fn clear(&mut self) {
+        for slot in &mut self.inline {
+            *slot = None;
+        }
+        self.spill.clear();
+        self.len = 0;
+    }
+
+    /// The violation at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&Violation> {
+        if index >= self.len {
+            None
+        } else if index < VIOLATIONS_INLINE {
+            self.inline[index].as_ref()
+        } else {
+            self.spill.get(index - VIOLATIONS_INLINE)
+        }
+    }
+
+    /// The first violation, if any.
+    pub fn first(&self) -> Option<&Violation> {
+        self.get(0)
+    }
+
+    /// Iterates the violations in evaluation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Violation> {
+        self.inline
+            .iter()
+            .take(self.len.min(VIOLATIONS_INLINE))
+            .filter_map(Option::as_ref)
+            .chain(self.spill.iter())
+    }
+
+    /// Moves the violations into a plain `Vec` (allocates — the cold,
+    /// alert-raising path).
+    pub fn into_vec(mut self) -> Vec<Violation> {
+        let mut out = Vec::with_capacity(self.len);
+        for slot in &mut self.inline {
+            if let Some(v) = slot.take() {
+                out.push(v);
+            }
+        }
+        out.append(&mut self.spill);
+        out
+    }
+}
+
+impl std::ops::Index<usize> for Violations {
+    type Output = Violation;
+    fn index(&self, index: usize) -> &Violation {
+        self.get(index)
+            .unwrap_or_else(|| panic!("violation index {index} out of bounds (len {})", self.len))
+    }
+}
+
+impl<'a> IntoIterator for &'a Violations {
+    type Item = &'a Violation;
+    type IntoIter = Box<dyn Iterator<Item = &'a Violation> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl From<Violations> for Vec<Violation> {
+    fn from(v: Violations) -> Vec<Violation> {
+        v.into_vec()
+    }
+}
+
+impl FromIterator<Violation> for Violations {
+    fn from_iter<I: IntoIterator<Item = Violation>>(iter: I) -> Self {
+        let mut out = Violations::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
 /// The context every rule check receives.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleCtx<'a> {
@@ -67,11 +313,15 @@ type CheckFn = dyn Fn(&Command, &LabState, &RuleCtx<'_>) -> Option<String> + Sen
 pub struct Rule {
     id: RuleId,
     description: String,
+    signature: RuleSignature,
     check: Arc<CheckFn>,
 }
 
 impl Rule {
     /// Creates a rule from its id, Table III/IV wording, and checker.
+    /// The signature defaults to [`RuleSignature::any`] — the rule is
+    /// evaluated on every command until narrowed with
+    /// [`Rule::with_actions`] or [`Rule::with_signature`].
     pub fn new(
         id: RuleId,
         description: impl Into<String>,
@@ -80,8 +330,28 @@ impl Rule {
         Rule {
             id,
             description: description.into(),
+            signature: RuleSignature::any(),
             check: Arc::new(check),
         }
+    }
+
+    /// Narrows the rule to the given action classes (builder style).
+    /// The author asserts the checker returns `None` for every command
+    /// whose action class is not listed.
+    pub fn with_actions(mut self, classes: &[ActionClass]) -> Self {
+        self.signature = RuleSignature::actions(classes);
+        self
+    }
+
+    /// Replaces the rule's applicability signature (builder style).
+    pub fn with_signature(mut self, signature: RuleSignature) -> Self {
+        self.signature = signature;
+        self
+    }
+
+    /// The rule's applicability signature.
+    pub fn signature(&self) -> &RuleSignature {
+        &self.signature
     }
 
     /// The rule's id.

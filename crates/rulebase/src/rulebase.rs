@@ -3,8 +3,35 @@
 use crate::catalog::DeviceCatalog;
 use crate::custom::hein_custom_rules;
 use crate::general::general_rules;
-use crate::rule::{Rule, RuleCtx, RuleId, Violation};
-use rabit_devices::{Command, LabState};
+use crate::rule::{ActorClass, Rule, RuleCtx, RuleId, Violation, Violations};
+use rabit_devices::{ActionClass, Command, LabState};
+
+/// Dispatch index: for every action class, the indices of the rules
+/// whose [`RuleSignature`](crate::RuleSignature) admits it, in
+/// evaluation order. Built once per rulebase mutation, so `check` visits
+/// only the rules that can possibly fire on a command instead of the
+/// whole rulebase.
+#[derive(Debug, Clone, Default)]
+struct RuleIndex {
+    buckets: [Vec<u32>; ActionClass::COUNT],
+}
+
+impl RuleIndex {
+    fn build(rules: &[Rule]) -> Self {
+        let mut buckets: [Vec<u32>; ActionClass::COUNT] = Default::default();
+        for (i, rule) in rules.iter().enumerate() {
+            for class in rule.signature().action_classes() {
+                buckets[class.index()].push(i as u32);
+            }
+        }
+        RuleIndex { buckets }
+    }
+
+    #[inline]
+    fn bucket(&self, class: ActionClass) -> &[u32] {
+        &self.buckets[class.index()]
+    }
+}
 
 /// A collection of rules evaluated against every intercepted command.
 ///
@@ -26,6 +53,7 @@ use rabit_devices::{Command, LabState};
 #[derive(Debug, Clone, Default)]
 pub struct Rulebase {
     rules: Vec<Rule>,
+    index: RuleIndex,
 }
 
 impl Rulebase {
@@ -36,9 +64,7 @@ impl Rulebase {
 
     /// The standard rulebase: the 11 general rules of Table III.
     pub fn standard() -> Self {
-        Rulebase {
-            rules: general_rules(),
-        }
+        Rulebase::from_rules(general_rules())
     }
 
     /// The Hein-Lab rulebase: general rules plus the 4 custom rules of
@@ -49,27 +75,42 @@ impl Rulebase {
         rb
     }
 
+    fn from_rules(rules: Vec<Rule>) -> Self {
+        let index = RuleIndex::build(&rules);
+        Rulebase { rules, index }
+    }
+
+    fn reindex(&mut self) {
+        self.index = RuleIndex::build(&self.rules);
+    }
+
     /// Adds one rule (builder style).
     pub fn with_rule(mut self, rule: Rule) -> Self {
-        self.rules.push(rule);
+        self.push(rule);
         self
     }
 
     /// Adds one rule.
     pub fn push(&mut self, rule: Rule) {
         self.rules.push(rule);
+        self.reindex();
     }
 
     /// Adds many rules.
     pub fn extend(&mut self, rules: impl IntoIterator<Item = Rule>) {
         self.rules.extend(rules);
+        self.reindex();
     }
 
     /// Removes the rule with the given id, returning `true` if found.
     pub fn remove(&mut self, id: &RuleId) -> bool {
         let before = self.rules.len();
         self.rules.retain(|r| r.id() != id);
-        self.rules.len() != before
+        let removed = self.rules.len() != before;
+        if removed {
+            self.reindex();
+        }
+        removed
     }
 
     /// The rules, in evaluation order.
@@ -87,10 +128,68 @@ impl Rulebase {
         self.rules.is_empty()
     }
 
-    /// Evaluates every rule against a pending command; returns all
-    /// violations. An empty result is the algorithm's
-    /// `Valid(S_current, a_next)`.
+    /// Evaluates the rules whose signature admits this command; returns
+    /// all violations. An empty result is the algorithm's
+    /// `Valid(S_current, a_next)`. Allocation-free for up to four
+    /// violations (see [`Violations`]).
     pub fn check(
+        &self,
+        command: &Command,
+        state: &LabState,
+        catalog: &DeviceCatalog,
+    ) -> Violations {
+        let mut out = Violations::new();
+        self.check_into(command, state, catalog, &mut out);
+        out
+    }
+
+    /// Like [`Rulebase::check`] but fills a caller-owned buffer, so a
+    /// per-command loop can reuse one `Violations` (and its spill
+    /// capacity) across iterations. Clears `out` first.
+    pub fn check_into(
+        &self,
+        command: &Command,
+        state: &LabState,
+        catalog: &DeviceCatalog,
+        out: &mut Violations,
+    ) {
+        out.clear();
+        let ctx = RuleCtx { catalog };
+        let actor = catalog.device_type(&command.actor).map(ActorClass::of);
+        for &i in self.index.bucket(command.action.class()) {
+            let rule = &self.rules[i as usize];
+            if !rule.signature().matches_actor(actor) {
+                continue;
+            }
+            if let Some(v) = rule.check(command, state, &ctx) {
+                out.push(v);
+            }
+        }
+    }
+
+    /// Like [`Rulebase::check`] but stops at the first violation — the
+    /// fast path used in deployment, since RABIT stops the experiment on
+    /// the first alert anyway.
+    pub fn check_first(
+        &self,
+        command: &Command,
+        state: &LabState,
+        catalog: &DeviceCatalog,
+    ) -> Option<Violation> {
+        let ctx = RuleCtx { catalog };
+        let actor = catalog.device_type(&command.actor).map(ActorClass::of);
+        self.index
+            .bucket(command.action.class())
+            .iter()
+            .map(|&i| &self.rules[i as usize])
+            .filter(|rule| rule.signature().matches_actor(actor))
+            .find_map(|rule| rule.check(command, state, &ctx))
+    }
+
+    /// Reference path: evaluates **every** rule linearly, ignoring the
+    /// dispatch index. Used by benches and differential tests to pin the
+    /// indexed path against the pre-index semantics.
+    pub fn check_linear(
         &self,
         command: &Command,
         state: &LabState,
@@ -103,10 +202,9 @@ impl Rulebase {
             .collect()
     }
 
-    /// Like [`Rulebase::check`] but stops at the first violation — the
-    /// fast path used in deployment, since RABIT stops the experiment on
-    /// the first alert anyway.
-    pub fn check_first(
+    /// Reference path twin of [`Rulebase::check_first`]: linear scan,
+    /// no index.
+    pub fn check_first_linear(
         &self,
         command: &Command,
         state: &LabState,
@@ -122,14 +220,13 @@ impl Rulebase {
 impl Extend<Rule> for Rulebase {
     fn extend<I: IntoIterator<Item = Rule>>(&mut self, iter: I) {
         self.rules.extend(iter);
+        self.reindex();
     }
 }
 
 impl FromIterator<Rule> for Rulebase {
     fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
-        Rulebase {
-            rules: iter.into_iter().collect(),
-        }
+        Rulebase::from_rules(iter.into_iter().collect())
     }
 }
 
@@ -229,6 +326,142 @@ mod tests {
         assert_eq!(rb2.len(), 4);
         let rb3 = Rulebase::new().with_rule(crate::general::rule_4_no_double_pick());
         assert_eq!(rb3.len(), 1);
+    }
+
+    #[test]
+    fn indexed_and_linear_paths_agree() {
+        use rabit_geometry::Vec3;
+        let rb = Rulebase::hein_lab();
+        let cat = catalog();
+        let state = closed_door_state();
+        let commands = vec![
+            Command::new(
+                "arm",
+                ActionKind::MoveInsideDevice {
+                    device: "doser".into(),
+                },
+            ),
+            Command::new(
+                "arm",
+                ActionKind::MoveToLocation {
+                    target: Vec3::new(0.5, 0.0, 0.3),
+                },
+            ),
+            Command::new(
+                "arm",
+                ActionKind::PickObject {
+                    object: "vial".into(),
+                },
+            ),
+            Command::new(
+                "arm",
+                ActionKind::PlaceObject {
+                    object: "vial".into(),
+                    into: Some("centrifuge".into()),
+                },
+            ),
+            Command::new("doser", ActionKind::SetDoor { open: true }),
+            Command::new("doser", ActionKind::SetDoor { open: false }),
+            Command::new("centrifuge", ActionKind::StartAction { value: 50.0 }),
+            Command::new(
+                "doser",
+                ActionKind::DoseSolid {
+                    amount_mg: 3.0,
+                    into: "vial".into(),
+                },
+            ),
+            Command::new("arm", ActionKind::MoveHome),
+            Command::new(
+                "unknown_device",
+                ActionKind::Custom {
+                    name: "calibrate".into(),
+                    params: Vec::new(),
+                },
+            ),
+        ];
+        for cmd in &commands {
+            let indexed: Vec<Violation> = rb.check(cmd, &state, &cat).into_vec();
+            let linear = rb.check_linear(cmd, &state, &cat);
+            assert_eq!(indexed, linear, "index diverged on {cmd}");
+            assert_eq!(
+                rb.check_first(cmd, &state, &cat),
+                rb.check_first_linear(cmd, &state, &cat),
+                "check_first diverged on {cmd}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_skips_rules_outside_signature() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let rule = Rule::new(RuleId::Custom("counting".into()), "counts calls", {
+            move |_, _, _| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        })
+        .with_actions(&[rabit_devices::ActionClass::OpenDoor]);
+        let rb = Rulebase::new().with_rule(rule);
+        let cat = catalog();
+        let state = closed_door_state();
+        let pick = Command::new(
+            "arm",
+            ActionKind::PickObject {
+                object: "vial".into(),
+            },
+        );
+        rb.check(&pick, &state, &cat);
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "signature must skip rule");
+        let open = Command::new("doser", ActionKind::SetDoor { open: true });
+        rb.check(&open, &state, &cat);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "matching class must run");
+        // The linear reference path ignores the index entirely.
+        rb.check_linear(&pick, &state, &cat);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn actor_signature_filters_by_device_type() {
+        let rule = Rule::new(
+            RuleId::Custom("arm_only".into()),
+            "always fires",
+            |_, _, _| Some("fired".into()),
+        )
+        .with_signature(
+            crate::rule::RuleSignature::any().for_actors(&[crate::rule::ActorClass::RobotArm]),
+        );
+        let rb = Rulebase::new().with_rule(rule);
+        let cat = catalog();
+        let state = closed_door_state();
+        let from_arm = Command::new("arm", ActionKind::MoveHome);
+        assert_eq!(rb.check(&from_arm, &state, &cat).len(), 1);
+        let from_doser = Command::new("doser", ActionKind::SetDoor { open: true });
+        assert!(rb.check(&from_doser, &state, &cat).is_empty());
+        // Unknown actors conservatively match every rule.
+        let from_unknown = Command::new("ghost", ActionKind::MoveHome);
+        assert_eq!(rb.check(&from_unknown, &state, &cat).len(), 1);
+    }
+
+    #[test]
+    fn check_into_reuses_buffer() {
+        let rb = Rulebase::hein_lab();
+        let cat = catalog();
+        let state = closed_door_state();
+        let bad = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        let good = Command::new("arm", ActionKind::MoveHome);
+        let mut buf = crate::rule::Violations::new();
+        rb.check_into(&bad, &state, &cat, &mut buf);
+        assert_eq!(buf.len(), 1);
+        rb.check_into(&good, &state, &cat, &mut buf);
+        assert!(buf.is_empty(), "check_into must clear the buffer first");
     }
 
     #[test]

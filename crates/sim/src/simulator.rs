@@ -13,7 +13,7 @@
 use crate::world::SimWorld;
 use rabit_core::{TrajectoryValidator, TrajectoryVerdict};
 use rabit_devices::{ActionKind, Command, DeviceId, LabState, StateKey};
-use rabit_geometry::Vec3;
+use rabit_geometry::{Capsule, Vec3};
 use rabit_kinematics::ik::{solve_position, IkParams};
 use rabit_kinematics::trajectory::Trajectory;
 use rabit_kinematics::{ArmModel, HeldObject, JointConfig};
@@ -53,6 +53,11 @@ pub struct SimConfig {
     /// candidates before the narrow-phase capsule tests. Verdicts are
     /// identical either way; pruning only changes the work done.
     pub broad_phase: bool,
+    /// Whether repeated validations are served from the verdict cache
+    /// (keyed on arm, start pose, goal, held object, and world epoch).
+    /// Verdicts are identical either way; caching only changes the work
+    /// done.
+    pub verdict_cache: bool,
 }
 
 impl Default for SimConfig {
@@ -62,8 +67,102 @@ impl Default for SimConfig {
             gui: true,
             model_held_objects: true,
             broad_phase: true,
+            verdict_cache: true,
         }
     }
+}
+
+/// Maximum number of entries the verdict cache retains; beyond it the
+/// least-recently-used entry is evicted.
+const VERDICT_CACHE_CAPACITY: usize = 512;
+
+/// Inverse quantisation step for cache keys: poses within 1e-4 rad (or
+/// metres) land in the same bucket. An exact-match confirmation inside
+/// the entry guards against aliasing, so quantisation never changes a
+/// verdict — it only bounds the key space.
+const KEY_QUANT_INV: f64 = 1e4;
+
+fn quant(x: f64) -> i64 {
+    (x * KEY_QUANT_INV).round() as i64
+}
+
+fn quant3(v: Vec3) -> [i64; 3] {
+    [quant(v.x), quant(v.y), quant(v.z)]
+}
+
+fn quant6(q: &JointConfig) -> [i64; 6] {
+    let a = q.angles();
+    [
+        quant(a[0]),
+        quant(a[1]),
+        quant(a[2]),
+        quant(a[3]),
+        quant(a[4]),
+        quant(a[5]),
+    ]
+}
+
+/// Quantised goal discriminant inside a [`VerdictKey`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum GoalKey {
+    Position([i64; 3]),
+    Home,
+    Sleep,
+    Enter(DeviceId, [i64; 3]),
+    Exit,
+}
+
+/// Cache key: everything a verdict depends on, quantised. The world
+/// epoch is part of the key, so any obstacle mutation implicitly
+/// invalidates every prior entry (stale entries age out via LRU).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct VerdictKey {
+    arm: DeviceId,
+    epoch: u64,
+    start: [i64; 6],
+    goal: GoalKey,
+    held: bool,
+    entered: Option<DeviceId>,
+}
+
+/// Exact (unquantised) goal stored in the entry for aliasing checks.
+#[derive(Debug, Clone, PartialEq)]
+enum ExactGoal {
+    Position(Vec3),
+    Home,
+    Sleep,
+    Enter(DeviceId, Vec3),
+    Exit,
+}
+
+/// Exact inputs a cached verdict was computed from. Two inputs that
+/// quantise to the same [`VerdictKey`] but differ exactly must not share
+/// a verdict — this confirmation keeps cached and uncached validation
+/// bit-for-bit identical.
+#[derive(Debug, Clone, PartialEq)]
+struct ExactKey {
+    start: JointConfig,
+    goal: ExactGoal,
+    entered: Option<(JointConfig, DeviceId)>,
+}
+
+/// The arm-state side effects of a `Safe` verdict, replayed on a cache
+/// hit so the mirrored pose evolves exactly as it would uncached.
+#[derive(Debug, Clone)]
+struct PostState {
+    current: JointConfig,
+    entered: Option<(JointConfig, DeviceId)>,
+}
+
+#[derive(Debug, Clone)]
+struct CachedVerdict {
+    exact: ExactKey,
+    verdict: TrajectoryVerdict,
+    /// `Some` iff the verdict was `Safe` (only safe motions mutate the
+    /// mirrored arm state).
+    post: Option<PostState>,
+    /// Last-use stamp for LRU eviction.
+    stamp: u64,
 }
 
 /// The Extended Simulator: URSim-equivalent kinematics plus device
@@ -78,6 +177,18 @@ pub struct ExtendedSimulator {
     /// Count of narrow-phase obstacle tests (what broad-phase pruning
     /// saves).
     narrow_checks: u64,
+    /// Memoized verdicts, keyed on everything a verdict depends on.
+    cache: BTreeMap<VerdictKey, CachedVerdict>,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Monotonic use counter driving LRU eviction.
+    cache_stamp: u64,
+    /// Reusable buffers: IK candidates, arm capsules per sample, and
+    /// broad-phase candidate indices. Keeping them on the simulator makes
+    /// the steady-state sweep allocation-free.
+    scratch_candidates: Vec<JointConfig>,
+    scratch_capsules: Vec<Capsule>,
+    scratch_prune: Vec<usize>,
 }
 
 impl ExtendedSimulator {
@@ -89,6 +200,13 @@ impl ExtendedSimulator {
             config,
             checks: 0,
             narrow_checks: 0,
+            cache: BTreeMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_stamp: 0,
+            scratch_candidates: Vec::new(),
+            scratch_capsules: Vec::new(),
+            scratch_prune: Vec::new(),
         }
     }
 
@@ -98,7 +216,8 @@ impl ExtendedSimulator {
         self
     }
 
-    /// Registers an arm model.
+    /// Registers an arm model. Drops any cached verdicts: a re-registered
+    /// arm may carry a different model under the same id.
     pub fn add_arm(&mut self, id: impl Into<DeviceId>, model: ArmModel) {
         let current = model.home_configuration();
         self.arms.insert(
@@ -109,6 +228,7 @@ impl ExtendedSimulator {
                 entered: None,
             },
         );
+        self.cache.clear();
     }
 
     /// The world model (to add/remove device cuboids at runtime).
@@ -131,6 +251,39 @@ impl ExtendedSimulator {
     /// `checks × obstacles`.
     pub fn narrow_checks_performed(&self) -> u64 {
         self.narrow_checks
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (benchmarks flip
+    /// [`SimConfig::verdict_cache`] to compare the cached and uncached
+    /// paths). Turning the cache off leaves stale entries in place but
+    /// unread; [`ExtendedSimulator::clear_verdict_cache`] drops them.
+    pub fn config_mut(&mut self) -> &mut SimConfig {
+        &mut self.config
+    }
+
+    /// Verdict-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Verdict-cache misses so far (validations that ran the full sweep).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Number of verdicts currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops every cached verdict (the statistics counters are kept).
+    pub fn clear_verdict_cache(&mut self) {
+        self.cache.clear();
     }
 
     /// The mirrored joint configuration of an arm.
@@ -180,7 +333,12 @@ impl ExtendedSimulator {
         }
     }
 
-    /// Sweeps a trajectory against the world, returning the first hit.
+    /// Sweeps a trajectory against the world, returning the first hit as
+    /// `(obstacle name, time fraction of the motion)`.
+    ///
+    /// Allocation-free in steady state: samples stream from the
+    /// trajectory iterator, and the capsule and broad-phase buffers are
+    /// reused across samples and across calls.
     fn sweep(
         &mut self,
         arm_id: &DeviceId,
@@ -188,168 +346,178 @@ impl ExtendedSimulator {
         held: Option<&HeldObject>,
         exclude: &[&str],
     ) -> Option<(String, f64)> {
-        let arm = self.arms.get(arm_id)?;
-        let samples = trajectory.sample_every(self.config.poll_interval_s);
-        let n = samples.len();
-        for (i, q) in samples.iter().enumerate() {
-            self.checks += 1;
-            // Skip the base link (capsule 0): it is bolted to the
-            // mounting platform, so its permanent contact with the
-            // platform slab is not a collision.
-            let capsules = &arm.model.link_capsules(q, held)[1..];
-            let (hit, tested) =
-                self.world
-                    .first_hit_counting(capsules, exclude, self.config.broad_phase);
-            self.narrow_checks += tested;
-            if let Some(hit) = hit {
-                return Some((hit.name.clone(), i as f64 / (n.max(2) - 1) as f64));
+        let mut capsules = std::mem::take(&mut self.scratch_capsules);
+        let mut prune = std::mem::take(&mut self.scratch_prune);
+        let mut result = None;
+        if let Some(arm) = self.arms.get(arm_id) {
+            for (fraction, q) in trajectory.samples_every(self.config.poll_interval_s) {
+                self.checks += 1;
+                arm.model.link_capsules_into(&q, held, &mut capsules);
+                // Skip the base link (capsule 0): it is bolted to the
+                // mounting platform, so its permanent contact with the
+                // platform slab is not a collision.
+                let (hit, tested) = self.world.first_hit_counting_with(
+                    &capsules[1..],
+                    exclude,
+                    self.config.broad_phase,
+                    &mut prune,
+                );
+                self.narrow_checks += tested;
+                if let Some(hit) = hit {
+                    result = Some((hit.name.clone(), fraction));
+                    break;
+                }
             }
         }
-        None
-    }
-}
-
-enum Goal {
-    Position(Vec3),
-    Joint(JointTarget),
-    Enter { device: DeviceId, position: Vec3 },
-    Exit,
-    None,
-}
-
-/// Collects up to a handful of distinct IK postures for a position goal:
-/// one seeded from the current configuration, plus diversity seeds that
-/// flip the shoulder/elbow (elbow-up vs elbow-down and mirrored-base
-/// postures). Duplicates (within 0.05 rad L∞) are dropped.
-fn ik_candidates(model: &ArmModel, current: &JointConfig, target: Vec3) -> Vec<JointConfig> {
-    let mut seeds = vec![*current, model.home_configuration()];
-    // Elbow/shoulder flips of the current posture.
-    let flipped = JointConfig::new([
-        current.angle(0),
-        -current.angle(1),
-        -current.angle(2),
-        current.angle(3),
-        -current.angle(4),
-        current.angle(5),
-    ]);
-    seeds.push(flipped);
-    // A raised-wrist seed biases toward elbow-up solutions.
-    let mut raised = model.home_configuration();
-    raised = raised.with_angle(1, model.limits()[1].clamp(raised.angle(1) + 0.5));
-    seeds.push(raised);
-    // Base-facing seeds: rotate the base joint toward the target while
-    // keeping the home arm posture — the classic heuristic that steers
-    // the iteration away from wrapped-around, elbow-down branches. Both
-    // facing conventions are tried (UR-style arms extend along −x at
-    // zero base angle).
-    let local = model.chain().base().inverse().transform_point(target);
-    let facing = local.y.atan2(local.x);
-    for theta in [facing, facing + std::f64::consts::PI] {
-        let mut s = model.home_configuration();
-        s = s.with_angle(0, model.limits()[0].clamp(theta));
-        seeds.push(s);
+        self.scratch_capsules = capsules;
+        self.scratch_prune = prune;
+        result
     }
 
-    let mut out: Vec<JointConfig> = Vec::new();
-    for seed in seeds {
-        if let Ok(q) = solve_position(model, &seed, target, &IkParams::default()) {
-            if !out.iter().any(|o| o.max_joint_delta(&q) < 0.05) {
-                out.push(q);
+    /// Builds the (quantised, exact) key pair for a validation request.
+    /// Callers must have filtered `Goal::None` already.
+    fn cache_key(&self, arm_id: &DeviceId, goal: &Goal, held: bool) -> (VerdictKey, ExactKey) {
+        let arm = &self.arms[arm_id];
+        let (goal_key, exact_goal) = match goal {
+            Goal::Position(p) => (GoalKey::Position(quant3(*p)), ExactGoal::Position(*p)),
+            Goal::Joint(JointTarget::Home) => (GoalKey::Home, ExactGoal::Home),
+            Goal::Joint(JointTarget::Sleep) => (GoalKey::Sleep, ExactGoal::Sleep),
+            Goal::Enter { device, position } => (
+                GoalKey::Enter(device.clone(), quant3(*position)),
+                ExactGoal::Enter(device.clone(), *position),
+            ),
+            Goal::Exit => (GoalKey::Exit, ExactGoal::Exit),
+            Goal::None => unreachable!("Goal::None is filtered before cache lookup"),
+        };
+        (
+            VerdictKey {
+                arm: arm_id.clone(),
+                epoch: self.world.epoch(),
+                start: quant6(&arm.current),
+                goal: goal_key,
+                held,
+                entered: arm.entered.as_ref().map(|(_, d)| d.clone()),
+            },
+            ExactKey {
+                start: arm.current,
+                goal: exact_goal,
+                entered: arm.entered.clone(),
+            },
+        )
+    }
+
+    /// Inserts a verdict, evicting the least-recently-used entry at
+    /// capacity.
+    fn insert_cached(
+        &mut self,
+        key: VerdictKey,
+        exact: ExactKey,
+        verdict: TrajectoryVerdict,
+        post: Option<PostState>,
+    ) {
+        if self.cache.len() >= VERDICT_CACHE_CAPACITY && !self.cache.contains_key(&key) {
+            let oldest = self
+                .cache
+                .iter()
+                .min_by_key(|(_, v)| v.stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(oldest) = oldest {
+                self.cache.remove(&oldest);
             }
         }
+        self.cache_stamp += 1;
+        self.cache.insert(
+            key,
+            CachedVerdict {
+                exact,
+                verdict,
+                post,
+                stamp: self.cache_stamp,
+            },
+        );
     }
-    // Prefer postures that keep the arm body high: sort by descending
-    // lowest point, so collision-free "natural" paths are swept first.
-    out.sort_by(|a, b| {
-        let la = model.lowest_point(a, None);
-        let lb = model.lowest_point(b, None);
-        lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal)
-    });
-    out
-}
 
-enum JointTarget {
-    Home,
-    Sleep,
-}
-
-impl TrajectoryValidator for ExtendedSimulator {
-    fn validate(&mut self, command: &Command, state: &LabState) -> TrajectoryVerdict {
-        if !self.arms.contains_key(&command.actor) {
-            return TrajectoryVerdict::Unavailable;
-        }
-
+    /// The full (uncached) validation path: IK candidates, one sweep per
+    /// candidate, mirrored-pose update on the first safe trajectory.
+    fn validate_uncached(
+        &mut self,
+        arm_id: &DeviceId,
+        goal: Goal,
+        held: Option<&HeldObject>,
+    ) -> TrajectoryVerdict {
         // Candidate target configurations. Position goals are redundant
         // (6 joints, 3 constraints): the controller picks among postures,
         // so the simulator only reports a collision when *every* feasible
         // posture's trajectory collides — otherwise the arm would simply
         // take the clear path.
-        let goal = self.goal_of(command, state);
         let mut entering: Option<DeviceId> = None;
         let mut exiting = false;
-        let (candidates, exclude_owned): (Vec<JointConfig>, Option<String>) = {
-            let arm = &self.arms[&command.actor];
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        let exclude_owned: Option<String> = {
+            let arm = &self.arms[arm_id];
             // While inside a device, that device stays excluded from
             // sweeps until the arm retracts.
             let still_inside = arm.entered.as_ref().map(|(_, d)| d.to_string());
             match goal {
-                Goal::None => return TrajectoryVerdict::Unavailable,
+                Goal::None => None,
                 Goal::Joint(JointTarget::Home) => {
-                    (vec![arm.model.home_configuration()], still_inside)
+                    candidates.push(arm.model.home_configuration());
+                    still_inside
                 }
                 Goal::Joint(JointTarget::Sleep) => {
-                    (vec![arm.model.sleep_configuration()], still_inside)
+                    candidates.push(arm.model.sleep_configuration());
+                    still_inside
                 }
                 Goal::Position(p) => {
-                    let sols = ik_candidates(&arm.model, &arm.current, p);
-                    if sols.is_empty() {
-                        // The simulator cannot compute a trajectory either
-                        // — mirror the real arm and leave the decision to
-                        // the controller (silent skip / exception).
-                        return TrajectoryVerdict::Unavailable;
-                    }
-                    (sols, still_inside)
+                    ik_candidates_into(&arm.model, &arm.current, p, &mut candidates);
+                    still_inside
                 }
                 Goal::Enter { device, position } => {
-                    let sols = ik_candidates(&arm.model, &arm.current, position);
-                    if sols.is_empty() {
-                        return TrajectoryVerdict::Unavailable;
-                    }
-                    entering = Some(device.clone());
-                    (sols, Some(device.to_string()))
+                    ik_candidates_into(&arm.model, &arm.current, position, &mut candidates);
+                    let exclude = device.to_string();
+                    entering = Some(device);
+                    Some(exclude)
                 }
                 Goal::Exit => match &arm.entered {
                     // Retract the way it came, device still excluded.
                     Some((q_prev, device)) => {
                         exiting = true;
-                        (vec![*q_prev], Some(device.to_string()))
+                        candidates.push(*q_prev);
+                        Some(device.to_string())
                     }
-                    None => return TrajectoryVerdict::Unavailable,
+                    None => None,
                 },
             }
         };
 
-        // Does the arm hold something? Only modelled after the Bug-D fix.
-        let held = if self.config.model_held_objects {
-            state
-                .get_id(&command.actor, &StateKey::Holding)
-                .flatten()
-                .map(|_| HeldObject::vial())
-        } else {
-            None
-        };
+        if candidates.is_empty() {
+            // The simulator cannot compute a trajectory either — mirror
+            // the real arm and leave the decision to the controller
+            // (silent skip / exception).
+            self.scratch_candidates = candidates;
+            return TrajectoryVerdict::Unavailable;
+        }
 
-        let start = self.arms[&command.actor].current;
-        let exclude: Vec<&str> = exclude_owned.as_deref().into_iter().collect();
+        let start = self.arms[arm_id].current;
+        let exclude_buf: [&str; 1];
+        let exclude: &[&str] = match exclude_owned.as_deref() {
+            Some(name) => {
+                exclude_buf = [name];
+                &exclude_buf
+            }
+            None => &[],
+        };
         let mut first_hit: Option<(String, f64)> = None;
-        for target_config in candidates {
+        let mut safe = false;
+        for &target_config in &candidates {
             let trajectory = Trajectory::linear(start, target_config);
-            match self.sweep(&command.actor, &trajectory, held.as_ref(), &exclude) {
+            match self.sweep(arm_id, &trajectory, held, exclude) {
                 None => {
                     // Mirror the motion: the simulated arm now rests at
                     // the target, which is what makes the silent-skip
                     // follow-up detection (paper footnote 2) work.
-                    if let Some(arm) = self.arms.get_mut(&command.actor) {
+                    if let Some(arm) = self.arms.get_mut(arm_id) {
                         match (&entering, exiting) {
                             (Some(device), _) => {
                                 // Re-entering (e.g. a place following a
@@ -365,15 +533,158 @@ impl TrajectoryValidator for ExtendedSimulator {
                         }
                         arm.current = target_config;
                     }
-                    return TrajectoryVerdict::Safe;
+                    safe = true;
+                    break;
                 }
                 Some(hit) => {
                     first_hit.get_or_insert(hit);
                 }
             }
         }
+        candidates.clear();
+        self.scratch_candidates = candidates;
+        if safe {
+            return TrajectoryVerdict::Safe;
+        }
         let (with, at_fraction) = first_hit.expect("at least one candidate was swept");
         TrajectoryVerdict::Collision { with, at_fraction }
+    }
+}
+
+enum Goal {
+    Position(Vec3),
+    Joint(JointTarget),
+    Enter { device: DeviceId, position: Vec3 },
+    Exit,
+    None,
+}
+
+/// Collects up to a handful of distinct IK postures for a position goal
+/// into `out` (cleared first): one seeded from the current configuration,
+/// plus diversity seeds that flip the shoulder/elbow (elbow-up vs
+/// elbow-down and mirrored-base postures). Duplicates (within 0.05 rad
+/// L∞) are dropped. The seed set is a fixed array, so the only heap use
+/// is `out`'s amortised growth.
+fn ik_candidates_into(
+    model: &ArmModel,
+    current: &JointConfig,
+    target: Vec3,
+    out: &mut Vec<JointConfig>,
+) {
+    out.clear();
+    // Elbow/shoulder flips of the current posture.
+    let flipped = JointConfig::new([
+        current.angle(0),
+        -current.angle(1),
+        -current.angle(2),
+        current.angle(3),
+        -current.angle(4),
+        current.angle(5),
+    ]);
+    // A raised-wrist seed biases toward elbow-up solutions.
+    let mut raised = model.home_configuration();
+    raised = raised.with_angle(1, model.limits()[1].clamp(raised.angle(1) + 0.5));
+    // Base-facing seeds: rotate the base joint toward the target while
+    // keeping the home arm posture — the classic heuristic that steers
+    // the iteration away from wrapped-around, elbow-down branches. Both
+    // facing conventions are tried (UR-style arms extend along −x at
+    // zero base angle).
+    let local = model.chain().base().inverse().transform_point(target);
+    let facing = local.y.atan2(local.x);
+    let face = |theta: f64| {
+        model
+            .home_configuration()
+            .with_angle(0, model.limits()[0].clamp(theta))
+    };
+    let seeds = [
+        *current,
+        model.home_configuration(),
+        flipped,
+        raised,
+        face(facing),
+        face(facing + std::f64::consts::PI),
+    ];
+
+    for seed in seeds {
+        if let Ok(q) = solve_position(model, &seed, target, &IkParams::default()) {
+            if !out.iter().any(|o| o.max_joint_delta(&q) < 0.05) {
+                out.push(q);
+            }
+        }
+    }
+    // Prefer postures that keep the arm body high: sort by descending
+    // lowest point, so collision-free "natural" paths are swept first.
+    out.sort_by(|a, b| {
+        let la = model.lowest_point(a, None);
+        let lb = model.lowest_point(b, None);
+        lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+enum JointTarget {
+    Home,
+    Sleep,
+}
+
+impl TrajectoryValidator for ExtendedSimulator {
+    fn validate(&mut self, command: &Command, state: &LabState) -> TrajectoryVerdict {
+        if !self.arms.contains_key(&command.actor) {
+            return TrajectoryVerdict::Unavailable;
+        }
+        let goal = self.goal_of(command, state);
+        if matches!(goal, Goal::None) {
+            return TrajectoryVerdict::Unavailable;
+        }
+
+        // Does the arm hold something? Only modelled after the Bug-D fix.
+        let held = if self.config.model_held_objects {
+            state
+                .get_id(&command.actor, &StateKey::Holding)
+                .flatten()
+                .map(|_| HeldObject::vial())
+        } else {
+            None
+        };
+
+        if !self.config.verdict_cache {
+            return self.validate_uncached(&command.actor, goal, held.as_ref());
+        }
+
+        // Cache lookup. The quantised key narrows to one bucket; the
+        // exact-input confirmation inside the entry rules out aliasing,
+        // so a hit is guaranteed to reproduce the uncached verdict —
+        // including the mirrored-pose side effects, replayed from the
+        // stored post-state.
+        let (key, exact) = self.cache_key(&command.actor, &goal, held.is_some());
+        if let Some(entry) = self.cache.get_mut(&key) {
+            if entry.exact == exact {
+                self.cache_stamp += 1;
+                entry.stamp = self.cache_stamp;
+                let verdict = entry.verdict.clone();
+                let post = entry.post.clone();
+                self.cache_hits += 1;
+                if let Some(post) = post {
+                    if let Some(arm) = self.arms.get_mut(&command.actor) {
+                        arm.current = post.current;
+                        arm.entered = post.entered;
+                    }
+                }
+                return verdict;
+            }
+        }
+        self.cache_misses += 1;
+
+        let verdict = self.validate_uncached(&command.actor, goal, held.as_ref());
+
+        let post = matches!(verdict, TrajectoryVerdict::Safe).then(|| {
+            let arm = &self.arms[&command.actor];
+            PostState {
+                current: arm.current,
+                entered: arm.entered.clone(),
+            }
+        });
+        self.insert_cached(key, exact, verdict.clone(), post);
+        verdict
     }
 
     fn check_latency_s(&self) -> f64 {
@@ -386,6 +697,14 @@ impl TrajectoryValidator for ExtendedSimulator {
 
     fn narrow_checks_performed(&self) -> u64 {
         self.narrow_checks
+    }
+
+    fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    fn cache_misses(&self) -> u64 {
+        self.cache_misses
     }
 }
 

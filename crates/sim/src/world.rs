@@ -51,10 +51,23 @@ impl NamedBox {
 /// obstacles' bounding boxes) is rebuilt eagerly on every mutation, so
 /// queries stay `&self` and two worlds with equal obstacle lists compare
 /// equal.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SimWorld {
     obstacles: Vec<NamedBox>,
     index: Bvh,
+    /// Monotonic mutation counter: bumped on every obstacle change, so
+    /// downstream caches (the simulator's verdict cache) can key on it
+    /// and invalidate without diffing obstacle lists.
+    epoch: u64,
+}
+
+impl PartialEq for SimWorld {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality is over the obstacle list only: the index is a pure
+        // function of it, and the epoch is a mutation counter, not part
+        // of the world's observable geometry.
+        self.obstacles == other.obstacles
+    }
 }
 
 impl SimWorld {
@@ -147,8 +160,16 @@ impl SimWorld {
         &self.obstacles
     }
 
+    /// The world's mutation epoch. Every obstacle addition or removal
+    /// bumps it; two calls returning the same epoch on the same world
+    /// guarantee the obstacle set has not changed in between.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Rebuilds the broad-phase index after a mutation.
     fn reindex(&mut self) {
+        self.epoch += 1;
         let bounds: Vec<Aabb> = self.obstacles.iter().map(|o| o.bounding_box()).collect();
         self.index = Bvh::build(&bounds);
     }
@@ -180,6 +201,20 @@ impl SimWorld {
         exclude: &[&str],
         broad_phase: bool,
     ) -> (Option<&NamedBox>, u64) {
+        let mut scratch = Vec::new();
+        self.first_hit_counting_with(capsules, exclude, broad_phase, &mut scratch)
+    }
+
+    /// As [`SimWorld::first_hit_counting`], reusing a caller-owned
+    /// candidate buffer for the broad-phase query so a sweep over many
+    /// trajectory samples performs no per-sample allocation.
+    pub fn first_hit_counting_with(
+        &self,
+        capsules: &[Capsule],
+        exclude: &[&str],
+        broad_phase: bool,
+        scratch: &mut Vec<usize>,
+    ) -> (Option<&NamedBox>, u64) {
         let mut tested = 0;
         let mut narrow = |o: &NamedBox| {
             tested += 1;
@@ -192,10 +227,10 @@ impl SimWorld {
                 probe = Some(probe.map_or(b, |p| p.union(&b)));
             }
             probe.and_then(|probe| {
-                self.index
-                    .query(&probe)
-                    .into_iter()
-                    .map(|i| &self.obstacles[i])
+                self.index.query_into(&probe, scratch);
+                scratch
+                    .iter()
+                    .map(|&i| &self.obstacles[i])
                     .filter(|o| !exclude.contains(&o.name.as_str()))
                     .find(|o| narrow(o))
             })

@@ -1,0 +1,213 @@
+//! Differential test: the verdict cache must be invisible. A cached
+//! [`ExtendedSimulator`] and an uncached one, driven with identical
+//! command streams over identical (mutating) worlds, must return the
+//! same verdict and mirror the same arm pose at every step — while the
+//! cached one actually serves a meaningful share of hits.
+
+use rabit_core::{TrajectoryValidator, TrajectoryVerdict};
+use rabit_devices::{ActionKind, Command, DeviceId, DeviceState, LabState, StateKey};
+use rabit_geometry::{Aabb, Vec3};
+use rabit_kinematics::presets;
+use rabit_sim::{ExtendedSimulator, SimConfig, SimWorld};
+use rabit_util::Rng;
+
+const WORLDS: usize = 6;
+const COMMANDS_PER_WORLD: usize = 96; // 6 × 96 = 576 ≥ 256 paired validations
+
+fn sim(world: SimWorld, verdict_cache: bool) -> ExtendedSimulator {
+    ExtendedSimulator::new(
+        world,
+        SimConfig {
+            gui: false,
+            verdict_cache,
+            ..SimConfig::default()
+        },
+    )
+    .with_arm("ur3e", presets::ur3e())
+}
+
+fn state(holding: bool) -> LabState {
+    let mut s = LabState::new();
+    let held = if holding {
+        Some(DeviceId::new("vial"))
+    } else {
+        None
+    };
+    s.insert("ur3e", DeviceState::new().with(StateKey::Holding, held));
+    s
+}
+
+/// A small pool of reachable targets around the home tool position, so
+/// the random walk revisits (start, goal) pairs and the cache gets hits.
+fn target_pool() -> Vec<Vec3> {
+    let arm = presets::ur3e();
+    let home_tool = arm.tool_position(&arm.home_configuration());
+    vec![
+        home_tool + Vec3::new(0.05, 0.05, 0.05),
+        home_tool + Vec3::new(-0.06, 0.04, 0.02),
+        home_tool + Vec3::new(0.0, 0.1, -0.03),
+        Vec3::new(5.0, 5.0, 5.0), // out of reach → Unavailable
+    ]
+}
+
+fn random_world(rng: &mut Rng) -> SimWorld {
+    let mut w = SimWorld::new();
+    let n = rng.random_range(0..6usize);
+    for i in 0..n {
+        let c = Vec3::new(
+            rng.random_range(-0.6..0.6),
+            rng.random_range(-0.6..0.6),
+            rng.random_range(0.0..0.6),
+        );
+        let h = Vec3::new(
+            rng.random_range(0.02..0.15),
+            rng.random_range(0.02..0.15),
+            rng.random_range(0.02..0.15),
+        );
+        w.add_obstacle(format!("dev{i}"), Aabb::from_center_half_extents(c, h));
+    }
+    w
+}
+
+fn random_command(rng: &mut Rng, pool: &[Vec3]) -> Command {
+    match rng.random_range(0..10u32) {
+        0 => Command::new("ur3e", ActionKind::MoveHome),
+        1 => Command::new("ur3e", ActionKind::MoveToSleep),
+        _ => Command::new(
+            "ur3e",
+            ActionKind::MoveToLocation {
+                target: pool[rng.random_range(0..pool.len())],
+            },
+        ),
+    }
+}
+
+#[test]
+fn cached_verdicts_match_uncached_pose_for_pose() {
+    let mut rng = Rng::seed_from_u64(0xCAC4E);
+    let pool = target_pool();
+    let arm_id = DeviceId::new("ur3e");
+    let mut total = 0usize;
+    let mut total_hits = 0u64;
+    for wi in 0..WORLDS {
+        let world = random_world(&mut rng);
+        let mut cached = sim(world.clone(), true);
+        let mut uncached = sim(world, false);
+        let mut holding = false;
+        for ci in 0..COMMANDS_PER_WORLD {
+            // Occasionally mutate both worlds identically mid-run: the
+            // epoch key must keep stale verdicts from being served.
+            if rng.random_bool(0.06) {
+                let c = Vec3::new(
+                    rng.random_range(-0.5..0.5),
+                    rng.random_range(-0.5..0.5),
+                    rng.random_range(0.0..0.5),
+                );
+                let aabb = Aabb::from_center_half_extents(c, Vec3::splat(0.08));
+                let name = format!("mut{wi}_{ci}");
+                cached.world_mut().add_obstacle(name.clone(), aabb);
+                uncached.world_mut().add_obstacle(name, aabb);
+            } else if rng.random_bool(0.03) {
+                let names: Vec<String> = cached
+                    .world()
+                    .obstacles()
+                    .iter()
+                    .map(|o| o.name.clone())
+                    .collect();
+                if !names.is_empty() {
+                    let victim = &names[rng.random_range(0..names.len())];
+                    cached.world_mut().remove_obstacle(victim);
+                    uncached.world_mut().remove_obstacle(victim);
+                }
+            }
+            if rng.random_bool(0.1) {
+                holding = !holding;
+            }
+            let cmd = random_command(&mut rng, &pool);
+            let s = state(holding);
+            let vc = cached.validate(&cmd, &s);
+            let vu = uncached.validate(&cmd, &s);
+            assert_eq!(vc, vu, "world {wi} command {ci} ({cmd:?}): verdicts differ");
+            assert_eq!(
+                cached.arm_configuration(&arm_id),
+                uncached.arm_configuration(&arm_id),
+                "world {wi} command {ci}: mirrored poses diverged"
+            );
+            total += 1;
+        }
+        assert_eq!(
+            cached.cache_hits() + cached.cache_misses(),
+            COMMANDS_PER_WORLD as u64,
+            "every validation goes through the cache"
+        );
+        assert_eq!(uncached.cache_hits(), 0, "disabled cache must not hit");
+        total_hits += cached.cache_hits();
+    }
+    assert!(total >= 256, "only {total} paired validations");
+    // The pool is small and moves mirror deterministically, so the walk
+    // revisits states. Mutations wipe the live epoch and held-state
+    // toggles split keys, so the rate stays modest — but the cache must
+    // genuinely engage.
+    assert!(
+        total_hits * 10 >= (WORLDS * COMMANDS_PER_WORLD) as u64,
+        "only {total_hits} hits across {total} validations — cache never engages"
+    );
+}
+
+#[test]
+fn mid_run_world_mutation_invalidates_cached_safe_verdict() {
+    // Cache a Safe verdict for home → target, then drop a device cuboid
+    // onto exactly that path. Replaying the identical command from the
+    // identical pose must report the collision, not the stale Safe.
+    let arm = presets::ur3e();
+    let home_tool = arm.tool_position(&arm.home_configuration());
+    let target = home_tool + Vec3::new(0.0, 0.25, 0.0);
+    let mid = home_tool.lerp(target, 0.5);
+    let block = Aabb::from_center_half_extents(mid, Vec3::new(0.35, 0.04, 0.35));
+
+    let mut s = sim(SimWorld::new(), true);
+    let cmd = Command::new("ur3e", ActionKind::MoveToLocation { target });
+    let back = Command::new("ur3e", ActionKind::MoveHome);
+    let lab = state(false);
+
+    // Prime: safe, and repeat the round trip to prove the hits come.
+    assert_eq!(s.validate(&cmd, &lab), TrajectoryVerdict::Safe);
+    assert_eq!(s.validate(&back, &lab), TrajectoryVerdict::Safe);
+    assert_eq!(s.validate(&cmd, &lab), TrajectoryVerdict::Safe);
+    assert_eq!(s.validate(&back, &lab), TrajectoryVerdict::Safe);
+    assert!(s.cache_hits() >= 2, "repeat round trip must hit the cache");
+
+    // Mutate the device AABB mid-run: the same key inputs now face a
+    // different world, so the stale Safe must not be served.
+    s.world_mut().add_obstacle("dropped_device", block);
+    match s.validate(&cmd, &lab) {
+        TrajectoryVerdict::Collision { with, .. } => assert_eq!(with, "dropped_device"),
+        other => panic!("stale cached verdict served after mutation: {other:?}"),
+    }
+
+    // And removing it restores Safe (a third epoch, not the first's
+    // entries — but the verdict is what matters).
+    s.world_mut().remove_obstacle("dropped_device");
+    assert_eq!(s.validate(&cmd, &lab), TrajectoryVerdict::Safe);
+}
+
+#[test]
+fn cache_respects_held_object_difference() {
+    // Same pose, same goal, different held state: the bare-arm Safe must
+    // not be replayed for the held-vial case (Bug D's geometry).
+    let arm = presets::ur3e();
+    let home_tool = arm.tool_position(&arm.home_configuration());
+    let target = home_tool + Vec3::new(0.08, 0.0, -0.02);
+    let mid = home_tool.lerp(target, 0.5);
+    let shelf =
+        Aabb::from_center_half_extents(mid - Vec3::new(0.0, 0.0, 0.12), Vec3::new(0.2, 0.2, 0.06));
+    let mut s = sim(SimWorld::new().with_obstacle("shelf", shelf), true);
+    let cmd = Command::new("ur3e", ActionKind::MoveToLocation { target });
+    assert_eq!(s.validate(&cmd, &state(false)), TrajectoryVerdict::Safe);
+    // Reset the mirrored pose so the start config matches exactly.
+    s.add_arm("ur3e", presets::ur3e());
+    match s.validate(&cmd, &state(true)) {
+        TrajectoryVerdict::Collision { with, .. } => assert_eq!(with, "shelf"),
+        other => panic!("held-object case served the bare-arm verdict: {other:?}"),
+    }
+}

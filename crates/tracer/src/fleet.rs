@@ -28,6 +28,11 @@ pub struct FleetRun {
     pub report: TraceReport,
     /// Ground-truth damage the lab recorded during the run.
     pub damage: Vec<DamageEvent>,
+    /// Verdict-cache hits of this run's validator (0 without a guarded
+    /// engine or a caching validator).
+    pub cache_hits: u64,
+    /// Verdict-cache misses of this run's validator.
+    pub cache_misses: u64,
 }
 
 /// The collected fleet: per-run reports plus merge helpers.
@@ -66,6 +71,18 @@ impl FleetReport {
     pub fn total_lab_time_s(&self) -> f64 {
         self.runs.iter().map(|r| r.report.lab_time_s).sum()
     }
+
+    /// Fleet-wide verdict-cache hit rate, `hits / (hits + misses)`.
+    /// `None` when no run performed any cached validation.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits: u64 = self.runs.iter().map(|r| r.cache_hits).sum();
+        let misses: u64 = self.runs.iter().map(|r| r.cache_misses).sum();
+        if hits + misses == 0 {
+            None
+        } else {
+            Some(hits as f64 / (hits + misses) as f64)
+        }
+    }
 }
 
 /// Runs every workflow against its own freshly-built lab, on `threads`
@@ -79,25 +96,36 @@ impl FleetReport {
 /// Determinism: for a deterministic `setup`, the returned
 /// [`FleetReport::runs`] — traces, alerts, and damage logs — is
 /// identical for every `threads >= 1`.
+///
+/// Guarded runs execute on the deployment fast path:
+/// [`RabitConfig::first_violation_only`] is switched on, so rule
+/// evaluation stops at the first violation (the run stops on the first
+/// alert anyway).
+///
+/// [`RabitConfig::first_violation_only`]: rabit_core::RabitConfig::first_violation_only
 pub fn run_fleet<S>(workflows: &[Workflow], threads: usize, setup: S) -> FleetReport
 where
     S: Fn(usize) -> (Lab, Option<Rabit>) + Sync,
 {
     let runs = run_indexed(workflows.len(), threads, |i| {
         let (mut lab, rabit) = setup(i);
-        let report = match rabit {
+        let (report, cache_hits, cache_misses) = match rabit {
             Some(mut rabit) => {
+                rabit.config_mut().first_violation_only = true;
                 let report = Tracer::guarded(&mut lab, &mut rabit).run(&workflows[i]);
+                let (hits, misses) = rabit.validator_cache_stats();
                 drop(rabit);
-                report
+                (report, hits, misses)
             }
-            None => Tracer::pass_through(&mut lab).run(&workflows[i]),
+            None => (Tracer::pass_through(&mut lab).run(&workflows[i]), 0, 0),
         };
         FleetRun {
             index: i,
             workflow: workflows[i].name().to_string(),
             report,
             damage: lab.damage_log().to_vec(),
+            cache_hits,
+            cache_misses,
         }
     });
     FleetReport { threads, runs }
