@@ -17,6 +17,7 @@
 //! | `pilot_study` | §V-A pilot study |
 //! | `rad_mining` | §II-A rule mining from RAD |
 //! | `ablations` | DESIGN.md ablation studies |
+//! | `pipeline` | three-stage promotion pipeline (per-stage throughput, detection, gating) |
 //!
 //! The `benches/` directory holds dependency-free micro-benchmarks (the
 //! [`timing`] harness) for the real compute costs: rule evaluation,

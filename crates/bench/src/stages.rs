@@ -12,82 +12,19 @@
 //! * **risk** — the damage cost incurred when the 16-bug suite runs
 //!   *unguarded* in the stage, weighted by what the stage's equipment
 //!   costs (virtual = free, cardboard mockups = cheap, lab = expensive).
+//!
+//! The [`Stage`] enum itself (and its latency/noise/cost profiles) lives
+//! in `rabit_core::substrate`; this module re-exports it and measures the
+//! deck through [`TestbedSubstrate`] stage profiles.
 
 use rabit_buginject::catalog;
-use rabit_core::Severity;
-use rabit_devices::{ActionKind, Command, LatencyModel};
-use rabit_geometry::noise::PositionNoise;
+use rabit_core::{Severity, Substrate};
+use rabit_devices::{ActionKind, Command};
 use rabit_geometry::Vec3;
-use rabit_testbed::{workflows, Testbed};
+use rabit_testbed::{locations, workflows, TestbedSubstrate};
 use rabit_tracer::Tracer;
 
-/// One of RABIT's three deployment stages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Stage {
-    /// Stage 1: the Extended Simulator.
-    Simulator,
-    /// Stage 2: the low-fidelity testbed.
-    Testbed,
-    /// Stage 3: the production lab.
-    Production,
-}
-
-impl Stage {
-    /// All three stages, in deployment order.
-    pub fn all() -> [Stage; 3] {
-        [Stage::Simulator, Stage::Testbed, Stage::Production]
-    }
-
-    /// The stage's name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Stage::Simulator => "Simulator",
-            Stage::Testbed => "Testbed",
-            Stage::Production => "Production",
-        }
-    }
-
-    fn latency(&self) -> LatencyModel {
-        match self {
-            Stage::Simulator => LatencyModel::SIMULATED,
-            Stage::Testbed => LatencyModel::TESTBED,
-            Stage::Production => LatencyModel::PRODUCTION,
-        }
-    }
-
-    /// Positional repeatability (σ, metres): zero in simulation,
-    /// centimetre-scale on the educational arms, sub-millimetre on the
-    /// UR3e (vendor repeatability ±0.03 mm, dominated in practice by
-    /// calibration drift).
-    pub fn precision_sigma_m(&self) -> f64 {
-        match self {
-            Stage::Simulator => 0.0,
-            Stage::Testbed => 0.013,
-            Stage::Production => 0.0005,
-        }
-    }
-
-    /// Cost multiplier of damaging this stage's equipment.
-    fn damage_cost_multiplier(&self) -> f64 {
-        match self {
-            Stage::Simulator => 0.0, // nothing physical can break
-            Stage::Testbed => 1.0,   // cardboard and toy arms
-            Stage::Production => 50.0,
-        }
-    }
-
-    /// Per-experiment setup/reset cost (seconds): zero for a simulator
-    /// restart, minutes of repositioning mockups on the testbed, and the
-    /// chemical prep + cleanup of a real run. This, not raw arm speed, is
-    /// what makes exploration "High / Medium / Low" across the stages.
-    fn setup_cost_s(&self) -> f64 {
-        match self {
-            Stage::Simulator => 0.0,
-            Stage::Testbed => 60.0,
-            Stage::Production => 900.0,
-        }
-    }
-}
+pub use rabit_core::Stage;
 
 /// Measured Table I row.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,9 +58,9 @@ fn severity_weight(severity: Severity) -> f64 {
 /// cost. Exploration speed uses the amortised figure; timing fidelity the
 /// raw one.
 fn seconds_per_command(stage: Stage) -> (f64, f64) {
-    let mut tb = Testbed::with_latency(stage.latency());
-    let wf = workflows::fig5_safe_workflow(&tb.locations);
-    let report = Tracer::pass_through(&mut tb.lab).run(&wf);
+    let mut lab = TestbedSubstrate::for_stage(stage).build_lab();
+    let wf = workflows::fig5_safe_workflow(&locations());
+    let report = Tracer::pass_through(&mut lab).run(&wf);
     assert!(report.completed(), "reference workflow must complete");
     let n = report.executed as f64;
     (
@@ -135,23 +72,18 @@ fn seconds_per_command(stage: Stage) -> (f64, f64) {
 /// Mean placement error of the stage's arm over `trials` commanded
 /// moves, measured through the lab pipeline with the stage's noise model.
 fn placement_error(stage: Stage, trials: usize) -> f64 {
+    let substrate = TestbedSubstrate::for_stage(stage);
     let mut total = 0.0;
     for seed in 0..trials as u64 {
-        let mut tb = Testbed::with_latency(stage.latency());
-        tb.lab.set_arm_noise(
-            "viperx",
-            PositionNoise::gaussian(stage.precision_sigma_m()),
-            seed,
-        );
+        let mut lab = substrate.build_lab();
+        lab.set_arm_noise("viperx", substrate.position_noise(), seed);
         let target = Vec3::new(0.40, 0.10, 0.30);
-        tb.lab
-            .apply(&Command::new(
-                "viperx",
-                ActionKind::MoveToLocation { target },
-            ))
-            .expect("free-space move");
-        let achieved = tb
-            .lab
+        lab.apply(&Command::new(
+            "viperx",
+            ActionKind::MoveToLocation { target },
+        ))
+        .expect("free-space move");
+        let achieved = lab
             .device(&"viperx".into())
             .unwrap()
             .as_arm()
@@ -165,12 +97,14 @@ fn placement_error(stage: Stage, trials: usize) -> f64 {
 /// Damage cost of running every catalogued bug unguarded in a lab with
 /// the stage's latency model and cost structure.
 fn unguarded_risk(stage: Stage) -> f64 {
+    let substrate = TestbedSubstrate::for_stage(stage);
+    let loc = locations();
     let mut total = 0.0;
     for bug in catalog() {
-        let mut tb = Testbed::with_latency(stage.latency());
-        let wf = bug.buggy_workflow(&tb.locations);
-        let _ = Tracer::pass_through(&mut tb.lab).run(&wf);
-        for event in tb.lab.damage_log() {
+        let mut lab = substrate.build_lab();
+        let wf = bug.buggy_workflow(&loc);
+        let _ = Tracer::pass_through(&mut lab).run(&wf);
+        for event in lab.damage_log() {
             total += severity_weight(event.severity);
         }
     }
@@ -199,6 +133,7 @@ pub fn profile_all() -> Vec<StageProfile> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rabit_geometry::noise::PositionNoise;
 
     #[test]
     fn table_i_orderings_hold() {

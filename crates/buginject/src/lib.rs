@@ -11,6 +11,9 @@
 //!   configuration that first detects it;
 //! * [`run_study`] — executes the catalog against one of the three RABIT
 //!   configurations, scoring detections against the damage oracle;
+//! * [`run_study_on`] — the generic form: executes the catalog against
+//!   any [`rabit_core::Substrate`] realising the testbed deck, so the
+//!   same 16 bugs replay at every stage of the promotion pipeline;
 //! * [`false_positives`] — the safe-workflow suite behind the paper's
 //!   "RABIT never produced any false positives".
 //!
@@ -31,7 +34,8 @@ mod runner;
 
 pub use catalog::{catalog, Bug, BugCategory, DetectedFrom};
 pub use runner::{
-    false_positives, run_bug, run_study, run_study_parallel, BugOutcome, StudyResult,
+    false_positives, false_positives_on, run_bug, run_bug_on, run_study, run_study_on,
+    run_study_parallel, run_study_parallel_on, BugOutcome, StudyResult,
 };
 // Re-export the stage enum so harnesses need only this crate.
 pub use rabit_testbed::RabitStage;

@@ -1,10 +1,16 @@
-//! The study runner: executes each catalogued bug against a RABIT
-//! configuration and scores detection against the damage oracle.
+//! The study runner: executes each catalogued bug against a deployment
+//! substrate and scores detection against the damage oracle.
+//!
+//! The study's three configurations ([`RabitStage`]) are thin wrappers
+//! over [`TestbedSubstrate::study`] profiles; the generic entry points
+//! ([`run_bug_on`], [`run_study_on`]) accept *any*
+//! [`Substrate`] — the pipeline bench replays the same 16 bugs at every
+//! stage of `Testbed::pipeline()` through them.
 
 use crate::catalog::{catalog, Bug, BugCategory};
-use rabit_core::{DamageEvent, Severity};
-use rabit_testbed::{workflows, RabitStage, Testbed};
-use rabit_tracer::Tracer;
+use rabit_core::{DamageEvent, Severity, Stage, Substrate};
+use rabit_testbed::{locations, workflows, RabitStage, TestbedSubstrate};
+use rabit_tracer::{run_fleet_on, Tracer, Workflow};
 
 /// Outcome of one bug under one configuration.
 #[derive(Debug)]
@@ -26,11 +32,16 @@ pub struct BugOutcome {
     pub damage: Vec<DamageEvent>,
 }
 
-/// Aggregated study results for one configuration.
+/// Aggregated study results for one substrate.
 #[derive(Debug)]
 pub struct StudyResult {
-    /// The configuration evaluated.
-    pub stage: RabitStage,
+    /// Name of the substrate evaluated.
+    pub substrate: String,
+    /// The deployment stage it ran at.
+    pub stage: Stage,
+    /// The study configuration, when the substrate is one of the paper's
+    /// three testbed deployments.
+    pub config: Option<RabitStage>,
     /// Per-bug outcomes, in catalog order.
     pub outcomes: Vec<BugOutcome>,
 }
@@ -62,13 +73,13 @@ impl StudyResult {
     }
 }
 
-/// Runs one bug on a fresh testbed under `stage`.
-pub fn run_bug(bug: &Bug, stage: RabitStage) -> BugOutcome {
-    let mut tb = Testbed::new();
-    let wf = bug.buggy_workflow(&tb.locations);
-    let mut rabit = tb.rabit(stage);
-    let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
-    let (detected, device_fault) = match &report.alert {
+/// The study profile behind one of the paper's three configurations.
+fn study_substrate(stage: RabitStage) -> TestbedSubstrate {
+    TestbedSubstrate::study(stage)
+}
+
+fn outcome_of(bug: &Bug, alert: Option<&rabit_core::Alert>, damage: &[DamageEvent]) -> BugOutcome {
+    let (detected, device_fault) = match alert {
         Some(alert) => (alert.is_rabit_detection(), !alert.is_rabit_detection()),
         None => (false, false),
     };
@@ -77,57 +88,102 @@ pub fn run_bug(bug: &Bug, stage: RabitStage) -> BugOutcome {
         category: bug.category,
         severity: bug.severity,
         detected,
-        alert: report.alert.as_ref().map(ToString::to_string),
+        alert: alert.map(ToString::to_string),
         device_fault,
-        damage: tb.lab.damage_log().to_vec(),
+        damage: damage.to_vec(),
+    }
+}
+
+/// Runs one bug on a fresh lab instantiated from `substrate`. The buggy
+/// workflow targets the testbed deck topology, so the substrate must
+/// realise it (any stage or configuration profile works).
+pub fn run_bug_on(bug: &Bug, substrate: &dyn Substrate) -> BugOutcome {
+    let wf = bug.buggy_workflow(&locations());
+    let (mut lab, mut rabit) = substrate.instantiate();
+    let report = Tracer::guarded(&mut lab, &mut rabit).run(&wf);
+    outcome_of(bug, report.alert.as_ref(), lab.damage_log())
+}
+
+/// Runs one bug under one of the study's configurations.
+pub fn run_bug(bug: &Bug, stage: RabitStage) -> BugOutcome {
+    run_bug_on(bug, &study_substrate(stage))
+}
+
+/// Runs the whole 16-bug study against one substrate.
+pub fn run_study_on(substrate: &dyn Substrate) -> StudyResult {
+    let outcomes = catalog()
+        .iter()
+        .map(|bug| run_bug_on(bug, substrate))
+        .collect();
+    StudyResult {
+        substrate: substrate.name().to_string(),
+        stage: substrate.stage(),
+        config: None,
+        outcomes,
     }
 }
 
 /// Runs the whole 16-bug study under one configuration.
 pub fn run_study(stage: RabitStage) -> StudyResult {
-    let outcomes = catalog().iter().map(|bug| run_bug(bug, stage)).collect();
-    StudyResult { stage, outcomes }
-}
-
-/// Runs the study with every bug on its own thread (each gets a fresh
-/// testbed, so the runs are fully independent). Results are identical to
-/// [`run_study`]; wall-clock time is not — this is the regression-suite
-/// fast path a lab runs before each deployment.
-pub fn run_study_parallel(stage: RabitStage) -> StudyResult {
-    let bugs = catalog();
-    let mut outcomes: Vec<Option<BugOutcome>> = Vec::new();
-    outcomes.resize_with(bugs.len(), || None);
-    std::thread::scope(|scope| {
-        for (slot, bug) in outcomes.iter_mut().zip(bugs.iter()) {
-            scope.spawn(move || {
-                *slot = Some(run_bug(bug, stage));
-            });
-        }
-    });
     StudyResult {
-        stage,
-        outcomes: outcomes
-            .into_iter()
-            .map(|o| o.expect("worker filled slot"))
-            .collect(),
+        config: Some(stage),
+        ..run_study_on(&study_substrate(stage))
     }
 }
 
-/// Runs the safe workflows under `stage` and returns the number of false
-/// positives (alerts raised on safe behaviour). The paper: "throughout
-/// testing, RABIT never produced any false positives."
-pub fn false_positives(stage: RabitStage) -> usize {
+/// Runs the study as a guarded fleet, every bug on its own worker (each
+/// run instantiates a fresh lab from the substrate, so the runs are
+/// fully independent). Results are identical to [`run_study_on`];
+/// wall-clock time is not — this is the regression-suite fast path a lab
+/// runs before each deployment.
+pub fn run_study_parallel_on(substrate: &dyn Substrate, threads: usize) -> StudyResult {
+    let bugs = catalog();
+    let loc = locations();
+    let wfs: Vec<Workflow> = bugs.iter().map(|b| b.buggy_workflow(&loc)).collect();
+    let jobs: Vec<(&dyn Substrate, &Workflow)> = wfs.iter().map(|wf| (substrate, wf)).collect();
+    let fleet = run_fleet_on(&jobs, threads);
+    let outcomes = bugs
+        .iter()
+        .zip(&fleet.runs)
+        .map(|(bug, run)| outcome_of(bug, run.report.alert.as_ref(), &run.damage))
+        .collect();
+    StudyResult {
+        substrate: substrate.name().to_string(),
+        stage: substrate.stage(),
+        config: None,
+        outcomes,
+    }
+}
+
+/// [`run_study_parallel_on`] for one of the study's configurations, one
+/// worker per bug.
+pub fn run_study_parallel(stage: RabitStage) -> StudyResult {
+    StudyResult {
+        config: Some(stage),
+        ..run_study_parallel_on(&study_substrate(stage), catalog().len())
+    }
+}
+
+/// Runs the safe workflows on `substrate` and returns the number of
+/// false positives (alerts raised on safe behaviour). The paper:
+/// "throughout testing, RABIT never produced any false positives."
+pub fn false_positives_on(substrate: &dyn Substrate) -> usize {
+    let loc = locations();
     let mut count = 0;
     for builder in [workflows::fig5_safe_workflow, workflows::device_tour] {
-        let mut tb = Testbed::new();
-        let wf = builder(&tb.locations);
-        let mut rabit = tb.rabit(stage);
-        let report = Tracer::guarded(&mut tb.lab, &mut rabit).run(&wf);
+        let wf = builder(&loc);
+        let (mut lab, mut rabit) = substrate.instantiate();
+        let report = Tracer::guarded(&mut lab, &mut rabit).run(&wf);
         if report.alert.is_some() {
             count += 1;
         }
     }
     count
+}
+
+/// [`false_positives_on`] for one of the study's configurations.
+pub fn false_positives(stage: RabitStage) -> usize {
+    false_positives_on(&study_substrate(stage))
 }
 
 #[cfg(test)]
@@ -195,6 +251,20 @@ mod tests {
         assert_eq!(result.severity_row(Severity::MediumLow), (1, 1));
         assert_eq!(result.severity_row(Severity::MediumHigh), (6, 4));
         assert_eq!(result.severity_row(Severity::High), (6, 6));
+    }
+
+    #[test]
+    fn pipeline_stages_detect_13_12_12() {
+        // The canonical promotion pipeline replays the suite at every
+        // stage: the simulator stage carries the validator (13/16), the
+        // physical profiles run the modified rules alone (12/16).
+        let pipeline = rabit_testbed::Testbed::pipeline();
+        let counts: Vec<usize> = pipeline
+            .substrates()
+            .iter()
+            .map(|s| run_study_on(s.as_ref()).detected())
+            .collect();
+        assert_eq!(counts, [13, 12, 12]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Alerts: how RABIT reports detected unsafe behaviour.
 
+use crate::trajcheck::CollisionReport;
 use rabit_devices::{Command, DeviceError, StateDiff};
 use rabit_rulebase::Violation;
 use std::fmt;
@@ -21,8 +22,8 @@ pub enum Alert {
     InvalidTrajectory {
         /// The rejected command.
         command: Command,
-        /// What the trajectory would hit.
-        collision: String,
+        /// What the trajectory would hit, where, and with which link.
+        collision: CollisionReport,
     },
     /// `alertAndStop("Device malfunction!")` — `S_actual ≠ S_expected`
     /// after execution (Fig. 2, Lines 14-15).
@@ -156,10 +157,15 @@ mod tests {
     fn trajectory_and_malfunction_alerts() {
         let t = Alert::InvalidTrajectory {
             command: cmd(),
-            collision: "hits grid".into(),
+            collision: CollisionReport::coarse("grid", 0.25),
         };
         assert!(t.is_rabit_detection());
         assert!(t.to_string().contains("Invalid trajectory"));
+        // The structured payload is matchable without string parsing.
+        if let Alert::InvalidTrajectory { collision, .. } = &t {
+            assert_eq!(collision.device.as_str(), "grid");
+            assert_eq!(collision.at_fraction, 0.25);
+        }
         let m = Alert::DeviceMalfunction {
             command: cmd(),
             diffs: vec![],

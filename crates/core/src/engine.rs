@@ -49,12 +49,26 @@ pub struct RunReport {
     /// The share of `lab_time_s` attributable to RABIT (status fetches +
     /// simulator checks).
     pub rabit_overhead_s: f64,
+    /// Trajectory validations served from the validator's verdict cache
+    /// during this run (zero without a caching validator).
+    pub cache_hits: u64,
+    /// Trajectory validations that missed the verdict cache and ran in
+    /// full during this run.
+    pub cache_misses: u64,
 }
 
 impl RunReport {
     /// Whether the workflow ran to completion with no alert.
     pub fn completed(&self) -> bool {
         self.alert.is_none()
+    }
+
+    /// Fraction of this run's trajectory validations served from the
+    /// verdict cache, or `None` if no validations happened (no validator
+    /// attached, or no robot motions in the workflow).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
     }
 }
 
@@ -245,14 +259,11 @@ impl Rabit {
                 let cost = validator.check_latency_s();
                 lab.advance_clock(cost);
                 self.overhead_s += cost;
-                if let TrajectoryVerdict::Collision { with, at_fraction } = verdict {
+                if let TrajectoryVerdict::Collision(collision) = verdict {
                     self.stop(lab);
                     return Err(Alert::InvalidTrajectory {
                         command: command.clone(),
-                        collision: format!(
-                            "collision with {with} at {:.0}% of the motion",
-                            at_fraction * 100.0
-                        ),
+                        collision,
                     });
                 }
             }
@@ -298,6 +309,7 @@ impl Rabit {
     pub fn run(&mut self, lab: &mut Lab, commands: &[Command]) -> RunReport {
         let t0 = lab.clock().now_s();
         let overhead0 = self.overhead_s;
+        let (hits0, misses0) = self.validator_cache_stats();
         self.initialize(lab);
         let mut executed = 0;
         let mut alert = None;
@@ -310,11 +322,14 @@ impl Rabit {
                 }
             }
         }
+        let (hits1, misses1) = self.validator_cache_stats();
         RunReport {
             executed,
             alert,
             lab_time_s: lab.clock().now_s() - t0,
             rabit_overhead_s: self.overhead_s - overhead0,
+            cache_hits: hits1 - hits0,
+            cache_misses: misses1 - misses0,
         }
     }
 
@@ -341,6 +356,8 @@ impl Rabit {
             alert,
             lab_time_s: lab.clock().now_s() - t0,
             rabit_overhead_s: 0.0,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -489,10 +506,7 @@ mod tests {
         struct AlwaysCollide;
         impl TrajectoryValidator for AlwaysCollide {
             fn validate(&mut self, _: &Command, _: &LabState) -> TrajectoryVerdict {
-                TrajectoryVerdict::Collision {
-                    with: "grid".into(),
-                    at_fraction: 0.5,
-                }
+                TrajectoryVerdict::Collision(crate::trajcheck::CollisionReport::coarse("grid", 0.5))
             }
             fn check_latency_s(&self) -> f64 {
                 2.0

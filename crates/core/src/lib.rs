@@ -13,7 +13,10 @@
 //! * [`TrajectoryValidator`] — the hook the Extended Simulator plugs into;
 //! * [`SimClock`] — deterministic virtual lab time;
 //! * [`fleet`] — a deterministic work-stealing executor for running many
-//!   independent labs in parallel.
+//!   independent labs in parallel;
+//! * [`substrate`] — the three-stage deployment pipeline as a typed API:
+//!   [`Substrate`] backends, the [`Stage`] enum, and the gating
+//!   [`StagePipeline`].
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ mod damage;
 mod engine;
 pub mod fleet;
 mod lab;
+pub mod substrate;
 mod trajcheck;
 
 pub use alert::{Alert, StopPolicy};
@@ -54,4 +58,5 @@ pub use clock::SimClock;
 pub use damage::{DamageEvent, DamageKind, Severity};
 pub use engine::{Rabit, RabitConfig, RunReport};
 pub use lab::{ArmKinematics, Lab, LabDevice};
-pub use trajcheck::{ApproveAll, TrajectoryValidator, TrajectoryVerdict};
+pub use substrate::{PipelineReport, Stage, StagePipeline, StageReport, Substrate};
+pub use trajcheck::{ApproveAll, CollisionReport, TrajectoryValidator, TrajectoryVerdict};

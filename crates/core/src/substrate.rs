@@ -1,0 +1,462 @@
+//! The three-stage deployment pipeline as a first-class abstraction.
+//!
+//! The paper deploys *one* rule engine across three execution
+//! environments of increasing fidelity and risk (§III, Table I):
+//! the Extended Simulator, the low-fidelity testbed, and the production
+//! lab. This module makes that pipeline explicit:
+//!
+//! * [`Stage`] — the deployment stage itself, with the latency, noise,
+//!   cost, and setup profiles the Table I comparison quantifies;
+//! * [`Substrate`] — a pluggable backend for one stage: it names itself
+//!   and builds its [`Lab`], [`DeviceCatalog`], [`Rulebase`], latency and
+//!   noise models, and (optionally) a [`TrajectoryValidator`];
+//! * [`StagePipeline`] — promotes a workflow through substrates in
+//!   deployment order with gating: a workflow that alerts in stage *N*
+//!   never reaches stage *N + 1*. Each stage yields a [`StageReport`];
+//!   the whole promotion a [`PipelineReport`].
+
+use crate::damage::DamageEvent;
+use crate::engine::{Rabit, RabitConfig, RunReport};
+use crate::lab::Lab;
+use crate::trajcheck::TrajectoryValidator;
+use rabit_devices::{Command, LatencyModel};
+use rabit_geometry::noise::PositionNoise;
+use rabit_rulebase::{DeviceCatalog, Rulebase};
+use std::fmt;
+
+/// One of RABIT's three deployment stages, in promotion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Stage 1: the Extended Simulator (virtual, free to crash).
+    Simulator,
+    /// Stage 2: the low-fidelity testbed (cardboard mockups, toy arms).
+    Testbed,
+    /// Stage 3: the production lab (real chemistry, real damage).
+    Production,
+}
+
+impl Stage {
+    /// All three stages, in deployment order.
+    pub fn all() -> [Stage; 3] {
+        [Stage::Simulator, Stage::Testbed, Stage::Production]
+    }
+
+    /// The stage's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Simulator => "Simulator",
+            Stage::Testbed => "Testbed",
+            Stage::Production => "Production",
+        }
+    }
+
+    /// The stage a workflow is promoted to after clearing this one
+    /// (`None` after production: the workflow is deployed).
+    pub fn next(&self) -> Option<Stage> {
+        match self {
+            Stage::Simulator => Some(Stage::Testbed),
+            Stage::Testbed => Some(Stage::Production),
+            Stage::Production => None,
+        }
+    }
+
+    /// The stage's device command-latency model.
+    pub fn latency(&self) -> LatencyModel {
+        match self {
+            Stage::Simulator => LatencyModel::SIMULATED,
+            Stage::Testbed => LatencyModel::TESTBED,
+            Stage::Production => LatencyModel::PRODUCTION,
+        }
+    }
+
+    /// Positional repeatability (σ, metres): zero in simulation,
+    /// centimetre-scale on the educational arms, sub-millimetre on the
+    /// UR3e (vendor repeatability ±0.03 mm, dominated in practice by
+    /// calibration drift).
+    pub fn precision_sigma_m(&self) -> f64 {
+        match self {
+            Stage::Simulator => 0.0,
+            Stage::Testbed => 0.013,
+            Stage::Production => 0.0005,
+        }
+    }
+
+    /// Cost multiplier of damaging this stage's equipment.
+    pub fn damage_cost_multiplier(&self) -> f64 {
+        match self {
+            Stage::Simulator => 0.0, // nothing physical can break
+            Stage::Testbed => 1.0,   // cardboard and toy arms
+            Stage::Production => 50.0,
+        }
+    }
+
+    /// Per-experiment setup/reset cost (seconds): zero for a simulator
+    /// restart, minutes of repositioning mockups on the testbed, and the
+    /// chemical prep + cleanup of a real run. This, not raw arm speed, is
+    /// what makes exploration "High / Medium / Low" across the stages.
+    pub fn setup_cost_s(&self) -> f64 {
+        match self {
+            Stage::Simulator => 0.0,
+            Stage::Testbed => 60.0,
+            Stage::Production => 900.0,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deployment substrate: everything needed to instantiate one stage of
+/// the pipeline for a fresh run.
+///
+/// A substrate is a *recipe*, not an instance: [`Substrate::build_lab`]
+/// and [`Substrate::rabit`] construct fresh state on every call, so the
+/// same substrate can back many parallel fleet runs (`Send + Sync` is a
+/// supertrait for exactly that reason).
+pub trait Substrate: Send + Sync {
+    /// The substrate's name (shown in stage and fleet reports).
+    fn name(&self) -> &str;
+
+    /// Which deployment stage this substrate realises.
+    fn stage(&self) -> Stage;
+
+    /// Builds a fresh lab for one run.
+    fn build_lab(&self) -> Lab;
+
+    /// Builds the rulebase the stage's engine enforces.
+    fn rulebase(&self) -> Rulebase;
+
+    /// Builds the device catalog the stage's engine consults.
+    fn catalog(&self) -> DeviceCatalog;
+
+    /// The stage's device command-latency model.
+    fn latency(&self) -> LatencyModel {
+        self.stage().latency()
+    }
+
+    /// The stage's arm positional-noise model (σ from
+    /// [`Stage::precision_sigma_m`] unless the substrate overrides it).
+    fn position_noise(&self) -> PositionNoise {
+        PositionNoise::gaussian(self.stage().precision_sigma_m())
+    }
+
+    /// A fresh trajectory validator, if the substrate attaches one (the
+    /// Extended Simulator stage does; physical stages may not).
+    fn validator(&self) -> Option<Box<dyn TrajectoryValidator>> {
+        None
+    }
+
+    /// The engine configuration for this stage.
+    fn engine_config(&self) -> RabitConfig {
+        RabitConfig::default()
+    }
+
+    /// Assembles a fresh RABIT engine from the substrate's rulebase,
+    /// catalog, configuration, and (optional) validator.
+    fn rabit(&self) -> Rabit {
+        let mut rabit = Rabit::new(self.rulebase(), self.catalog(), self.engine_config());
+        if let Some(validator) = self.validator() {
+            rabit = rabit.with_validator(validator);
+        }
+        rabit
+    }
+
+    /// Builds a fresh `(Lab, Rabit)` pair, ready to run a workflow.
+    fn instantiate(&self) -> (Lab, Rabit) {
+        (self.build_lab(), self.rabit())
+    }
+}
+
+/// The outcome of running a workflow on one pipeline stage.
+#[derive(Debug)]
+pub struct StageReport {
+    /// The deployment stage.
+    pub stage: Stage,
+    /// The substrate's name.
+    pub substrate: String,
+    /// The engine's run report (including validator cache statistics).
+    pub report: RunReport,
+    /// Ground-truth damage the stage's lab recorded.
+    pub damage: Vec<DamageEvent>,
+    /// Whether the workflow cleared this stage (no alert) and was
+    /// promoted to the next one (or, at the last stage, deployed).
+    pub promoted: bool,
+}
+
+impl StageReport {
+    /// Whether RABIT's own checks halted the workflow here (device
+    /// faults halt too but are not RABIT detections).
+    pub fn detected(&self) -> bool {
+        self.report
+            .alert
+            .as_ref()
+            .is_some_and(|a| a.is_rabit_detection())
+    }
+}
+
+/// The aggregate outcome of promoting one workflow through the pipeline.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// The workflow's name.
+    pub workflow: String,
+    /// Per-stage reports, in deployment order. Stages after the blocking
+    /// one are absent: the workflow never reached them.
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineReport {
+    /// Whether the workflow cleared every stage (deployment-ready).
+    pub fn deployed(&self) -> bool {
+        !self.stages.is_empty() && self.stages.iter().all(|s| s.promoted)
+    }
+
+    /// The stage that blocked the workflow, if any.
+    pub fn blocked_at(&self) -> Option<Stage> {
+        self.stages.iter().find(|s| !s.promoted).map(|s| s.stage)
+    }
+
+    /// The report for one stage, if the workflow reached it.
+    pub fn stage(&self, stage: Stage) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Total virtual lab time across the stages that ran (seconds),
+    /// including each stage's per-experiment setup cost.
+    pub fn total_cost_s(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.report.lab_time_s + s.stage.setup_cost_s())
+            .sum()
+    }
+
+    /// Total damage events across all stages that ran.
+    pub fn total_damage(&self) -> usize {
+        self.stages.iter().map(|s| s.damage.len()).sum()
+    }
+}
+
+/// A promotion pipeline: an ordered sequence of substrates a workflow
+/// must clear one by one.
+///
+/// Substrates must be pushed in non-decreasing [`Stage`] order (a
+/// pipeline may legitimately skip a stage — a deck with no physical
+/// testbed promotes straight from simulator to production — but never
+/// run one backwards).
+#[derive(Default)]
+pub struct StagePipeline {
+    substrates: Vec<Box<dyn Substrate>>,
+}
+
+impl StagePipeline {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        StagePipeline::default()
+    }
+
+    /// Appends a substrate (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substrate's stage precedes the last one pushed:
+    /// pipelines run in deployment order only.
+    pub fn with_substrate(mut self, substrate: Box<dyn Substrate>) -> Self {
+        self.push(substrate);
+        self
+    }
+
+    /// Appends a substrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substrate's stage precedes the last one pushed.
+    pub fn push(&mut self, substrate: Box<dyn Substrate>) {
+        if let Some(last) = self.substrates.last() {
+            assert!(
+                last.stage() <= substrate.stage(),
+                "pipeline stages must be in deployment order: {} after {}",
+                substrate.stage(),
+                last.stage(),
+            );
+        }
+        self.substrates.push(substrate);
+    }
+
+    /// The substrates, in deployment order.
+    pub fn substrates(&self) -> &[Box<dyn Substrate>] {
+        &self.substrates
+    }
+
+    /// Number of stages in the pipeline.
+    pub fn len(&self) -> usize {
+        self.substrates.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.substrates.is_empty()
+    }
+
+    /// Promotes a workflow through the stages in order. Each stage gets a
+    /// fresh lab and engine from its substrate; a stage that raises any
+    /// alert blocks the workflow — later stages never run.
+    pub fn promote(&self, workflow: &str, commands: &[Command]) -> PipelineReport {
+        let mut stages = Vec::new();
+        for substrate in &self.substrates {
+            let (mut lab, mut rabit) = substrate.instantiate();
+            let report = rabit.run(&mut lab, commands);
+            let promoted = report.completed();
+            stages.push(StageReport {
+                stage: substrate.stage(),
+                substrate: substrate.name().to_string(),
+                report,
+                damage: lab.damage_log().to_vec(),
+                promoted,
+            });
+            if !promoted {
+                break;
+            }
+        }
+        PipelineReport {
+            workflow: workflow.to_string(),
+            stages,
+        }
+    }
+}
+
+impl fmt::Debug for StagePipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.substrates.iter().map(|s| (s.stage(), s.name())))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_devices::{ActionKind, DeviceType, DosingDevice, RobotArm};
+    use rabit_geometry::{Aabb, Vec3};
+    use rabit_rulebase::DeviceMeta;
+
+    /// A minimal one-arm/one-doser substrate used by the pipeline tests.
+    struct MiniSubstrate {
+        stage: Stage,
+    }
+
+    impl Substrate for MiniSubstrate {
+        fn name(&self) -> &str {
+            "mini"
+        }
+        fn stage(&self) -> Stage {
+            self.stage
+        }
+        fn build_lab(&self) -> Lab {
+            Lab::new()
+                .with_device(
+                    RobotArm::new("arm", Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, -0.3, 0.2))
+                        .with_latency(self.latency()),
+                )
+                .with_device(DosingDevice::new(
+                    "doser",
+                    Aabb::new(Vec3::new(0.1, 0.35, 0.0), Vec3::new(0.25, 0.55, 0.3)),
+                ))
+        }
+        fn rulebase(&self) -> Rulebase {
+            Rulebase::standard()
+        }
+        fn catalog(&self) -> DeviceCatalog {
+            DeviceCatalog::new()
+                .with(
+                    DeviceMeta::new("arm", DeviceType::RobotArm)
+                        .with_arm_positions(Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, -0.3, 0.2)),
+                )
+                .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+        }
+    }
+
+    fn pipeline() -> StagePipeline {
+        StagePipeline::new()
+            .with_substrate(Box::new(MiniSubstrate {
+                stage: Stage::Simulator,
+            }))
+            .with_substrate(Box::new(MiniSubstrate {
+                stage: Stage::Testbed,
+            }))
+            .with_substrate(Box::new(MiniSubstrate {
+                stage: Stage::Production,
+            }))
+    }
+
+    #[test]
+    fn stage_order_and_profiles() {
+        assert_eq!(Stage::all().len(), 3);
+        assert_eq!(Stage::Simulator.next(), Some(Stage::Testbed));
+        assert_eq!(Stage::Production.next(), None);
+        assert!(Stage::Simulator < Stage::Production);
+        assert_eq!(Stage::Simulator.damage_cost_multiplier(), 0.0);
+        assert!(Stage::Production.setup_cost_s() > Stage::Testbed.setup_cost_s());
+        assert_eq!(Stage::Testbed.to_string(), "Testbed");
+        // The noise model defaults track the stage σ.
+        let s = MiniSubstrate {
+            stage: Stage::Testbed,
+        };
+        assert_eq!(
+            s.position_noise().sigma(),
+            Stage::Testbed.precision_sigma_m()
+        );
+    }
+
+    #[test]
+    fn safe_workflow_is_deployed_through_all_stages() {
+        let commands = vec![
+            Command::new("doser", ActionKind::SetDoor { open: true }),
+            Command::new("doser", ActionKind::SetDoor { open: false }),
+        ];
+        let report = pipeline().promote("safe", &commands);
+        assert_eq!(report.stages.len(), 3);
+        assert!(report.deployed());
+        assert_eq!(report.blocked_at(), None);
+        assert_eq!(report.total_damage(), 0);
+        // Setup costs accumulate per stage that ran.
+        assert!(report.total_cost_s() >= 960.0);
+        assert!(report.stage(Stage::Production).is_some());
+    }
+
+    #[test]
+    fn alerting_workflow_never_reaches_the_next_stage() {
+        // Bug A shape: enter the doser with the door closed.
+        let commands = vec![Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        )];
+        let report = pipeline().promote("bug_a", &commands);
+        assert_eq!(report.stages.len(), 1, "blocked at the first stage");
+        assert!(!report.deployed());
+        assert_eq!(report.blocked_at(), Some(Stage::Simulator));
+        assert!(report.stages[0].detected());
+        assert!(report.stage(Stage::Testbed).is_none(), "never ran");
+    }
+
+    #[test]
+    #[should_panic(expected = "deployment order")]
+    fn out_of_order_pipeline_panics() {
+        let _ = StagePipeline::new()
+            .with_substrate(Box::new(MiniSubstrate {
+                stage: Stage::Production,
+            }))
+            .with_substrate(Box::new(MiniSubstrate {
+                stage: Stage::Simulator,
+            }));
+    }
+
+    #[test]
+    fn substrate_objects_are_shareable() {
+        fn assert_sync<T: Send + Sync + ?Sized>() {}
+        assert_sync::<dyn Substrate>();
+    }
+}

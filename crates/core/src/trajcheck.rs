@@ -6,7 +6,62 @@
 //! only the target location is checked" (§II-B) — that fallback is rule
 //! III-3 in the rulebase.
 
-use rabit_devices::{Command, LabState};
+use rabit_devices::{Command, DeviceId, LabState};
+use rabit_geometry::Vec3;
+use std::fmt;
+
+/// A structured description of a predicted collision: which obstacle the
+/// sweep hit, with which arm link, where, and how far into the motion.
+/// Replaces the old free-text payload so alerts are matchable without
+/// string parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollisionReport {
+    /// The obstacle (device or environment region) the arm would hit.
+    pub device: DeviceId,
+    /// Index of the colliding arm link, counted from the base (link 0 is
+    /// the base itself, which the sweep exempts — reported links start
+    /// at 1).
+    pub link: usize,
+    /// Approximate contact point in deck coordinates (metres): the point
+    /// on the colliding link's axis closest to the obstacle.
+    pub contact: Vec3,
+    /// Fraction of the motion at which the collision occurs (0-1).
+    pub at_fraction: f64,
+}
+
+impl CollisionReport {
+    /// A report with the colliding obstacle and motion fraction but no
+    /// link-level geometry (link 0 / origin contact). Used by validators
+    /// that predict *that* a collision happens without resolving *where*
+    /// on the arm — e.g. mocks and coarse target-only checks.
+    pub fn coarse(device: impl Into<DeviceId>, at_fraction: f64) -> Self {
+        CollisionReport {
+            device: device.into(),
+            link: 0,
+            contact: Vec3::ZERO,
+            at_fraction,
+        }
+    }
+}
+
+impl fmt::Display for CollisionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collision with {} at {:.0}% of the motion",
+            self.device,
+            self.at_fraction * 100.0
+        )?;
+        if self.link > 0 {
+            write!(
+                f,
+                " (link {} near ({:.3}, {:.3}, {:.3}))",
+                self.link, self.contact.x, self.contact.y, self.contact.z
+            )?;
+        }
+        Ok(())
+    }
+}
 
 /// The simulator's verdict on a proposed robot motion.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,12 +69,7 @@ pub enum TrajectoryVerdict {
     /// The full trajectory is collision-free.
     Safe,
     /// The trajectory collides.
-    Collision {
-        /// What the arm (or its held object) would hit.
-        with: String,
-        /// Fraction of the motion at which the collision occurs (0-1).
-        at_fraction: f64,
-    },
+    Collision(CollisionReport),
     /// The simulator could not evaluate this command (e.g. unknown arm);
     /// RABIT falls back to target-only checking.
     Unavailable,
@@ -85,11 +135,27 @@ mod tests {
 
     #[test]
     fn verdict_equality() {
-        let c = TrajectoryVerdict::Collision {
-            with: "grid".into(),
-            at_fraction: 0.4,
-        };
+        let c = TrajectoryVerdict::Collision(CollisionReport::coarse("grid", 0.4));
         assert_ne!(c, TrajectoryVerdict::Safe);
         assert_ne!(TrajectoryVerdict::Unavailable, TrajectoryVerdict::Safe);
+    }
+
+    #[test]
+    fn collision_report_display() {
+        let coarse = CollisionReport::coarse("grid", 0.5);
+        assert_eq!(
+            coarse.to_string(),
+            "collision with grid at 50% of the motion"
+        );
+        let detailed = CollisionReport {
+            device: "hotplate".into(),
+            link: 4,
+            contact: Vec3::new(0.31, -0.02, 0.145),
+            at_fraction: 0.72,
+        };
+        let text = detailed.to_string();
+        assert!(text.contains("72% of the motion"));
+        assert!(text.contains("link 4"));
+        assert!(text.contains("0.310"));
     }
 }

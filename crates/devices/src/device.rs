@@ -158,7 +158,11 @@ impl Default for LatencyModel {
 
 /// A runtime lab device: the object RABIT fetches state from and forwards
 /// validated commands to.
-pub trait Device: Send {
+///
+/// `Send + Sync` is required so labs (and the substrates that build them)
+/// can be shared across fleet worker threads; devices hold no interior
+/// mutability, so any ordinary device satisfies this automatically.
+pub trait Device: Send + Sync {
     /// The device's unique id.
     fn id(&self) -> &DeviceId;
 

@@ -7,11 +7,11 @@
 use crate::camera::Camera;
 use rabit_core::{Lab, LabDevice, Rabit, RabitConfig};
 use rabit_devices::{
-    Centrifuge, DeviceType, DosingDevice, Grid, Hotplate, LatencyModel, RobotArm, SyringePump,
-    Thermoshaker, Vial,
+    Centrifuge, DeviceId, DeviceType, DosingDevice, Grid, Hotplate, LatencyModel, RobotArm,
+    SyringePump, Thermoshaker, Vial,
 };
 use rabit_geometry::{Aabb, Vec3};
-use rabit_kinematics::presets;
+use rabit_kinematics::{presets, ArmModel};
 use rabit_rulebase::{extensions, DeviceCatalog, DeviceMeta, Rulebase};
 use rabit_sim::{ExtendedSimulator, SimConfig, SimWorld};
 
@@ -117,6 +117,23 @@ pub struct ProductionDeck {
 impl ProductionDeck {
     /// Builds the deck with one empty, capped vial in grid slot A1.
     pub fn new() -> Self {
+        ProductionDeck::with_latency(LatencyModel::PRODUCTION)
+    }
+
+    /// Builds the deck with a custom latency model on the arm — the
+    /// pipeline's simulator stage replays the same deck at SIMULATED
+    /// speed before any real motor turns.
+    pub fn with_latency(latency: LatencyModel) -> Self {
+        ProductionDeck {
+            lab: ProductionDeck::build_lab(latency),
+            catalog: ProductionDeck::build_catalog(),
+        }
+    }
+
+    /// Builds a fresh production lab (one capped vial in grid slot A1) at
+    /// the given latency — the recipe the deck's
+    /// [`rabit_core::Substrate`]s instantiate from.
+    pub fn build_lab(latency: LatencyModel) -> Lab {
         use arm_positions::*;
         let mut grid = Grid::new(
             "grid",
@@ -131,9 +148,7 @@ impl ProductionDeck {
         grid.occupy("A1", "vial".into()).expect("fresh grid slot");
 
         let mut lab = Lab::new()
-            .with_device(
-                RobotArm::new("ur3e", UR3E_HOME, UR3E_SLEEP).with_latency(LatencyModel::PRODUCTION),
-            )
+            .with_device(RobotArm::new("ur3e", UR3E_HOME, UR3E_SLEEP).with_latency(latency))
             .with_device(Vial::new("vial", locations::GRID_A1))
             .with_device(grid)
             .with_device(
@@ -154,8 +169,13 @@ impl ProductionDeck {
             ));
         lab.add_device(LabDevice::Custom(Box::new(Camera::new("camera"))));
         lab.set_arm_kinematics("ur3e", Vec3::ZERO, presets::ur3e().max_reach());
+        lab
+    }
 
-        let catalog = DeviceCatalog::new()
+    /// Builds the deck's device catalog (pure metadata, no lab state).
+    pub fn build_catalog() -> DeviceCatalog {
+        use arm_positions::*;
+        DeviceCatalog::new()
             .with(
                 DeviceMeta::new("ur3e", DeviceType::RobotArm)
                     .with_arm_positions(UR3E_HOME, UR3E_SLEEP)
@@ -179,17 +199,17 @@ impl ProductionDeck {
             .with(DeviceMeta::new(
                 "camera",
                 DeviceType::Custom("camera".to_string()),
-            ));
-
-        ProductionDeck { lab, catalog }
+            ))
     }
 
     /// The deployed production RABIT: Hein rules + the held-object
     /// extension (single arm, so no multiplexing rules are needed).
     pub fn rabit(&self) -> Rabit {
-        let mut rulebase = Rulebase::hein_lab();
-        rulebase.push(extensions::held_object_clearance_rule());
-        Rabit::new(rulebase, self.catalog.clone(), RabitConfig::default())
+        Rabit::new(
+            production_rulebase(),
+            self.catalog.clone(),
+            RabitConfig::default(),
+        )
     }
 
     /// The same engine with the Extended Simulator attached (`gui` picks
@@ -199,24 +219,44 @@ impl ProductionDeck {
             .with_validator(Box::new(self.extended_simulator(gui)))
     }
 
-    /// The Extended Simulator over the production deck.
-    pub fn extended_simulator(&self, gui: bool) -> ExtendedSimulator {
-        let world = SimWorld::new()
+    /// The cuboid obstacle world the Extended Simulator sweeps the
+    /// deck's trajectories against: the platform plus the six stationary
+    /// device footprints.
+    pub fn simulator_world() -> SimWorld {
+        SimWorld::new()
             .with_platform(1.0)
             .with_obstacle("grid", footprints::grid())
             .with_obstacle("dosing_device", footprints::dosing_device())
             .with_obstacle("syringe_pump", footprints::syringe_pump())
             .with_obstacle("centrifuge", footprints::centrifuge())
             .with_obstacle("hotplate", footprints::hotplate())
-            .with_obstacle("thermoshaker", footprints::thermoshaker());
-        ExtendedSimulator::new(
-            world,
-            SimConfig {
-                gui,
-                ..SimConfig::default()
-            },
-        )
-        .with_arm("ur3e", presets::ur3e())
+            .with_obstacle("thermoshaker", footprints::thermoshaker())
+    }
+
+    /// The kinematic arm models the Extended Simulator mirrors (the UR3e
+    /// at the origin).
+    pub fn simulator_arms() -> Vec<(DeviceId, ArmModel)> {
+        vec![(DeviceId::new("ur3e"), presets::ur3e())]
+    }
+
+    /// Builds the Extended Simulator over the production deck (`gui`
+    /// picks the 2 s GUI mode or headless).
+    pub fn build_extended_simulator(gui: bool) -> ExtendedSimulator {
+        let config = SimConfig {
+            gui,
+            ..SimConfig::default()
+        };
+        let mut sim = ExtendedSimulator::new(ProductionDeck::simulator_world(), config);
+        for (id, model) in ProductionDeck::simulator_arms() {
+            sim.add_arm(id, model);
+        }
+        sim
+    }
+
+    /// The Extended Simulator over this deck (see
+    /// [`ProductionDeck::build_extended_simulator`]).
+    pub fn extended_simulator(&self, gui: bool) -> ExtendedSimulator {
+        ProductionDeck::build_extended_simulator(gui)
     }
 
     /// Footprint of a named deck device.
@@ -237,6 +277,15 @@ impl Default for ProductionDeck {
     fn default() -> Self {
         ProductionDeck::new()
     }
+}
+
+/// The deployed production rulebase: the 15 Hein Lab rules plus the
+/// held-object clearance extension (16 rules; the deck has one arm, so
+/// no multiplexing rules are needed).
+pub fn production_rulebase() -> Rulebase {
+    let mut rulebase = Rulebase::hein_lab();
+    rulebase.push(extensions::held_object_clearance_rule());
+    rulebase
 }
 
 #[cfg(test)]

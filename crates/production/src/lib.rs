@@ -9,7 +9,10 @@
 //!   with production-grade command latencies and firmware limits;
 //! * [`solubility`] — the Fig. 1(b) automated solubility workflow, fully
 //!   expanded to device commands;
-//! * RABIT builders with and without the Extended Simulator attached.
+//! * RABIT builders with and without the Extended Simulator attached,
+//!   and the deck's two-stage promotion pipeline
+//!   ([`ProductionDeck::pipeline`]): the Hein Lab has no cardboard
+//!   intermediate, so workflows promote straight from simulation.
 //!
 //! # Example
 //!
@@ -31,7 +34,8 @@ pub mod berlinguette;
 mod camera;
 mod deck;
 pub mod solubility;
+mod substrate;
 
 pub use berlinguette::BerlinguetteLab;
 pub use camera::{Camera, RECORD_IMAGE};
-pub use deck::{arm_positions, footprints, locations, ProductionDeck};
+pub use deck::{arm_positions, footprints, locations, production_rulebase, ProductionDeck};

@@ -28,8 +28,10 @@
 
 pub mod shapes;
 mod simulator;
+mod substrate;
 mod world;
 
 pub use shapes::{ObstacleShape, VerticalCylinder};
 pub use simulator::{ExtendedSimulator, SimConfig, GUI_CHECK_LATENCY_S, HEADLESS_CHECK_LATENCY_S};
-pub use world::{NamedBox, SimWorld};
+pub use substrate::SimulatorSubstrate;
+pub use world::{HitDetail, NamedBox, SimWorld};

@@ -11,7 +11,7 @@
 //! `SimAvailable` on in the Fig. 2 algorithm.
 
 use crate::world::SimWorld;
-use rabit_core::{TrajectoryValidator, TrajectoryVerdict};
+use rabit_core::{CollisionReport, TrajectoryValidator, TrajectoryVerdict};
 use rabit_devices::{ActionKind, Command, DeviceId, LabState, StateKey};
 use rabit_geometry::{Capsule, Vec3};
 use rabit_kinematics::ik::{solve_position, IkParams};
@@ -334,7 +334,8 @@ impl ExtendedSimulator {
     }
 
     /// Sweeps a trajectory against the world, returning the first hit as
-    /// `(obstacle name, time fraction of the motion)`.
+    /// a structured [`CollisionReport`] (obstacle, link, contact point,
+    /// time fraction of the motion).
     ///
     /// Allocation-free in steady state: samples stream from the
     /// trajectory iterator, and the capsule and broad-phase buffers are
@@ -345,7 +346,7 @@ impl ExtendedSimulator {
         trajectory: &Trajectory,
         held: Option<&HeldObject>,
         exclude: &[&str],
-    ) -> Option<(String, f64)> {
+    ) -> Option<CollisionReport> {
         let mut capsules = std::mem::take(&mut self.scratch_capsules);
         let mut prune = std::mem::take(&mut self.scratch_prune);
         let mut result = None;
@@ -356,7 +357,7 @@ impl ExtendedSimulator {
                 // Skip the base link (capsule 0): it is bolted to the
                 // mounting platform, so its permanent contact with the
                 // platform slab is not a collision.
-                let (hit, tested) = self.world.first_hit_counting_with(
+                let (hit, tested) = self.world.first_hit_detailed_with(
                     &capsules[1..],
                     exclude,
                     self.config.broad_phase,
@@ -364,7 +365,15 @@ impl ExtendedSimulator {
                 );
                 self.narrow_checks += tested;
                 if let Some(hit) = hit {
-                    result = Some((hit.name.clone(), fraction));
+                    result = Some(CollisionReport {
+                        device: DeviceId::new(hit.obstacle.name.clone()),
+                        // Capsule indices are relative to the slice that
+                        // skipped the base link; +1 restores the arm's
+                        // own link numbering.
+                        link: hit.capsule_index + 1,
+                        contact: hit.contact,
+                        at_fraction: fraction,
+                    });
                     break;
                 }
             }
@@ -508,7 +517,7 @@ impl ExtendedSimulator {
             }
             None => &[],
         };
-        let mut first_hit: Option<(String, f64)> = None;
+        let mut first_hit: Option<CollisionReport> = None;
         let mut safe = false;
         for &target_config in &candidates {
             let trajectory = Trajectory::linear(start, target_config);
@@ -546,8 +555,7 @@ impl ExtendedSimulator {
         if safe {
             return TrajectoryVerdict::Safe;
         }
-        let (with, at_fraction) = first_hit.expect("at least one candidate was swept");
-        TrajectoryVerdict::Collision { with, at_fraction }
+        TrajectoryVerdict::Collision(first_hit.expect("at least one candidate was swept"))
     }
 }
 
@@ -766,9 +774,13 @@ mod tests {
         );
         let mut sim = sim_with(world);
         match sim.validate(&mv(target), &empty_state()) {
-            TrajectoryVerdict::Collision { with, at_fraction } => {
-                assert_eq!(with, "hotplate");
-                assert!((0.0..=1.0).contains(&at_fraction));
+            TrajectoryVerdict::Collision(report) => {
+                assert_eq!(report.device.as_str(), "hotplate");
+                assert!((0.0..=1.0).contains(&report.at_fraction));
+                // The structured payload carries link-level detail: a
+                // real link (base is exempt) and a finite contact point.
+                assert!(report.link >= 1);
+                assert!(report.contact.is_finite());
             }
             other => panic!("expected collision, got {other:?}"),
         }
@@ -843,7 +855,7 @@ mod tests {
         cfg2.model_held_objects = true;
         let mut sim2 = ExtendedSimulator::new(world, cfg2).with_arm("ur3e", presets::ur3e());
         match sim2.validate(&mv(target), &holding_state) {
-            TrajectoryVerdict::Collision { with, .. } => assert_eq!(with, "shelf"),
+            TrajectoryVerdict::Collision(report) => assert_eq!(report.device.as_str(), "shelf"),
             other => panic!("expected collision with held vial, got {other:?}"),
         }
     }
@@ -910,7 +922,9 @@ mod tests {
         );
         // A→C now collides in the simulator.
         match sim.validate(&mv(c), &empty_state()) {
-            TrajectoryVerdict::Collision { with, .. } => assert_eq!(with, "tall_device"),
+            TrajectoryVerdict::Collision(report) => {
+                assert_eq!(report.device.as_str(), "tall_device")
+            }
             other => panic!("expected collision, got {other:?}"),
         }
     }

@@ -215,10 +215,29 @@ impl SimWorld {
         broad_phase: bool,
         scratch: &mut Vec<usize>,
     ) -> (Option<&NamedBox>, u64) {
+        let (hit, tested) = self.first_hit_detailed_with(capsules, exclude, broad_phase, scratch);
+        (hit.map(|h| h.obstacle), tested)
+    }
+
+    /// As [`SimWorld::first_hit_counting_with`], additionally reporting
+    /// *which* capsule hit and an approximate contact point — the data a
+    /// structured [`CollisionReport`] needs. The contact point is the
+    /// point on the hitting capsule's axis closest to the obstacle's
+    /// bounding-box center (exact penetration geometry is not needed for
+    /// an alert; the operator needs "link 4, above the hotplate").
+    ///
+    /// [`CollisionReport`]: rabit_core::CollisionReport
+    pub fn first_hit_detailed_with(
+        &self,
+        capsules: &[Capsule],
+        exclude: &[&str],
+        broad_phase: bool,
+        scratch: &mut Vec<usize>,
+    ) -> (Option<HitDetail<'_>>, u64) {
         let mut tested = 0;
-        let mut narrow = |o: &NamedBox| {
+        let mut narrow = |o: &NamedBox| -> Option<usize> {
             tested += 1;
-            capsules.iter().any(|c| o.shape.intersects_capsule(c))
+            capsules.iter().position(|c| o.shape.intersects_capsule(c))
         };
         let hit = if broad_phase {
             let mut probe: Option<Aabb> = None;
@@ -232,16 +251,40 @@ impl SimWorld {
                     .iter()
                     .map(|&i| &self.obstacles[i])
                     .filter(|o| !exclude.contains(&o.name.as_str()))
-                    .find(|o| narrow(o))
+                    .find_map(|o| narrow(o).map(|i| (o, i)))
             })
         } else {
             self.obstacles
                 .iter()
                 .filter(|o| !exclude.contains(&o.name.as_str()))
-                .find(|o| narrow(o))
+                .find_map(|o| narrow(o).map(|i| (o, i)))
         };
+        let hit = hit.map(|(obstacle, capsule_index)| {
+            let contact = capsules[capsule_index]
+                .segment
+                .closest_point_to(obstacle.bounding_box().center())
+                .0;
+            HitDetail {
+                obstacle,
+                capsule_index,
+                contact,
+            }
+        });
         (hit, tested)
     }
+}
+
+/// A narrow-phase hit with link-level detail: the obstacle, which of the
+/// query capsules struck it, and an approximate contact point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitDetail<'a> {
+    /// The obstacle that was hit.
+    pub obstacle: &'a NamedBox,
+    /// Index of the hitting capsule within the query slice.
+    pub capsule_index: usize,
+    /// Approximate contact point (on the capsule's axis, nearest the
+    /// obstacle's bounding-box center).
+    pub contact: Vec3,
 }
 
 #[cfg(test)]
@@ -321,6 +364,26 @@ mod tests {
         assert!(w.obstacles()[0]
             .bounding_box()
             .contains_point(Vec3::new(0.3, 0.3, 0.1)));
+    }
+
+    #[test]
+    fn detailed_hit_reports_capsule_and_contact() {
+        let w = SimWorld::new().with_obstacle("doser", Aabb::new(Vec3::ZERO, Vec3::splat(0.2)));
+        let capsules = vec![
+            // Capsule 0 is clear of the box.
+            Capsule::new(Vec3::new(1.0, 1.0, 1.0), Vec3::new(1.2, 1.0, 1.0), 0.02),
+            // Capsule 1 passes through it.
+            Capsule::new(Vec3::new(0.1, 0.1, -0.1), Vec3::new(0.1, 0.1, 0.3), 0.02),
+        ];
+        for broad in [true, false] {
+            let mut scratch = Vec::new();
+            let (hit, _) = w.first_hit_detailed_with(&capsules, &[], broad, &mut scratch);
+            let hit = hit.expect("capsule 1 intersects the doser");
+            assert_eq!(hit.obstacle.name, "doser");
+            assert_eq!(hit.capsule_index, 1);
+            // Contact is on capsule 1's axis, nearest the box center.
+            assert!(hit.contact.distance(Vec3::new(0.1, 0.1, 0.1)) < 1e-9);
+        }
     }
 
     #[test]

@@ -181,7 +181,9 @@ fn mid_run_world_mutation_invalidates_cached_safe_verdict() {
     // different world, so the stale Safe must not be served.
     s.world_mut().add_obstacle("dropped_device", block);
     match s.validate(&cmd, &lab) {
-        TrajectoryVerdict::Collision { with, .. } => assert_eq!(with, "dropped_device"),
+        TrajectoryVerdict::Collision(report) => {
+            assert_eq!(report.device.as_str(), "dropped_device")
+        }
         other => panic!("stale cached verdict served after mutation: {other:?}"),
     }
 
@@ -207,7 +209,7 @@ fn cache_respects_held_object_difference() {
     // Reset the mirrored pose so the start config matches exactly.
     s.add_arm("ur3e", presets::ur3e());
     match s.validate(&cmd, &state(true)) {
-        TrajectoryVerdict::Collision { with, .. } => assert_eq!(with, "shelf"),
+        TrajectoryVerdict::Collision(report) => assert_eq!(report.device.as_str(), "shelf"),
         other => panic!("held-object case served the bare-arm verdict: {other:?}"),
     }
 }

@@ -9,11 +9,11 @@
 use crate::locations::{locations, Locations};
 use rabit_core::{Lab, Rabit, RabitConfig};
 use rabit_devices::{
-    Centrifuge, DeviceType, DosingDevice, Grid, Hotplate, LatencyModel, RobotArm, SyringePump,
-    Thermoshaker, Vial,
+    Centrifuge, DeviceId, DeviceType, DosingDevice, Grid, Hotplate, LatencyModel, RobotArm,
+    SyringePump, Thermoshaker, Vial,
 };
 use rabit_geometry::{Aabb, Vec3};
-use rabit_kinematics::presets;
+use rabit_kinematics::{presets, ArmModel};
 use rabit_rulebase::{extensions, DeviceCatalog, DeviceMeta, Rulebase};
 use rabit_sim::{ExtendedSimulator, SimConfig, SimWorld};
 
@@ -144,6 +144,17 @@ impl Testbed {
     /// the Table I stage comparison runs the same deck at simulator,
     /// testbed, and production speeds.
     pub fn with_latency(latency: LatencyModel) -> Self {
+        Testbed {
+            lab: Testbed::build_lab(latency),
+            catalog: Testbed::build_catalog(),
+            locations: locations(),
+        }
+    }
+
+    /// Builds a fresh testbed lab (one vial in grid slot NW) at the given
+    /// latency — the recipe both [`Testbed::with_latency`] and the
+    /// testbed [`rabit_core::Substrate`]s instantiate from.
+    pub fn build_lab(latency: LatencyModel) -> Lab {
         use arm_positions::*;
         let loc = locations();
 
@@ -181,8 +192,13 @@ impl Testbed {
         // Reach summaries for the silent-skip / exception behaviours.
         lab.set_arm_kinematics("viperx", Vec3::new(0.0, 0.0, 0.0), 0.85);
         lab.set_arm_kinematics("ned2", Vec3::new(0.85, 0.0, 0.0), 0.62);
+        lab
+    }
 
-        let catalog = DeviceCatalog::new()
+    /// Builds the testbed device catalog (pure metadata, no lab state).
+    pub fn build_catalog() -> DeviceCatalog {
+        use arm_positions::*;
+        DeviceCatalog::new()
             .with(
                 DeviceMeta::new("viperx", DeviceType::RobotArm)
                     .with_arm_positions(VIPERX_HOME, VIPERX_SLEEP)
@@ -209,57 +225,70 @@ impl Testbed {
                     .with_threshold(6_000.0),
             )
             .with(DeviceMeta::new("hotplate", DeviceType::ActionDevice).with_threshold(150.0))
-            .with(
-                DeviceMeta::new("thermoshaker", DeviceType::ActionDevice).with_threshold(1_500.0),
-            );
-
-        Testbed {
-            lab,
-            catalog,
-            locations: loc,
-        }
+            .with(DeviceMeta::new("thermoshaker", DeviceType::ActionDevice).with_threshold(1_500.0))
     }
 
     /// Builds a RABIT engine for one of the study's three configurations.
     /// Time multiplexing (not the software wall) is the paper's deployed
     /// choice for the Modified stages.
     pub fn rabit(&self, stage: RabitStage) -> Rabit {
-        let mut rulebase = Rulebase::hein_lab();
-        if stage != RabitStage::Baseline {
-            rulebase.push(extensions::held_object_clearance_rule());
-            rulebase.push(extensions::time_multiplexing_rule());
-            rulebase.push(extensions::sleep_volume_rule());
-        }
-        let mut rabit = Rabit::new(rulebase, self.catalog.clone(), RabitConfig::default());
+        let mut rabit = Rabit::new(
+            rulebase_for(stage),
+            self.catalog.clone(),
+            RabitConfig::default(),
+        );
         if stage == RabitStage::ModifiedWithSimulator {
             rabit = rabit.with_validator(Box::new(self.extended_simulator(false)));
         }
         rabit
     }
 
-    /// The Extended Simulator over the testbed's cuboid world (`gui`
-    /// selects the 2 s GUI-bound mode or the headless mode).
-    pub fn extended_simulator(&self, gui: bool) -> ExtendedSimulator {
-        let world = SimWorld::new()
+    /// The cuboid obstacle world the Extended Simulator sweeps the
+    /// testbed's trajectories against: the platform plus the six mockup
+    /// footprints.
+    pub fn simulator_world() -> SimWorld {
+        SimWorld::new()
             .with_platform(1.6)
             .with_obstacle("grid", footprints::grid())
             .with_obstacle("dosing_device", footprints::dosing_device())
             .with_obstacle("syringe_pump", footprints::syringe_pump())
             .with_obstacle("centrifuge", footprints::centrifuge())
             .with_obstacle("hotplate", footprints::hotplate())
-            .with_obstacle("thermoshaker", footprints::thermoshaker());
+            .with_obstacle("thermoshaker", footprints::thermoshaker())
+    }
+
+    /// The kinematic arm models the Extended Simulator mirrors (ViperX at
+    /// the origin, Ned2 offset to its platform mount).
+    pub fn simulator_arms() -> Vec<(DeviceId, ArmModel)> {
+        vec![
+            (DeviceId::new("viperx"), presets::viperx300()),
+            (
+                DeviceId::new("ned2"),
+                presets::ned2().with_base(rabit_geometry::Pose::from_translation(Vec3::new(
+                    0.85, 0.0, 0.0,
+                ))),
+            ),
+        ]
+    }
+
+    /// Builds the Extended Simulator over the testbed's cuboid world
+    /// (`gui` selects the 2 s GUI-bound mode or the headless mode).
+    pub fn build_extended_simulator(gui: bool) -> ExtendedSimulator {
         let config = SimConfig {
             gui,
             ..SimConfig::default()
         };
-        ExtendedSimulator::new(world, config)
-            .with_arm("viperx", presets::viperx300())
-            .with_arm(
-                "ned2",
-                presets::ned2().with_base(rabit_geometry::Pose::from_translation(Vec3::new(
-                    0.85, 0.0, 0.0,
-                ))),
-            )
+        let mut sim = ExtendedSimulator::new(Testbed::simulator_world(), config);
+        for (id, model) in Testbed::simulator_arms() {
+            sim.add_arm(id, model);
+        }
+        sim
+    }
+
+    /// The Extended Simulator over this testbed (see
+    /// [`Testbed::build_extended_simulator`]).
+    pub fn extended_simulator(&self, gui: bool) -> ExtendedSimulator {
+        Testbed::build_extended_simulator(gui)
     }
 
     /// Convenience: the footprint of a named mockup (for tests and
@@ -281,6 +310,19 @@ impl Default for Testbed {
     fn default() -> Self {
         Testbed::new()
     }
+}
+
+/// The rulebase of one study configuration: the 15 Hein Lab rules, plus
+/// the three §IV extension rules (held-object geometry, time
+/// multiplexing, sleep volumes) for the modified configurations.
+pub fn rulebase_for(stage: RabitStage) -> Rulebase {
+    let mut rulebase = Rulebase::hein_lab();
+    if stage != RabitStage::Baseline {
+        rulebase.push(extensions::held_object_clearance_rule());
+        rulebase.push(extensions::time_multiplexing_rule());
+        rulebase.push(extensions::sleep_volume_rule());
+    }
+    rulebase
 }
 
 #[cfg(test)]

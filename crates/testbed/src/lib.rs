@@ -12,6 +12,9 @@
 //!   Ned2 with the raise-exception mode), five mockup devices, the grid,
 //!   and RABIT builders for the study's three configurations
 //!   ([`RabitStage`]);
+//! * [`TestbedSubstrate`] — the deck as a pluggable deployment substrate,
+//!   so `rabit_core`'s [`StagePipeline`](rabit_core::StagePipeline) can
+//!   promote workflows through it ([`Testbed::pipeline`]);
 //! * [`mod@locations`] — the Fig. 6 hard-coded coordinate table;
 //! * [`workflows`] — the Fig. 5 safe workflow and mutation anchor points;
 //! * [`calibration`] — the common-frame experiment reproducing the ~3 cm
@@ -36,7 +39,9 @@
 pub mod calibration;
 mod env;
 pub mod locations;
+mod substrate;
 pub mod workflows;
 
-pub use env::{arm_positions, footprints, RabitStage, Testbed};
+pub use env::{arm_positions, footprints, rulebase_for, RabitStage, Testbed};
 pub use locations::{locations, ArmLocations, DosingLocations, Locations};
+pub use substrate::TestbedSubstrate;

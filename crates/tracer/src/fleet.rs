@@ -12,7 +12,7 @@
 use crate::tracer::{TraceReport, Tracer};
 use crate::workflow::Workflow;
 use rabit_core::fleet::run_indexed;
-use rabit_core::{DamageEvent, Lab, Rabit};
+use rabit_core::{DamageEvent, Lab, Rabit, Stage, Substrate};
 use std::collections::BTreeMap;
 
 /// One fleet run: the workflow's trace report plus the physical damage
@@ -24,6 +24,11 @@ pub struct FleetRun {
     pub index: usize,
     /// The workflow's name.
     pub workflow: String,
+    /// The deployment stage this run executed at (`None` for plain
+    /// [`run_fleet`] setups, which carry no stage identity).
+    pub stage: Option<Stage>,
+    /// The substrate's name (`None` for plain [`run_fleet`] setups).
+    pub substrate: Option<String>,
     /// The tracer's report for this run.
     pub report: TraceReport,
     /// Ground-truth damage the lab recorded during the run.
@@ -70,6 +75,12 @@ impl FleetReport {
     /// Total simulated lab time across the fleet (seconds).
     pub fn total_lab_time_s(&self) -> f64 {
         self.runs.iter().map(|r| r.report.lab_time_s).sum()
+    }
+
+    /// The runs that executed at one deployment stage (empty for fleets
+    /// assembled without substrates).
+    pub fn runs_at(&self, stage: Stage) -> impl Iterator<Item = &FleetRun> {
+        self.runs.iter().filter(move |r| r.stage == Some(stage))
     }
 
     /// Fleet-wide verdict-cache hit rate, `hits / (hits + misses)`.
@@ -122,6 +133,42 @@ where
         FleetRun {
             index: i,
             workflow: workflows[i].name().to_string(),
+            stage: None,
+            substrate: None,
+            report,
+            damage: lab.damage_log().to_vec(),
+            cache_hits,
+            cache_misses,
+        }
+    });
+    FleetReport { threads, runs }
+}
+
+/// Runs each `(substrate, workflow)` job guarded on `threads` workers.
+///
+/// This is [`run_fleet`] made generic over deployment substrates: every
+/// job instantiates a fresh `(Lab, Rabit)` pair from its substrate —
+/// rulebase, catalog, latency, and (if the substrate attaches one)
+/// trajectory validator included — so a single fleet can mix stages:
+/// simulator replays next to testbed runs next to production profiles.
+/// Runs are tagged with their substrate's name and [`Stage`]
+/// (see [`FleetReport::runs_at`]).
+///
+/// Determinism: substrates build state inside the executing worker, so
+/// reports are identical for every `threads >= 1`, exactly as for
+/// [`run_fleet`].
+pub fn run_fleet_on(jobs: &[(&dyn Substrate, &Workflow)], threads: usize) -> FleetReport {
+    let runs = run_indexed(jobs.len(), threads, |i| {
+        let (substrate, workflow) = jobs[i];
+        let (mut lab, mut rabit) = substrate.instantiate();
+        rabit.config_mut().first_violation_only = true;
+        let report = Tracer::guarded(&mut lab, &mut rabit).run(workflow);
+        let (cache_hits, cache_misses) = rabit.validator_cache_stats();
+        FleetRun {
+            index: i,
+            workflow: workflow.name().to_string(),
+            stage: Some(substrate.stage()),
+            substrate: Some(substrate.name().to_string()),
             report,
             damage: lab.damage_log().to_vec(),
             cache_hits,
@@ -199,6 +246,76 @@ mod tests {
         assert_eq!(fleet.completed_runs(), 3, "nothing halts pass-through");
         assert_eq!(fleet.total_damage(), 1, "bug_a breaks the door");
         assert_eq!(fleet.runs[1].damage.len(), 1);
+    }
+
+    struct MiniSubstrate {
+        stage: rabit_core::Stage,
+    }
+
+    impl rabit_core::Substrate for MiniSubstrate {
+        fn name(&self) -> &str {
+            "mini"
+        }
+        fn stage(&self) -> rabit_core::Stage {
+            self.stage
+        }
+        fn build_lab(&self) -> Lab {
+            Lab::new()
+                .with_device(
+                    RobotArm::new(
+                        "viperx",
+                        Vec3::new(0.3, 0.0, 0.3),
+                        Vec3::new(0.1, -0.3, 0.2),
+                    )
+                    .with_latency(self.latency()),
+                )
+                .with_device(DosingDevice::new(
+                    "doser",
+                    Aabb::new(Vec3::new(0.1, 0.35, 0.0), Vec3::new(0.25, 0.55, 0.3)),
+                ))
+                .with_device(Vial::new("vial", Vec3::new(0.537, 0.018, 0.12)))
+        }
+        fn rulebase(&self) -> Rulebase {
+            Rulebase::standard()
+        }
+        fn catalog(&self) -> DeviceCatalog {
+            DeviceCatalog::new()
+                .with(
+                    DeviceMeta::new("viperx", DeviceType::RobotArm)
+                        .with_arm_positions(Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, -0.3, 0.2)),
+                )
+                .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+                .with(DeviceMeta::new("vial", DeviceType::Container))
+        }
+    }
+
+    #[test]
+    fn substrate_fleet_mixes_stages() {
+        let sim = MiniSubstrate {
+            stage: Stage::Simulator,
+        };
+        let prod = MiniSubstrate {
+            stage: Stage::Production,
+        };
+        let wfs = workflows();
+        let jobs: Vec<(&dyn Substrate, &Workflow)> = vec![
+            (&sim, &wfs[0]),
+            (&prod, &wfs[0]),
+            (&sim, &wfs[1]),
+            (&prod, &wfs[2]),
+        ];
+        let fleet = run_fleet_on(&jobs, 2);
+        assert_eq!(fleet.runs.len(), 4);
+        assert_eq!(fleet.runs_at(Stage::Simulator).count(), 2);
+        assert_eq!(fleet.runs_at(Stage::Production).count(), 2);
+        assert_eq!(fleet.completed_runs(), 3, "bug_a alerts at its stage");
+        let blocked = &fleet.runs[2];
+        assert_eq!(blocked.stage, Some(Stage::Simulator));
+        assert_eq!(blocked.substrate.as_deref(), Some("mini"));
+        assert!(!blocked.report.completed());
+        assert_eq!(fleet.total_damage(), 0, "guarded fleet takes no damage");
+        // The same stage latency ran faster in simulation than production.
+        assert!(fleet.runs[0].report.lab_time_s < fleet.runs[1].report.lab_time_s);
     }
 
     #[test]
