@@ -15,7 +15,11 @@
 //!   any [`rabit_core::Substrate`] realising the testbed deck, so the
 //!   same 16 bugs replay at every stage of the promotion pipeline;
 //! * [`false_positives`] — the safe-workflow suite behind the paper's
-//!   "RABIT never produced any false positives".
+//!   "RABIT never produced any false positives";
+//! * [`fault_families`] / [`run_fault_family_on`] — the catalog
+//!   generalized into parametric fault families (stale reads, dropped
+//!   commands, crashes, …) swept deterministically under any
+//!   [`rabit_core::RecoveryPolicy`].
 //!
 //! # Example
 //!
@@ -30,9 +34,11 @@
 #![warn(missing_docs)]
 
 mod catalog;
+mod faults;
 mod runner;
 
 pub use catalog::{catalog, Bug, BugCategory, DetectedFrom};
+pub use faults::{fault_families, run_fault_family_on, run_fault_study_on, FamilyResult};
 pub use runner::{
     false_positives, false_positives_on, run_bug, run_bug_on, run_study, run_study_on,
     run_study_parallel, run_study_parallel_on, BugOutcome, StudyResult,

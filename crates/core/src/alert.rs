@@ -1,12 +1,19 @@
 //! Alerts: how RABIT reports detected unsafe behaviour.
 
+use crate::lab::LabError;
 use crate::trajcheck::CollisionReport;
-use rabit_devices::{Command, DeviceError, StateDiff};
+use rabit_devices::{Command, StateDiff};
 use rabit_rulebase::Violation;
 use std::fmt;
 
 /// An alert raised by the Fig. 2 algorithm. Each variant corresponds to
 /// one `alertAndStop` site.
+///
+/// Marked `#[non_exhaustive]`: future PRs may add alert classes (e.g.
+/// resource-budget alerts), so downstream matches need a wildcard arm.
+/// `Alert` also implements [`std::error::Error`], composing with the
+/// lab layer's [`LabError`] via `source()`.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Alert {
     /// `alertAndStop("Invalid Command!")` — a precondition failed
@@ -39,8 +46,9 @@ pub enum Alert {
     DeviceFault {
         /// The failing command.
         command: Command,
-        /// The device's error.
-        error: DeviceError,
+        /// The lab's error (unknown device, firmware refusal, or an
+        /// injected crash window).
+        error: LabError,
     },
 }
 
@@ -105,6 +113,15 @@ impl fmt::Display for Alert {
             Alert::DeviceFault { command, error } => {
                 write!(f, "Device fault during {command}: {error}")
             }
+        }
+    }
+}
+
+impl std::error::Error for Alert {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Alert::DeviceFault { error, .. } => Some(error),
+            _ => None,
         }
     }
 }
@@ -178,13 +195,21 @@ mod tests {
     fn device_faults_are_not_rabit_detections() {
         let fault = Alert::DeviceFault {
             command: cmd(),
-            error: DeviceError::TrajectoryFault {
+            error: LabError::Device(rabit_devices::DeviceError::TrajectoryFault {
                 device: DeviceId::new("ned2"),
                 reason: "out of reach".into(),
-            },
+            }),
         };
         assert!(!fault.is_rabit_detection());
         assert!(fault.to_string().contains("out of reach"));
+        // Alert is an error type whose source chains into the lab error.
+        use std::error::Error;
+        assert!(fault.source().is_some());
+        let blocked = Alert::InvalidCommand {
+            command: cmd(),
+            violations: vec![],
+        };
+        assert!(blocked.source().is_none());
     }
 
     #[test]

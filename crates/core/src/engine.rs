@@ -1,10 +1,13 @@
 //! The RABIT engine: the Fig. 2 execution algorithm.
 
 use crate::alert::{Alert, StopPolicy};
+use crate::builder::RabitBuilder;
+use crate::faults::{FaultPlan, RecoveryCounters, RecoveryPolicy};
 use crate::lab::Lab;
 use crate::trajcheck::{TrajectoryValidator, TrajectoryVerdict};
 use rabit_devices::{ActionKind, Command, DeviceId, LabState};
 use rabit_rulebase::{transition, DeviceCatalog, Rulebase};
+use std::collections::BTreeSet;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -23,6 +26,12 @@ pub struct RabitConfig {
     ///
     /// [`Rulebase::check_first`]: rabit_rulebase::Rulebase::check_first
     pub first_violation_only: bool,
+    /// How the engine treats *transient* alerts (device faults and
+    /// malfunctions): alert immediately (the paper's behaviour, and the
+    /// default), retry with backoff, retry then safe-stop, or
+    /// quarantine the device and continue degraded. Genuine rule
+    /// violations are never retried.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for RabitConfig {
@@ -32,7 +41,33 @@ impl Default for RabitConfig {
             stop_policy: StopPolicy::StopImmediately,
             skip_malfunction_check: false,
             first_violation_only: false,
+            recovery: RecoveryPolicy::AlertImmediately,
         }
+    }
+}
+
+/// How one command fared through [`Rabit::step`], beyond "no alert".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Executed and verified on the first attempt.
+    Executed,
+    /// Executed and verified after recovery retries.
+    Recovered {
+        /// Retry attempts it took (≥ 1).
+        retries: u32,
+    },
+    /// Not executed: the addressed device was already quarantined and
+    /// the run continues degraded.
+    SkippedQuarantined,
+    /// Not executed: retries exhausted, the device was quarantined just
+    /// now, and the run continues degraded.
+    Quarantined,
+}
+
+impl StepOutcome {
+    /// Whether the command actually executed on its device.
+    pub fn executed(&self) -> bool {
+        matches!(self, StepOutcome::Executed | StepOutcome::Recovered { .. })
     }
 }
 
@@ -55,6 +90,13 @@ pub struct RunReport {
     /// Trajectory validations that missed the verdict cache and ran in
     /// full during this run.
     pub cache_misses: u64,
+    /// Recovery activity during this run (retries, recoveries,
+    /// quarantines, safe-stops). All zeros under
+    /// [`RecoveryPolicy::AlertImmediately`].
+    pub recovery: RecoveryCounters,
+    /// Faults the lab's armed session injected during this run (zero
+    /// without a fault plan).
+    pub faults_injected: u64,
 }
 
 impl RunReport {
@@ -107,10 +149,19 @@ pub struct Rabit {
     validator: Option<Box<dyn TrajectoryValidator>>,
     current: LabState,
     overhead_s: f64,
+    fault_plan: FaultPlan,
+    quarantined: BTreeSet<DeviceId>,
+    recovery_totals: RecoveryCounters,
 }
 
 impl Rabit {
     /// Creates an engine from a rulebase, catalog, and configuration.
+    ///
+    /// **Deprecated-by-convention:** prefer [`Rabit::builder`], which
+    /// assembles the engine in one expression — rulebase, catalog,
+    /// config, validator, and fault plan — instead of `new` +
+    /// [`Rabit::with_validator`] + [`Rabit::config_mut`] mutation. This
+    /// constructor stays as a thin shim so existing call sites compile.
     pub fn new(rulebase: Rulebase, catalog: DeviceCatalog, config: RabitConfig) -> Self {
         Rabit {
             rulebase,
@@ -119,13 +170,32 @@ impl Rabit {
             validator: None,
             current: LabState::new(),
             overhead_s: 0.0,
+            fault_plan: FaultPlan::none(),
+            quarantined: BTreeSet::new(),
+            recovery_totals: RecoveryCounters::default(),
         }
+    }
+
+    /// Starts a [`RabitBuilder`]: the one-expression way to assemble an
+    /// engine (rulebase → catalog → config → validator → fault plan).
+    pub fn builder() -> RabitBuilder {
+        RabitBuilder::new()
     }
 
     /// Attaches an Extended Simulator as trajectory validator
     /// (`SimAvailable` becomes true).
     pub fn with_validator(mut self, validator: Box<dyn TrajectoryValidator>) -> Self {
         self.validator = Some(validator);
+        self
+    }
+
+    /// Carries a fault plan: [`Rabit::initialize`] arms it on the lab
+    /// (unless the lab already has a session, e.g. from
+    /// [`Substrate::instantiate_with`]).
+    ///
+    /// [`Substrate::instantiate_with`]: crate::Substrate::instantiate_with
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -189,8 +259,36 @@ impl Rabit {
         &self.current
     }
 
+    /// The fault plan this engine carries (empty unless set via
+    /// [`Rabit::with_fault_plan`] or the builder).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Accumulated recovery activity across every run of this engine.
+    /// Per-run deltas land in [`RunReport::recovery`].
+    pub fn recovery_counters(&self) -> RecoveryCounters {
+        self.recovery_totals
+    }
+
+    /// Whether a device has been quarantined by the
+    /// [`RecoveryPolicy::Quarantine`] policy.
+    pub fn is_quarantined(&self, device: &DeviceId) -> bool {
+        self.quarantined.contains(device)
+    }
+
+    /// The quarantined devices, in order.
+    pub fn quarantined_devices(&self) -> impl Iterator<Item = &DeviceId> {
+        self.quarantined.iter()
+    }
+
     /// Fig. 2, Lines 1-3: acquire `S_initial` and set `S_current`.
+    /// If the engine carries a fault plan and the lab has no session
+    /// armed yet, the plan is armed here.
     pub fn initialize(&mut self, lab: &mut Lab) -> &LabState {
+        if !self.fault_plan.is_empty() && !lab.has_fault_session() {
+            lab.arm_faults(self.fault_plan.session());
+        }
         let before = lab.clock().now_s();
         let reported = lab.fetch_state();
         self.overhead_s += lab.clock().now_s() - before;
@@ -214,7 +312,10 @@ impl Rabit {
         self.current.set(device, key, value);
     }
 
-    /// Fig. 2, Lines 5-16: process one command.
+    /// Fig. 2, Lines 5-16: process one command, with the configured
+    /// [`RecoveryPolicy`] deciding what happens on *transient* failures
+    /// (device faults and malfunctions). Rule violations and trajectory
+    /// collisions — the bugs RABIT exists to stop — are never retried.
     ///
     /// # Errors
     ///
@@ -226,10 +327,22 @@ impl Rabit {
     /// * [`Alert::DeviceFault`] if the device itself refuses;
     /// * [`Alert::DeviceMalfunction`] if the post-state does not match the
     ///   expectation.
+    ///
+    /// The last two surface only after the recovery policy's retries are
+    /// exhausted; under [`RecoveryPolicy::Quarantine`] they never
+    /// surface at all — the device is quarantined and `step` returns
+    /// [`StepOutcome::Quarantined`] instead.
     // Alerts are the cold path: a large Err variant costs nothing on the
     // hot (Ok) path, and boxing it would complicate every caller.
     #[allow(clippy::result_large_err)]
-    pub fn step(&mut self, lab: &mut Lab, command: &Command) -> Result<(), Alert> {
+    pub fn step(&mut self, lab: &mut Lab, command: &Command) -> Result<StepOutcome, Alert> {
+        // Degraded continuation: commands to a quarantined device are
+        // skipped, not executed and not alerted on.
+        if self.quarantined.contains(&command.actor) {
+            self.recovery_totals.skipped_quarantined += 1;
+            return Ok(StepOutcome::SkippedQuarantined);
+        }
+
         // Lines 6-7: precondition check. Deployment stops on the first
         // alert anyway, so `first_violation_only` skips the rest of the
         // scan once one rule fires.
@@ -269,12 +382,67 @@ impl Rabit {
             }
         }
 
+        // Lines 11-16, wrapped in the recovery loop. Each attempt
+        // recomputes S_expected from the (possibly rolled-forward)
+        // current state, so a retry after a dropped command expects the
+        // right thing.
+        let retry = self.config.recovery.retry();
+        let max_attempts = retry.map_or(1, |r| r.max_attempts.max(1));
+        let mut retries = 0u32;
+        loop {
+            match self.execute_and_verify(lab, command) {
+                Ok(()) => {
+                    return Ok(if retries == 0 {
+                        StepOutcome::Executed
+                    } else {
+                        self.recovery_totals.recovered += 1;
+                        StepOutcome::Recovered { retries }
+                    });
+                }
+                Err(alert) => {
+                    if retries + 1 < max_attempts {
+                        // Back off on the virtual clock, then retry. The
+                        // backoff is RABIT overhead: the lab would have
+                        // been idle without it.
+                        let backoff = retry.expect("retries imply a policy").backoff_s(retries);
+                        lab.advance_clock(backoff);
+                        self.overhead_s += backoff;
+                        self.recovery_totals.retries += 1;
+                        retries += 1;
+                        continue;
+                    }
+                    // Exhausted (or never retryable): escalate per policy.
+                    return match self.config.recovery {
+                        RecoveryPolicy::AlertImmediately | RecoveryPolicy::Retry(_) => {
+                            self.stop(lab);
+                            Err(alert)
+                        }
+                        RecoveryPolicy::RetryThenSafeStop(_) => {
+                            self.recovery_totals.safe_stops += 1;
+                            self.safe_stop(lab);
+                            Err(alert)
+                        }
+                        RecoveryPolicy::Quarantine(_) => {
+                            self.quarantined.insert(command.actor.clone());
+                            self.recovery_totals.quarantined += 1;
+                            Ok(StepOutcome::Quarantined)
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    /// One execution attempt: S_expected, execute, fetch S_actual,
+    /// compare, commit (Fig. 2, Lines 11-16). Escalation (stop,
+    /// safe-stop, quarantine) is the caller's job.
+    #[allow(clippy::result_large_err)]
+    fn execute_and_verify(&mut self, lab: &mut Lab, command: &Command) -> Result<(), Alert> {
         // Line 11: S_expected.
         let expected = transition::expected_state(&self.catalog, &self.current, command);
 
         // Line 12: execute.
         if let Err(error) = lab.apply(command) {
-            self.stop(lab);
             return Err(Alert::DeviceFault {
                 command: command.clone(),
                 error,
@@ -295,7 +463,6 @@ impl Rabit {
         self.current = expected;
         self.current.overlay(&actual);
         if !diffs.is_empty() {
-            self.stop(lab);
             return Err(Alert::DeviceMalfunction {
                 command: command.clone(),
                 diffs,
@@ -310,12 +477,18 @@ impl Rabit {
         let t0 = lab.clock().now_s();
         let overhead0 = self.overhead_s;
         let (hits0, misses0) = self.validator_cache_stats();
+        let recovery0 = self.recovery_totals;
         self.initialize(lab);
+        let faults0 = lab.fault_stats().total_injected();
         let mut executed = 0;
         let mut alert = None;
         for command in commands {
             match self.step(lab, command) {
-                Ok(()) => executed += 1,
+                Ok(outcome) => {
+                    if outcome.executed() {
+                        executed += 1;
+                    }
+                }
                 Err(a) => {
                     alert = Some(a);
                     break;
@@ -330,6 +503,8 @@ impl Rabit {
             rabit_overhead_s: self.overhead_s - overhead0,
             cache_hits: hits1 - hits0,
             cache_misses: misses1 - misses0,
+            recovery: self.recovery_totals.since(&recovery0),
+            faults_injected: lab.fault_stats().total_injected() - faults0,
         }
     }
 
@@ -358,6 +533,8 @@ impl Rabit {
             rabit_overhead_s: 0.0,
             cache_hits: 0,
             cache_misses: 0,
+            recovery: RecoveryCounters::default(),
+            faults_injected: lab.fault_stats().total_injected(),
         }
     }
 
@@ -365,10 +542,16 @@ impl Rabit {
     /// every arm at its sleep position so nothing is left dangling.
     fn stop(&mut self, lab: &mut Lab) {
         if self.config.stop_policy == StopPolicy::FailSafe {
-            let arms: Vec<DeviceId> = self.catalog.robot_arms().map(|m| m.id.clone()).collect();
-            for arm in arms {
-                let _ = lab.apply(&Command::new(arm, ActionKind::MoveToSleep));
-            }
+            self.safe_stop(lab);
+        }
+    }
+
+    /// Parks every arm at its sleep position, unconditionally (the
+    /// timeout + safe-stop recovery escalation).
+    fn safe_stop(&mut self, lab: &mut Lab) {
+        let arms: Vec<DeviceId> = self.catalog.robot_arms().map(|m| m.id.clone()).collect();
+        for arm in arms {
+            let _ = lab.apply(&Command::new(arm, ActionKind::MoveToSleep));
         }
     }
 }
@@ -708,5 +891,176 @@ mod tests {
             &Command::new("hp", ActionKind::StartAction { value: 60.0 }),
         );
         assert!(res.is_ok(), "0.1° of jitter must not alarm: {res:?}");
+    }
+
+    use crate::faults::{FaultKind, FaultPlan, FaultSchedule, RecoveryPolicy, RetryPolicy};
+
+    fn drop_first_doser_command() -> FaultPlan {
+        FaultPlan::seeded(11).with_on(
+            "doser",
+            FaultKind::DropCommand,
+            FaultSchedule::AtSteps(vec![0]),
+        )
+    }
+
+    #[test]
+    fn dropped_command_without_recovery_is_a_malfunction() {
+        let mut lab = lab();
+        let mut r = rabit().with_fault_plan(drop_first_doser_command());
+        r.initialize(&mut lab);
+        let alert = r
+            .step(
+                &mut lab,
+                &Command::new("doser", ActionKind::SetDoor { open: true }),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(alert, Alert::DeviceMalfunction { .. }),
+            "a silently dropped command surfaces as S_actual ≠ S_expected: {alert:?}"
+        );
+        assert!(!r.recovery_counters().any());
+        assert_eq!(lab.fault_stats().dropped, 1);
+    }
+
+    #[test]
+    fn retry_policy_recovers_a_dropped_command() {
+        let mut lab = lab();
+        let mut r = Rabit::builder()
+            .catalog(catalog())
+            .recovery(RecoveryPolicy::Retry(RetryPolicy::default()))
+            .fault_plan(drop_first_doser_command())
+            .build();
+        r.initialize(&mut lab);
+        let outcome = r
+            .step(
+                &mut lab,
+                &Command::new("doser", ActionKind::SetDoor { open: true }),
+            )
+            .expect("the retry re-sends the dropped command");
+        assert_eq!(outcome, StepOutcome::Recovered { retries: 1 });
+        assert!(outcome.executed());
+        let counters = r.recovery_counters();
+        assert_eq!(counters.retries, 1);
+        assert_eq!(counters.recovered, 1);
+        // The door really opened on the second attempt.
+        assert_eq!(
+            lab.fetch_state()
+                .get_bool(&"doser".into(), &StateKey::DoorOpen),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn crash_window_outlasted_by_backoff() {
+        let plan = FaultPlan::seeded(3).with_on(
+            "doser",
+            FaultKind::DeviceCrash { downtime_s: 0.5 },
+            FaultSchedule::AtSteps(vec![0]),
+        );
+        let mut lab = lab();
+        let mut r = Rabit::builder()
+            .catalog(catalog())
+            .recovery(RecoveryPolicy::Retry(RetryPolicy {
+                max_attempts: 3,
+                backoff_base_s: 1.0,
+                backoff_factor: 2.0,
+            }))
+            .fault_plan(plan)
+            .build();
+        r.initialize(&mut lab);
+        let outcome = r
+            .step(
+                &mut lab,
+                &Command::new("doser", ActionKind::SetDoor { open: true }),
+            )
+            .expect("1 s of backoff outlasts the 0.5 s crash window");
+        assert!(matches!(outcome, StepOutcome::Recovered { .. }));
+        assert_eq!(lab.fault_stats().crashes, 1);
+    }
+
+    #[test]
+    fn quarantine_policy_continues_degraded() {
+        // Every doser command is dropped — the device is hopeless.
+        let plan = FaultPlan::seeded(7).with_on(
+            "doser",
+            FaultKind::DropCommand,
+            FaultSchedule::EveryNth {
+                period: 1,
+                offset: 0,
+            },
+        );
+        let mut lab = lab();
+        let mut r = Rabit::builder()
+            .catalog(catalog())
+            .recovery(RecoveryPolicy::Quarantine(RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            }))
+            .fault_plan(plan)
+            .build();
+        let commands = vec![
+            Command::new("doser", ActionKind::SetDoor { open: true }),
+            Command::new("doser", ActionKind::SetDoor { open: false }),
+        ];
+        let report = r.run(&mut lab, &commands);
+        assert!(
+            report.completed(),
+            "quarantine never alerts: {:?}",
+            report.alert
+        );
+        assert_eq!(report.executed, 0, "nothing actually ran");
+        assert!(r.is_quarantined(&"doser".into()));
+        assert_eq!(r.quarantined_devices().count(), 1);
+        assert_eq!(report.recovery.quarantined, 1);
+        assert_eq!(report.recovery.skipped_quarantined, 1);
+        assert!(report.faults_injected >= 2);
+    }
+
+    #[test]
+    fn retry_then_safe_stop_parks_arms() {
+        let plan = FaultPlan::seeded(9).with_on(
+            "doser",
+            FaultKind::DropCommand,
+            FaultSchedule::EveryNth {
+                period: 1,
+                offset: 0,
+            },
+        );
+        let mut lab = lab();
+        let mut r = Rabit::builder()
+            .catalog(catalog())
+            .recovery(RecoveryPolicy::RetryThenSafeStop(RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            }))
+            .fault_plan(plan)
+            .build();
+        r.initialize(&mut lab);
+        let alert = r
+            .step(
+                &mut lab,
+                &Command::new("doser", ActionKind::SetDoor { open: true }),
+            )
+            .unwrap_err();
+        assert!(matches!(alert, Alert::DeviceMalfunction { .. }));
+        assert_eq!(r.recovery_counters().safe_stops, 1);
+        let arm = lab.device(&"arm".into()).unwrap().as_arm().unwrap();
+        assert!(arm.at_sleep(), "safe-stop must park the arm");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_inert() {
+        let mut lab = lab();
+        let mut r = rabit().with_fault_plan(FaultPlan::none());
+        r.initialize(&mut lab);
+        assert!(!lab.has_fault_session(), "empty plans arm nothing");
+        let commands = vec![
+            Command::new("doser", ActionKind::SetDoor { open: true }),
+            Command::new("doser", ActionKind::SetDoor { open: false }),
+        ];
+        let report = r.run(&mut lab, &commands);
+        assert!(report.completed());
+        assert_eq!(report.faults_injected, 0);
+        assert!(!report.recovery.any());
     }
 }

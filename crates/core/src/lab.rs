@@ -10,6 +10,7 @@
 
 use crate::clock::SimClock;
 use crate::damage::{DamageEvent, DamageKind};
+use crate::faults::{CommandFault, FaultSession, FaultStats};
 use rabit_devices::physical::{
     ARM_CLEARANCE_M, ARM_COLLISION_RADIUS_M, GRASP_RADIUS_M, HELD_OBJECT_CLEARANCE_M,
 };
@@ -21,6 +22,58 @@ use rabit_geometry::noise::PositionNoise;
 use rabit_geometry::Vec3;
 use rabit_util::Rng;
 use std::collections::BTreeMap;
+
+/// Why the lab could not execute a command. The typed replacement for
+/// the stringly-typed errors the lab layer used to bubble up: callers
+/// can match on the failure class, and the `std::error::Error` impl
+/// composes with `?` and error-reporting crates.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabError {
+    /// The command addressed a device the lab does not contain.
+    UnknownDevice {
+        /// The unknown device id.
+        device: DeviceId,
+    },
+    /// The device's own firmware refused the command.
+    Device(DeviceError),
+    /// The device is inside an injected crash window (see
+    /// [`crate::FaultKind::DeviceCrash`]) and rejects everything until
+    /// it elapses.
+    DeviceCrashed {
+        /// The crashed device.
+        device: DeviceId,
+        /// When the crash window ends (virtual seconds).
+        until_s: f64,
+    },
+}
+
+impl std::fmt::Display for LabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LabError::UnknownDevice { device } => write!(f, "unknown device {device}"),
+            LabError::Device(error) => error.fmt(f),
+            LabError::DeviceCrashed { device, until_s } => {
+                write!(f, "{device} crashed; down until t={until_s:.2}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LabError::Device(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for LabError {
+    fn from(error: DeviceError) -> Self {
+        LabError::Device(error)
+    }
+}
 
 /// A concrete device in the lab. The enum gives the environment typed
 /// access for cross-device effects while still implementing the common
@@ -146,6 +199,9 @@ pub struct Lab {
     /// capabilities and precision", §III), with a seeded RNG so runs stay
     /// deterministic.
     arm_noise: BTreeMap<DeviceId, (PositionNoise, Rng)>,
+    /// An armed fault-injection session, if any (see
+    /// [`crate::FaultPlan`]). `None` costs nothing on the hot path.
+    faults: Option<FaultSession>,
 }
 
 impl Lab {
@@ -158,6 +214,7 @@ impl Lab {
             physically_held: BTreeMap::new(),
             arm_kinematics: BTreeMap::new(),
             arm_noise: BTreeMap::new(),
+            faults: None,
         }
     }
 
@@ -224,6 +281,23 @@ impl Lab {
         self.physically_held.get(arm) == Some(object)
     }
 
+    /// Arms a fault-injection session: from now on commands and state
+    /// fetches pass through it (see [`crate::FaultPlan::session`]).
+    pub fn arm_faults(&mut self, session: FaultSession) {
+        self.faults = Some(session);
+    }
+
+    /// Whether a fault session is armed.
+    pub fn has_fault_session(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Injection tallies of the armed fault session (all zeros when no
+    /// session is armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|s| *s.stats()).unwrap_or_default()
+    }
+
     /// `FetchState()`: snapshots every device via its status command,
     /// advancing the clock by each status latency. This is the dominant
     /// cost of RABIT's ~0.03 s per-command overhead.
@@ -236,18 +310,57 @@ impl Lab {
             state.insert(id.clone(), d.fetch_state());
         }
         self.clock.advance(status_time);
-        state
+        match &mut self.faults {
+            Some(session) => session.intercept_state(state),
+            None => state,
+        }
     }
 
     /// Executes a command with full physical semantics: firmware checks,
-    /// command latency, cross-device effects, and damage recording.
+    /// command latency, cross-device effects, and damage recording. With
+    /// a fault session armed (see [`Lab::arm_faults`]) the command first
+    /// passes through the injector, which may drop, duplicate, delay, or
+    /// reject it.
     ///
     /// # Errors
     ///
-    /// Propagates the device's own [`DeviceError`] (firmware refusals,
-    /// Ned2-style trajectory exceptions). A device error means the action
-    /// did not happen.
-    pub fn apply(&mut self, command: &Command) -> Result<(), DeviceError> {
+    /// Returns a [`LabError`]: an unknown actor, the device's own
+    /// [`DeviceError`] (firmware refusals, Ned2-style trajectory
+    /// exceptions), or an injected crash window. An error means the
+    /// action did not happen.
+    pub fn apply(&mut self, command: &Command) -> Result<(), LabError> {
+        let Some(session) = &mut self.faults else {
+            return self.apply_inner(command);
+        };
+        match session.intercept_command(command, self.clock.now_s()) {
+            CommandFault::None => self.apply_inner(command),
+            CommandFault::Drop => {
+                // Acknowledged, nothing happens beyond a token ack cost.
+                // The post-execution malfunction check is what notices.
+                self.clock.advance(0.01);
+                Ok(())
+            }
+            CommandFault::Duplicate => {
+                self.apply_inner(command)?;
+                // The ghost repeat: if the firmware refuses the second
+                // round the physical world is unchanged — the first
+                // execution already succeeded.
+                let _ = self.apply_inner(command);
+                Ok(())
+            }
+            CommandFault::Latency(seconds) => {
+                self.clock.advance(seconds);
+                self.apply_inner(command)
+            }
+            CommandFault::Crashed { until_s } => Err(LabError::DeviceCrashed {
+                device: command.actor.clone(),
+                until_s,
+            }),
+        }
+    }
+
+    /// The fault-free execution path `apply` wraps.
+    fn apply_inner(&mut self, command: &Command) -> Result<(), LabError> {
         // Infeasible-move handling BEFORE touching the device: ViperX
         // silently skips, Ned2 raises (paper §IV, category 4).
         if let ActionKind::MoveToLocation { target } = &command.action {
@@ -264,10 +377,10 @@ impl Lab {
                         self.clock.advance(0.01);
                         return Ok(());
                     }
-                    return Err(DeviceError::TrajectoryFault {
+                    return Err(LabError::Device(DeviceError::TrajectoryFault {
                         device: command.actor.clone(),
                         reason: format!("target {target} beyond reach {:.3} m", kin.reach),
-                    });
+                    }));
                 }
             }
         }
@@ -275,9 +388,8 @@ impl Lab {
         let device =
             self.devices
                 .get_mut(&command.actor)
-                .ok_or_else(|| DeviceError::InvalidState {
+                .ok_or_else(|| LabError::UnknownDevice {
                     device: command.actor.clone(),
-                    reason: "unknown device".to_string(),
                 })?;
 
         // Pre-execution physical context needed by the hazard rules.
@@ -1141,7 +1253,10 @@ mod tests {
                 ActionKind::MoveToLocation { target: far },
             ))
             .unwrap_err();
-        assert!(matches!(err, DeviceError::TrajectoryFault { .. }));
+        assert!(matches!(
+            err,
+            LabError::Device(DeviceError::TrajectoryFault { .. })
+        ));
     }
 
     #[test]
@@ -1224,6 +1339,117 @@ mod tests {
         let err = lab
             .apply(&Command::new("ghost", ActionKind::MoveHome))
             .unwrap_err();
-        assert!(matches!(err, DeviceError::InvalidState { .. }));
+        assert!(matches!(err, LabError::UnknownDevice { .. }));
+        assert!(err.to_string().contains("ghost"));
+        // LabError is a real error type: sources chain through to the
+        // wrapped firmware error.
+        use std::error::Error;
+        assert!(err.source().is_none());
+        let wrapped = LabError::from(DeviceError::UnsupportedAction {
+            device: DeviceId::new("vial"),
+            action: "MoveHome",
+        });
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn armed_lab_drops_and_duplicates_commands() {
+        use crate::faults::{FaultKind, FaultPlan, FaultSchedule};
+        // Drop the first door command: acknowledged, door still closed.
+        let mut lab = small_lab();
+        lab.arm_faults(
+            FaultPlan::seeded(3)
+                .with_on(
+                    "doser",
+                    FaultKind::DropCommand,
+                    FaultSchedule::AtSteps(vec![0]),
+                )
+                .session(),
+        );
+        assert!(lab.has_fault_session());
+        lab.apply(&Command::new("doser", ActionKind::SetDoor { open: true }))
+            .unwrap();
+        if let Some(LabDevice::Dosing(d)) = lab.device(&"doser".into()) {
+            assert!(!d.door_open(), "dropped command never reached the device");
+        } else {
+            panic!("doser missing");
+        }
+        assert_eq!(lab.fault_stats().dropped, 1);
+        // Duplicate a solid dose: twice the powder lands.
+        let mut lab2 = small_lab();
+        if let Some(LabDevice::Dosing(d)) = lab2.device_mut(&"doser".into()) {
+            d.insert_container(DeviceId::new("vial"));
+        }
+        lab2.arm_faults(
+            FaultPlan::seeded(3)
+                .with_on(
+                    "doser",
+                    FaultKind::DuplicateCommand,
+                    FaultSchedule::AtSteps(vec![0]),
+                )
+                .session(),
+        );
+        lab2.apply(&Command::new(
+            "doser",
+            ActionKind::DoseSolid {
+                amount_mg: 2.0,
+                into: "vial".into(),
+            },
+        ))
+        .unwrap();
+        let v = lab2.device(&"vial".into()).unwrap().as_vial().unwrap();
+        assert_eq!(v.solid_mg(), 4.0, "the ghost repeat dosed again");
+        assert_eq!(lab2.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn armed_lab_crash_window_rejects_then_recovers() {
+        use crate::faults::{FaultKind, FaultPlan, FaultSchedule};
+        let mut lab = small_lab();
+        lab.arm_faults(
+            FaultPlan::seeded(3)
+                .with_on(
+                    "doser",
+                    FaultKind::DeviceCrash { downtime_s: 5.0 },
+                    FaultSchedule::AtSteps(vec![0]),
+                )
+                .session(),
+        );
+        let open = Command::new("doser", ActionKind::SetDoor { open: true });
+        let err = lab.apply(&open).unwrap_err();
+        assert!(matches!(err, LabError::DeviceCrashed { .. }));
+        // Still inside the window: rejected again.
+        assert!(lab.apply(&open).is_err());
+        // Wait out the downtime on the virtual clock: recovered.
+        lab.advance_clock(5.0);
+        lab.apply(&open).unwrap();
+        assert_eq!(lab.fault_stats().crashes, 1);
+        assert!(lab.fault_stats().crash_rejections >= 1);
+    }
+
+    #[test]
+    fn armed_lab_latency_spike_costs_time() {
+        use crate::faults::{FaultKind, FaultPlan, FaultSchedule};
+        let baseline = {
+            let mut lab = small_lab();
+            lab.apply(&mv(Vec3::new(0.537, 0.018, 0.2))).unwrap();
+            lab.clock().now_s()
+        };
+        let mut lab = small_lab();
+        lab.arm_faults(
+            FaultPlan::seeded(3)
+                .with(
+                    FaultKind::LatencySpike { seconds: 30.0 },
+                    FaultSchedule::AtSteps(vec![0]),
+                )
+                .session(),
+        );
+        lab.apply(&mv(Vec3::new(0.537, 0.018, 0.2))).unwrap();
+        let spiked = lab.clock().now_s();
+        assert!(
+            (spiked - baseline - 30.0).abs() < 1e-9,
+            "spike adds exactly its latency: {spiked} vs {baseline}"
+        );
+        assert_eq!(lab.fault_stats().latency_spikes, 1);
     }
 }

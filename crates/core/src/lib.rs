@@ -45,18 +45,25 @@
 #![warn(missing_docs)]
 
 mod alert;
+mod builder;
 mod clock;
 mod damage;
 mod engine;
+pub mod faults;
 pub mod fleet;
 mod lab;
 pub mod substrate;
 mod trajcheck;
 
 pub use alert::{Alert, StopPolicy};
+pub use builder::RabitBuilder;
 pub use clock::SimClock;
 pub use damage::{DamageEvent, DamageKind, Severity};
-pub use engine::{Rabit, RabitConfig, RunReport};
-pub use lab::{ArmKinematics, Lab, LabDevice};
+pub use engine::{Rabit, RabitConfig, RunReport, StepOutcome};
+pub use faults::{
+    FaultKind, FaultPlan, FaultSchedule, FaultSession, FaultSpec, FaultStats, RecoveryCounters,
+    RecoveryPolicy, RetryPolicy,
+};
+pub use lab::{ArmKinematics, Lab, LabDevice, LabError};
 pub use substrate::{PipelineReport, Stage, StagePipeline, StageReport, Substrate};
 pub use trajcheck::{ApproveAll, CollisionReport, TrajectoryValidator, TrajectoryVerdict};

@@ -17,6 +17,7 @@
 
 use crate::damage::DamageEvent;
 use crate::engine::{Rabit, RabitConfig, RunReport};
+use crate::faults::FaultPlan;
 use crate::lab::Lab;
 use crate::trajcheck::TrajectoryValidator;
 use rabit_devices::{Command, LatencyModel};
@@ -154,19 +155,44 @@ pub trait Substrate: Send + Sync {
         RabitConfig::default()
     }
 
-    /// Assembles a fresh RABIT engine from the substrate's rulebase,
-    /// catalog, configuration, and (optional) validator.
-    fn rabit(&self) -> Rabit {
-        let mut rabit = Rabit::new(self.rulebase(), self.catalog(), self.engine_config());
-        if let Some(validator) = self.validator() {
-            rabit = rabit.with_validator(validator);
-        }
-        rabit
+    /// The fault plan this substrate injects into every run (empty by
+    /// default: substrates are fault-free unless configured otherwise).
+    fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::none()
     }
 
-    /// Builds a fresh `(Lab, Rabit)` pair, ready to run a workflow.
+    /// Assembles a fresh RABIT engine from the substrate's rulebase,
+    /// catalog, configuration, fault plan, and (optional) validator.
+    fn rabit(&self) -> Rabit {
+        let mut builder = Rabit::builder()
+            .rulebase(self.rulebase())
+            .catalog(self.catalog())
+            .config(self.engine_config())
+            .fault_plan(self.fault_plan());
+        if let Some(validator) = self.validator() {
+            builder = builder.validator(validator);
+        }
+        builder.build()
+    }
+
+    /// Builds a fresh `(Lab, Rabit)` pair, ready to run a workflow,
+    /// armed with the substrate's own fault plan (none by default).
     fn instantiate(&self) -> (Lab, Rabit) {
-        (self.build_lab(), self.rabit())
+        self.instantiate_with(&self.fault_plan())
+    }
+
+    /// Builds a fresh `(Lab, Rabit)` pair armed with an explicit fault
+    /// plan, overriding the substrate's own. An empty plan arms
+    /// nothing — the run is byte-for-byte identical to a plain
+    /// [`Substrate::instantiate`] on a fault-free substrate.
+    fn instantiate_with(&self, plan: &FaultPlan) -> (Lab, Rabit) {
+        let mut lab = self.build_lab();
+        if !plan.is_empty() {
+            lab.arm_faults(plan.session());
+        }
+        // The engine carries the override too, so the substrate's own
+        // plan can never sneak in through `Rabit::initialize`.
+        (lab, self.rabit().with_fault_plan(plan.clone()))
     }
 }
 

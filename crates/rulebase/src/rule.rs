@@ -7,6 +7,11 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Identifies a rule.
+///
+/// Marked `#[non_exhaustive]`: new rule provenances (e.g. LLM-proposed
+/// rules awaiting human review) can be added without a breaking change,
+/// so downstream matches need a wildcard arm.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RuleId {
     /// General rule *n* of Table III (1-11).
@@ -424,6 +429,59 @@ mod tests {
         assert!(rule.check(&open, &state, &ctx).is_none());
         assert_eq!(rule.description(), "no double pick");
         assert!(format!("{rule:?}").contains("General(4)"));
+    }
+
+    fn violation(n: usize) -> Violation {
+        Violation {
+            rule: RuleId::General(n as u8),
+            message: format!("violation #{n}"),
+        }
+    }
+
+    #[test]
+    fn violations_spill_past_inline_capacity() {
+        let mut vs = Violations::new();
+        // Push well past the inline capacity of 4 so the tail spills.
+        for n in 0..7 {
+            vs.push(violation(n));
+            assert_eq!(vs.len(), n + 1);
+        }
+        assert!(!vs.is_empty());
+        // Every accessor sees the same 7 violations in push order.
+        assert_eq!(vs.first(), Some(&violation(0)));
+        for n in 0..7 {
+            assert_eq!(vs.get(n), Some(&violation(n)));
+            assert_eq!(&vs[n], &violation(n));
+        }
+        assert_eq!(vs.get(7), None);
+        let from_iter: Vec<Violation> = vs.iter().cloned().collect();
+        let expected: Vec<Violation> = (0..7).map(violation).collect();
+        assert_eq!(from_iter, expected);
+        assert_eq!(vs.clone().into_vec(), expected);
+        assert_eq!(Vec::from(vs), expected);
+    }
+
+    #[test]
+    fn violations_clear_resets_spill() {
+        let mut vs: Violations = (0..6).map(violation).collect();
+        assert_eq!(vs.len(), 6);
+        vs.clear();
+        assert!(vs.is_empty());
+        assert_eq!(vs.first(), None);
+        assert_eq!(vs.iter().count(), 0);
+        // Reusable after clearing — inline first, then spill again.
+        for n in 0..5 {
+            vs.push(violation(n));
+        }
+        assert_eq!(vs.len(), 5);
+        assert_eq!(vs.into_vec(), (0..5).map(violation).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn violations_index_out_of_bounds_panics() {
+        let vs: Violations = (0..2).map(violation).collect();
+        let _ = &vs[2];
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::simulator::{ExtendedSimulator, SimConfig};
 use crate::world::SimWorld;
-use rabit_core::{Lab, RabitConfig, Stage, Substrate, TrajectoryValidator};
+use rabit_core::{FaultPlan, Lab, RabitConfig, Stage, Substrate, TrajectoryValidator};
 use rabit_devices::DeviceId;
 use rabit_kinematics::ArmModel;
 use rabit_rulebase::{DeviceCatalog, Rulebase};
@@ -30,6 +30,7 @@ pub struct SimulatorSubstrate {
     arms: Vec<(DeviceId, ArmModel)>,
     sim_config: SimConfig,
     engine_config: RabitConfig,
+    fault_plan: FaultPlan,
     lab: LabBuilder,
     rulebase: RulebaseBuilder,
     catalog: CatalogBuilder,
@@ -50,6 +51,7 @@ impl SimulatorSubstrate {
                 ..SimConfig::default()
             },
             engine_config: RabitConfig::default(),
+            fault_plan: FaultPlan::none(),
             lab: Box::new(Lab::new),
             rulebase: Box::new(Rulebase::standard),
             catalog: Box::new(DeviceCatalog::new),
@@ -105,6 +107,14 @@ impl SimulatorSubstrate {
         self
     }
 
+    /// Arms every run of this substrate with a fault plan (chaos-style
+    /// robustness sweeps). [`Substrate::instantiate_with`] overrides it
+    /// per run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Builds a fresh Extended Simulator from the stored world and arms —
     /// the validator [`Substrate::validator`] attaches.
     pub fn build_simulator(&self) -> ExtendedSimulator {
@@ -143,6 +153,10 @@ impl Substrate for SimulatorSubstrate {
 
     fn engine_config(&self) -> RabitConfig {
         self.engine_config.clone()
+    }
+
+    fn fault_plan(&self) -> FaultPlan {
+        self.fault_plan.clone()
     }
 }
 

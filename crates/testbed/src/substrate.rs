@@ -18,7 +18,7 @@
 //!   [`StagePipeline`].
 
 use crate::env::{rulebase_for, RabitStage, Testbed};
-use rabit_core::{Lab, Stage, StagePipeline, Substrate, TrajectoryValidator};
+use rabit_core::{FaultPlan, Lab, Stage, StagePipeline, Substrate, TrajectoryValidator};
 use rabit_rulebase::{DeviceCatalog, Rulebase};
 use rabit_sim::SimulatorSubstrate;
 
@@ -31,6 +31,7 @@ pub struct TestbedSubstrate {
     name: String,
     stage: Stage,
     config: RabitStage,
+    fault_plan: FaultPlan,
 }
 
 impl TestbedSubstrate {
@@ -45,7 +46,15 @@ impl TestbedSubstrate {
             name: format!("testbed:{}:{tag}", stage.name().to_lowercase()),
             stage,
             config,
+            fault_plan: FaultPlan::none(),
         }
+    }
+
+    /// Arms every run of this profile with a fault plan (robustness
+    /// sweeps). [`Substrate::instantiate_with`] overrides it per run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// The canonical promotion profile for a stage: modified rules
@@ -97,6 +106,10 @@ impl Substrate for TestbedSubstrate {
     fn validator(&self) -> Option<Box<dyn TrajectoryValidator>> {
         (self.config == RabitStage::ModifiedWithSimulator)
             .then(|| Box::new(Testbed::build_extended_simulator(false)) as _)
+    }
+
+    fn fault_plan(&self) -> FaultPlan {
+        self.fault_plan.clone()
     }
 }
 

@@ -93,10 +93,13 @@ pub fn run_concurrent(lab: &mut Lab, rabit: &mut Rabit, streams: &[Workflow]) ->
         serialized += dt;
 
         let outcome = match &result {
-            Ok(()) => {
+            Ok(outcome) if outcome.executed() => {
                 executed[i] += 1;
                 TraceOutcome::Forwarded
             }
+            Ok(_) => TraceOutcome::Skipped {
+                reason: format!("{} quarantined", command.actor),
+            },
             Err(Alert::DeviceFault { error, .. }) => TraceOutcome::Faulted {
                 error: error.to_string(),
             },

@@ -12,7 +12,7 @@
 use crate::tracer::{TraceReport, Tracer};
 use crate::workflow::Workflow;
 use rabit_core::fleet::run_indexed;
-use rabit_core::{DamageEvent, Lab, Rabit, Stage, Substrate};
+use rabit_core::{DamageEvent, FaultPlan, Lab, Rabit, RecoveryCounters, Stage, Substrate};
 use std::collections::BTreeMap;
 
 /// One fleet run: the workflow's trace report plus the physical damage
@@ -38,6 +38,8 @@ pub struct FleetRun {
     pub cache_hits: u64,
     /// Verdict-cache misses of this run's validator.
     pub cache_misses: u64,
+    /// Faults the run's lab actually injected (0 without a fault plan).
+    pub faults_injected: u64,
 }
 
 /// The collected fleet: per-run reports plus merge helpers.
@@ -81,6 +83,25 @@ impl FleetReport {
     /// assembled without substrates).
     pub fn runs_at(&self, stage: Stage) -> impl Iterator<Item = &FleetRun> {
         self.runs.iter().filter(move |r| r.stage == Some(stage))
+    }
+
+    /// Total faults injected across the fleet.
+    pub fn total_faults_injected(&self) -> u64 {
+        self.runs.iter().map(|r| r.faults_injected).sum()
+    }
+
+    /// Fleet-wide recovery activity, summed over every run.
+    pub fn total_recovery(&self) -> RecoveryCounters {
+        let mut out = RecoveryCounters::default();
+        for run in &self.runs {
+            let r = run.report.recovery;
+            out.retries += r.retries;
+            out.recovered += r.recovered;
+            out.quarantined += r.quarantined;
+            out.skipped_quarantined += r.skipped_quarantined;
+            out.safe_stops += r.safe_stops;
+        }
+        out
     }
 
     /// Fleet-wide verdict-cache hit rate, `hits / (hits + misses)`.
@@ -139,6 +160,7 @@ where
             damage: lab.damage_log().to_vec(),
             cache_hits,
             cache_misses,
+            faults_injected: lab.fault_stats().total_injected(),
         }
     });
     FleetReport { threads, runs }
@@ -158,9 +180,33 @@ where
 /// reports are identical for every `threads >= 1`, exactly as for
 /// [`run_fleet`].
 pub fn run_fleet_on(jobs: &[(&dyn Substrate, &Workflow)], threads: usize) -> FleetReport {
+    fleet_on_with(jobs, threads, None)
+}
+
+/// [`run_fleet_on`] under a fault plan: every job instantiates through
+/// [`Substrate::instantiate_with`] using `plan.for_run(i)`, so run `i`
+/// always draws the same injections no matter which worker executes it
+/// or how many threads the fleet uses. Pass [`FaultPlan::none`] to get
+/// exactly [`run_fleet_on`].
+pub fn run_fleet_on_faulted(
+    jobs: &[(&dyn Substrate, &Workflow)],
+    threads: usize,
+    plan: &FaultPlan,
+) -> FleetReport {
+    fleet_on_with(jobs, threads, Some(plan))
+}
+
+fn fleet_on_with(
+    jobs: &[(&dyn Substrate, &Workflow)],
+    threads: usize,
+    plan: Option<&FaultPlan>,
+) -> FleetReport {
     let runs = run_indexed(jobs.len(), threads, |i| {
         let (substrate, workflow) = jobs[i];
-        let (mut lab, mut rabit) = substrate.instantiate();
+        let (mut lab, mut rabit) = match plan {
+            Some(plan) => substrate.instantiate_with(&plan.for_run(i as u64)),
+            None => substrate.instantiate(),
+        };
         rabit.config_mut().first_violation_only = true;
         let report = Tracer::guarded(&mut lab, &mut rabit).run(workflow);
         let (cache_hits, cache_misses) = rabit.validator_cache_stats();
@@ -173,6 +219,7 @@ pub fn run_fleet_on(jobs: &[(&dyn Substrate, &Workflow)], threads: usize) -> Fle
             damage: lab.damage_log().to_vec(),
             cache_hits,
             cache_misses,
+            faults_injected: lab.fault_stats().total_injected(),
         }
     });
     FleetReport { threads, runs }

@@ -31,6 +31,13 @@ pub enum TraceOutcome {
         /// Description of the mismatch.
         detail: String,
     },
+    /// Not executed: the engine skipped it without halting (e.g. the
+    /// target device is quarantined under a degraded-continuation
+    /// recovery policy).
+    Skipped {
+        /// Why the command was skipped.
+        reason: String,
+    },
 }
 
 impl TraceOutcome {
@@ -65,6 +72,7 @@ impl fmt::Display for TraceEvent {
             TraceOutcome::MalfunctionDetected { detail } => {
                 format!("MALFUNCTION: {detail}")
             }
+            TraceOutcome::Skipped { reason } => format!("SKIPPED: {reason}"),
         };
         write!(
             f,
@@ -157,6 +165,10 @@ impl ToJson for TraceOutcome {
                 "MalfunctionDetected",
                 Json::obj([("detail", Json::Str(detail.clone()))]),
             )]),
+            TraceOutcome::Skipped { reason } => Json::obj([(
+                "Skipped",
+                Json::obj([("reason", Json::Str(reason.clone()))]),
+            )]),
         }
     }
 }
@@ -185,6 +197,9 @@ impl FromJson for TraceOutcome {
             },
             "MalfunctionDetected" => TraceOutcome::MalfunctionDetected {
                 detail: field(body, "detail")?,
+            },
+            "Skipped" => TraceOutcome::Skipped {
+                reason: field(body, "reason")?,
             },
             other => return Err(JsonError::decode(format!("unknown outcome '{other}'"))),
         })

@@ -7,7 +7,7 @@
 
 use crate::trace::{Trace, TraceEvent, TraceOutcome};
 use crate::workflow::Workflow;
-use rabit_core::{Alert, Lab, Rabit};
+use rabit_core::{Alert, Lab, Rabit, RecoveryCounters, StepOutcome};
 
 /// How the tracer treats each intercepted command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,6 +35,9 @@ pub struct TraceReport {
     pub lab_time_s: f64,
     /// RABIT's share of that time (zero in pass-through mode).
     pub rabit_overhead_s: f64,
+    /// Recovery activity during this run (all zero in pass-through mode
+    /// or when no recovery policy is configured).
+    pub recovery: RecoveryCounters,
 }
 
 impl TraceReport {
@@ -81,6 +84,10 @@ impl<'a> Tracer<'a> {
         let mut halt_alert = None;
 
         let overhead0 = self.rabit.as_ref().map_or(0.0, |r| r.overhead_s());
+        let recovery0 = self
+            .rabit
+            .as_ref()
+            .map_or(RecoveryCounters::default(), |r| r.recovery_counters());
         if let Some(rabit) = self.rabit.as_deref_mut() {
             rabit.initialize(self.lab);
         }
@@ -89,7 +96,13 @@ impl<'a> Tracer<'a> {
             let time_s = self.lab.clock().now_s();
             let outcome = match (self.mode, self.rabit.as_deref_mut()) {
                 (TraceMode::Guarded, Some(rabit)) => match rabit.step(self.lab, command) {
-                    Ok(()) => {
+                    Ok(StepOutcome::SkippedQuarantined) => TraceOutcome::Skipped {
+                        reason: format!("{} quarantined", command.actor),
+                    },
+                    Ok(StepOutcome::Quarantined) => TraceOutcome::Skipped {
+                        reason: format!("{} quarantined after repeated faults", command.actor),
+                    },
+                    Ok(_) => {
                         executed += 1;
                         TraceOutcome::Forwarded
                     }
@@ -145,12 +158,19 @@ impl<'a> Tracer<'a> {
         }
 
         let rabit_overhead_s = self.rabit.as_ref().map_or(0.0, |r| r.overhead_s()) - overhead0;
+        let recovery = self
+            .rabit
+            .as_ref()
+            .map_or(RecoveryCounters::default(), |r| {
+                r.recovery_counters().since(&recovery0)
+            });
         TraceReport {
             trace,
             alert: halt_alert,
             executed,
             lab_time_s: self.lab.clock().now_s() - t0,
             rabit_overhead_s,
+            recovery,
         }
     }
 }

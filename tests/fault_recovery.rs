@@ -1,0 +1,197 @@
+//! The fault-injection runtime, end to end: an empty plan is inert (all
+//! three substrates stay verdict-identical to the fault-free baseline
+//! and the per-stage detection counts are unchanged), while a seeded
+//! plan produces thread-count-invariant faulted fleets whose recovery
+//! counters actually move.
+
+use rabit::buginject::run_study_on;
+use rabit::core::{
+    FaultKind, FaultPlan, FaultSchedule, RabitConfig, RecoveryPolicy, RetryPolicy, Stage, Substrate,
+};
+use rabit::testbed::{locations, workflows, Testbed, TestbedSubstrate};
+use rabit::tracer::{run_fleet_on, run_fleet_on_faulted, Workflow};
+
+/// With an empty fault plan armed, every substrate's verdict — alert,
+/// executed count, virtual lab time, damage — is identical to a plain
+/// fault-free instantiation.
+#[test]
+fn empty_fault_plan_is_verdict_identical_on_all_three_substrates() {
+    let wf = workflows::fig5_safe_workflow(&locations());
+    let sim = Testbed::simulator_substrate();
+    let testbed = Testbed::new();
+    let prod = TestbedSubstrate::for_stage(Stage::Production);
+    let substrates: Vec<&dyn Substrate> = vec![&sim, &testbed, &prod];
+    for substrate in substrates {
+        let (mut lab, mut rabit) = substrate.instantiate();
+        let baseline = rabit.run(&mut lab, wf.commands());
+        let (mut lab2, mut rabit2) = substrate.instantiate_with(&FaultPlan::none());
+        let report = rabit2.run(&mut lab2, wf.commands());
+        assert_eq!(
+            baseline.alert,
+            report.alert,
+            "verdict drift on {}",
+            substrate.name()
+        );
+        assert_eq!(baseline.executed, report.executed);
+        assert_eq!(baseline.lab_time_s, report.lab_time_s);
+        assert_eq!(baseline.rabit_overhead_s, report.rabit_overhead_s);
+        assert_eq!(lab.damage_log().len(), lab2.damage_log().len());
+        assert_eq!(report.faults_injected, 0);
+        assert!(!report.recovery.any());
+        assert!(!lab2.has_fault_session(), "empty plans arm nothing");
+    }
+}
+
+/// The PR 3 baseline: per-stage detection counts are untouched by the
+/// fault runtime riding along in the engine.
+#[test]
+fn detection_counts_unchanged_with_fault_support_compiled_in() {
+    let pipeline = Testbed::pipeline();
+    let counts: Vec<(Stage, usize)> = pipeline
+        .substrates()
+        .iter()
+        .map(|s| (s.stage(), run_study_on(s.as_ref()).detected()))
+        .collect();
+    assert_eq!(
+        counts,
+        [
+            (Stage::Simulator, 13),
+            (Stage::Testbed, 12),
+            (Stage::Production, 12),
+        ]
+    );
+}
+
+/// A faulted fleet under a seeded plan is deterministic across 1, 4, and
+/// 8 worker threads — run `i` always executes under `plan.for_run(i)` —
+/// and its recovery counters are non-zero: the retry policy genuinely
+/// rode out injected faults.
+#[test]
+fn seeded_fault_fleet_is_thread_count_invariant_with_recovery() {
+    let loc = locations();
+    let wf = workflows::fig5_safe_workflow(&loc);
+    let recovery_config = RabitConfig {
+        recovery: RecoveryPolicy::Retry(RetryPolicy::default()),
+        ..RabitConfig::default()
+    };
+    let sim = Testbed::simulator_substrate().with_engine_config(recovery_config.clone());
+    let tb = TestbedSubstrate::for_stage(Stage::Testbed);
+    let jobs: Vec<(&dyn Substrate, &Workflow)> = vec![
+        (&sim, &wf),
+        (&sim, &wf),
+        (&sim, &wf),
+        (&tb, &wf),
+        (&sim, &wf),
+        (&sim, &wf),
+        (&sim, &wf),
+    ];
+    let plan = FaultPlan::seeded(0xDEC0).with(
+        FaultKind::DropCommand,
+        FaultSchedule::EveryNth {
+            period: 4,
+            offset: 2,
+        },
+    );
+
+    let serial = run_fleet_on_faulted(&jobs, 1, &plan);
+    let four = run_fleet_on_faulted(&jobs, 4, &plan);
+    let eight = run_fleet_on_faulted(&jobs, 8, &plan);
+
+    assert!(
+        serial.total_faults_injected() > 0,
+        "the seeded plan must actually inject"
+    );
+    let recovery = serial.total_recovery();
+    assert!(
+        recovery.recovered > 0,
+        "the retry policy must recover dropped commands: {recovery:?}"
+    );
+    assert!(recovery.retries >= recovery.recovered);
+
+    for other in [&four, &eight] {
+        assert_eq!(
+            serial.total_faults_injected(),
+            other.total_faults_injected()
+        );
+        assert_eq!(recovery, other.total_recovery());
+        for (a, b) in serial.runs.iter().zip(other.runs.iter()) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.faults_injected, b.faults_injected, "run {}", a.index);
+            assert_eq!(a.report.executed, b.report.executed, "run {}", a.index);
+            assert_eq!(
+                a.report.alert.as_ref().map(ToString::to_string),
+                b.report.alert.as_ref().map(ToString::to_string),
+                "run {}",
+                a.index
+            );
+            assert_eq!(a.report.lab_time_s, b.report.lab_time_s, "run {}", a.index);
+            assert_eq!(a.report.recovery, b.report.recovery, "run {}", a.index);
+        }
+    }
+}
+
+/// `run_fleet_on_faulted` with the empty plan is exactly `run_fleet_on`.
+#[test]
+fn faulted_fleet_with_empty_plan_matches_plain_fleet() {
+    let loc = locations();
+    let wf = workflows::fig5_safe_workflow(&loc);
+    let tb = TestbedSubstrate::for_stage(Stage::Testbed);
+    let jobs: Vec<(&dyn Substrate, &Workflow)> = vec![(&tb, &wf), (&tb, &wf)];
+    let plain = run_fleet_on(&jobs, 2);
+    let faulted = run_fleet_on_faulted(&jobs, 2, &FaultPlan::none());
+    assert_eq!(faulted.total_faults_injected(), 0);
+    for (a, b) in plain.runs.iter().zip(faulted.runs.iter()) {
+        assert_eq!(a.report.executed, b.report.executed);
+        assert_eq!(a.report.lab_time_s, b.report.lab_time_s);
+        assert_eq!(
+            a.report.alert.as_ref().map(ToString::to_string),
+            b.report.alert.as_ref().map(ToString::to_string)
+        );
+    }
+}
+
+/// Substrate-carried plans flow through `instantiate()`: a testbed
+/// profile armed with a drop-everything plan alerts on its own, and a
+/// quarantine policy instead completes the run degraded.
+#[test]
+fn substrate_carried_plans_arm_on_instantiate() {
+    let loc = locations();
+    let wf = workflows::fig5_safe_workflow(&loc);
+    let plan = FaultPlan::seeded(5).with(
+        FaultKind::DropCommand,
+        FaultSchedule::EveryNth {
+            period: 1,
+            offset: 0,
+        },
+    );
+    let substrate = TestbedSubstrate::for_stage(Stage::Testbed).with_fault_plan(plan);
+    let (mut lab, mut rabit) = substrate.instantiate();
+    assert!(lab.has_fault_session(), "the carried plan must arm");
+    let report = rabit.run(&mut lab, wf.commands());
+    assert!(
+        !report.completed(),
+        "dropping every command must trip the malfunction check"
+    );
+    assert!(report.faults_injected > 0);
+
+    // The same substrate under quarantine, on a workflow that only
+    // drives the hopeless device: it is isolated after the first
+    // exhausted retry and the run continues degraded instead of halting.
+    // (On the full Fig. 5 workflow a quarantined device's un-executed
+    // commands legitimately trip later rule preconditions — quarantine
+    // is degraded continuation, not rule suppression.)
+    let doors_only = Workflow::new("doors_only")
+        .set_door("dosing_device", true)
+        .set_door("dosing_device", false);
+    let (mut lab, mut rabit) = substrate.instantiate();
+    rabit.config_mut().recovery = RecoveryPolicy::Quarantine(RetryPolicy::default());
+    let report = rabit.run(&mut lab, doors_only.commands());
+    assert!(
+        report.completed(),
+        "quarantine never alerts: {:?}",
+        report.alert
+    );
+    assert_eq!(report.recovery.quarantined, 1);
+    assert_eq!(report.recovery.skipped_quarantined, 1);
+    assert!(rabit.is_quarantined(&"dosing_device".into()));
+}
