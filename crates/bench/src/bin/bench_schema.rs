@@ -1,0 +1,56 @@
+//! Validates every `BENCH_*.json` artifact in the working directory.
+//!
+//! Each artifact must parse as JSON and carry the shared envelope
+//! (`name` / `config` / `results`, see [`rabit_bench::schema`]). CI runs
+//! this after the bench smoke pass, so a bench that regresses its output
+//! shape fails the build instead of silently breaking the README perf
+//! table.
+//!
+//! Exits non-zero and lists the offending files if any artifact is
+//! missing the envelope; also fails when no `BENCH_*.json` exists at all
+//! (the check would otherwise pass vacuously from the wrong directory).
+
+use rabit_bench::schema;
+use rabit_util::Json;
+
+fn main() {
+    let mut names: Vec<String> = std::fs::read_dir(".")
+        .expect("read working directory")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+
+    if names.is_empty() {
+        eprintln!("bench_schema: no BENCH_*.json artifacts found in the working directory");
+        std::process::exit(1);
+    }
+
+    let mut failures = Vec::new();
+    for name in &names {
+        let verdict = std::fs::read_to_string(name)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("invalid JSON: {e:?}")))
+            .and_then(|json| schema::validate(&json));
+        match verdict {
+            Ok(()) => println!("ok   {name}"),
+            Err(why) => {
+                println!("FAIL {name}: {why}");
+                failures.push(name.clone());
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("{} artifact(s) valid", names.len());
+    } else {
+        eprintln!(
+            "bench_schema: {}/{} artifact(s) failed: {}",
+            failures.len(),
+            names.len(),
+            failures.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

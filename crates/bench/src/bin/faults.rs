@@ -159,12 +159,14 @@ fn main() {
     );
 
     // --- BENCH_faults.json -------------------------------------------------
-    let json = Json::obj([
+    let config = Json::obj([
         ("quick_mode", Json::Bool(quick)),
         ("seed", Json::Num(seed as f64)),
         ("runs_per_family", Json::Num(runs as f64)),
         ("threads", Json::Num(threads as f64)),
         ("substrate", Json::Str(substrate.name().to_string())),
+    ]);
+    let results = Json::obj([
         (
             "clean_baseline",
             Json::obj([
@@ -182,7 +184,5 @@ fn main() {
             ),
         ),
     ]);
-    let path = "BENCH_faults.json";
-    std::fs::write(path, json.to_pretty() + "\n").expect("write BENCH_faults.json");
-    println!("wrote {path}");
+    rabit_bench::schema::write_artifact("faults", config, results);
 }

@@ -202,8 +202,13 @@ fn main() {
     );
 
     // --- BENCH_fleet.json -------------------------------------------------
-    let json = Json::obj([
+    let config = Json::obj([
         ("quick_mode", Json::Bool(quick)),
+        ("fleet_runs", Json::Num(fleet_runs as f64)),
+        ("repeats", Json::Num(repeats as f64)),
+        ("hardware_threads", Json::Num(hw_threads as f64)),
+    ]);
+    let results = Json::obj([
         (
             "fleet",
             Json::obj([
@@ -271,7 +276,5 @@ fn main() {
             ),
         ),
     ]);
-    let path = "BENCH_fleet.json";
-    std::fs::write(path, json.to_pretty() + "\n").expect("write BENCH_fleet.json");
-    println!("wrote {path}");
+    rabit_bench::schema::write_artifact("fleet", config, results);
 }

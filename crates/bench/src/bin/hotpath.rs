@@ -355,8 +355,13 @@ fn main() {
     );
 
     // --- BENCH_hotpath.json -----------------------------------------------
-    let json = Json::obj([
+    let config = Json::obj([
         ("quick_mode", Json::Bool(quick)),
+        ("dispatch_iters", Json::Num(dispatch_iters as f64)),
+        ("cache_laps", Json::Num(cache_laps as f64)),
+        ("fleet_laps", Json::Num(fleet_laps as f64)),
+    ]);
+    let results = Json::obj([
         (
             "rule_dispatch",
             Json::obj([
@@ -404,7 +409,5 @@ fn main() {
             ]),
         ),
     ]);
-    let path = "BENCH_hotpath.json";
-    std::fs::write(path, json.to_pretty() + "\n").expect("write BENCH_hotpath.json");
-    println!("wrote {path}");
+    rabit_bench::schema::write_artifact("hotpath", config, results);
 }

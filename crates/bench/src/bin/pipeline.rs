@@ -201,9 +201,11 @@ fn main() {
     );
 
     // --- BENCH_pipeline.json ----------------------------------------------
-    let json = Json::obj([
+    let config = Json::obj([
         ("quick_mode", Json::Bool(quick)),
         ("runs_per_stage", Json::Num(runs as f64)),
+    ]);
+    let results = Json::obj([
         (
             "stages",
             Json::Arr(
@@ -231,7 +233,5 @@ fn main() {
             ]),
         ),
     ]);
-    let path = "BENCH_pipeline.json";
-    std::fs::write(path, json.to_pretty() + "\n").expect("write BENCH_pipeline.json");
-    println!("wrote {path}");
+    rabit_bench::schema::write_artifact("pipeline", config, results);
 }

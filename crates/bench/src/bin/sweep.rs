@@ -1,0 +1,172 @@
+//! Adaptive conservative-advancement sweep benchmark.
+//!
+//! Runs the standard fleet workload — serial guarded fig5 safe-workflow
+//! runs on the testbed, verdict cache disabled so every validation
+//! really sweeps — under the dense sampling kernel and the adaptive
+//! conservative-advancement kernel, and compares:
+//!
+//! * wall time per command,
+//! * polling-grid samples evaluated versus skipped,
+//! * narrow-phase obstacle tests (the cost the kernel exists to cut),
+//! * clearance distance queries (the price the kernel pays instead).
+//!
+//! The two configurations must agree on every verdict — the adaptive
+//! kernel only skips samples it proves hit-free — so the benchmark
+//! asserts all runs complete in both modes.
+//!
+//! Writes `BENCH_sweep.json` and prints the tables. `--quick` runs a
+//! reduced pass for CI smoke checks.
+//!
+//! Run with `cargo run --release -p rabit-bench --bin sweep`.
+
+use rabit_bench::report::render_table;
+use rabit_buginject::RabitStage;
+use rabit_testbed::{workflows, Testbed};
+use rabit_tracer::Tracer;
+use rabit_util::Json;
+use std::time::Instant;
+
+struct SweepResult {
+    wall_s: f64,
+    commands: usize,
+    samples_checked: u64,
+    samples_skipped: u64,
+    narrow_checks: u64,
+    distance_queries: u64,
+}
+
+/// Serial guarded runs of the fig5 safe workflow with a fresh lab per
+/// lap and one long-lived engine, the shape of a deployed RABIT
+/// instance. The verdict cache is off so every lap's validations sweep.
+fn run_workload(laps: usize, dense: bool) -> SweepResult {
+    let tb = Testbed::new();
+    let wf = workflows::fig5_safe_workflow(&tb.locations);
+    let mut sim = tb.extended_simulator(false);
+    sim.config_mut().verdict_cache = false;
+    sim.config_mut().dense_sampling = dense;
+    let mut rabit = tb.rabit(RabitStage::Modified).with_validator(Box::new(sim));
+    rabit.config_mut().first_violation_only = true;
+
+    let mut labs: Vec<_> = (0..laps).map(|_| Testbed::new().lab).collect();
+    let t0 = Instant::now();
+    for lab in &mut labs {
+        let report = Tracer::guarded(lab, &mut rabit).run(&wf);
+        assert!(report.completed(), "fig5 safe workflow must complete");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let (samples_checked, samples_skipped, distance_queries) = rabit.validator_sweep_stats();
+    SweepResult {
+        wall_s,
+        commands: laps * wf.len(),
+        samples_checked,
+        samples_skipped,
+        narrow_checks: rabit.validator_narrow_checks(),
+        distance_queries,
+    }
+}
+
+/// Best-of-N wall clock over fresh workloads; counters are deterministic
+/// across repeats, so the last repeat's are as good as any.
+fn best_of(repeats: usize, laps: usize, dense: bool) -> SweepResult {
+    let mut best = run_workload(laps, dense);
+    for _ in 1..repeats {
+        let next = run_workload(laps, dense);
+        assert_eq!(
+            next.samples_checked, best.samples_checked,
+            "sweep counters must be deterministic across repeats"
+        );
+        best.wall_s = best.wall_s.min(next.wall_s);
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (laps, repeats) = if quick { (4, 1) } else { (24, 3) };
+
+    let dense = best_of(repeats, laps, true);
+    let adaptive = best_of(repeats, laps, false);
+
+    assert_eq!(
+        dense.samples_skipped, 0,
+        "dense sampling must not skip anything"
+    );
+    let total = adaptive.samples_checked + adaptive.samples_skipped;
+    assert_eq!(
+        total, dense.samples_checked,
+        "both kernels must walk the same polling grid"
+    );
+    let skip_rate = adaptive.samples_skipped as f64 / total.max(1) as f64;
+    let narrow_reduction = dense.narrow_checks as f64 / adaptive.narrow_checks.max(1) as f64;
+    let dense_ns = dense.wall_s / dense.commands as f64 * 1e9;
+    let adaptive_ns = adaptive.wall_s / adaptive.commands as f64 * 1e9;
+
+    println!(
+        "Adaptive sweep ({laps} laps of the fig5 safe workflow, \
+         verdict cache off, best of {repeats})\n"
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "kernel",
+                "ns/command",
+                "samples checked",
+                "samples skipped",
+                "narrow checks",
+                "distance queries",
+            ],
+            &[
+                vec![
+                    "dense".into(),
+                    format!("{dense_ns:.0}"),
+                    dense.samples_checked.to_string(),
+                    dense.samples_skipped.to_string(),
+                    dense.narrow_checks.to_string(),
+                    dense.distance_queries.to_string(),
+                ],
+                vec![
+                    "adaptive".into(),
+                    format!("{adaptive_ns:.0}"),
+                    adaptive.samples_checked.to_string(),
+                    adaptive.samples_skipped.to_string(),
+                    adaptive.narrow_checks.to_string(),
+                    adaptive.distance_queries.to_string(),
+                ],
+            ]
+        )
+    );
+    println!(
+        "skip rate: {:.1}%   narrow-phase reduction: {:.2}x   wall speedup: {:.2}x",
+        skip_rate * 100.0,
+        narrow_reduction,
+        dense.wall_s / adaptive.wall_s
+    );
+
+    let side = |r: &SweepResult, ns: f64| {
+        Json::obj([
+            ("wall_seconds", Json::Num(r.wall_s)),
+            ("ns_per_command", Json::Num(ns)),
+            ("commands", Json::Num(r.commands as f64)),
+            ("samples_checked", Json::Num(r.samples_checked as f64)),
+            ("samples_skipped", Json::Num(r.samples_skipped as f64)),
+            ("narrow_checks", Json::Num(r.narrow_checks as f64)),
+            ("distance_queries", Json::Num(r.distance_queries as f64)),
+        ])
+    };
+    let config = Json::obj([
+        ("quick_mode", Json::Bool(quick)),
+        ("laps", Json::Num(laps as f64)),
+        ("repeats", Json::Num(repeats as f64)),
+        ("workflow", Json::Str("fig5_safe".into())),
+        ("verdict_cache", Json::Bool(false)),
+    ]);
+    let results = Json::obj([
+        ("dense", side(&dense, dense_ns)),
+        ("adaptive", side(&adaptive, adaptive_ns)),
+        ("skip_rate", Json::Num(skip_rate)),
+        ("narrow_phase_reduction", Json::Num(narrow_reduction)),
+        ("wall_speedup", Json::Num(dense.wall_s / adaptive.wall_s)),
+    ]);
+    rabit_bench::schema::write_artifact("sweep", config, results);
+}

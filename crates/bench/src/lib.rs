@@ -31,5 +31,6 @@
 pub mod latency;
 pub mod report;
 pub mod scenarios;
+pub mod schema;
 pub mod stages;
 pub mod timing;

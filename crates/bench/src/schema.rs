@@ -1,0 +1,125 @@
+//! The shared envelope for `BENCH_*.json` artifacts.
+//!
+//! Every benchmark binary that persists results writes one JSON file with
+//! the same top-level shape, so downstream tooling (the README perf
+//! table, the CI schema check) can consume any artifact without knowing
+//! which bench produced it:
+//!
+//! ```json
+//! {
+//!   "name": "sweep",
+//!   "config": { "quick_mode": false, "laps": 24 },
+//!   "results": { "...": "bench-specific payload" }
+//! }
+//! ```
+//!
+//! * `name` — the bench binary's name (non-empty string);
+//! * `config` — the knobs the run was configured with (object);
+//! * `results` — the measured payload (object).
+//!
+//! [`write_artifact`] builds and writes the envelope; [`validate`]
+//! checks an already-parsed artifact (the `bench_schema` binary runs it
+//! over every `BENCH_*.json` in the repository).
+
+use rabit_util::Json;
+
+/// Builds the `{name, config, results}` envelope.
+pub fn envelope(name: &str, config: Json, results: Json) -> Json {
+    Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("config", config),
+        ("results", results),
+    ])
+}
+
+/// Checks that `json` is a valid bench artifact envelope: a top-level
+/// object carrying a non-empty string `name`, an object `config`, and an
+/// object `results`. Extra top-level keys are allowed.
+pub fn validate(json: &Json) -> Result<(), String> {
+    if json.as_obj().is_none() {
+        return Err("top level is not an object".to_string());
+    }
+    match json.get("name").and_then(Json::as_str) {
+        None => return Err("missing or non-string \"name\"".to_string()),
+        Some("") => return Err("\"name\" is empty".to_string()),
+        Some(_) => {}
+    }
+    for key in ["config", "results"] {
+        match json.get(key) {
+            None => return Err(format!("missing \"{key}\"")),
+            Some(v) if v.as_obj().is_none() => return Err(format!("\"{key}\" is not an object")),
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Writes the enveloped artifact to `BENCH_<name>.json` in the current
+/// directory and prints the path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_artifact(name: &str, config: Json, results: Json) {
+    let json = envelope(name, config, results);
+    debug_assert!(
+        validate(&json).is_ok(),
+        "write_artifact builds valid envelopes"
+    );
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, json.to_pretty() + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips_and_validates() {
+        let json = envelope(
+            "sweep",
+            Json::obj([("quick_mode", Json::Bool(true))]),
+            Json::obj([("speedup", Json::Num(5.0))]),
+        );
+        validate(&json).expect("fresh envelope is valid");
+        let reparsed = Json::parse(&json.to_pretty()).expect("pretty output parses");
+        validate(&reparsed).expect("round-tripped envelope is valid");
+        assert_eq!(reparsed.get("name").and_then(Json::as_str), Some("sweep"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_artifacts() {
+        let cases = [
+            (Json::Num(3.0), "top level"),
+            (Json::obj([("config", Json::obj([]))]), "name"),
+            (
+                Json::obj([("name", Json::Str("x".into())), ("config", Json::obj([]))]),
+                "results",
+            ),
+            (
+                Json::obj([
+                    ("name", Json::Str("x".into())),
+                    ("config", Json::Num(1.0)),
+                    ("results", Json::obj([])),
+                ]),
+                "config",
+            ),
+            (
+                Json::obj([
+                    ("name", Json::Str("".into())),
+                    ("config", Json::obj([])),
+                    ("results", Json::obj([])),
+                ]),
+                "name",
+            ),
+        ];
+        for (json, expect) in cases {
+            let err = validate(&json).expect_err("malformed artifact must fail");
+            assert!(
+                err.contains(expect),
+                "error {err:?} should mention {expect:?}"
+            );
+        }
+    }
+}

@@ -90,6 +90,15 @@ pub struct RunReport {
     /// Trajectory validations that missed the verdict cache and ran in
     /// full during this run.
     pub cache_misses: u64,
+    /// Trajectory polling-grid samples the validator collision-checked
+    /// during this run (zero without a sweeping validator).
+    pub samples_checked: u64,
+    /// Polling-grid samples the validator's adaptive sweep kernel proved
+    /// hit-free and skipped during this run (zero for dense validators).
+    pub samples_skipped: u64,
+    /// Per-obstacle signed-distance evaluations the validator issued for
+    /// skip decisions during this run.
+    pub distance_queries: u64,
     /// Recovery activity during this run (retries, recoveries,
     /// quarantines, safe-stops). All zeros under
     /// [`RecoveryPolicy::AlertImmediately`].
@@ -111,6 +120,14 @@ impl RunReport {
     pub fn cache_hit_rate(&self) -> Option<f64> {
         let total = self.cache_hits + self.cache_misses;
         (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Fraction of this run's trajectory grid samples the adaptive sweep
+    /// kernel skipped, `skipped / (checked + skipped)`, or `None` if the
+    /// validator processed no samples.
+    pub fn skip_rate(&self) -> Option<f64> {
+        let total = self.samples_checked + self.samples_skipped;
+        (total > 0).then(|| self.samples_skipped as f64 / total as f64)
     }
 }
 
@@ -220,6 +237,21 @@ impl Rabit {
         self.validator
             .as_ref()
             .map_or((0, 0), |v| (v.cache_hits(), v.cache_misses()))
+    }
+
+    /// Sweep-kernel counters of the attached validator as
+    /// `(samples_checked, samples_skipped, distance_queries)` — all zero
+    /// when no validator is attached or it does no sampling sweep.
+    /// Instrumentation for the adaptive conservative-advancement
+    /// benchmarks.
+    pub fn validator_sweep_stats(&self) -> (u64, u64, u64) {
+        self.validator.as_ref().map_or((0, 0, 0), |v| {
+            (
+                v.samples_checked(),
+                v.samples_skipped(),
+                v.distance_queries(),
+            )
+        })
     }
 
     /// The rulebase (for inspection/extension).
@@ -477,6 +509,7 @@ impl Rabit {
         let t0 = lab.clock().now_s();
         let overhead0 = self.overhead_s;
         let (hits0, misses0) = self.validator_cache_stats();
+        let (checked0, skipped0, dist0) = self.validator_sweep_stats();
         let recovery0 = self.recovery_totals;
         self.initialize(lab);
         let faults0 = lab.fault_stats().total_injected();
@@ -496,6 +529,7 @@ impl Rabit {
             }
         }
         let (hits1, misses1) = self.validator_cache_stats();
+        let (checked1, skipped1, dist1) = self.validator_sweep_stats();
         RunReport {
             executed,
             alert,
@@ -503,6 +537,9 @@ impl Rabit {
             rabit_overhead_s: self.overhead_s - overhead0,
             cache_hits: hits1 - hits0,
             cache_misses: misses1 - misses0,
+            samples_checked: checked1 - checked0,
+            samples_skipped: skipped1 - skipped0,
+            distance_queries: dist1 - dist0,
             recovery: self.recovery_totals.since(&recovery0),
             faults_injected: lab.fault_stats().total_injected() - faults0,
         }
@@ -533,6 +570,9 @@ impl Rabit {
             rabit_overhead_s: 0.0,
             cache_hits: 0,
             cache_misses: 0,
+            samples_checked: 0,
+            samples_skipped: 0,
+            distance_queries: 0,
             recovery: RecoveryCounters::default(),
             faults_injected: lab.fault_stats().total_injected(),
         }

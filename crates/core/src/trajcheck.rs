@@ -107,6 +107,26 @@ pub trait TrajectoryValidator: Send {
     fn cache_misses(&self) -> u64 {
         0
     }
+
+    /// Trajectory polling-grid samples this validator actually
+    /// collision-checked. Validators without a sampling sweep report
+    /// zero.
+    fn samples_checked(&self) -> u64 {
+        0
+    }
+
+    /// Polling-grid samples an adaptive sweep kernel proved hit-free
+    /// from clearance and motion bounds and skipped without checking.
+    /// Dense validators report zero.
+    fn samples_skipped(&self) -> u64 {
+        0
+    }
+
+    /// Per-obstacle signed-distance evaluations issued while measuring
+    /// clearance for skip decisions. Dense validators report zero.
+    fn distance_queries(&self) -> u64 {
+        0
+    }
 }
 
 /// A validator that approves everything — useful as a baseline and in

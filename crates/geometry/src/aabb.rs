@@ -108,6 +108,17 @@ impl Aabb {
             && self.max.z >= other.min.z
     }
 
+    /// Returns `true` if `other` lies entirely inside `self` (shared
+    /// boundary counts as contained).
+    pub fn contains_aabb(&self, other: &Aabb) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.min.z <= other.min.z
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+            && self.max.z >= other.max.z
+    }
+
     /// The closest point inside the box to `p` (is `p` itself when
     /// `p` is inside).
     #[inline]
@@ -118,6 +129,19 @@ impl Aabb {
     /// Euclidean distance from `p` to the box (0 when inside).
     pub fn distance_to_point(&self, p: Vec3) -> f64 {
         (p - self.closest_point(p)).norm()
+    }
+
+    /// Euclidean gap between two boxes (0 when they overlap or touch).
+    ///
+    /// A lower bound on the distance between any shapes the boxes
+    /// enclose, which makes it a cheap prefilter before exact
+    /// narrow-phase distance evaluations.
+    pub fn distance_to(&self, other: &Aabb) -> f64 {
+        let gap = |lo_a: f64, hi_a: f64, lo_b: f64, hi_b: f64| (lo_b - hi_a).max(lo_a - hi_b);
+        let dx = gap(self.min.x, self.max.x, other.min.x, other.max.x).max(0.0);
+        let dy = gap(self.min.y, self.max.y, other.min.y, other.max.y).max(0.0);
+        let dz = gap(self.min.z, self.max.z, other.min.z, other.max.z).max(0.0);
+        (dx * dx + dy * dy + dz * dz).sqrt()
     }
 
     /// Returns this box grown by `margin` on every side.
@@ -221,6 +245,22 @@ mod tests {
     }
 
     #[test]
+    fn box_to_box_distance() {
+        let a = unit_box();
+        // Overlapping and touching boxes have zero gap.
+        assert_eq!(a.distance_to(&a), 0.0);
+        let touching = Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
+        assert_eq!(a.distance_to(&touching), 0.0);
+        // Axis-aligned gap.
+        let along_x = Aabb::new(Vec3::new(3.0, 0.0, 0.0), Vec3::new(4.0, 1.0, 1.0));
+        assert!((a.distance_to(&along_x) - 2.0).abs() < 1e-12);
+        // Diagonal gap of (1, 1, 1) between nearest corners.
+        let diagonal = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        assert!((a.distance_to(&diagonal) - 3.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.distance_to(&diagonal), diagonal.distance_to(&a));
+    }
+
+    #[test]
     fn corner_order_is_normalized() {
         let a = Aabb::new(Vec3::splat(1.0), Vec3::ZERO);
         assert_eq!(a.min(), Vec3::ZERO);
@@ -261,6 +301,17 @@ mod tests {
         // Touching faces count as intersecting.
         let d = Aabb::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 1.0, 1.0));
         assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn aabb_containment() {
+        let a = unit_box();
+        assert!(a.contains_aabb(&a)); // boundary counts
+        assert!(a.contains_aabb(&Aabb::new(Vec3::splat(0.2), Vec3::splat(0.8))));
+        // Overlapping but poking out on one axis.
+        assert!(!a.contains_aabb(&Aabb::new(Vec3::splat(0.5), Vec3::new(0.9, 1.2, 0.9))));
+        assert!(!a.contains_aabb(&Aabb::new(Vec3::splat(-0.1), Vec3::splat(0.5))));
+        assert!(!a.contains_aabb(&Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0))));
     }
 
     #[test]

@@ -184,6 +184,92 @@ impl Bvh {
         }
         out.sort_unstable();
     }
+
+    /// As [`Bvh::query_into`], seeded by the previous query's result via
+    /// `cache` — the temporal-coherence fast path for trajectory sweeps,
+    /// where consecutive probes are nearly identical.
+    ///
+    /// On a cache miss the tree is walked once with the probe inflated by
+    /// `slack` on every side and the resulting candidate *superset* is
+    /// remembered; as long as subsequent probes stay inside the inflated
+    /// box, they are answered by filtering that superset against the exact
+    /// probe — no tree walk. The output is always exactly equal to
+    /// `query_into(probe, out)`: the superset contains every box that can
+    /// overlap any probe within the inflated bounds, and the final per-box
+    /// filter is the same one the tree walk applies at its leaves.
+    ///
+    /// The cache is only meaningful against the tree that filled it:
+    /// callers must [`QueryCache::clear`] it whenever the obstacle set (and
+    /// hence the tree) is rebuilt.
+    pub fn query_into_cached(
+        &self,
+        probe: &Aabb,
+        slack: f64,
+        cache: &mut QueryCache,
+        out: &mut Vec<usize>,
+    ) {
+        if let Some(cached) = &cache.probe {
+            if cached.contains_aabb(probe) {
+                cache.hits += 1;
+                out.clear();
+                out.extend(
+                    cache
+                        .superset
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.boxes[i].intersects(probe)),
+                );
+                return;
+            }
+        }
+        cache.misses += 1;
+        let inflated = probe.inflated(slack.max(0.0));
+        self.query_into(&inflated, &mut cache.superset);
+        cache.probe = Some(inflated);
+        out.clear();
+        out.extend(
+            cache
+                .superset
+                .iter()
+                .copied()
+                .filter(|&i| self.boxes[i].intersects(probe)),
+        );
+    }
+}
+
+/// Reusable state for [`Bvh::query_into_cached`]: the last inflated probe
+/// and the candidate superset collected for it, plus hit/miss statistics.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCache {
+    probe: Option<Aabb>,
+    /// All box indices intersecting `probe`, ascending (a query_into result).
+    superset: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        QueryCache::default()
+    }
+
+    /// Invalidates the cached superset (keeps the statistics). Must be
+    /// called whenever the [`Bvh`] the cache was used against is rebuilt.
+    pub fn clear(&mut self) {
+        self.probe = None;
+        self.superset.clear();
+    }
+
+    /// Queries answered from the cached superset without walking the tree.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Queries that had to walk the tree (including the first).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
 }
 
 fn widest_axis(spread: Vec3) -> usize {
@@ -275,6 +361,35 @@ mod tests {
         let hits = bvh.query(&probe);
         assert!(hits.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(hits.len(), boxes.len());
+    }
+
+    #[test]
+    fn cached_queries_match_fresh_queries_exactly() {
+        let boxes = grid_boxes(4);
+        let bvh = Bvh::build(&boxes);
+        let mut cache = QueryCache::new();
+        let mut cached = Vec::new();
+        let mut fresh = Vec::new();
+        // A slow diagonal sweep: consecutive probes overlap heavily, so most
+        // queries should be answered from the cached superset.
+        for k in 0..80 {
+            let c = Vec3::splat(k as f64 * 0.1);
+            let probe = Aabb::from_center_half_extents(c, Vec3::splat(0.6));
+            bvh.query_into_cached(&probe, 0.5, &mut cache, &mut cached);
+            bvh.query_into(&probe, &mut fresh);
+            assert_eq!(cached, fresh, "step {k}");
+        }
+        assert!(cache.hits() > cache.misses(), "coherent sweep should hit");
+        // A far jump misses and refills.
+        let far = Aabb::from_center_half_extents(Vec3::splat(100.0), Vec3::splat(1.0));
+        let misses_before = cache.misses();
+        bvh.query_into_cached(&far, 0.5, &mut cache, &mut cached);
+        assert!(cached.is_empty());
+        assert_eq!(cache.misses(), misses_before + 1);
+        // clear() invalidates: the next identical probe walks the tree again.
+        cache.clear();
+        bvh.query_into_cached(&far, 0.5, &mut cache, &mut cached);
+        assert_eq!(cache.misses(), misses_before + 2);
     }
 
     #[test]

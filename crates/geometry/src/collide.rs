@@ -26,6 +26,28 @@ pub fn segment_aabb_distance(seg: &Segment, aabb: &Aabb) -> f64 {
     {
         return 0.0;
     }
+    // Fast path: the segment lies entirely beyond one face of the box
+    // while its projection on the other two axes stays inside the box's
+    // extent. The point-box distance then reduces to the face gap, which
+    // is affine in the segment parameter, so the exact minimum is at an
+    // endpoint. This is the common case for arm capsules hovering over a
+    // platform slab, where it replaces the full ternary search.
+    let a = [seg.a.x, seg.a.y, seg.a.z];
+    let b = [seg.b.x, seg.b.y, seg.b.z];
+    let min = [aabb.min().x, aabb.min().y, aabb.min().z];
+    let max = [aabb.max().x, aabb.max().y, aabb.max().z];
+    for k in 0..3 {
+        let covered = |j: usize| a[j].min(b[j]) >= min[j] && a[j].max(b[j]) <= max[j];
+        if !(covered((k + 1) % 3) && covered((k + 2) % 3)) {
+            continue;
+        }
+        if a[k] >= max[k] && b[k] >= max[k] {
+            return a[k].min(b[k]) - max[k];
+        }
+        if a[k] <= min[k] && b[k] <= min[k] {
+            return min[k] - a[k].max(b[k]);
+        }
+    }
     let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
     for _ in 0..TERNARY_ITERS {
         let m1 = lo + (hi - lo) / 3.0;
@@ -132,6 +154,42 @@ mod tests {
         // (1.75, 1.75, 1.0); distance = sqrt(0.75^2 * 2).
         let expect = (2.0 * 0.75_f64 * 0.75).sqrt();
         assert!((segment_aabb_distance(&seg, &unit_box()) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn face_gap_fast_path_is_exact() {
+        // Segments hovering over (or beside) a slab, footprint-contained:
+        // the closed-form face gap must equal the affine minimum exactly
+        // and agree with a brute-force scan along the segment.
+        let slab = Aabb::new(Vec3::new(-2.0, -2.0, -0.3), Vec3::new(2.0, 2.0, 0.0));
+        let cases = [
+            // Tilted above the slab: minimum at the lower endpoint.
+            (
+                Segment::new(Vec3::new(0.1, 0.4, 0.25), Vec3::new(-0.6, 1.2, 0.07)),
+                0.07,
+            ),
+            // Level above.
+            (
+                Segment::new(Vec3::new(-1.0, 0.0, 0.5), Vec3::new(1.0, 0.5, 0.5)),
+                0.5,
+            ),
+            // Beyond the +x face of a small box (checked below).
+        ];
+        for (seg, expect) in &cases {
+            let d = segment_aabb_distance(seg, &slab);
+            assert!((d - expect).abs() < 1e-12, "got {d}, expected {expect}");
+            // Brute-force lower bound check.
+            let brute = (0..=1000)
+                .map(|i| slab.distance_to_point(seg.point_at(i as f64 / 1000.0)))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                d <= brute + 1e-12,
+                "closed form {d} above brute force {brute}"
+            );
+        }
+        let small = unit_box();
+        let side = Segment::new(Vec3::new(1.4, 0.2, 0.3), Vec3::new(1.9, 0.8, 0.7));
+        assert!((segment_aabb_distance(&side, &small) - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! checks need — joint limits, link radii, a gripper, and held objects.
 
 use crate::chain::{DhChain, JointConfig, JointLimits};
+use crate::sweep::MotionBound;
 use rabit_geometry::{Capsule, Vec3};
 
 /// Gripper open/closed state.
@@ -185,22 +186,68 @@ impl ArmModel {
         held: Option<&HeldObject>,
         out: &mut Vec<Capsule>,
     ) {
+        let poses = self.chain.joint_poses(config.angles());
+        self.capsules_from_poses(&poses, held, out);
+    }
+
+    /// Builds the capsule set from already-computed joint poses (one full
+    /// forward-kinematics pass), e.g. from [`DhChain::joint_poses`] or a
+    /// window of [`DhChain::joint_poses_batch`]. Clears `out` first.
+    /// `link_capsules_into(q, …)` is exactly
+    /// `capsules_from_poses(&chain.joint_poses(q), …)`.
+    pub fn capsules_from_poses(
+        &self,
+        poses: &[rabit_geometry::Pose; 7],
+        held: Option<&HeldObject>,
+        out: &mut Vec<Capsule>,
+    ) {
         out.clear();
-        let pts = self.chain.joint_positions(config.angles());
         for i in 0..6 {
-            out.push(Capsule::new(pts[i], pts[i + 1], self.link_radii[i]));
+            out.push(Capsule::new(
+                poses[i].translation,
+                poses[i + 1].translation,
+                self.link_radii[i],
+            ));
         }
-        let ee = self.chain.end_effector_pose(config.angles());
-        let tip = ee.transform_point(Vec3::new(0.0, 0.0, self.gripper_length));
-        let mut gripper = Capsule::new(pts[6], tip, self.gripper_radius);
+        let wrist = poses[6].translation;
+        let tip = poses[6].transform_point(Vec3::new(0.0, 0.0, self.gripper_length));
+        let mut gripper = Capsule::new(wrist, tip, self.gripper_radius);
         if let Some(obj) = held {
             // Extend the gripper capsule along its axis by the held
             // object's length, and widen it by the object's radius.
-            let axis = (tip - pts[6]).normalized().unwrap_or(Vec3::Z * -1.0);
+            let axis = (tip - wrist).normalized().unwrap_or(Vec3::Z * -1.0);
             let extended_tip = tip + axis * obj.length_below_gripper;
-            gripper = Capsule::new(pts[6], extended_tip, self.gripper_radius.max(obj.radius));
+            gripper = Capsule::new(wrist, extended_tip, self.gripper_radius.max(obj.radius));
         }
         out.push(gripper);
+    }
+
+    /// Precomputes the Lipschitz motion bound for this arm (optionally
+    /// carrying `held`): for each joint, the maximum Cartesian displacement
+    /// of every downstream capsule per radian of joint motion, from the
+    /// cumulative rigid link lengths `√(a² + d²)` of the DH rows. See
+    /// [`MotionBound`] for the soundness argument.
+    pub fn motion_bound(&self, held: Option<&HeldObject>) -> MotionBound {
+        let mut lens = [0.0; 6];
+        for (len, p) in lens.iter_mut().zip(self.chain.params().iter()) {
+            *len = (p.a * p.a + p.d * p.d).sqrt();
+        }
+        let tool = self.gripper_length + held.map_or(0.0, |o| o.length_below_gripper);
+        let mut reach = [[0.0; crate::sweep::CAPSULE_COUNT]; 6];
+        #[allow(clippy::needless_range_loop)] // triangular fill over joint index pairs
+        for j in 0..6 {
+            let mut acc = 0.0;
+            for l in j..6 {
+                acc += lens[l];
+                reach[j][l] = acc;
+            }
+            reach[j][6] = acc + tool;
+        }
+        let mut wraps = [false; 6];
+        for (w, l) in wraps.iter_mut().zip(self.limits.iter()) {
+            *w = l.spans_full_circle();
+        }
+        MotionBound::new(reach, wraps)
     }
 
     /// Lowest point (world z) swept by the arm body in `config` — a quick

@@ -43,6 +43,21 @@ impl DhParam {
     }
 }
 
+/// Folds an angle (or angle difference) into `(-π, π]`.
+///
+/// This is the canonical representative of the angle on the circle: for a
+/// joint whose limits span a full revolution, `wrap_to_pi(b - a)` is the
+/// signed short-way-around move from `a` to `b`.
+pub fn wrap_to_pi(angle: f64) -> f64 {
+    let tau = std::f64::consts::TAU;
+    let w = angle.rem_euclid(tau);
+    if w > std::f64::consts::PI {
+        w - tau
+    } else {
+        w
+    }
+}
+
 /// Symmetric joint limits, radians.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JointLimits {
@@ -66,6 +81,14 @@ impl JointLimits {
     /// A full-revolution joint (±π).
     pub fn full_circle() -> Self {
         JointLimits::new(-std::f64::consts::PI, std::f64::consts::PI)
+    }
+
+    /// Returns `true` if these limits span a full revolution or more, i.e.
+    /// the joint can reach every orientation and "the short way around" is
+    /// always a legal motion. [`JointLimits::full_circle`] qualifies, as do
+    /// the ±2π wrists of the UR presets.
+    pub fn spans_full_circle(&self) -> bool {
+        self.max - self.min >= std::f64::consts::TAU - 1e-9
     }
 
     /// Returns `true` if `angle` is inside the limits.
@@ -129,6 +152,54 @@ impl JointConfig {
             out[i] = self.angles[i] + (other.angles[i] - self.angles[i]) * t;
         }
         JointConfig::new(out)
+    }
+
+    /// Limit-aware interpolation: like [`JointConfig::lerp`], but joints
+    /// whose limits span a full circle ([`JointLimits::spans_full_circle`])
+    /// take the short way around instead of winding the long way through
+    /// joint space. The interpolated angle of a wrapping joint is folded
+    /// back into `(-π, π]` so it stays inside `full_circle()` limits.
+    ///
+    /// Plain [`JointConfig::lerp`] is what executed trajectories use
+    /// (controllers interpolate raw joint coordinates); this variant is for
+    /// planning-side consumers that reason on the circle, such as the
+    /// Lipschitz motion bound and its property tests.
+    pub fn lerp_wrapped(
+        &self,
+        other: &JointConfig,
+        t: f64,
+        limits: &[JointLimits; 6],
+    ) -> JointConfig {
+        let mut out = [0.0; 6];
+        for i in 0..6 {
+            if limits[i].spans_full_circle() {
+                let d = wrap_to_pi(other.angles[i] - self.angles[i]);
+                out[i] = wrap_to_pi(self.angles[i] + d * t);
+            } else {
+                out[i] = self.angles[i] + (other.angles[i] - self.angles[i]) * t;
+            }
+        }
+        JointConfig::new(out)
+    }
+
+    /// Limit-aware L∞ distance: like [`JointConfig::max_joint_delta`], but
+    /// the delta of a joint whose limits span a full circle is wrapped into
+    /// `[0, π]` — going from `-3` rad to `3` rad on a `full_circle()` joint
+    /// is a 0.28 rad move, not a 6 rad one. Forward kinematics is 2π-periodic
+    /// in every revolute joint, so the wrapped delta is the one that bounds
+    /// Cartesian displacement between the two end configurations.
+    pub fn max_joint_delta_wrapped(&self, other: &JointConfig, limits: &[JointLimits; 6]) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..6 {
+            let raw = other.angles[i] - self.angles[i];
+            let d = if limits[i].spans_full_circle() {
+                wrap_to_pi(raw).abs()
+            } else {
+                raw.abs()
+            };
+            max = max.max(d);
+        }
+        max
     }
 
     /// L∞ distance in joint space (radians): the largest single-joint move.
@@ -220,6 +291,47 @@ impl DhChain {
             out[i + 1] = acc;
         }
         out
+    }
+
+    /// Batched forward kinematics over a window of configurations.
+    ///
+    /// Clears `out` and fills it with `joint_poses(configs[k])` for every
+    /// config in the window, without per-call allocation once `out` has
+    /// warmed up. The evaluation is column-major (one joint across the whole
+    /// window at a time), so a joint whose angle is constant across the
+    /// window — bitwise-identical in every config, common when only a few
+    /// joints move along a trajectory — has its frame transform (and the
+    /// trig inside it) computed once and reused for every config.
+    ///
+    /// The composition order is exactly that of [`DhChain::joint_poses`], so
+    /// the resulting poses are bit-identical to per-config evaluation.
+    pub fn joint_poses_batch(&self, configs: &[JointConfig], out: &mut Vec<[Pose; 7]>) {
+        out.clear();
+        if configs.is_empty() {
+            return;
+        }
+        out.resize(configs.len(), [Pose::IDENTITY; 7]);
+        for o in out.iter_mut() {
+            o[0] = self.base;
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            let theta0 = configs[0].angle(i);
+            let shared = if configs
+                .iter()
+                .all(|c| c.angle(i).to_bits() == theta0.to_bits())
+            {
+                Some(p.transform(theta0))
+            } else {
+                None
+            };
+            for (o, c) in out.iter_mut().zip(configs.iter()) {
+                let step = match &shared {
+                    Some(t) => *t,
+                    None => p.transform(c.angle(i)),
+                };
+                o[i + 1] = o[i].compose(&step);
+            }
+        }
     }
 
     /// Forward kinematics: the world-space end-effector pose.
@@ -355,6 +467,94 @@ mod tests {
         let c: JointConfig = [0.1; 6].into();
         assert_eq!(c.angle(5), 0.1);
         assert!(!format!("{b}").is_empty());
+    }
+
+    #[test]
+    fn wrap_to_pi_folds_into_half_open_pi_interval() {
+        use std::f64::consts::PI;
+        assert_eq!(wrap_to_pi(0.0), 0.0);
+        assert!((wrap_to_pi(3.0 * PI) - PI).abs() < 1e-12);
+        assert_eq!(wrap_to_pi(PI), PI);
+        assert!((wrap_to_pi(-PI) - PI).abs() < 1e-12); // -π maps to the +π representative
+        assert!((wrap_to_pi(6.0) - (6.0 - 2.0 * PI)).abs() < 1e-12);
+        assert!((wrap_to_pi(-6.0) - (2.0 * PI - 6.0)).abs() < 1e-12);
+        assert!((wrap_to_pi(7.0) - (7.0 - 2.0 * PI)).abs() < 1e-12);
+    }
+
+    /// Pins the satellite fix: on a `full_circle()` joint the interpolation
+    /// takes the short way around and the delta wraps, while bounded joints
+    /// keep the plain component-wise behaviour.
+    #[test]
+    fn wrapped_lerp_takes_the_short_way_on_full_circle_joints() {
+        use std::f64::consts::PI;
+        let mut limits = [JointLimits::new(-PI, PI); 6];
+        limits[1] = JointLimits::new(-1.5, 1.5); // bounded elbow: no wrapping
+        let a = JointConfig::new([3.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        let b = JointConfig::new([-3.0, -1.0, 0.0, 0.0, 0.0, 0.0]);
+
+        // Joint 0 goes 3.0 → -3.0 the short way: through π, not through 0.
+        let mid = a.lerp_wrapped(&b, 0.5, &limits);
+        assert!(
+            mid.angle(0).abs() > 3.0,
+            "short way passes near ±π, got {}",
+            mid.angle(0)
+        );
+        // Endpoints are recovered (up to the fold into (-π, π]).
+        assert!((a.lerp_wrapped(&b, 0.0, &limits).angle(0) - 3.0).abs() < 1e-12);
+        assert!((a.lerp_wrapped(&b, 1.0, &limits).angle(0) - (-3.0)).abs() < 1e-9);
+        // Every intermediate angle stays inside the declared limits.
+        for k in 0..=20 {
+            let q = a.lerp_wrapped(&b, k as f64 / 20.0, &limits);
+            for i in 0..6 {
+                assert!(
+                    limits[i].contains(q.angle(i)),
+                    "t={k} joint {i}: {}",
+                    q.angle(i)
+                );
+            }
+        }
+        // The bounded joint interpolates exactly like plain lerp.
+        assert_eq!(mid.angle(1), a.lerp(&b, 0.5).angle(1));
+
+        // Deltas: wrapped on joint 0 (2π - 6 ≈ 0.283), raw on joint 1 (2.0).
+        let wrapped = a.max_joint_delta_wrapped(&b, &limits);
+        assert!(
+            (wrapped - 2.0).abs() < 1e-12,
+            "bounded joint dominates: {wrapped}"
+        );
+        let only_j0 = JointConfig::new([3.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+            .max_joint_delta_wrapped(&JointConfig::new([-3.0, 0.0, 0.0, 0.0, 0.0, 0.0]), &limits);
+        assert!((only_j0 - (2.0 * PI - 6.0)).abs() < 1e-12);
+        // Plain delta still reports the long way (pinned by joint_config_operations).
+        assert_eq!(a.max_joint_delta(&b), 6.0);
+        assert!(limits[0].spans_full_circle());
+        assert!(!limits[1].spans_full_circle());
+        assert!(JointLimits::new(-2.0 * PI, 2.0 * PI).spans_full_circle());
+    }
+
+    #[test]
+    fn batched_fk_is_bit_identical_to_scalar_fk() {
+        let c = simple_chain();
+        // A window where joints 0, 3, 4 are constant (trig reuse path) and
+        // the rest vary per sample.
+        let configs: Vec<JointConfig> = (0..9)
+            .map(|k| {
+                let t = k as f64 * 0.17;
+                JointConfig::new([0.4, t.sin(), 0.3 * t, -1.2, 0.0, t.cos()])
+            })
+            .collect();
+        let mut batch = Vec::new();
+        c.joint_poses_batch(&configs, &mut batch);
+        assert_eq!(batch.len(), configs.len());
+        for (q, poses) in configs.iter().zip(batch.iter()) {
+            let scalar = c.joint_poses(q.angles());
+            for i in 0..7 {
+                assert_eq!(poses[i], scalar[i], "pose {i} differs for {q}");
+            }
+        }
+        // Empty window clears the buffer.
+        c.joint_poses_batch(&[], &mut batch);
+        assert!(batch.is_empty());
     }
 
     #[test]

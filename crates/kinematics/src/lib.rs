@@ -14,6 +14,9 @@
 //! * [`ik`] — damped-least-squares inverse kinematics for position targets;
 //! * [`trajectory`] — joint-space trajectories sampled for polling, the
 //!   motion representation the Extended Simulator inspects;
+//! * [`sweep`] — precomputed Lipschitz motion bounds ([`MotionBound`]) that
+//!   let the simulator's conservative-advancement kernel skip provably safe
+//!   samples;
 //! * [`presets`] — parameter sets for the UR3e, ViperX-300, and Ned2.
 //!
 //! # Example
@@ -34,7 +37,9 @@ mod arm;
 mod chain;
 pub mod ik;
 pub mod presets;
+pub mod sweep;
 pub mod trajectory;
 
 pub use arm::{ArmModel, GripperState, HeldObject};
-pub use chain::{DhChain, DhParam, JointConfig, JointLimits};
+pub use chain::{wrap_to_pi, DhChain, DhParam, JointConfig, JointLimits};
+pub use sweep::MotionBound;

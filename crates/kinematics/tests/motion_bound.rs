@@ -1,0 +1,142 @@
+//! Property test: the Lipschitz motion bound is genuinely conservative.
+//!
+//! For random in-limit configuration pairs on all three arm presets, the
+//! observed displacement of sampled capsule surface points never exceeds
+//! `MotionBound::max_move(q_a, q_b)` — neither for the end configurations
+//! (where wrapped deltas apply) nor for intermediate configurations along
+//! the interpolated path (bounded by the accumulated raw variation).
+
+use rabit_geometry::Capsule;
+use rabit_kinematics::{presets, ArmModel, HeldObject, JointConfig};
+use rabit_util::Rng;
+
+/// Distance from a point to a capsule *as a set* (zero inside). This is the
+/// quantity the conservative-advancement argument bounds: every surface
+/// point of the displaced capsule stays within `max_move` of the original
+/// capsule, radius included.
+fn point_to_capsule(p: rabit_geometry::Vec3, c: &Capsule) -> f64 {
+    (c.segment.distance_to_point(p) - c.radius).max(0.0)
+}
+
+/// Sampled material/surface points of one capsule: the two segment
+/// endpoints, interior axis points, and surface points offset by the radius
+/// in several fixed world directions (the capsule surface is a union of
+/// balls around axis points, so `axis ± r·u` lies on or inside the surface
+/// for any unit `u`).
+fn surface_points(c: &Capsule, out: &mut Vec<rabit_geometry::Vec3>) {
+    use rabit_geometry::Vec3;
+    out.clear();
+    let dirs = [
+        Vec3::new(1.0, 0.0, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        Vec3::new(0.0, 0.0, 1.0),
+        Vec3::new(-0.577350269, 0.577350269, 0.577350269),
+    ];
+    for k in 0..=3 {
+        let axis_pt = c.segment.point_at(k as f64 / 3.0);
+        out.push(axis_pt);
+        for d in dirs {
+            out.push(axis_pt + d * c.radius);
+        }
+    }
+}
+
+fn random_config(rng: &mut Rng, arm: &ArmModel) -> JointConfig {
+    let mut q = [0.0; 6];
+    for (a, l) in q.iter_mut().zip(arm.limits().iter()) {
+        // Stay within ±π of zero even for ±2π joints so raw interpolation
+        // stress-tests wrapping rather than multi-turn windup.
+        let lo = l.min.max(-std::f64::consts::PI);
+        let hi = l.max.min(std::f64::consts::PI);
+        *a = lo + (hi - lo) * rng.random_f64();
+    }
+    JointConfig::new(q)
+}
+
+fn check_arm(arm: &ArmModel, held: Option<&HeldObject>, seed: u64, pairs: usize) {
+    let bound = arm.motion_bound(held);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut caps_a = Vec::new();
+    let mut caps_b = Vec::new();
+    let mut pts = Vec::new();
+    for trial in 0..pairs {
+        let qa = random_config(&mut rng, arm);
+        let qb = random_config(&mut rng, arm);
+        arm.link_capsules_into(&qa, held, &mut caps_a);
+
+        // End-to-end: every surface point of every capsule at q_b stays
+        // within max_move of the matching capsule at q_a.
+        let budget = bound.max_move(&qa, &qb);
+        arm.link_capsules_into(&qb, held, &mut caps_b);
+        for (l, cb) in caps_b.iter().enumerate() {
+            surface_points(cb, &mut pts);
+            for &p in &pts {
+                let d = point_to_capsule(p, &caps_a[l]);
+                assert!(
+                    d <= budget + 1e-9,
+                    "{} trial {trial} capsule {l}: displacement {d} > max_move {budget}",
+                    arm.name()
+                );
+            }
+            // The per-capsule bound (wrapped deltas) is itself sound and
+            // at most the global max_move.
+            let per_capsule = bound.capsule_bound(l, &bound.abs_deltas(&qa, &qb));
+            assert!(per_capsule <= budget + 1e-12);
+        }
+
+        // Along the raw interpolated path (what executed trajectories do):
+        // the accumulated raw variation bounds each intermediate sample.
+        for step in 1..=4 {
+            let t = step as f64 / 4.0;
+            let qt = qa.lerp(&qb, t);
+            let raw: [f64; 6] = std::array::from_fn(|j| (qt.angle(j) - qa.angle(j)).abs());
+            arm.link_capsules_into(&qt, held, &mut caps_b);
+            for (l, cb) in caps_b.iter().enumerate() {
+                let budget = bound.capsule_bound(l, &raw);
+                surface_points(cb, &mut pts);
+                for &p in &pts {
+                    let d = point_to_capsule(p, &caps_a[l]);
+                    assert!(
+                        d <= budget + 1e-9,
+                        "{} trial {trial} t={t} capsule {l}: {d} > {budget}",
+                        arm.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lipschitz_bound_is_conservative_on_all_presets() {
+    let vial = HeldObject::vial();
+    for (seed, arm) in [presets::ur3e(), presets::viperx300(), presets::ned2()]
+        .into_iter()
+        .enumerate()
+    {
+        check_arm(&arm, None, 0xC0FFEE + seed as u64, 60);
+        check_arm(&arm, Some(&vial), 0xBEEF + seed as u64, 40);
+    }
+}
+
+#[test]
+fn wrapped_max_move_covers_full_circle_shortcuts() {
+    // A pair that differs by nearly 2π on the ViperX full-circle base joint:
+    // the wrapped bound is small, and the true end-to-end displacement is
+    // smaller still.
+    let arm = presets::viperx300();
+    let bound = arm.motion_bound(None);
+    let qa = JointConfig::new([3.10, -0.4, 0.5, 0.0, 0.3, 0.0]);
+    let qb = JointConfig::new([-3.10, -0.4, 0.5, 0.0, 0.3, 0.0]);
+    let budget = bound.max_move(&qa, &qb);
+    assert!(budget < 0.1, "wrapped bound should be small, got {budget}");
+    let ca = arm.link_capsules(&qa, None);
+    let cb = arm.link_capsules(&qb, None);
+    let mut pts = Vec::new();
+    for (l, c) in cb.iter().enumerate() {
+        surface_points(c, &mut pts);
+        for &p in &pts {
+            assert!(point_to_capsule(p, &ca[l]) <= budget + 1e-9);
+        }
+    }
+}

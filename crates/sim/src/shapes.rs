@@ -118,6 +118,38 @@ impl ObstacleShape {
         }
     }
 
+    /// Signed clearance between `capsule` and the *collision volume* this
+    /// shape's [`ObstacleShape::intersects_capsule`] tests: a positive
+    /// return guarantees no intersection, and — the property the
+    /// conservative-advancement sweep rests on — any displaced capsule
+    /// whose every point stays within `d < distance` of `capsule` still
+    /// cannot intersect.
+    ///
+    /// Each arm of the match is a sound underestimate of the distance to
+    /// the corresponding narrow-phase volume: the cuboid uses the same
+    /// capsule–AABB minimisation as the hit test (which can overshoot the
+    /// true minimum by ~1e-11, so consumers must keep a small positive
+    /// margin); the hemisphere returns the distance to the *full* sphere,
+    /// strictly below the distance to the dome; the cylinder measures
+    /// against the same axis capsule the hit test over-approximates with;
+    /// composites take the minimum over their parts. An empty composite has
+    /// infinite clearance.
+    pub fn distance_to_capsule(&self, capsule: &Capsule) -> f64 {
+        match self {
+            ObstacleShape::Cuboid(aabb) => collide::capsule_aabb_distance(capsule, aabb),
+            ObstacleShape::Hemisphere {
+                base_center,
+                radius,
+            } => collide::sphere_capsule_distance(&Sphere::new(*base_center, *radius), capsule),
+            ObstacleShape::Sphere(sphere) => collide::sphere_capsule_distance(sphere, capsule),
+            ObstacleShape::Cylinder(cyl) => capsule.distance_to_capsule(&cyl.as_capsule()),
+            ObstacleShape::Composite(parts) => parts
+                .iter()
+                .map(|p| p.distance_to_capsule(capsule))
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
     /// A conservative axis-aligned bound (used for world queries and
     /// debugging displays).
     pub fn bounding_box(&self) -> Aabb {
@@ -253,6 +285,57 @@ mod tests {
         let shape = ObstacleShape::Composite(vec![]);
         assert!(!shape.intersects_capsule(&capsule_at(Vec3::ZERO)));
         assert_eq!(shape.bounding_box().volume(), 0.0);
+    }
+
+    /// The clearance query must never report positive distance for a
+    /// capsule the narrow phase calls a hit, and a reported distance `d > 0`
+    /// must survive shrinking: moving the capsule by less than `d` (here,
+    /// inflating it by less than `d`) cannot create a hit.
+    #[test]
+    fn distance_is_consistent_with_intersection() {
+        let shapes = [
+            ObstacleShape::Cuboid(Aabb::new(Vec3::ZERO, Vec3::splat(0.2))),
+            ObstacleShape::Hemisphere {
+                base_center: Vec3::new(0.3, 0.0, 0.0),
+                radius: 0.15,
+            },
+            ObstacleShape::Sphere(Sphere::new(Vec3::new(0.0, 0.4, 0.2), 0.1)),
+            ObstacleShape::Cylinder(VerticalCylinder::new(Vec3::new(-0.3, 0.1, 0.0), 0.25, 0.04)),
+            ObstacleShape::box_with_bump(
+                Aabb::new(Vec3::new(-0.1, -0.5, 0.0), Vec3::new(0.1, -0.3, 0.15)),
+                0.05,
+            ),
+        ];
+        let mut k = 0u32;
+        for shape in &shapes {
+            for x in -4..=4 {
+                for y in -4..=4 {
+                    for z in 0..=4 {
+                        k += 1;
+                        let p = Vec3::new(x as f64 * 0.15, y as f64 * 0.15, z as f64 * 0.1);
+                        let cap = Capsule::new(p, p + Vec3::new(0.05, 0.0, 0.08), 0.02);
+                        let d = shape.distance_to_capsule(&cap);
+                        if shape.intersects_capsule(&cap) {
+                            assert!(d <= 1e-9, "hit but distance {d} at {p} (case {k})");
+                        }
+                        if d > 1e-6 {
+                            // Growing the capsule by anything less than d
+                            // (minus a safety epsilon) must stay clear.
+                            let grown = cap.inflated(d - 1e-9);
+                            assert!(
+                                !shape.intersects_capsule(&grown),
+                                "distance {d} at {p} not conservative (case {k})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Empty composite: infinite clearance.
+        assert_eq!(
+            ObstacleShape::Composite(vec![]).distance_to_capsule(&capsule_at(Vec3::ZERO)),
+            f64::INFINITY
+        );
     }
 
     #[test]

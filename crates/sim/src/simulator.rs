@@ -13,8 +13,10 @@
 use crate::world::SimWorld;
 use rabit_core::{CollisionReport, TrajectoryValidator, TrajectoryVerdict};
 use rabit_devices::{ActionKind, Command, DeviceId, LabState, StateKey};
-use rabit_geometry::{Capsule, Vec3};
+use rabit_geometry::broadphase::QueryCache;
+use rabit_geometry::{Capsule, Pose, Vec3};
 use rabit_kinematics::ik::{solve_position, IkParams};
+use rabit_kinematics::sweep::CAPSULE_COUNT;
 use rabit_kinematics::trajectory::Trajectory;
 use rabit_kinematics::{ArmModel, HeldObject, JointConfig};
 use std::collections::BTreeMap;
@@ -58,6 +60,12 @@ pub struct SimConfig {
     /// Verdicts are identical either way; caching only changes the work
     /// done.
     pub verdict_cache: bool,
+    /// Escape hatch: check every polling-grid sample instead of running
+    /// the adaptive conservative-advancement kernel. Verdicts (including
+    /// the triggering sample) are identical either way; the adaptive
+    /// kernel only skips samples it can prove hit-free from measured
+    /// clearance and the arm's Lipschitz motion bound.
+    pub dense_sampling: bool,
 }
 
 impl Default for SimConfig {
@@ -68,6 +76,7 @@ impl Default for SimConfig {
             model_held_objects: true,
             broad_phase: true,
             verdict_cache: true,
+            dense_sampling: false,
         }
     }
 }
@@ -75,6 +84,37 @@ impl Default for SimConfig {
 /// Maximum number of entries the verdict cache retains; beyond it the
 /// least-recently-used entry is evicted.
 const VERDICT_CACHE_CAPACITY: usize = 512;
+
+/// Safety margin (metres) subtracted from measured clearance before it
+/// becomes a skip budget. It absorbs the ≲1e-11 overshoot of the cuboid
+/// distance query while staying far below any physically meaningful
+/// clearance, so the adaptive kernel never skips a sample the dense grid
+/// would have flagged.
+const CLEARANCE_MARGIN: f64 = 1e-6;
+
+/// Largest clearance (metres) worth measuring: skip runs are bounded by
+/// the remaining motion anyway, and capping the probe keeps the
+/// broad-phase query for clearance from sweeping in every obstacle on
+/// the deck.
+const MAX_CLEARANCE_CAP: f64 = 0.6;
+
+/// Number of upcoming samples whose forward kinematics are prefetched in
+/// one batched pass when the clearance budget admits no skip at all —
+/// the arm is grazing an obstacle, so the next several samples will
+/// almost certainly be checked too.
+const DENSE_WINDOW: usize = 8;
+
+/// Broad-phase probes in the temporal-coherence cache are inflated by
+/// this slack (metres): successive trajectory samples move the probe by
+/// at most a few centimetres, so one tree walk serves a whole run of
+/// samples.
+const QUERY_CACHE_SLACK: f64 = 0.1;
+
+/// Slack for the clearance probe's own temporal-coherence cache.
+/// Clearance probes jump by a whole skip run between anchors — farther
+/// than narrow-phase probes move between adjacent samples — so they get
+/// a wider superset to stay cache-hot.
+const CLEARANCE_CACHE_SLACK: f64 = 0.25;
 
 /// Inverse quantisation step for cache keys: poses within 1e-4 rad (or
 /// metres) land in the same bucket. An exact-match confirmation inside
@@ -183,12 +223,31 @@ pub struct ExtendedSimulator {
     cache_misses: u64,
     /// Monotonic use counter driving LRU eviction.
     cache_stamp: u64,
+    /// Grid samples the adaptive kernel proved hit-free and skipped.
+    samples_skipped: u64,
+    /// Per-obstacle signed-distance evaluations issued by the adaptive
+    /// kernel's clearance queries.
+    distance_queries: u64,
+    /// Temporal-coherence caches for broad-phase queries — one for
+    /// narrow-phase probes, one for the wider clearance probes (mixing
+    /// them would thrash: the probes differ in size every sample). Both
+    /// are valid for the world epoch in `query_cache_epoch`.
+    query_cache: QueryCache,
+    clearance_cache: QueryCache,
+    query_cache_epoch: u64,
     /// Reusable buffers: IK candidates, arm capsules per sample, and
     /// broad-phase candidate indices. Keeping them on the simulator makes
     /// the steady-state sweep allocation-free.
     scratch_candidates: Vec<JointConfig>,
     scratch_capsules: Vec<Capsule>,
     scratch_prune: Vec<usize>,
+    /// Adaptive-kernel buffers: the materialised sample grid, the
+    /// remaining per-joint variation suffix sums, and the batched-FK
+    /// window (configurations in, pose rows out).
+    scratch_grid: Vec<(f64, JointConfig)>,
+    scratch_suffix: Vec<[f64; 6]>,
+    scratch_window: Vec<JointConfig>,
+    scratch_poses: Vec<[Pose; 7]>,
 }
 
 impl ExtendedSimulator {
@@ -204,9 +263,18 @@ impl ExtendedSimulator {
             cache_hits: 0,
             cache_misses: 0,
             cache_stamp: 0,
+            samples_skipped: 0,
+            distance_queries: 0,
+            query_cache: QueryCache::new(),
+            clearance_cache: QueryCache::new(),
+            query_cache_epoch: 0,
             scratch_candidates: Vec::new(),
             scratch_capsules: Vec::new(),
             scratch_prune: Vec::new(),
+            scratch_grid: Vec::new(),
+            scratch_suffix: Vec::new(),
+            scratch_window: Vec::new(),
+            scratch_poses: Vec::new(),
         }
     }
 
@@ -251,6 +319,20 @@ impl ExtendedSimulator {
     /// `checks × obstacles`.
     pub fn narrow_checks_performed(&self) -> u64 {
         self.narrow_checks
+    }
+
+    /// Number of polling-grid samples the adaptive sweep kernel proved
+    /// hit-free from clearance + motion bounds and therefore skipped.
+    /// Always zero with [`SimConfig::dense_sampling`].
+    pub fn samples_skipped(&self) -> u64 {
+        self.samples_skipped
+    }
+
+    /// Number of per-obstacle signed-distance evaluations the adaptive
+    /// sweep kernel issued while measuring clearance. Always zero with
+    /// [`SimConfig::dense_sampling`].
+    pub fn distance_queries(&self) -> u64 {
+        self.distance_queries
     }
 
     /// The simulator configuration.
@@ -337,10 +419,30 @@ impl ExtendedSimulator {
     /// a structured [`CollisionReport`] (obstacle, link, contact point,
     /// time fraction of the motion).
     ///
+    /// By default the adaptive conservative-advancement kernel runs; the
+    /// [`SimConfig::dense_sampling`] escape hatch checks every grid
+    /// sample. The returned report — including which sample trips — is
+    /// identical either way.
+    fn sweep(
+        &mut self,
+        arm_id: &DeviceId,
+        trajectory: &Trajectory,
+        held: Option<&HeldObject>,
+        exclude: &[&str],
+    ) -> Option<CollisionReport> {
+        if self.config.dense_sampling {
+            self.sweep_dense(arm_id, trajectory, held, exclude)
+        } else {
+            self.sweep_adaptive(arm_id, trajectory, held, exclude)
+        }
+    }
+
+    /// The dense sweep: every sample of the polling grid is checked.
+    ///
     /// Allocation-free in steady state: samples stream from the
     /// trajectory iterator, and the capsule and broad-phase buffers are
     /// reused across samples and across calls.
-    fn sweep(
+    fn sweep_dense(
         &mut self,
         arm_id: &DeviceId,
         trajectory: &Trajectory,
@@ -380,6 +482,200 @@ impl ExtendedSimulator {
         }
         self.scratch_capsules = capsules;
         self.scratch_prune = prune;
+        result
+    }
+
+    /// The adaptive conservative-advancement sweep.
+    ///
+    /// At each *checked* sample the kernel measures the clearance of
+    /// every arm capsule to the nearest obstacle in one batched,
+    /// temporally-cached query ([`SimWorld::clearances_into`]). The
+    /// clearances serve two purposes at once:
+    ///
+    /// 1. **Certificate** — clearance uses the same distance arithmetic
+    ///    as the narrow phase, so all-positive clearances *prove* the
+    ///    narrow phase would find no hit at this sample; the scan is
+    ///    elided entirely. Only when some capsule touches something
+    ///    (clearance ≤ 0) does the kernel fall back to the exact
+    ///    narrow-phase scan, which decides the verdict precisely as the
+    ///    dense kernel would.
+    /// 2. **Skip budget** — every upcoming grid sample whose per-capsule
+    ///    Lipschitz motion bound (accumulated raw joint deltas ×
+    ///    precomputed link reach, [`rabit_kinematics::MotionBound`])
+    ///    stays within the clearance minus a safety margin is skipped:
+    ///    its capsule set provably lies inside an obstacle-free
+    ///    neighbourhood of the checked one, so the dense grid could not
+    ///    have flagged it.
+    ///
+    /// When no skip is possible (the arm grazes an obstacle) the next
+    /// few samples will be checked one by one, so their forward
+    /// kinematics are prefetched in a single batched pass
+    /// ([`DhChain::joint_poses_batch`]). Verdicts — including the
+    /// triggering sample index — are identical to
+    /// [`ExtendedSimulator::sweep_dense`].
+    ///
+    /// Broad-phase candidates come from temporal-coherence
+    /// [`QueryCache`]s, cleared whenever the world epoch moves; a cached
+    /// candidate set is exactly the fresh broad-phase answer, so hits
+    /// match the pruned dense path.
+    ///
+    /// [`DhChain::joint_poses_batch`]: rabit_kinematics::DhChain::joint_poses_batch
+    fn sweep_adaptive(
+        &mut self,
+        arm_id: &DeviceId,
+        trajectory: &Trajectory,
+        held: Option<&HeldObject>,
+        exclude: &[&str],
+    ) -> Option<CollisionReport> {
+        let epoch = self.world.epoch();
+        if epoch != self.query_cache_epoch {
+            self.query_cache.clear();
+            self.clearance_cache.clear();
+            self.query_cache_epoch = epoch;
+        }
+        let mut capsules = std::mem::take(&mut self.scratch_capsules);
+        let mut prune = std::mem::take(&mut self.scratch_prune);
+        let mut grid = std::mem::take(&mut self.scratch_grid);
+        let mut suffix = std::mem::take(&mut self.scratch_suffix);
+        let mut window = std::mem::take(&mut self.scratch_window);
+        let mut poses = std::mem::take(&mut self.scratch_poses);
+        let mut result = None;
+
+        if let Some(arm) = self.arms.get(arm_id) {
+            grid.clear();
+            grid.extend(trajectory.samples_every(self.config.poll_interval_s));
+            let n = grid.len();
+            // Remaining per-joint total variation from sample i to the
+            // end: caps the largest clearance worth measuring at i. Raw
+            // (unwrapped) deltas throughout — executed trajectories
+            // interpolate raw joint values, so wrap shortcuts would be
+            // unsound here.
+            suffix.clear();
+            suffix.resize(n, [0.0; 6]);
+            for i in (0..n.saturating_sub(1)).rev() {
+                let mut row = suffix[i + 1];
+                for (j, r) in row.iter_mut().enumerate() {
+                    *r += (grid[i + 1].1.angle(j) - grid[i].1.angle(j)).abs();
+                }
+                suffix[i] = row;
+            }
+            let bound = arm.model.motion_bound(held);
+
+            let report = |hit: crate::world::HitDetail<'_>, fraction: f64| CollisionReport {
+                device: DeviceId::new(hit.obstacle.name.clone()),
+                // Capsule indices are relative to the slice that skipped
+                // the base link; +1 restores the arm's link numbering.
+                link: hit.capsule_index + 1,
+                contact: hit.contact,
+                at_fraction: fraction,
+            };
+
+            // `poses` holds prefetched batched FK for
+            // `grid[batch_start .. batch_start + poses.len()]`.
+            let mut batch_start: Option<usize> = None;
+            let mut i = 0;
+            'sweep: while i < n {
+                self.checks += 1;
+                // The base link (capsule 0) is bolted to the platform and
+                // exempt from collision — and therefore also irrelevant
+                // to the clearance certificate and the skip decision.
+                match batch_start {
+                    Some(s) if i >= s && i - s < poses.len() => {
+                        arm.model
+                            .capsules_from_poses(&poses[i - s], held, &mut capsules);
+                    }
+                    _ => arm
+                        .model
+                        .link_capsules_into(&grid[i].1, held, &mut capsules),
+                }
+
+                // One batched clearance query per sample: certificate
+                // first, skip budget second. Capping each capsule at its
+                // remaining motion bound keeps the probe tight.
+                let mut caps = [0.0_f64; CAPSULE_COUNT - 1];
+                for (l, cap) in caps.iter_mut().enumerate() {
+                    *cap = bound
+                        .capsule_bound(l + 1, &suffix[i])
+                        .min(MAX_CLEARANCE_CAP)
+                        + CLEARANCE_MARGIN;
+                }
+                let mut clearances = [0.0_f64; CAPSULE_COUNT - 1];
+                self.distance_queries += self.world.clearances_into(
+                    &capsules[1..],
+                    exclude,
+                    &caps,
+                    CLEARANCE_CACHE_SLACK,
+                    &mut self.clearance_cache,
+                    &mut prune,
+                    &mut clearances,
+                );
+                if clearances.iter().any(|&c| c <= 0.0) {
+                    // Some capsule touches something: only now is the
+                    // exact narrow phase needed, and it decides the
+                    // verdict precisely as the dense kernel would.
+                    let (hit, tested) = self.world.first_hit_detailed_cached(
+                        &capsules[1..],
+                        exclude,
+                        QUERY_CACHE_SLACK,
+                        &mut self.query_cache,
+                        &mut prune,
+                    );
+                    self.narrow_checks += tested;
+                    if let Some(hit) = hit {
+                        result = Some(report(hit, grid[i].0));
+                        break 'sweep;
+                    }
+                }
+                if i + 1 >= n {
+                    break;
+                }
+
+                // Conservative advancement: sample i + s + 1 is skippable
+                // when every capsule's motion bound from i stays within
+                // its clearance budget.
+                let mut s = 0;
+                while i + s + 1 < n {
+                    let cand = &grid[i + s + 1].1;
+                    let mut delta = [0.0_f64; 6];
+                    for (j, d) in delta.iter_mut().enumerate() {
+                        *d = (cand.angle(j) - grid[i].1.angle(j)).abs();
+                    }
+                    let fits = (1..CAPSULE_COUNT).all(|l| {
+                        bound.capsule_bound(l, &delta) <= clearances[l - 1] - CLEARANCE_MARGIN
+                    });
+                    if !fits {
+                        break;
+                    }
+                    s += 1;
+                }
+                if s > 0 {
+                    self.samples_skipped += s as u64;
+                    i += s + 1;
+                    continue;
+                }
+
+                // Grazing an obstacle: no skip budget, so the next few
+                // samples will each be checked. Prefetch their forward
+                // kinematics in one batched pass (unless the current
+                // batch already covers the next sample).
+                let next = i + 1;
+                let covered = matches!(batch_start, Some(s) if next >= s && next - s < poses.len());
+                if !covered {
+                    let end = (next + DENSE_WINDOW - 1).min(n - 1);
+                    window.clear();
+                    window.extend(grid[next..=end].iter().map(|(_, q)| *q));
+                    arm.model.chain().joint_poses_batch(&window, &mut poses);
+                    batch_start = Some(next);
+                }
+                i = next;
+            }
+        }
+        self.scratch_capsules = capsules;
+        self.scratch_prune = prune;
+        self.scratch_grid = grid;
+        self.scratch_suffix = suffix;
+        self.scratch_window = window;
+        self.scratch_poses = poses;
         result
     }
 
@@ -714,6 +1010,18 @@ impl TrajectoryValidator for ExtendedSimulator {
     fn cache_misses(&self) -> u64 {
         self.cache_misses
     }
+
+    fn samples_checked(&self) -> u64 {
+        self.checks
+    }
+
+    fn samples_skipped(&self) -> u64 {
+        self.samples_skipped
+    }
+
+    fn distance_queries(&self) -> u64 {
+        self.distance_queries
+    }
 }
 
 #[cfg(test)]
@@ -899,6 +1207,110 @@ mod tests {
             TrajectoryVerdict::Safe,
             "entering the target device is intended"
         );
+    }
+
+    #[test]
+    fn adaptive_sweep_skips_most_samples_in_free_space() {
+        // The same free-space move on an adaptive and a dense simulator:
+        // identical verdict and mirrored pose, far fewer checks.
+        let arm = presets::ur3e();
+        let start_tool = arm.tool_position(&arm.home_configuration());
+        let target = start_tool + Vec3::new(-0.1, 0.15, 0.1);
+        let run = |dense: bool| {
+            let mut sim = ExtendedSimulator::new(
+                SimWorld::new().with_obstacle(
+                    "far_box",
+                    Aabb::from_center_half_extents(Vec3::new(2.0, 2.0, 0.2), Vec3::splat(0.1)),
+                ),
+                SimConfig {
+                    gui: false,
+                    verdict_cache: false,
+                    dense_sampling: dense,
+                    ..SimConfig::default()
+                },
+            )
+            .with_arm("ur3e", presets::ur3e());
+            let verdict = sim.validate(&mv(target), &empty_state());
+            let pose = sim.arm_configuration(&"ur3e".into()).unwrap();
+            (verdict, pose, sim.checks_performed(), sim.samples_skipped())
+        };
+        let (dense_verdict, dense_pose, dense_checks, dense_skipped) = run(true);
+        let (adaptive_verdict, adaptive_pose, adaptive_checks, adaptive_skipped) = run(false);
+        assert_eq!(dense_verdict, TrajectoryVerdict::Safe);
+        assert_eq!(adaptive_verdict, dense_verdict);
+        assert_eq!(adaptive_pose, dense_pose);
+        assert_eq!(dense_skipped, 0);
+        assert!(adaptive_skipped > 0, "free space should admit skips");
+        assert!(
+            adaptive_checks * 2 < dense_checks,
+            "adaptive checked {adaptive_checks} of {dense_checks} dense samples"
+        );
+    }
+
+    #[test]
+    fn adaptive_sweep_reports_the_same_collision_as_dense() {
+        let arm = presets::ur3e();
+        let home_tool = arm.tool_position(&arm.home_configuration());
+        let target = home_tool + Vec3::new(0.0, 0.25, 0.0);
+        let mid = home_tool.lerp(target, 0.5);
+        let world = SimWorld::new().with_obstacle(
+            "hotplate",
+            Aabb::from_center_half_extents(mid, Vec3::new(0.35, 0.04, 0.35)),
+        );
+        let run = |dense: bool| {
+            let mut sim = ExtendedSimulator::new(
+                world.clone(),
+                SimConfig {
+                    gui: false,
+                    verdict_cache: false,
+                    dense_sampling: dense,
+                    ..SimConfig::default()
+                },
+            )
+            .with_arm("ur3e", presets::ur3e());
+            sim.validate(&mv(target), &empty_state())
+        };
+        let dense = run(true);
+        let adaptive = run(false);
+        assert!(matches!(dense, TrajectoryVerdict::Collision(_)));
+        // Bit-identical payload: obstacle, link, contact, sample fraction.
+        assert_eq!(adaptive, dense);
+    }
+
+    #[test]
+    fn world_mutation_invalidates_the_broadphase_cache() {
+        // First move: free space, heavy skipping. Then an obstacle lands
+        // on the same path; the epoch bump must flush the query cache so
+        // the second validation sees it.
+        let arm = presets::ur3e();
+        let start_tool = arm.tool_position(&arm.home_configuration());
+        let target = start_tool + Vec3::new(0.0, 0.25, 0.0);
+        let mut sim = ExtendedSimulator::new(
+            SimWorld::new(),
+            SimConfig {
+                gui: false,
+                verdict_cache: false,
+                ..SimConfig::default()
+            },
+        )
+        .with_arm("ur3e", presets::ur3e());
+        assert_eq!(
+            sim.validate(&mv(target), &empty_state()),
+            TrajectoryVerdict::Safe
+        );
+        // Move back home so the next validation retraces the same path.
+        let home = Command::new("ur3e", ActionKind::MoveHome);
+        assert_eq!(sim.validate(&home, &empty_state()), TrajectoryVerdict::Safe);
+        sim.world_mut().add_obstacle(
+            "dropped_crate",
+            Aabb::from_center_half_extents(start_tool.lerp(target, 0.5), Vec3::new(0.3, 0.03, 0.3)),
+        );
+        match sim.validate(&mv(target), &empty_state()) {
+            TrajectoryVerdict::Collision(report) => {
+                assert_eq!(report.device.as_str(), "dropped_crate")
+            }
+            other => panic!("expected collision after mutation, got {other:?}"),
+        }
     }
 
     #[test]

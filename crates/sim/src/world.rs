@@ -8,7 +8,7 @@
 //! cuboid specification" (§V-A).
 
 use crate::shapes::ObstacleShape;
-use rabit_geometry::broadphase::Bvh;
+use rabit_geometry::broadphase::{Bvh, QueryCache};
 use rabit_geometry::{Aabb, Capsule, Vec3};
 
 /// A named obstacle (historically a cuboid; any [`ObstacleShape`] today).
@@ -240,12 +240,7 @@ impl SimWorld {
             capsules.iter().position(|c| o.shape.intersects_capsule(c))
         };
         let hit = if broad_phase {
-            let mut probe: Option<Aabb> = None;
-            for c in capsules {
-                let b = c.bounding_box();
-                probe = Some(probe.map_or(b, |p| p.union(&b)));
-            }
-            probe.and_then(|probe| {
+            union_bound(capsules).and_then(|probe| {
                 self.index.query_into(&probe, scratch);
                 scratch
                     .iter()
@@ -259,19 +254,190 @@ impl SimWorld {
                 .filter(|o| !exclude.contains(&o.name.as_str()))
                 .find_map(|o| narrow(o).map(|i| (o, i)))
         };
-        let hit = hit.map(|(obstacle, capsule_index)| {
-            let contact = capsules[capsule_index]
-                .segment
-                .closest_point_to(obstacle.bounding_box().center())
-                .0;
-            HitDetail {
-                obstacle,
-                capsule_index,
-                contact,
-            }
-        });
-        (hit, tested)
+        (hit.map(|(o, i)| self.detail_for(capsules, o, i)), tested)
     }
+
+    /// As [`SimWorld::first_hit_detailed_with`] with broad-phase pruning,
+    /// but the BVH query runs through a temporal-coherence [`QueryCache`]
+    /// (see [`Bvh::query_into_cached`]): consecutive calls with nearly
+    /// identical capsule sets — adjacent trajectory samples — are answered
+    /// from the previous query's candidate superset without walking the
+    /// tree. The hit (and the narrow-phase test count) is identical to the
+    /// uncached broad-phase path.
+    ///
+    /// The cache is only valid against the current obstacle set: callers
+    /// must [`QueryCache::clear`] it whenever [`SimWorld::epoch`] changes.
+    pub fn first_hit_detailed_cached(
+        &self,
+        capsules: &[Capsule],
+        exclude: &[&str],
+        slack: f64,
+        cache: &mut QueryCache,
+        scratch: &mut Vec<usize>,
+    ) -> (Option<HitDetail<'_>>, u64) {
+        let Some(probe) = union_bound(capsules) else {
+            return (None, 0);
+        };
+        self.index.query_into_cached(&probe, slack, cache, scratch);
+        let mut tested = 0;
+        let hit = scratch
+            .iter()
+            .map(|&i| &self.obstacles[i])
+            .filter(|o| !exclude.contains(&o.name.as_str()))
+            .find_map(|o| {
+                tested += 1;
+                capsules
+                    .iter()
+                    .position(|c| o.shape.intersects_capsule(c))
+                    .map(|i| (o, i))
+            });
+        (hit.map(|(o, i)| self.detail_for(capsules, o, i)), tested)
+    }
+
+    /// Clearance of a single capsule: a sound lower bound on the distance
+    /// from `capsule` to the nearest non-excluded obstacle, clamped to
+    /// `cap` (the largest clearance the caller can exploit). Returns the
+    /// clearance and the number of per-obstacle distance evaluations
+    /// performed.
+    ///
+    /// Obstacles are pruned through the broad-phase index with the
+    /// capsule's bound inflated by `cap`: anything outside that probe is
+    /// provably farther than `cap` away, so clamping keeps the result
+    /// sound. The scan stops early once the clearance is non-positive
+    /// (the capsule touches something — no skip budget either way).
+    pub fn clearance_with(
+        &self,
+        capsule: &Capsule,
+        exclude: &[&str],
+        cap: f64,
+        scratch: &mut Vec<usize>,
+    ) -> (f64, u64) {
+        if cap <= 0.0 {
+            return (cap.min(0.0), 0);
+        }
+        let probe = capsule.bounding_box().inflated(cap);
+        self.index.query_into(&probe, scratch);
+        let mut clearance = cap;
+        let mut evals = 0;
+        for &i in scratch.iter() {
+            let o = &self.obstacles[i];
+            if exclude.contains(&o.name.as_str()) {
+                continue;
+            }
+            evals += 1;
+            clearance = clearance.min(o.shape.distance_to_capsule(capsule));
+            if clearance <= 0.0 {
+                break;
+            }
+        }
+        (clearance, evals)
+    }
+
+    /// Batched clearance for a whole capsule chain: fills `out[l]` with a
+    /// sound lower bound on the distance from `capsules[l]` to the
+    /// nearest non-excluded obstacle, clamped to `caps[l]`. Returns the
+    /// number of exact distance evaluations performed.
+    ///
+    /// One broad-phase query serves every capsule: the probe is the union
+    /// of each capsule's bound inflated by its cap, routed through the
+    /// temporal-coherence `cache` with `slack` so consecutive trajectory
+    /// samples reuse the previous candidate superset without walking the
+    /// tree. Candidates are then prefiltered per capsule with the cheap
+    /// box-to-box gap ([`Aabb::distance_to`]) before paying for an exact
+    /// shape distance.
+    ///
+    /// Clearance is computed with the same distance arithmetic the narrow
+    /// phase uses for intersection, so `out[l] > 0.0` *proves* the narrow
+    /// phase would find no hit for `capsules[l]`: any intersecting
+    /// obstacle overlaps the capsule's bound (candidates always include
+    /// it, whatever the cap) and would have driven the clearance to zero
+    /// or below. The adaptive sweep kernel relies on this to elide
+    /// narrow-phase scans on provably clear samples.
+    ///
+    /// Like [`QueryCache`] users elsewhere, callers must clear the cache
+    /// whenever [`SimWorld::epoch`] changes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn clearances_into(
+        &self,
+        capsules: &[Capsule],
+        exclude: &[&str],
+        caps: &[f64],
+        slack: f64,
+        cache: &mut QueryCache,
+        scratch: &mut Vec<usize>,
+        out: &mut [f64],
+    ) -> u64 {
+        assert_eq!(capsules.len(), caps.len(), "one cap per capsule");
+        assert_eq!(capsules.len(), out.len(), "one slot per capsule");
+        let mut probe: Option<Aabb> = None;
+        for (c, &cap) in capsules.iter().zip(caps) {
+            if cap <= 0.0 {
+                continue;
+            }
+            let b = c.bounding_box().inflated(cap);
+            probe = Some(probe.map_or(b, |p| p.union(&b)));
+        }
+        let Some(probe) = probe else {
+            for (slot, &cap) in out.iter_mut().zip(caps) {
+                *slot = cap.min(0.0);
+            }
+            return 0;
+        };
+        self.index.query_into_cached(&probe, slack, cache, scratch);
+        let mut evals = 0;
+        for ((c, &cap), slot) in capsules.iter().zip(caps).zip(out.iter_mut()) {
+            if cap <= 0.0 {
+                *slot = cap.min(0.0);
+                continue;
+            }
+            let bound = c.bounding_box();
+            let mut clearance = cap;
+            for &i in scratch.iter() {
+                let o = &self.obstacles[i];
+                if exclude.contains(&o.name.as_str()) {
+                    continue;
+                }
+                if o.bounding_box().distance_to(&bound) >= clearance {
+                    continue;
+                }
+                evals += 1;
+                clearance = clearance.min(o.shape.distance_to_capsule(c));
+                if clearance <= 0.0 {
+                    break;
+                }
+            }
+            *slot = clearance;
+        }
+        evals
+    }
+
+    fn detail_for<'a>(
+        &self,
+        capsules: &[Capsule],
+        obstacle: &'a NamedBox,
+        capsule_index: usize,
+    ) -> HitDetail<'a> {
+        let contact = capsules[capsule_index]
+            .segment
+            .closest_point_to(obstacle.bounding_box().center())
+            .0;
+        HitDetail {
+            obstacle,
+            capsule_index,
+            contact,
+        }
+    }
+}
+
+/// The union of the capsules' bounding boxes (the broad-phase probe), or
+/// `None` for an empty capsule set.
+fn union_bound(capsules: &[Capsule]) -> Option<Aabb> {
+    let mut probe: Option<Aabb> = None;
+    for c in capsules {
+        let b = c.bounding_box();
+        probe = Some(probe.map_or(b, |p| p.union(&b)));
+    }
+    probe
 }
 
 /// A narrow-phase hit with link-level detail: the obstacle, which of the
@@ -384,6 +550,118 @@ mod tests {
             // Contact is on capsule 1's axis, nearest the box center.
             assert!(hit.contact.distance(Vec3::new(0.1, 0.1, 0.1)) < 1e-9);
         }
+    }
+
+    #[test]
+    fn clearance_is_a_sound_capped_lower_bound() {
+        let w = SimWorld::new()
+            .with_platform(1.0)
+            .with_obstacle("doser", Aabb::new(Vec3::ZERO, Vec3::splat(0.2)));
+        let mut scratch = Vec::new();
+        // A capsule surface 0.33 above the doser top, 0.53 above the platform.
+        let cap = Capsule::new(Vec3::new(0.1, 0.1, 0.55), Vec3::new(0.1, 0.1, 0.6), 0.02);
+        let (d, evals) = w.clearance_with(&cap, &[], 1.0, &mut scratch);
+        assert!(evals >= 1);
+        assert!((d - 0.33).abs() < 1e-9, "clearance to doser top, got {d}");
+        // Excluding the doser leaves the platform.
+        let (d, _) = w.clearance_with(&cap, &["doser"], 1.0, &mut scratch);
+        assert!((d - 0.53).abs() < 1e-9, "clearance to platform, got {d}");
+        // The cap clamps (and prunes): a tiny cap returns the cap itself.
+        let (d, evals) = w.clearance_with(&cap, &[], 0.05, &mut scratch);
+        assert_eq!(d, 0.05);
+        assert_eq!(evals, 0, "everything prunes at cap 0.05");
+        // Touching/penetrating: non-positive clearance.
+        let touching = Capsule::new(Vec3::new(0.1, 0.1, 0.15), Vec3::new(0.1, 0.1, 0.3), 0.02);
+        let (d, _) = w.clearance_with(&touching, &[], 1.0, &mut scratch);
+        assert!(d <= 0.0);
+    }
+
+    #[test]
+    fn batched_clearances_match_per_capsule_queries() {
+        use rabit_geometry::broadphase::QueryCache;
+        let w = SimWorld::new()
+            .with_platform(1.0)
+            .with_obstacle("doser", Aabb::new(Vec3::ZERO, Vec3::splat(0.2)))
+            .with_obstacle(
+                "grid",
+                Aabb::new(Vec3::new(0.5, 0.0, 0.0), Vec3::new(0.7, 0.2, 0.1)),
+            );
+        let mut cache = QueryCache::new();
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        // A descending pair of capsules: one over the doser, one touching
+        // the grid at the end. Batched clearances must agree with the
+        // per-capsule query at every step, including the touching case
+        // and a zero-cap slot.
+        for k in 0..30 {
+            let z = 0.5 - k as f64 * 0.015;
+            let caps = vec![
+                Capsule::new(Vec3::new(0.1, 0.1, z), Vec3::new(0.1, 0.1, z + 0.1), 0.02),
+                Capsule::new(
+                    Vec3::new(0.6, 0.1, z - 0.3),
+                    Vec3::new(0.6, 0.1, z - 0.2),
+                    0.02,
+                ),
+            ];
+            let budgets = [0.4, 0.25];
+            let mut out = [0.0; 2];
+            w.clearances_into(
+                &caps,
+                &["doser"],
+                &budgets,
+                0.1,
+                &mut cache,
+                &mut s1,
+                &mut out,
+            );
+            for l in 0..2 {
+                let (want, _) = w.clearance_with(&caps[l], &["doser"], budgets[l], &mut s2);
+                assert!(
+                    (out[l] - want).abs() < 1e-12,
+                    "step {k} capsule {l}: batched {} vs direct {want}",
+                    out[l]
+                );
+            }
+        }
+        assert!(cache.hits() > 0, "coherent sweep should reuse the superset");
+        // Non-positive caps are clamped without touching the index.
+        let caps = vec![Capsule::new(
+            Vec3::new(0.1, 0.1, 0.4),
+            Vec3::new(0.1, 0.1, 0.5),
+            0.02,
+        )];
+        let mut out = [1.0];
+        let evals = w.clearances_into(&caps, &[], &[-0.2], 0.1, &mut cache, &mut s1, &mut out);
+        assert_eq!(evals, 0);
+        assert_eq!(out[0], -0.2);
+    }
+
+    #[test]
+    fn cached_first_hit_matches_uncached() {
+        use rabit_geometry::broadphase::QueryCache;
+        let w = SimWorld::new()
+            .with_platform(1.0)
+            .with_walls(1.0, 0.8)
+            .with_obstacle("doser", Aabb::new(Vec3::ZERO, Vec3::splat(0.2)));
+        let mut cache = QueryCache::new();
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        // A descending sweep that eventually hits the doser.
+        for k in 0..40 {
+            let z = 0.6 - k as f64 * 0.012;
+            let caps = vec![Capsule::new(
+                Vec3::new(0.1, 0.1, z),
+                Vec3::new(0.1, 0.1, z + 0.1),
+                0.02,
+            )];
+            let (cached, tc) = w.first_hit_detailed_cached(&caps, &[], 0.1, &mut cache, &mut s1);
+            let (fresh, tf) = w.first_hit_detailed_with(&caps, &[], true, &mut s2);
+            assert_eq!(cached, fresh, "step {k}");
+            assert_eq!(tc, tf, "step {k} narrow-phase count");
+        }
+        assert!(cache.hits() > 0, "coherent sweep should reuse the superset");
+        // Empty capsule set: no probe, no hit.
+        let (none, t) = w.first_hit_detailed_cached(&[], &[], 0.1, &mut cache, &mut s1);
+        assert!(none.is_none());
+        assert_eq!(t, 0);
     }
 
     #[test]

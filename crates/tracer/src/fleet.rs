@@ -38,6 +38,15 @@ pub struct FleetRun {
     pub cache_hits: u64,
     /// Verdict-cache misses of this run's validator.
     pub cache_misses: u64,
+    /// Trajectory grid samples this run's validator collision-checked
+    /// (0 without a sweeping validator).
+    pub samples_checked: u64,
+    /// Grid samples the validator's adaptive sweep kernel proved
+    /// hit-free and skipped (0 for dense validators).
+    pub samples_skipped: u64,
+    /// Per-obstacle signed-distance evaluations the validator issued for
+    /// skip decisions.
+    pub distance_queries: u64,
     /// Faults the run's lab actually injected (0 without a fault plan).
     pub faults_injected: u64,
 }
@@ -115,6 +124,34 @@ impl FleetReport {
             Some(hits as f64 / (hits + misses) as f64)
         }
     }
+
+    /// Total trajectory grid samples the fleet's validators
+    /// collision-checked.
+    pub fn total_samples_checked(&self) -> u64 {
+        self.runs.iter().map(|r| r.samples_checked).sum()
+    }
+
+    /// Total grid samples the fleet's adaptive sweep kernels skipped.
+    pub fn total_samples_skipped(&self) -> u64 {
+        self.runs.iter().map(|r| r.samples_skipped).sum()
+    }
+
+    /// Total clearance distance evaluations across the fleet.
+    pub fn total_distance_queries(&self) -> u64 {
+        self.runs.iter().map(|r| r.distance_queries).sum()
+    }
+
+    /// Fleet-wide sweep skip rate, `skipped / (checked + skipped)`.
+    /// `None` when no validator processed any trajectory sample.
+    pub fn sweep_skip_rate(&self) -> Option<f64> {
+        let checked = self.total_samples_checked();
+        let skipped = self.total_samples_skipped();
+        if checked + skipped == 0 {
+            None
+        } else {
+            Some(skipped as f64 / (checked + skipped) as f64)
+        }
+    }
 }
 
 /// Runs every workflow against its own freshly-built lab, on `threads`
@@ -141,15 +178,21 @@ where
 {
     let runs = run_indexed(workflows.len(), threads, |i| {
         let (mut lab, rabit) = setup(i);
-        let (report, cache_hits, cache_misses) = match rabit {
+        let (report, cache_hits, cache_misses, sweep) = match rabit {
             Some(mut rabit) => {
                 rabit.config_mut().first_violation_only = true;
                 let report = Tracer::guarded(&mut lab, &mut rabit).run(&workflows[i]);
                 let (hits, misses) = rabit.validator_cache_stats();
+                let sweep = rabit.validator_sweep_stats();
                 drop(rabit);
-                (report, hits, misses)
+                (report, hits, misses, sweep)
             }
-            None => (Tracer::pass_through(&mut lab).run(&workflows[i]), 0, 0),
+            None => (
+                Tracer::pass_through(&mut lab).run(&workflows[i]),
+                0,
+                0,
+                (0, 0, 0),
+            ),
         };
         FleetRun {
             index: i,
@@ -160,6 +203,9 @@ where
             damage: lab.damage_log().to_vec(),
             cache_hits,
             cache_misses,
+            samples_checked: sweep.0,
+            samples_skipped: sweep.1,
+            distance_queries: sweep.2,
             faults_injected: lab.fault_stats().total_injected(),
         }
     });
@@ -210,6 +256,7 @@ fn fleet_on_with(
         rabit.config_mut().first_violation_only = true;
         let report = Tracer::guarded(&mut lab, &mut rabit).run(workflow);
         let (cache_hits, cache_misses) = rabit.validator_cache_stats();
+        let (samples_checked, samples_skipped, distance_queries) = rabit.validator_sweep_stats();
         FleetRun {
             index: i,
             workflow: workflow.name().to_string(),
@@ -219,6 +266,9 @@ fn fleet_on_with(
             damage: lab.damage_log().to_vec(),
             cache_hits,
             cache_misses,
+            samples_checked,
+            samples_skipped,
+            distance_queries,
             faults_injected: lab.fault_stats().total_injected(),
         }
     });
