@@ -1,0 +1,144 @@
+//! Campaign-runner benchmark: throughput, resume overhead, and state
+//! persistence cost of the resumable trial matrix.
+//!
+//! Runs the 48-trial detection-matrix plan (`--quick`: the 8-trial
+//! quick matrix) three ways:
+//!
+//! 1. **full** — one uninterrupted invocation (trials/sec);
+//! 2. **killed + resumed** — the same plan stopped after half the
+//!    trials (the deterministic stand-in for a kill) and resumed, to
+//!    measure the resume overhead and prove the merged artifact is
+//!    byte-identical to the full run's;
+//! 3. **warm resume** — re-invoking the completed directory, which must
+//!    execute nothing (the pure state-scan cost).
+//!
+//! Writes `BENCH_campaign.json` with the `campaign` envelope kind, so
+//! `bench_schema` validates the trial payload, not just the generic
+//! envelope. Run with `cargo run --release -p rabit-bench --bin
+//! campaign`; `--quick` runs the reduced matrix for CI smoke checks.
+
+use rabit_campaign::{plans, CampaignRunner};
+use rabit_util::Json;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rabit-bench-campaign-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn state_bytes(dir: &Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir.join("trials")) {
+        for entry in entries.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                total += meta.len();
+            }
+        }
+    }
+    total
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = 4;
+    let plan = if quick {
+        plans::quick_matrix_plan()
+    } else {
+        plans::detection_matrix_plan()
+    };
+    let n = plan
+        .materialize()
+        .expect("predefined plan materializes")
+        .len();
+    println!(
+        "campaign bench — plan '{}', {n} trials, {threads} threads{}",
+        plan.name(),
+        if quick { " (quick)" } else { "" }
+    );
+
+    // 1. Uninterrupted run.
+    let full_dir = temp_dir("full");
+    let full = CampaignRunner::new(plan.clone(), &full_dir).expect("plan materializes");
+    let t0 = Instant::now();
+    let summary = full.run(threads, None).expect("full run completes");
+    let full_s = t0.elapsed().as_secs_f64();
+    assert!(summary.complete());
+    let full_artifact = full.artifact().expect("artifact written").to_pretty();
+    let bytes = state_bytes(&full_dir);
+
+    // 2. Killed after half the matrix, then resumed.
+    let resume_dir = temp_dir("resume");
+    let interrupted = CampaignRunner::new(plan.clone(), &resume_dir).expect("plan materializes");
+    let t0 = Instant::now();
+    let first = interrupted
+        .run(threads, Some(n / 2))
+        .expect("interrupted run");
+    let killed_s = t0.elapsed().as_secs_f64();
+    assert_eq!(first.executed, n / 2);
+    let t0 = Instant::now();
+    let second = interrupted.run(threads, None).expect("resumed run");
+    let resumed_s = t0.elapsed().as_secs_f64();
+    assert!(second.complete());
+    let resumed_artifact = interrupted
+        .artifact()
+        .expect("artifact written")
+        .to_pretty();
+    assert_eq!(
+        full_artifact, resumed_artifact,
+        "kill-and-resume must reproduce the artifact byte-for-byte"
+    );
+
+    // 3. Warm resume of a completed directory: pure scan, zero trials.
+    let t0 = Instant::now();
+    let warm = interrupted.run(threads, None).expect("warm resume");
+    let warm_s = t0.elapsed().as_secs_f64();
+    assert_eq!(warm.executed, 0, "completed campaign re-executes nothing");
+
+    let trials_per_s = n as f64 / full_s;
+    let resume_overhead_s = (killed_s + resumed_s) - full_s;
+    let bytes_per_trial = bytes as f64 / n as f64;
+    println!("  full run            {full_s:>8.3} s  ({trials_per_s:.1} trials/s)");
+    println!("  killed @ {:<4}       {killed_s:>8.3} s", n / 2);
+    println!("  resumed             {resumed_s:>8.3} s  (overhead {resume_overhead_s:+.3} s)");
+    println!("  warm resume (scan)  {warm_s:>8.3} s");
+    println!("  state files         {bytes} B total, {bytes_per_trial:.0} B/trial");
+    println!("  artifacts           byte-identical: yes");
+
+    // Merge the campaign payload with the perf numbers: the artifact's
+    // results (summary + trials) stay intact so the `campaign` envelope
+    // kind validates, and the measurements ride alongside.
+    let artifact = Json::parse(&full_artifact).expect("artifact parses");
+    let mut results = match artifact.get("results").cloned() {
+        Some(Json::Obj(pairs)) => pairs,
+        _ => unreachable!("campaign artifacts carry a results object"),
+    };
+    results.push((
+        "perf".to_string(),
+        Json::obj([
+            ("trials_per_second", Json::Num(trials_per_s)),
+            ("full_wall_s", Json::Num(full_s)),
+            ("resume_overhead_s", Json::Num(resume_overhead_s)),
+            ("warm_resume_s", Json::Num(warm_s)),
+            ("state_bytes_per_trial", Json::Num(bytes_per_trial)),
+            ("artifacts_identical", Json::Bool(true)),
+        ]),
+    ));
+    let config = Json::obj([
+        ("quick_mode", Json::Bool(quick)),
+        ("threads", Json::Num(threads as f64)),
+        ("trials", Json::Num(n as f64)),
+        ("plan", Json::Str(plan.name().to_string())),
+    ]);
+    rabit_bench::schema::write_artifact_with_kind(
+        "campaign",
+        "campaign",
+        config,
+        Json::Obj(results),
+    );
+
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&resume_dir);
+}

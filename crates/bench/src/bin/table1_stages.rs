@@ -1,11 +1,14 @@
 //! Regenerates Table I: "Comparing the capabilities of RABIT's three
-//! stages" — quantified on the reference workflow and the 16-bug suite.
+//! stages" — quantified on the reference workflow and the 16-bug suite,
+//! measured through the `table1_speed`/`table1_risk`/`table1_placement`
+//! campaign plans (see `rabit_campaign::plans`).
 
 use rabit_bench::report::render_table;
 use rabit_bench::stages::profile_all;
 
 fn main() {
-    println!("Table I — capabilities of RABIT's three stages (measured analog)\n");
+    println!("Table I — capabilities of RABIT's three stages (measured analog)");
+    println!("(campaign plans: table1_speed, table1_risk, table1_placement)\n");
     let profiles = profile_all();
     let rows: Vec<Vec<String>> = profiles
         .iter()

@@ -15,7 +15,12 @@
 //!
 //! * `name` — the bench binary's name (non-empty string);
 //! * `config` — the knobs the run was configured with (object);
-//! * `results` — the measured payload (object).
+//! * `results` — the measured payload (object);
+//! * `kind` — optional envelope kind. Absent or `"bench"` means the
+//!   generic payload above; `"campaign"` marks a campaign-runner
+//!   artifact, whose `results` must carry a `trials` array (objects
+//!   with string `trial_id` and `status`) and a `summary` object with a
+//!   numeric `done` count. Unknown kinds are rejected.
 //!
 //! [`write_artifact`] builds and writes the envelope; [`validate`]
 //! checks an already-parsed artifact (the `bench_schema` binary runs it
@@ -32,9 +37,21 @@ pub fn envelope(name: &str, config: Json, results: Json) -> Json {
     ])
 }
 
+/// Builds the envelope with an explicit `kind` tag.
+pub fn envelope_with_kind(name: &str, kind: &str, config: Json, results: Json) -> Json {
+    Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("kind", Json::Str(kind.to_string())),
+        ("config", config),
+        ("results", results),
+    ])
+}
+
 /// Checks that `json` is a valid bench artifact envelope: a top-level
 /// object carrying a non-empty string `name`, an object `config`, and an
-/// object `results`. Extra top-level keys are allowed.
+/// object `results`. Extra top-level keys are allowed. When a `kind` tag
+/// is present it is dispatched on: `"bench"` adds nothing, `"campaign"`
+/// additionally validates the campaign payload, anything else fails.
 pub fn validate(json: &Json) -> Result<(), String> {
     if json.as_obj().is_none() {
         return Err("top level is not an object".to_string());
@@ -51,7 +68,49 @@ pub fn validate(json: &Json) -> Result<(), String> {
             Some(_) => {}
         }
     }
-    Ok(())
+    match json.get("kind") {
+        None => Ok(()),
+        Some(kind) => match kind.as_str() {
+            Some("bench") => Ok(()),
+            Some("campaign") => {
+                validate_campaign_results(json.get("results").unwrap_or(&Json::Null))
+            }
+            Some(other) => Err(format!("unknown envelope kind \"{other}\"")),
+            None => Err("\"kind\" is not a string".to_string()),
+        },
+    }
+}
+
+/// The campaign-specific payload shape: `results.trials` is an array of
+/// objects each carrying a string `trial_id` and `status`, and
+/// `results.summary` is an object with a numeric `done`.
+fn validate_campaign_results(results: &Json) -> Result<(), String> {
+    let trials = match results.get("trials") {
+        None => return Err("campaign artifact missing \"results.trials\"".to_string()),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| "\"results.trials\" is not an array".to_string())?,
+    };
+    for (i, trial) in trials.iter().enumerate() {
+        if trial.as_obj().is_none() {
+            return Err(format!("trial entry {i} is not an object"));
+        }
+        for key in ["trial_id", "status"] {
+            if trial.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("trial entry {i} missing string \"{key}\""));
+            }
+        }
+    }
+    let summary = results
+        .get("summary")
+        .ok_or_else(|| "campaign artifact missing \"results.summary\"".to_string())?;
+    if summary.as_obj().is_none() {
+        return Err("\"results.summary\" is not an object".to_string());
+    }
+    match summary.get("done").and_then(Json::as_f64) {
+        None => Err("campaign summary missing numeric \"done\"".to_string()),
+        Some(_) => Ok(()),
+    }
 }
 
 /// Writes the enveloped artifact to `BENCH_<name>.json` in the current
@@ -61,7 +120,25 @@ pub fn validate(json: &Json) -> Result<(), String> {
 ///
 /// Panics if the file cannot be written.
 pub fn write_artifact(name: &str, config: Json, results: Json) {
-    let json = envelope(name, config, results);
+    write_envelope(name, envelope(name, config, results));
+}
+
+/// Writes a kind-tagged artifact to `BENCH_<name>.json` in the current
+/// directory and prints the path.
+///
+/// # Panics
+///
+/// Panics if the envelope does not validate under its kind (a bench
+/// bug) or the file cannot be written.
+pub fn write_artifact_with_kind(name: &str, kind: &str, config: Json, results: Json) {
+    let json = envelope_with_kind(name, kind, config, results);
+    if let Err(err) = validate(&json) {
+        panic!("artifact {name} invalid under kind {kind}: {err}");
+    }
+    write_envelope(name, json);
+}
+
+fn write_envelope(name: &str, json: Json) {
     debug_assert!(
         validate(&json).is_ok(),
         "write_artifact builds valid envelopes"
@@ -121,5 +198,92 @@ mod tests {
                 "error {err:?} should mention {expect:?}"
             );
         }
+    }
+
+    fn campaign_results() -> Json {
+        Json::obj([
+            (
+                "summary",
+                Json::obj([("trials", Json::Num(2.0)), ("done", Json::Num(2.0))]),
+            ),
+            (
+                "trials",
+                Json::Arr(vec![
+                    Json::obj([
+                        ("trial_id", Json::Str("t0000-a".into())),
+                        ("status", Json::Str("done".into())),
+                    ]),
+                    Json::obj([
+                        ("trial_id", Json::Str("t0001-b".into())),
+                        ("status", Json::Str("skipped".into())),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn campaign_kind_validates() {
+        let json = envelope_with_kind(
+            "detection_matrix",
+            "campaign",
+            Json::obj([]),
+            campaign_results(),
+        );
+        validate(&json).expect("well-formed campaign artifact is valid");
+        // `bench` kind and no kind at all stay generic.
+        let plain = envelope_with_kind("sweep", "bench", Json::obj([]), Json::obj([]));
+        validate(&plain).expect("bench kind is the generic envelope");
+    }
+
+    #[test]
+    fn campaign_kind_rejects_missing_trials() {
+        let results = Json::obj([("summary", Json::obj([("done", Json::Num(0.0))]))]);
+        let json = envelope_with_kind("c", "campaign", Json::obj([]), results);
+        let err = validate(&json).unwrap_err();
+        assert!(err.contains("results.trials"), "{err}");
+    }
+
+    #[test]
+    fn campaign_kind_rejects_wrong_types() {
+        // trials is not an array
+        let results = Json::obj([
+            ("summary", Json::obj([("done", Json::Num(0.0))])),
+            ("trials", Json::Str("many".into())),
+        ]);
+        let json = envelope_with_kind("c", "campaign", Json::obj([]), results);
+        assert!(validate(&json).unwrap_err().contains("not an array"));
+        // a trial entry missing its status string
+        let results = Json::obj([
+            ("summary", Json::obj([("done", Json::Num(1.0))])),
+            (
+                "trials",
+                Json::Arr(vec![Json::obj([
+                    ("trial_id", Json::Str("t0000-a".into())),
+                    ("status", Json::Num(1.0)),
+                ])]),
+            ),
+        ]);
+        let json = envelope_with_kind("c", "campaign", Json::obj([]), results);
+        assert!(validate(&json).unwrap_err().contains("status"));
+        // summary.done is not numeric
+        let results = Json::obj([
+            ("summary", Json::obj([("done", Json::Str("two".into()))])),
+            ("trials", Json::Arr(vec![])),
+        ]);
+        let json = envelope_with_kind("c", "campaign", Json::obj([]), results);
+        assert!(validate(&json).unwrap_err().contains("done"));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let json = envelope_with_kind("c", "telemetry", Json::obj([]), Json::obj([]));
+        let err = validate(&json).unwrap_err();
+        assert!(err.contains("unknown envelope kind"), "{err}");
+        let mut bad = envelope("c", Json::obj([]), Json::obj([]));
+        if let Json::Obj(pairs) = &mut bad {
+            pairs.push(("kind".to_string(), Json::Num(7.0)));
+        }
+        assert!(validate(&bad).unwrap_err().contains("kind"));
     }
 }

@@ -1,30 +1,37 @@
-//! The Table I stage comparison, quantified.
+//! The Table I stage comparison, quantified — produced by campaign
+//! plans.
 //!
 //! The paper's Table I rates the three stages qualitatively (speed of
 //! exploration, device precision, accuracy of results, risk of damage).
-//! This harness measures each dimension on the same reference workflow:
+//! This harness measures each dimension by running three declarative
+//! campaign plans (`rabit_campaign::plans::table1_*`) through the
+//! resumable campaign runner and folding their artifacts into one
+//! profile per stage:
 //!
 //! * **speed** — commands per virtual second running the safe Fig. 5
-//!   workflow with each stage's latency model;
+//!   workflow with each stage's latency model (`table1_speed_plan`);
 //! * **precision** — the positional repeatability σ of the stage's arms;
 //! * **accuracy** — timing fidelity relative to production (how closely
 //!   the stage's per-command time matches the real lab's);
 //! * **risk** — the damage cost incurred when the 16-bug suite runs
-//!   *unguarded* in the stage, weighted by what the stage's equipment
-//!   costs (virtual = free, cardboard mockups = cheap, lab = expensive).
+//!   *unguarded* in the stage (`table1_risk_plan`), weighted by what the
+//!   stage's equipment costs (virtual = free, mockups = cheap, lab =
+//!   expensive).
+//!
+//! Because the numbers come from campaign plans, the same tables can be
+//! regenerated — resumably, and bit-identically — by pointing a
+//! [`rabit_campaign::CampaignRunner`] at the same plans.
 //!
 //! The [`Stage`] enum itself (and its latency/noise/cost profiles) lives
-//! in `rabit_core::substrate`; this module re-exports it and measures the
-//! deck through [`TestbedSubstrate`] stage profiles.
+//! in `rabit_core::substrate`; this module re-exports it.
 
-use rabit_buginject::catalog;
-use rabit_core::{Severity, Substrate};
-use rabit_devices::{ActionKind, Command};
-use rabit_geometry::Vec3;
-use rabit_testbed::{locations, workflows, TestbedSubstrate};
-use rabit_tracer::Tracer;
+use rabit_campaign::{plans, run_ephemeral, TrialResult, TrialState};
 
 pub use rabit_core::Stage;
+
+/// Placement replicates per stage (matches the paper's repeatability
+/// protocol).
+const PLACEMENT_REPLICATES: usize = 60;
 
 /// Measured Table I row.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,90 +51,98 @@ pub struct StageProfile {
     pub unguarded_risk_cost: f64,
 }
 
-fn severity_weight(severity: Severity) -> f64 {
-    match severity {
-        Severity::Low => 1.0,
-        Severity::MediumLow => 3.0,
-        Severity::MediumHigh => 8.0,
-        Severity::High => 25.0,
+/// Severity label → damage-cost weight (labels as `Severity` displays
+/// them in campaign artifacts).
+fn severity_weight(label: &str) -> f64 {
+    match label {
+        "Low" => 1.0,
+        "Medium-Low" => 3.0,
+        "Medium-High" => 8.0,
+        "High" => 25.0,
+        other => panic!("unknown severity label '{other}' in campaign artifact"),
     }
+}
+
+fn stage_results(states: &[TrialState], stage: Stage) -> impl Iterator<Item = &TrialResult> {
+    states
+        .iter()
+        .filter_map(|s| s.result.as_ref())
+        .filter(move |r| r.stage == stage.name())
 }
 
 /// Virtual seconds per command of the reference workflow in a stage:
 /// `(raw, amortised)` where `amortised` folds in the per-experiment setup
 /// cost. Exploration speed uses the amortised figure; timing fidelity the
 /// raw one.
-fn seconds_per_command(stage: Stage) -> (f64, f64) {
-    let mut lab = TestbedSubstrate::for_stage(stage).build_lab();
-    let wf = workflows::fig5_safe_workflow(&locations());
-    let report = Tracer::pass_through(&mut lab).run(&wf);
-    assert!(report.completed(), "reference workflow must complete");
-    let n = report.executed as f64;
+fn seconds_per_command(states: &[TrialState], stage: Stage) -> (f64, f64) {
+    let result = stage_results(states, stage)
+        .next()
+        .expect("speed plan has one trial per stage");
+    assert_eq!(
+        result.outcome, "completed",
+        "reference workflow must complete"
+    );
+    let n = result.executed as f64;
     (
-        report.lab_time_s / n,
-        (report.lab_time_s + stage.setup_cost_s()) / n,
+        result.lab_time_s / n,
+        (result.lab_time_s + stage.setup_cost_s()) / n,
     )
 }
 
-/// Mean placement error of the stage's arm over `trials` commanded
-/// moves, measured through the lab pipeline with the stage's noise model.
-fn placement_error(stage: Stage, trials: usize) -> f64 {
-    let substrate = TestbedSubstrate::for_stage(stage);
-    let mut total = 0.0;
-    for seed in 0..trials as u64 {
-        let mut lab = substrate.build_lab();
-        lab.set_arm_noise("viperx", substrate.position_noise(), seed);
-        let target = Vec3::new(0.40, 0.10, 0.30);
-        lab.apply(&Command::new(
-            "viperx",
-            ActionKind::MoveToLocation { target },
-        ))
-        .expect("free-space move");
-        let achieved = lab
-            .device(&"viperx".into())
-            .unwrap()
-            .as_arm()
-            .unwrap()
-            .location();
-        total += achieved.distance(target);
-    }
-    total / trials as f64
+/// Mean placement error of the stage's arm across the placement plan's
+/// seeded replicates.
+fn placement_error(states: &[TrialState], stage: Stage) -> f64 {
+    let errors: Vec<f64> = stage_results(states, stage)
+        .map(|r| {
+            r.placement_error_m
+                .expect("placement trials record an error")
+        })
+        .collect();
+    assert_eq!(errors.len(), PLACEMENT_REPLICATES);
+    errors.iter().sum::<f64>() / errors.len() as f64
 }
 
 /// Damage cost of running every catalogued bug unguarded in a lab with
 /// the stage's latency model and cost structure.
-fn unguarded_risk(stage: Stage) -> f64 {
-    let substrate = TestbedSubstrate::for_stage(stage);
-    let loc = locations();
-    let mut total = 0.0;
-    for bug in catalog() {
-        let mut lab = substrate.build_lab();
-        let wf = bug.buggy_workflow(&loc);
-        let _ = Tracer::pass_through(&mut lab).run(&wf);
-        for event in lab.damage_log() {
-            total += severity_weight(event.severity);
-        }
-    }
-    total * stage.damage_cost_multiplier()
+fn unguarded_risk(states: &[TrialState], stage: Stage) -> f64 {
+    let raw: f64 = stage_results(states, stage)
+        .flat_map(|r| r.damage.iter())
+        .map(|label| severity_weight(label))
+        .sum();
+    raw * stage.damage_cost_multiplier()
 }
 
-/// Measures one stage.
-pub fn profile_stage(stage: Stage) -> StageProfile {
-    let (raw, amortised) = seconds_per_command(stage);
-    let (prod_raw, _) = seconds_per_command(Stage::Production);
-    StageProfile {
-        stage,
-        commands_per_second: 1.0 / amortised,
-        precision_sigma_m: stage.precision_sigma_m(),
-        measured_placement_error_m: placement_error(stage, 60),
-        timing_fidelity: raw / prod_raw,
-        unguarded_risk_cost: unguarded_risk(stage),
-    }
-}
-
-/// Measures all three stages.
+/// Measures all three stages by running the Table I campaign plans.
 pub fn profile_all() -> Vec<StageProfile> {
-    Stage::all().into_iter().map(profile_stage).collect()
+    let (_, speed) =
+        run_ephemeral(plans::table1_speed_plan(), 3).expect("table1 speed campaign runs");
+    let (_, risk) = run_ephemeral(plans::table1_risk_plan(), 4).expect("table1 risk campaign runs");
+    let (_, placement) = run_ephemeral(plans::table1_placement_plan(PLACEMENT_REPLICATES), 4)
+        .expect("table1 placement campaign runs");
+    let (prod_raw, _) = seconds_per_command(&speed, Stage::Production);
+    Stage::all()
+        .into_iter()
+        .map(|stage| {
+            let (raw, amortised) = seconds_per_command(&speed, stage);
+            StageProfile {
+                stage,
+                commands_per_second: 1.0 / amortised,
+                precision_sigma_m: stage.precision_sigma_m(),
+                measured_placement_error_m: placement_error(&placement, stage),
+                timing_fidelity: raw / prod_raw,
+                unguarded_risk_cost: unguarded_risk(&risk, stage),
+            }
+        })
+        .collect()
+}
+
+/// Measures one stage (runs the full Table I campaigns and selects the
+/// stage's row).
+pub fn profile_stage(stage: Stage) -> StageProfile {
+    profile_all()
+        .into_iter()
+        .find(|p| p.stage == stage)
+        .expect("profile_all covers every stage")
 }
 
 #[cfg(test)]

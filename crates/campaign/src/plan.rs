@@ -1,0 +1,728 @@
+//! Declarative campaign plans and their materialization into trial
+//! matrices.
+//!
+//! A [`CampaignPlan`] is pure data: named axes (workflows, substrates,
+//! fault variants, execution modes, replicates) whose cartesian product
+//! is the trial matrix. Materializing a plan yields one [`Trial`] per
+//! combination, each with a stable id and a seed derived from
+//! `(plan seed, trial index)` — never from execution order — so a
+//! resumed or re-threaded campaign draws exactly the same randomness as
+//! an uninterrupted serial one.
+//!
+//! Plans follow the baseline-plus-variants shape: the *first* substrate
+//! is the baseline row; every further substrate is a variant compared
+//! against it in the merged artifact.
+
+use rabit_buginject::catalog;
+use rabit_core::{FaultPlan, Stage};
+use rabit_geometry::Vec3;
+use rabit_testbed::{locations, workflows, RabitStage, TestbedSubstrate};
+use rabit_tracer::Workflow;
+use rabit_util::json::{field, field_or_default};
+use rabit_util::{FromJson, Json, JsonError, ToJson};
+
+/// The schema tag carried by serialized plans.
+pub const PLAN_SCHEMA: &str = "rabit.campaign.plan/v1";
+
+/// Where the placement-precision probe commands the arm to
+/// (free space above the testbed deck).
+pub const PLACEMENT_TARGET: Vec3 = Vec3::new(0.40, 0.10, 0.30);
+
+/// A workflow axis entry: which command sequence a trial replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowSpec {
+    /// The Fig. 5 safe reference workflow.
+    Fig5Safe,
+    /// The safe device tour.
+    DeviceTour,
+    /// A bug from the 16-bug catalog, by id (e.g.
+    /// `bug_a_door_not_reopened`).
+    Bug(String),
+    /// The placement-precision probe: one commanded move of the ViperX
+    /// to [`PLACEMENT_TARGET`], with the substrate's positional noise
+    /// seeded from the trial seed.
+    Placement,
+}
+
+impl WorkflowSpec {
+    /// The canonical string form (`fig5_safe`, `device_tour`,
+    /// `bug:<id>`, `placement`).
+    pub fn as_str(&self) -> String {
+        match self {
+            WorkflowSpec::Fig5Safe => "fig5_safe".to_string(),
+            WorkflowSpec::DeviceTour => "device_tour".to_string(),
+            WorkflowSpec::Bug(id) => format!("bug:{id}"),
+            WorkflowSpec::Placement => "placement".to_string(),
+        }
+    }
+
+    /// Parses the canonical string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for an unrecognized spec string.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        match text {
+            "fig5_safe" => Ok(WorkflowSpec::Fig5Safe),
+            "device_tour" => Ok(WorkflowSpec::DeviceTour),
+            "placement" => Ok(WorkflowSpec::Placement),
+            other => match other.strip_prefix("bug:") {
+                Some(id) if !id.is_empty() => Ok(WorkflowSpec::Bug(id.to_string())),
+                _ => Err(JsonError::decode(format!("unknown workflow spec '{text}'"))),
+            },
+        }
+    }
+
+    /// Builds the concrete workflow this spec names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::UnknownBug`] for a bug id absent from the
+    /// catalog (plan materialization surfaces this before any trial
+    /// runs).
+    pub fn build(&self) -> Result<Workflow, PlanError> {
+        let loc = locations();
+        match self {
+            WorkflowSpec::Fig5Safe => Ok(workflows::fig5_safe_workflow(&loc)),
+            WorkflowSpec::DeviceTour => Ok(workflows::device_tour(&loc)),
+            WorkflowSpec::Bug(id) => catalog()
+                .iter()
+                .find(|b| b.id == id)
+                .map(|b| b.buggy_workflow(&loc))
+                .ok_or_else(|| PlanError::UnknownBug(id.clone())),
+            WorkflowSpec::Placement => {
+                Ok(Workflow::new("placement").move_to("viperx", PLACEMENT_TARGET))
+            }
+        }
+    }
+}
+
+/// A substrate axis entry: which deployment backend a trial runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubstrateSpec {
+    /// One of the §IV study configurations at the physical testbed
+    /// stage ([`TestbedSubstrate::study`]).
+    Study(RabitStage),
+    /// The canonical promotion profile for a deployment stage
+    /// ([`TestbedSubstrate::for_stage`]).
+    Stage(Stage),
+}
+
+impl SubstrateSpec {
+    /// The canonical string form (`study:baseline`, `stage:simulator`,
+    /// …).
+    pub fn as_str(&self) -> String {
+        match self {
+            SubstrateSpec::Study(RabitStage::Baseline) => "study:baseline".to_string(),
+            SubstrateSpec::Study(RabitStage::Modified) => "study:modified".to_string(),
+            SubstrateSpec::Study(RabitStage::ModifiedWithSimulator) => {
+                "study:modified+sim".to_string()
+            }
+            SubstrateSpec::Stage(stage) => format!("stage:{}", stage.name().to_lowercase()),
+        }
+    }
+
+    /// Parses the canonical string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for an unrecognized spec string.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        match text {
+            "study:baseline" => Ok(SubstrateSpec::Study(RabitStage::Baseline)),
+            "study:modified" => Ok(SubstrateSpec::Study(RabitStage::Modified)),
+            "study:modified+sim" => Ok(SubstrateSpec::Study(RabitStage::ModifiedWithSimulator)),
+            "stage:simulator" => Ok(SubstrateSpec::Stage(Stage::Simulator)),
+            "stage:testbed" => Ok(SubstrateSpec::Stage(Stage::Testbed)),
+            "stage:production" => Ok(SubstrateSpec::Stage(Stage::Production)),
+            other => Err(JsonError::decode(format!(
+                "unknown substrate spec '{other}'"
+            ))),
+        }
+    }
+
+    /// Builds a fresh substrate profile for one trial.
+    pub fn build(&self) -> TestbedSubstrate {
+        match self {
+            SubstrateSpec::Study(config) => TestbedSubstrate::study(*config),
+            SubstrateSpec::Stage(stage) => TestbedSubstrate::for_stage(*stage),
+        }
+    }
+}
+
+/// A fault axis entry: which parametric fault family (if any) a trial
+/// runs under. The family's [`FaultPlan`] is derived from the *trial
+/// seed*, so the injections are a function of the plan alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultVariant {
+    /// No injected faults.
+    None,
+    /// One of `rabit_buginject::fault_families` by name
+    /// (`drop_command`, `stale_state`, …).
+    Family(String),
+}
+
+impl FaultVariant {
+    /// The canonical string form (`none` or `fault:<family>`).
+    pub fn as_str(&self) -> String {
+        match self {
+            FaultVariant::None => "none".to_string(),
+            FaultVariant::Family(name) => format!("fault:{name}"),
+        }
+    }
+
+    /// Parses the canonical string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for an unrecognized spec string.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        match text {
+            "none" => Ok(FaultVariant::None),
+            other => match other.strip_prefix("fault:") {
+                Some(name) if !name.is_empty() => Ok(FaultVariant::Family(name.to_string())),
+                _ => Err(JsonError::decode(format!("unknown fault variant '{text}'"))),
+            },
+        }
+    }
+
+    /// Builds the trial's fault plan from the trial seed (`None` for
+    /// the fault-free variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::UnknownFaultFamily`] for a family name the
+    /// fault runtime does not define.
+    pub fn build(&self, trial_seed: u64) -> Result<Option<FaultPlan>, PlanError> {
+        match self {
+            FaultVariant::None => Ok(None),
+            FaultVariant::Family(name) => rabit_buginject::fault_families(trial_seed)
+                .into_iter()
+                .find(|(family, _)| family == name)
+                .map(|(_, plan)| Some(plan))
+                .ok_or_else(|| PlanError::UnknownFaultFamily(name.clone())),
+        }
+    }
+}
+
+/// Whether a trial runs guarded (checked by RABIT) or pass-through
+/// (the unguarded baseline the damage oracle scores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Every command is checked by a fresh RABIT engine.
+    Guarded,
+    /// Commands flow straight to the lab (damage-risk measurements).
+    Unguarded,
+}
+
+impl ExecMode {
+    /// The canonical string form.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecMode::Guarded => "guarded",
+            ExecMode::Unguarded => "unguarded",
+        }
+    }
+
+    /// Parses the canonical string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for an unrecognized mode string.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        match text {
+            "guarded" => Ok(ExecMode::Guarded),
+            "unguarded" => Ok(ExecMode::Unguarded),
+            other => Err(JsonError::decode(format!("unknown exec mode '{other}'"))),
+        }
+    }
+
+    /// Whether this mode attaches a RABIT engine.
+    pub fn guarded(&self) -> bool {
+        matches!(self, ExecMode::Guarded)
+    }
+}
+
+/// A plan that cannot be materialized into a runnable trial matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// A bug id absent from the 16-bug catalog.
+    UnknownBug(String),
+    /// A fault family the fault runtime does not define.
+    UnknownFaultFamily(String),
+    /// An empty axis (a cartesian product over nothing is no campaign).
+    EmptyAxis(&'static str),
+    /// `replicates` was zero.
+    ZeroReplicates,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownBug(id) => write!(f, "unknown bug id '{id}' in plan"),
+            PlanError::UnknownFaultFamily(name) => {
+                write!(f, "unknown fault family '{name}' in plan")
+            }
+            PlanError::EmptyAxis(axis) => write!(f, "plan axis '{axis}' is empty"),
+            PlanError::ZeroReplicates => f.write_str("plan replicates must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A declarative campaign: the named axes whose cartesian product is
+/// the trial matrix. Serializable ([`ToJson`]/[`FromJson`]) so a plan
+/// can live next to its artifacts and be replayed bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPlan {
+    name: String,
+    seed: u64,
+    workflows: Vec<WorkflowSpec>,
+    substrates: Vec<SubstrateSpec>,
+    faults: Vec<FaultVariant>,
+    modes: Vec<ExecMode>,
+    replicates: usize,
+    skip: Vec<String>,
+}
+
+impl CampaignPlan {
+    /// An empty plan with defaults: no fault variants beyond
+    /// [`FaultVariant::None`], guarded execution, one replicate.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        CampaignPlan {
+            name: name.into(),
+            seed,
+            workflows: Vec::new(),
+            substrates: Vec::new(),
+            faults: vec![FaultVariant::None],
+            modes: vec![ExecMode::Guarded],
+            replicates: 1,
+            skip: Vec::new(),
+        }
+    }
+
+    /// Appends a workflow axis entry (builder style).
+    pub fn with_workflow(mut self, spec: WorkflowSpec) -> Self {
+        self.workflows.push(spec);
+        self
+    }
+
+    /// Appends every catalogued bug as a workflow axis entry.
+    pub fn with_bug_catalog(mut self) -> Self {
+        for bug in catalog() {
+            self.workflows.push(WorkflowSpec::Bug(bug.id.to_string()));
+        }
+        self
+    }
+
+    /// Appends a substrate axis entry. The first substrate pushed is
+    /// the plan's baseline row; later ones are variants.
+    pub fn with_substrate(mut self, spec: SubstrateSpec) -> Self {
+        self.substrates.push(spec);
+        self
+    }
+
+    /// Replaces the fault axis (defaults to `[FaultVariant::None]`).
+    pub fn with_faults(mut self, faults: Vec<FaultVariant>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the execution-mode axis (defaults to `[Guarded]`).
+    pub fn with_modes(mut self, modes: Vec<ExecMode>) -> Self {
+        self.modes = modes;
+        self
+    }
+
+    /// Sets the number of seeded replicates per combination.
+    pub fn with_replicates(mut self, replicates: usize) -> Self {
+        self.replicates = replicates;
+        self
+    }
+
+    /// Marks a combination key (see [`Trial::key`]) as skipped: the
+    /// trial is materialized and persisted with status `skipped`, but
+    /// never executed.
+    pub fn with_skip(mut self, key: impl Into<String>) -> Self {
+        self.skip.push(key.into());
+        self
+    }
+
+    /// The plan's name (becomes the artifact's `name`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The plan's root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The baseline substrate (the first pushed), if any.
+    pub fn baseline(&self) -> Option<&SubstrateSpec> {
+        self.substrates.first()
+    }
+
+    /// The substrate axis, baseline first.
+    pub fn substrates(&self) -> &[SubstrateSpec] {
+        &self.substrates
+    }
+
+    /// The workflow axis.
+    pub fn workflows(&self) -> &[WorkflowSpec] {
+        &self.workflows
+    }
+
+    /// The FNV-1a fingerprint of the serialized plan, as fixed-width
+    /// hex. State files and the run manifest carry it so a state
+    /// directory can never be resumed under a different plan.
+    pub fn fingerprint(&self) -> String {
+        format!("{:016x}", fnv1a(self.to_json().to_compact().as_bytes()))
+    }
+
+    /// Materializes the trial matrix: the cartesian product
+    /// workflows × substrates × faults × modes × replicates, in that
+    /// nesting order, with per-trial seeds derived from
+    /// `(plan seed, trial index)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] for empty axes, zero replicates, unknown
+    /// bug ids, or unknown fault families — every spec is resolved here
+    /// so a plan that materializes is a plan that runs.
+    pub fn materialize(&self) -> Result<Vec<Trial>, PlanError> {
+        if self.workflows.is_empty() {
+            return Err(PlanError::EmptyAxis("workflows"));
+        }
+        if self.substrates.is_empty() {
+            return Err(PlanError::EmptyAxis("substrates"));
+        }
+        if self.faults.is_empty() {
+            return Err(PlanError::EmptyAxis("faults"));
+        }
+        if self.modes.is_empty() {
+            return Err(PlanError::EmptyAxis("modes"));
+        }
+        if self.replicates == 0 {
+            return Err(PlanError::ZeroReplicates);
+        }
+        // Resolve every spec up front so errors surface before any
+        // trial executes.
+        for wf in &self.workflows {
+            wf.build().map(|_| ())?;
+        }
+        for fault in &self.faults {
+            fault.build(0).map(|_| ())?;
+        }
+
+        let mut trials = Vec::new();
+        let mut index = 0usize;
+        for workflow in &self.workflows {
+            for substrate in &self.substrates {
+                for fault in &self.faults {
+                    for mode in &self.modes {
+                        for replicate in 0..self.replicates {
+                            let key = trial_key(workflow, substrate, fault, mode, replicate);
+                            trials.push(Trial {
+                                index,
+                                id: trial_id(index, &key),
+                                seed: derive_seed(self.seed, index as u64),
+                                workflow: workflow.clone(),
+                                substrate: *substrate,
+                                fault: fault.clone(),
+                                mode: *mode,
+                                replicate,
+                                skipped: self.skip.contains(&key),
+                            });
+                            index += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(trials)
+    }
+}
+
+impl ToJson for CampaignPlan {
+    fn to_json(&self) -> Json {
+        let strings = |items: Vec<String>| Json::Arr(items.into_iter().map(Json::Str).collect());
+        Json::obj([
+            ("schema", Json::Str(PLAN_SCHEMA.to_string())),
+            ("name", Json::Str(self.name.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            (
+                "workflows",
+                strings(self.workflows.iter().map(WorkflowSpec::as_str).collect()),
+            ),
+            (
+                "substrates",
+                strings(self.substrates.iter().map(SubstrateSpec::as_str).collect()),
+            ),
+            (
+                "faults",
+                strings(self.faults.iter().map(FaultVariant::as_str).collect()),
+            ),
+            (
+                "modes",
+                strings(self.modes.iter().map(|m| m.as_str().to_string()).collect()),
+            ),
+            ("replicates", Json::Num(self.replicates as f64)),
+            ("skip", strings(self.skip.clone())),
+        ])
+    }
+}
+
+impl FromJson for CampaignPlan {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let schema: String = field(json, "schema")?;
+        if schema != PLAN_SCHEMA {
+            return Err(JsonError::decode(format!(
+                "unsupported plan schema '{schema}' (expected '{PLAN_SCHEMA}')"
+            )));
+        }
+        fn specs<T>(
+            json: &Json,
+            key: &str,
+            parse: impl Fn(&str) -> Result<T, JsonError>,
+        ) -> Result<Vec<T>, JsonError> {
+            field::<Vec<String>>(json, key)?
+                .iter()
+                .map(|s| parse(s))
+                .collect()
+        }
+        Ok(CampaignPlan {
+            name: field(json, "name")?,
+            seed: field(json, "seed")?,
+            workflows: specs(json, "workflows", WorkflowSpec::parse)?,
+            substrates: specs(json, "substrates", SubstrateSpec::parse)?,
+            faults: specs(json, "faults", FaultVariant::parse)?,
+            modes: specs(json, "modes", ExecMode::parse)?,
+            replicates: field(json, "replicates")?,
+            skip: field_or_default(json, "skip")?,
+        })
+    }
+}
+
+/// One materialized trial: a point of the plan's cartesian product,
+/// with a stable id and a plan-derived seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Position in the matrix (state vectors and artifacts are keyed by
+    /// it).
+    pub index: usize,
+    /// Filesystem-safe stable id, e.g.
+    /// `t0007-bug-bug_a_door_not_reopened-study-baseline-none-guarded-r0`.
+    pub id: String,
+    /// The trial's seed, derived from `(plan seed, index)` by a
+    /// SplitMix64 finalizer — a pure function of the plan.
+    pub seed: u64,
+    /// The workflow axis value.
+    pub workflow: WorkflowSpec,
+    /// The substrate axis value.
+    pub substrate: SubstrateSpec,
+    /// The fault axis value.
+    pub fault: FaultVariant,
+    /// The execution-mode axis value.
+    pub mode: ExecMode,
+    /// The replicate number within the combination (0-based).
+    pub replicate: usize,
+    /// Whether the plan's skip list excludes this trial from execution.
+    pub skipped: bool,
+}
+
+impl Trial {
+    /// The trial's combination key — the index-free identity used by
+    /// plan skip lists: `workflow|substrate|fault|mode|rN`.
+    pub fn key(&self) -> String {
+        trial_key(
+            &self.workflow,
+            &self.substrate,
+            &self.fault,
+            &self.mode,
+            self.replicate,
+        )
+    }
+}
+
+fn trial_key(
+    workflow: &WorkflowSpec,
+    substrate: &SubstrateSpec,
+    fault: &FaultVariant,
+    mode: &ExecMode,
+    replicate: usize,
+) -> String {
+    format!(
+        "{}|{}|{}|{}|r{}",
+        workflow.as_str(),
+        substrate.as_str(),
+        fault.as_str(),
+        mode.as_str(),
+        replicate
+    )
+}
+
+fn trial_id(index: usize, key: &str) -> String {
+    let slug: String = key
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    format!("t{index:04}-{slug}")
+}
+
+/// Derives a trial seed from the plan seed and the trial's matrix
+/// index (SplitMix64 finalizer — the same mixing `FaultPlan::for_run`
+/// uses, so trial seeds are well-distributed even for seed 0).
+pub fn derive_seed(plan_seed: u64, index: u64) -> u64 {
+    let mut z = plan_seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_plan() -> CampaignPlan {
+        CampaignPlan::new("unit", 7)
+            .with_workflow(WorkflowSpec::Fig5Safe)
+            .with_workflow(WorkflowSpec::Bug("bug_a_door_not_reopened".into()))
+            .with_substrate(SubstrateSpec::Study(RabitStage::Baseline))
+            .with_substrate(SubstrateSpec::Study(RabitStage::Modified))
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = small_plan()
+            .with_faults(vec![
+                FaultVariant::None,
+                FaultVariant::Family("drop_command".into()),
+            ])
+            .with_modes(vec![ExecMode::Guarded, ExecMode::Unguarded])
+            .with_replicates(3)
+            .with_skip("fig5_safe|study:baseline|none|guarded|r0");
+        let json = plan.to_json();
+        let back = CampaignPlan::from_json(&json).expect("plan decodes");
+        assert_eq!(back, plan);
+        assert_eq!(back.fingerprint(), plan.fingerprint());
+    }
+
+    #[test]
+    fn materialization_is_the_cartesian_product_in_order() {
+        let trials = small_plan().materialize().expect("valid plan");
+        assert_eq!(trials.len(), 4);
+        assert_eq!(trials[0].workflow, WorkflowSpec::Fig5Safe);
+        assert_eq!(
+            trials[0].substrate,
+            SubstrateSpec::Study(RabitStage::Baseline)
+        );
+        assert_eq!(
+            trials[1].substrate,
+            SubstrateSpec::Study(RabitStage::Modified)
+        );
+        for (i, t) in trials.iter().enumerate() {
+            assert_eq!(t.index, i);
+            assert!(t.id.starts_with(&format!("t{i:04}-")));
+        }
+    }
+
+    #[test]
+    fn seeds_are_plan_derived_and_distinct() {
+        let trials = small_plan().materialize().unwrap();
+        let again = small_plan().materialize().unwrap();
+        for (a, b) in trials.iter().zip(&again) {
+            assert_eq!(a.seed, b.seed, "seeds are a pure function of the plan");
+        }
+        let mut seeds: Vec<u64> = trials.iter().map(|t| t.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), trials.len(), "per-trial seeds are distinct");
+        // A different plan seed moves every trial seed.
+        let other = CampaignPlan::new("unit", 8)
+            .with_workflow(WorkflowSpec::Fig5Safe)
+            .with_substrate(SubstrateSpec::Study(RabitStage::Baseline))
+            .materialize()
+            .unwrap();
+        assert_ne!(other[0].seed, trials[0].seed);
+    }
+
+    #[test]
+    fn unknown_specs_fail_at_materialization() {
+        let bad_bug = CampaignPlan::new("x", 1)
+            .with_workflow(WorkflowSpec::Bug("no_such_bug".into()))
+            .with_substrate(SubstrateSpec::Stage(Stage::Testbed));
+        assert_eq!(
+            bad_bug.materialize(),
+            Err(PlanError::UnknownBug("no_such_bug".into()))
+        );
+        let bad_fault = CampaignPlan::new("x", 1)
+            .with_workflow(WorkflowSpec::Fig5Safe)
+            .with_substrate(SubstrateSpec::Stage(Stage::Testbed))
+            .with_faults(vec![FaultVariant::Family("gamma_rays".into())]);
+        assert_eq!(
+            bad_fault.materialize(),
+            Err(PlanError::UnknownFaultFamily("gamma_rays".into()))
+        );
+        let empty = CampaignPlan::new("x", 1);
+        assert_eq!(empty.materialize(), Err(PlanError::EmptyAxis("workflows")));
+    }
+
+    #[test]
+    fn skip_list_matches_by_combination_key() {
+        let trials = small_plan()
+            .with_skip("bug:bug_a_door_not_reopened|study:modified|none|guarded|r0")
+            .materialize()
+            .unwrap();
+        let skipped: Vec<&Trial> = trials.iter().filter(|t| t.skipped).collect();
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].index, 3);
+        assert_eq!(skipped[0].key(), trials[3].key());
+    }
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for spec in [
+            WorkflowSpec::Fig5Safe,
+            WorkflowSpec::DeviceTour,
+            WorkflowSpec::Placement,
+            WorkflowSpec::Bug("held_vial_low".into()),
+        ] {
+            assert_eq!(WorkflowSpec::parse(&spec.as_str()).unwrap(), spec);
+        }
+        for spec in [
+            SubstrateSpec::Study(RabitStage::ModifiedWithSimulator),
+            SubstrateSpec::Stage(Stage::Production),
+        ] {
+            assert_eq!(SubstrateSpec::parse(&spec.as_str()).unwrap(), spec);
+        }
+        assert!(WorkflowSpec::parse("bug:").is_err());
+        assert!(SubstrateSpec::parse("study:quantum").is_err());
+        assert!(FaultVariant::parse("fault:").is_err());
+        assert!(ExecMode::parse("observed").is_err());
+    }
+
+    #[test]
+    fn placement_workflow_targets_the_probe_point() {
+        let wf = WorkflowSpec::Placement.build().unwrap();
+        assert_eq!(wf.len(), 1);
+        assert_eq!(wf.name(), "placement");
+    }
+}

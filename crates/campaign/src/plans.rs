@@ -1,0 +1,92 @@
+//! The predefined campaign plans behind EXPERIMENTS.md.
+//!
+//! Each function returns the declarative plan that regenerates one
+//! published table; EXPERIMENTS.md cites these by name. Seeds are fixed
+//! so the artifacts are reproducible byte-for-byte.
+
+use crate::plan::{CampaignPlan, ExecMode, SubstrateSpec, WorkflowSpec};
+use rabit_core::Stage;
+use rabit_testbed::RabitStage;
+
+/// The §IV detection matrix: all 16 catalogued bugs × the three study
+/// configurations (baseline first — the plan's baseline row), guarded.
+/// 48 trials; the artifact's per-substrate detection counts are the
+/// paper's 8/12/13-of-16 progression.
+pub fn detection_matrix_plan() -> CampaignPlan {
+    CampaignPlan::new("detection_matrix", 0x5D1)
+        .with_bug_catalog()
+        .with_substrate(SubstrateSpec::Study(RabitStage::Baseline))
+        .with_substrate(SubstrateSpec::Study(RabitStage::Modified))
+        .with_substrate(SubstrateSpec::Study(RabitStage::ModifiedWithSimulator))
+}
+
+/// A small matrix for smoke tests and CI: two workflows × two study
+/// configurations × guarded+unguarded = 8 trials.
+pub fn quick_matrix_plan() -> CampaignPlan {
+    CampaignPlan::new("quick_matrix", 0x0B5)
+        .with_workflow(WorkflowSpec::Fig5Safe)
+        .with_workflow(WorkflowSpec::Bug("bug_a_door_not_reopened".to_string()))
+        .with_substrate(SubstrateSpec::Study(RabitStage::Baseline))
+        .with_substrate(SubstrateSpec::Study(RabitStage::ModifiedWithSimulator))
+        .with_modes(vec![ExecMode::Guarded, ExecMode::Unguarded])
+}
+
+/// Table I speed rows: the Fig. 5 safe workflow replayed unguarded on
+/// each deployment stage (simulator baseline row first). Lab times plus
+/// stage setup costs yield commands/second.
+pub fn table1_speed_plan() -> CampaignPlan {
+    CampaignPlan::new("table1_speed", 0x71A)
+        .with_workflow(WorkflowSpec::Fig5Safe)
+        .with_substrate(SubstrateSpec::Stage(Stage::Simulator))
+        .with_substrate(SubstrateSpec::Stage(Stage::Testbed))
+        .with_substrate(SubstrateSpec::Stage(Stage::Production))
+        .with_modes(vec![ExecMode::Unguarded])
+}
+
+/// Table I risk rows: all 16 bugs replayed unguarded on each stage; the
+/// severity-weighted damage each stage accumulates, scaled by its
+/// damage-cost multiplier, is the unguarded-risk column.
+pub fn table1_risk_plan() -> CampaignPlan {
+    CampaignPlan::new("table1_risk", 0x71B)
+        .with_bug_catalog()
+        .with_substrate(SubstrateSpec::Stage(Stage::Simulator))
+        .with_substrate(SubstrateSpec::Stage(Stage::Testbed))
+        .with_substrate(SubstrateSpec::Stage(Stage::Production))
+        .with_modes(vec![ExecMode::Unguarded])
+}
+
+/// Table I placement rows: the placement probe replayed with
+/// `replicates` seeded noise draws per stage; the mean distance between
+/// commanded and achieved pose is the measured placement error.
+pub fn table1_placement_plan(replicates: usize) -> CampaignPlan {
+    CampaignPlan::new("table1_placement", 0x71C)
+        .with_workflow(WorkflowSpec::Placement)
+        .with_substrate(SubstrateSpec::Stage(Stage::Simulator))
+        .with_substrate(SubstrateSpec::Stage(Stage::Testbed))
+        .with_substrate(SubstrateSpec::Stage(Stage::Production))
+        .with_modes(vec![ExecMode::Unguarded])
+        .with_replicates(replicates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_plans_materialize() {
+        assert_eq!(detection_matrix_plan().materialize().unwrap().len(), 48);
+        assert_eq!(quick_matrix_plan().materialize().unwrap().len(), 8);
+        assert_eq!(table1_speed_plan().materialize().unwrap().len(), 3);
+        assert_eq!(table1_risk_plan().materialize().unwrap().len(), 48);
+        assert_eq!(table1_placement_plan(60).materialize().unwrap().len(), 180);
+    }
+
+    #[test]
+    fn detection_matrix_baseline_row_is_the_study_baseline() {
+        let plan = detection_matrix_plan();
+        assert_eq!(
+            plan.baseline().map(|s| s.as_str()),
+            Some("study:baseline".to_string())
+        );
+    }
+}

@@ -249,30 +249,82 @@ fn fleet_on_with(
 ) -> FleetReport {
     let runs = run_indexed(jobs.len(), threads, |i| {
         let (substrate, workflow) = jobs[i];
-        let (mut lab, mut rabit) = match plan {
-            Some(plan) => substrate.instantiate_with(&plan.for_run(i as u64)),
-            None => substrate.instantiate(),
+        let job = FleetJob {
+            substrate,
+            workflow,
+            fault: plan.map(|p| p.for_run(i as u64)),
+            guarded: true,
         };
-        rabit.config_mut().first_violation_only = true;
-        let report = Tracer::guarded(&mut lab, &mut rabit).run(workflow);
-        let (cache_hits, cache_misses) = rabit.validator_cache_stats();
-        let (samples_checked, samples_skipped, distance_queries) = rabit.validator_sweep_stats();
-        FleetRun {
-            index: i,
-            workflow: workflow.name().to_string(),
-            stage: Some(substrate.stage()),
-            substrate: Some(substrate.name().to_string()),
-            report,
-            damage: lab.damage_log().to_vec(),
-            cache_hits,
-            cache_misses,
-            samples_checked,
-            samples_skipped,
-            distance_queries,
-            faults_injected: lab.fault_stats().total_injected(),
-        }
+        let (mut run, _lab) = job.execute();
+        run.index = i;
+        run
     });
     FleetReport { threads, runs }
+}
+
+/// One self-contained trial: a substrate, a workflow, an optional fault
+/// plan, and an execution mode. [`execute`](FleetJob::execute) is the
+/// single code path behind [`run_fleet_on`]/[`run_fleet_on_faulted`],
+/// exposed so external runners (the campaign crate) can execute exactly
+/// the same trial semantics one job at a time and still inspect the
+/// finished lab afterwards.
+pub struct FleetJob<'a> {
+    /// The deployment substrate the trial instantiates from.
+    pub substrate: &'a dyn Substrate,
+    /// The workflow to replay.
+    pub workflow: &'a Workflow,
+    /// An already-derived per-run fault plan (callers do their own
+    /// `for_run` seed mixing; the plan is armed as-is).
+    pub fault: Option<FaultPlan>,
+    /// `true` = guarded (check-then-forward through a fresh RABIT
+    /// engine); `false` = pass-through baseline.
+    pub guarded: bool,
+}
+
+impl FleetJob<'_> {
+    /// Runs the trial and returns its [`FleetRun`] (with `index` 0 —
+    /// callers that fan out assign their own) plus the finished lab,
+    /// so post-run ground truth (device poses, damage detail) stays
+    /// inspectable.
+    pub fn execute(&self) -> (FleetRun, Lab) {
+        let (lab, report, cache, sweep) = if self.guarded {
+            let (mut lab, mut rabit) = match &self.fault {
+                Some(plan) => self.substrate.instantiate_with(plan),
+                None => self.substrate.instantiate(),
+            };
+            rabit.config_mut().first_violation_only = true;
+            let report = Tracer::guarded(&mut lab, &mut rabit).run(self.workflow);
+            let cache = rabit.validator_cache_stats();
+            let sweep = rabit.validator_sweep_stats();
+            (lab, report, cache, sweep)
+        } else {
+            let mut lab = self.substrate.build_lab();
+            if let Some(plan) = &self.fault {
+                if !plan.is_empty() {
+                    lab.arm_faults(plan.session());
+                }
+            }
+            let report = Tracer::pass_through(&mut lab).run(self.workflow);
+            (lab, report, (0, 0), (0, 0, 0))
+        };
+        let run = FleetRun {
+            index: 0,
+            workflow: self.workflow.name().to_string(),
+            stage: Some(self.substrate.stage()),
+            substrate: Some(self.substrate.name().to_string()),
+            report,
+            damage: lab.damage_log().to_vec(),
+            cache_hits: cache.0,
+            cache_misses: cache.1,
+            samples_checked: sweep.0,
+            samples_skipped: sweep.1,
+            distance_queries: sweep.2,
+            faults_injected: lab.fault_stats().total_injected(),
+        };
+        // The damage log and fault stats are already captured; hand the
+        // lab back for post-run ground-truth reads.
+        (run, lab)
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +465,41 @@ mod tests {
         assert_eq!(fleet.total_damage(), 0, "guarded fleet takes no damage");
         // The same stage latency ran faster in simulation than production.
         assert!(fleet.runs[0].report.lab_time_s < fleet.runs[1].report.lab_time_s);
+    }
+
+    #[test]
+    fn fleet_job_matches_fleet_semantics() {
+        let sub = MiniSubstrate {
+            stage: Stage::Testbed,
+        };
+        let wfs = workflows();
+        // Guarded single job ≡ the same job inside run_fleet_on.
+        let jobs: Vec<(&dyn Substrate, &Workflow)> = vec![(&sub, &wfs[1])];
+        let fleet = run_fleet_on(&jobs, 1);
+        let (solo, lab) = FleetJob {
+            substrate: &sub,
+            workflow: &wfs[1],
+            fault: None,
+            guarded: true,
+        }
+        .execute();
+        assert_eq!(
+            solo.report.completed(),
+            fleet.runs[0].report.completed(),
+            "guarded FleetJob and run_fleet_on agree on the outcome"
+        );
+        assert_eq!(solo.damage.len(), fleet.runs[0].damage.len());
+        assert!(lab.device(&"viperx".into()).is_some(), "lab stays readable");
+        // Unguarded pass-through lets bug_a damage the door.
+        let (unguarded, _) = FleetJob {
+            substrate: &sub,
+            workflow: &wfs[1],
+            fault: None,
+            guarded: false,
+        }
+        .execute();
+        assert!(unguarded.report.completed(), "nothing halts pass-through");
+        assert_eq!(unguarded.damage.len(), 1, "bug_a breaks the door");
     }
 
     #[test]

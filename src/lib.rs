@@ -16,6 +16,8 @@ pub use rabit_geometry as geometry;
 
 /// Re-export of the bug-injection framework.
 pub use rabit_buginject as buginject;
+/// Re-export of the resumable campaign runner.
+pub use rabit_campaign as campaign;
 /// Re-export of the JSON configuration subsystem.
 pub use rabit_config as config;
 /// Re-export of the core engine.
