@@ -52,6 +52,10 @@ pub fn envelope_with_kind(name: &str, kind: &str, config: Json, results: Json) -
 /// object `results`. Extra top-level keys are allowed. When a `kind` tag
 /// is present it is dispatched on: `"bench"` adds nothing, `"campaign"`
 /// additionally validates the campaign payload, anything else fails.
+///
+/// Generic (non-campaign) artifacts named `"sweep"` are additionally
+/// held to the sweep bench's regression contract — see
+/// `validate_sweep_results` in this module.
 pub fn validate(json: &Json) -> Result<(), String> {
     if json.as_obj().is_none() {
         return Err("top level is not an object".to_string());
@@ -68,17 +72,81 @@ pub fn validate(json: &Json) -> Result<(), String> {
             Some(_) => {}
         }
     }
-    match json.get("kind") {
-        None => Ok(()),
+    let generic = match json.get("kind") {
+        None => true,
         Some(kind) => match kind.as_str() {
-            Some("bench") => Ok(()),
+            Some("bench") => true,
             Some("campaign") => {
-                validate_campaign_results(json.get("results").unwrap_or(&Json::Null))
+                validate_campaign_results(json.get("results").unwrap_or(&Json::Null))?;
+                false
             }
-            Some(other) => Err(format!("unknown envelope kind \"{other}\"")),
-            None => Err("\"kind\" is not a string".to_string()),
+            Some(other) => return Err(format!("unknown envelope kind \"{other}\"")),
+            None => return Err("\"kind\" is not a string".to_string()),
         },
+    };
+    if generic && json.get("name").and_then(Json::as_str) == Some("sweep") {
+        validate_sweep_results(
+            json.get("config").unwrap_or(&Json::Null),
+            json.get("results").unwrap_or(&Json::Null),
+        )?;
     }
+    Ok(())
+}
+
+/// Minimum `wall_speedup` a full-mode (`quick_mode: false`) sweep
+/// artifact must carry: the batched SoA kernel with whole-arm
+/// certificates must hold at least this wall-clock advantage over dense
+/// sampling, or CI's schema check fails the artifact as a performance
+/// regression. (The bench targets ≥2×; the gate leaves headroom for
+/// noisy machines.)
+pub const SWEEP_MIN_WALL_SPEEDUP: f64 = 1.5;
+
+/// The sweep bench's regression contract, checked on every `"sweep"`
+/// artifact CI sees:
+///
+/// * `results.dense` / `results.adaptive` / `results.batched` are
+///   objects each carrying the numeric kernel counters
+///   (`wall_seconds`, `samples_checked`, `samples_skipped`,
+///   `distance_queries`, `distance_evals_batched`,
+///   `certificate_spans`);
+/// * `results.wall_speedup` is numeric, and at least
+///   [`SWEEP_MIN_WALL_SPEEDUP`] when `config.quick_mode` is `false`
+///   (quick smoke runs measure too little wall time to gate on).
+fn validate_sweep_results(config: &Json, results: &Json) -> Result<(), String> {
+    const COUNTERS: [&str; 6] = [
+        "wall_seconds",
+        "samples_checked",
+        "samples_skipped",
+        "distance_queries",
+        "distance_evals_batched",
+        "certificate_spans",
+    ];
+    for mode in ["dense", "adaptive", "batched"] {
+        let block = results
+            .get(mode)
+            .ok_or_else(|| format!("sweep artifact missing \"results.{mode}\""))?;
+        if block.as_obj().is_none() {
+            return Err(format!("\"results.{mode}\" is not an object"));
+        }
+        for key in COUNTERS {
+            if block.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!(
+                    "sweep \"results.{mode}\" missing numeric \"{key}\""
+                ));
+            }
+        }
+    }
+    let speedup = results
+        .get("wall_speedup")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "sweep artifact missing numeric \"results.wall_speedup\"".to_string())?;
+    let quick = config.get("quick_mode").and_then(Json::as_bool);
+    if quick == Some(false) && speedup < SWEEP_MIN_WALL_SPEEDUP {
+        return Err(format!(
+            "sweep wall_speedup {speedup:.3} below regression gate {SWEEP_MIN_WALL_SPEEDUP}"
+        ));
+    }
+    Ok(())
 }
 
 /// The campaign-specific payload shape: `results.trials` is an array of
@@ -155,14 +223,14 @@ mod tests {
     #[test]
     fn envelope_round_trips_and_validates() {
         let json = envelope(
-            "sweep",
+            "demo",
             Json::obj([("quick_mode", Json::Bool(true))]),
             Json::obj([("speedup", Json::Num(5.0))]),
         );
         validate(&json).expect("fresh envelope is valid");
         let reparsed = Json::parse(&json.to_pretty()).expect("pretty output parses");
         validate(&reparsed).expect("round-tripped envelope is valid");
-        assert_eq!(reparsed.get("name").and_then(Json::as_str), Some("sweep"));
+        assert_eq!(reparsed.get("name").and_then(Json::as_str), Some("demo"));
     }
 
     #[test]
@@ -232,7 +300,7 @@ mod tests {
         );
         validate(&json).expect("well-formed campaign artifact is valid");
         // `bench` kind and no kind at all stay generic.
-        let plain = envelope_with_kind("sweep", "bench", Json::obj([]), Json::obj([]));
+        let plain = envelope_with_kind("demo", "bench", Json::obj([]), Json::obj([]));
         validate(&plain).expect("bench kind is the generic envelope");
     }
 
@@ -273,6 +341,86 @@ mod tests {
         ]);
         let json = envelope_with_kind("c", "campaign", Json::obj([]), results);
         assert!(validate(&json).unwrap_err().contains("done"));
+    }
+
+    fn sweep_mode_block(wall: f64) -> Json {
+        Json::obj([
+            ("wall_seconds", Json::Num(wall)),
+            ("samples_checked", Json::Num(100.0)),
+            ("samples_skipped", Json::Num(50.0)),
+            ("distance_queries", Json::Num(40.0)),
+            ("distance_evals_batched", Json::Num(64.0)),
+            ("certificate_spans", Json::Num(3.0)),
+        ])
+    }
+
+    fn sweep_envelope(quick: bool, speedup: f64) -> Json {
+        envelope(
+            "sweep",
+            Json::obj([("quick_mode", Json::Bool(quick))]),
+            Json::obj([
+                ("dense", sweep_mode_block(2.0)),
+                ("adaptive", sweep_mode_block(1.2)),
+                ("batched", sweep_mode_block(2.0 / speedup)),
+                ("wall_speedup", Json::Num(speedup)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn sweep_gate_accepts_fast_full_runs() {
+        validate(&sweep_envelope(false, 2.1)).expect("2.1x full run passes the gate");
+        validate(&sweep_envelope(true, 1.0)).expect("quick runs are not gated on speedup");
+    }
+
+    #[test]
+    fn sweep_gate_rejects_regressed_full_runs() {
+        let err = validate(&sweep_envelope(false, 1.01)).unwrap_err();
+        assert!(err.contains("regression gate"), "{err}");
+    }
+
+    #[test]
+    fn sweep_gate_requires_counter_fields() {
+        // A mode block lacking the batched-lane counter fails.
+        let mut stale = sweep_mode_block(1.0);
+        if let Json::Obj(pairs) = &mut stale {
+            pairs.retain(|(k, _)| k != "distance_evals_batched");
+        }
+        let json = envelope(
+            "sweep",
+            Json::obj([("quick_mode", Json::Bool(true))]),
+            Json::obj([
+                ("dense", sweep_mode_block(2.0)),
+                ("adaptive", sweep_mode_block(1.2)),
+                ("batched", stale),
+                ("wall_speedup", Json::Num(2.0)),
+            ]),
+        );
+        let err = validate(&json).unwrap_err();
+        assert!(err.contains("distance_evals_batched"), "{err}");
+        // A missing mode block fails too.
+        let json = envelope(
+            "sweep",
+            Json::obj([]),
+            Json::obj([
+                ("dense", sweep_mode_block(2.0)),
+                ("wall_speedup", Json::Num(2.0)),
+            ]),
+        );
+        let err = validate(&json).unwrap_err();
+        assert!(err.contains("results.adaptive"), "{err}");
+        // wall_speedup must be present and numeric.
+        let json = envelope(
+            "sweep",
+            Json::obj([]),
+            Json::obj([
+                ("dense", sweep_mode_block(2.0)),
+                ("adaptive", sweep_mode_block(1.2)),
+                ("batched", sweep_mode_block(1.0)),
+            ]),
+        );
+        let err = validate(&json).unwrap_err();
+        assert!(err.contains("wall_speedup"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::alert::{Alert, StopPolicy};
 use crate::builder::RabitBuilder;
 use crate::faults::{FaultPlan, RecoveryCounters, RecoveryPolicy};
 use crate::lab::Lab;
-use crate::trajcheck::{TrajectoryValidator, TrajectoryVerdict};
+use crate::trajcheck::{SweepStats, TrajectoryValidator, TrajectoryVerdict};
 use rabit_devices::{ActionKind, Command, DeviceId, LabState};
 use rabit_rulebase::{transition, DeviceCatalog, Rulebase};
 use std::collections::BTreeSet;
@@ -96,9 +96,15 @@ pub struct RunReport {
     /// Polling-grid samples the validator's adaptive sweep kernel proved
     /// hit-free and skipped during this run (zero for dense validators).
     pub samples_skipped: u64,
-    /// Per-obstacle signed-distance evaluations the validator issued for
+    /// Per-primitive signed-distance evaluations the validator issued for
     /// skip decisions during this run.
     pub distance_queries: u64,
+    /// Lane slots the validator pushed through its batched (4-wide)
+    /// distance kernels during this run, padding included.
+    pub distance_evals_batched: u64,
+    /// Whole-arm certificate spans the validator's adaptive sweep kernel
+    /// accepted during this run.
+    pub certificate_spans: u64,
     /// Recovery activity during this run (retries, recoveries,
     /// quarantines, safe-stops). All zeros under
     /// [`RecoveryPolicy::AlertImmediately`].
@@ -239,19 +245,14 @@ impl Rabit {
             .map_or((0, 0), |v| (v.cache_hits(), v.cache_misses()))
     }
 
-    /// Sweep-kernel counters of the attached validator as
-    /// `(samples_checked, samples_skipped, distance_queries)` — all zero
-    /// when no validator is attached or it does no sampling sweep.
-    /// Instrumentation for the adaptive conservative-advancement
-    /// benchmarks.
-    pub fn validator_sweep_stats(&self) -> (u64, u64, u64) {
-        self.validator.as_ref().map_or((0, 0, 0), |v| {
-            (
-                v.samples_checked(),
-                v.samples_skipped(),
-                v.distance_queries(),
-            )
-        })
+    /// Sweep-kernel counters of the attached validator as a
+    /// [`SweepStats`] snapshot — all zero when no validator is attached
+    /// or it does no sampling sweep. Instrumentation for the adaptive
+    /// conservative-advancement benchmarks.
+    pub fn validator_sweep_stats(&self) -> SweepStats {
+        self.validator
+            .as_ref()
+            .map_or(SweepStats::default(), |v| v.sweep_stats())
     }
 
     /// The rulebase (for inspection/extension).
@@ -509,7 +510,7 @@ impl Rabit {
         let t0 = lab.clock().now_s();
         let overhead0 = self.overhead_s;
         let (hits0, misses0) = self.validator_cache_stats();
-        let (checked0, skipped0, dist0) = self.validator_sweep_stats();
+        let sweep0 = self.validator_sweep_stats();
         let recovery0 = self.recovery_totals;
         self.initialize(lab);
         let faults0 = lab.fault_stats().total_injected();
@@ -529,7 +530,7 @@ impl Rabit {
             }
         }
         let (hits1, misses1) = self.validator_cache_stats();
-        let (checked1, skipped1, dist1) = self.validator_sweep_stats();
+        let sweep = self.validator_sweep_stats().since(&sweep0);
         RunReport {
             executed,
             alert,
@@ -537,9 +538,11 @@ impl Rabit {
             rabit_overhead_s: self.overhead_s - overhead0,
             cache_hits: hits1 - hits0,
             cache_misses: misses1 - misses0,
-            samples_checked: checked1 - checked0,
-            samples_skipped: skipped1 - skipped0,
-            distance_queries: dist1 - dist0,
+            samples_checked: sweep.samples_checked,
+            samples_skipped: sweep.samples_skipped,
+            distance_queries: sweep.distance_queries,
+            distance_evals_batched: sweep.distance_evals_batched,
+            certificate_spans: sweep.certificate_spans,
             recovery: self.recovery_totals.since(&recovery0),
             faults_injected: lab.fault_stats().total_injected() - faults0,
         }
@@ -573,6 +576,8 @@ impl Rabit {
             samples_checked: 0,
             samples_skipped: 0,
             distance_queries: 0,
+            distance_evals_batched: 0,
+            certificate_spans: 0,
             recovery: RecoveryCounters::default(),
             faults_injected: lab.fault_stats().total_injected(),
         }

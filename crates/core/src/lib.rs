@@ -66,4 +66,6 @@ pub use faults::{
 };
 pub use lab::{ArmKinematics, Lab, LabDevice, LabError};
 pub use substrate::{PipelineReport, Stage, StagePipeline, StageReport, Substrate};
-pub use trajcheck::{ApproveAll, CollisionReport, TrajectoryValidator, TrajectoryVerdict};
+pub use trajcheck::{
+    ApproveAll, CollisionReport, SweepStats, TrajectoryValidator, TrajectoryVerdict,
+};

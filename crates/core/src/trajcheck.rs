@@ -63,6 +63,44 @@ impl fmt::Display for CollisionReport {
     }
 }
 
+/// A snapshot of a validator's sweep-kernel work counters, reported
+/// alongside run statistics so benchmarks and reports can attribute cost:
+/// how many polling-grid samples were checked vs proved hit-free and
+/// skipped, how many exact distance evaluations the clearance machinery
+/// issued, how many kernel lane slots they occupied, and how many
+/// whole-arm certificate spans were accepted. Validators without a sweep
+/// report all-zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Polling-grid samples actually collision-checked.
+    pub samples_checked: u64,
+    /// Samples proved hit-free from clearance + motion bounds and skipped.
+    pub samples_skipped: u64,
+    /// Per-primitive exact signed-distance evaluations issued.
+    pub distance_queries: u64,
+    /// Lane slots pushed through the 4-wide batched distance kernels
+    /// (including padding lanes; 4 × kernel invocations).
+    pub distance_evals_batched: u64,
+    /// Whole-arm certificate spans accepted (each certifying a run of
+    /// samples hit-free with one world query).
+    pub certificate_spans: u64,
+}
+
+impl SweepStats {
+    /// Componentwise difference `self − earlier` — the work performed
+    /// between two snapshots.
+    #[must_use]
+    pub fn since(&self, earlier: &SweepStats) -> SweepStats {
+        SweepStats {
+            samples_checked: self.samples_checked - earlier.samples_checked,
+            samples_skipped: self.samples_skipped - earlier.samples_skipped,
+            distance_queries: self.distance_queries - earlier.distance_queries,
+            distance_evals_batched: self.distance_evals_batched - earlier.distance_evals_batched,
+            certificate_spans: self.certificate_spans - earlier.certificate_spans,
+        }
+    }
+}
+
 /// The simulator's verdict on a proposed robot motion.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TrajectoryVerdict {
@@ -122,10 +160,35 @@ pub trait TrajectoryValidator: Send {
         0
     }
 
-    /// Per-obstacle signed-distance evaluations issued while measuring
-    /// clearance for skip decisions. Dense validators report zero.
+    /// Per-primitive exact signed-distance evaluations issued while
+    /// measuring clearance for skip decisions. Dense validators report
+    /// zero.
     fn distance_queries(&self) -> u64 {
         0
+    }
+
+    /// Lane slots pushed through batched (4-wide) distance kernels,
+    /// including padding lanes. Validators without a batched clearance
+    /// path report zero.
+    fn distance_evals_batched(&self) -> u64 {
+        0
+    }
+
+    /// Whole-arm certificate spans accepted by an adaptive sweep kernel.
+    /// Validators without the certificate report zero.
+    fn certificate_spans(&self) -> u64 {
+        0
+    }
+
+    /// All sweep-kernel work counters as one [`SweepStats`] snapshot.
+    fn sweep_stats(&self) -> SweepStats {
+        SweepStats {
+            samples_checked: self.samples_checked(),
+            samples_skipped: self.samples_skipped(),
+            distance_queries: self.distance_queries(),
+            distance_evals_batched: self.distance_evals_batched(),
+            certificate_spans: self.certificate_spans(),
+        }
     }
 }
 

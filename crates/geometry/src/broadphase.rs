@@ -235,6 +235,156 @@ impl Bvh {
                 .filter(|&i| self.boxes[i].intersects(probe)),
         );
     }
+
+    /// Packet query: answers every probe in `probes` with **one** tree
+    /// traversal over the union of their bounds, emitting one candidate
+    /// list per probe into `out`.
+    ///
+    /// Each emitted list is exactly what [`Bvh::query_into`] would return
+    /// for that probe (ascending, per-box filtered) — the union walk visits
+    /// a superset of every individual walk's leaves, and the per-probe
+    /// filter at the leaves is the same one the scalar query applies. The
+    /// sweep kernel uses this to resolve all capsule probes of an arm pose
+    /// in a single traversal instead of one walk per capsule.
+    pub fn query_packet_into(&self, probes: &[Aabb], out: &mut PacketLists) {
+        out.reset(probes.len());
+        let Some(union) = union_of(probes) else {
+            return;
+        };
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut stack = [0u32; 64];
+        let mut sp = 1; // stack[0] is the root already
+        while sp > 0 {
+            sp -= 1;
+            let node = &self.nodes[stack[sp] as usize];
+            if !node.aabb.intersects(&union) {
+                continue;
+            }
+            if node.is_leaf() {
+                let (s, c) = (node.start as usize, node.count as usize);
+                for &i in &self.order[s..s + c] {
+                    let b = &self.boxes[i as usize];
+                    if !b.intersects(&union) {
+                        continue;
+                    }
+                    for (p, probe) in probes.iter().enumerate() {
+                        if b.intersects(probe) {
+                            out.lists[p].push(i as usize);
+                        }
+                    }
+                }
+            } else {
+                debug_assert!(sp + 2 <= stack.len(), "BVH deeper than inline stack");
+                stack[sp] = node.left;
+                stack[sp + 1] = node.right;
+                sp += 2;
+            }
+        }
+        for list in &mut out.lists[..probes.len()] {
+            list.sort_unstable();
+        }
+    }
+
+    /// As [`Bvh::query_packet_into`], seeded by the previous packet's
+    /// superset via `cache` — the temporal-coherence fast path for
+    /// trajectory sweeps.
+    ///
+    /// On a miss the tree is walked once with the probes' union inflated by
+    /// `slack`, and the candidate superset is remembered; as long as later
+    /// packets stay inside the inflated union, every per-probe list is
+    /// answered by filtering that superset with no tree walk. Output is
+    /// always exactly equal to [`Bvh::query_packet_into`]. As with
+    /// [`Bvh::query_into_cached`], the cache must be cleared whenever the
+    /// tree is rebuilt.
+    pub fn query_packet_cached(
+        &self,
+        probes: &[Aabb],
+        slack: f64,
+        cache: &mut QueryCache,
+        out: &mut PacketLists,
+    ) {
+        out.reset(probes.len());
+        let Some(union) = union_of(probes) else {
+            return;
+        };
+        let cached_covers = cache
+            .probe
+            .as_ref()
+            .is_some_and(|cached| cached.contains_aabb(&union));
+        if cached_covers {
+            cache.hits += 1;
+        } else {
+            cache.misses += 1;
+            let inflated = union.inflated(slack.max(0.0));
+            self.query_into(&inflated, &mut cache.superset);
+            cache.probe = Some(inflated);
+        }
+        for &i in &cache.superset {
+            let b = &self.boxes[i];
+            for (p, probe) in probes.iter().enumerate() {
+                if b.intersects(probe) {
+                    out.lists[p].push(i);
+                }
+            }
+        }
+    }
+}
+
+/// Union of a probe set's bounds; `None` when the set is empty.
+fn union_of(probes: &[Aabb]) -> Option<Aabb> {
+    let (first, rest) = probes.split_first()?;
+    Some(rest.iter().fold(*first, |acc, b| acc.union(b)))
+}
+
+/// Per-probe candidate lists produced by [`Bvh::query_packet_into`].
+///
+/// The backing vectors are reused across packets, so a steady-state sweep
+/// performs no allocation once the lists have grown to their working size.
+#[derive(Debug, Clone, Default)]
+pub struct PacketLists {
+    lists: Vec<Vec<usize>>,
+    used: usize,
+}
+
+impl PacketLists {
+    /// Creates an empty set of lists.
+    pub fn new() -> Self {
+        PacketLists::default()
+    }
+
+    /// Number of probes answered by the last packet query.
+    pub fn len(&self) -> usize {
+        self.used
+    }
+
+    /// Whether the last packet query had no probes.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// The candidate list for probe `p` of the last packet query
+    /// (ascending box indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probe index of the last query.
+    pub fn list(&self, p: usize) -> &[usize] {
+        assert!(p < self.used, "probe {p} out of range {}", self.used);
+        &self.lists[p]
+    }
+
+    /// Clears and sizes the lists for a packet of `n` probes.
+    fn reset(&mut self, n: usize) {
+        if self.lists.len() < n {
+            self.lists.resize_with(n, Vec::new);
+        }
+        for list in &mut self.lists[..n] {
+            list.clear();
+        }
+        self.used = n;
+    }
 }
 
 /// Reusable state for [`Bvh::query_into_cached`]: the last inflated probe
@@ -390,6 +540,44 @@ mod tests {
         cache.clear();
         bvh.query_into_cached(&far, 0.5, &mut cache, &mut cached);
         assert_eq!(cache.misses(), misses_before + 2);
+    }
+
+    #[test]
+    fn packet_query_matches_per_probe_queries() {
+        let boxes = grid_boxes(4);
+        let bvh = Bvh::build(&boxes);
+        let mut lists = PacketLists::new();
+        let mut fresh = Vec::new();
+        // Disjoint, overlapping, and empty probes in one packet.
+        let probes = [
+            Aabb::from_center_half_extents(Vec3::splat(0.0), Vec3::splat(0.6)),
+            Aabb::from_center_half_extents(Vec3::splat(2.0), Vec3::splat(2.5)),
+            Aabb::from_center_half_extents(Vec3::splat(100.0), Vec3::splat(0.5)),
+        ];
+        bvh.query_packet_into(&probes, &mut lists);
+        assert_eq!(lists.len(), probes.len());
+        for (p, probe) in probes.iter().enumerate() {
+            bvh.query_into(probe, &mut fresh);
+            assert_eq!(lists.list(p), &fresh[..], "probe {p}");
+        }
+        // Cached packets agree too, and coherent sweeps hit the cache.
+        let mut cache = QueryCache::new();
+        for k in 0..40 {
+            let c = Vec3::splat(k as f64 * 0.05);
+            let moving = [
+                Aabb::from_center_half_extents(c, Vec3::splat(0.5)),
+                Aabb::from_center_half_extents(c + Vec3::new(1.0, 0.0, 0.0), Vec3::splat(0.5)),
+            ];
+            bvh.query_packet_cached(&moving, 0.6, &mut cache, &mut lists);
+            for (p, probe) in moving.iter().enumerate() {
+                bvh.query_into(probe, &mut fresh);
+                assert_eq!(lists.list(p), &fresh[..], "step {k} probe {p}");
+            }
+        }
+        assert!(cache.hits() > cache.misses());
+        // Empty packets resolve without touching the tree.
+        bvh.query_packet_into(&[], &mut lists);
+        assert!(lists.is_empty());
     }
 
     #[test]

@@ -7,60 +7,15 @@
 
 use crate::{Aabb, Capsule, Obb, Segment, Sphere, Vec3};
 
-/// Number of ternary-search iterations used by segment–box distance
-/// minimization. 64 iterations shrink the parameter interval by a factor of
-/// (3/2)^64 ≈ 2^37, far below geometric tolerances.
-const TERNARY_ITERS: usize = 64;
-
 /// Minimum distance between a segment and an axis-aligned box
 /// (0 when they touch or the segment passes through the box).
 ///
-/// The point-to-box distance along the segment is a convex function of the
-/// segment parameter, so a ternary search converges to the global minimum.
+/// Delegates to the exact closed-form minimizer in [`crate::distance`],
+/// which replaced the former 64-iteration ternary search: the convex
+/// point–box objective's derivative is piecewise linear along the segment,
+/// so the minimizing parameter is solved directly instead of searched for.
 pub fn segment_aabb_distance(seg: &Segment, aabb: &Aabb) -> f64 {
-    // Fast path: segment passes through (or starts inside) the box.
-    let dir = seg.b - seg.a;
-    if aabb.contains_point(seg.a)
-        || aabb.contains_point(seg.b)
-        || aabb.intersect_segment(seg.a, dir, 1.0).is_some()
-    {
-        return 0.0;
-    }
-    // Fast path: the segment lies entirely beyond one face of the box
-    // while its projection on the other two axes stays inside the box's
-    // extent. The point-box distance then reduces to the face gap, which
-    // is affine in the segment parameter, so the exact minimum is at an
-    // endpoint. This is the common case for arm capsules hovering over a
-    // platform slab, where it replaces the full ternary search.
-    let a = [seg.a.x, seg.a.y, seg.a.z];
-    let b = [seg.b.x, seg.b.y, seg.b.z];
-    let min = [aabb.min().x, aabb.min().y, aabb.min().z];
-    let max = [aabb.max().x, aabb.max().y, aabb.max().z];
-    for k in 0..3 {
-        let covered = |j: usize| a[j].min(b[j]) >= min[j] && a[j].max(b[j]) <= max[j];
-        if !(covered((k + 1) % 3) && covered((k + 2) % 3)) {
-            continue;
-        }
-        if a[k] >= max[k] && b[k] >= max[k] {
-            return a[k].min(b[k]) - max[k];
-        }
-        if a[k] <= min[k] && b[k] <= min[k] {
-            return min[k] - a[k].max(b[k]);
-        }
-    }
-    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
-    for _ in 0..TERNARY_ITERS {
-        let m1 = lo + (hi - lo) / 3.0;
-        let m2 = hi - (hi - lo) / 3.0;
-        let d1 = aabb.distance_to_point(seg.point_at(m1));
-        let d2 = aabb.distance_to_point(seg.point_at(m2));
-        if d1 < d2 {
-            hi = m2;
-        } else {
-            lo = m1;
-        }
-    }
-    aabb.distance_to_point(seg.point_at((lo + hi) * 0.5))
+    crate::distance::segment_aabb_distance(seg, aabb)
 }
 
 /// Minimum distance between a segment and an oriented box.

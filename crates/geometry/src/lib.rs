@@ -47,6 +47,7 @@ mod aabb;
 pub mod broadphase;
 pub mod calibrate;
 pub mod collide;
+pub mod distance;
 mod mat;
 pub mod noise;
 mod obb;

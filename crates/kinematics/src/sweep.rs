@@ -112,18 +112,47 @@ impl MotionBound {
         out
     }
 
+    /// Upper bound on the displacement of any point of *any* capsule given
+    /// per-joint absolute angle deltas — the whole-arm analogue of
+    /// [`MotionBound::capsule_bound`], used by the whole-arm certificate:
+    /// when the world is provably free within `free` metres of the arm's
+    /// swept bound, every sample whose `whole_arm_bound` stays below
+    /// `free` is hit-free for *all* capsules at once.
+    ///
+    /// The same delta-soundness caveat as [`MotionBound::capsule_bound`]
+    /// applies: pass accumulated raw variation when bounding motion along
+    /// an executed trajectory.
+    #[inline]
+    pub fn whole_arm_bound(&self, abs_deltas: &[f64; 6]) -> f64 {
+        self.group_bound(0..CAPSULE_COUNT, abs_deltas)
+    }
+
+    /// Upper bound on the displacement of any point of any capsule in the
+    /// index range `group` — the grouped analogue of
+    /// [`MotionBound::whole_arm_bound`]. The certificate splits the arm
+    /// into a proximal and a distal capsule group so the slow links near
+    /// the platform are not charged for the fast tool's motion (and vice
+    /// versa for clearance).
+    ///
+    /// The same delta-soundness caveat as [`MotionBound::capsule_bound`]
+    /// applies: pass accumulated raw variation when bounding motion along
+    /// an executed trajectory.
+    #[inline]
+    pub fn group_bound(&self, group: core::ops::Range<usize>, abs_deltas: &[f64; 6]) -> f64 {
+        let mut max = 0.0f64;
+        for l in group {
+            max = max.max(self.capsule_bound(l, abs_deltas));
+        }
+        max
+    }
+
     /// Sound upper bound on how far *any* point of *any* capsule travels
     /// between configurations `a` and `b`:
     /// `max_move(q_a, q_b) ≤ Σ_i reach_i · |Δθ_i|`, with wrapped deltas on
     /// full-circle joints (forward kinematics is 2π-periodic, so the wrapped
     /// delta bounds the end-to-end displacement).
     pub fn max_move(&self, a: &JointConfig, b: &JointConfig) -> f64 {
-        let deltas = self.abs_deltas(a, b);
-        let mut max = 0.0f64;
-        for l in 0..CAPSULE_COUNT {
-            max = max.max(self.capsule_bound(l, &deltas));
-        }
-        max
+        self.whole_arm_bound(&self.abs_deltas(a, b))
     }
 }
 

@@ -10,7 +10,7 @@
 //! cases: hemispheres, spheres, vertical cylinders, and composites (a box
 //! with a bump on top), while keeping the cuboid as the default.
 
-use rabit_geometry::{collide, Aabb, Capsule, Sphere, Vec3};
+use rabit_geometry::{collide, Aabb, Capsule, Segment, Sphere, Vec3};
 
 /// A vertical cylinder (axis along +z), the shape of stirrers and
 /// ultrasonic nozzles.
@@ -176,6 +176,73 @@ impl ObstacleShape {
                     .next()
                     .unwrap_or_else(|| Aabb::new(Vec3::ZERO, Vec3::ZERO));
                 it.fold(first, |acc, b| acc.union(&b))
+            }
+        }
+    }
+}
+
+/// One primitive of a shape's distance decomposition, as consumed by the
+/// world's structure-of-arrays distance index. Each primitive mirrors the
+/// corresponding arm of [`ObstacleShape::distance_to_capsule`] exactly —
+/// hemispheres decompose to their *full* bounding sphere (the same sound
+/// underestimate the scalar path uses) — so a minimum over a shape's
+/// primitives reproduces the scalar clearance bit for bit. `bound` is the
+/// part's broad-phase bound, matching [`ObstacleShape::bounding_box`] so a
+/// primitive-level index prunes no differently than the obstacle-level one.
+pub(crate) enum DistancePrim {
+    /// An axis-aligned cuboid.
+    Box(Aabb),
+    /// A capsule volume (the cylinder's axis capsule).
+    Capsule {
+        /// The capsule's axis segment.
+        segment: Segment,
+        /// The capsule's radius.
+        radius: f64,
+        /// Broad-phase bound of the part.
+        bound: Aabb,
+    },
+    /// A sphere (spheres, and hemispheres via their bounding sphere).
+    Sphere {
+        /// The sphere's center.
+        center: Vec3,
+        /// The sphere's radius.
+        radius: f64,
+        /// Broad-phase bound of the part.
+        bound: Aabb,
+    },
+}
+
+impl ObstacleShape {
+    /// Visits the distance primitives of this shape in deterministic
+    /// (composite-declaration) order.
+    pub(crate) fn for_each_distance_prim(&self, f: &mut impl FnMut(DistancePrim)) {
+        match self {
+            ObstacleShape::Cuboid(aabb) => f(DistancePrim::Box(*aabb)),
+            ObstacleShape::Hemisphere {
+                base_center,
+                radius,
+            } => f(DistancePrim::Sphere {
+                center: *base_center,
+                radius: *radius,
+                bound: self.bounding_box(),
+            }),
+            ObstacleShape::Sphere(s) => f(DistancePrim::Sphere {
+                center: s.center,
+                radius: s.radius,
+                bound: self.bounding_box(),
+            }),
+            ObstacleShape::Cylinder(cyl) => {
+                let capsule = cyl.as_capsule();
+                f(DistancePrim::Capsule {
+                    segment: capsule.segment,
+                    radius: capsule.radius,
+                    bound: capsule.bounding_box(),
+                })
+            }
+            ObstacleShape::Composite(parts) => {
+                for part in parts {
+                    part.for_each_distance_prim(f);
+                }
             }
         }
     }

@@ -7,9 +7,9 @@
 //! cylinders, and composites for devices that "do not comply with RABIT's
 //! cuboid specification" (§V-A).
 
-use crate::shapes::ObstacleShape;
-use rabit_geometry::broadphase::{Bvh, QueryCache};
-use rabit_geometry::{Aabb, Capsule, Vec3};
+use crate::shapes::{DistancePrim, ObstacleShape};
+use rabit_geometry::broadphase::{Bvh, PacketLists, QueryCache};
+use rabit_geometry::{distance, Aabb, Capsule, Vec3};
 
 /// A named obstacle (historically a cuboid; any [`ObstacleShape`] today).
 #[derive(Debug, Clone, PartialEq)]
@@ -55,10 +55,31 @@ impl NamedBox {
 pub struct SimWorld {
     obstacles: Vec<NamedBox>,
     index: Bvh,
+    /// Primitive-level distance index (SoA layout + its own BVH) driving
+    /// the batched clearance kernels. Rebuilt alongside `index`.
+    dist: DistanceIndex,
     /// Monotonic mutation counter: bumped on every obstacle change, so
     /// downstream caches (the simulator's verdict cache) can key on it
     /// and invalidate without diffing obstacle lists.
     epoch: u64,
+}
+
+/// The distance decomposition of the obstacle set: every shape flattened
+/// into box and capsule/sphere primitives stored structure-of-arrays
+/// (see [`rabit_geometry::distance::ObstacleSoA`]), plus a BVH over the
+/// per-primitive broad-phase bounds. Box primitives occupy primitive ids
+/// `0..n_boxes`, capsule primitives follow — so an ascending candidate
+/// list splits into the two kernel batches with one partition point.
+#[derive(Debug, Clone, Default)]
+struct DistanceIndex {
+    soa: distance::ObstacleSoA,
+    /// Primitive id → owning obstacle index.
+    owners: Vec<u32>,
+    /// Per-primitive broad-phase bounds (matching the owning part's
+    /// [`ObstacleShape::bounding_box`] contribution).
+    bounds: Vec<Aabb>,
+    bvh: Bvh,
+    n_boxes: usize,
 }
 
 impl PartialEq for SimWorld {
@@ -167,11 +188,82 @@ impl SimWorld {
         self.epoch
     }
 
-    /// Rebuilds the broad-phase index after a mutation.
+    /// Rebuilds the broad-phase index and the primitive-level distance
+    /// index after a mutation.
     fn reindex(&mut self) {
         self.epoch += 1;
         let bounds: Vec<Aabb> = self.obstacles.iter().map(|o| o.bounding_box()).collect();
         self.index = Bvh::build(&bounds);
+        let di = &mut self.dist;
+        di.soa.clear();
+        di.owners.clear();
+        di.bounds.clear();
+        // Two passes keep all box primitives in the low primitive ids, so
+        // candidate lists (always ascending) split into the two kernel
+        // batches at a single partition point.
+        for (i, o) in self.obstacles.iter().enumerate() {
+            o.shape.for_each_distance_prim(&mut |prim| {
+                if let DistancePrim::Box(aabb) = prim {
+                    di.soa.push_box(&aabb);
+                    di.owners.push(i as u32);
+                    di.bounds.push(aabb);
+                }
+            });
+        }
+        di.n_boxes = di.owners.len();
+        for (i, o) in self.obstacles.iter().enumerate() {
+            o.shape.for_each_distance_prim(&mut |prim| match prim {
+                DistancePrim::Box(_) => {}
+                DistancePrim::Capsule {
+                    segment,
+                    radius,
+                    bound,
+                } => {
+                    di.soa.push_capsule(&segment, radius);
+                    di.owners.push(i as u32);
+                    di.bounds.push(bound);
+                }
+                DistancePrim::Sphere {
+                    center,
+                    radius,
+                    bound,
+                } => {
+                    di.soa.push_sphere(center, radius);
+                    di.owners.push(i as u32);
+                    di.bounds.push(bound);
+                }
+            });
+        }
+        di.bvh = Bvh::build(&di.bounds);
+    }
+
+    /// Resolves `exclude` names into an [`ExclusionMask`] over the current
+    /// obstacle indices. Build it once per trajectory and pass it to the
+    /// `*_masked` query variants: the sweep's inner loops then test one
+    /// bit per obstacle instead of comparing name strings per obstacle per
+    /// sample.
+    pub fn exclusion_mask(&self, exclude: &[&str]) -> ExclusionMask {
+        let mut mask = ExclusionMask::default();
+        self.fill_exclusion_mask(exclude, &mut mask);
+        mask
+    }
+
+    /// As [`SimWorld::exclusion_mask`], reusing a caller-owned mask (no
+    /// allocation in steady state; none at all for an empty `exclude`).
+    pub fn fill_exclusion_mask(&self, exclude: &[&str], mask: &mut ExclusionMask) {
+        mask.epoch = self.epoch;
+        mask.any = false;
+        mask.bits.clear();
+        if exclude.is_empty() {
+            return;
+        }
+        mask.bits.resize(self.obstacles.len().div_ceil(64), 0);
+        for (i, o) in self.obstacles.iter().enumerate() {
+            if exclude.contains(&o.name.as_str()) {
+                mask.bits[i / 64] |= 1 << (i % 64);
+                mask.any = true;
+            }
+        }
     }
 
     /// The first obstacle any of the given capsules intersects, ignoring
@@ -234,6 +326,22 @@ impl SimWorld {
         broad_phase: bool,
         scratch: &mut Vec<usize>,
     ) -> (Option<HitDetail<'_>>, u64) {
+        let mask = self.exclusion_mask(exclude);
+        self.first_hit_detailed_masked(capsules, &mask, broad_phase, scratch)
+    }
+
+    /// As [`SimWorld::first_hit_detailed_with`], resolving exclusions
+    /// through a prebuilt [`ExclusionMask`] instead of comparing name
+    /// strings per obstacle. The sweep kernel builds the mask once per
+    /// trajectory and reuses it for every sample.
+    pub fn first_hit_detailed_masked(
+        &self,
+        capsules: &[Capsule],
+        mask: &ExclusionMask,
+        broad_phase: bool,
+        scratch: &mut Vec<usize>,
+    ) -> (Option<HitDetail<'_>>, u64) {
+        debug_assert_eq!(mask.epoch, self.epoch, "stale exclusion mask");
         let mut tested = 0;
         let mut narrow = |o: &NamedBox| -> Option<usize> {
             tested += 1;
@@ -244,15 +352,16 @@ impl SimWorld {
                 self.index.query_into(&probe, scratch);
                 scratch
                     .iter()
+                    .filter(|&&i| !mask.excludes(i))
                     .map(|&i| &self.obstacles[i])
-                    .filter(|o| !exclude.contains(&o.name.as_str()))
                     .find_map(|o| narrow(o).map(|i| (o, i)))
             })
         } else {
             self.obstacles
                 .iter()
-                .filter(|o| !exclude.contains(&o.name.as_str()))
-                .find_map(|o| narrow(o).map(|i| (o, i)))
+                .enumerate()
+                .filter(|&(i, _)| !mask.excludes(i))
+                .find_map(|(_, o)| narrow(o).map(|i| (o, i)))
         };
         (hit.map(|(o, i)| self.detail_for(capsules, o, i)), tested)
     }
@@ -275,6 +384,21 @@ impl SimWorld {
         cache: &mut QueryCache,
         scratch: &mut Vec<usize>,
     ) -> (Option<HitDetail<'_>>, u64) {
+        let mask = self.exclusion_mask(exclude);
+        self.first_hit_cached_masked(capsules, &mask, slack, cache, scratch)
+    }
+
+    /// As [`SimWorld::first_hit_detailed_cached`] with exclusions resolved
+    /// through a prebuilt [`ExclusionMask`].
+    pub fn first_hit_cached_masked(
+        &self,
+        capsules: &[Capsule],
+        mask: &ExclusionMask,
+        slack: f64,
+        cache: &mut QueryCache,
+        scratch: &mut Vec<usize>,
+    ) -> (Option<HitDetail<'_>>, u64) {
+        debug_assert_eq!(mask.epoch, self.epoch, "stale exclusion mask");
         let Some(probe) = union_bound(capsules) else {
             return (None, 0);
         };
@@ -282,8 +406,8 @@ impl SimWorld {
         let mut tested = 0;
         let hit = scratch
             .iter()
+            .filter(|&&i| !mask.excludes(i))
             .map(|&i| &self.obstacles[i])
-            .filter(|o| !exclude.contains(&o.name.as_str()))
             .find_map(|o| {
                 tested += 1;
                 capsules
@@ -315,22 +439,186 @@ impl SimWorld {
         if cap <= 0.0 {
             return (cap.min(0.0), 0);
         }
+        let mask = self.exclusion_mask(exclude);
         let probe = capsule.bounding_box().inflated(cap);
-        self.index.query_into(&probe, scratch);
+        self.dist.bvh.query_into(&probe, scratch);
+        let (clearance, evals, _) = self.prim_clearance(capsule, &mask, cap, scratch);
+        (clearance, evals)
+    }
+
+    /// The shared narrow-phase clearance kernel: min distance from
+    /// `capsule` to the candidate primitives (ascending prim ids from the
+    /// distance-index BVH), clamped to `cap`, skipping masked owners.
+    /// Candidates are split at the box/capsule partition point and fed
+    /// through the 4-wide SoA kernels; ragged tails are padded by
+    /// repeating the last lane (padding lanes are computed but not
+    /// min-folded, so results are bit-identical to a scalar scan).
+    ///
+    /// Each candidate is prefiltered with the cheap box-to-box gap
+    /// between its broad-phase bound and the capsule's: the gap is a
+    /// lower bound on the exact distance, so a candidate whose gap
+    /// cannot lower the running clearance is dropped without an exact
+    /// evaluation — and since its exact distance is at least the
+    /// running minimum, the returned clearance is identical to a full
+    /// scan. This matters because candidate lists come from temporal-
+    /// coherence caches and are supersets of the current probe's true
+    /// candidates.
+    ///
+    /// Returns `(clearance, exact_evals, kernel_lane_slots)` and stops
+    /// after the first chunk that drives the clearance non-positive.
+    fn prim_clearance(
+        &self,
+        capsule: &Capsule,
+        mask: &ExclusionMask,
+        cap: f64,
+        candidates: &[usize],
+    ) -> (f64, u64, u64) {
+        let di = &self.dist;
+        let split = candidates.partition_point(|&p| p < di.n_boxes);
+        let probe_bb = capsule.bounding_box();
         let mut clearance = cap;
+        let mut evals = 0u64;
+        let mut lanes = 0u64;
+        let mut batch = [0u32; 4];
+        let mut n = 0usize;
+
+        let flush_boxes =
+            |batch: &[u32; 4], n: usize, clearance: &mut f64, evals: &mut u64, lanes: &mut u64| {
+                let d = distance::segment_aabb_distance_x4(&di.soa, &capsule.segment, batch);
+                for &v in d.iter().take(n) {
+                    *clearance = clearance.min(v - capsule.radius);
+                }
+                *evals += n as u64;
+                *lanes += 4;
+            };
+        for &p in &candidates[..split] {
+            if mask.excludes(di.owners[p] as usize) {
+                continue;
+            }
+            if di.bounds[p].distance_to(&probe_bb) >= clearance {
+                continue;
+            }
+            batch[n] = p as u32;
+            n += 1;
+            if n == 4 {
+                flush_boxes(&batch, 4, &mut clearance, &mut evals, &mut lanes);
+                n = 0;
+                if clearance <= 0.0 {
+                    return (clearance, evals, lanes);
+                }
+            }
+        }
+        if n > 0 {
+            let pad = batch[n - 1];
+            batch[n..].fill(pad);
+            flush_boxes(&batch, n, &mut clearance, &mut evals, &mut lanes);
+            n = 0;
+            if clearance <= 0.0 {
+                return (clearance, evals, lanes);
+            }
+        }
+
+        let flush_capsules =
+            |batch: &[u32; 4], n: usize, clearance: &mut f64, evals: &mut u64, lanes: &mut u64| {
+                let d = distance::segment_capsule_distance_x4(
+                    &di.soa,
+                    &capsule.segment,
+                    capsule.radius,
+                    batch,
+                );
+                for &v in d.iter().take(n) {
+                    *clearance = clearance.min(v);
+                }
+                *evals += n as u64;
+                *lanes += 4;
+            };
+        for &p in &candidates[split..] {
+            if mask.excludes(di.owners[p] as usize) {
+                continue;
+            }
+            if di.bounds[p].distance_to(&probe_bb) >= clearance {
+                continue;
+            }
+            batch[n] = (p - di.n_boxes) as u32;
+            n += 1;
+            if n == 4 {
+                flush_capsules(&batch, 4, &mut clearance, &mut evals, &mut lanes);
+                n = 0;
+                if clearance <= 0.0 {
+                    return (clearance, evals, lanes);
+                }
+            }
+        }
+        if n > 0 {
+            let pad = batch[n - 1];
+            batch[n..].fill(pad);
+            flush_capsules(&batch, n, &mut clearance, &mut evals, &mut lanes);
+        }
+        (clearance, evals, lanes)
+    }
+
+    /// Distance from `probe` to the nearest obstacle surface, or `+∞` for
+    /// an empty world. This is the whole-arm certificate's world query:
+    /// anything (arm link, held object) contained in `probe` is at least
+    /// this far from every obstacle.
+    pub fn free_distance(&self, probe: &Aabb) -> f64 {
+        let mut free = f64::INFINITY;
+        for p in 0..self.dist.owners.len() {
+            free = free.min(self.prim_probe_distance(p, probe));
+        }
+        free
+    }
+
+    /// As [`SimWorld::free_distance`], clamped to `cap`, skipping masked
+    /// obstacles, and pruned through the distance-index BVH (primitives
+    /// farther than `cap` are provably irrelevant under the clamp).
+    /// Returns the free distance and the number of exact evaluations.
+    pub fn free_distance_masked(
+        &self,
+        probe: &Aabb,
+        mask: &ExclusionMask,
+        cap: f64,
+        scratch: &mut Vec<usize>,
+    ) -> (f64, u64) {
+        debug_assert_eq!(mask.epoch, self.epoch, "stale exclusion mask");
+        if cap <= 0.0 {
+            return (cap.min(0.0), 0);
+        }
+        let inflated = probe.inflated(cap);
+        self.dist.bvh.query_into(&inflated, scratch);
+        let mut free = cap;
         let mut evals = 0;
-        for &i in scratch.iter() {
-            let o = &self.obstacles[i];
-            if exclude.contains(&o.name.as_str()) {
+        for &p in scratch.iter() {
+            if mask.excludes(self.dist.owners[p] as usize) {
+                continue;
+            }
+            // Same gap prefilter as `prim_clearance`: a primitive whose
+            // broad-phase bound already sits beyond the running minimum
+            // cannot lower it.
+            if self.dist.bounds[p].distance_to(probe) >= free {
                 continue;
             }
             evals += 1;
-            clearance = clearance.min(o.shape.distance_to_capsule(capsule));
-            if clearance <= 0.0 {
+            free = free.min(self.prim_probe_distance(p, probe));
+            if free <= 0.0 {
                 break;
             }
         }
-        (clearance, evals)
+        (free, evals)
+    }
+
+    /// Exact distance from one distance-index primitive to an AABB probe
+    /// (surface to surface; box primitives via the box-box gap, capsule
+    /// and sphere primitives via the closed-form segment–AABB distance
+    /// minus the primitive radius).
+    fn prim_probe_distance(&self, prim: usize, probe: &Aabb) -> f64 {
+        let di = &self.dist;
+        if prim < di.n_boxes {
+            probe.distance_to(&di.soa.box_aabb(prim))
+        } else {
+            let (seg, r) = di.soa.capsule(prim - di.n_boxes);
+            distance::segment_aabb_distance(&seg, probe) - r
+        }
     }
 
     /// Batched clearance for a whole capsule chain: fills `out[l]` with a
@@ -364,51 +652,58 @@ impl SimWorld {
         caps: &[f64],
         slack: f64,
         cache: &mut QueryCache,
-        scratch: &mut Vec<usize>,
+        scratch: &mut ClearanceScratch,
         out: &mut [f64],
     ) -> u64 {
+        let mask = self.exclusion_mask(exclude);
+        self.clearances_into_masked(capsules, &mask, caps, slack, cache, scratch, out)
+            .0
+    }
+
+    /// As [`SimWorld::clearances_into`], resolving exclusions through a
+    /// prebuilt [`ExclusionMask`] and additionally reporting the number of
+    /// lane slots pushed through the 4-wide SoA kernels (including
+    /// padding): the `(exact_evals, kernel_lane_slots)` pair.
+    #[allow(clippy::too_many_arguments)]
+    pub fn clearances_into_masked(
+        &self,
+        capsules: &[Capsule],
+        mask: &ExclusionMask,
+        caps: &[f64],
+        slack: f64,
+        cache: &mut QueryCache,
+        scratch: &mut ClearanceScratch,
+        out: &mut [f64],
+    ) -> (u64, u64) {
         assert_eq!(capsules.len(), caps.len(), "one cap per capsule");
         assert_eq!(capsules.len(), out.len(), "one slot per capsule");
-        let mut probe: Option<Aabb> = None;
-        for (c, &cap) in capsules.iter().zip(caps) {
+        debug_assert_eq!(mask.epoch, self.epoch, "stale exclusion mask");
+        scratch.probes.clear();
+        scratch.slots.clear();
+        for (l, (c, &cap)) in capsules.iter().zip(caps).enumerate() {
             if cap <= 0.0 {
+                out[l] = cap.min(0.0);
                 continue;
             }
-            let b = c.bounding_box().inflated(cap);
-            probe = Some(probe.map_or(b, |p| p.union(&b)));
+            scratch.probes.push(c.bounding_box().inflated(cap));
+            scratch.slots.push(l);
         }
-        let Some(probe) = probe else {
-            for (slot, &cap) in out.iter_mut().zip(caps) {
-                *slot = cap.min(0.0);
-            }
-            return 0;
-        };
-        self.index.query_into_cached(&probe, slack, cache, scratch);
+        if scratch.probes.is_empty() {
+            return (0, 0);
+        }
+        self.dist
+            .bvh
+            .query_packet_cached(&scratch.probes, slack, cache, &mut scratch.lists);
         let mut evals = 0;
-        for ((c, &cap), slot) in capsules.iter().zip(caps).zip(out.iter_mut()) {
-            if cap <= 0.0 {
-                *slot = cap.min(0.0);
-                continue;
-            }
-            let bound = c.bounding_box();
-            let mut clearance = cap;
-            for &i in scratch.iter() {
-                let o = &self.obstacles[i];
-                if exclude.contains(&o.name.as_str()) {
-                    continue;
-                }
-                if o.bounding_box().distance_to(&bound) >= clearance {
-                    continue;
-                }
-                evals += 1;
-                clearance = clearance.min(o.shape.distance_to_capsule(c));
-                if clearance <= 0.0 {
-                    break;
-                }
-            }
-            *slot = clearance;
+        let mut lanes = 0;
+        for (p, &l) in scratch.slots.iter().enumerate() {
+            let (clearance, e, ln) =
+                self.prim_clearance(&capsules[l], mask, caps[l], scratch.lists.list(p));
+            out[l] = clearance;
+            evals += e;
+            lanes += ln;
         }
-        evals
+        (evals, lanes)
     }
 
     fn detail_for<'a>(
@@ -438,6 +733,45 @@ fn union_bound(capsules: &[Capsule]) -> Option<Aabb> {
         probe = Some(probe.map_or(b, |p| p.union(&b)));
     }
     probe
+}
+
+/// A bitset of excluded obstacle indices, resolved once from exclusion
+/// names by [`SimWorld::exclusion_mask`]. The `*_masked` query variants
+/// test one bit per candidate instead of comparing name strings per
+/// obstacle per trajectory sample. The mask is stamped with the world
+/// epoch it was resolved against; queries debug-assert the stamp so a
+/// stale mask cannot silently misattribute obstacle indices after a
+/// mutation.
+#[derive(Debug, Clone, Default)]
+pub struct ExclusionMask {
+    bits: Vec<u64>,
+    epoch: u64,
+    any: bool,
+}
+
+impl ExclusionMask {
+    /// Whether the obstacle at `index` is excluded.
+    #[inline]
+    pub fn excludes(&self, index: usize) -> bool {
+        self.any && (self.bits[index / 64] >> (index % 64)) & 1 != 0
+    }
+
+    /// The world epoch this mask was resolved against
+    /// (see [`SimWorld::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Reusable buffers for [`SimWorld::clearances_into`]: the per-capsule
+/// broad-phase probes, the packet-position → output-slot mapping, and the
+/// per-probe candidate lists. One instance per sweep keeps the batched
+/// clearance path allocation-free in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ClearanceScratch {
+    probes: Vec<Aabb>,
+    slots: Vec<usize>,
+    lists: PacketLists,
 }
 
 /// A narrow-phase hit with link-level detail: the obstacle, which of the
@@ -587,7 +921,8 @@ mod tests {
                 Aabb::new(Vec3::new(0.5, 0.0, 0.0), Vec3::new(0.7, 0.2, 0.1)),
             );
         let mut cache = QueryCache::new();
-        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        let mut s1 = ClearanceScratch::default();
+        let mut s2 = Vec::new();
         // A descending pair of capsules: one over the doser, one touching
         // the grid at the end. Batched clearances must agree with the
         // per-capsule query at every step, including the touching case

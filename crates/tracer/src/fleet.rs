@@ -12,7 +12,9 @@
 use crate::tracer::{TraceReport, Tracer};
 use crate::workflow::Workflow;
 use rabit_core::fleet::run_indexed;
-use rabit_core::{DamageEvent, FaultPlan, Lab, Rabit, RecoveryCounters, Stage, Substrate};
+use rabit_core::{
+    DamageEvent, FaultPlan, Lab, Rabit, RecoveryCounters, Stage, Substrate, SweepStats,
+};
 use std::collections::BTreeMap;
 
 /// One fleet run: the workflow's trace report plus the physical damage
@@ -44,9 +46,15 @@ pub struct FleetRun {
     /// Grid samples the validator's adaptive sweep kernel proved
     /// hit-free and skipped (0 for dense validators).
     pub samples_skipped: u64,
-    /// Per-obstacle signed-distance evaluations the validator issued for
-    /// skip decisions.
+    /// Per-primitive signed-distance evaluations the validator issued
+    /// for skip decisions.
     pub distance_queries: u64,
+    /// Lane slots the validator pushed through its batched (4-wide)
+    /// distance kernels, padding included.
+    pub distance_evals_batched: u64,
+    /// Whole-arm certificate spans the validator's adaptive sweep kernel
+    /// accepted.
+    pub certificate_spans: u64,
     /// Faults the run's lab actually injected (0 without a fault plan).
     pub faults_injected: u64,
 }
@@ -141,6 +149,16 @@ impl FleetReport {
         self.runs.iter().map(|r| r.distance_queries).sum()
     }
 
+    /// Total batched-kernel lane slots across the fleet.
+    pub fn total_distance_evals_batched(&self) -> u64 {
+        self.runs.iter().map(|r| r.distance_evals_batched).sum()
+    }
+
+    /// Total whole-arm certificate spans across the fleet.
+    pub fn total_certificate_spans(&self) -> u64 {
+        self.runs.iter().map(|r| r.certificate_spans).sum()
+    }
+
     /// Fleet-wide sweep skip rate, `skipped / (checked + skipped)`.
     /// `None` when no validator processed any trajectory sample.
     pub fn sweep_skip_rate(&self) -> Option<f64> {
@@ -191,7 +209,7 @@ where
                 Tracer::pass_through(&mut lab).run(&workflows[i]),
                 0,
                 0,
-                (0, 0, 0),
+                SweepStats::default(),
             ),
         };
         FleetRun {
@@ -203,9 +221,11 @@ where
             damage: lab.damage_log().to_vec(),
             cache_hits,
             cache_misses,
-            samples_checked: sweep.0,
-            samples_skipped: sweep.1,
-            distance_queries: sweep.2,
+            samples_checked: sweep.samples_checked,
+            samples_skipped: sweep.samples_skipped,
+            distance_queries: sweep.distance_queries,
+            distance_evals_batched: sweep.distance_evals_batched,
+            certificate_spans: sweep.certificate_spans,
             faults_injected: lab.fault_stats().total_injected(),
         }
     });
@@ -305,7 +325,7 @@ impl FleetJob<'_> {
                 }
             }
             let report = Tracer::pass_through(&mut lab).run(self.workflow);
-            (lab, report, (0, 0), (0, 0, 0))
+            (lab, report, (0, 0), SweepStats::default())
         };
         let run = FleetRun {
             index: 0,
@@ -316,9 +336,11 @@ impl FleetJob<'_> {
             damage: lab.damage_log().to_vec(),
             cache_hits: cache.0,
             cache_misses: cache.1,
-            samples_checked: sweep.0,
-            samples_skipped: sweep.1,
-            distance_queries: sweep.2,
+            samples_checked: sweep.samples_checked,
+            samples_skipped: sweep.samples_skipped,
+            distance_queries: sweep.distance_queries,
+            distance_evals_batched: sweep.distance_evals_batched,
+            certificate_spans: sweep.certificate_spans,
             faults_injected: lab.fault_stats().total_injected(),
         };
         // The damage log and fault stats are already captured; hand the
