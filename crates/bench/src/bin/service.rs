@@ -1,0 +1,236 @@
+//! Rule-service churn benchmark.
+//!
+//! Exercises the versioned multi-tenant rule service the way a busy
+//! deployment would: several tenants' rulebases under continuous live
+//! CRUD through the [`ServiceBroker`], while validation traffic keeps
+//! pulling fresh snapshots and checking commands against them. Two
+//! headline numbers come out:
+//!
+//! * **commands/sec** — broker commit throughput: a per-tenant script of
+//!   enable/disable toggles, rule creates, partial updates, and removes,
+//!   fanned across the worker pool and timed end to end (submit →
+//!   flush);
+//! * **p50/p99 check latency (µs)** — the cost one validation pays under
+//!   churn: snapshot the tenant's latest publication and run a rule
+//!   check against it, timed per call while a background churn thread
+//!   keeps committing. Copy-on-write snapshots mean the check never
+//!   takes the store lock for longer than two `Arc` bumps — the p99 is
+//!   the proof.
+//!
+//! Writes `BENCH_service.json` (envelope kind `"service"`, validated on
+//! write and by the `bench_schema` CI check) and prints the tables.
+//! `--quick` runs a reduced pass for CI smoke checks.
+//!
+//! Run with `cargo run --release -p rabit-bench --bin service -- [--quick]`.
+
+use rabit_bench::report::render_table;
+use rabit_devices::{ActionKind, Command, DeviceState, DeviceType, LabState, StateKey};
+use rabit_rulebase::{DeviceCatalog, DeviceMeta, Rule, RuleId, Rulebase, TenantId};
+use rabit_service::{
+    CreateRuleRequest, RuleCommand, RuleOp, RuleStore, ServiceBroker, UpdateRuleRequest,
+};
+use rabit_util::Json;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tenants churned concurrently (the schema's multi-tenant floor is 4).
+const TENANTS: usize = 6;
+/// Broker worker threads.
+const BROKER_THREADS: usize = 4;
+/// Commit rounds per tenant in the throughput phase (each round is 5
+/// commands: create, disable, update, enable, remove).
+const ROUNDS: usize = 400;
+const ROUNDS_QUICK: usize = 40;
+/// Timed validation checks in the latency phase.
+const CHECKS: usize = 20_000;
+const CHECKS_QUICK: usize = 2_000;
+
+fn tenant(i: usize) -> TenantId {
+    TenantId::new(format!("lab{i}"))
+}
+
+/// A rule that never fires — the churn payload.
+fn staged_rule(name: &str) -> Rule {
+    Rule::new(
+        RuleId::Custom(name.to_string()),
+        "staged by bench",
+        |_, _, _| None,
+    )
+}
+
+/// One churn round for a tenant: create a rule, toggle a general rule
+/// off and back on, partially update the staged rule, then remove it —
+/// five commits that leave the rulebase exactly where it started (but
+/// five epochs later), so commit cost stays flat over the run.
+fn submit_round(broker: &ServiceBroker, tenant: &TenantId, round: usize) {
+    let name = format!("staged-{round}");
+    let toggled = RuleId::General((round % 11) as u8 + 1);
+    drop(broker.submit(RuleCommand::new(
+        tenant.clone(),
+        RuleOp::Create(CreateRuleRequest::new(staged_rule(&name)).disabled()),
+    )));
+    drop(broker.submit(RuleCommand::new(
+        tenant.clone(),
+        RuleOp::Disable(toggled.clone()),
+    )));
+    drop(broker.submit(RuleCommand::new(
+        tenant.clone(),
+        RuleOp::Update(
+            RuleId::Custom(name.clone()),
+            UpdateRuleRequest::new().with_enabled(true),
+        ),
+    )));
+    drop(broker.submit(RuleCommand::new(tenant.clone(), RuleOp::Enable(toggled))));
+    drop(broker.submit(RuleCommand::new(
+        tenant.clone(),
+        RuleOp::Remove(RuleId::Custom(name)),
+    )));
+}
+
+/// The validation workload: a command + state + catalog that walks the
+/// full dispatch path of the hein rulebase (an arm entering a dosing
+/// system with its door open — every door rule is consulted, none fire).
+fn check_fixture() -> (Command, LabState, DeviceCatalog) {
+    let command = Command::new(
+        "arm",
+        ActionKind::MoveInsideDevice {
+            device: "doser".into(),
+        },
+    );
+    let mut state = LabState::new();
+    state.insert(
+        "arm",
+        DeviceState::new().with(StateKey::Holding, None::<rabit_devices::DeviceId>),
+    );
+    state.insert("doser", DeviceState::new().with(StateKey::DoorOpen, true));
+    let catalog = DeviceCatalog::new()
+        .with(DeviceMeta::new("arm", DeviceType::RobotArm))
+        .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door());
+    (command, state, catalog)
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { ROUNDS_QUICK } else { ROUNDS };
+    let checks = if quick { CHECKS_QUICK } else { CHECKS };
+
+    let store = Arc::new(RuleStore::new());
+    for i in 0..TENANTS {
+        store.seed_tenant(tenant(i), Rulebase::hein_lab());
+    }
+
+    // Phase 1: commit throughput across all tenants.
+    let broker = ServiceBroker::new(Arc::clone(&store), BROKER_THREADS);
+    let commands = TENANTS * rounds * 5;
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        for i in 0..TENANTS {
+            submit_round(&broker, &tenant(i), round);
+        }
+    }
+    broker.flush();
+    let commit_wall_s = t0.elapsed().as_secs_f64();
+    let commands_per_sec = commands as f64 / commit_wall_s;
+    for i in 0..TENANTS {
+        let epoch = store.epoch_of(&tenant(i)).expect("seeded tenant");
+        assert_eq!(
+            epoch,
+            (rounds * 5) as u64,
+            "every commit of tenant {i} must have landed"
+        );
+    }
+
+    // Phase 2: per-check latency while a churn thread keeps committing.
+    let stop = Arc::new(AtomicBool::new(false));
+    let churner = {
+        let broker_store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let broker = ServiceBroker::new(broker_store, BROKER_THREADS);
+            let mut round = rounds;
+            while !stop.load(Ordering::Relaxed) {
+                for i in 0..TENANTS {
+                    submit_round(&broker, &tenant(i), round);
+                }
+                round += 1;
+            }
+            broker.flush();
+            round - rounds
+        })
+    };
+    // Don't start the clock until churn commits are actually landing —
+    // a warm check loop can otherwise finish before the churn broker's
+    // workers have spun up, and "latency under churn" would be a lie.
+    let baseline = (rounds * 5) as u64;
+    while store.epoch_of(&tenant(0)).expect("seeded tenant") <= baseline {
+        std::thread::yield_now();
+    }
+    let (command, state, catalog) = check_fixture();
+    let mut latencies_ns = Vec::with_capacity(checks);
+    use rabit_rulebase::SnapshotSource;
+    for i in 0..checks {
+        let target = tenant(i % TENANTS);
+        let t = Instant::now();
+        let snapshot = store.snapshot(&target);
+        let violations = snapshot.check(&command, &state, &catalog);
+        latencies_ns.push(t.elapsed().as_nanos() as u64);
+        assert!(violations.is_empty(), "fixture is violation-free");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let churn_rounds = churner.join().expect("churn thread");
+    latencies_ns.sort_unstable();
+    let p50 = percentile_us(&latencies_ns, 0.50);
+    let p99 = percentile_us(&latencies_ns, 0.99);
+
+    println!("\n# rule service under churn\n");
+    println!(
+        "{}",
+        render_table(
+            &["metric", "value"],
+            &[
+                vec!["tenants".into(), TENANTS.to_string()],
+                vec!["broker threads".into(), BROKER_THREADS.to_string()],
+                vec!["commands committed".into(), commands.to_string()],
+                vec!["commit wall (s)".into(), format!("{commit_wall_s:.3}")],
+                vec!["commands/sec".into(), format!("{commands_per_sec:.0}")],
+                vec!["checks timed".into(), checks.to_string()],
+                vec![
+                    "churn rounds behind checks".into(),
+                    churn_rounds.to_string()
+                ],
+                vec!["check p50 (µs)".into(), format!("{p50:.2}")],
+                vec!["check p99 (µs)".into(), format!("{p99:.2}")],
+            ],
+        )
+    );
+
+    rabit_bench::schema::write_artifact_with_kind(
+        "service",
+        "service",
+        Json::obj([
+            ("quick_mode", Json::Bool(quick)),
+            ("tenants", Json::Num(TENANTS as f64)),
+            ("broker_threads", Json::Num(BROKER_THREADS as f64)),
+            ("rounds_per_tenant", Json::Num(rounds as f64)),
+            ("checks_timed", Json::Num(checks as f64)),
+        ]),
+        Json::obj([
+            ("tenants", Json::Num(TENANTS as f64)),
+            ("commands_committed", Json::Num(commands as f64)),
+            ("commit_wall_s", Json::Num(commit_wall_s)),
+            ("commands_per_sec", Json::Num(commands_per_sec)),
+            ("p50_check_latency_us", Json::Num(p50)),
+            ("p99_check_latency_us", Json::Num(p99)),
+            ("churn_rounds_during_checks", Json::Num(churn_rounds as f64)),
+        ]),
+    );
+}

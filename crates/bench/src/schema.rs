@@ -20,7 +20,10 @@
 //!   generic payload above; `"campaign"` marks a campaign-runner
 //!   artifact, whose `results` must carry a `trials` array (objects
 //!   with string `trial_id` and `status`) and a `summary` object with a
-//!   numeric `done` count. Unknown kinds are rejected.
+//!   numeric `done` count; `"service"` marks a rule-service churn
+//!   artifact, whose `results` must carry numeric `tenants` (≥ 4),
+//!   `commands_per_sec`, and `p50_check_latency_us` /
+//!   `p99_check_latency_us`. Unknown kinds are rejected.
 //!
 //! [`write_artifact`] builds and writes the envelope; [`validate`]
 //! checks an already-parsed artifact (the `bench_schema` binary runs it
@@ -78,6 +81,10 @@ pub fn validate(json: &Json) -> Result<(), String> {
             Some("bench") => true,
             Some("campaign") => {
                 validate_campaign_results(json.get("results").unwrap_or(&Json::Null))?;
+                false
+            }
+            Some("service") => {
+                validate_service_results(json.get("results").unwrap_or(&Json::Null))?;
                 false
             }
             Some(other) => return Err(format!("unknown envelope kind \"{other}\"")),
@@ -144,6 +151,35 @@ fn validate_sweep_results(config: &Json, results: &Json) -> Result<(), String> {
     if quick == Some(false) && speedup < SWEEP_MIN_WALL_SPEEDUP {
         return Err(format!(
             "sweep wall_speedup {speedup:.3} below regression gate {SWEEP_MIN_WALL_SPEEDUP}"
+        ));
+    }
+    Ok(())
+}
+
+/// Minimum tenant count a `"service"` artifact must report: the bench's
+/// point is multi-tenant churn, so a run that exercised fewer labs than
+/// this is not measuring the contended path.
+pub const SERVICE_MIN_TENANTS: f64 = 4.0;
+
+/// The rule-service payload shape: numeric `tenants` (at least
+/// [`SERVICE_MIN_TENANTS`]), commit throughput `commands_per_sec`, and
+/// the p50/p99 of per-command check latency under churn, in
+/// microseconds.
+fn validate_service_results(results: &Json) -> Result<(), String> {
+    for key in [
+        "tenants",
+        "commands_per_sec",
+        "p50_check_latency_us",
+        "p99_check_latency_us",
+    ] {
+        if results.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("service artifact missing numeric \"{key}\""));
+        }
+    }
+    let tenants = results.get("tenants").and_then(Json::as_f64).unwrap();
+    if tenants < SERVICE_MIN_TENANTS {
+        return Err(format!(
+            "service artifact ran {tenants} tenants, below the {SERVICE_MIN_TENANTS} multi-tenant floor"
         ));
     }
     Ok(())
@@ -421,6 +457,58 @@ mod tests {
         );
         let err = validate(&json).unwrap_err();
         assert!(err.contains("wall_speedup"), "{err}");
+    }
+
+    fn service_results(tenants: f64) -> Json {
+        Json::obj([
+            ("tenants", Json::Num(tenants)),
+            ("commands_per_sec", Json::Num(125_000.0)),
+            ("p50_check_latency_us", Json::Num(4.2)),
+            ("p99_check_latency_us", Json::Num(19.7)),
+        ])
+    }
+
+    #[test]
+    fn service_kind_validates() {
+        let json = envelope_with_kind("service", "service", Json::obj([]), service_results(4.0));
+        validate(&json).expect("well-formed service artifact is valid");
+    }
+
+    #[test]
+    fn service_kind_rejects_missing_or_non_numeric_fields() {
+        for key in [
+            "tenants",
+            "commands_per_sec",
+            "p50_check_latency_us",
+            "p99_check_latency_us",
+        ] {
+            let mut results = service_results(4.0);
+            if let Json::Obj(pairs) = &mut results {
+                pairs.retain(|(k, _)| k != key);
+            }
+            let json = envelope_with_kind("service", "service", Json::obj([]), results);
+            let err = validate(&json).unwrap_err();
+            assert!(err.contains(key), "error {err:?} should mention {key:?}");
+            let mut results = service_results(4.0);
+            if let Json::Obj(pairs) = &mut results {
+                for (k, v) in pairs.iter_mut() {
+                    if k == key {
+                        *v = Json::Str("fast".into());
+                    }
+                }
+            }
+            let json = envelope_with_kind("service", "service", Json::obj([]), results);
+            assert!(validate(&json).unwrap_err().contains(key));
+        }
+    }
+
+    #[test]
+    fn service_kind_enforces_the_tenant_floor() {
+        let json = envelope_with_kind("service", "service", Json::obj([]), service_results(2.0));
+        let err = validate(&json).unwrap_err();
+        assert!(err.contains("multi-tenant floor"), "{err}");
+        let json = envelope_with_kind("service", "service", Json::obj([]), service_results(8.0));
+        validate(&json).expect("more tenants than the floor is fine");
     }
 
     #[test]

@@ -560,6 +560,7 @@ fn execute_trial(trial: &Trial) -> TrialResult {
         workflow: &workflow,
         fault,
         guarded: trial.mode.guarded(),
+        snapshot: None,
     }
     .execute();
     let placement_error_m = if placement {
@@ -623,7 +624,7 @@ impl<S: Substrate> Substrate for SeededNoise<S> {
         lab.set_arm_noise("viperx", self.inner.position_noise(), self.seed);
         lab
     }
-    fn rulebase(&self) -> rabit_rulebase::Rulebase {
+    fn rulebase(&self) -> rabit_rulebase::RulebaseSnapshot {
         self.inner.rulebase()
     }
     fn catalog(&self) -> rabit_rulebase::DeviceCatalog {

@@ -21,7 +21,7 @@ use crate::alert::StopPolicy;
 use crate::engine::{Rabit, RabitConfig};
 use crate::faults::{FaultPlan, RecoveryPolicy};
 use crate::trajcheck::TrajectoryValidator;
-use rabit_rulebase::{DeviceCatalog, Rulebase};
+use rabit_rulebase::{DeviceCatalog, Rulebase, RulebaseSnapshot};
 
 /// Assembles a [`Rabit`] engine: rulebase → catalog → config →
 /// validator → fault plan. Every component has a sensible default (the
@@ -29,7 +29,7 @@ use rabit_rulebase::{DeviceCatalog, Rulebase};
 /// validator, no faults), so a builder chain only names what it
 /// changes. Start one with [`Rabit::builder`].
 pub struct RabitBuilder {
-    rulebase: Rulebase,
+    rulebase: RulebaseSnapshot,
     catalog: DeviceCatalog,
     config: RabitConfig,
     validator: Option<Box<dyn TrajectoryValidator>>,
@@ -42,7 +42,7 @@ impl RabitBuilder {
     /// RabitConfig::default())`).
     pub fn new() -> Self {
         RabitBuilder {
-            rulebase: Rulebase::standard(),
+            rulebase: RulebaseSnapshot::pinned(Rulebase::standard()),
             catalog: DeviceCatalog::new(),
             config: RabitConfig::default(),
             validator: None,
@@ -50,9 +50,11 @@ impl RabitBuilder {
         }
     }
 
-    /// Sets the rulebase the engine enforces.
-    pub fn rulebase(mut self, rulebase: Rulebase) -> Self {
-        self.rulebase = rulebase;
+    /// Sets the rulebase the engine enforces: either an owned
+    /// [`Rulebase`] (pinned at epoch 0) or an epoch-stamped
+    /// [`RulebaseSnapshot`] published by a live rule store.
+    pub fn rulebase(mut self, rulebase: impl Into<RulebaseSnapshot>) -> Self {
+        self.rulebase = rulebase.into();
         self
     }
 

@@ -6,7 +6,7 @@ use crate::faults::{FaultPlan, RecoveryCounters, RecoveryPolicy};
 use crate::lab::Lab;
 use crate::trajcheck::{SweepStats, TrajectoryValidator, TrajectoryVerdict};
 use rabit_devices::{ActionKind, Command, DeviceId, LabState};
-use rabit_rulebase::{transition, DeviceCatalog, Rulebase};
+use rabit_rulebase::{transition, DeviceCatalog, Rulebase, RulebaseSnapshot};
 use std::collections::BTreeSet;
 
 /// Engine configuration.
@@ -112,6 +112,11 @@ pub struct RunReport {
     /// Faults the lab's armed session injected during this run (zero
     /// without a fault plan).
     pub faults_injected: u64,
+    /// The rulebase epoch this run validated against
+    /// ([`rabit_rulebase::STATIC_EPOCH`] for pinned rulebases and for
+    /// unchecked runs). With a live rule store, this records which
+    /// published snapshot governed the run.
+    pub rulebase_epoch: u64,
 }
 
 impl RunReport {
@@ -166,7 +171,7 @@ impl RunReport {
 /// assert!(lab.damage_log().is_empty()); // nothing broke
 /// ```
 pub struct Rabit {
-    rulebase: Rulebase,
+    rulebase: RulebaseSnapshot,
     catalog: DeviceCatalog,
     config: RabitConfig,
     validator: Option<Box<dyn TrajectoryValidator>>,
@@ -185,9 +190,16 @@ impl Rabit {
     /// config, validator, and fault plan — instead of `new` +
     /// [`Rabit::with_validator`] + [`Rabit::config_mut`] mutation. This
     /// constructor stays as a thin shim so existing call sites compile.
-    pub fn new(rulebase: Rulebase, catalog: DeviceCatalog, config: RabitConfig) -> Self {
+    /// Accepts either an owned [`Rulebase`] (pinned at
+    /// [`rabit_rulebase::STATIC_EPOCH`]) or an epoch-stamped
+    /// [`RulebaseSnapshot`] published by a live rule store.
+    pub fn new(
+        rulebase: impl Into<RulebaseSnapshot>,
+        catalog: DeviceCatalog,
+        config: RabitConfig,
+    ) -> Self {
         Rabit {
-            rulebase,
+            rulebase: rulebase.into(),
             catalog,
             config,
             validator: None,
@@ -255,15 +267,29 @@ impl Rabit {
             .map_or(SweepStats::default(), |v| v.sweep_stats())
     }
 
-    /// The rulebase (for inspection/extension).
+    /// The rulebase (for inspection).
     pub fn rulebase(&self) -> &Rulebase {
         &self.rulebase
     }
 
+    /// The epoch-stamped snapshot this engine validates against.
+    pub fn rulebase_snapshot(&self) -> &RulebaseSnapshot {
+        &self.rulebase
+    }
+
+    /// The rulebase epoch this engine validates against. Caches keyed on
+    /// rule identity (the verdict cache) compose this into their keys.
+    pub fn rulebase_epoch(&self) -> u64 {
+        self.rulebase.epoch()
+    }
+
     /// Mutable rulebase access (the evaluation adds extension rules
-    /// between configurations).
+    /// between configurations). Copy-on-write: forks the shared snapshot
+    /// if other holders exist and bumps the local epoch, so the attached
+    /// validator's verdict cache treats the edited rulebase as a new
+    /// generation.
     pub fn rulebase_mut(&mut self) -> &mut Rulebase {
-        &mut self.rulebase
+        self.rulebase.make_mut()
     }
 
     /// The engine configuration.
@@ -401,6 +427,10 @@ impl Rabit {
         // is available.
         if command.action.is_robot_motion() {
             if let Some(validator) = &mut self.validator {
+                // Tell the validator which rulebase generation governs
+                // this check, so epoch-keyed verdict caches can never
+                // serve an entry computed under different rules.
+                validator.note_rulebase_epoch(self.rulebase.epoch());
                 let verdict = validator.validate(command, &self.current);
                 let cost = validator.check_latency_s();
                 lab.advance_clock(cost);
@@ -545,6 +575,7 @@ impl Rabit {
             certificate_spans: sweep.certificate_spans,
             recovery: self.recovery_totals.since(&recovery0),
             faults_injected: lab.fault_stats().total_injected() - faults0,
+            rulebase_epoch: self.rulebase.epoch(),
         }
     }
 
@@ -580,6 +611,7 @@ impl Rabit {
             certificate_spans: 0,
             recovery: RecoveryCounters::default(),
             faults_injected: lab.fault_stats().total_injected(),
+            rulebase_epoch: rabit_rulebase::STATIC_EPOCH,
         }
     }
 

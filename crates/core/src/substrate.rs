@@ -8,7 +8,7 @@
 //! * [`Stage`] — the deployment stage itself, with the latency, noise,
 //!   cost, and setup profiles the Table I comparison quantifies;
 //! * [`Substrate`] — a pluggable backend for one stage: it names itself
-//!   and builds its [`Lab`], [`DeviceCatalog`], [`Rulebase`], latency and
+//!   and builds its [`Lab`], [`DeviceCatalog`], [`RulebaseSnapshot`], latency and
 //!   noise models, and (optionally) a [`TrajectoryValidator`];
 //! * [`StagePipeline`] — promotes a workflow through substrates in
 //!   deployment order with gating: a workflow that alerts in stage *N*
@@ -22,7 +22,7 @@ use crate::lab::Lab;
 use crate::trajcheck::TrajectoryValidator;
 use rabit_devices::{Command, LatencyModel};
 use rabit_geometry::noise::PositionNoise;
-use rabit_rulebase::{DeviceCatalog, Rulebase};
+use rabit_rulebase::{DeviceCatalog, RulebaseSnapshot};
 use std::fmt;
 
 /// One of RABIT's three deployment stages, in promotion order.
@@ -127,8 +127,12 @@ pub trait Substrate: Send + Sync {
     /// Builds a fresh lab for one run.
     fn build_lab(&self) -> Lab;
 
-    /// Builds the rulebase the stage's engine enforces.
-    fn rulebase(&self) -> Rulebase;
+    /// The epoch-stamped rulebase snapshot the stage's engine enforces.
+    /// Static substrates return a pinned snapshot (epoch 0); substrates
+    /// backed by a live rule store return the store's latest published
+    /// snapshot. `impl Into<RulebaseSnapshot>` conversions mean a plain
+    /// `Rulebase::...().into()` suffices for the static case.
+    fn rulebase(&self) -> RulebaseSnapshot;
 
     /// Builds the device catalog the stage's engine consults.
     fn catalog(&self) -> DeviceCatalog;
@@ -164,8 +168,16 @@ pub trait Substrate: Send + Sync {
     /// Assembles a fresh RABIT engine from the substrate's rulebase,
     /// catalog, configuration, fault plan, and (optional) validator.
     fn rabit(&self) -> Rabit {
+        self.rabit_on(self.rulebase())
+    }
+
+    /// Assembles a fresh RABIT engine enforcing an explicit snapshot
+    /// instead of the substrate's own — the hook a live rule store uses
+    /// to hand a lab the latest published rule generation without
+    /// rebuilding the substrate.
+    fn rabit_on(&self, snapshot: RulebaseSnapshot) -> Rabit {
         let mut builder = Rabit::builder()
-            .rulebase(self.rulebase())
+            .rulebase(snapshot)
             .catalog(self.catalog())
             .config(self.engine_config())
             .fault_plan(self.fault_plan());
@@ -186,13 +198,22 @@ pub trait Substrate: Send + Sync {
     /// nothing — the run is byte-for-byte identical to a plain
     /// [`Substrate::instantiate`] on a fault-free substrate.
     fn instantiate_with(&self, plan: &FaultPlan) -> (Lab, Rabit) {
+        self.instantiate_on(self.rulebase(), plan)
+    }
+
+    /// Builds a fresh `(Lab, Rabit)` pair enforcing an explicit rulebase
+    /// snapshot, armed with an explicit fault plan. With the substrate's
+    /// own (pinned) snapshot this is exactly
+    /// [`Substrate::instantiate_with`]; with a store-published snapshot
+    /// it is how live fleets pick up the latest rule generation.
+    fn instantiate_on(&self, snapshot: RulebaseSnapshot, plan: &FaultPlan) -> (Lab, Rabit) {
         let mut lab = self.build_lab();
         if !plan.is_empty() {
             lab.arm_faults(plan.session());
         }
         // The engine carries the override too, so the substrate's own
         // plan can never sneak in through `Rabit::initialize`.
-        (lab, self.rabit().with_fault_plan(plan.clone()))
+        (lab, self.rabit_on(snapshot).with_fault_plan(plan.clone()))
     }
 }
 
@@ -390,8 +411,8 @@ mod tests {
                     Aabb::new(Vec3::new(0.1, 0.35, 0.0), Vec3::new(0.25, 0.55, 0.3)),
                 ))
         }
-        fn rulebase(&self) -> Rulebase {
-            Rulebase::standard()
+        fn rulebase(&self) -> RulebaseSnapshot {
+            rabit_rulebase::Rulebase::standard().into()
         }
         fn catalog(&self) -> DeviceCatalog {
             DeviceCatalog::new()

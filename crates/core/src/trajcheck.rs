@@ -120,6 +120,16 @@ pub trait TrajectoryValidator: Send {
     /// state.
     fn validate(&mut self, command: &Command, state: &LabState) -> TrajectoryVerdict;
 
+    /// Tells the validator which rulebase epoch governs the next
+    /// [`TrajectoryValidator::validate`] call. The engine invokes this
+    /// before every validation so epoch-keyed verdict caches compose
+    /// (world_epoch, rulebase_epoch) and can never serve an entry
+    /// computed under a different rule generation. Validators without a
+    /// cache ignore it (the default is a no-op).
+    fn note_rulebase_epoch(&mut self, epoch: u64) {
+        let _ = epoch;
+    }
+
     /// The simulated wall-clock cost of one validation call in seconds
     /// (the paper's GUI-bound simulator costs ~2 s per check; headless
     /// mode collapses this).

@@ -281,11 +281,11 @@ impl Default for ProductionDeck {
 
 /// The deployed production rulebase: the 15 Hein Lab rules plus the
 /// held-object clearance extension (16 rules; the deck has one arm, so
-/// no multiplexing rules are needed).
+/// no multiplexing rules are needed). A thin wrapper over the shared
+/// [`extensions::extended_hein_rulebase`] builder (the testbed composes
+/// the same way with a different [`extensions::ExtensionSet`]).
 pub fn production_rulebase() -> Rulebase {
-    let mut rulebase = Rulebase::hein_lab();
-    rulebase.push(extensions::held_object_clearance_rule());
-    rulebase
+    extensions::extended_hein_rulebase(extensions::ExtensionSet::held_object_only())
 }
 
 #[cfg(test)]

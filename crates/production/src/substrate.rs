@@ -14,7 +14,7 @@
 
 use crate::deck::{production_rulebase, ProductionDeck};
 use rabit_core::{Lab, Stage, StagePipeline, Substrate};
-use rabit_rulebase::{DeviceCatalog, Rulebase};
+use rabit_rulebase::{DeviceCatalog, RulebaseSnapshot};
 use rabit_sim::SimulatorSubstrate;
 
 /// The assembled deck is the stage-3 substrate: deployed rules,
@@ -32,8 +32,8 @@ impl Substrate for ProductionDeck {
         ProductionDeck::build_lab(self.latency())
     }
 
-    fn rulebase(&self) -> Rulebase {
-        production_rulebase()
+    fn rulebase(&self) -> RulebaseSnapshot {
+        production_rulebase().into()
     }
 
     fn catalog(&self) -> DeviceCatalog {

@@ -11,7 +11,74 @@
 //!   robot arms … providing each robot with its own dedicated space".
 
 use crate::rule::{ActorClass, Rule, RuleId, RuleSignature};
+use crate::rulebase::Rulebase;
 use rabit_devices::{ActionClass, ActionKind, StateKey};
+
+/// Which evaluation extensions to layer on top of the Hein-Lab
+/// rulebase. The testbed and production crates used to assemble these
+/// combinations by hand in near-identical `rulebase_for` functions; this
+/// set plus [`extended_hein_rulebase`] is the single shared builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtensionSet {
+    /// [`held_object_clearance_rule`] — the post-Bug-D modification.
+    pub held_object: bool,
+    /// [`time_multiplexing_rule`] — the post-Bug-B modification.
+    pub time_multiplexing: bool,
+    /// [`sleep_volume_rule`] — sleeping arms as cuboid obstacles.
+    pub sleep_volumes: bool,
+}
+
+impl ExtensionSet {
+    /// No extensions: the plain Hein-Lab rulebase (the paper's baseline).
+    pub fn none() -> Self {
+        ExtensionSet::default()
+    }
+
+    /// Every evaluation extension (the post-§IV modified testbed).
+    pub fn all() -> Self {
+        ExtensionSet {
+            held_object: true,
+            time_multiplexing: true,
+            sleep_volumes: true,
+        }
+    }
+
+    /// Only the held-object clearance rule (the production deck runs a
+    /// single arm, so the multi-arm multiplexing rules stay off).
+    pub fn held_object_only() -> Self {
+        ExtensionSet {
+            held_object: true,
+            ..ExtensionSet::default()
+        }
+    }
+
+    /// The selected extension rules, in the canonical evaluation order
+    /// (held-object, time multiplexing, sleep volumes — the order the
+    /// testbed historically pushed them, preserved so verdicts stay
+    /// bit-identical).
+    pub fn rules(&self) -> Vec<Rule> {
+        let mut rules = Vec::new();
+        if self.held_object {
+            rules.push(held_object_clearance_rule());
+        }
+        if self.time_multiplexing {
+            rules.push(time_multiplexing_rule());
+        }
+        if self.sleep_volumes {
+            rules.push(sleep_volume_rule());
+        }
+        rules
+    }
+}
+
+/// The shared catalog→rulebase builder: [`Rulebase::hein_lab`] plus the
+/// selected [`ExtensionSet`]. Both `rabit_testbed::rulebase_for` and
+/// `rabit_production::production_rulebase` are thin wrappers over this.
+pub fn extended_hein_rulebase(set: ExtensionSet) -> Rulebase {
+    let mut rb = Rulebase::hein_lab();
+    rb.extend(set.rules());
+    rb
+}
 
 /// Time multiplexing: a robot arm may only move when every *other* robot
 /// arm is parked at its sleep position.

@@ -16,7 +16,11 @@
 //! * [`transition`] — `UpdateState`, the postcondition/state-transition
 //!   function;
 //! * [`DeviceCatalog`] — static device metadata from JSON configuration;
-//! * [`Rulebase`] — the evaluated collection;
+//! * [`Rulebase`] — the evaluated collection, with [`RuleId`]-addressed
+//!   mutation and per-rule enablement;
+//! * [`snapshot`] — [`RulebaseSnapshot`]: epoch-stamped, copy-on-write
+//!   `Arc` handles plus [`TenantId`]/[`SnapshotSource`], the currency of
+//!   the live rule service (`rabit-service`);
 //! * [`table`] — printable renditions of Tables II-IV.
 //!
 //! # Example
@@ -38,9 +42,11 @@ pub mod general;
 mod rule;
 #[allow(clippy::module_inception)]
 mod rulebase;
+pub mod snapshot;
 pub mod table;
 pub mod transition;
 
 pub use catalog::{DeviceCatalog, DeviceMeta};
 pub use rule::{ActorClass, Rule, RuleCtx, RuleId, RuleSignature, Violation, Violations};
 pub use rulebase::Rulebase;
+pub use snapshot::{RulebaseSnapshot, SnapshotSource, TenantId, STATIC_EPOCH};

@@ -17,9 +17,12 @@ struct RuleIndex {
 }
 
 impl RuleIndex {
-    fn build(rules: &[Rule]) -> Self {
+    fn build(rules: &[Rule], enabled: &[bool]) -> Self {
         let mut buckets: [Vec<u32>; ActionClass::COUNT] = Default::default();
         for (i, rule) in rules.iter().enumerate() {
+            if !enabled[i] {
+                continue;
+            }
             for class in rule.signature().action_classes() {
                 buckets[class.index()].push(i as u32);
             }
@@ -53,6 +56,11 @@ impl RuleIndex {
 #[derive(Debug, Clone, Default)]
 pub struct Rulebase {
     rules: Vec<Rule>,
+    /// Parallel to `rules`: whether each rule participates in checks.
+    /// Disabled rules stay in the table (they keep their id, description
+    /// and position for re-enablement) but are excluded from the
+    /// dispatch index and from the linear reference paths alike.
+    enabled: Vec<bool>,
     index: RuleIndex,
 }
 
@@ -76,12 +84,17 @@ impl Rulebase {
     }
 
     fn from_rules(rules: Vec<Rule>) -> Self {
-        let index = RuleIndex::build(&rules);
-        Rulebase { rules, index }
+        let enabled = vec![true; rules.len()];
+        let index = RuleIndex::build(&rules, &enabled);
+        Rulebase {
+            rules,
+            enabled,
+            index,
+        }
     }
 
     fn reindex(&mut self) {
-        self.index = RuleIndex::build(&self.rules);
+        self.index = RuleIndex::build(&self.rules, &self.enabled);
     }
 
     /// Adds one rule (builder style).
@@ -90,37 +103,84 @@ impl Rulebase {
         self
     }
 
-    /// Adds one rule.
+    /// Adds one rule (enabled).
     pub fn push(&mut self, rule: Rule) {
         self.rules.push(rule);
+        self.enabled.push(true);
         self.reindex();
     }
 
-    /// Adds many rules.
+    /// Adds many rules (enabled).
     pub fn extend(&mut self, rules: impl IntoIterator<Item = Rule>) {
         self.rules.extend(rules);
+        self.enabled.resize(self.rules.len(), true);
         self.reindex();
     }
 
     /// Removes the rule with the given id, returning `true` if found.
     pub fn remove(&mut self, id: &RuleId) -> bool {
-        let before = self.rules.len();
-        self.rules.retain(|r| r.id() != id);
-        let removed = self.rules.len() != before;
-        if removed {
-            self.reindex();
-        }
-        removed
+        let Some(pos) = self.position(id) else {
+            return false;
+        };
+        self.rules.remove(pos);
+        self.enabled.remove(pos);
+        self.reindex();
+        true
     }
 
-    /// The rules, in evaluation order.
+    fn position(&self, id: &RuleId) -> Option<usize> {
+        self.rules.iter().position(|r| r.id() == id)
+    }
+
+    /// The rule with the given id, if present (enabled or not).
+    pub fn rule(&self, id: &RuleId) -> Option<&Rule> {
+        self.position(id).map(|i| &self.rules[i])
+    }
+
+    /// Replaces the rule with the given id in place (same evaluation
+    /// position, enablement preserved), returning `true` if found. The
+    /// replacement keeps its own id — callers may rename a rule this
+    /// way, but the lookup key is `id` as stored today.
+    pub fn update(&mut self, id: &RuleId, rule: Rule) -> bool {
+        let Some(pos) = self.position(id) else {
+            return false;
+        };
+        self.rules[pos] = rule;
+        self.reindex();
+        true
+    }
+
+    /// Enables or disables the rule with the given id, returning `true`
+    /// if found. Disabled rules stop firing on the next check.
+    pub fn set_enabled(&mut self, id: &RuleId, enabled: bool) -> bool {
+        let Some(pos) = self.position(id) else {
+            return false;
+        };
+        if self.enabled[pos] != enabled {
+            self.enabled[pos] = enabled;
+            self.reindex();
+        }
+        true
+    }
+
+    /// Whether the rule with the given id is enabled (`None` if absent).
+    pub fn is_enabled(&self, id: &RuleId) -> Option<bool> {
+        self.position(id).map(|i| self.enabled[i])
+    }
+
+    /// The rules, in evaluation order (including disabled rules).
     pub fn rules(&self) -> &[Rule] {
         &self.rules
     }
 
-    /// Number of rules.
+    /// Number of rules, including disabled ones.
     pub fn len(&self) -> usize {
         self.rules.len()
+    }
+
+    /// Number of enabled rules.
+    pub fn enabled_count(&self) -> usize {
+        self.enabled.iter().filter(|&&e| e).count()
     }
 
     /// Returns `true` if the rulebase has no rules.
@@ -198,7 +258,9 @@ impl Rulebase {
         let ctx = RuleCtx { catalog };
         self.rules
             .iter()
-            .filter_map(|rule| rule.check(command, state, &ctx))
+            .zip(&self.enabled)
+            .filter(|(_, &enabled)| enabled)
+            .filter_map(|(rule, _)| rule.check(command, state, &ctx))
             .collect()
     }
 
@@ -213,13 +275,16 @@ impl Rulebase {
         let ctx = RuleCtx { catalog };
         self.rules
             .iter()
-            .find_map(|rule| rule.check(command, state, &ctx))
+            .zip(&self.enabled)
+            .filter(|(_, &enabled)| enabled)
+            .find_map(|(rule, _)| rule.check(command, state, &ctx))
     }
 }
 
 impl Extend<Rule> for Rulebase {
     fn extend<I: IntoIterator<Item = Rule>>(&mut self, iter: I) {
         self.rules.extend(iter);
+        self.enabled.resize(self.rules.len(), true);
         self.reindex();
     }
 }
@@ -314,6 +379,61 @@ mod tests {
             },
         );
         assert!(rb.check(&cmd, &closed_door_state(), &cat).is_empty());
+    }
+
+    #[test]
+    fn disabled_rules_stop_firing_on_both_paths() {
+        let mut rb = Rulebase::hein_lab();
+        let cat = catalog();
+        let state = closed_door_state();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        assert_eq!(rb.check(&cmd, &state, &cat).len(), 1);
+        assert!(rb.set_enabled(&RuleId::General(1), false));
+        assert_eq!(rb.is_enabled(&RuleId::General(1)), Some(false));
+        assert_eq!(rb.len(), 15, "disabled rules stay in the table");
+        assert_eq!(rb.enabled_count(), 14);
+        assert!(rb.check(&cmd, &state, &cat).is_empty());
+        assert!(rb.check_linear(&cmd, &state, &cat).is_empty());
+        assert!(rb.check_first(&cmd, &state, &cat).is_none());
+        assert!(rb.check_first_linear(&cmd, &state, &cat).is_none());
+        // Re-enable: fires again.
+        assert!(rb.set_enabled(&RuleId::General(1), true));
+        assert_eq!(rb.enabled_count(), 15);
+        assert_eq!(rb.check(&cmd, &state, &cat).len(), 1);
+        // Unknown id: untouched.
+        assert!(!rb.set_enabled(&RuleId::General(99), false));
+        assert_eq!(rb.is_enabled(&RuleId::General(99)), None);
+    }
+
+    #[test]
+    fn update_replaces_rule_in_place() {
+        let mut rb = Rulebase::standard();
+        assert!(rb.rule(&RuleId::General(1)).is_some());
+        let relaxed = Rule::new(
+            RuleId::General(1),
+            "relaxed door rule (never fires)",
+            |_, _, _| None,
+        );
+        assert!(rb.update(&RuleId::General(1), relaxed));
+        assert_eq!(rb.len(), 11);
+        assert_eq!(
+            rb.rule(&RuleId::General(1)).unwrap().description(),
+            "relaxed door rule (never fires)"
+        );
+        let cat = catalog();
+        let cmd = Command::new(
+            "arm",
+            ActionKind::MoveInsideDevice {
+                device: "doser".into(),
+            },
+        );
+        assert!(rb.check(&cmd, &closed_door_state(), &cat).is_empty());
+        assert!(!rb.update(&RuleId::General(99), rb.rules()[0].clone()));
     }
 
     #[test]

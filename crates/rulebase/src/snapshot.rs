@@ -1,0 +1,228 @@
+//! Epoch-stamped, copy-on-write rulebase snapshots and tenant identity.
+//!
+//! The rule service (`rabit-service`) promotes the rulebase from a value
+//! baked into a substrate at `instantiate` time to a versioned store
+//! shared by many labs. The handle the rest of the system consumes is
+//! defined here, at the bottom of the dependency graph, so every layer —
+//! engine, substrates, fleets, broker — can speak the same type:
+//!
+//! * [`TenantId`] — names one lab (tenant) inside a shared store;
+//! * [`RulebaseSnapshot`] — an immutable, epoch-stamped `Arc` handle to a
+//!   [`Rulebase`]. Cloning is a reference-count bump; an in-flight
+//!   validation that captured a snapshot keeps checking against exactly
+//!   the rules it started with, no matter how many commits land
+//!   meanwhile;
+//! * [`SnapshotSource`] — the "give me this tenant's latest published
+//!   snapshot" capability, implemented by `rabit_service::RuleStore`
+//!   (and trivially by a pinned snapshot for static setups).
+
+use crate::rulebase::Rulebase;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one tenant (one lab) inside a shared rule store.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// A tenant id from any string-ish name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantId(name.into())
+    }
+
+    /// The tenant every single-lab setup implicitly lives in.
+    pub fn default_tenant() -> Self {
+        TenantId("default".to_string())
+    }
+
+    /// The tenant's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(s: &str) -> Self {
+        TenantId::new(s)
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(s: String) -> Self {
+        TenantId(s)
+    }
+}
+
+/// The epoch a pinned (static, never-committed) snapshot carries.
+pub const STATIC_EPOCH: u64 = 0;
+
+/// An immutable, epoch-stamped handle to a published [`Rulebase`].
+///
+/// Snapshots are the copy-on-write unit of the rule service: every
+/// commit builds a fresh `Rulebase`, stamps it with the tenant's next
+/// epoch, and publishes it behind a new `Arc`. Holders of older
+/// snapshots are unaffected — a validation that started on epoch *N*
+/// finishes on epoch *N* — while anything that re-reads the store picks
+/// up the latest epoch.
+///
+/// `Deref`s to [`Rulebase`], so `snapshot.check(...)`, `snapshot.len()`
+/// etc. work directly.
+#[derive(Debug, Clone)]
+pub struct RulebaseSnapshot {
+    epoch: u64,
+    tenant: TenantId,
+    rulebase: Arc<Rulebase>,
+}
+
+impl RulebaseSnapshot {
+    /// A static snapshot: the rulebase pinned at [`STATIC_EPOCH`] under
+    /// the default tenant. This is what every pre-service construction
+    /// path (`Rabit::new`, plain substrates) produces, so a store used
+    /// with a single static epoch is bit-identical to no store at all.
+    pub fn pinned(rulebase: Rulebase) -> Self {
+        RulebaseSnapshot {
+            epoch: STATIC_EPOCH,
+            tenant: TenantId::default_tenant(),
+            rulebase: Arc::new(rulebase),
+        }
+    }
+
+    /// A snapshot published by a store commit: an explicit tenant and
+    /// epoch around an already-shared rulebase.
+    pub fn published(tenant: TenantId, epoch: u64, rulebase: Arc<Rulebase>) -> Self {
+        RulebaseSnapshot {
+            epoch,
+            tenant,
+            rulebase,
+        }
+    }
+
+    /// The epoch this snapshot was published at ([`STATIC_EPOCH`] for
+    /// pinned snapshots). Verdict caches compose this with their world
+    /// epoch so a rule commit can never serve a stale entry.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The tenant this snapshot belongs to.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
+    /// The shared rulebase.
+    pub fn rulebase(&self) -> &Rulebase {
+        &self.rulebase
+    }
+
+    /// Whether two snapshots share the same published rulebase object
+    /// (same `Arc`, not just equal contents).
+    pub fn same_publication(&self, other: &RulebaseSnapshot) -> bool {
+        Arc::ptr_eq(&self.rulebase, &other.rulebase)
+    }
+
+    /// Copy-on-write local mutation: forks the shared rulebase if other
+    /// holders exist and bumps the epoch, so any verdict cache keyed on
+    /// the rulebase epoch treats the locally-modified rulebase as a new
+    /// generation. Used by `Rabit::rulebase_mut` (the evaluation adds
+    /// extension rules between configurations); store-published
+    /// snapshots should be mutated through the store instead.
+    pub fn make_mut(&mut self) -> &mut Rulebase {
+        self.epoch += 1;
+        Arc::make_mut(&mut self.rulebase)
+    }
+}
+
+impl std::ops::Deref for RulebaseSnapshot {
+    type Target = Rulebase;
+    fn deref(&self) -> &Rulebase {
+        &self.rulebase
+    }
+}
+
+impl From<Rulebase> for RulebaseSnapshot {
+    fn from(rulebase: Rulebase) -> Self {
+        RulebaseSnapshot::pinned(rulebase)
+    }
+}
+
+/// Anything that can hand out the latest published snapshot for a
+/// tenant: the live `RuleStore`, or a pinned snapshot for static setups.
+/// Fleet runners take a `&dyn SnapshotSource` so every job validates
+/// against the snapshot that is current *when the job starts*, which is
+/// exactly the live-CRUD semantics: in-flight jobs keep their epoch, new
+/// jobs pick up the latest.
+pub trait SnapshotSource: Send + Sync {
+    /// The tenant's latest published snapshot. Unknown tenants fall back
+    /// to an empty pinned rulebase (detects nothing) — stores that want
+    /// to reject unknown tenants do so on their typed CRUD surface.
+    fn snapshot(&self, tenant: &TenantId) -> RulebaseSnapshot;
+}
+
+/// A pinned snapshot is its own (single-tenant, never-changing) source.
+impl SnapshotSource for RulebaseSnapshot {
+    fn snapshot(&self, _tenant: &TenantId) -> RulebaseSnapshot {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_snapshot_is_epoch_zero_default_tenant() {
+        let snap = RulebaseSnapshot::pinned(Rulebase::standard());
+        assert_eq!(snap.epoch(), STATIC_EPOCH);
+        assert_eq!(snap.tenant(), &TenantId::default_tenant());
+        assert_eq!(snap.len(), 11, "deref reaches the rulebase");
+        let from: RulebaseSnapshot = Rulebase::standard().into();
+        assert_eq!(from.epoch(), STATIC_EPOCH);
+    }
+
+    #[test]
+    fn clones_share_the_publication() {
+        let snap = RulebaseSnapshot::pinned(Rulebase::hein_lab());
+        let other = snap.clone();
+        assert!(snap.same_publication(&other));
+        let rebuilt = RulebaseSnapshot::pinned(Rulebase::hein_lab());
+        assert!(!snap.same_publication(&rebuilt));
+    }
+
+    #[test]
+    fn make_mut_forks_and_bumps_the_epoch() {
+        let snap = RulebaseSnapshot::pinned(Rulebase::standard());
+        let mut fork = snap.clone();
+        fork.make_mut()
+            .push(crate::general::rule_4_no_double_pick());
+        assert_eq!(fork.epoch(), STATIC_EPOCH + 1);
+        assert_eq!(fork.len(), 12);
+        // The original holder is unaffected: copy-on-write.
+        assert_eq!(snap.epoch(), STATIC_EPOCH);
+        assert_eq!(snap.len(), 11);
+        assert!(!snap.same_publication(&fork));
+    }
+
+    #[test]
+    fn pinned_snapshot_is_a_source() {
+        let snap = RulebaseSnapshot::pinned(Rulebase::standard());
+        let via_source = snap.snapshot(&TenantId::new("anything"));
+        assert!(snap.same_publication(&via_source));
+        assert_eq!(via_source.epoch(), snap.epoch());
+    }
+
+    #[test]
+    fn tenant_id_round_trips() {
+        let t = TenantId::new("hein-lab");
+        assert_eq!(t.as_str(), "hein-lab");
+        assert_eq!(t.to_string(), "hein-lab");
+        assert_eq!(TenantId::from("hein-lab"), t);
+        assert_eq!(TenantId::from("hein-lab".to_string()), t);
+        assert!(TenantId::new("a") < TenantId::new("b"));
+    }
+}

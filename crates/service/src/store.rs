@@ -1,0 +1,546 @@
+//! The versioned, multi-tenant rule store.
+//!
+//! [`RuleStore`] keeps one [`TenantTable`] per tenant: the tenant's
+//! current epoch plus an `Arc` to its latest published [`Rulebase`].
+//! Every commit — create, update, enable/disable, remove — is
+//! copy-on-write: it clones the published rulebase, applies the change,
+//! bumps the tenant's epoch, and swaps in a fresh `Arc`. Holders of
+//! older [`RulebaseSnapshot`]s are untouched; a validation that started
+//! on epoch *N* finishes on epoch *N* while the next command picks up
+//! the latest epoch through [`SnapshotSource::snapshot`].
+//!
+//! Epochs are **per tenant**: commits to one lab never perturb another
+//! lab's version history, which is also what makes the broker's
+//! cross-tenant parallelism deterministic (only per-tenant order
+//! matters).
+
+use rabit_rulebase::{Rule, RuleId, Rulebase, RulebaseSnapshot, SnapshotSource, TenantId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A request to add one rule to a tenant's rulebase.
+///
+/// Modeled on the classic REST shape (`POST /rules`): the payload plus
+/// an initial enablement bit, defaulting to enabled.
+#[derive(Debug, Clone)]
+pub struct CreateRuleRequest {
+    /// The rule to add. Its [`RuleId`] must be new to the tenant.
+    pub rule: Rule,
+    /// Whether the rule starts enabled (`true` unless
+    /// [`CreateRuleRequest::disabled`] is used).
+    pub is_enabled: bool,
+}
+
+impl CreateRuleRequest {
+    /// A request adding `rule` enabled.
+    pub fn new(rule: Rule) -> Self {
+        CreateRuleRequest {
+            rule,
+            is_enabled: true,
+        }
+    }
+
+    /// Marks the rule to start disabled (staged but not yet firing).
+    pub fn disabled(mut self) -> Self {
+        self.is_enabled = false;
+        self
+    }
+}
+
+/// A partial update to one existing rule (`PUT /rules/{id}`): each
+/// `Some` field is applied, each `None` leaves the current value. An
+/// update with every field `None` is rejected as [`ServiceError::EmptyUpdate`].
+#[derive(Debug, Clone, Default)]
+pub struct UpdateRuleRequest {
+    /// Replacement rule body (checker + description), if any. The
+    /// replacement keeps the addressed [`RuleId`]; supplying a rule
+    /// carrying a different id is rejected.
+    pub rule: Option<Rule>,
+    /// New enablement state, if any.
+    pub is_enabled: Option<bool>,
+}
+
+impl UpdateRuleRequest {
+    /// An empty update (rejected unless a field is set).
+    pub fn new() -> Self {
+        UpdateRuleRequest::default()
+    }
+
+    /// Sets the replacement rule body.
+    pub fn with_rule(mut self, rule: Rule) -> Self {
+        self.rule = Some(rule);
+        self
+    }
+
+    /// Sets the enablement state.
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.is_enabled = Some(enabled);
+        self
+    }
+}
+
+/// What a commit did, recorded in its [`RuleCommit`] receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOp {
+    /// A rule was added.
+    Create,
+    /// A rule's body and/or enablement was replaced.
+    Update,
+    /// A rule was switched on.
+    Enable,
+    /// A rule was switched off.
+    Disable,
+    /// A rule was removed.
+    Remove,
+}
+
+impl fmt::Display for CommitOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CommitOp::Create => "create",
+            CommitOp::Update => "update",
+            CommitOp::Enable => "enable",
+            CommitOp::Disable => "disable",
+            CommitOp::Remove => "remove",
+        })
+    }
+}
+
+/// The receipt of one committed mutation: which tenant, which rule,
+/// what happened, and the epoch the commit published.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleCommit {
+    /// The tenant the commit landed in.
+    pub tenant: TenantId,
+    /// The rule the commit addressed.
+    pub rule: RuleId,
+    /// What the commit did.
+    pub op: CommitOp,
+    /// The epoch this commit published (the tenant's previous epoch + 1).
+    pub epoch: u64,
+}
+
+/// A typed rule-service failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The tenant has never been seeded.
+    UnknownTenant(TenantId),
+    /// The addressed rule does not exist in the tenant's rulebase.
+    UnknownRule {
+        /// The tenant addressed.
+        tenant: TenantId,
+        /// The missing rule.
+        rule: RuleId,
+    },
+    /// A create collided with an existing rule id.
+    DuplicateRule {
+        /// The tenant addressed.
+        tenant: TenantId,
+        /// The already-present rule.
+        rule: RuleId,
+    },
+    /// An [`UpdateRuleRequest`] with no fields set.
+    EmptyUpdate,
+    /// An update supplied a replacement rule whose id differs from the
+    /// addressed one (renames are a remove + create, never silent).
+    IdMismatch {
+        /// The rule the update addressed.
+        addressed: RuleId,
+        /// The id the replacement body carried.
+        supplied: RuleId,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            ServiceError::UnknownRule { tenant, rule } => {
+                write!(f, "tenant {tenant} has no rule {rule}")
+            }
+            ServiceError::DuplicateRule { tenant, rule } => {
+                write!(f, "tenant {tenant} already has rule {rule}")
+            }
+            ServiceError::EmptyUpdate => f.write_str("update request sets no fields"),
+            ServiceError::IdMismatch {
+                addressed,
+                supplied,
+            } => write!(
+                f,
+                "update addressed rule {addressed} but supplied body for {supplied}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One tenant's row: its version counter and latest publication.
+#[derive(Debug)]
+struct TenantTable {
+    epoch: u64,
+    published: Arc<Rulebase>,
+}
+
+/// The versioned multi-tenant rule store.
+///
+/// Thread-safe behind one internal mutex: commits are serialised (they
+/// are rare, human-scale events), snapshot reads are a lock + two `Arc`
+/// clones. Validation itself never holds the lock — engines work off
+/// the immutable snapshots they captured.
+#[derive(Debug, Default)]
+pub struct RuleStore {
+    tenants: Mutex<BTreeMap<TenantId, TenantTable>>,
+}
+
+impl RuleStore {
+    /// An empty store with no tenants.
+    pub fn new() -> Self {
+        RuleStore::default()
+    }
+
+    /// Seeds (or reseeds) a tenant with a full rulebase at epoch
+    /// [`rabit_rulebase::STATIC_EPOCH`]. A seeded, never-committed
+    /// tenant therefore hands out snapshots indistinguishable from the
+    /// pinned path — the bit-identical baseline the differential suite
+    /// pins down.
+    pub fn seed_tenant(&self, tenant: impl Into<TenantId>, rulebase: Rulebase) -> RulebaseSnapshot {
+        let tenant = tenant.into();
+        let published = Arc::new(rulebase);
+        let mut tenants = self.tenants.lock().expect("rule store poisoned");
+        tenants.insert(
+            tenant.clone(),
+            TenantTable {
+                epoch: rabit_rulebase::STATIC_EPOCH,
+                published: Arc::clone(&published),
+            },
+        );
+        RulebaseSnapshot::published(tenant, rabit_rulebase::STATIC_EPOCH, published)
+    }
+
+    /// A store pre-seeded with the default tenant — the drop-in handle
+    /// for single-lab setups.
+    pub fn single_tenant(rulebase: Rulebase) -> Self {
+        let store = RuleStore::new();
+        store.seed_tenant(TenantId::default_tenant(), rulebase);
+        store
+    }
+
+    /// The seeded tenants, in order.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let tenants = self.tenants.lock().expect("rule store poisoned");
+        tenants.keys().cloned().collect()
+    }
+
+    /// The tenant's current epoch, or `None` if unseeded.
+    pub fn epoch_of(&self, tenant: &TenantId) -> Option<u64> {
+        let tenants = self.tenants.lock().expect("rule store poisoned");
+        tenants.get(tenant).map(|t| t.epoch)
+    }
+
+    /// The tenant's latest published snapshot, or a typed error for
+    /// unseeded tenants ([`SnapshotSource::snapshot`] is the infallible
+    /// variant).
+    pub fn snapshot_for(&self, tenant: &TenantId) -> Result<RulebaseSnapshot, ServiceError> {
+        let tenants = self.tenants.lock().expect("rule store poisoned");
+        let table = tenants
+            .get(tenant)
+            .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+        Ok(RulebaseSnapshot::published(
+            tenant.clone(),
+            table.epoch,
+            Arc::clone(&table.published),
+        ))
+    }
+
+    /// Adds a rule to the tenant's rulebase (`POST /rules`).
+    pub fn create_rule(
+        &self,
+        tenant: &TenantId,
+        request: CreateRuleRequest,
+    ) -> Result<RuleCommit, ServiceError> {
+        let id = request.rule.id().clone();
+        self.commit(tenant, CommitOp::Create, id.clone(), |rulebase| {
+            if rulebase.rule(&id).is_some() {
+                return Err(ServiceError::DuplicateRule {
+                    tenant: tenant.clone(),
+                    rule: id.clone(),
+                });
+            }
+            rulebase.push(request.rule.clone());
+            if !request.is_enabled {
+                rulebase.set_enabled(&id, false);
+            }
+            Ok(())
+        })
+    }
+
+    /// Partially updates a rule (`PUT /rules/{id}`).
+    pub fn update_rule(
+        &self,
+        tenant: &TenantId,
+        rule: &RuleId,
+        request: UpdateRuleRequest,
+    ) -> Result<RuleCommit, ServiceError> {
+        if request.rule.is_none() && request.is_enabled.is_none() {
+            return Err(ServiceError::EmptyUpdate);
+        }
+        if let Some(body) = &request.rule {
+            if body.id() != rule {
+                return Err(ServiceError::IdMismatch {
+                    addressed: rule.clone(),
+                    supplied: body.id().clone(),
+                });
+            }
+        }
+        self.commit(tenant, CommitOp::Update, rule.clone(), |rulebase| {
+            if rulebase.rule(rule).is_none() {
+                return Err(ServiceError::UnknownRule {
+                    tenant: tenant.clone(),
+                    rule: rule.clone(),
+                });
+            }
+            if let Some(body) = request.rule.clone() {
+                rulebase.update(rule, body);
+            }
+            if let Some(enabled) = request.is_enabled {
+                rulebase.set_enabled(rule, enabled);
+            }
+            Ok(())
+        })
+    }
+
+    /// Switches a rule on or off without touching its body.
+    pub fn set_rule_enabled(
+        &self,
+        tenant: &TenantId,
+        rule: &RuleId,
+        enabled: bool,
+    ) -> Result<RuleCommit, ServiceError> {
+        let op = if enabled {
+            CommitOp::Enable
+        } else {
+            CommitOp::Disable
+        };
+        self.commit(tenant, op, rule.clone(), |rulebase| {
+            if !rulebase.set_enabled(rule, enabled) {
+                return Err(ServiceError::UnknownRule {
+                    tenant: tenant.clone(),
+                    rule: rule.clone(),
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// Removes a rule (`DELETE /rules/{id}`).
+    pub fn remove_rule(
+        &self,
+        tenant: &TenantId,
+        rule: &RuleId,
+    ) -> Result<RuleCommit, ServiceError> {
+        self.commit(tenant, CommitOp::Remove, rule.clone(), |rulebase| {
+            if !rulebase.remove(rule) {
+                return Err(ServiceError::UnknownRule {
+                    tenant: tenant.clone(),
+                    rule: rule.clone(),
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// The copy-on-write commit path shared by every mutation: clone the
+    /// publication, apply, bump the tenant epoch, publish a fresh `Arc`.
+    /// A mutation that errors publishes nothing — the epoch is untouched.
+    fn commit(
+        &self,
+        tenant: &TenantId,
+        op: CommitOp,
+        rule: RuleId,
+        mutate: impl FnOnce(&mut Rulebase) -> Result<(), ServiceError>,
+    ) -> Result<RuleCommit, ServiceError> {
+        let mut tenants = self.tenants.lock().expect("rule store poisoned");
+        let table = tenants
+            .get_mut(tenant)
+            .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+        let mut next = (*table.published).clone();
+        mutate(&mut next)?;
+        table.epoch += 1;
+        table.published = Arc::new(next);
+        Ok(RuleCommit {
+            tenant: tenant.clone(),
+            rule,
+            op,
+            epoch: table.epoch,
+        })
+    }
+}
+
+impl SnapshotSource for RuleStore {
+    /// The tenant's latest publication; unknown tenants fall back to an
+    /// empty pinned rulebase (detects nothing), per the trait contract.
+    fn snapshot(&self, tenant: &TenantId) -> RulebaseSnapshot {
+        self.snapshot_for(tenant)
+            .unwrap_or_else(|_| RulebaseSnapshot::pinned(Rulebase::new()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabit_rulebase::general;
+
+    fn tenant() -> TenantId {
+        TenantId::new("hein")
+    }
+
+    fn seeded() -> RuleStore {
+        let store = RuleStore::new();
+        store.seed_tenant(tenant(), Rulebase::standard());
+        store
+    }
+
+    #[test]
+    fn seeding_publishes_epoch_zero() {
+        let store = seeded();
+        assert_eq!(store.epoch_of(&tenant()), Some(0));
+        let snap = store.snapshot_for(&tenant()).unwrap();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.tenant(), &tenant());
+        assert_eq!(snap.len(), 11);
+        assert_eq!(store.tenants(), vec![tenant()]);
+    }
+
+    #[test]
+    fn commits_bump_the_epoch_and_publish_fresh_arcs() {
+        let store = seeded();
+        let before = store.snapshot_for(&tenant()).unwrap();
+        let commit = store
+            .create_rule(
+                &tenant(),
+                CreateRuleRequest::new(
+                    general::rule_4_no_double_pick()
+                        .with_signature(rabit_rulebase::RuleSignature::any()),
+                ),
+            )
+            .expect_err("duplicate id must be rejected");
+        assert!(matches!(commit, ServiceError::DuplicateRule { .. }));
+
+        let custom = Rule::new(RuleId::Custom("no-op".into()), "never fires", |_, _, _| {
+            None
+        });
+        let commit = store
+            .create_rule(&tenant(), CreateRuleRequest::new(custom))
+            .unwrap();
+        assert_eq!(commit.epoch, 1);
+        assert_eq!(commit.op, CommitOp::Create);
+        let after = store.snapshot_for(&tenant()).unwrap();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.len(), 12);
+        // Copy-on-write: the pre-commit holder still sees epoch 0.
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.len(), 11);
+        assert!(!before.same_publication(&after));
+    }
+
+    #[test]
+    fn disabled_create_stages_without_firing() {
+        let store = seeded();
+        let staged = Rule::new(RuleId::Custom("staged".into()), "staged", |_, _, _| None);
+        store
+            .create_rule(&tenant(), CreateRuleRequest::new(staged).disabled())
+            .unwrap();
+        let snap = store.snapshot_for(&tenant()).unwrap();
+        assert_eq!(snap.len(), 12);
+        assert_eq!(snap.enabled_count(), 11);
+        assert_eq!(
+            snap.is_enabled(&RuleId::Custom("staged".into())),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn update_validates_shape_and_target() {
+        let store = seeded();
+        assert_eq!(
+            store.update_rule(&tenant(), &RuleId::General(1), UpdateRuleRequest::new()),
+            Err(ServiceError::EmptyUpdate)
+        );
+        let wrong_id = UpdateRuleRequest::new().with_rule(Rule::new(
+            RuleId::Custom("other".into()),
+            "x",
+            |_, _, _| None,
+        ));
+        assert!(matches!(
+            store.update_rule(&tenant(), &RuleId::General(1), wrong_id),
+            Err(ServiceError::IdMismatch { .. })
+        ));
+        assert!(matches!(
+            store.update_rule(
+                &tenant(),
+                &RuleId::Custom("ghost".into()),
+                UpdateRuleRequest::new().with_enabled(false)
+            ),
+            Err(ServiceError::UnknownRule { .. })
+        ));
+        let commit = store
+            .update_rule(
+                &tenant(),
+                &RuleId::General(1),
+                UpdateRuleRequest::new().with_enabled(false),
+            )
+            .unwrap();
+        assert_eq!(commit.epoch, 1);
+        let snap = store.snapshot_for(&tenant()).unwrap();
+        assert_eq!(snap.is_enabled(&RuleId::General(1)), Some(false));
+    }
+
+    #[test]
+    fn failed_commits_publish_nothing() {
+        let store = seeded();
+        let before = store.snapshot_for(&tenant()).unwrap();
+        assert!(store
+            .remove_rule(&tenant(), &RuleId::Custom("ghost".into()))
+            .is_err());
+        assert_eq!(store.epoch_of(&tenant()), Some(0));
+        let after = store.snapshot_for(&tenant()).unwrap();
+        assert!(before.same_publication(&after), "no new publication");
+    }
+
+    #[test]
+    fn unknown_tenants_are_typed_errors_but_infallible_sources() {
+        let store = seeded();
+        let ghost = TenantId::new("ghost");
+        assert_eq!(
+            store.snapshot_for(&ghost).err(),
+            Some(ServiceError::UnknownTenant(ghost.clone()))
+        );
+        let fallback = store.snapshot(&ghost);
+        assert_eq!(fallback.len(), 0, "empty rulebase detects nothing");
+        assert!(store
+            .set_rule_enabled(&ghost, &RuleId::General(1), false)
+            .is_err());
+    }
+
+    #[test]
+    fn remove_and_reenable_round_trip() {
+        let store = seeded();
+        let disable = store
+            .set_rule_enabled(&tenant(), &RuleId::General(1), false)
+            .unwrap();
+        assert_eq!(disable.op, CommitOp::Disable);
+        let enable = store
+            .set_rule_enabled(&tenant(), &RuleId::General(1), true)
+            .unwrap();
+        assert_eq!(enable.op, CommitOp::Enable);
+        assert_eq!(enable.epoch, 2);
+        let remove = store.remove_rule(&tenant(), &RuleId::General(1)).unwrap();
+        assert_eq!(remove.op, CommitOp::Remove);
+        assert_eq!(remove.epoch, 3);
+        let snap = store.snapshot_for(&tenant()).unwrap();
+        assert_eq!(snap.len(), 10);
+        assert!(snap.rule(&RuleId::General(1)).is_none());
+    }
+}

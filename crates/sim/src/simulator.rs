@@ -215,11 +215,15 @@ enum GoalKey {
 
 /// Cache key: everything a verdict depends on, quantised. The world
 /// epoch is part of the key, so any obstacle mutation implicitly
-/// invalidates every prior entry (stale entries age out via LRU).
+/// invalidates every prior entry (stale entries age out via LRU) — and
+/// the rulebase epoch is composed alongside it, so a live rule commit
+/// (create/update/enable/disable) likewise invalidates every verdict
+/// computed under the previous rule generation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct VerdictKey {
     arm: DeviceId,
     epoch: u64,
+    rulebase_epoch: u64,
     start: [i64; 6],
     goal: GoalKey,
     held: bool,
@@ -284,6 +288,10 @@ pub struct ExtendedSimulator {
     cache_misses: u64,
     /// Monotonic use counter driving LRU eviction.
     cache_stamp: u64,
+    /// The rulebase epoch governing the next validation, as reported by
+    /// the engine via `note_rulebase_epoch`. Composed into every
+    /// [`VerdictKey`] so a rule commit can never serve a stale verdict.
+    rulebase_epoch: u64,
     /// Memoised IK candidate lists for position goals. Candidates depend
     /// only on the arm's model, its mirrored start configuration, and
     /// the target — not on the world, the held object, or any config
@@ -348,6 +356,7 @@ impl ExtendedSimulator {
             cache_hits: 0,
             cache_misses: 0,
             cache_stamp: 0,
+            rulebase_epoch: 0,
             ik_cache: BTreeMap::new(),
             samples_skipped: 0,
             distance_queries: 0,
@@ -907,6 +916,7 @@ impl ExtendedSimulator {
             VerdictKey {
                 arm: arm_id.clone(),
                 epoch: self.world.epoch(),
+                rulebase_epoch: self.rulebase_epoch,
                 start: quant6(&arm.current),
                 goal: goal_key,
                 held,
@@ -1229,6 +1239,13 @@ impl TrajectoryValidator for ExtendedSimulator {
         });
         self.insert_cached(key, exact, verdict.clone(), post);
         verdict
+    }
+
+    fn note_rulebase_epoch(&mut self, epoch: u64) {
+        // Stored, not acted on: the epoch flows into every VerdictKey, so
+        // entries from older rule generations simply stop matching and
+        // age out via LRU — no eager cache sweep needed.
+        self.rulebase_epoch = epoch;
     }
 
     fn check_latency_s(&self) -> f64 {

@@ -15,10 +15,10 @@ use crate::world::SimWorld;
 use rabit_core::{FaultPlan, Lab, RabitConfig, Stage, Substrate, TrajectoryValidator};
 use rabit_devices::DeviceId;
 use rabit_kinematics::ArmModel;
-use rabit_rulebase::{DeviceCatalog, Rulebase};
+use rabit_rulebase::{DeviceCatalog, Rulebase, RulebaseSnapshot};
 
 type LabBuilder = Box<dyn Fn() -> Lab + Send + Sync>;
-type RulebaseBuilder = Box<dyn Fn() -> Rulebase + Send + Sync>;
+type RulebaseBuilder = Box<dyn Fn() -> RulebaseSnapshot + Send + Sync>;
 type CatalogBuilder = Box<dyn Fn() -> DeviceCatalog + Send + Sync>;
 
 /// A [`Substrate`] realising the Extended Simulator stage: a lab recipe
@@ -53,7 +53,7 @@ impl SimulatorSubstrate {
             engine_config: RabitConfig::default(),
             fault_plan: FaultPlan::none(),
             lab: Box::new(Lab::new),
-            rulebase: Box::new(Rulebase::standard),
+            rulebase: Box::new(|| Rulebase::standard().into()),
             catalog: Box::new(DeviceCatalog::new),
         }
     }
@@ -76,12 +76,15 @@ impl SimulatorSubstrate {
         self
     }
 
-    /// Sets the rulebase-construction recipe.
-    pub fn with_rulebase(
+    /// Sets the rulebase-construction recipe. The recipe may return an
+    /// owned [`Rulebase`] (pinned at epoch 0) or an epoch-stamped
+    /// [`RulebaseSnapshot`] — e.g. a closure over a live rule store that
+    /// returns its latest published snapshot on every call.
+    pub fn with_rulebase<R: Into<RulebaseSnapshot>>(
         mut self,
-        rulebase: impl Fn() -> Rulebase + Send + Sync + 'static,
+        rulebase: impl Fn() -> R + Send + Sync + 'static,
     ) -> Self {
-        self.rulebase = Box::new(rulebase);
+        self.rulebase = Box::new(move || rulebase().into());
         self
     }
 
@@ -139,7 +142,7 @@ impl Substrate for SimulatorSubstrate {
         (self.lab)()
     }
 
-    fn rulebase(&self) -> Rulebase {
+    fn rulebase(&self) -> RulebaseSnapshot {
         (self.rulebase)()
     }
 

@@ -194,6 +194,49 @@ fn mid_run_world_mutation_invalidates_cached_safe_verdict() {
 }
 
 #[test]
+fn rulebase_epoch_bump_invalidates_cached_verdicts() {
+    // The verdict key composes the *rulebase* epoch alongside the world
+    // epoch: a rule commit mid-run must stop cached verdicts from being
+    // served even though the world never changed. The engine reports the
+    // epoch through `note_rulebase_epoch` before every validation.
+    let arm = presets::ur3e();
+    let home_tool = arm.tool_position(&arm.home_configuration());
+    let target = home_tool + Vec3::new(0.05, 0.05, 0.05);
+    let mut s = sim(SimWorld::new(), true);
+    let cmd = Command::new("ur3e", ActionKind::MoveToLocation { target });
+    let back = Command::new("ur3e", ActionKind::MoveHome);
+    let lab = state(false);
+
+    // Prime under rulebase epoch 0 and prove the round trip hits.
+    s.note_rulebase_epoch(0);
+    assert_eq!(s.validate(&cmd, &lab), TrajectoryVerdict::Safe);
+    assert_eq!(s.validate(&back, &lab), TrajectoryVerdict::Safe);
+    assert_eq!(s.validate(&cmd, &lab), TrajectoryVerdict::Safe);
+    assert_eq!(s.validate(&back, &lab), TrajectoryVerdict::Safe);
+    let hits_before = s.cache_hits();
+    let misses_before = s.cache_misses();
+    assert!(hits_before >= 2, "repeat round trip must hit the cache");
+
+    // A rule commit publishes epoch 1: the identical command from the
+    // identical pose and world must re-sweep, not replay epoch 0's entry.
+    s.note_rulebase_epoch(1);
+    assert_eq!(s.validate(&cmd, &lab), TrajectoryVerdict::Safe);
+    assert_eq!(s.cache_hits(), hits_before, "stale epoch-0 verdict served");
+    assert_eq!(s.cache_misses(), misses_before + 1);
+
+    // An in-flight validation still on epoch 0 finds its entries intact:
+    // old generations age out via LRU, they are not swept eagerly. The
+    // arm is at `target` now, so the primed epoch-0 `back` entry applies.
+    s.note_rulebase_epoch(0);
+    assert_eq!(s.validate(&back, &lab), TrajectoryVerdict::Safe);
+    assert_eq!(
+        s.cache_hits(),
+        hits_before + 1,
+        "epoch-0 entries must survive the epoch-1 commit"
+    );
+}
+
+#[test]
 fn cache_respects_held_object_difference() {
     // Same pose, same goal, different held state: the bare-arm Safe must
     // not be replayed for the held-vial case (Bug D's geometry).

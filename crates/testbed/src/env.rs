@@ -314,15 +314,17 @@ impl Default for Testbed {
 
 /// The rulebase of one study configuration: the 15 Hein Lab rules, plus
 /// the three §IV extension rules (held-object geometry, time
-/// multiplexing, sleep volumes) for the modified configurations.
+/// multiplexing, sleep volumes) for the modified configurations. A thin
+/// wrapper over the shared [`extensions::extended_hein_rulebase`]
+/// builder (the production deck composes the same way with a different
+/// [`extensions::ExtensionSet`]).
 pub fn rulebase_for(stage: RabitStage) -> Rulebase {
-    let mut rulebase = Rulebase::hein_lab();
-    if stage != RabitStage::Baseline {
-        rulebase.push(extensions::held_object_clearance_rule());
-        rulebase.push(extensions::time_multiplexing_rule());
-        rulebase.push(extensions::sleep_volume_rule());
-    }
-    rulebase
+    let set = if stage == RabitStage::Baseline {
+        extensions::ExtensionSet::none()
+    } else {
+        extensions::ExtensionSet::all()
+    };
+    extensions::extended_hein_rulebase(set)
 }
 
 #[cfg(test)]

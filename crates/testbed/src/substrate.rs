@@ -19,7 +19,7 @@
 
 use crate::env::{rulebase_for, RabitStage, Testbed};
 use rabit_core::{FaultPlan, Lab, Stage, StagePipeline, Substrate, TrajectoryValidator};
-use rabit_rulebase::{DeviceCatalog, Rulebase};
+use rabit_rulebase::{DeviceCatalog, RulebaseSnapshot};
 use rabit_sim::SimulatorSubstrate;
 
 /// A stage/configuration profile of the testbed deck implementing
@@ -95,8 +95,8 @@ impl Substrate for TestbedSubstrate {
         Testbed::build_lab(self.latency())
     }
 
-    fn rulebase(&self) -> Rulebase {
-        rulebase_for(self.config)
+    fn rulebase(&self) -> RulebaseSnapshot {
+        rulebase_for(self.config).into()
     }
 
     fn catalog(&self) -> DeviceCatalog {
@@ -128,8 +128,8 @@ impl Substrate for Testbed {
         Testbed::build_lab(self.latency())
     }
 
-    fn rulebase(&self) -> Rulebase {
-        rulebase_for(RabitStage::Modified)
+    fn rulebase(&self) -> RulebaseSnapshot {
+        rulebase_for(RabitStage::Modified).into()
     }
 
     fn catalog(&self) -> DeviceCatalog {

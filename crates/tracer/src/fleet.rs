@@ -15,6 +15,7 @@ use rabit_core::fleet::run_indexed;
 use rabit_core::{
     DamageEvent, FaultPlan, Lab, Rabit, RecoveryCounters, Stage, Substrate, SweepStats,
 };
+use rabit_rulebase::{RulebaseSnapshot, SnapshotSource, TenantId};
 use std::collections::BTreeMap;
 
 /// One fleet run: the workflow's trace report plus the physical damage
@@ -57,6 +58,10 @@ pub struct FleetRun {
     pub certificate_spans: u64,
     /// Faults the run's lab actually injected (0 without a fault plan).
     pub faults_injected: u64,
+    /// The rulebase epoch this run's engine validated against (0 for
+    /// pinned rulebases and pass-through baselines; the published epoch
+    /// for live-store fleets via [`run_fleet_on_live`]).
+    pub rulebase_epoch: u64,
 }
 
 /// The collected fleet: per-run reports plus merge helpers.
@@ -196,20 +201,22 @@ where
 {
     let runs = run_indexed(workflows.len(), threads, |i| {
         let (mut lab, rabit) = setup(i);
-        let (report, cache_hits, cache_misses, sweep) = match rabit {
+        let (report, cache_hits, cache_misses, sweep, rulebase_epoch) = match rabit {
             Some(mut rabit) => {
                 rabit.config_mut().first_violation_only = true;
                 let report = Tracer::guarded(&mut lab, &mut rabit).run(&workflows[i]);
                 let (hits, misses) = rabit.validator_cache_stats();
                 let sweep = rabit.validator_sweep_stats();
+                let epoch = rabit.rulebase_epoch();
                 drop(rabit);
-                (report, hits, misses, sweep)
+                (report, hits, misses, sweep, epoch)
             }
             None => (
                 Tracer::pass_through(&mut lab).run(&workflows[i]),
                 0,
                 0,
                 SweepStats::default(),
+                rabit_rulebase::STATIC_EPOCH,
             ),
         };
         FleetRun {
@@ -227,6 +234,7 @@ where
             distance_evals_batched: sweep.distance_evals_batched,
             certificate_spans: sweep.certificate_spans,
             faults_injected: lab.fault_stats().total_injected(),
+            rulebase_epoch,
         }
     });
     FleetReport { threads, runs }
@@ -246,7 +254,28 @@ where
 /// reports are identical for every `threads >= 1`, exactly as for
 /// [`run_fleet`].
 pub fn run_fleet_on(jobs: &[(&dyn Substrate, &Workflow)], threads: usize) -> FleetReport {
-    fleet_on_with(jobs, threads, None)
+    fleet_on_with(jobs, threads, None, None)
+}
+
+/// [`run_fleet_on`] against a live rule store: every job asks `source`
+/// for `tenant`'s latest published snapshot *when the job starts
+/// executing*, so a rule commit that lands mid-fleet governs the jobs
+/// that start after it while jobs already in flight finish on the epoch
+/// they captured. Each run records the epoch it validated against in
+/// [`FleetRun::rulebase_epoch`].
+///
+/// With a source whose snapshot never changes (a pinned
+/// [`rabit_rulebase::RulebaseSnapshot`], or a store nobody commits to),
+/// every job sees the same single epoch and the fleet's verdicts are
+/// bit-identical to [`run_fleet_on`] over substrates returning that
+/// same rulebase.
+pub fn run_fleet_on_live(
+    jobs: &[(&dyn Substrate, &Workflow)],
+    threads: usize,
+    source: &dyn SnapshotSource,
+    tenant: &TenantId,
+) -> FleetReport {
+    fleet_on_with(jobs, threads, None, Some((source, tenant)))
 }
 
 /// [`run_fleet_on`] under a fault plan: every job instantiates through
@@ -259,13 +288,14 @@ pub fn run_fleet_on_faulted(
     threads: usize,
     plan: &FaultPlan,
 ) -> FleetReport {
-    fleet_on_with(jobs, threads, Some(plan))
+    fleet_on_with(jobs, threads, Some(plan), None)
 }
 
 fn fleet_on_with(
     jobs: &[(&dyn Substrate, &Workflow)],
     threads: usize,
     plan: Option<&FaultPlan>,
+    live: Option<(&dyn SnapshotSource, &TenantId)>,
 ) -> FleetReport {
     let runs = run_indexed(jobs.len(), threads, |i| {
         let (substrate, workflow) = jobs[i];
@@ -274,6 +304,10 @@ fn fleet_on_with(
             workflow,
             fault: plan.map(|p| p.for_run(i as u64)),
             guarded: true,
+            // Live fleets resolve the snapshot here — at job start, on
+            // the executing worker — so commits landing mid-fleet are
+            // picked up by later jobs only.
+            snapshot: live.map(|(source, tenant)| source.snapshot(tenant)),
         };
         let (mut run, _lab) = job.execute();
         run.index = i;
@@ -299,6 +333,10 @@ pub struct FleetJob<'a> {
     /// `true` = guarded (check-then-forward through a fresh RABIT
     /// engine); `false` = pass-through baseline.
     pub guarded: bool,
+    /// A rulebase snapshot overriding the substrate's own (live-store
+    /// fleets resolve one per job via [`run_fleet_on_live`]); `None`
+    /// instantiates with the substrate's pinned rulebase.
+    pub snapshot: Option<RulebaseSnapshot>,
 }
 
 impl FleetJob<'_> {
@@ -307,16 +345,23 @@ impl FleetJob<'_> {
     /// so post-run ground truth (device poses, damage detail) stays
     /// inspectable.
     pub fn execute(&self) -> (FleetRun, Lab) {
-        let (lab, report, cache, sweep) = if self.guarded {
-            let (mut lab, mut rabit) = match &self.fault {
-                Some(plan) => self.substrate.instantiate_with(plan),
-                None => self.substrate.instantiate(),
+        let (lab, report, cache, sweep, rulebase_epoch) = if self.guarded {
+            // No explicit per-run plan → the substrate's own, exactly
+            // what `Substrate::instantiate` would arm.
+            let fault = match &self.fault {
+                Some(plan) => plan.clone(),
+                None => self.substrate.fault_plan(),
+            };
+            let (mut lab, mut rabit) = match &self.snapshot {
+                Some(snapshot) => self.substrate.instantiate_on(snapshot.clone(), &fault),
+                None => self.substrate.instantiate_with(&fault),
             };
             rabit.config_mut().first_violation_only = true;
             let report = Tracer::guarded(&mut lab, &mut rabit).run(self.workflow);
             let cache = rabit.validator_cache_stats();
             let sweep = rabit.validator_sweep_stats();
-            (lab, report, cache, sweep)
+            let epoch = rabit.rulebase_epoch();
+            (lab, report, cache, sweep, epoch)
         } else {
             let mut lab = self.substrate.build_lab();
             if let Some(plan) = &self.fault {
@@ -325,7 +370,13 @@ impl FleetJob<'_> {
                 }
             }
             let report = Tracer::pass_through(&mut lab).run(self.workflow);
-            (lab, report, (0, 0), SweepStats::default())
+            (
+                lab,
+                report,
+                (0, 0),
+                SweepStats::default(),
+                rabit_rulebase::STATIC_EPOCH,
+            )
         };
         let run = FleetRun {
             index: 0,
@@ -342,6 +393,7 @@ impl FleetJob<'_> {
             distance_evals_batched: sweep.distance_evals_batched,
             certificate_spans: sweep.certificate_spans,
             faults_injected: lab.fault_stats().total_injected(),
+            rulebase_epoch,
         };
         // The damage log and fault stats are already captured; hand the
         // lab back for post-run ground-truth reads.
@@ -446,8 +498,8 @@ mod tests {
                 ))
                 .with_device(Vial::new("vial", Vec3::new(0.537, 0.018, 0.12)))
         }
-        fn rulebase(&self) -> Rulebase {
-            Rulebase::standard()
+        fn rulebase(&self) -> rabit_rulebase::RulebaseSnapshot {
+            Rulebase::standard().into()
         }
         fn catalog(&self) -> DeviceCatalog {
             DeviceCatalog::new()
@@ -503,6 +555,7 @@ mod tests {
             workflow: &wfs[1],
             fault: None,
             guarded: true,
+            snapshot: None,
         }
         .execute();
         assert_eq!(
@@ -518,6 +571,7 @@ mod tests {
             workflow: &wfs[1],
             fault: None,
             guarded: false,
+            snapshot: None,
         }
         .execute();
         assert!(unguarded.report.completed(), "nothing halts pass-through");

@@ -35,7 +35,10 @@ mod tracer;
 mod workflow;
 
 pub use concurrent::{run_concurrent, ConcurrentReport, StreamReport};
-pub use fleet::{run_fleet, run_fleet_on, run_fleet_on_faulted, FleetJob, FleetReport, FleetRun};
+pub use fleet::{
+    run_fleet, run_fleet_on, run_fleet_on_faulted, run_fleet_on_live, FleetJob, FleetReport,
+    FleetRun,
+};
 pub use script::{parse_script, AliasTable, ScriptError};
 pub use trace::{Trace, TraceEvent, TraceOutcome};
 pub use tracer::{TraceMode, TraceReport, Tracer};

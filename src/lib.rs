@@ -32,6 +32,8 @@ pub use rabit_production as production;
 pub use rabit_rad as rad;
 /// Re-export of the rulebase.
 pub use rabit_rulebase as rulebase;
+/// Re-export of the versioned multi-tenant rule service.
+pub use rabit_service as service;
 /// Re-export of the Extended Simulator.
 pub use rabit_sim as sim;
 /// Re-export of the testbed stage.
