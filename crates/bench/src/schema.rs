@@ -23,7 +23,11 @@
 //!   numeric `done` count; `"service"` marks a rule-service churn
 //!   artifact, whose `results` must carry numeric `tenants` (≥ 4),
 //!   `commands_per_sec`, and `p50_check_latency_us` /
-//!   `p99_check_latency_us`. Unknown kinds are rejected.
+//!   `p99_check_latency_us`; `"rad"` marks a streaming-mining artifact,
+//!   whose `results` must carry the streaming throughput and drift
+//!   fields (see `validate_rad_results`) and, in full mode, clear the
+//!   [`RAD_MIN_COMMANDS`] / [`RAD_MIN_COMMANDS_PER_SEC`] floors.
+//!   Unknown kinds are rejected.
 //!
 //! [`write_artifact`] builds and writes the envelope; [`validate`]
 //! checks an already-parsed artifact (the `bench_schema` binary runs it
@@ -85,6 +89,13 @@ pub fn validate(json: &Json) -> Result<(), String> {
             }
             Some("service") => {
                 validate_service_results(json.get("results").unwrap_or(&Json::Null))?;
+                false
+            }
+            Some("rad") => {
+                validate_rad_results(
+                    json.get("config").unwrap_or(&Json::Null),
+                    json.get("results").unwrap_or(&Json::Null),
+                )?;
                 false
             }
             Some(other) => return Err(format!("unknown envelope kind \"{other}\"")),
@@ -181,6 +192,89 @@ fn validate_service_results(results: &Json) -> Result<(), String> {
         return Err(format!(
             "service artifact ran {tenants} tenants, below the {SERVICE_MIN_TENANTS} multi-tenant floor"
         ));
+    }
+    Ok(())
+}
+
+/// Minimum synthetic commands a full-mode `"rad"` artifact must have
+/// streamed through the online miner: the bench's claim is
+/// production-scale mining, and the ISSUE acceptance floor is 100M
+/// commands in one pass.
+pub const RAD_MIN_COMMANDS: f64 = 100_000_000.0;
+
+/// Minimum streaming throughput (commands/second through generation +
+/// online mining) a full-mode `"rad"` artifact must sustain. Set to
+/// roughly a fifth of what the release build measures on the reference
+/// machine, so the gate catches order-of-magnitude regressions (an
+/// accidental corpus materialisation, a per-event allocation) without
+/// flaking on noisy CI hosts.
+pub const RAD_MIN_COMMANDS_PER_SEC: f64 = 2_000_000.0;
+
+/// The streaming-mining payload shape, checked on every `"rad"`
+/// artifact:
+///
+/// * numeric `commands`, `commands_per_sec`, `peak_live_bytes`,
+///   `rules_mined`, the four drift-scoring fields
+///   (`precision_before_drift` / `recall_before_drift` /
+///   `precision_after_drift` / `recall_after_drift`), and the promotion
+///   pair `promoted_epoch` / `fleet_rulebase_epoch`;
+/// * `fleet_rulebase_epoch` is at least 1 and equals `promoted_epoch` —
+///   the fleet really validated against the epoch the mined rules were
+///   promoted into;
+/// * in full mode (`config.quick_mode: false`), `commands` clears
+///   [`RAD_MIN_COMMANDS`] and `commands_per_sec` clears
+///   [`RAD_MIN_COMMANDS_PER_SEC`].
+fn validate_rad_results(config: &Json, results: &Json) -> Result<(), String> {
+    for key in [
+        "commands",
+        "commands_per_sec",
+        "peak_live_bytes",
+        "rules_mined",
+        "precision_before_drift",
+        "recall_before_drift",
+        "precision_after_drift",
+        "recall_after_drift",
+        "promoted_epoch",
+        "fleet_rulebase_epoch",
+    ] {
+        if results.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("rad artifact missing numeric \"{key}\""));
+        }
+    }
+    let promoted = results
+        .get("promoted_epoch")
+        .and_then(Json::as_f64)
+        .unwrap();
+    let fleet = results
+        .get("fleet_rulebase_epoch")
+        .and_then(Json::as_f64)
+        .unwrap();
+    if fleet < 1.0 {
+        return Err(format!(
+            "rad artifact fleet_rulebase_epoch {fleet} never left the static epoch"
+        ));
+    }
+    if fleet != promoted {
+        return Err(format!(
+            "rad artifact fleet_rulebase_epoch {fleet} != promoted_epoch {promoted}"
+        ));
+    }
+    if config.get("quick_mode").and_then(Json::as_bool) == Some(false) {
+        let commands = results.get("commands").and_then(Json::as_f64).unwrap();
+        if commands < RAD_MIN_COMMANDS {
+            return Err(format!(
+                "rad artifact streamed {commands} commands, below the {RAD_MIN_COMMANDS} floor"
+            ));
+        }
+        let rate = results
+            .get("commands_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap();
+        if rate < RAD_MIN_COMMANDS_PER_SEC {
+            return Err(format!(
+                "rad artifact throughput {rate:.0} cmd/s below the {RAD_MIN_COMMANDS_PER_SEC} regression floor"
+            ));
+        }
     }
     Ok(())
 }
@@ -509,6 +603,92 @@ mod tests {
         assert!(err.contains("multi-tenant floor"), "{err}");
         let json = envelope_with_kind("service", "service", Json::obj([]), service_results(8.0));
         validate(&json).expect("more tenants than the floor is fine");
+    }
+
+    fn rad_results(commands: f64, rate: f64) -> Json {
+        Json::obj([
+            ("commands", Json::Num(commands)),
+            ("commands_per_sec", Json::Num(rate)),
+            ("peak_live_bytes", Json::Num(65_536.0)),
+            ("rules_mined", Json::Num(3.0)),
+            ("precision_before_drift", Json::Num(1.0)),
+            ("recall_before_drift", Json::Num(1.0)),
+            ("precision_after_drift", Json::Num(1.0)),
+            ("recall_after_drift", Json::Num(1.0)),
+            ("promoted_epoch", Json::Num(3.0)),
+            ("fleet_rulebase_epoch", Json::Num(3.0)),
+        ])
+    }
+
+    fn rad_envelope(quick: bool, results: Json) -> Json {
+        envelope_with_kind(
+            "rad",
+            "rad",
+            Json::obj([("quick_mode", Json::Bool(quick))]),
+            results,
+        )
+    }
+
+    #[test]
+    fn rad_kind_validates() {
+        let full = rad_envelope(false, rad_results(150_000_000.0, 5_000_000.0));
+        validate(&full).expect("fast full run passes the floors");
+        // Quick smoke runs stream far less and are not gated on volume.
+        let quick = rad_envelope(true, rad_results(200_000.0, 100_000.0));
+        validate(&quick).expect("quick runs skip the throughput floors");
+    }
+
+    #[test]
+    fn rad_kind_rejects_missing_or_non_numeric_fields() {
+        for key in [
+            "commands",
+            "commands_per_sec",
+            "peak_live_bytes",
+            "rules_mined",
+            "precision_after_drift",
+            "promoted_epoch",
+            "fleet_rulebase_epoch",
+        ] {
+            let mut results = rad_results(150_000_000.0, 5_000_000.0);
+            if let Json::Obj(pairs) = &mut results {
+                pairs.retain(|(k, _)| k != key);
+            }
+            let err = validate(&rad_envelope(false, results)).unwrap_err();
+            assert!(err.contains(key), "error {err:?} should mention {key:?}");
+        }
+    }
+
+    #[test]
+    fn rad_kind_enforces_the_full_mode_floors() {
+        let err =
+            validate(&rad_envelope(false, rad_results(1_000_000.0, 5_000_000.0))).unwrap_err();
+        assert!(err.contains("floor"), "{err}");
+        let err = validate(&rad_envelope(false, rad_results(150_000_000.0, 10_000.0))).unwrap_err();
+        assert!(err.contains("regression floor"), "{err}");
+    }
+
+    #[test]
+    fn rad_kind_requires_the_fleet_to_see_the_promoted_epoch() {
+        let mut results = rad_results(150_000_000.0, 5_000_000.0);
+        if let Json::Obj(pairs) = &mut results {
+            for (k, v) in pairs.iter_mut() {
+                if k == "fleet_rulebase_epoch" {
+                    *v = Json::Num(0.0);
+                }
+            }
+        }
+        let err = validate(&rad_envelope(true, results)).unwrap_err();
+        assert!(err.contains("static epoch"), "{err}");
+        let mut results = rad_results(150_000_000.0, 5_000_000.0);
+        if let Json::Obj(pairs) = &mut results {
+            for (k, v) in pairs.iter_mut() {
+                if k == "fleet_rulebase_epoch" {
+                    *v = Json::Num(2.0);
+                }
+            }
+        }
+        let err = validate(&rad_envelope(true, results)).unwrap_err();
+        assert!(err.contains("promoted_epoch"), "{err}");
     }
 
     #[test]

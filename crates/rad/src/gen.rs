@@ -8,6 +8,27 @@
 //! device doors are opened before arms enter them, solids are added
 //! before liquids, devices run with doors closed — so the miner
 //! (`rabit-rad::mine`) has real structure to recover.
+//!
+//! # Streaming
+//!
+//! Production-scale corpora (ROADMAP item 4 targets 100M+ commands)
+//! never fit in memory as a `Vec<Trace>`. [`TraceStream`] is the
+//! constant-memory path: an iterator that generates one session per
+//! `next()` call from the seeded RNG, so the resident set is one session
+//! (~30 events) no matter how many sessions the stream covers.
+//! [`generate_corpus`] is a thin `collect()` adapter over it — the
+//! streaming-equivalence suite proves the two bit-identical.
+//!
+//! # Drift
+//!
+//! Real labs change their conventions. [`RadGenParams::with_drift_at`]
+//! splits the stream at a session index: sessions before the boundary
+//! follow the classic Hein conventions (dose with the door **closed**),
+//! sessions at or after it follow a drifted convention (dose with the
+//! door **open**) — the signal the online miner's decayed re-scoring
+//! must pick up as support collapse plus new-pattern emergence. Sessions
+//! before the boundary are bit-identical to a drift-free stream with the
+//! same seed.
 
 use rabit_devices::{ActionKind, Command, DeviceId};
 use rabit_geometry::Vec3;
@@ -15,6 +36,21 @@ use rabit_tracer::{Trace, TraceEvent, TraceOutcome};
 use rabit_util::Rng;
 
 /// Corpus generation parameters.
+///
+/// Construct with the `with_*` builders (mirroring `RabitBuilder`) or
+/// struct-update syntax over [`RadGenParams::default`]:
+///
+/// ```
+/// use rabit_rad::RadGenParams;
+///
+/// let params = RadGenParams::new()
+///     .with_sessions(500)
+///     .with_seed(11)
+///     .with_noise_rate(0.1)
+///     .with_drift_at(250);
+/// assert_eq!(params.sessions, 500);
+/// assert_eq!(params.drift_at, Some(250));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadGenParams {
     /// Number of experiment sessions (the paper's corpus covers ~3 months
@@ -26,6 +62,10 @@ pub struct RadGenParams {
     /// harmless operator behaviour that the miner must tolerate, e.g.
     /// leaving the door open while idle).
     pub noise_rate: f64,
+    /// Session index at which the lab's conventions drift (dosing flips
+    /// from door-closed to door-open). `None` — the default — keeps one
+    /// convention for the whole corpus.
+    pub drift_at: Option<usize>,
 }
 
 impl Default for RadGenParams {
@@ -34,20 +74,119 @@ impl Default for RadGenParams {
             sessions: 200,
             seed: 7,
             noise_rate: 0.05,
+            drift_at: None,
         }
     }
 }
 
-/// Generates the corpus: one [`Trace`] per session.
-pub fn generate_corpus(params: &RadGenParams) -> Vec<Trace> {
-    let mut rng = Rng::seed_from_u64(params.seed);
-    (0..params.sessions)
-        .map(|i| generate_session(i, &mut rng, params.noise_rate))
-        .collect()
+impl RadGenParams {
+    /// The default parameter set (200 sessions, seed 7, 5% noise, no
+    /// drift) as a builder starting point.
+    pub fn new() -> Self {
+        RadGenParams::default()
+    }
+
+    /// Sets the number of sessions.
+    pub fn with_sessions(mut self, sessions: usize) -> Self {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the convention-deviation probability.
+    pub fn with_noise_rate(mut self, noise_rate: f64) -> Self {
+        self.noise_rate = noise_rate;
+        self
+    }
+
+    /// Makes lab conventions drift at `session` (see the module docs).
+    pub fn with_drift_at(mut self, session: usize) -> Self {
+        self.drift_at = Some(session);
+        self
+    }
 }
 
-/// One randomized solubility-style session.
-fn generate_session(index: usize, rng: &mut Rng, noise_rate: f64) -> Trace {
+/// A lazy, seeded session stream: the constant-memory way to produce a
+/// RAD corpus.
+///
+/// Yields the exact sessions [`generate_corpus`] would collect, one
+/// [`Trace`] per `next()`, holding only the RNG cursor between calls.
+/// Feed it straight into an
+/// [`OnlineMiner`](crate::OnlineMiner::observe_trace) and the whole
+/// pipeline — generation plus mining — runs at memory `O(rules)` +
+/// one session.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    rng: Rng,
+    next_session: usize,
+    sessions: usize,
+    noise_rate: f64,
+    drift_at: Option<usize>,
+}
+
+impl TraceStream {
+    /// A stream over `params.sessions` seeded sessions.
+    pub fn new(params: &RadGenParams) -> Self {
+        TraceStream {
+            rng: Rng::seed_from_u64(params.seed),
+            next_session: 0,
+            sessions: params.sessions,
+            noise_rate: params.noise_rate,
+            drift_at: params.drift_at,
+        }
+    }
+
+    /// Sessions not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.sessions - self.next_session
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = Trace;
+
+    fn next(&mut self) -> Option<Trace> {
+        if self.next_session >= self.sessions {
+            return None;
+        }
+        let index = self.next_session;
+        self.next_session += 1;
+        let drifted = self.drift_at.is_some_and(|at| index >= at);
+        Some(generate_session(
+            index,
+            &mut self.rng,
+            self.noise_rate,
+            drifted,
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
+}
+
+impl ExactSizeIterator for TraceStream {}
+
+/// Generates the corpus: one [`Trace`] per session.
+///
+/// This is the collect-adapter over [`TraceStream`] — it materialises
+/// the whole corpus and costs memory `O(sessions)`. Prefer the stream
+/// for anything larger than a few thousand sessions.
+pub fn generate_corpus(params: &RadGenParams) -> Vec<Trace> {
+    TraceStream::new(params).collect()
+}
+
+/// One randomized solubility-style session. `drifted` selects the lab's
+/// dosing convention: `false` = classic Hein (door closed while dosing),
+/// `true` = the post-drift convention (door open while dosing). Both
+/// draw the same number of convention RNG samples, so the pre-drift
+/// prefix of a drifted stream is bit-identical to an undrifted one.
+fn generate_session(index: usize, rng: &mut Rng, noise_rate: f64, drifted: bool) -> Trace {
     let vial: DeviceId = format!("vial_{}", rng.random_range(0..6)).into();
     let amount = rng.random_range(2.0..9.0f64);
     let solvent = rng.random_range(1.0..4.0f64);
@@ -100,10 +239,17 @@ fn generate_session(index: usize, rng: &mut Rng, noise_rate: f64) -> Trace {
         },
     ));
     commands.push(Command::new(arm.clone(), ActionKind::MoveOutOfDevice));
-    // Conventional operators close the door before dosing; sloppy ones
-    // sometimes dose with it open (it "worked anyway" in the lab, but the
-    // convention is what the miner must recover).
-    if !rng.random_bool(noise_rate) {
+    // The dosing convention. Classic lab: close the door before dosing
+    // (sloppy operators sometimes dose with it open — it "worked anyway"
+    // in the lab, but the convention is what the miner must recover).
+    // Drifted lab: dose with the door open (old habits occasionally
+    // close it — the noise is now the *previous* convention).
+    let closed_for_dose = if drifted {
+        rng.random_bool(noise_rate)
+    } else {
+        !rng.random_bool(noise_rate)
+    };
+    if closed_for_dose {
         commands.push(Command::new(
             doser.clone(),
             ActionKind::SetDoor { open: false },
@@ -116,10 +262,15 @@ fn generate_session(index: usize, rng: &mut Rng, noise_rate: f64) -> Trace {
             into: vial.clone(),
         },
     ));
-    commands.push(Command::new(
-        doser.clone(),
-        ActionKind::SetDoor { open: true },
-    ));
+    if !drifted || closed_for_dose {
+        // Classic sessions always re-open (even the sloppy ones that
+        // never closed — the workflow template does); drifted sessions
+        // only need to when an old-habit close happened.
+        commands.push(Command::new(
+            doser.clone(),
+            ActionKind::SetDoor { open: true },
+        ));
+    }
     commands.push(Command::new(
         arm.clone(),
         ActionKind::MoveInsideDevice {
@@ -133,8 +284,14 @@ fn generate_session(index: usize, rng: &mut Rng, noise_rate: f64) -> Trace {
         },
     ));
     commands.push(Command::new(arm.clone(), ActionKind::MoveOutOfDevice));
-    // Conventional operators close the door; sloppy ones sometimes don't.
-    if !rng.random_bool(noise_rate) {
+    // Classic operators close the door when done (sloppy ones sometimes
+    // don't); the drifted lab leaves it open (old habits close it).
+    let closed_after = if drifted {
+        rng.random_bool(noise_rate)
+    } else {
+        !rng.random_bool(noise_rate)
+    };
+    if closed_after {
         commands.push(Command::new(
             doser.clone(),
             ActionKind::SetDoor { open: false },
@@ -204,65 +361,105 @@ fn generate_session(index: usize, rng: &mut Rng, noise_rate: f64) -> Trace {
     trace
 }
 
+/// A lazy stream of lab-captured sessions: one testbed workflow is
+/// *executed* per `next()` call through a pass-through RATracer, so each
+/// yielded [`Trace`] carries genuinely executed command sequences and
+/// timestamps. [`generate_lab_corpus`] is its collect-adapter.
+#[derive(Debug)]
+pub struct LabTraceStream {
+    rng: Rng,
+    next_session: usize,
+    sessions: usize,
+}
+
+impl LabTraceStream {
+    /// A stream over `sessions` seeded testbed executions.
+    pub fn new(sessions: usize, seed: u64) -> Self {
+        LabTraceStream {
+            rng: Rng::seed_from_u64(seed),
+            next_session: 0,
+            sessions,
+        }
+    }
+}
+
+impl Iterator for LabTraceStream {
+    type Item = Trace;
+
+    fn next(&mut self) -> Option<Trace> {
+        use rabit_tracer::Tracer;
+
+        if self.next_session >= self.sessions {
+            return None;
+        }
+        let i = self.next_session;
+        self.next_session += 1;
+
+        let mut tb = rabit_testbed::Testbed::new();
+        let loc = tb.locations;
+        let grid = loc.grid_nw_viperx;
+        let dose_mg = self.rng.random_range(2.0..8.0f64);
+        let mut wf = rabit_tracer::Workflow::new(format!("lab_session_{i:04}"))
+            .go_to_sleep("ned2")
+            .set_door("dosing_device", true)
+            .decap("vial")
+            .go_home("viperx")
+            .move_to("viperx", grid.pickup_safe_height)
+            .pick_up("viperx", "vial", grid.pickup)
+            .move_to("viperx", grid.pickup_safe_height)
+            .move_to("viperx", loc.dosing_viperx.approach)
+            .move_inside("viperx", "dosing_device")
+            .then(Command::new(
+                "viperx",
+                ActionKind::PlaceObject {
+                    object: "vial".into(),
+                    into: Some("dosing_device".into()),
+                },
+            ))
+            .move_out("viperx")
+            .set_door("dosing_device", false)
+            .dose_solid("dosing_device", dose_mg, "vial")
+            .set_door("dosing_device", true)
+            .move_to("viperx", loc.dosing_viperx.approach)
+            .move_inside("viperx", "dosing_device")
+            .then(Command::new(
+                "viperx",
+                ActionKind::PickObject {
+                    object: "vial".into(),
+                },
+            ))
+            .move_out("viperx")
+            .move_to("viperx", grid.pickup_safe_height)
+            .place_at("viperx", "vial", grid.pickup)
+            .move_to("viperx", grid.pickup_safe_height)
+            .set_door("dosing_device", false);
+        // Some sessions add solvent after the solid (the convention).
+        if self.rng.random_bool(0.7) {
+            wf = wf.dose_liquid("syringe_pump", self.rng.random_range(1.0..4.0f64), "vial");
+        }
+        wf = wf.cap("vial").go_home("viperx").go_to_sleep("viperx");
+        let report = Tracer::pass_through(&mut tb.lab).run(&wf);
+        assert!(report.completed(), "lab session must execute cleanly");
+        Some(report.trace)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.sessions - self.next_session;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for LabTraceStream {}
+
 /// Generates a corpus the way the real RAD was captured: by *running*
 /// randomized solubility workflows on the (simulated) testbed with
 /// RATracer in pass-through mode. Unlike [`generate_corpus`]'s purely
 /// template-based traces, these sessions carry the timestamps and command
 /// sequences of genuinely executed lab work.
+///
+/// Collect-adapter over [`LabTraceStream`]; memory `O(sessions)`.
 pub fn generate_lab_corpus(sessions: usize, seed: u64) -> Vec<Trace> {
-    use rabit_tracer::Tracer;
-
-    let mut rng = Rng::seed_from_u64(seed);
-    (0..sessions)
-        .map(|i| {
-            let mut tb = rabit_testbed::Testbed::new();
-            let loc = tb.locations;
-            let grid = loc.grid_nw_viperx;
-            let dose_mg = rng.random_range(2.0..8.0f64);
-            let mut wf = rabit_tracer::Workflow::new(format!("lab_session_{i:04}"))
-                .go_to_sleep("ned2")
-                .set_door("dosing_device", true)
-                .decap("vial")
-                .go_home("viperx")
-                .move_to("viperx", grid.pickup_safe_height)
-                .pick_up("viperx", "vial", grid.pickup)
-                .move_to("viperx", grid.pickup_safe_height)
-                .move_to("viperx", loc.dosing_viperx.approach)
-                .move_inside("viperx", "dosing_device")
-                .then(Command::new(
-                    "viperx",
-                    ActionKind::PlaceObject {
-                        object: "vial".into(),
-                        into: Some("dosing_device".into()),
-                    },
-                ))
-                .move_out("viperx")
-                .set_door("dosing_device", false)
-                .dose_solid("dosing_device", dose_mg, "vial")
-                .set_door("dosing_device", true)
-                .move_to("viperx", loc.dosing_viperx.approach)
-                .move_inside("viperx", "dosing_device")
-                .then(Command::new(
-                    "viperx",
-                    ActionKind::PickObject {
-                        object: "vial".into(),
-                    },
-                ))
-                .move_out("viperx")
-                .move_to("viperx", grid.pickup_safe_height)
-                .place_at("viperx", "vial", grid.pickup)
-                .move_to("viperx", grid.pickup_safe_height)
-                .set_door("dosing_device", false);
-            // Some sessions add solvent after the solid (the convention).
-            if rng.random_bool(0.7) {
-                wf = wf.dose_liquid("syringe_pump", rng.random_range(1.0..4.0f64), "vial");
-            }
-            wf = wf.cap("vial").go_home("viperx").go_to_sleep("viperx");
-            let report = Tracer::pass_through(&mut tb.lab).run(&wf);
-            assert!(report.completed(), "lab session must execute cleanly");
-            report.trace
-        })
-        .collect()
+    LabTraceStream::new(sessions, seed).collect()
 }
 
 #[cfg(test)]
@@ -284,23 +481,73 @@ mod tests {
     }
 
     #[test]
-    fn sessions_follow_the_door_convention() {
-        // In every session, each move_robot_inside is preceded by an
-        // open_door with no intervening close_door.
-        let corpus = generate_corpus(&RadGenParams {
-            sessions: 30,
-            ..RadGenParams::default()
-        });
-        for trace in &corpus {
+    fn stream_is_lazy_and_sized() {
+        let p = RadGenParams::new().with_sessions(12);
+        let mut stream = TraceStream::new(&p);
+        assert_eq!(stream.len(), 12);
+        let first = stream.next().unwrap();
+        assert_eq!(first.workflow, "rad_session_0000");
+        assert_eq!(stream.remaining(), 11);
+        assert_eq!(stream.count(), 11, "iterator drains the rest");
+    }
+
+    #[test]
+    fn drifted_stream_shares_the_pre_drift_prefix() {
+        let base = RadGenParams::new().with_sessions(20).with_seed(3);
+        let plain = generate_corpus(&base);
+        let drifted = generate_corpus(&base.with_drift_at(12));
+        assert_eq!(plain[..12], drifted[..12], "prefix is bit-identical");
+        assert_ne!(plain[12..], drifted[12..], "suffix follows the drift");
+    }
+
+    #[test]
+    fn drifted_sessions_dose_with_the_door_open() {
+        let corpus = generate_corpus(
+            &RadGenParams::new()
+                .with_sessions(40)
+                .with_noise_rate(0.0)
+                .with_drift_at(20),
+        );
+        for (i, trace) in corpus.iter().enumerate() {
             let mut door_open = false;
             for cmd in trace.executed_commands() {
                 match cmd.to_string().as_str() {
                     "dosing_device.open_door" => door_open = true,
                     "dosing_device.close_door" => door_open = false,
-                    s if s.contains("move_robot_inside(dosing_device)") => {
-                        assert!(door_open, "{}: entered through closed door", trace.workflow);
+                    s if s.contains("dose_solid") => {
+                        assert_eq!(
+                            door_open,
+                            i >= 20,
+                            "session {i}: dosing door state must follow the convention"
+                        );
                     }
                     _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_follow_the_door_convention() {
+        // In every session — drifted or not — each move_robot_inside is
+        // preceded by an open_door with no intervening close_door.
+        for drift_at in [None, Some(15)] {
+            let corpus = generate_corpus(&RadGenParams {
+                sessions: 30,
+                drift_at,
+                ..RadGenParams::default()
+            });
+            for trace in &corpus {
+                let mut door_open = false;
+                for cmd in trace.executed_commands() {
+                    match cmd.to_string().as_str() {
+                        "dosing_device.open_door" => door_open = true,
+                        "dosing_device.close_door" => door_open = false,
+                        s if s.contains("move_robot_inside(dosing_device)") => {
+                            assert!(door_open, "{}: entered through closed door", trace.workflow);
+                        }
+                        _ => {}
+                    }
                 }
             }
         }
@@ -336,15 +583,12 @@ mod tests {
             }
         }
         let mined = crate::mine::mine(&corpus, &crate::mine::MineParams::default());
-        let names: Vec<String> = mined.iter().map(|m| m.name()).collect();
+        let names: Vec<&str> = mined.iter().map(|m| m.name()).collect();
         assert!(
-            names.contains(&"move_robot_inside_requires_door_open=true".to_string()),
+            names.contains(&"move_robot_inside_requires_door_open=true"),
             "door rule must be recoverable from captured sessions: {names:?}"
         );
-        assert!(
-            names.contains(&"solid_before_liquid".to_string()),
-            "{names:?}"
-        );
+        assert!(names.contains(&"solid_before_liquid"), "{names:?}");
     }
 
     #[test]

@@ -3,24 +3,51 @@
 //! The paper's rulebase construction starts from RAD — "three months of
 //! command trace data captured in the Hein Lab" — mined for rules
 //! "implied by the sequences of commands" (§II-A). The real dataset is a
-//! lab artifact; this crate substitutes it with:
+//! lab artifact; this crate substitutes it with a **streaming pipeline**
+//! sized for one: sessions are generated lazily, mined one event at a
+//! time at memory proportional to the rule vocabulary (not the trace
+//! count), and the mined conventions are promoted into a live rulebase
+//! the fleet validates against.
 //!
-//! * [`gen`] — a deterministic synthetic corpus generator producing
-//!   RAD-shaped sessions that embody the lab's conventions (doors opened
-//!   before entry, solids before liquids, doors closed while dosing);
-//! * [`mine()`](mine()) — the rule miner: state-guard and ordering patterns with
-//!   support/confidence thresholds, convertible into enforceable
-//!   [`rabit_rulebase::Rule`]s, plus precision/recall scoring against the
-//!   ground truth.
+//! * [`gen`] — deterministic synthetic session generation.
+//!   [`TraceStream`] yields RAD-shaped sessions one at a time (doors
+//!   opened before entry, solids before liquids, doors closed while
+//!   dosing), optionally switching conventions mid-stream
+//!   ([`RadGenParams::with_drift_at`]); [`generate_corpus`] is its
+//!   collect-adapter.
+//! * [`mod@mine`] — the batch mining surface: [`mine()`] over a
+//!   collected corpus, [`score`] against an explicit ground truth
+//!   ([`GROUND_TRUTH`], [`DRIFTED_TRUTH`]), rules convertible into
+//!   enforceable [`rabit_rulebase::Rule`]s.
+//! * [`online`] — [`OnlineMiner`], the incremental miner behind
+//!   `mine()`: one [`Command`](rabit_devices::Command) at a time,
+//!   cumulative counters for batch-identical results plus exponentially
+//!   decayed counters that track the *current* convention and log
+//!   [`DriftEvent`]s when a rule's support collapses or a new pattern
+//!   emerges.
+//! * [`promote`] — [`RulePromoter`], which reconciles a tenant's live
+//!   [`rabit_service::RuleStore`] against the currently-qualifying mined
+//!   rules so the next fleet epoch enforces what the lab actually does.
 //!
-//! # Example
+//! # Example: stream, mine, promote
 //!
 //! ```
-//! use rabit_rad::{generate_corpus, mine, MineParams, RadGenParams};
+//! use rabit_rad::{MineParams, OnlineMiner, RadGenParams, RulePromoter, TraceStream};
+//! use rabit_service::{RuleStore, TenantId};
 //!
-//! let corpus = generate_corpus(&RadGenParams { sessions: 50, ..RadGenParams::default() });
-//! let rules = mine(&corpus, &MineParams::default());
-//! assert!(!rules.is_empty());
+//! // Conventions flip a third of the way through the stream.
+//! let params = RadGenParams::new().with_sessions(150).with_drift_at(50);
+//! let mut miner = OnlineMiner::new(MineParams::default());
+//! for trace in TraceStream::new(&params) {
+//!     miner.observe_trace(&trace); // constant memory: no corpus is kept
+//! }
+//!
+//! let store = RuleStore::new();
+//! store.seed_tenant(TenantId::new("hein"), rabit_rulebase::Rulebase::new());
+//! let outcome = RulePromoter::new("hein")
+//!     .promote(&miner.decayed_rules(), &store)
+//!     .unwrap();
+//! assert!(outcome.epoch > 0, "mined rules are live at a fresh epoch");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -28,6 +55,13 @@
 
 pub mod gen;
 pub mod mine;
+pub mod online;
+pub mod promote;
 
-pub use gen::{generate_corpus, generate_lab_corpus, RadGenParams};
-pub use mine::{mine, score, GuardedAction, MineParams, MinedRule, Toggle};
+pub use gen::{generate_corpus, generate_lab_corpus, LabTraceStream, RadGenParams, TraceStream};
+pub use mine::{
+    mine, score, score_default, GuardedAction, MineParams, MinedRule, Toggle, DRIFTED_TRUTH,
+    GROUND_TRUTH,
+};
+pub use online::{DriftEvent, DriftParams, OnlineMiner};
+pub use promote::{PromotionOutcome, RulePromoter};

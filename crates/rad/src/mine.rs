@@ -15,11 +15,16 @@
 //!   guard's confidence;
 //! * **ordering rules** — "the first solid dose precedes the first liquid
 //!   dose into the same container", mined per container per trace.
+//!
+//! [`mine`] is the batch entry point; it is a thin collect-adapter over
+//! the incremental [`OnlineMiner`](crate::OnlineMiner), which consumes
+//! one event at a time at memory `O(rules)` and is the path production
+//! corpora (100M+ commands) take. The streaming-equivalence suite proves
+//! the two mine rule-for-rule identical results.
 
 use rabit_devices::{ActionKind, Command, DeviceId, LabState, StateKey};
 use rabit_rulebase::{Rule, RuleId};
 use rabit_tracer::Trace;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A toggle dimension the miner tracks while replaying traces.
@@ -87,6 +92,32 @@ pub enum MinedRule {
     },
 }
 
+/// The interned name of one `(action, toggle, required)` guard. The
+/// vocabulary is a tiny closed set, so names are `'static` — scoring and
+/// promotion loops compare them without allocating.
+pub(crate) const fn guard_name(
+    action: GuardedAction,
+    toggle: Toggle,
+    required: bool,
+) -> &'static str {
+    use GuardedAction::*;
+    use Toggle::*;
+    match (action, toggle, required) {
+        (EnterDevice, Door, true) => "move_robot_inside_requires_door_open=true",
+        (EnterDevice, Door, false) => "move_robot_inside_requires_door_open=false",
+        (EnterDevice, Running, true) => "move_robot_inside_requires_running=true",
+        (EnterDevice, Running, false) => "move_robot_inside_requires_running=false",
+        (StartRunning, Door, true) => "start_running_requires_door_open=true",
+        (StartRunning, Door, false) => "start_running_requires_door_open=false",
+        (StartRunning, Running, true) => "start_running_requires_running=true",
+        (StartRunning, Running, false) => "start_running_requires_running=false",
+        (OpenDoor, Door, true) => "open_door_requires_door_open=true",
+        (OpenDoor, Door, false) => "open_door_requires_door_open=false",
+        (OpenDoor, Running, true) => "open_door_requires_running=true",
+        (OpenDoor, Running, false) => "open_door_requires_running=false",
+    }
+}
+
 impl MinedRule {
     /// The rule's support count.
     pub fn support(&self) -> usize {
@@ -104,24 +135,25 @@ impl MinedRule {
         }
     }
 
-    /// A short name for reports.
-    pub fn name(&self) -> String {
+    /// A short name for reports. The name vocabulary is closed (guards
+    /// over a fixed action/toggle set plus the ordering rule), so this
+    /// returns a borrowed `'static` string — it is called in scoring and
+    /// promotion inner loops and must not allocate.
+    pub fn name(&self) -> &'static str {
         match self {
             MinedRule::StateGuard {
                 action,
                 toggle,
                 required,
                 ..
-            } => {
-                format!("{action}_requires_{toggle}={required}")
-            }
-            MinedRule::SolidBeforeLiquid { .. } => "solid_before_liquid".to_string(),
+            } => guard_name(*action, *toggle, *required),
+            MinedRule::SolidBeforeLiquid { .. } => "solid_before_liquid",
         }
     }
 
     /// Converts a mined rule into an enforceable rulebase [`Rule`].
     pub fn to_rule(&self) -> Rule {
-        let id = RuleId::Mined(self.name());
+        let id = RuleId::Mined(self.name().to_string());
         match self.clone() {
             MinedRule::StateGuard {
                 action,
@@ -185,6 +217,15 @@ impl MinedRule {
 }
 
 /// Miner configuration.
+///
+/// Construct with the `with_*` builders or struct-update syntax:
+///
+/// ```
+/// use rabit_rad::MineParams;
+///
+/// let strict = MineParams::new().with_min_support(50).with_min_confidence(0.98);
+/// assert_eq!(strict.min_support, 50);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MineParams {
     /// Minimum observations before a pattern is considered.
@@ -202,140 +243,89 @@ impl Default for MineParams {
     }
 }
 
-/// Mines rules from a trace corpus.
-pub fn mine(corpus: &[Trace], params: &MineParams) -> Vec<MinedRule> {
-    let mut guard_counts: BTreeMap<(GuardedAction, Toggle, bool), (usize, usize)> = BTreeMap::new();
-    let mut ordering_support = 0usize;
-    let mut ordering_ok = 0usize;
-
-    for trace in corpus {
-        // Replay toggle state per device.
-        let mut door_open: BTreeMap<DeviceId, bool> = BTreeMap::new();
-        let mut running: BTreeMap<DeviceId, bool> = BTreeMap::new();
-        // Ordering bookkeeping per container.
-        let mut solid_seen: BTreeMap<DeviceId, usize> = BTreeMap::new();
-        let mut liquid_seen: BTreeMap<DeviceId, usize> = BTreeMap::new();
-
-        for (idx, cmd) in trace.executed_commands().enumerate() {
-            // Record guarded observations BEFORE applying the command's
-            // own toggle effect.
-            let observations: Vec<(GuardedAction, &DeviceId)> = match &cmd.action {
-                ActionKind::MoveInsideDevice { device } => {
-                    vec![(GuardedAction::EnterDevice, device)]
-                }
-                ActionKind::StartAction { .. } | ActionKind::DoseSolid { .. } => {
-                    vec![(GuardedAction::StartRunning, &cmd.actor)]
-                }
-                ActionKind::SetDoor { open: true } => vec![(GuardedAction::OpenDoor, &cmd.actor)],
-                _ => vec![],
-            };
-            for (action, device) in observations {
-                if let Some(&open) = door_open.get(device) {
-                    for required in [true, false] {
-                        let e = guard_counts
-                            .entry((action, Toggle::Door, required))
-                            .or_default();
-                        e.0 += 1;
-                        if open == required {
-                            e.1 += 1;
-                        }
-                    }
-                }
-                if let Some(&run) = running.get(device) {
-                    for required in [true, false] {
-                        let e = guard_counts
-                            .entry((action, Toggle::Running, required))
-                            .or_default();
-                        e.0 += 1;
-                        if run == required {
-                            e.1 += 1;
-                        }
-                    }
-                }
-            }
-
-            // Apply toggle effects.
-            match &cmd.action {
-                ActionKind::SetDoor { open } => {
-                    door_open.insert(cmd.actor.clone(), *open);
-                }
-                ActionKind::StartAction { .. } => {
-                    running.insert(cmd.actor.clone(), true);
-                }
-                ActionKind::StopAction => {
-                    running.insert(cmd.actor.clone(), false);
-                }
-                ActionKind::DoseSolid { into, .. } => {
-                    solid_seen.entry(into.clone()).or_insert(idx);
-                }
-                ActionKind::DoseLiquid { into, .. } => {
-                    liquid_seen.entry(into.clone()).or_insert(idx);
-                }
-                _ => {}
-            }
-        }
-
-        for (container, &l) in &liquid_seen {
-            if let Some(&s) = solid_seen.get(container) {
-                ordering_support += 1;
-                if s < l {
-                    ordering_ok += 1;
-                }
-            }
-        }
+impl MineParams {
+    /// The default thresholds (support 20, confidence 0.9) as a builder
+    /// starting point.
+    pub fn new() -> Self {
+        MineParams::default()
     }
 
-    let mut out = Vec::new();
-    for ((action, toggle, required), (support, ok)) in guard_counts {
-        let confidence = if support == 0 {
-            0.0
-        } else {
-            ok as f64 / support as f64
-        };
-        if support >= params.min_support && confidence >= params.min_confidence {
-            out.push(MinedRule::StateGuard {
-                action,
-                toggle,
-                required,
-                support,
-                confidence,
-            });
-        }
+    /// Sets the minimum support count.
+    pub fn with_min_support(mut self, min_support: usize) -> Self {
+        self.min_support = min_support;
+        self
     }
-    if ordering_support >= params.min_support {
-        let confidence = ordering_ok as f64 / ordering_support as f64;
-        if confidence >= params.min_confidence {
-            out.push(MinedRule::SolidBeforeLiquid {
-                support: ordering_support,
-                confidence,
-            });
-        }
+
+    /// Sets the minimum confidence.
+    pub fn with_min_confidence(mut self, min_confidence: f64) -> Self {
+        self.min_confidence = min_confidence;
+        self
     }
-    out
 }
+
+/// Mines rules from a trace corpus in one batch pass.
+///
+/// Collect-adapter over [`OnlineMiner`](crate::OnlineMiner): feeds every
+/// trace through the incremental miner and snapshots its rule set. For
+/// corpora that do not fit in memory, drive the `OnlineMiner` directly
+/// from a [`TraceStream`](crate::TraceStream).
+pub fn mine(corpus: &[Trace], params: &MineParams) -> Vec<MinedRule> {
+    let mut miner = crate::OnlineMiner::new(*params);
+    for trace in corpus {
+        miner.observe_trace(trace);
+    }
+    miner.rules()
+}
+
+/// The rule names a perfect miner would recover from a conventional
+/// (pre-drift) corpus.
+pub const GROUND_TRUTH: [&str; 3] = [
+    "move_robot_inside_requires_door_open=true",
+    "start_running_requires_door_open=false",
+    "solid_before_liquid",
+];
+
+/// The rule names a perfect miner tracks a *drifted* lab to (see
+/// [`RadGenParams::with_drift_at`](crate::RadGenParams::with_drift_at)):
+/// entry-through-open-door and solid-before-liquid persist, but the
+/// dosing guard flips to door-open.
+pub const DRIFTED_TRUTH: [&str; 3] = [
+    "move_robot_inside_requires_door_open=true",
+    "start_running_requires_door_open=true",
+    "solid_before_liquid",
+];
 
 /// The ground-truth rule names a perfect miner would recover from a
-/// conventional corpus — used by the mining-quality experiment.
-pub fn ground_truth_names() -> Vec<String> {
-    vec![
-        "move_robot_inside_requires_door_open=true".to_string(),
-        "start_running_requires_door_open=false".to_string(),
-        "solid_before_liquid".to_string(),
-    ]
+/// conventional corpus — the default truth for [`score`].
+pub fn ground_truth_names() -> Vec<&'static str> {
+    GROUND_TRUTH.to_vec()
 }
 
-/// Precision/recall of a mined rule set against the ground truth.
-pub fn score(mined: &[MinedRule]) -> (f64, f64) {
-    let truth = ground_truth_names();
-    let names: Vec<String> = mined.iter().map(MinedRule::name).collect();
-    let tp = names.iter().filter(|n| truth.contains(n)).count();
-    let precision = if names.is_empty() {
+/// Precision/recall of a mined rule set against an explicit ground
+/// truth (a slice of rule names, e.g. [`GROUND_TRUTH`] or
+/// [`DRIFTED_TRUTH`]).
+///
+/// Precision of an empty mined set is 1.0 by convention; recall of an
+/// empty truth is 0.0.
+pub fn score(mined: &[MinedRule], truth: &[&str]) -> (f64, f64) {
+    let tp = mined.iter().filter(|m| truth.contains(&m.name())).count();
+    let precision = if mined.is_empty() {
         1.0
     } else {
-        tp as f64 / names.len() as f64
+        tp as f64 / mined.len() as f64
     };
-    let recall = tp as f64 / truth.len() as f64;
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        tp as f64 / truth.len() as f64
+    };
     (precision, recall)
+}
+
+/// [`score`] against the default conventional-lab truth
+/// ([`GROUND_TRUTH`]) — the old single-argument behaviour.
+pub fn score_default(mined: &[MinedRule]) -> (f64, f64) {
+    score(mined, &GROUND_TRUTH)
 }
 
 #[cfg(test)]
@@ -351,13 +341,13 @@ mod tests {
     #[test]
     fn miner_recovers_the_door_rules() {
         let rules = mined_default();
-        let names: Vec<String> = rules.iter().map(MinedRule::name).collect();
+        let names: Vec<&str> = rules.iter().map(MinedRule::name).collect();
         assert!(
-            names.contains(&"move_robot_inside_requires_door_open=true".to_string()),
+            names.contains(&"move_robot_inside_requires_door_open=true"),
             "mined: {names:?}"
         );
         assert!(
-            names.contains(&"start_running_requires_door_open=false".to_string()),
+            names.contains(&"start_running_requires_door_open=false"),
             "mined: {names:?}"
         );
     }
@@ -372,11 +362,54 @@ mod tests {
 
     #[test]
     fn recall_is_full_and_precision_high_on_conventional_corpus() {
-        let (precision, recall) = score(&mined_default());
+        let (precision, recall) = score_default(&mined_default());
         assert_eq!(recall, 1.0, "all ground-truth rules recovered");
         // Some extra (true-but-uninteresting) guards may be mined, so
         // precision need not be 1.0, but it must be substantial.
         assert!(precision >= 0.5, "precision {precision}");
+    }
+
+    #[test]
+    fn score_takes_an_explicit_truth() {
+        let mined = mined_default();
+        // Against a truth that names none of the mined rules, recall
+        // and precision both collapse.
+        let (p, r) = score(&mined, &["no_such_rule"]);
+        assert_eq!(r, 0.0);
+        assert_eq!(p, 0.0);
+        // The default-truth convenience matches the explicit call.
+        assert_eq!(score_default(&mined), score(&mined, &GROUND_TRUTH));
+    }
+
+    #[test]
+    fn names_are_borrowed_and_stable() {
+        let rule = MinedRule::StateGuard {
+            action: GuardedAction::StartRunning,
+            toggle: Toggle::Door,
+            required: false,
+            support: 100,
+            confidence: 1.0,
+        };
+        // Two calls return the very same static string — no per-call
+        // allocation.
+        assert!(std::ptr::eq(rule.name(), rule.name()));
+        assert_eq!(rule.name(), "start_running_requires_door_open=false");
+        // The name matches the Display-derived format for every guard
+        // combination (the interned table cannot drift from the enums).
+        for action in [
+            GuardedAction::EnterDevice,
+            GuardedAction::StartRunning,
+            GuardedAction::OpenDoor,
+        ] {
+            for toggle in [Toggle::Door, Toggle::Running] {
+                for required in [true, false] {
+                    assert_eq!(
+                        guard_name(action, toggle, required),
+                        format!("{action}_requires_{toggle}={required}")
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -387,21 +420,15 @@ mod tests {
             noise_rate: 0.6,
             ..RadGenParams::default()
         });
-        let strict = mine(
-            &noisy,
-            &MineParams {
-                min_confidence: 0.98,
-                ..MineParams::default()
-            },
-        );
-        let names: Vec<String> = strict.iter().map(MinedRule::name).collect();
+        let strict = mine(&noisy, &MineParams::new().with_min_confidence(0.98));
+        let names: Vec<&str> = strict.iter().map(MinedRule::name).collect();
         // Entering through an open door still holds (enter always follows
         // open in the template)…
-        assert!(names.contains(&"move_robot_inside_requires_door_open=true".to_string()));
+        assert!(names.contains(&"move_robot_inside_requires_door_open=true"));
         // …but dosing-with-door-closed is violated in noisy sessions
         // (door left open), so it falls below 98% confidence.
         assert!(
-            !names.contains(&"start_running_requires_door_open=false".to_string()),
+            !names.contains(&"start_running_requires_door_open=false"),
             "mined: {names:?}"
         );
     }
@@ -471,19 +498,16 @@ mod tests {
             sessions: 2,
             ..RadGenParams::default()
         });
-        let rules = mine(
-            &tiny,
-            &MineParams {
-                min_support: 1000,
-                ..MineParams::default()
-            },
-        );
+        let rules = mine(&tiny, &MineParams::new().with_min_support(1000));
         assert!(rules.is_empty());
     }
 
     #[test]
     fn scores_handle_empty_input() {
-        let (p, r) = score(&[]);
+        let (p, r) = score_default(&[]);
+        assert_eq!(p, 1.0);
+        assert_eq!(r, 0.0);
+        let (p, r) = score(&[], &[]);
         assert_eq!(p, 1.0);
         assert_eq!(r, 0.0);
     }

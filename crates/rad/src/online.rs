@@ -1,0 +1,654 @@
+//! Incremental (streaming) rule mining.
+//!
+//! [`OnlineMiner`] consumes one command at a time and maintains
+//! support/confidence counters per candidate rule, so mining a corpus
+//! costs memory `O(rules)` — never `O(trace)` — no matter how many
+//! commands flow through. The candidate space is the closed guard
+//! vocabulary (three [`GuardedAction`]s × two [`Toggle`]s × two required
+//! states = 12 counters) plus the ordering rule, so the whole miner is a
+//! few hundred bytes of counters regardless of corpus size.
+//!
+//! [`mine`](crate::mine()) is reimplemented as a batch adapter over this
+//! type; the streaming-equivalence suite proves them rule-for-rule
+//! identical.
+//!
+//! # Drift
+//!
+//! Cumulative counters answer "what held over the whole corpus"; a lab
+//! whose conventions *change* needs "what holds **now**". Alongside the
+//! cumulative counts, the miner keeps exponentially-decayed counters
+//! (multiplied by [`DriftParams::decay`] at every session boundary), so
+//! recent sessions dominate. [`OnlineMiner::decayed_rules`] snapshots
+//! the rules the decayed evidence currently supports, and the miner logs
+//! a [`DriftEvent`] whenever a rule's decayed evidence crosses the
+//! promotion thresholds — *emergence* when a new pattern establishes
+//! itself, *collapse* when an established rule's support evaporates.
+//! Those events (and the decayed snapshot) are what
+//! [`RulePromoter`](crate::RulePromoter) feeds into a live rulebase
+//! epoch.
+
+use crate::mine::{guard_name, GuardedAction, MineParams, MinedRule, Toggle};
+use rabit_devices::{ActionKind, Command, DeviceId};
+use rabit_tracer::Trace;
+use std::collections::BTreeMap;
+
+/// Decayed re-scoring configuration for drift detection.
+///
+/// ```
+/// use rabit_rad::DriftParams;
+///
+/// let fast = DriftParams::new().with_decay(0.9).with_min_support(10.0);
+/// assert_eq!(fast.decay, 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftParams {
+    /// Per-session decay factor applied to the windowed counters (a
+    /// session's evidence retains weight `decay^age`). `0.98` keeps an
+    /// effective window of ~50 sessions.
+    pub decay: f64,
+    /// Minimum *decayed* support before a pattern's recent evidence
+    /// counts (suppresses flapping at stream start and right after a
+    /// collapse).
+    pub min_support: f64,
+    /// Minimum decayed confidence for a rule to *emerge* as currently
+    /// held.
+    pub min_confidence: f64,
+    /// Hysteresis band below `min_confidence`: an established rule only
+    /// collapses once its decayed confidence drops below
+    /// `min_confidence - hysteresis`. The decayed window is a small
+    /// sample (≈ `1/(1 - decay)` observations), so confidence wobbles a
+    /// few percent around its true value; without the band, a rule whose
+    /// real confidence sits near the threshold would flap between
+    /// emerged and collapsed on every noise excursion. A genuine
+    /// convention flip drives confidence towards the noise floor and
+    /// sails through the band.
+    pub hysteresis: f64,
+}
+
+impl Default for DriftParams {
+    fn default() -> Self {
+        DriftParams {
+            decay: 0.98,
+            min_support: 20.0,
+            min_confidence: 0.9,
+            hysteresis: 0.15,
+        }
+    }
+}
+
+impl DriftParams {
+    /// The default drift thresholds as a builder starting point.
+    pub fn new() -> Self {
+        DriftParams::default()
+    }
+
+    /// Sets the per-session decay factor (must be in `(0, 1]`).
+    pub fn with_decay(mut self, decay: f64) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// Sets the minimum decayed support.
+    pub fn with_min_support(mut self, min_support: f64) -> Self {
+        self.min_support = min_support;
+        self
+    }
+
+    /// Sets the minimum decayed confidence.
+    pub fn with_min_confidence(mut self, min_confidence: f64) -> Self {
+        self.min_confidence = min_confidence;
+        self
+    }
+
+    /// Sets the collapse hysteresis band.
+    pub fn with_hysteresis(mut self, hysteresis: f64) -> Self {
+        self.hysteresis = hysteresis;
+        self
+    }
+}
+
+/// A rule's decayed evidence crossing the drift thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftEvent {
+    /// A pattern's recent evidence newly supports the rule (includes the
+    /// initial establishment of long-held conventions at stream start).
+    Emerged {
+        /// The rule's interned name.
+        name: &'static str,
+        /// The session index (0-based) whose boundary logged the event.
+        session: u64,
+        /// Decayed support at the crossing.
+        decayed_support: f64,
+        /// Decayed confidence at the crossing.
+        decayed_confidence: f64,
+    },
+    /// An established rule's recent evidence no longer supports it —
+    /// support collapse under convention drift.
+    Collapsed {
+        /// The rule's interned name.
+        name: &'static str,
+        /// The session index (0-based) whose boundary logged the event.
+        session: u64,
+        /// Decayed support at the crossing.
+        decayed_support: f64,
+        /// Decayed confidence at the crossing.
+        decayed_confidence: f64,
+    },
+}
+
+impl DriftEvent {
+    /// The rule the event concerns.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftEvent::Emerged { name, .. } | DriftEvent::Collapsed { name, .. } => name,
+        }
+    }
+
+    /// `true` for collapse events.
+    pub fn is_collapse(&self) -> bool {
+        matches!(self, DriftEvent::Collapsed { .. })
+    }
+}
+
+impl std::fmt::Display for DriftEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (verb, name, session, support, confidence) = match self {
+            DriftEvent::Emerged {
+                name,
+                session,
+                decayed_support,
+                decayed_confidence,
+            } => (
+                "emerged",
+                name,
+                session,
+                decayed_support,
+                decayed_confidence,
+            ),
+            DriftEvent::Collapsed {
+                name,
+                session,
+                decayed_support,
+                decayed_confidence,
+            } => (
+                "collapsed",
+                name,
+                session,
+                decayed_support,
+                decayed_confidence,
+            ),
+        };
+        write!(
+            f,
+            "{name} {verb} at session {session} (decayed support {support:.1}, \
+             confidence {confidence:.2})"
+        )
+    }
+}
+
+/// One candidate rule's evidence: cumulative counts (the batch-miner
+/// semantics), the current session's deltas, and the decayed window.
+#[derive(Debug, Clone, Copy, Default)]
+struct Evidence {
+    support: u64,
+    ok: u64,
+    session_support: u32,
+    session_ok: u32,
+    decayed_support: f64,
+    decayed_ok: f64,
+    established: bool,
+}
+
+impl Evidence {
+    fn observe(&mut self, ok: bool) {
+        self.support += 1;
+        self.session_support += 1;
+        if ok {
+            self.ok += 1;
+            self.session_ok += 1;
+        }
+    }
+
+    fn confidence(&self) -> f64 {
+        if self.support == 0 {
+            0.0
+        } else {
+            self.ok as f64 / self.support as f64
+        }
+    }
+
+    fn decayed_confidence(&self) -> f64 {
+        if self.decayed_support <= 0.0 {
+            0.0
+        } else {
+            self.decayed_ok / self.decayed_support
+        }
+    }
+
+    /// Rolls the session deltas into the decayed window and returns the
+    /// threshold transition, if any (`Some(true)` = emerged,
+    /// `Some(false)` = collapsed).
+    fn end_session(&mut self, drift: &DriftParams) -> Option<bool> {
+        self.decayed_support = self.decayed_support * drift.decay + f64::from(self.session_support);
+        self.decayed_ok = self.decayed_ok * drift.decay + f64::from(self.session_ok);
+        self.session_support = 0;
+        self.session_ok = 0;
+        let enough = self.decayed_support >= drift.min_support;
+        let confidence = self.decayed_confidence();
+        if !self.established && enough && confidence >= drift.min_confidence {
+            self.established = true;
+            Some(true)
+        } else if self.established && enough && confidence < drift.min_confidence - drift.hysteresis
+        {
+            self.established = false;
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+/// The incremental sequence miner: one [`observe`](OnlineMiner::observe)
+/// call per executed command, [`end_session`](OnlineMiner::end_session)
+/// at every session boundary. Memory is `O(rules)` plus the per-session
+/// replay state (toggle and first-dose maps over the handful of devices
+/// a session touches), which is cleared at each boundary.
+#[derive(Debug, Clone)]
+pub struct OnlineMiner {
+    params: MineParams,
+    drift: DriftParams,
+    guards: BTreeMap<(GuardedAction, Toggle, bool), Evidence>,
+    ordering: Evidence,
+    events: Vec<DriftEvent>,
+    // Per-session replay state, reset at every end_session.
+    door_open: BTreeMap<DeviceId, bool>,
+    running: BTreeMap<DeviceId, bool>,
+    solid_seen: BTreeMap<DeviceId, usize>,
+    liquid_seen: BTreeMap<DeviceId, usize>,
+    seq_in_session: usize,
+    commands_seen: u64,
+    sessions_seen: u64,
+}
+
+impl OnlineMiner {
+    /// A miner with the given emission thresholds and default
+    /// [`DriftParams`].
+    pub fn new(params: MineParams) -> Self {
+        OnlineMiner::with_drift(params, DriftParams::default())
+    }
+
+    /// A miner with explicit drift thresholds.
+    pub fn with_drift(params: MineParams, drift: DriftParams) -> Self {
+        OnlineMiner {
+            params,
+            drift,
+            guards: BTreeMap::new(),
+            ordering: Evidence::default(),
+            events: Vec::new(),
+            door_open: BTreeMap::new(),
+            running: BTreeMap::new(),
+            solid_seen: BTreeMap::new(),
+            liquid_seen: BTreeMap::new(),
+            seq_in_session: 0,
+            commands_seen: 0,
+            sessions_seen: 0,
+        }
+    }
+
+    /// Consumes one *executed* command. Callers streaming raw traces
+    /// should feed [`Trace::executed_commands`] (or use
+    /// [`observe_trace`](OnlineMiner::observe_trace), which does).
+    pub fn observe(&mut self, cmd: &Command) {
+        let idx = self.seq_in_session;
+        self.seq_in_session += 1;
+        self.commands_seen += 1;
+
+        // Record guarded observations BEFORE applying the command's own
+        // toggle effect — a door-open command is observed against the
+        // pre-command door state, exactly as the batch replay did.
+        let observation: Option<(GuardedAction, &DeviceId)> = match &cmd.action {
+            ActionKind::MoveInsideDevice { device } => Some((GuardedAction::EnterDevice, device)),
+            ActionKind::StartAction { .. } | ActionKind::DoseSolid { .. } => {
+                Some((GuardedAction::StartRunning, &cmd.actor))
+            }
+            ActionKind::SetDoor { open: true } => Some((GuardedAction::OpenDoor, &cmd.actor)),
+            _ => None,
+        };
+        if let Some((action, device)) = observation {
+            if let Some(&open) = self.door_open.get(device) {
+                for required in [true, false] {
+                    self.guards
+                        .entry((action, Toggle::Door, required))
+                        .or_default()
+                        .observe(open == required);
+                }
+            }
+            if let Some(&run) = self.running.get(device) {
+                for required in [true, false] {
+                    self.guards
+                        .entry((action, Toggle::Running, required))
+                        .or_default()
+                        .observe(run == required);
+                }
+            }
+        }
+
+        // Apply toggle effects.
+        match &cmd.action {
+            ActionKind::SetDoor { open } => {
+                self.door_open.insert(cmd.actor.clone(), *open);
+            }
+            ActionKind::StartAction { .. } => {
+                self.running.insert(cmd.actor.clone(), true);
+            }
+            ActionKind::StopAction => {
+                self.running.insert(cmd.actor.clone(), false);
+            }
+            ActionKind::DoseSolid { into, .. } => {
+                self.solid_seen.entry(into.clone()).or_insert(idx);
+            }
+            ActionKind::DoseLiquid { into, .. } => {
+                self.liquid_seen.entry(into.clone()).or_insert(idx);
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes the current session: scores the per-container ordering
+    /// evidence, rolls every counter's decayed window forward (logging
+    /// [`DriftEvent`]s on threshold crossings), and clears the
+    /// per-session replay state.
+    pub fn end_session(&mut self) {
+        for (container, &l) in &self.liquid_seen {
+            if let Some(&s) = self.solid_seen.get(container) {
+                self.ordering.observe(s < l);
+            }
+        }
+
+        let session = self.sessions_seen;
+        for (&(action, toggle, required), evidence) in &mut self.guards {
+            if let Some(emerged) = evidence.end_session(&self.drift) {
+                self.events.push(drift_event(
+                    guard_name(action, toggle, required),
+                    emerged,
+                    session,
+                    evidence,
+                ));
+            }
+        }
+        if let Some(emerged) = self.ordering.end_session(&self.drift) {
+            self.events.push(drift_event(
+                "solid_before_liquid",
+                emerged,
+                session,
+                &self.ordering,
+            ));
+        }
+
+        self.door_open.clear();
+        self.running.clear();
+        self.solid_seen.clear();
+        self.liquid_seen.clear();
+        self.seq_in_session = 0;
+        self.sessions_seen += 1;
+    }
+
+    /// Feeds one whole trace: every executed command, then the session
+    /// boundary.
+    pub fn observe_trace(&mut self, trace: &Trace) {
+        for cmd in trace.executed_commands() {
+            self.observe(cmd);
+        }
+        self.end_session();
+    }
+
+    /// Executed commands observed so far.
+    pub fn commands_seen(&self) -> u64 {
+        self.commands_seen
+    }
+
+    /// Session boundaries observed so far.
+    pub fn sessions_seen(&self) -> u64 {
+        self.sessions_seen
+    }
+
+    /// The mining thresholds this miner emits under.
+    pub fn params(&self) -> &MineParams {
+        &self.params
+    }
+
+    /// The drift thresholds this miner re-scores under.
+    pub fn drift_params(&self) -> &DriftParams {
+        &self.drift
+    }
+
+    /// Snapshot of the rules the *cumulative* evidence supports — the
+    /// batch-miner semantics ([`mine`](crate::mine()) returns exactly
+    /// this after feeding the whole corpus).
+    pub fn rules(&self) -> Vec<MinedRule> {
+        let mut out = Vec::new();
+        for (&(action, toggle, required), evidence) in &self.guards {
+            let confidence = evidence.confidence();
+            if evidence.support >= self.params.min_support as u64
+                && confidence >= self.params.min_confidence
+            {
+                out.push(MinedRule::StateGuard {
+                    action,
+                    toggle,
+                    required,
+                    support: evidence.support as usize,
+                    confidence,
+                });
+            }
+        }
+        if self.ordering.support >= self.params.min_support as u64 {
+            let confidence = self.ordering.confidence();
+            if confidence >= self.params.min_confidence {
+                out.push(MinedRule::SolidBeforeLiquid {
+                    support: self.ordering.support as usize,
+                    confidence,
+                });
+            }
+        }
+        out
+    }
+
+    /// Snapshot of the rules the *decayed* (recent) evidence supports —
+    /// what the lab's conventions look like **now**. A rule qualifies
+    /// while it is *established* (its decayed evidence has crossed the
+    /// emergence thresholds and not since fallen through the
+    /// [`DriftParams::hysteresis`] band), so the set is stable against
+    /// sampling wobble in the decayed window. Support counts are the
+    /// rounded decayed weights. This is the qualifying set a
+    /// [`RulePromoter`](crate::RulePromoter) pushes into a live rulebase
+    /// epoch.
+    pub fn decayed_rules(&self) -> Vec<MinedRule> {
+        let mut out = Vec::new();
+        for (&(action, toggle, required), evidence) in &self.guards {
+            if evidence.established {
+                out.push(MinedRule::StateGuard {
+                    action,
+                    toggle,
+                    required,
+                    support: evidence.decayed_support.round() as usize,
+                    confidence: evidence.decayed_confidence(),
+                });
+            }
+        }
+        if self.ordering.established {
+            out.push(MinedRule::SolidBeforeLiquid {
+                support: self.ordering.decayed_support.round() as usize,
+                confidence: self.ordering.decayed_confidence(),
+            });
+        }
+        out
+    }
+
+    /// Every threshold crossing logged so far, in session order. The
+    /// initial establishment of stream-start conventions appears here
+    /// too; drift shows up as a [`DriftEvent::Collapsed`] followed (or
+    /// preceded) by the emergence of the replacement pattern.
+    pub fn drift_events(&self) -> &[DriftEvent] {
+        &self.events
+    }
+}
+
+fn drift_event(name: &'static str, emerged: bool, session: u64, evidence: &Evidence) -> DriftEvent {
+    if emerged {
+        DriftEvent::Emerged {
+            name,
+            session,
+            decayed_support: evidence.decayed_support,
+            decayed_confidence: evidence.decayed_confidence(),
+        }
+    } else {
+        DriftEvent::Collapsed {
+            name,
+            session,
+            decayed_support: evidence.decayed_support,
+            decayed_confidence: evidence.decayed_confidence(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{RadGenParams, TraceStream};
+    use crate::mine::{mine, DRIFTED_TRUTH, GROUND_TRUTH};
+
+    fn drifted_params() -> RadGenParams {
+        RadGenParams::new()
+            .with_sessions(800)
+            .with_seed(23)
+            .with_drift_at(400)
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_the_default_corpus() {
+        let params = RadGenParams::default();
+        let corpus: Vec<_> = TraceStream::new(&params).collect();
+        let batch = mine(&corpus, &MineParams::default());
+
+        let mut miner = OnlineMiner::new(MineParams::default());
+        for trace in TraceStream::new(&params) {
+            miner.observe_trace(&trace);
+        }
+        assert_eq!(miner.rules(), batch);
+        assert_eq!(miner.sessions_seen(), params.sessions as u64);
+        assert_eq!(
+            miner.commands_seen(),
+            corpus
+                .iter()
+                .map(|t| t.executed_commands().count() as u64)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn decayed_window_tracks_the_current_convention() {
+        let mut miner = OnlineMiner::new(MineParams::default());
+        for trace in TraceStream::new(&drifted_params()) {
+            miner.observe_trace(&trace);
+        }
+        let now: Vec<&str> = miner.decayed_rules().iter().map(MinedRule::name).collect();
+        for name in DRIFTED_TRUTH {
+            assert!(now.contains(&name), "{name} missing from {now:?}");
+        }
+        assert!(
+            !now.contains(&"start_running_requires_door_open=false"),
+            "collapsed rule still held: {now:?}"
+        );
+        // Cumulative mining over the same stream straddles the drift: the
+        // dosing guard is ~50/50 and is mined in neither direction.
+        let cumulative: Vec<&str> = miner.rules().iter().map(MinedRule::name).collect();
+        assert!(!cumulative.contains(&"start_running_requires_door_open=false"));
+        assert!(!cumulative.contains(&"start_running_requires_door_open=true"));
+    }
+
+    #[test]
+    fn drift_logs_collapse_and_emergence() {
+        let mut miner = OnlineMiner::new(MineParams::default());
+        for trace in TraceStream::new(&drifted_params()) {
+            miner.observe_trace(&trace);
+        }
+        let events = miner.drift_events();
+        let collapse = events
+            .iter()
+            .find(|e| e.is_collapse() && e.name() == "start_running_requires_door_open=false")
+            .expect("dosing-door-closed must collapse after the drift");
+        let emergence = events
+            .iter()
+            .rev()
+            .find(|e| !e.is_collapse() && e.name() == "start_running_requires_door_open=true")
+            .expect("dosing-door-open must emerge after the drift");
+        let (collapse_session, emergence_session) = match (collapse, emergence) {
+            (DriftEvent::Collapsed { session: c, .. }, DriftEvent::Emerged { session: e, .. }) => {
+                (*c, *e)
+            }
+            _ => unreachable!(),
+        };
+        assert!(collapse_session >= 400, "collapse at {collapse_session}");
+        assert!(emergence_session >= 400, "emergence at {emergence_session}");
+        // Collapse is detected quickly (confidence falls below 0.9 a few
+        // sessions in); emergence needs the decayed window to turn over.
+        assert!(collapse_session <= emergence_session);
+        // Stable conventions never flap.
+        assert!(
+            !events
+                .iter()
+                .any(|e| e.is_collapse() && e.name() == "move_robot_inside_requires_door_open=true"),
+            "{events:?}"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| e.is_collapse() && e.name() == "solid_before_liquid"),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn stream_without_drift_stays_established() {
+        let mut miner = OnlineMiner::new(MineParams::default());
+        for trace in TraceStream::new(&RadGenParams::new().with_sessions(400)) {
+            miner.observe_trace(&trace);
+        }
+        assert!(miner.drift_events().iter().all(|e| !e.is_collapse()));
+        let now: Vec<&str> = miner.decayed_rules().iter().map(MinedRule::name).collect();
+        for name in GROUND_TRUTH {
+            assert!(now.contains(&name), "{name} missing from {now:?}");
+        }
+    }
+
+    #[test]
+    fn event_at_a_time_matches_observe_trace() {
+        let params = RadGenParams::new().with_sessions(50).with_drift_at(25);
+        let mut by_trace = OnlineMiner::new(MineParams::default());
+        let mut by_event = OnlineMiner::new(MineParams::default());
+        for trace in TraceStream::new(&params) {
+            by_trace.observe_trace(&trace);
+            for cmd in trace.executed_commands() {
+                by_event.observe(cmd);
+            }
+            by_event.end_session();
+        }
+        assert_eq!(by_trace.rules(), by_event.rules());
+        assert_eq!(by_trace.decayed_rules(), by_event.decayed_rules());
+        assert_eq!(by_trace.drift_events(), by_event.drift_events());
+    }
+
+    #[test]
+    fn miner_state_is_bounded_by_the_rule_vocabulary() {
+        let mut miner = OnlineMiner::new(MineParams::default());
+        for trace in TraceStream::new(&RadGenParams::new().with_sessions(300)) {
+            miner.observe_trace(&trace);
+        }
+        // 3 actions × 2 toggles × 2 required states is the whole guard
+        // candidate space — the counters cannot grow with the corpus.
+        assert!(miner.guards.len() <= 12, "guards: {}", miner.guards.len());
+        // Session replay state is cleared at every boundary.
+        assert!(miner.door_open.is_empty());
+        assert!(miner.solid_seen.is_empty());
+    }
+}

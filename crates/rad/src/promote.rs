@@ -1,0 +1,263 @@
+//! Promotion of mined rules into live rulebase epochs.
+//!
+//! Mining only matters once the mined conventions become *runtime
+//! guards* (LabGuard's argument). [`RulePromoter`] is that last hop: it
+//! takes a qualifying rule set — typically
+//! [`OnlineMiner::decayed_rules`](crate::OnlineMiner::decayed_rules),
+//! the conventions the lab holds *now* — and reconciles the tenant's
+//! live [`RuleStore`] against it:
+//!
+//! * a qualifying rule the store has never seen is **created**
+//!   (a [`CreateRuleRequest`] carrying [`MinedRule::to_rule`]);
+//! * a qualifying rule present but disabled is **re-enabled** (the
+//!   pattern re-emerged after a collapse);
+//! * a previously-promoted mined rule that no longer qualifies is
+//!   **disabled**, not removed — its evidence history stays addressable
+//!   and a later re-emergence is a cheap enable commit;
+//! * rules the lab staged by hand (non-`Mined` ids) are never touched.
+//!
+//! Each difference is one copy-on-write store commit, so a promotion
+//! that changes anything publishes a fresh epoch; fleets running through
+//! `run_fleet_on_live` pick the new rulebase up at their next job while
+//! in-flight validations finish on the epoch they captured. A promotion
+//! that finds nothing to change commits nothing and the epoch stands —
+//! re-promoting the same rule set is idempotent.
+
+use crate::mine::MinedRule;
+use rabit_rulebase::{RuleId, TenantId};
+use rabit_service::{CreateRuleRequest, RuleStore, ServiceError};
+
+/// Promotes qualifying mined rules into one tenant's live rulebase.
+#[derive(Debug, Clone)]
+pub struct RulePromoter {
+    tenant: TenantId,
+}
+
+/// What one [`RulePromoter::promote`] call committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromotionOutcome {
+    /// Mined rules newly created in the store (enabled).
+    pub created: Vec<RuleId>,
+    /// Previously-disabled mined rules switched back on.
+    pub reenabled: Vec<RuleId>,
+    /// Previously-promoted mined rules that no longer qualify, switched
+    /// off.
+    pub disabled: Vec<RuleId>,
+    /// Qualifying rules already live — present and enabled — that needed
+    /// no commit.
+    pub unchanged: usize,
+    /// The tenant's epoch after the promotion (unchanged if nothing was
+    /// committed).
+    pub epoch: u64,
+}
+
+impl PromotionOutcome {
+    /// Number of store commits the promotion made.
+    pub fn commits(&self) -> usize {
+        self.created.len() + self.reenabled.len() + self.disabled.len()
+    }
+}
+
+impl RulePromoter {
+    /// A promoter targeting one tenant.
+    pub fn new(tenant: impl Into<TenantId>) -> Self {
+        RulePromoter {
+            tenant: tenant.into(),
+        }
+    }
+
+    /// The tenant this promoter commits to.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
+    /// Reconciles the tenant's live rulebase against `qualifying` (see
+    /// the module docs for the exact create / re-enable / disable
+    /// semantics).
+    ///
+    /// Reads the tenant's latest snapshot once and issues one commit per
+    /// difference. Concurrent commits from other writers interleave
+    /// safely (every mutation is copy-on-write and id-addressed), though
+    /// the outcome then reflects this promoter's commits only.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTenant`] if the tenant was never seeded;
+    /// other [`ServiceError`]s only if a concurrent writer races this
+    /// promotion (e.g. creates the same rule id first).
+    pub fn promote(
+        &self,
+        qualifying: &[MinedRule],
+        store: &RuleStore,
+    ) -> Result<PromotionOutcome, ServiceError> {
+        let snapshot = store.snapshot_for(&self.tenant)?;
+        let mut outcome = PromotionOutcome {
+            created: Vec::new(),
+            reenabled: Vec::new(),
+            disabled: Vec::new(),
+            unchanged: 0,
+            epoch: snapshot.epoch(),
+        };
+
+        for mined in qualifying {
+            let id = RuleId::Mined(mined.name().to_string());
+            match snapshot.rule(&id) {
+                None => {
+                    store.create_rule(&self.tenant, CreateRuleRequest::new(mined.to_rule()))?;
+                    outcome.created.push(id);
+                }
+                Some(_) if snapshot.is_enabled(&id) == Some(false) => {
+                    store.set_rule_enabled(&self.tenant, &id, true)?;
+                    outcome.reenabled.push(id);
+                }
+                Some(_) => outcome.unchanged += 1,
+            }
+        }
+
+        // Support collapse: previously-promoted mined rules that no
+        // longer qualify stop firing at the next epoch.
+        for rule in snapshot.rules() {
+            let RuleId::Mined(name) = rule.id() else {
+                continue;
+            };
+            let still_qualifies = qualifying.iter().any(|m| m.name() == name.as_str());
+            if !still_qualifies && snapshot.is_enabled(rule.id()) == Some(true) {
+                store.set_rule_enabled(&self.tenant, rule.id(), false)?;
+                outcome.disabled.push(rule.id().clone());
+            }
+        }
+
+        outcome.epoch = store
+            .epoch_of(&self.tenant)
+            .unwrap_or_else(|| snapshot.epoch());
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{RadGenParams, TraceStream};
+    use crate::mine::MineParams;
+    use crate::online::OnlineMiner;
+    use rabit_rulebase::Rulebase;
+
+    fn tenant() -> TenantId {
+        TenantId::new("hein")
+    }
+
+    fn mined_now(params: &RadGenParams) -> (OnlineMiner, Vec<MinedRule>) {
+        let mut miner = OnlineMiner::new(MineParams::default());
+        for trace in TraceStream::new(params) {
+            miner.observe_trace(&trace);
+        }
+        let rules = miner.decayed_rules();
+        (miner, rules)
+    }
+
+    #[test]
+    fn promotion_creates_rules_and_bumps_the_epoch() {
+        let store = RuleStore::new();
+        store.seed_tenant(tenant(), Rulebase::new());
+        let (_, rules) = mined_now(&RadGenParams::new().with_sessions(120));
+        assert!(!rules.is_empty());
+
+        let promoter = RulePromoter::new(tenant());
+        let outcome = promoter.promote(&rules, &store).unwrap();
+        assert_eq!(outcome.created.len(), rules.len());
+        assert_eq!(outcome.commits(), rules.len());
+        assert_eq!(outcome.epoch, rules.len() as u64, "one commit per rule");
+        assert_eq!(store.epoch_of(&tenant()), Some(outcome.epoch));
+
+        let snap = store.snapshot_for(&tenant()).unwrap();
+        for m in &rules {
+            let id = RuleId::Mined(m.name().to_string());
+            assert!(snap.rule(&id).is_some(), "{id} promoted");
+            assert_eq!(snap.is_enabled(&id), Some(true));
+        }
+    }
+
+    #[test]
+    fn repromotion_is_idempotent() {
+        let store = RuleStore::new();
+        store.seed_tenant(tenant(), Rulebase::new());
+        let (_, rules) = mined_now(&RadGenParams::new().with_sessions(120));
+        let promoter = RulePromoter::new(tenant());
+        let first = promoter.promote(&rules, &store).unwrap();
+        let again = promoter.promote(&rules, &store).unwrap();
+        assert_eq!(again.commits(), 0, "{again:?}");
+        assert_eq!(again.unchanged, rules.len());
+        assert_eq!(
+            again.epoch, first.epoch,
+            "no-op promotion publishes nothing"
+        );
+    }
+
+    #[test]
+    fn drift_disables_collapsed_rules_and_promotes_emerged_ones() {
+        let store = RuleStore::new();
+        store.seed_tenant(tenant(), Rulebase::new());
+        let promoter = RulePromoter::new(tenant());
+
+        // Promote the pre-drift conventions...
+        let pre = RadGenParams::new().with_sessions(400).with_seed(23);
+        let (_, pre_rules) = mined_now(&pre);
+        let pre_names: Vec<&str> = pre_rules.iter().map(MinedRule::name).collect();
+        assert!(pre_names.contains(&"start_running_requires_door_open=false"));
+        promoter.promote(&pre_rules, &store).unwrap();
+        let epoch_before = store.epoch_of(&tenant()).unwrap();
+
+        // ...then stream through the drift and re-promote.
+        let (_, post_rules) = mined_now(
+            &RadGenParams::new()
+                .with_sessions(800)
+                .with_seed(23)
+                .with_drift_at(400),
+        );
+        let outcome = promoter.promote(&post_rules, &store).unwrap();
+        assert!(outcome.epoch > epoch_before);
+
+        let snap = store.snapshot_for(&tenant()).unwrap();
+        let collapsed = RuleId::Mined("start_running_requires_door_open=false".into());
+        let emerged = RuleId::Mined("start_running_requires_door_open=true".into());
+        assert_eq!(
+            snap.is_enabled(&collapsed),
+            Some(false),
+            "collapsed rule disabled"
+        );
+        assert_eq!(snap.is_enabled(&emerged), Some(true), "emerged rule live");
+        assert!(outcome.disabled.contains(&collapsed));
+        assert!(outcome.created.contains(&emerged));
+
+        // The convention swings back: a third promotion re-enables the
+        // collapsed rule instead of recreating it.
+        let (_, back_rules) = mined_now(&pre);
+        let back = promoter.promote(&back_rules, &store).unwrap();
+        assert!(back.reenabled.contains(&collapsed));
+        assert!(back.disabled.contains(&emerged));
+    }
+
+    #[test]
+    fn hand_staged_rules_are_never_touched() {
+        let store = RuleStore::new();
+        store.seed_tenant(tenant(), Rulebase::standard());
+        let (_, rules) = mined_now(&RadGenParams::new().with_sessions(120));
+        let promoter = RulePromoter::new(tenant());
+        let before = store.snapshot_for(&tenant()).unwrap();
+        let outcome = promoter.promote(&rules, &store).unwrap();
+        assert!(outcome.disabled.is_empty(), "no general rule is disabled");
+        let after = store.snapshot_for(&tenant()).unwrap();
+        // Every pre-existing (hand-staged) rule kept its enablement.
+        for rule in before.rules() {
+            assert_eq!(after.is_enabled(rule.id()), before.is_enabled(rule.id()));
+        }
+    }
+
+    #[test]
+    fn unknown_tenants_are_typed_errors() {
+        let store = RuleStore::new();
+        let promoter = RulePromoter::new("ghost");
+        let err = promoter.promote(&[], &store).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownTenant(_)));
+    }
+}

@@ -1,0 +1,177 @@
+//! The full streaming-RAD loop, end to end at the workspace root:
+//!
+//! lab conventions drift mid-stream → the online miner's decayed
+//! counters log the collapse and the emergence → the promoter commits
+//! the currently-qualifying rules into a live `RuleStore` epoch → a
+//! fleet run through `run_fleet_on_live` validates against exactly that
+//! epoch and blocks the workflow that still follows the old convention.
+//!
+//! No rule in this test is hand-written: the tenant starts from an empty
+//! rulebase, so every detection is a mined rule doing its job.
+
+use rabit::core::{Lab, Stage, Substrate};
+use rabit::devices::{DeviceType, DosingDevice, RobotArm, Vial};
+use rabit::geometry::{Aabb, Vec3};
+use rabit::rad::{
+    DriftEvent, MineParams, OnlineMiner, RadGenParams, RulePromoter, TraceStream, DRIFTED_TRUTH,
+};
+use rabit::rulebase::{DeviceCatalog, DeviceMeta, Rulebase, RulebaseSnapshot, TenantId};
+use rabit::service::RuleStore;
+use rabit::tracer::{run_fleet_on_live, Workflow};
+
+struct MiniSubstrate;
+
+impl Substrate for MiniSubstrate {
+    fn name(&self) -> &str {
+        "mini"
+    }
+    fn stage(&self) -> Stage {
+        Stage::Simulator
+    }
+    fn build_lab(&self) -> Lab {
+        Lab::new()
+            .with_device(RobotArm::new(
+                "viperx",
+                Vec3::new(0.3, 0.0, 0.3),
+                Vec3::new(0.1, -0.3, 0.2),
+            ))
+            .with_device(DosingDevice::new(
+                "doser",
+                Aabb::new(Vec3::new(0.1, 0.35, 0.0), Vec3::new(0.25, 0.55, 0.3)),
+            ))
+            .with_device(Vial::new("vial", Vec3::new(0.537, 0.018, 0.12)))
+    }
+    fn rulebase(&self) -> RulebaseSnapshot {
+        // Empty on purpose: only promoted mined rules guard this lab.
+        Rulebase::new().into()
+    }
+    fn catalog(&self) -> DeviceCatalog {
+        DeviceCatalog::new()
+            .with(
+                DeviceMeta::new("viperx", DeviceType::RobotArm)
+                    .with_arm_positions(Vec3::new(0.3, 0.0, 0.3), Vec3::new(0.1, -0.3, 0.2)),
+            )
+            .with(DeviceMeta::new("doser", DeviceType::DosingSystem).with_door())
+            .with(DeviceMeta::new("vial", DeviceType::Container))
+    }
+}
+
+/// Two jobs: one following the post-drift convention (dose with the
+/// door open), one still on the old habit (dose behind a closed door).
+fn workflows() -> Vec<Workflow> {
+    vec![
+        Workflow::new("drift_safe")
+            .set_door("doser", true)
+            .dose_solid("doser", 12.0, "vial")
+            .move_inside("viperx", "doser")
+            .move_out("viperx")
+            .set_door("doser", false),
+        Workflow::new("old_habit")
+            .dose_solid("doser", 12.0, "vial")
+            .set_door("doser", true)
+            .move_inside("viperx", "doser")
+            .move_out("viperx"),
+    ]
+}
+
+#[test]
+fn drift_mines_promotes_and_guards_the_next_fleet_epoch() {
+    // --- Stream through the drift (conventions flip at session 400). ---
+    let params = RadGenParams::new().with_sessions(800).with_drift_at(400);
+    let mut miner = OnlineMiner::new(MineParams::default());
+    for trace in TraceStream::new(&params) {
+        miner.observe_trace(&trace);
+    }
+
+    // The decayed window logs the convention change as typed events...
+    let collapses: Vec<&DriftEvent> = miner
+        .drift_events()
+        .iter()
+        .filter(|e| e.is_collapse())
+        .collect();
+    assert!(
+        collapses
+            .iter()
+            .any(|e| e.name() == "start_running_requires_door_open=false"),
+        "old dosing convention collapses: {collapses:?}"
+    );
+    assert!(
+        miner
+            .drift_events()
+            .iter()
+            .any(|e| !e.is_collapse() && e.name() == "start_running_requires_door_open=true"),
+        "new dosing convention emerges"
+    );
+
+    // ...and the currently-qualifying rule set is the drifted truth.
+    let qualifying = miner.decayed_rules();
+    let names: Vec<&str> = qualifying.iter().map(|r| r.name()).collect();
+    for truth in DRIFTED_TRUTH {
+        assert!(names.contains(&truth), "{truth} qualifies after drift");
+    }
+
+    // --- Fleet on the un-promoted store: nothing guards the lab. ---
+    let tenant = TenantId::new("hein");
+    let store = RuleStore::new();
+    store.seed_tenant(tenant.clone(), Rulebase::new());
+
+    let sub = MiniSubstrate;
+    let wfs = workflows();
+    let jobs: Vec<(&dyn Substrate, &Workflow)> = wfs.iter().map(|w| (&sub as _, w)).collect();
+
+    let before = run_fleet_on_live(&jobs, 2, &store, &tenant);
+    assert_eq!(
+        before.completed_runs(),
+        2,
+        "empty epoch 0 rulebase blocks nothing"
+    );
+    assert!(before.runs.iter().all(|r| r.rulebase_epoch == 0));
+
+    // --- Promote: mined rules become the tenant's next epoch. ---
+    let outcome = RulePromoter::new(tenant.clone())
+        .promote(&qualifying, &store)
+        .expect("promotion against a seeded tenant");
+    assert!(outcome.epoch >= 1, "promotion published a fresh epoch");
+    assert_eq!(outcome.created.len(), qualifying.len());
+    assert_eq!(store.epoch_of(&tenant), Some(outcome.epoch));
+
+    // --- The next fleet validates against the promoted epoch. ---
+    let after = run_fleet_on_live(&jobs, 2, &store, &tenant);
+    assert!(
+        after.runs.iter().all(|r| r.rulebase_epoch == outcome.epoch),
+        "every run validated against the promoted epoch"
+    );
+    assert_eq!(
+        after.completed_runs(),
+        1,
+        "the old-habit workflow is now blocked"
+    );
+    let blocked = after
+        .runs
+        .iter()
+        .find(|r| !r.report.completed())
+        .expect("one blocked run");
+    assert_eq!(blocked.workflow, "old_habit");
+    let alert = blocked
+        .report
+        .alert
+        .as_ref()
+        .expect("blocked run carries an alert")
+        .to_string();
+    assert!(
+        alert.contains("mined:start_running_requires_door_open=true"),
+        "the emerged mined rule raised the alert: {alert}"
+    );
+
+    // Re-promoting the same rule set publishes nothing new; the fleet
+    // epoch is stable.
+    let again = RulePromoter::new(tenant.clone())
+        .promote(&qualifying, &store)
+        .unwrap();
+    assert_eq!(again.epoch, outcome.epoch);
+    let stable = run_fleet_on_live(&jobs, 2, &store, &tenant);
+    assert!(stable
+        .runs
+        .iter()
+        .all(|r| r.rulebase_epoch == outcome.epoch));
+}
