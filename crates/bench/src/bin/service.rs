@@ -3,19 +3,32 @@
 //! Exercises the versioned multi-tenant rule service the way a busy
 //! deployment would: several tenants' rulebases under continuous live
 //! CRUD through the [`ServiceBroker`], while validation traffic keeps
-//! pulling fresh snapshots and checking commands against them. Two
-//! headline numbers come out:
+//! pulling fresh snapshots and checking commands against them. Three
+//! phases come out:
 //!
-//! * **commands/sec** — broker commit throughput: a per-tenant script of
+//! * **commands/sec** — broker commit throughput: per-tenant scripts of
 //!   enable/disable toggles, rule creates, partial updates, and removes,
-//!   fanned across the worker pool and timed end to end (submit →
-//!   flush);
+//!   pre-built off the clock, then pushed by one submitter thread per
+//!   tenant through [`ServiceBroker::submit_batch`] and timed end to end
+//!   (first submit → flush). Full-mode runs are gated by the
+//!   `SERVICE_MIN_CMDS_PER_SEC` schema floor.
+//! * **overload probe** — a deliberately tiny bounded broker
+//!   ([`ServiceBroker::with_queue_capacity`]) fed through
+//!   [`ServiceBroker::try_submit_batch`]: an oversized command group is
+//!   shed with `ServiceError::Overloaded` (typed backpressure, not a
+//!   stall), and the remaining traffic lands under retry — proving shed
+//!   commands are observable and non-destructive.
 //! * **p50/p99 check latency (µs)** — the cost one validation pays under
 //!   churn: snapshot the tenant's latest publication and run a rule
 //!   check against it, timed per call while a background churn thread
-//!   keeps committing. Copy-on-write snapshots mean the check never
-//!   takes the store lock for longer than two `Arc` bumps — the p99 is
-//!   the proof.
+//!   keeps committing batches. Copy-on-write snapshots mean the check
+//!   never takes more than the brief publication lock — the p99 is the
+//!   proof.
+//!
+//! The emitted envelope carries the broker's ingestion counters
+//! (`queue_depth_peak`, `shed_commands`, `worker_parks`,
+//! `worker_steals`, `batches`) so CI can assert the backpressure
+//! surface is really wired up.
 //!
 //! Writes `BENCH_service.json` (envelope kind `"service"`, validated on
 //! write and by the `bench_schema` CI check) and prints the tables.
@@ -23,11 +36,13 @@
 //!
 //! Run with `cargo run --release -p rabit-bench --bin service -- [--quick]`.
 
+use rabit_bench::histogram::percentile_us;
 use rabit_bench::report::render_table;
 use rabit_devices::{ActionKind, Command, DeviceState, DeviceType, LabState, StateKey};
 use rabit_rulebase::{DeviceCatalog, DeviceMeta, Rule, RuleId, Rulebase, TenantId};
 use rabit_service::{
-    CreateRuleRequest, RuleCommand, RuleOp, RuleStore, ServiceBroker, UpdateRuleRequest,
+    BrokerStats, CreateRuleRequest, RuleCommand, RuleOp, RuleStore, ServiceBroker,
+    UpdateRuleRequest,
 };
 use rabit_util::Json;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,8 +55,15 @@ const TENANTS: usize = 6;
 const BROKER_THREADS: usize = 4;
 /// Commit rounds per tenant in the throughput phase (each round is 5
 /// commands: create, disable, update, enable, remove).
-const ROUNDS: usize = 400;
-const ROUNDS_QUICK: usize = 40;
+const ROUNDS: usize = 8_000;
+const ROUNDS_QUICK: usize = 200;
+/// Commands per submitted batch in the throughput phase (32 rounds).
+const BATCH_COMMANDS: usize = 160;
+/// Lane capacity of the overload-probe broker — small on purpose.
+const PROBE_CAPACITY: usize = 16;
+/// Enable/disable toggle pairs pushed through the probe broker.
+const PROBE_TOGGLES: usize = 512;
+const PROBE_TOGGLES_QUICK: usize = 64;
 /// Timed validation checks in the latency phase.
 const CHECKS: usize = 20_000;
 const CHECKS_QUICK: usize = 2_000;
@@ -63,29 +85,33 @@ fn staged_rule(name: &str) -> Rule {
 /// off and back on, partially update the staged rule, then remove it —
 /// five commits that leave the rulebase exactly where it started (but
 /// five epochs later), so commit cost stays flat over the run.
-fn submit_round(broker: &ServiceBroker, tenant: &TenantId, round: usize) {
+fn round_commands(tenant: &TenantId, round: usize) -> [RuleCommand; 5] {
     let name = format!("staged-{round}");
     let toggled = RuleId::General((round % 11) as u8 + 1);
-    drop(broker.submit(RuleCommand::new(
-        tenant.clone(),
-        RuleOp::Create(CreateRuleRequest::new(staged_rule(&name)).disabled()),
-    )));
-    drop(broker.submit(RuleCommand::new(
-        tenant.clone(),
-        RuleOp::Disable(toggled.clone()),
-    )));
-    drop(broker.submit(RuleCommand::new(
-        tenant.clone(),
-        RuleOp::Update(
-            RuleId::Custom(name.clone()),
-            UpdateRuleRequest::new().with_enabled(true),
+    [
+        RuleCommand::new(
+            tenant.clone(),
+            RuleOp::Create(CreateRuleRequest::new(staged_rule(&name)).disabled()),
         ),
-    )));
-    drop(broker.submit(RuleCommand::new(tenant.clone(), RuleOp::Enable(toggled))));
-    drop(broker.submit(RuleCommand::new(
-        tenant.clone(),
-        RuleOp::Remove(RuleId::Custom(name)),
-    )));
+        RuleCommand::new(tenant.clone(), RuleOp::Disable(toggled.clone())),
+        RuleCommand::new(
+            tenant.clone(),
+            RuleOp::Update(
+                RuleId::Custom(name.clone()),
+                UpdateRuleRequest::new().with_enabled(true),
+            ),
+        ),
+        RuleCommand::new(tenant.clone(), RuleOp::Enable(toggled)),
+        RuleCommand::new(tenant.clone(), RuleOp::Remove(RuleId::Custom(name))),
+    ]
+}
+
+/// The per-tenant throughput script: `rounds` rounds, pre-built so the
+/// timed region measures ingestion, not `format!`.
+fn build_script(tenant: &TenantId, rounds: usize) -> Vec<RuleCommand> {
+    (0..rounds)
+        .flat_map(|round| round_commands(tenant, round))
+        .collect()
 }
 
 /// The validation workload: a command + state + catalog that walks the
@@ -110,36 +136,28 @@ fn check_fixture() -> (Command, LabState, DeviceCatalog) {
     (command, state, catalog)
 }
 
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
-    sorted_ns[idx] as f64 / 1_000.0
-}
-
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let rounds = if quick { ROUNDS_QUICK } else { ROUNDS };
-    let checks = if quick { CHECKS_QUICK } else { CHECKS };
-
-    let store = Arc::new(RuleStore::new());
-    for i in 0..TENANTS {
-        store.seed_tenant(tenant(i), Rulebase::hein_lab());
-    }
-
-    // Phase 1: commit throughput across all tenants.
-    let broker = ServiceBroker::new(Arc::clone(&store), BROKER_THREADS);
-    let commands = TENANTS * rounds * 5;
+/// Phase 1: batched commit throughput across all tenants — one
+/// submitter thread per tenant pushing `BATCH_COMMANDS`-command
+/// batches. Returns (wall seconds, broker counters).
+fn throughput_phase(store: &Arc<RuleStore>, rounds: usize) -> (f64, BrokerStats) {
+    let scripts: Vec<Vec<RuleCommand>> = (0..TENANTS)
+        .map(|i| build_script(&tenant(i), rounds))
+        .collect();
+    let broker = ServiceBroker::new(Arc::clone(store), BROKER_THREADS);
     let t0 = Instant::now();
-    for round in 0..rounds {
-        for i in 0..TENANTS {
-            submit_round(&broker, &tenant(i), round);
+    std::thread::scope(|scope| {
+        for script in &scripts {
+            scope.spawn(|| {
+                for chunk in script.chunks(BATCH_COMMANDS) {
+                    // Receipts are not needed at wire speed; dropping
+                    // the ticket discards them, flush() still fences.
+                    drop(broker.submit_batch(chunk));
+                }
+            });
         }
-    }
+    });
     broker.flush();
-    let commit_wall_s = t0.elapsed().as_secs_f64();
-    let commands_per_sec = commands as f64 / commit_wall_s;
+    let wall_s = t0.elapsed().as_secs_f64();
     for i in 0..TENANTS {
         let epoch = store.epoch_of(&tenant(i)).expect("seeded tenant");
         assert_eq!(
@@ -148,18 +166,83 @@ fn main() {
             "every commit of tenant {i} must have landed"
         );
     }
+    (wall_s, broker.stats())
+}
 
-    // Phase 2: per-check latency while a churn thread keeps committing.
+/// Phase 2: overload probe on a deliberately tiny bounded broker.
+/// Returns its counters; panics unless shedding was observed and all
+/// retried traffic landed exactly once.
+fn overload_phase(store: &Arc<RuleStore>, toggles: usize) -> BrokerStats {
+    let target = tenant(0);
+    let epoch_before = store.epoch_of(&target).expect("seeded tenant");
+    let broker =
+        ServiceBroker::with_queue_capacity(Arc::clone(store), BROKER_THREADS, PROBE_CAPACITY);
+
+    // A single-tenant group wider than the lane can never be admitted
+    // whole, so it is shed in full — deterministic typed backpressure.
+    let oversized: Vec<RuleCommand> = (0..PROBE_CAPACITY + 1)
+        .map(|i| {
+            let id = RuleId::General((i % 11) as u8 + 1);
+            RuleCommand::new(target.clone(), RuleOp::Enable(id))
+        })
+        .collect();
+    let receipts = broker.try_submit_batch(&oversized).wait();
+    assert!(
+        receipts.iter().all(|r| r.is_err()),
+        "oversized group must shed every command"
+    );
+
+    // Real traffic under retry: toggle pairs in lane-sized chunks. A
+    // chunk is all-or-nothing for its tenant group, so a shed chunk is
+    // simply resubmitted until the lane has room.
+    let script: Vec<RuleCommand> = (0..toggles)
+        .flat_map(|i| {
+            let id = RuleId::General((i % 11) as u8 + 1);
+            [
+                RuleCommand::new(target.clone(), RuleOp::Disable(id.clone())),
+                RuleCommand::new(target.clone(), RuleOp::Enable(id)),
+            ]
+        })
+        .collect();
+    for chunk in script.chunks(PROBE_CAPACITY / 2) {
+        loop {
+            let receipts = broker.try_submit_batch(chunk).wait();
+            if receipts.iter().all(|r| r.is_ok()) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+    broker.flush();
+
+    let stats = broker.stats();
+    assert!(
+        stats.shed_commands >= (PROBE_CAPACITY + 1) as u64,
+        "probe must observe shedding (saw {})",
+        stats.shed_commands
+    );
+    let epoch_after = store.epoch_of(&target).expect("seeded tenant");
+    assert_eq!(
+        epoch_after - epoch_before,
+        (toggles * 2) as u64,
+        "every retried toggle must land exactly once"
+    );
+    stats
+}
+
+/// Phase 3: per-check latency while a churn thread keeps committing
+/// batches. Returns (sorted latencies ns, churn rounds landed).
+fn latency_phase(store: &Arc<RuleStore>, rounds: usize, checks: usize) -> (Vec<u64>, usize) {
     let stop = Arc::new(AtomicBool::new(false));
     let churner = {
-        let broker_store = Arc::clone(&store);
+        let broker_store = Arc::clone(store);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let broker = ServiceBroker::new(broker_store, BROKER_THREADS);
             let mut round = rounds;
             while !stop.load(Ordering::Relaxed) {
                 for i in 0..TENANTS {
-                    submit_round(&broker, &tenant(i), round);
+                    drop(broker.submit_batch(&round_commands(&tenant(i), round)));
                 }
                 round += 1;
             }
@@ -170,7 +253,7 @@ fn main() {
     // Don't start the clock until churn commits are actually landing —
     // a warm check loop can otherwise finish before the churn broker's
     // workers have spun up, and "latency under churn" would be a lie.
-    let baseline = (rounds * 5) as u64;
+    let baseline = store.epoch_of(&tenant(0)).expect("seeded tenant");
     while store.epoch_of(&tenant(0)).expect("seeded tenant") <= baseline {
         std::thread::yield_now();
     }
@@ -188,8 +271,43 @@ fn main() {
     stop.store(true, Ordering::Relaxed);
     let churn_rounds = churner.join().expect("churn thread");
     latencies_ns.sort_unstable();
+    (latencies_ns, churn_rounds)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { ROUNDS_QUICK } else { ROUNDS };
+    let toggles = if quick {
+        PROBE_TOGGLES_QUICK
+    } else {
+        PROBE_TOGGLES
+    };
+    let checks = if quick { CHECKS_QUICK } else { CHECKS };
+
+    let store = Arc::new(RuleStore::new());
+    for i in 0..TENANTS {
+        store.seed_tenant(tenant(i), Rulebase::hein_lab());
+    }
+
+    let commands = TENANTS * rounds * 5;
+    let (commit_wall_s, throughput_stats) = throughput_phase(&store, rounds);
+    let commands_per_sec = commands as f64 / commit_wall_s;
+
+    let overload_stats = overload_phase(&store, toggles);
+
+    let (latencies_ns, churn_rounds) = latency_phase(&store, rounds, checks);
     let p50 = percentile_us(&latencies_ns, 0.50);
     let p99 = percentile_us(&latencies_ns, 0.99);
+
+    // One counter set for the envelope: sum the monotonic counters over
+    // both measured brokers, take the deeper of the two lane peaks.
+    let queue_depth_peak = throughput_stats
+        .queue_depth_peak
+        .max(overload_stats.queue_depth_peak);
+    let shed_commands = throughput_stats.shed_commands + overload_stats.shed_commands;
+    let worker_parks = throughput_stats.worker_parks + overload_stats.worker_parks;
+    let worker_steals = throughput_stats.worker_steals + overload_stats.worker_steals;
+    let batches = throughput_stats.batches + overload_stats.batches;
 
     println!("\n# rule service under churn\n");
     println!(
@@ -202,6 +320,11 @@ fn main() {
                 vec!["commands committed".into(), commands.to_string()],
                 vec!["commit wall (s)".into(), format!("{commit_wall_s:.3}")],
                 vec!["commands/sec".into(), format!("{commands_per_sec:.0}")],
+                vec!["store commits (batches)".into(), batches.to_string()],
+                vec!["queue depth peak".into(), queue_depth_peak.to_string()],
+                vec!["commands shed (probe)".into(), shed_commands.to_string()],
+                vec!["worker parks".into(), worker_parks.to_string()],
+                vec!["worker steals".into(), worker_steals.to_string()],
                 vec!["checks timed".into(), checks.to_string()],
                 vec![
                     "churn rounds behind checks".into(),
@@ -221,6 +344,8 @@ fn main() {
             ("tenants", Json::Num(TENANTS as f64)),
             ("broker_threads", Json::Num(BROKER_THREADS as f64)),
             ("rounds_per_tenant", Json::Num(rounds as f64)),
+            ("batch_commands", Json::Num(BATCH_COMMANDS as f64)),
+            ("probe_capacity", Json::Num(PROBE_CAPACITY as f64)),
             ("checks_timed", Json::Num(checks as f64)),
         ]),
         Json::obj([
@@ -228,6 +353,11 @@ fn main() {
             ("commands_committed", Json::Num(commands as f64)),
             ("commit_wall_s", Json::Num(commit_wall_s)),
             ("commands_per_sec", Json::Num(commands_per_sec)),
+            ("batches", Json::Num(batches as f64)),
+            ("queue_depth_peak", Json::Num(queue_depth_peak as f64)),
+            ("shed_commands", Json::Num(shed_commands as f64)),
+            ("worker_parks", Json::Num(worker_parks as f64)),
+            ("worker_steals", Json::Num(worker_steals as f64)),
             ("p50_check_latency_us", Json::Num(p50)),
             ("p99_check_latency_us", Json::Num(p99)),
             ("churn_rounds_during_checks", Json::Num(churn_rounds as f64)),

@@ -1,0 +1,75 @@
+//! Shared percentile helpers for latency series.
+//!
+//! Two conventions coexist in the bench suite and both live here so the
+//! binaries stop re-deriving them:
+//!
+//! * [`percentile_us`] — nearest-rank percentile over a **sorted**
+//!   nanosecond series, reported in microseconds. This is what the
+//!   latency-under-churn tables print: an actually-observed sample, not
+//!   an interpolated value between two.
+//! * [`percentile_interp`] — linearly interpolated percentile over an
+//!   unsorted `f64` series. `percentile_interp(s, 0.5)` is the classic
+//!   midpoint median the [`crate::timing`] harness reports (the median
+//!   of `[10, 20]` is `15`, not one of the endpoints).
+
+/// Nearest-rank percentile of a sorted nanosecond series, in µs.
+///
+/// `p` is a fraction in `[0, 1]`; the rank is `round((len - 1) * p)`,
+/// so `p = 0.0` is the minimum and `p = 1.0` the maximum. Returns `0.0`
+/// for an empty series.
+pub fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(sorted_ns.windows(2).all(|w| w[0] <= w[1]), "input sorted");
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Linearly interpolated percentile of an unsorted `f64` series.
+///
+/// Sorts a copy, then interpolates between the two samples straddling
+/// rank `(len - 1) * p`. Returns `0.0` for an empty series; NaN samples
+/// compare as equal and sort arbitrarily among themselves.
+pub fn percentile_interp(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (s.len() - 1) as f64 * p.clamp(0.0, 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    s[lo] + (s[hi] - s[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_the_service_bench_convention() {
+        let sorted: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        // rank(round(99 * 0.5)) = 50 → the 51st sample, 51 µs.
+        assert_eq!(percentile_us(&sorted, 0.50), 51.0);
+        // rank(round(99 * 0.99)) = 98 → the 99th sample.
+        assert_eq!(percentile_us(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_us(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_us(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        // A single sample is every percentile.
+        assert_eq!(percentile_us(&[2_500], 0.99), 2.5);
+    }
+
+    #[test]
+    fn interpolated_percentile_takes_midpoints() {
+        assert_eq!(percentile_interp(&[10.0, 20.0], 0.5), 15.0);
+        assert_eq!(percentile_interp(&[30.0, 10.0, 20.0], 0.5), 20.0);
+        assert_eq!(percentile_interp(&[10.0, 20.0], 0.0), 10.0);
+        assert_eq!(percentile_interp(&[10.0, 20.0], 1.0), 20.0);
+        assert_eq!(percentile_interp(&[], 0.5), 0.0);
+        // Quartile of four samples interpolates a quarter of the way.
+        assert_eq!(percentile_interp(&[0.0, 10.0, 20.0, 30.0], 0.25), 7.5);
+    }
+}

@@ -22,8 +22,10 @@
 //!   with string `trial_id` and `status`) and a `summary` object with a
 //!   numeric `done` count; `"service"` marks a rule-service churn
 //!   artifact, whose `results` must carry numeric `tenants` (≥ 4),
-//!   `commands_per_sec`, and `p50_check_latency_us` /
-//!   `p99_check_latency_us`; `"rad"` marks a streaming-mining artifact,
+//!   `commands_per_sec` (≥ [`SERVICE_MIN_CMDS_PER_SEC`] in full mode),
+//!   `p50_check_latency_us` / `p99_check_latency_us`, and the broker
+//!   backpressure counters (see `validate_service_results`); `"rad"`
+//!   marks a streaming-mining artifact,
 //!   whose `results` must carry the streaming throughput and drift
 //!   fields (see `validate_rad_results`) and, in full mode, clear the
 //!   [`RAD_MIN_COMMANDS`] / [`RAD_MIN_COMMANDS_PER_SEC`] floors.
@@ -88,7 +90,10 @@ pub fn validate(json: &Json) -> Result<(), String> {
                 false
             }
             Some("service") => {
-                validate_service_results(json.get("results").unwrap_or(&Json::Null))?;
+                validate_service_results(
+                    json.get("config").unwrap_or(&Json::Null),
+                    json.get("results").unwrap_or(&Json::Null),
+                )?;
                 false
             }
             Some("rad") => {
@@ -172,16 +177,32 @@ fn validate_sweep_results(config: &Json, results: &Json) -> Result<(), String> {
 /// this is not measuring the contended path.
 pub const SERVICE_MIN_TENANTS: f64 = 4.0;
 
+/// Minimum commit throughput (`commands_per_sec`) a full-mode
+/// (`quick_mode: false`) `"service"` artifact must report. The sharded
+/// broker with batched admission commits several million commands per
+/// second on the reference machine; the floor sits at the ISSUE's
+/// acceptance target — ~8× the old one-ticket-per-command broker's
+/// 129k cmd/s — so CI fails any change that quietly reverts the
+/// amortisation. (Quick smoke runs commit too few commands to gate on.)
+pub const SERVICE_MIN_CMDS_PER_SEC: f64 = 1_000_000.0;
+
 /// The rule-service payload shape: numeric `tenants` (at least
-/// [`SERVICE_MIN_TENANTS`]), commit throughput `commands_per_sec`, and
-/// the p50/p99 of per-command check latency under churn, in
-/// microseconds.
-fn validate_service_results(results: &Json) -> Result<(), String> {
+/// [`SERVICE_MIN_TENANTS`]), commit throughput `commands_per_sec` (at
+/// least [`SERVICE_MIN_CMDS_PER_SEC`] in full mode), the p50/p99 of
+/// per-command check latency under churn in microseconds, and the
+/// broker's backpressure counters (`queue_depth_peak`, `shed_commands`,
+/// `worker_parks`, `worker_steals`) proving the observability surface
+/// is wired through.
+fn validate_service_results(config: &Json, results: &Json) -> Result<(), String> {
     for key in [
         "tenants",
         "commands_per_sec",
         "p50_check_latency_us",
         "p99_check_latency_us",
+        "queue_depth_peak",
+        "shed_commands",
+        "worker_parks",
+        "worker_steals",
     ] {
         if results.get(key).and_then(Json::as_f64).is_none() {
             return Err(format!("service artifact missing numeric \"{key}\""));
@@ -192,6 +213,17 @@ fn validate_service_results(results: &Json) -> Result<(), String> {
         return Err(format!(
             "service artifact ran {tenants} tenants, below the {SERVICE_MIN_TENANTS} multi-tenant floor"
         ));
+    }
+    if config.get("quick_mode").and_then(Json::as_bool) == Some(false) {
+        let rate = results
+            .get("commands_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap();
+        if rate < SERVICE_MIN_CMDS_PER_SEC {
+            return Err(format!(
+                "service throughput {rate:.0} cmd/s below the {SERVICE_MIN_CMDS_PER_SEC} regression floor"
+            ));
+        }
     }
     Ok(())
 }
@@ -554,12 +586,29 @@ mod tests {
     }
 
     fn service_results(tenants: f64) -> Json {
+        service_results_at(tenants, 2_500_000.0)
+    }
+
+    fn service_results_at(tenants: f64, rate: f64) -> Json {
         Json::obj([
             ("tenants", Json::Num(tenants)),
-            ("commands_per_sec", Json::Num(125_000.0)),
-            ("p50_check_latency_us", Json::Num(4.2)),
-            ("p99_check_latency_us", Json::Num(19.7)),
+            ("commands_per_sec", Json::Num(rate)),
+            ("p50_check_latency_us", Json::Num(0.12)),
+            ("p99_check_latency_us", Json::Num(0.31)),
+            ("queue_depth_peak", Json::Num(160.0)),
+            ("shed_commands", Json::Num(17.0)),
+            ("worker_parks", Json::Num(42.0)),
+            ("worker_steals", Json::Num(3.0)),
         ])
+    }
+
+    fn service_envelope(quick: bool, results: Json) -> Json {
+        envelope_with_kind(
+            "service",
+            "service",
+            Json::obj([("quick_mode", Json::Bool(quick))]),
+            results,
+        )
     }
 
     #[test]
@@ -569,12 +618,34 @@ mod tests {
     }
 
     #[test]
+    fn service_kind_enforces_the_full_mode_throughput_floor() {
+        // The old one-ticket-per-command broker's 129k cmd/s must now
+        // fail a full-mode artifact...
+        let err =
+            validate(&service_envelope(false, service_results_at(6.0, 129_241.0))).unwrap_err();
+        assert!(err.contains("regression floor"), "{err}");
+        // ...while quick smoke runs are exempt from the floor...
+        validate(&service_envelope(true, service_results_at(6.0, 129_241.0)))
+            .expect("quick runs are not gated on throughput");
+        // ...and a batched full run clears it.
+        validate(&service_envelope(
+            false,
+            service_results_at(6.0, 2_500_000.0),
+        ))
+        .expect("wire-speed full run passes the floor");
+    }
+
+    #[test]
     fn service_kind_rejects_missing_or_non_numeric_fields() {
         for key in [
             "tenants",
             "commands_per_sec",
             "p50_check_latency_us",
             "p99_check_latency_us",
+            "queue_depth_peak",
+            "shed_commands",
+            "worker_parks",
+            "worker_steals",
         ] {
             let mut results = service_results(4.0);
             if let Json::Obj(pairs) = &mut results {

@@ -30,17 +30,7 @@ pub struct Timing {
 impl Timing {
     /// Median per-iteration time (ns) — the headline number.
     pub fn median_ns(&self) -> f64 {
-        let mut s = self.samples_ns.clone();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let n = s.len();
-        if n == 0 {
-            return 0.0;
-        }
-        if n % 2 == 1 {
-            s[n / 2]
-        } else {
-            (s[n / 2 - 1] + s[n / 2]) / 2.0
-        }
+        crate::histogram::percentile_interp(&self.samples_ns, 0.5)
     }
 
     /// Mean per-iteration time (ns).

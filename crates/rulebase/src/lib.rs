@@ -48,5 +48,5 @@ pub mod transition;
 
 pub use catalog::{DeviceCatalog, DeviceMeta};
 pub use rule::{ActorClass, Rule, RuleCtx, RuleId, RuleSignature, Violation, Violations};
-pub use rulebase::Rulebase;
-pub use snapshot::{RulebaseSnapshot, SnapshotSource, TenantId, STATIC_EPOCH};
+pub use rulebase::{BatchEdit, Rulebase};
+pub use snapshot::{RulebaseSnapshot, SnapshotCache, SnapshotSource, TenantId, STATIC_EPOCH};

@@ -18,16 +18,27 @@ struct RuleIndex {
 
 impl RuleIndex {
     fn build(rules: &[Rule], enabled: &[bool]) -> Self {
-        let mut buckets: [Vec<u32>; ActionClass::COUNT] = Default::default();
+        let mut index = RuleIndex::default();
+        index.rebuild(rules, enabled);
+        index
+    }
+
+    /// Rebuilds in place, reusing the bucket allocations. Under the rule
+    /// service every commit reindexes, so at service throughput this
+    /// runs millions of times per second — clearing `Vec`s instead of
+    /// reallocating the whole bucket array keeps it off the heap.
+    fn rebuild(&mut self, rules: &[Rule], enabled: &[bool]) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
         for (i, rule) in rules.iter().enumerate() {
             if !enabled[i] {
                 continue;
             }
             for class in rule.signature().action_classes() {
-                buckets[class.index()].push(i as u32);
+                self.buckets[class.index()].push(i as u32);
             }
         }
-        RuleIndex { buckets }
     }
 
     #[inline]
@@ -94,7 +105,7 @@ impl Rulebase {
     }
 
     fn reindex(&mut self) {
-        self.index = RuleIndex::build(&self.rules, &self.enabled);
+        self.index.rebuild(&self.rules, &self.enabled);
     }
 
     /// Adds one rule (builder style).
@@ -278,6 +289,93 @@ impl Rulebase {
             .zip(&self.enabled)
             .filter(|(_, &enabled)| enabled)
             .find_map(|(rule, _)| rule.check(command, state, &ctx))
+    }
+
+    /// Starts a batched mutation session: the same mutators as the
+    /// direct methods, but dispatch-index maintenance is deferred to
+    /// one rebuild when the guard drops. The rule service applies
+    /// hundreds of commands per copy-on-write commit; reindexing once
+    /// per commit instead of once per op is most of its wire-speed
+    /// budget. The guard holds `&mut self`, so the stale index is
+    /// unobservable — no check can run until the guard is gone.
+    pub fn batch_edit(&mut self) -> BatchEdit<'_> {
+        BatchEdit {
+            rulebase: self,
+            dirty: false,
+        }
+    }
+}
+
+/// A batched mutation session over a [`Rulebase`] — see
+/// [`Rulebase::batch_edit`]. Dropping the guard rebuilds the dispatch
+/// index once (only if a mutation actually changed anything).
+#[derive(Debug)]
+pub struct BatchEdit<'a> {
+    rulebase: &'a mut Rulebase,
+    dirty: bool,
+}
+
+impl BatchEdit<'_> {
+    /// The rule with the given id, if present (enabled or not).
+    pub fn rule(&self, id: &RuleId) -> Option<&Rule> {
+        self.rulebase.rule(id)
+    }
+
+    /// Whether the rule with the given id is enabled (`None` if absent).
+    pub fn is_enabled(&self, id: &RuleId) -> Option<bool> {
+        self.rulebase.is_enabled(id)
+    }
+
+    /// Adds one rule (enabled); index rebuild deferred.
+    pub fn push(&mut self, rule: Rule) {
+        self.rulebase.rules.push(rule);
+        self.rulebase.enabled.push(true);
+        self.dirty = true;
+    }
+
+    /// Removes the rule with the given id, returning `true` if found;
+    /// index rebuild deferred.
+    pub fn remove(&mut self, id: &RuleId) -> bool {
+        let Some(pos) = self.rulebase.position(id) else {
+            return false;
+        };
+        self.rulebase.rules.remove(pos);
+        self.rulebase.enabled.remove(pos);
+        self.dirty = true;
+        true
+    }
+
+    /// Replaces the rule with the given id in place, returning `true`
+    /// if found; index rebuild deferred.
+    pub fn update(&mut self, id: &RuleId, rule: Rule) -> bool {
+        let Some(pos) = self.rulebase.position(id) else {
+            return false;
+        };
+        self.rulebase.rules[pos] = rule;
+        self.dirty = true;
+        true
+    }
+
+    /// Enables or disables the rule with the given id, returning `true`
+    /// if found; index rebuild deferred (and skipped when nothing
+    /// actually flips).
+    pub fn set_enabled(&mut self, id: &RuleId, enabled: bool) -> bool {
+        let Some(pos) = self.rulebase.position(id) else {
+            return false;
+        };
+        if self.rulebase.enabled[pos] != enabled {
+            self.rulebase.enabled[pos] = enabled;
+            self.dirty = true;
+        }
+        true
+    }
+}
+
+impl Drop for BatchEdit<'_> {
+    fn drop(&mut self) {
+        if self.dirty {
+            self.rulebase.reindex();
+        }
     }
 }
 

@@ -162,12 +162,82 @@ pub trait SnapshotSource: Send + Sync {
     /// to an empty pinned rulebase (detects nothing) — stores that want
     /// to reject unknown tenants do so on their typed CRUD surface.
     fn snapshot(&self, tenant: &TenantId) -> RulebaseSnapshot;
+
+    /// The tenant's current epoch, if the source can answer more cheaply
+    /// than materialising a full snapshot (an atomic load for the live
+    /// store, a field read for a pinned snapshot). `None` — the default —
+    /// means "unknown, always fetch", which disables [`SnapshotCache`]
+    /// reuse but never changes semantics.
+    fn snapshot_epoch(&self, _tenant: &TenantId) -> Option<u64> {
+        None
+    }
 }
 
 /// A pinned snapshot is its own (single-tenant, never-changing) source.
 impl SnapshotSource for RulebaseSnapshot {
     fn snapshot(&self, _tenant: &TenantId) -> RulebaseSnapshot {
         self.clone()
+    }
+
+    fn snapshot_epoch(&self, _tenant: &TenantId) -> Option<u64> {
+        Some(self.epoch)
+    }
+}
+
+/// A single-entry `(requested tenant, epoch)` → [`RulebaseSnapshot`]
+/// cache over a [`SnapshotSource`].
+///
+/// Fleet runners resolve the *same* tenant for every job in a fleet, so
+/// one entry is enough to collapse a 64-run fleet's 64 store hits into
+/// one fetch plus 63 epoch probes ([`SnapshotSource::snapshot_epoch`],
+/// an atomic load on the live store). The cache is keyed on the tenant
+/// *as requested* — not the tenant stamped on the returned snapshot —
+/// so pinned sources, which answer every tenant with their own single
+/// publication, hit too. Any epoch change (a commit landing mid-fleet)
+/// misses and re-fetches, preserving the live-CRUD contract that each
+/// job validates against the snapshot current when it starts. Sources
+/// that do not implement the epoch probe always miss, which is safe.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    entry: Option<(TenantId, u64, RulebaseSnapshot)>,
+    hits: u64,
+    fetches: u64,
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SnapshotCache::default()
+    }
+
+    /// The tenant's latest snapshot, reusing the cached publication when
+    /// the source reports an unchanged epoch.
+    pub fn get(&mut self, source: &dyn SnapshotSource, tenant: &TenantId) -> RulebaseSnapshot {
+        if let Some(epoch) = source.snapshot_epoch(tenant) {
+            if let Some((cached_tenant, cached_epoch, snapshot)) = &self.entry {
+                if cached_tenant == tenant && *cached_epoch == epoch {
+                    self.hits += 1;
+                    return snapshot.clone();
+                }
+            }
+            let snapshot = source.snapshot(tenant);
+            self.fetches += 1;
+            self.entry = Some((tenant.clone(), epoch, snapshot.clone()));
+            return snapshot;
+        }
+        // No cheap epoch probe: every call is a fetch.
+        self.fetches += 1;
+        source.snapshot(tenant)
+    }
+
+    /// How many calls were served from the cached entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// How many calls resolved the source's full snapshot path.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
     }
 }
 
@@ -214,6 +284,61 @@ mod tests {
         let via_source = snap.snapshot(&TenantId::new("anything"));
         assert!(snap.same_publication(&via_source));
         assert_eq!(via_source.epoch(), snap.epoch());
+    }
+
+    #[test]
+    fn snapshot_cache_reuses_until_the_epoch_moves() {
+        /// A source that counts full snapshot materialisations.
+        struct Counting {
+            snap: RulebaseSnapshot,
+            epoch: std::sync::atomic::AtomicU64,
+            fetches: std::sync::atomic::AtomicU64,
+        }
+        impl SnapshotSource for Counting {
+            fn snapshot(&self, tenant: &TenantId) -> RulebaseSnapshot {
+                self.fetches
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                RulebaseSnapshot::published(
+                    tenant.clone(),
+                    self.epoch.load(std::sync::atomic::Ordering::Relaxed),
+                    Arc::new(self.snap.rulebase().clone()),
+                )
+            }
+            fn snapshot_epoch(&self, _tenant: &TenantId) -> Option<u64> {
+                Some(self.epoch.load(std::sync::atomic::Ordering::Relaxed))
+            }
+        }
+        let source = Counting {
+            snap: RulebaseSnapshot::pinned(Rulebase::standard()),
+            epoch: std::sync::atomic::AtomicU64::new(3),
+            fetches: std::sync::atomic::AtomicU64::new(0),
+        };
+        let tenant = TenantId::new("lab");
+        let mut cache = SnapshotCache::new();
+        let first = cache.get(&source, &tenant);
+        let second = cache.get(&source, &tenant);
+        assert!(first.same_publication(&second), "epoch 3 reused");
+        assert_eq!(source.fetches.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!((cache.hits(), cache.fetches()), (1, 1));
+        // A different tenant misses (single entry, keyed on the request).
+        let _other = cache.get(&source, &TenantId::new("other"));
+        assert_eq!(source.fetches.load(std::sync::atomic::Ordering::Relaxed), 2);
+        // An epoch bump misses and picks up the new publication.
+        source.epoch.store(4, std::sync::atomic::Ordering::Relaxed);
+        let third = cache.get(&source, &tenant);
+        assert_eq!(third.epoch(), 4);
+        assert!(!third.same_publication(&second));
+        assert_eq!(source.fetches.load(std::sync::atomic::Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn snapshot_cache_hits_on_pinned_sources() {
+        let pinned = RulebaseSnapshot::pinned(Rulebase::standard());
+        let mut cache = SnapshotCache::new();
+        let a = cache.get(&pinned, &TenantId::new("any"));
+        let b = cache.get(&pinned, &TenantId::new("any"));
+        assert!(a.same_publication(&b));
+        assert_eq!((cache.hits(), cache.fetches()), (1, 1));
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //!   with; the next command picks up the latest — exactly the
 //!   "epoch-consistent" contract the differential suite pins down.
 //! * [`ServiceBroker`] — an asynchronous command broker over the store:
-//!   per-tenant FIFO queues on a worker pool, so one lab's edits apply
-//!   in submission order while different labs commit in parallel, with
-//!   identical results for any worker count.
+//!   sharded workers draining per-tenant bounded ring lanes, so one
+//!   lab's edits apply in submission order while different labs commit
+//!   in parallel, with identical results for any worker count. Batched
+//!   admission ([`ServiceBroker::submit_batch`] → [`BatchTicket`])
+//!   amortises wakeups and receipt delivery; bounded lanes give typed
+//!   backpressure ([`ServiceError::Overloaded`] via
+//!   [`ServiceBroker::try_submit_batch`]).
 //! * Typed requests and receipts — [`CreateRuleRequest`],
 //!   [`UpdateRuleRequest`] (partial, with `is_enabled`), [`RuleCommit`],
 //!   [`ServiceError`] — the REST-shaped surface an HTTP frontend would
@@ -58,9 +62,9 @@
 mod broker;
 mod store;
 
-pub use broker::{RuleCommand, RuleOp, ServiceBroker, Ticket};
+pub use broker::{BatchTicket, BrokerStats, RuleCommand, ServiceBroker, Ticket};
 pub use store::{
-    CommitOp, CreateRuleRequest, RuleCommit, RuleStore, ServiceError, UpdateRuleRequest,
+    CommitOp, CreateRuleRequest, RuleCommit, RuleOp, RuleStore, ServiceError, UpdateRuleRequest,
 };
 
 // Re-exported so service users name tenants and snapshots without a

@@ -1,6 +1,6 @@
 //! The versioned, multi-tenant rule store.
 //!
-//! [`RuleStore`] keeps one [`TenantTable`] per tenant: the tenant's
+//! [`RuleStore`] keeps one `TenantCell` per tenant: the tenant's
 //! current epoch plus an `Arc` to its latest published [`Rulebase`].
 //! Every commit — create, update, enable/disable, remove — is
 //! copy-on-write: it clones the published rulebase, applies the change,
@@ -13,10 +13,30 @@
 //! lab's version history, which is also what makes the broker's
 //! cross-tenant parallelism deterministic (only per-tenant order
 //! matters).
+//!
+//! The store is structured for the broker's wire-speed ingestion path:
+//!
+//! * the tenant map holds `Arc<TenantCell>`s, so the map mutex is only
+//!   a directory — it is held for a lookup, never across a commit;
+//! * each cell separates the **commit lock** (held across the
+//!   copy-on-write clone) from the **publish lock** (held for two `Arc`
+//!   clones), so snapshot readers never wait behind a commit in
+//!   progress — that is what keeps check latency flat under churn;
+//! * [`RuleStore::apply_ops`] commits a whole per-tenant batch with
+//!   *one* clone and *one* publication (each op still gets its own
+//!   epoch and receipt), which is where the broker's batched admission
+//!   gets its throughput;
+//! * the published epoch is mirrored into an atomic
+//!   ([`RuleStore::epoch_of`] / [`SnapshotSource::snapshot_epoch`]), so
+//!   fleet-side snapshot caches can probe for changes without
+//!   materialising a snapshot.
 
-use rabit_rulebase::{Rule, RuleId, Rulebase, RulebaseSnapshot, SnapshotSource, TenantId};
+use rabit_rulebase::{
+    BatchEdit, Rule, RuleId, Rulebase, RulebaseSnapshot, SnapshotSource, TenantId,
+};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A request to add one rule to a tenant's rulebase.
@@ -150,6 +170,11 @@ pub enum ServiceError {
         /// The id the replacement body carried.
         supplied: RuleId,
     },
+    /// The tenant's bounded ingestion queue had no room and the broker
+    /// was asked not to block: the command was shed, nothing committed.
+    /// Retrying later is always safe — shedding is all-or-nothing per
+    /// tenant group, so per-tenant submission order survives a retry.
+    Overloaded(TenantId),
 }
 
 impl fmt::Display for ServiceError {
@@ -170,28 +195,150 @@ impl fmt::Display for ServiceError {
                 f,
                 "update addressed rule {addressed} but supplied body for {supplied}"
             ),
+            ServiceError::Overloaded(t) => {
+                write!(f, "tenant {t} ingestion queue overloaded; command shed")
+            }
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
-/// One tenant's row: its version counter and latest publication.
+/// One rule mutation. [`RuleStore::apply_ops`] commits a slice of these
+/// as a batch; the broker's `RuleCommand` wraps one with a tenant
+/// address.
+#[derive(Debug, Clone)]
+pub enum RuleOp {
+    /// Add a rule ([`RuleStore::create_rule`]).
+    Create(CreateRuleRequest),
+    /// Partially update a rule ([`RuleStore::update_rule`]).
+    Update(RuleId, UpdateRuleRequest),
+    /// Switch a rule on ([`RuleStore::set_rule_enabled`]).
+    Enable(RuleId),
+    /// Switch a rule off ([`RuleStore::set_rule_enabled`]).
+    Disable(RuleId),
+    /// Remove a rule ([`RuleStore::remove_rule`]).
+    Remove(RuleId),
+}
+
+impl RuleOp {
+    /// Shape validation that needs no rulebase — mirrors the pre-checks
+    /// of the single-command methods so error precedence is identical
+    /// (a malformed update reports its shape error even when the tenant
+    /// is unknown).
+    fn validate(&self) -> Result<(), ServiceError> {
+        if let RuleOp::Update(rule, request) = self {
+            if request.rule.is_none() && request.is_enabled.is_none() {
+                return Err(ServiceError::EmptyUpdate);
+            }
+            if let Some(body) = &request.rule {
+                if body.id() != rule {
+                    return Err(ServiceError::IdMismatch {
+                        addressed: rule.clone(),
+                        supplied: body.id().clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies this op to the working rulebase (through a
+    /// [`BatchEdit`] guard, so a whole batch pays one index rebuild).
+    /// Either fully applies (returning the addressed rule and commit
+    /// kind) or leaves `work` untouched — every check runs before the
+    /// first mutation, which is what lets a batch share one
+    /// copy-on-write clone.
+    fn apply(
+        &self,
+        tenant: &TenantId,
+        work: &mut BatchEdit<'_>,
+    ) -> Result<(RuleId, CommitOp), ServiceError> {
+        self.validate()?;
+        match self {
+            RuleOp::Create(request) => {
+                let id = request.rule.id().clone();
+                if work.rule(&id).is_some() {
+                    return Err(ServiceError::DuplicateRule {
+                        tenant: tenant.clone(),
+                        rule: id,
+                    });
+                }
+                work.push(request.rule.clone());
+                if !request.is_enabled {
+                    work.set_enabled(&id, false);
+                }
+                Ok((id, CommitOp::Create))
+            }
+            RuleOp::Update(rule, request) => {
+                if work.rule(rule).is_none() {
+                    return Err(ServiceError::UnknownRule {
+                        tenant: tenant.clone(),
+                        rule: rule.clone(),
+                    });
+                }
+                if let Some(body) = &request.rule {
+                    work.update(rule, body.clone());
+                }
+                if let Some(enabled) = request.is_enabled {
+                    work.set_enabled(rule, enabled);
+                }
+                Ok((rule.clone(), CommitOp::Update))
+            }
+            RuleOp::Enable(rule) => {
+                if !work.set_enabled(rule, true) {
+                    return Err(ServiceError::UnknownRule {
+                        tenant: tenant.clone(),
+                        rule: rule.clone(),
+                    });
+                }
+                Ok((rule.clone(), CommitOp::Enable))
+            }
+            RuleOp::Disable(rule) => {
+                if !work.set_enabled(rule, false) {
+                    return Err(ServiceError::UnknownRule {
+                        tenant: tenant.clone(),
+                        rule: rule.clone(),
+                    });
+                }
+                Ok((rule.clone(), CommitOp::Disable))
+            }
+            RuleOp::Remove(rule) => {
+                if !work.remove(rule) {
+                    return Err(ServiceError::UnknownRule {
+                        tenant: tenant.clone(),
+                        rule: rule.clone(),
+                    });
+                }
+                Ok((rule.clone(), CommitOp::Remove))
+            }
+        }
+    }
+}
+
+/// One tenant's row: commit serialisation, the latest publication, and
+/// an atomic mirror of the published epoch for lock-free probes.
 #[derive(Debug)]
-struct TenantTable {
-    epoch: u64,
-    published: Arc<Rulebase>,
+struct TenantCell {
+    /// Held across a commit's copy-on-write clone + apply. Separate
+    /// from `published` so readers never wait behind a commit.
+    commit: Mutex<()>,
+    /// `(epoch, publication)` — held only for the swap / the read.
+    published: Mutex<(u64, Arc<Rulebase>)>,
+    /// Mirror of `published.0`, updated after each publication.
+    epoch: AtomicU64,
 }
 
 /// The versioned multi-tenant rule store.
 ///
-/// Thread-safe behind one internal mutex: commits are serialised (they
-/// are rare, human-scale events), snapshot reads are a lock + two `Arc`
-/// clones. Validation itself never holds the lock — engines work off
+/// Thread-safe with per-tenant commit serialisation: the tenant map's
+/// mutex is a directory lookup, each tenant's commits serialise on its
+/// own cell, and snapshot reads are a brief publish-lock + two `Arc`
+/// clones. Validation itself never holds any lock — engines work off
 /// the immutable snapshots they captured.
 #[derive(Debug, Default)]
 pub struct RuleStore {
-    tenants: Mutex<BTreeMap<TenantId, TenantTable>>,
+    tenants: Mutex<BTreeMap<TenantId, Arc<TenantCell>>>,
 }
 
 impl RuleStore {
@@ -208,14 +355,13 @@ impl RuleStore {
     pub fn seed_tenant(&self, tenant: impl Into<TenantId>, rulebase: Rulebase) -> RulebaseSnapshot {
         let tenant = tenant.into();
         let published = Arc::new(rulebase);
+        let cell = Arc::new(TenantCell {
+            commit: Mutex::new(()),
+            published: Mutex::new((rabit_rulebase::STATIC_EPOCH, Arc::clone(&published))),
+            epoch: AtomicU64::new(rabit_rulebase::STATIC_EPOCH),
+        });
         let mut tenants = self.tenants.lock().expect("rule store poisoned");
-        tenants.insert(
-            tenant.clone(),
-            TenantTable {
-                epoch: rabit_rulebase::STATIC_EPOCH,
-                published: Arc::clone(&published),
-            },
-        );
+        tenants.insert(tenant.clone(), cell);
         RulebaseSnapshot::published(tenant, rabit_rulebase::STATIC_EPOCH, published)
     }
 
@@ -233,24 +379,34 @@ impl RuleStore {
         tenants.keys().cloned().collect()
     }
 
-    /// The tenant's current epoch, or `None` if unseeded.
-    pub fn epoch_of(&self, tenant: &TenantId) -> Option<u64> {
+    /// The tenant's cell, if seeded.
+    fn cell(&self, tenant: &TenantId) -> Option<Arc<TenantCell>> {
         let tenants = self.tenants.lock().expect("rule store poisoned");
-        tenants.get(tenant).map(|t| t.epoch)
+        tenants.get(tenant).map(Arc::clone)
+    }
+
+    /// The tenant's current epoch, or `None` if unseeded. An atomic
+    /// load behind the directory lookup — never waits on a commit.
+    pub fn epoch_of(&self, tenant: &TenantId) -> Option<u64> {
+        self.cell(tenant)
+            .map(|cell| cell.epoch.load(Ordering::Acquire))
     }
 
     /// The tenant's latest published snapshot, or a typed error for
     /// unseeded tenants ([`SnapshotSource::snapshot`] is the infallible
     /// variant).
     pub fn snapshot_for(&self, tenant: &TenantId) -> Result<RulebaseSnapshot, ServiceError> {
-        let tenants = self.tenants.lock().expect("rule store poisoned");
-        let table = tenants
-            .get(tenant)
+        let cell = self
+            .cell(tenant)
             .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
+        let (epoch, publication) = {
+            let published = cell.published.lock().expect("rule store poisoned");
+            (published.0, Arc::clone(&published.1))
+        };
         Ok(RulebaseSnapshot::published(
             tenant.clone(),
-            table.epoch,
-            Arc::clone(&table.published),
+            epoch,
+            publication,
         ))
     }
 
@@ -260,20 +416,7 @@ impl RuleStore {
         tenant: &TenantId,
         request: CreateRuleRequest,
     ) -> Result<RuleCommit, ServiceError> {
-        let id = request.rule.id().clone();
-        self.commit(tenant, CommitOp::Create, id.clone(), |rulebase| {
-            if rulebase.rule(&id).is_some() {
-                return Err(ServiceError::DuplicateRule {
-                    tenant: tenant.clone(),
-                    rule: id.clone(),
-                });
-            }
-            rulebase.push(request.rule.clone());
-            if !request.is_enabled {
-                rulebase.set_enabled(&id, false);
-            }
-            Ok(())
-        })
+        self.apply_one(tenant, &RuleOp::Create(request))
     }
 
     /// Partially updates a rule (`PUT /rules/{id}`).
@@ -283,32 +426,7 @@ impl RuleStore {
         rule: &RuleId,
         request: UpdateRuleRequest,
     ) -> Result<RuleCommit, ServiceError> {
-        if request.rule.is_none() && request.is_enabled.is_none() {
-            return Err(ServiceError::EmptyUpdate);
-        }
-        if let Some(body) = &request.rule {
-            if body.id() != rule {
-                return Err(ServiceError::IdMismatch {
-                    addressed: rule.clone(),
-                    supplied: body.id().clone(),
-                });
-            }
-        }
-        self.commit(tenant, CommitOp::Update, rule.clone(), |rulebase| {
-            if rulebase.rule(rule).is_none() {
-                return Err(ServiceError::UnknownRule {
-                    tenant: tenant.clone(),
-                    rule: rule.clone(),
-                });
-            }
-            if let Some(body) = request.rule.clone() {
-                rulebase.update(rule, body);
-            }
-            if let Some(enabled) = request.is_enabled {
-                rulebase.set_enabled(rule, enabled);
-            }
-            Ok(())
-        })
+        self.apply_one(tenant, &RuleOp::Update(rule.clone(), request))
     }
 
     /// Switches a rule on or off without touching its body.
@@ -319,19 +437,11 @@ impl RuleStore {
         enabled: bool,
     ) -> Result<RuleCommit, ServiceError> {
         let op = if enabled {
-            CommitOp::Enable
+            RuleOp::Enable(rule.clone())
         } else {
-            CommitOp::Disable
+            RuleOp::Disable(rule.clone())
         };
-        self.commit(tenant, op, rule.clone(), |rulebase| {
-            if !rulebase.set_enabled(rule, enabled) {
-                return Err(ServiceError::UnknownRule {
-                    tenant: tenant.clone(),
-                    rule: rule.clone(),
-                });
-            }
-            Ok(())
-        })
+        self.apply_one(tenant, &op)
     }
 
     /// Removes a rule (`DELETE /rules/{id}`).
@@ -340,41 +450,81 @@ impl RuleStore {
         tenant: &TenantId,
         rule: &RuleId,
     ) -> Result<RuleCommit, ServiceError> {
-        self.commit(tenant, CommitOp::Remove, rule.clone(), |rulebase| {
-            if !rulebase.remove(rule) {
-                return Err(ServiceError::UnknownRule {
-                    tenant: tenant.clone(),
-                    rule: rule.clone(),
-                });
-            }
-            Ok(())
-        })
+        self.apply_one(tenant, &RuleOp::Remove(rule.clone()))
     }
 
-    /// The copy-on-write commit path shared by every mutation: clone the
-    /// publication, apply, bump the tenant epoch, publish a fresh `Arc`.
-    /// A mutation that errors publishes nothing — the epoch is untouched.
-    fn commit(
+    /// One-op convenience over [`RuleStore::apply_ops`].
+    fn apply_one(&self, tenant: &TenantId, op: &RuleOp) -> Result<RuleCommit, ServiceError> {
+        self.apply_ops(tenant, std::slice::from_ref(op))
+            .pop()
+            .expect("one op yields one result")
+    }
+
+    /// Commits a batch of ops for one tenant, in order, with **one**
+    /// copy-on-write clone and **one** publication.
+    ///
+    /// Each successful op gets its own epoch (`previous + i`) and
+    /// receipt, exactly as if committed one at a time; failed ops get
+    /// their typed error and consume no epoch. Only the final state is
+    /// published — intermediate states within a batch are never
+    /// observable, which is the coarser linearisation that makes
+    /// batched admission fast without changing per-tenant order or
+    /// epoch history. A batch in which every op fails publishes
+    /// nothing.
+    pub fn apply_ops(
         &self,
         tenant: &TenantId,
-        op: CommitOp,
-        rule: RuleId,
-        mutate: impl FnOnce(&mut Rulebase) -> Result<(), ServiceError>,
-    ) -> Result<RuleCommit, ServiceError> {
-        let mut tenants = self.tenants.lock().expect("rule store poisoned");
-        let table = tenants
-            .get_mut(tenant)
-            .ok_or_else(|| ServiceError::UnknownTenant(tenant.clone()))?;
-        let mut next = (*table.published).clone();
-        mutate(&mut next)?;
-        table.epoch += 1;
-        table.published = Arc::new(next);
-        Ok(RuleCommit {
-            tenant: tenant.clone(),
-            rule,
-            op,
-            epoch: table.epoch,
-        })
+        ops: &[RuleOp],
+    ) -> Vec<Result<RuleCommit, ServiceError>> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let Some(cell) = self.cell(tenant) else {
+            // Unknown tenant: shape errors keep precedence, everything
+            // else reports the tenant, matching the one-at-a-time path.
+            return ops
+                .iter()
+                .map(|op| {
+                    op.validate()?;
+                    Err(ServiceError::UnknownTenant(tenant.clone()))
+                })
+                .collect();
+        };
+        let _commit = cell.commit.lock().expect("rule store poisoned");
+        let (base_epoch, base) = {
+            let published = cell.published.lock().expect("rule store poisoned");
+            (published.0, Arc::clone(&published.1))
+        };
+        let mut work = (*base).clone();
+        let mut epoch = base_epoch;
+        let mut results = Vec::with_capacity(ops.len());
+        {
+            // One deferred-index session for the whole batch: the
+            // dispatch index rebuilds once when the guard drops, not
+            // once per op — nobody can observe `work` until it is
+            // published below.
+            let mut edit = work.batch_edit();
+            for op in ops {
+                results.push(op.apply(tenant, &mut edit).map(|(rule, op)| {
+                    epoch += 1;
+                    RuleCommit {
+                        tenant: tenant.clone(),
+                        rule,
+                        op,
+                        epoch,
+                    }
+                }));
+            }
+        }
+        if epoch > base_epoch {
+            let publication = Arc::new(work);
+            {
+                let mut published = cell.published.lock().expect("rule store poisoned");
+                *published = (epoch, publication);
+            }
+            cell.epoch.store(epoch, Ordering::Release);
+        }
+        results
     }
 }
 
@@ -384,6 +534,12 @@ impl SnapshotSource for RuleStore {
     fn snapshot(&self, tenant: &TenantId) -> RulebaseSnapshot {
         self.snapshot_for(tenant)
             .unwrap_or_else(|_| RulebaseSnapshot::pinned(Rulebase::new()))
+    }
+
+    /// Lock-free epoch probe (modulo the directory lookup), enabling
+    /// [`rabit_rulebase::SnapshotCache`] reuse across a fleet.
+    fn snapshot_epoch(&self, tenant: &TenantId) -> Option<u64> {
+        self.epoch_of(tenant)
     }
 }
 
@@ -519,6 +675,7 @@ mod tests {
         );
         let fallback = store.snapshot(&ghost);
         assert_eq!(fallback.len(), 0, "empty rulebase detects nothing");
+        assert_eq!(store.snapshot_epoch(&ghost), None);
         assert!(store
             .set_rule_enabled(&ghost, &RuleId::General(1), false)
             .is_err());
@@ -542,5 +699,101 @@ mod tests {
         let snap = store.snapshot_for(&tenant()).unwrap();
         assert_eq!(snap.len(), 10);
         assert!(snap.rule(&RuleId::General(1)).is_none());
+    }
+
+    #[test]
+    fn batched_ops_share_one_publication_with_per_op_epochs() {
+        let store = seeded();
+        let staged = Rule::new(RuleId::Custom("staged".into()), "staged", |_, _, _| None);
+        let ops = vec![
+            RuleOp::Create(CreateRuleRequest::new(staged).disabled()),
+            RuleOp::Disable(RuleId::General(2)),
+            RuleOp::Remove(RuleId::Custom("ghost".into())), // fails, no epoch
+            RuleOp::Enable(RuleId::Custom("staged".into())),
+        ];
+        let results = store.apply_ops(&tenant(), &ops);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].as_ref().unwrap().epoch, 1);
+        assert_eq!(results[1].as_ref().unwrap().epoch, 2);
+        assert!(matches!(results[2], Err(ServiceError::UnknownRule { .. })));
+        let last = results[3].as_ref().unwrap();
+        assert_eq!((last.epoch, last.op), (3, CommitOp::Enable));
+        assert_eq!(store.epoch_of(&tenant()), Some(3));
+        let snap = store.snapshot_for(&tenant()).unwrap();
+        assert_eq!(snap.len(), 12);
+        assert_eq!(
+            snap.is_enabled(&RuleId::Custom("staged".into())),
+            Some(true)
+        );
+        assert_eq!(snap.is_enabled(&RuleId::General(2)), Some(false));
+    }
+
+    #[test]
+    fn all_failed_batch_publishes_nothing() {
+        let store = seeded();
+        let before = store.snapshot_for(&tenant()).unwrap();
+        let ops = vec![
+            RuleOp::Remove(RuleId::Custom("ghost".into())),
+            RuleOp::Update(RuleId::General(1), UpdateRuleRequest::new()),
+        ];
+        let results = store.apply_ops(&tenant(), &ops);
+        assert!(results.iter().all(Result::is_err));
+        assert_eq!(results[1], Err(ServiceError::EmptyUpdate));
+        assert!(before.same_publication(&store.snapshot_for(&tenant()).unwrap()));
+        assert_eq!(store.epoch_of(&tenant()), Some(0));
+    }
+
+    #[test]
+    fn unknown_tenant_batches_keep_shape_error_precedence() {
+        let store = RuleStore::new();
+        let ghost = TenantId::new("ghost");
+        let ops = vec![
+            RuleOp::Disable(RuleId::General(1)),
+            RuleOp::Update(RuleId::General(1), UpdateRuleRequest::new()),
+        ];
+        let results = store.apply_ops(&ghost, &ops);
+        assert_eq!(results[0], Err(ServiceError::UnknownTenant(ghost)));
+        assert_eq!(results[1], Err(ServiceError::EmptyUpdate));
+    }
+
+    #[test]
+    fn batched_mutations_match_singles_bit_for_bit() {
+        // The same op sequence, once through apply_ops and once through
+        // the single-command methods, must yield identical receipts and
+        // identical final rulebases.
+        let batch_store = seeded();
+        let single_store = seeded();
+        let rule = |name: &str| {
+            Rule::new(
+                RuleId::Custom(name.to_string()),
+                "never fires",
+                |_, _, _| None,
+            )
+        };
+        let ops = vec![
+            RuleOp::Create(CreateRuleRequest::new(rule("a"))),
+            RuleOp::Create(CreateRuleRequest::new(rule("b")).disabled()),
+            RuleOp::Enable(RuleId::Custom("b".into())),
+            RuleOp::Update(
+                RuleId::Custom("a".into()),
+                UpdateRuleRequest::new().with_enabled(false),
+            ),
+            RuleOp::Remove(RuleId::Custom("a".into())),
+            RuleOp::Remove(RuleId::Custom("a".into())), // second remove fails
+        ];
+        let batched = batch_store.apply_ops(&tenant(), &ops);
+        let singles: Vec<_> = ops
+            .iter()
+            .map(|op| single_store.apply_one(&tenant(), op))
+            .collect();
+        assert_eq!(batched, singles);
+        assert_eq!(
+            batch_store.epoch_of(&tenant()),
+            single_store.epoch_of(&tenant())
+        );
+        let b = batch_store.snapshot_for(&tenant()).unwrap();
+        let s = single_store.snapshot_for(&tenant()).unwrap();
+        assert_eq!(b.len(), s.len());
+        assert_eq!(b.enabled_count(), s.enabled_count());
     }
 }

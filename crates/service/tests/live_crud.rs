@@ -7,6 +7,10 @@
 //!   one starts);
 //! * tenants are isolated — commits to one never perturb another;
 //! * broker results are identical for 1, 4, and 8 worker threads;
+//! * a bounded-lane broker under forced `Overloaded` sheds + retries is
+//!   receipt-identical to an unbounded baseline at 1/4/8 threads;
+//! * a live fleet resolves one snapshot per `(tenant, epoch)`, not one
+//!   per job;
 //! * a store used with a single static epoch is bit-identical to no
 //!   store at all ([`run_fleet_on`] vs [`run_fleet_on_live`]).
 
@@ -17,9 +21,11 @@ use rabit_rulebase::{
     DeviceCatalog, DeviceMeta, Rule, RuleId, Rulebase, RulebaseSnapshot, SnapshotSource, TenantId,
 };
 use rabit_service::{
-    CreateRuleRequest, RuleCommand, RuleOp, RuleStore, ServiceBroker, UpdateRuleRequest,
+    CreateRuleRequest, RuleCommand, RuleCommit, RuleOp, RuleStore, ServiceBroker, ServiceError,
+    UpdateRuleRequest,
 };
 use rabit_tracer::{run_fleet_on, run_fleet_on_live, FleetReport, Workflow};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The closed-door rule the bug-A workflow violates.
@@ -255,6 +261,209 @@ fn broker_results_are_identical_across_thread_counts() {
     assert_eq!(serial[1], (4, 13, 12));
     assert_eq!(outcome_for(4), serial);
     assert_eq!(outcome_for(8), serial);
+}
+
+/// The per-tenant command script for the overload differential: rounds
+/// of stage → enable → door-toggle → remove churn, with a per-tenant
+/// tail so tenants end at different epochs.
+fn churn_script(tenant: &str, index: usize) -> Vec<RuleCommand> {
+    let noop = |name: &str| {
+        Rule::new(
+            RuleId::Custom(name.to_string()),
+            "never fires",
+            |_, _, _| None,
+        )
+    };
+    let mut script = Vec::new();
+    for round in 0..8 {
+        let staged = format!("staged-{round}");
+        script.push(RuleCommand::new(
+            tenant,
+            RuleOp::Create(CreateRuleRequest::new(noop(&staged)).disabled()),
+        ));
+        script.push(RuleCommand::new(
+            tenant,
+            RuleOp::Enable(RuleId::Custom(staged.clone())),
+        ));
+        script.push(RuleCommand::new(tenant, RuleOp::Disable(door_rule())));
+        script.push(RuleCommand::new(tenant, RuleOp::Enable(door_rule())));
+        script.push(RuleCommand::new(
+            tenant,
+            RuleOp::Remove(RuleId::Custom(staged)),
+        ));
+    }
+    if index.is_multiple_of(2) {
+        script.push(RuleCommand::new(
+            tenant,
+            RuleOp::Create(CreateRuleRequest::new(noop("keeper"))),
+        ));
+    }
+    script
+}
+
+#[test]
+fn overloaded_bounded_broker_matches_unbounded_baseline() {
+    // A bounded-lane broker driven through forced `Overloaded` sheds and
+    // retries must produce the same committed receipts (epochs, order,
+    // ops), the same final epochs, and the same final rulebases as an
+    // effectively-unbounded baseline — at 1, 4, and 8 broker threads.
+    let tenants = ["t0", "t1", "t2", "t3"];
+    type Outcome = (Vec<Vec<RuleCommit>>, Vec<(u64, usize, usize)>);
+    let final_shapes = |store: &RuleStore| -> Vec<(u64, usize, usize)> {
+        tenants
+            .iter()
+            .map(|tenant| {
+                let snap = store.snapshot(&TenantId::new(*tenant));
+                (snap.epoch(), snap.len(), snap.enabled_count())
+            })
+            .collect()
+    };
+
+    let baseline = |threads: usize| -> Outcome {
+        let store = Arc::new(RuleStore::new());
+        for tenant in tenants {
+            store.seed_tenant(tenant, Rulebase::standard());
+        }
+        let broker = ServiceBroker::new(Arc::clone(&store), threads);
+        let tickets: Vec<_> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, tenant)| broker.submit_batch(&churn_script(tenant, i)))
+            .collect();
+        let receipts = tickets
+            .into_iter()
+            .map(|t| {
+                t.wait()
+                    .into_iter()
+                    .map(|r| r.expect("baseline script commits cleanly"))
+                    .collect()
+            })
+            .collect();
+        (receipts, final_shapes(&store))
+    };
+
+    let bounded = |threads: usize| -> (Outcome, u64) {
+        let store = Arc::new(RuleStore::new());
+        for tenant in tenants {
+            store.seed_tenant(tenant, Rulebase::standard());
+        }
+        // Lane capacity 4: every script overfills its lane many times.
+        let broker = ServiceBroker::with_queue_capacity(Arc::clone(&store), threads, 4);
+        let mut tickets: Vec<Vec<_>> = Vec::new();
+        let mut sheds_seen = 0u64;
+        for (i, tenant) in tenants.iter().enumerate() {
+            let script = churn_script(tenant, i);
+            let mut tenant_tickets = Vec::new();
+            // Deterministic shed first: a group larger than the lane can
+            // never fit, so its commands all come back `Overloaded`...
+            let oversized = &script[..5.min(script.len())];
+            let receipts = broker.try_submit_batch(oversized).wait();
+            assert!(
+                receipts
+                    .iter()
+                    .all(|r| r == &Err(ServiceError::Overloaded(TenantId::new(*tenant)))),
+                "oversized groups are always shed whole"
+            );
+            sheds_seen += receipts.len() as u64;
+            // ...and because shedding is all-or-nothing, resubmitting the
+            // same commands (blocking this time) preserves tenant order.
+            tenant_tickets.push(broker.submit_batch(oversized));
+            // The rest goes through the non-blocking path with retries:
+            // a chunk that sheds is retried until admitted, so per-tenant
+            // order is never torn.
+            let mut shed_base = broker.stats().shed_commands;
+            for chunk in script[5.min(script.len())..].chunks(3) {
+                loop {
+                    let ticket = broker.try_submit_batch(chunk);
+                    let shed_now = broker.stats().shed_commands;
+                    if shed_now > shed_base {
+                        shed_base = shed_now;
+                        sheds_seen += chunk.len() as u64;
+                        drop(ticket.wait());
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    tenant_tickets.push(ticket);
+                    break;
+                }
+            }
+            tickets.push(tenant_tickets);
+        }
+        let receipts = tickets
+            .into_iter()
+            .map(|tenant_tickets| {
+                tenant_tickets
+                    .into_iter()
+                    .flat_map(|t| t.wait())
+                    .map(|r| r.expect("admitted commands commit cleanly"))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(broker.stats().shed_commands, sheds_seen);
+        ((receipts, final_shapes(&store)), sheds_seen)
+    };
+
+    let expected = baseline(1);
+    assert_eq!(baseline(4), expected, "baseline thread-count identity");
+    for threads in [1, 4, 8] {
+        let (outcome, sheds) = bounded(threads);
+        assert!(
+            sheds >= 5 * tenants.len() as u64,
+            "overload was actually forced at {threads} threads"
+        );
+        assert_eq!(
+            outcome, expected,
+            "bounded broker at {threads} threads diverged from baseline"
+        );
+    }
+}
+
+/// A [`SnapshotSource`] wrapper counting full snapshot resolutions.
+struct CountingSource {
+    inner: Arc<RuleStore>,
+    snapshots: AtomicU64,
+}
+
+impl SnapshotSource for CountingSource {
+    fn snapshot(&self, tenant: &TenantId) -> RulebaseSnapshot {
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.inner.snapshot(tenant)
+    }
+    fn snapshot_epoch(&self, tenant: &TenantId) -> Option<u64> {
+        self.inner.snapshot_epoch(tenant)
+    }
+}
+
+#[test]
+fn live_fleet_resolves_one_snapshot_per_epoch() {
+    // A fleet over an unchanging store must hit the store once, not
+    // once per job — and still pick up a commit landing between fleets.
+    let store = seeded_store();
+    let tenant = TenantId::default_tenant();
+    let source = CountingSource {
+        inner: Arc::clone(&store),
+        snapshots: AtomicU64::new(0),
+    };
+    let sub = MiniSubstrate;
+    let wfs = workflows();
+    let jobs: Vec<(&dyn Substrate, &Workflow)> = wfs.iter().map(|w| (&sub as _, w)).collect();
+
+    let fleet = run_fleet_on_live(&jobs, 2, &source, &tenant);
+    assert_eq!(
+        source.snapshots.load(Ordering::Relaxed),
+        1,
+        "one fetch serves the whole fleet"
+    );
+    assert!(fleet.runs.iter().all(|r| r.rulebase_epoch == 0));
+
+    // A commit between fleets is still observed (epoch probe misses).
+    store
+        .set_rule_enabled(&tenant, &door_rule(), false)
+        .unwrap();
+    let fleet = run_fleet_on_live(&jobs, 2, &source, &tenant);
+    assert_eq!(source.snapshots.load(Ordering::Relaxed), 2);
+    assert!(fleet.runs.iter().all(|r| r.rulebase_epoch == 1));
+    assert_eq!(fleet.completed_runs(), 3, "disabled rule stopped firing");
 }
 
 #[test]

@@ -15,8 +15,9 @@ use rabit_core::fleet::run_indexed;
 use rabit_core::{
     DamageEvent, FaultPlan, Lab, Rabit, RecoveryCounters, Stage, Substrate, SweepStats,
 };
-use rabit_rulebase::{RulebaseSnapshot, SnapshotSource, TenantId};
+use rabit_rulebase::{RulebaseSnapshot, SnapshotCache, SnapshotSource, TenantId};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// One fleet run: the workflow's trace report plus the physical damage
 /// its lab accumulated.
@@ -297,6 +298,12 @@ fn fleet_on_with(
     plan: Option<&FaultPlan>,
     live: Option<(&dyn SnapshotSource, &TenantId)>,
 ) -> FleetReport {
+    // One fleet-wide `(tenant, epoch)` snapshot cache: while the epoch
+    // is unchanged, jobs reuse the same published `Arc` instead of
+    // re-resolving the store per job — a 64-run fleet hits the store
+    // once, not 64 times. The cache probes the source's epoch on every
+    // job, so a commit landing mid-fleet still reaches later jobs.
+    let snapshot_cache = Mutex::new(SnapshotCache::new());
     let runs = run_indexed(jobs.len(), threads, |i| {
         let (substrate, workflow) = jobs[i];
         let job = FleetJob {
@@ -307,7 +314,12 @@ fn fleet_on_with(
             // Live fleets resolve the snapshot here — at job start, on
             // the executing worker — so commits landing mid-fleet are
             // picked up by later jobs only.
-            snapshot: live.map(|(source, tenant)| source.snapshot(tenant)),
+            snapshot: live.map(|(source, tenant)| {
+                snapshot_cache
+                    .lock()
+                    .expect("fleet snapshot cache poisoned")
+                    .get(source, tenant)
+            }),
         };
         let (mut run, _lab) = job.execute();
         run.index = i;

@@ -3,11 +3,15 @@
 //! The deployment environments RABIT targets (air-gapped lab controllers,
 //! hermetic CI) cannot reach a package registry, so everything the
 //! workspace needs beyond `std` lives here: a small, fast, seeded PRNG
-//! ([`rng::Rng`]) and a JSON value/parser/printer ([`json::Json`]) used
-//! for configuration files, trace serialisation, and benchmark reports.
+//! ([`rng::Rng`]), a JSON value/parser/printer ([`json::Json`]) used
+//! for configuration files, trace serialisation, and benchmark reports,
+//! and the bounded ring queue + parking primitives ([`ring`]) the rule
+//! service's sharded broker is built on.
 
 pub mod json;
+pub mod ring;
 pub mod rng;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use ring::{Parker, RingBuffer};
 pub use rng::Rng;
